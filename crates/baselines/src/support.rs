@@ -1,0 +1,60 @@
+//! Shared plumbing for the learned baselines: budgeted execution with
+//! expert-anchored timeouts, plan encoding, sample collection.
+
+use std::sync::Arc;
+
+use foss_common::{FossError, FxHashMap, QueryId, Result};
+use foss_core::encoding::{EncodedPlan, PlanEncoder};
+use foss_executor::CachingExecutor;
+use foss_optimizer::{PhysicalPlan, TraditionalOptimizer};
+use foss_query::Query;
+
+/// Timeout factor the baselines run with (more generous than FOSS's 1.5× so
+/// that from-scratch learners can still collect signal from bad plans).
+pub(crate) const BASELINE_TIMEOUT_FACTOR: f64 = 3.0;
+
+/// Executes candidate plans for the baselines and encodes them for their
+/// value models.
+pub(crate) struct ExecRecorder {
+    pub optimizer: Arc<TraditionalOptimizer>,
+    pub executor: Arc<CachingExecutor>,
+    pub encoder: PlanEncoder,
+    expert_latency: FxHashMap<QueryId, f64>,
+}
+
+impl ExecRecorder {
+    pub fn new(
+        optimizer: Arc<TraditionalOptimizer>,
+        executor: Arc<CachingExecutor>,
+        encoder: PlanEncoder,
+    ) -> Self {
+        Self { optimizer, executor, encoder, expert_latency: FxHashMap::default() }
+    }
+
+    /// The expert plan's latency (measured once, cached).
+    pub fn expert_latency(&mut self, query: &Query) -> Result<f64> {
+        if let Some(&l) = self.expert_latency.get(&query.id) {
+            return Ok(l);
+        }
+        let plan = self.optimizer.optimize(query)?;
+        let out = self.executor.execute(query, &plan, None)?;
+        self.expert_latency.insert(query.id, out.latency);
+        Ok(out.latency)
+    }
+
+    /// Execute `plan` under the baseline timeout; returns the measured (or
+    /// budget-clamped) latency.
+    pub fn measure(&mut self, query: &Query, plan: &PhysicalPlan) -> Result<f64> {
+        let budget = self.expert_latency(query)? * BASELINE_TIMEOUT_FACTOR;
+        match self.executor.execute(query, plan, Some(budget)) {
+            Ok(out) => Ok(out.latency),
+            Err(FossError::Timeout { .. }) => Ok(budget),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Encode a plan for the value model.
+    pub fn encode(&self, query: &Query, plan: &PhysicalPlan) -> EncodedPlan {
+        self.encoder.encode(query, plan, 0.0)
+    }
+}

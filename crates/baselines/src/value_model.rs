@@ -1,0 +1,133 @@
+//! Shared latency-regression network for the learned baselines.
+//!
+//! Bao, HybridQO, Balsa and Loger all need "given a candidate plan, how fast
+//! will it run?" — this model plays that role: the same transformer plan
+//! encoder used elsewhere in the workspace, with a scalar head regressing
+//! `ln(latency)` (log-space keeps the loss well-conditioned across the many
+//! orders of magnitude separating good and catastrophic plans).
+
+use foss_core::encoding::EncodedPlan;
+use foss_core::state_net::StateNetwork;
+use foss_nn::{Adam, Graph, Linear, Matrix, ParamSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Plan → predicted log-latency.
+pub struct PlanValueModel {
+    set: ParamSet,
+    net: StateNetwork,
+    head: Linear,
+    adam: Adam,
+    batch: usize,
+}
+
+impl PlanValueModel {
+    /// Allocate a model for a schema with `table_vocab` table ids.
+    pub fn new(table_vocab: usize, rng: &mut StdRng) -> Self {
+        let mut set = ParamSet::new();
+        let net = StateNetwork::new(&mut set, table_vocab, 32, 32, 2, 1, rng);
+        let head = Linear::new(&mut set, 32, 1, rng);
+        Self { set, net, head, adam: Adam::new(1e-3), batch: 16 }
+    }
+
+    /// Predicted `ln(latency)` for one plan.
+    pub fn predict(&self, plan: &EncodedPlan) -> f32 {
+        let mut g = Graph::new();
+        let sv = self.net.forward(&mut g, &self.set, plan);
+        let y = self.head.forward(&mut g, &self.set, sv);
+        g.value(y).get(0, 0)
+    }
+
+    /// Index of the plan with the lowest predicted latency.
+    pub fn best_of(&self, plans: &[&EncodedPlan]) -> usize {
+        assert!(!plans.is_empty());
+        plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, self.predict(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    /// One MSE epoch over `(plan, ln latency)` samples; returns mean loss.
+    pub fn train_epoch(&mut self, samples: &[(EncodedPlan, f32)], rng: &mut StdRng) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        order.shuffle(rng);
+        let mut total = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(self.batch) {
+            let plans: Vec<&EncodedPlan> = chunk.iter().map(|&i| &samples[i].0).collect();
+            let targets: Vec<f32> = chunk.iter().map(|&i| samples[i].1).collect();
+            let b = chunk.len();
+            let mut g = Graph::new();
+            let sv = self.net.forward_batch(&mut g, &self.set, &plans);
+            let pred = self.head.forward(&mut g, &self.set, sv);
+            let t = g.input(Matrix::from_vec(b, 1, targets));
+            let d = g.sub(pred, t);
+            let sq = g.mul(d, d);
+            let loss = g.mean_all(sq);
+            total += g.value(loss).get(0, 0);
+            batches += 1;
+            self.set.zero_grad();
+            g.backward(loss, &mut self.set);
+            let norm = self.set.grad_norm();
+            if norm > 5.0 {
+                self.set.scale_grads(5.0 / norm);
+            }
+            self.adam.step(&mut self.set);
+        }
+        total / batches as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn plan(tag: usize) -> EncodedPlan {
+        EncodedPlan {
+            ops: vec![tag % 6, 0],
+            tables: vec![0, 1],
+            sels: vec![10, tag % 10],
+            rows: vec![tag % 25, 2],
+            heights: vec![1, 0],
+            structures: vec![3, 1],
+            reach: vec![vec![true, true], vec![true, true]],
+            step: 0.0,
+        }
+    }
+
+    #[test]
+    fn learns_to_rank_plans() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut m = PlanValueModel::new(4, &mut rng);
+        // Plans with high `rows` bucket are slow.
+        let mut samples = Vec::new();
+        for tag in 0..25 {
+            let lat = 1.0 + tag as f32 * 0.4;
+            samples.push((plan(tag), lat));
+        }
+        let first = m.train_epoch(&samples, &mut rng);
+        let mut last = first;
+        for _ in 0..60 {
+            last = m.train_epoch(&samples, &mut rng);
+        }
+        assert!(last < first / 2.0, "loss {first} → {last}");
+        let fast = plan(1);
+        let slow = plan(24);
+        assert!(m.predict(&fast) < m.predict(&slow));
+        assert_eq!(m.best_of(&[&slow, &fast]), 1);
+    }
+
+    #[test]
+    fn empty_training_is_noop() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut m = PlanValueModel::new(4, &mut rng);
+        assert_eq!(m.train_epoch(&[], &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 4 (relative speedup of FOSS vs other methods).
+
+fn main() {
+    let cfg = foss_bench::run_config_from_env();
+    eprintln!("running Fig.4 (via Table I) with {cfg:?} ...");
+    let tables = foss_harness::table1::run(&cfg).expect("table1 run");
+    println!("{}", foss_harness::table1::render_fig4(&tables));
+}

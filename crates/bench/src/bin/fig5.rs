@@ -1,0 +1,10 @@
+//! Regenerates Fig. 5 (training curves of test speedup vs wall time).
+
+fn main() {
+    let cfg = foss_bench::run_config_from_env();
+    for wl in ["joblite", "tpcdslite", "stacklite"] {
+        let curves =
+            foss_harness::curves::run(wl, &cfg, cfg.baseline_rounds.max(2)).expect("curves");
+        println!("{}", foss_harness::curves::render(wl, &curves));
+    }
+}

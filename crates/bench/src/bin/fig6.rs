@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6 (optimisation-time box plots on the JOB workload).
+
+fn main() {
+    let cfg = foss_bench::run_config_from_env();
+    let boxes = foss_harness::opt_time::run("joblite", &cfg).expect("opt_time");
+    println!("{}", foss_harness::opt_time::render("joblite", &boxes));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 8 (known-best-plan time-savings ranking, 3 runs).
+
+fn main() {
+    let cfg = foss_bench::run_config_from_env();
+    let series = foss_harness::best_plans::run("joblite", &cfg, 3).expect("best_plans");
+    println!("{}", foss_harness::best_plans::render("joblite", &series));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 9 (GMRL training curves per configuration).
+
+fn main() {
+    let cfg = foss_bench::run_config_from_env();
+    let rows = foss_harness::ablation::run("joblite", &cfg).expect("ablation");
+    println!("{}", foss_harness::ablation::render_fig9("joblite", &rows));
+}

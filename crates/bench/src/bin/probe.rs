@@ -1,0 +1,50 @@
+use foss_executor::CachingExecutor;
+use foss_optimizer::{Icp, ALL_JOIN_METHODS};
+use foss_workloads::{joblite, WorkloadSpec};
+
+fn perms(n: usize) -> Vec<Vec<usize>> {
+    if n == 1 { return vec![vec![0]]; }
+    let mut out = Vec::new();
+    fn rec(cur: &mut Vec<usize>, rem: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rem.is_empty() { out.push(cur.clone()); return; }
+        for i in 0..rem.len() {
+            let v = rem.remove(i);
+            cur.push(v);
+            rec(cur, rem, out);
+            cur.pop();
+            rem.insert(i, v);
+        }
+    }
+    rec(&mut Vec::new(), &mut (0..n).collect(), &mut out);
+    out
+}
+
+fn main() {
+    let wl = joblite::build(WorkloadSpec { seed: 4, scale: 0.15 }).unwrap();
+    let exec = CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model());
+    let mut ratios = Vec::new();
+    for q in wl.train.iter().filter(|q| (3..=4).contains(&q.relation_count())).take(12) {
+        let expert = wl.optimizer.optimize(q).unwrap();
+        let orig = exec.execute(q, &expert, None).unwrap().latency;
+        let n = q.relation_count();
+        let mut best = orig;
+        for order in perms(n) {
+            // methods: try all combos for n<=4 → 3^(n-1) ≤ 27
+            let m = n - 1;
+            for code in 0..3usize.pow(m as u32) {
+                let mut methods = Vec::new();
+                let mut c = code;
+                for _ in 0..m { methods.push(ALL_JOIN_METHODS[c % 3]); c /= 3; }
+                let icp = Icp::new(order.clone(), methods).unwrap();
+                let plan = wl.optimizer.optimize_with_hint(q, &icp).unwrap();
+                if let Ok(o) = exec.execute(q, &plan, Some(best)) {
+                    if o.latency < best { best = o.latency; }
+                }
+            }
+        }
+        ratios.push(orig / best);
+        println!("q{} n={} expert={orig:.0} optimal={best:.0} ratio={:.2}", q.id.0, n, orig / best);
+    }
+    let gm: f64 = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+    println!("geo-mean expert/optimal = {:.2}", gm.exp());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table II (design-choice ablations on the JOB workload).
+
+fn main() {
+    let cfg = foss_bench::run_config_from_env();
+    let rows = foss_harness::ablation::run("joblite", &cfg).expect("ablation");
+    println!("{}", foss_harness::ablation::render_table2("joblite", &rows));
+}

@@ -1,0 +1,43 @@
+//! Benchmark crate: criterion micro-benchmarks (`benches/micro.rs`) and one
+//! binary per paper table/figure (`src/bin/*`).
+//!
+//! Binaries read two environment variables so the same targets serve both
+//! smoke runs and fuller reproductions:
+//!
+//! * `FOSS_SCALE` — workload row-count multiplier (default 0.2);
+//! * `FOSS_ROUNDS` — training rounds / iterations (default 3).
+
+use foss_harness::table1::RunConfig;
+use foss_workloads::WorkloadSpec;
+
+/// Build the shared run configuration from the environment.
+pub fn run_config_from_env() -> RunConfig {
+    let scale: f64 = std::env::var("FOSS_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    let rounds: usize = std::env::var("FOSS_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    RunConfig {
+        spec: WorkloadSpec { seed: 42, scale },
+        baseline_rounds: rounds,
+        foss_iterations: rounds,
+        foss_episodes: 30 * rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_config_defaults() {
+        std::env::remove_var("FOSS_SCALE");
+        std::env::remove_var("FOSS_ROUNDS");
+        let cfg = run_config_from_env();
+        assert_eq!(cfg.baseline_rounds, 3);
+        assert!((cfg.spec.scale - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,13 @@
+//! Schema catalog and table/column statistics.
+//!
+//! Plays the role of PostgreSQL's system catalog + `pg_statistic`: the
+//! traditional optimizer in `foss-optimizer` reads equi-depth histograms,
+//! distinct counts and row counts from here. Statistics are *deliberately*
+//! per-column summaries, so the optimizer inherits the uniformity and
+//! independence assumptions whose failures FOSS learns to repair.
+
+pub mod schema;
+pub mod stats;
+
+pub use schema::{ColumnDef, ForeignKey, Schema, TableDef};
+pub use stats::{ColumnStats, Histogram, TableStats};

@@ -1,0 +1,223 @@
+//! Logical schema: tables, columns, foreign keys.
+
+use foss_common::{FossError, FxHashMap, Result, TableId};
+use serde::{Deserialize, Serialize};
+
+/// One column of a table definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Whether an index exists on this column (access path for the optimizer).
+    pub indexed: bool,
+}
+
+impl ColumnDef {
+    /// An unindexed column.
+    pub fn plain(name: impl Into<String>) -> Self {
+        Self { name: name.into(), indexed: false }
+    }
+
+    /// An indexed column (primary keys, common join keys).
+    pub fn indexed(name: impl Into<String>) -> Self {
+        Self { name: name.into(), indexed: true }
+    }
+}
+
+/// One table of the schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableDef {
+    /// Table name, unique within the schema.
+    pub name: String,
+    /// Column definitions in declaration order.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableDef {
+    /// Position of column `name` within this table.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+/// A foreign-key edge: `from_table.from_column → to_table.to_column`.
+///
+/// The workload generators only emit equi-joins along these edges, which
+/// matches the select-project-join queries used in the paper's benchmarks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub from_table: TableId,
+    /// Referencing column (index within `from_table`).
+    pub from_column: usize,
+    /// Referenced table.
+    pub to_table: TableId,
+    /// Referenced column (index within `to_table`).
+    pub to_column: usize,
+}
+
+/// A complete schema: table definitions plus the join graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schema {
+    tables: Vec<TableDef>,
+    foreign_keys: Vec<ForeignKey>,
+    #[serde(skip)]
+    by_name: FxHashMap<String, TableId>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a table; returns its id. Errors on duplicate names.
+    pub fn add_table(&mut self, def: TableDef) -> Result<TableId> {
+        if self.by_name.contains_key(&def.name) {
+            return Err(FossError::InvalidQuery(format!("duplicate table {}", def.name)));
+        }
+        let id = TableId::new(self.tables.len());
+        self.by_name.insert(def.name.clone(), id);
+        self.tables.push(def);
+        Ok(id)
+    }
+
+    /// Register a foreign-key edge; validates both endpoints.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) -> Result<()> {
+        let check = |t: TableId, c: usize| -> Result<()> {
+            let def = self
+                .tables
+                .get(t.index())
+                .ok_or_else(|| FossError::InvalidQuery(format!("no table {t}")))?;
+            if c >= def.columns.len() {
+                return Err(FossError::InvalidQuery(format!(
+                    "table {} has no column index {c}",
+                    def.name
+                )));
+            }
+            Ok(())
+        };
+        check(fk.from_table, fk.from_column)?;
+        check(fk.to_table, fk.to_column)?;
+        self.foreign_keys.push(fk);
+        Ok(())
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// All table definitions.
+    pub fn tables(&self) -> &[TableDef] {
+        &self.tables
+    }
+
+    /// Table definition by id.
+    pub fn table(&self, id: TableId) -> &TableDef {
+        &self.tables[id.index()]
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| FossError::UnknownName(name.to_string()))
+    }
+
+    /// All registered foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Foreign keys touching table `id` (either direction).
+    pub fn foreign_keys_of(&self, id: TableId) -> impl Iterator<Item = &ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(move |fk| fk.from_table == id || fk.to_table == id)
+    }
+
+    /// Rebuild the name lookup after deserialisation (serde skips it).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.clone(), TableId::new(i)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_table_schema() -> Schema {
+        let mut s = Schema::new();
+        let a = s
+            .add_table(TableDef {
+                name: "a".into(),
+                columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("x")],
+            })
+            .unwrap();
+        let b = s
+            .add_table(TableDef {
+                name: "b".into(),
+                columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("a_id")],
+            })
+            .unwrap();
+        s.add_foreign_key(ForeignKey { from_table: b, from_column: 1, to_table: a, to_column: 0 })
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = two_table_schema();
+        assert_eq!(s.table_id("b").unwrap(), TableId::new(1));
+        assert!(s.table_id("zzz").is_err());
+        assert_eq!(s.table(TableId::new(0)).name, "a");
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut s = two_table_schema();
+        let r = s.add_table(TableDef { name: "a".into(), columns: vec![] });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn fk_validation() {
+        let mut s = two_table_schema();
+        let bad = ForeignKey {
+            from_table: TableId::new(1),
+            from_column: 99,
+            to_table: TableId::new(0),
+            to_column: 0,
+        };
+        assert!(s.add_foreign_key(bad).is_err());
+        assert_eq!(s.foreign_keys().len(), 1);
+        assert_eq!(s.foreign_keys_of(TableId::new(0)).count(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip_restores_lookup() {
+        let s = two_table_schema();
+        let json = serde_json_like(&s);
+        // `by_name` is skipped by serde; rebuild restores it.
+        let mut s2: Schema = json;
+        s2.rebuild_index();
+        assert_eq!(s2.table_id("a").unwrap(), TableId::new(0));
+    }
+
+    /// Simulate a serde round trip without pulling in serde_json: clone the
+    /// serialisable fields and drop the skipped index.
+    fn serde_json_like(s: &Schema) -> Schema {
+        Schema {
+            tables: s.tables.clone(),
+            foreign_keys: s.foreign_keys.clone(),
+            by_name: FxHashMap::default(),
+        }
+    }
+}

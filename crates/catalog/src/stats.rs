@@ -1,0 +1,241 @@
+//! Per-column statistics: equi-depth histograms, distinct counts, bounds.
+//!
+//! Mirrors what `ANALYZE` gives PostgreSQL. Selectivity answers intentionally
+//! carry the same modelling blind spots as the real system: uniformity within
+//! histogram buckets and independence across columns/joins.
+
+use foss_storage::Table;
+use serde::{Deserialize, Serialize};
+
+/// Default number of histogram buckets (PostgreSQL's default statistics
+/// target is 100; we keep a smaller value since tables are smaller too).
+pub const DEFAULT_BUCKETS: usize = 32;
+
+/// An equi-depth histogram over an integer column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bucket upper bounds (inclusive); bucket `i` covers
+    /// `(bounds[i-1], bounds[i]]`, with bucket 0 starting at `min`.
+    bounds: Vec<i64>,
+    /// Rows per bucket (equi-depth, so roughly equal).
+    counts: Vec<u64>,
+    /// Column minimum.
+    min: i64,
+    /// Column maximum.
+    max: i64,
+    /// Total rows.
+    total: u64,
+}
+
+impl Histogram {
+    /// Build an equi-depth histogram with at most `buckets` buckets.
+    pub fn build(values: &[i64], buckets: usize) -> Self {
+        if values.is_empty() {
+            return Self { bounds: vec![], counts: vec![], min: 0, max: 0, total: 0 };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let total = sorted.len() as u64;
+        let min = sorted[0];
+        let max = *sorted.last().unwrap();
+        let buckets = buckets.max(1).min(sorted.len());
+        let per = sorted.len().div_ceil(buckets);
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut counts = Vec::with_capacity(buckets);
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let mut end = (i + per).min(sorted.len());
+            // Extend the bucket so equal values never straddle a boundary;
+            // keeps equality estimates consistent.
+            while end < sorted.len() && sorted[end] == sorted[end - 1] {
+                end += 1;
+            }
+            bounds.push(sorted[end - 1]);
+            counts.push((end - i) as u64);
+            i = end;
+        }
+        Self { bounds, counts, min, max, total }
+    }
+
+    /// Estimated fraction of rows with value `= v` (uniformity within bucket).
+    pub fn selectivity_eq(&self, v: i64, distinct: u64) -> f64 {
+        if self.total == 0 || v < self.min || v > self.max {
+            return 0.0;
+        }
+        let b = self.bucket_of(v);
+        let bucket_frac = self.counts[b] as f64 / self.total as f64;
+        // Distinct values are assumed evenly spread over buckets.
+        let per_bucket_distinct = (distinct as f64 / self.counts.len() as f64).max(1.0);
+        (bucket_frac / per_bucket_distinct).min(1.0)
+    }
+
+    /// Estimated fraction of rows with value in `[lo, hi]`.
+    pub fn selectivity_range(&self, lo: i64, hi: i64) -> f64 {
+        if self.total == 0 || hi < lo || hi < self.min || lo > self.max {
+            return 0.0;
+        }
+        let lo = lo.max(self.min);
+        let hi = hi.min(self.max);
+        let mut rows = 0.0f64;
+        let mut prev_bound = self.min - 1;
+        for (i, &ub) in self.bounds.iter().enumerate() {
+            let b_lo = prev_bound + 1;
+            let b_hi = ub;
+            prev_bound = ub;
+            if b_hi < lo || b_lo > hi {
+                continue;
+            }
+            let width = (b_hi - b_lo + 1) as f64;
+            let overlap = (hi.min(b_hi) - lo.max(b_lo) + 1) as f64;
+            rows += self.counts[i] as f64 * (overlap / width).clamp(0.0, 1.0);
+        }
+        (rows / self.total as f64).clamp(0.0, 1.0)
+    }
+
+    fn bucket_of(&self, v: i64) -> usize {
+        self.bounds.partition_point(|&b| b < v).min(self.bounds.len().saturating_sub(1))
+    }
+
+    /// Column minimum seen at build time.
+    pub fn min(&self) -> i64 {
+        self.min
+    }
+
+    /// Column maximum seen at build time.
+    pub fn max(&self) -> i64 {
+        self.max
+    }
+
+    /// Total rows seen at build time.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Equi-depth histogram.
+    pub histogram: Histogram,
+    /// Number of distinct values.
+    pub distinct: u64,
+}
+
+impl ColumnStats {
+    /// Analyse one column.
+    pub fn analyze(values: &[i64], buckets: usize) -> Self {
+        let histogram = Histogram::build(values, buckets);
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Self { histogram, distinct: sorted.len() as u64 }
+    }
+
+    /// Selectivity of `col = v`.
+    pub fn selectivity_eq(&self, v: i64) -> f64 {
+        self.histogram.selectivity_eq(v, self.distinct)
+    }
+
+    /// Selectivity of `lo ≤ col ≤ hi`.
+    pub fn selectivity_range(&self, lo: i64, hi: i64) -> f64 {
+        self.histogram.selectivity_range(lo, hi)
+    }
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Row count at analyse time.
+    pub row_count: u64,
+    /// Per-column stats, in column order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Run `ANALYZE` over a stored table.
+    pub fn analyze(table: &Table, buckets: usize) -> Self {
+        let columns = (0..table.column_count())
+            .map(|c| ColumnStats::analyze(table.column(c).values(), buckets))
+            .collect();
+        Self { row_count: table.row_count() as u64, columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_selectivity_uniform() {
+        let values: Vec<i64> = (0..1000).map(|i| i % 100).collect();
+        let s = ColumnStats::analyze(&values, 16);
+        assert_eq!(s.distinct, 100);
+        let sel = s.selectivity_eq(5);
+        assert!((sel - 0.01).abs() < 0.01, "sel={sel}");
+        assert_eq!(s.selectivity_eq(5000), 0.0);
+    }
+
+    #[test]
+    fn range_selectivity_covers_half() {
+        let values: Vec<i64> = (0..1000).collect();
+        let s = ColumnStats::analyze(&values, 32);
+        let sel = s.selectivity_range(0, 499);
+        assert!((sel - 0.5).abs() < 0.05, "sel={sel}");
+        assert_eq!(s.selectivity_range(2000, 3000), 0.0);
+        assert!((s.selectivity_range(i64::MIN, i64::MAX) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_underestimates_hot_value() {
+        // 90% of rows share value 0: equi-depth + per-bucket-uniformity
+        // underestimates the hot key — by design, the flaw FOSS exploits.
+        let mut values = vec![0i64; 900];
+        values.extend(1..=100);
+        let s = ColumnStats::analyze(&values, 8);
+        let est = s.selectivity_eq(0);
+        assert!(est < 0.9, "estimator should miss the skew, est={est}");
+        assert!(est > 0.0);
+    }
+
+    #[test]
+    fn empty_column() {
+        let s = ColumnStats::analyze(&[], 8);
+        assert_eq!(s.distinct, 0);
+        assert_eq!(s.selectivity_eq(1), 0.0);
+        assert_eq!(s.selectivity_range(0, 10), 0.0);
+    }
+
+    #[test]
+    fn degenerate_range() {
+        let values: Vec<i64> = (0..100).collect();
+        let s = ColumnStats::analyze(&values, 8);
+        assert_eq!(s.selectivity_range(50, 40), 0.0);
+    }
+
+    #[test]
+    fn table_stats_shape() {
+        use foss_storage::{Column, Table};
+        let t = Table::new(
+            "t",
+            vec![
+                ("a".into(), Column::new(vec![1, 2, 3, 4])),
+                ("b".into(), Column::new(vec![1, 1, 1, 1])),
+            ],
+        )
+        .unwrap();
+        let st = TableStats::analyze(&t, 4);
+        assert_eq!(st.row_count, 4);
+        assert_eq!(st.columns.len(), 2);
+        assert_eq!(st.columns[1].distinct, 1);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_hold_duplicates() {
+        // All-equal column must collapse to one bucket.
+        let h = Histogram::build(&[7; 50], 8);
+        assert_eq!(h.total(), 50);
+        assert_eq!(h.min(), 7);
+        assert_eq!(h.max(), 7);
+        assert!((h.selectivity_range(7, 7) - 1.0).abs() < 1e-9);
+    }
+}

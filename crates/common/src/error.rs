@@ -1,0 +1,69 @@
+//! Workspace error type.
+//!
+//! The reproduction is a closed system (no I/O beyond stdout), so a small
+//! enum covers every failure mode; `std::error::Error` is implemented so the
+//! type composes with `?` in examples and binaries.
+
+use std::fmt;
+
+/// Convenience alias used by every fallible public API in the workspace.
+pub type Result<T> = std::result::Result<T, FossError>;
+
+/// All error conditions surfaced by the FOSS reproduction crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FossError {
+    /// A name lookup in the catalog failed.
+    UnknownName(String),
+    /// A query referenced a table/column that the schema does not contain.
+    InvalidQuery(String),
+    /// A plan or incomplete plan failed a structural invariant.
+    InvalidPlan(String),
+    /// An action integer was outside the legal range or masked out.
+    InvalidAction(String),
+    /// Execution exceeded its work-unit budget (dynamic timeout).
+    Timeout {
+        /// Work units spent before the executor aborted.
+        spent: u64,
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// Shape mismatch or numeric failure inside the neural network stack.
+    Numeric(String),
+    /// Model (de)serialisation failure.
+    Serde(String),
+}
+
+impl fmt::Display for FossError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FossError::UnknownName(n) => write!(f, "unknown name: {n}"),
+            FossError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            FossError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            FossError::InvalidAction(m) => write!(f, "invalid action: {m}"),
+            FossError::Timeout { spent, budget } => {
+                write!(f, "execution timed out: spent {spent} work units of budget {budget}")
+            }
+            FossError::Numeric(m) => write!(f, "numeric error: {m}"),
+            FossError::Serde(m) => write!(f, "serialisation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FossError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_timeout() {
+        let e = FossError::Timeout { spent: 10, budget: 5 };
+        assert_eq!(e.to_string(), "execution timed out: spent 10 work units of budget 5");
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(FossError::UnknownName("t".into()));
+        assert!(e.to_string().contains("unknown name"));
+    }
+}

@@ -1,0 +1,115 @@
+//! A fast, non-cryptographic hasher for hot lookup tables.
+//!
+//! The Rust performance guide recommends replacing SipHash with an
+//! FxHash-style multiply-xor hash when HashDoS is not a concern. The
+//! `rustc-hash` crate is not on the allowed dependency list, so the ~30-line
+//! algorithm is reimplemented here (it is the same function rustc itself
+//! uses) and exposed through the familiar `FxHashMap` / `FxHashSet` aliases.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The multiply-rotate hash function used by rustc, specialised for 64-bit
+/// words with a byte-tail fallback.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hash an arbitrary value once with [`FxHasher`]; used for plan fingerprints.
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(fx_hash_one(&(1u32, "x")), fx_hash_one(&(1u32, "x")));
+        assert_ne!(fx_hash_one(&1u64), fx_hash_one(&2u64));
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        // Values differing only in the last (non 8-aligned) bytes must differ.
+        let a = fx_hash_one(&[1u8, 2, 3]);
+        let b = fx_hash_one(&[1u8, 2, 4]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        s.insert(7);
+        assert_eq!(s.len(), 1);
+    }
+}

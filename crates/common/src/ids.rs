@@ -1,0 +1,80 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! Plain `usize` indices are easy to mix up when a function juggles table,
+//! column and query indexes at once; newtypes make such bugs unrepresentable
+//! while compiling down to the same machine code.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wrap a raw index.
+            #[inline]
+            pub const fn new(raw: usize) -> Self {
+                Self(raw as u32)
+            }
+
+            /// Unwrap back into a `usize` suitable for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(raw: usize) -> Self {
+                Self::new(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a base table inside a [`Schema`](https://docs.rs) catalog.
+    TableId
+);
+id_type!(
+    /// Identifies a column *globally* within a schema (not per table).
+    ColumnId
+);
+id_type!(
+    /// Identifies one concrete query instance inside a workload.
+    QueryId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let t = TableId::new(17);
+        assert_eq!(t.index(), 17);
+        assert_eq!(TableId::from(17usize), t);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(QueryId::new(3).to_string(), "QueryId(3)");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(ColumnId::new(1) < ColumnId::new(2));
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared foundation types for the FOSS reproduction workspace.
+//!
+//! This crate deliberately stays tiny: strongly-typed identifiers, a fast
+//! non-cryptographic hasher for hot lookup tables, a deterministic RNG
+//! splitter so every experiment is reproducible from a single seed, and the
+//! workspace-wide error type.
+
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod rng;
+
+pub use error::{FossError, Result};
+pub use hash::{fx_hash_one, FxHashMap, FxHashSet};
+pub use ids::{ColumnId, QueryId, TableId};
+pub use rng::SeedStream;

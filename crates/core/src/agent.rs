@@ -1,0 +1,232 @@
+//! The planner's agent (§III Agent): transformer state network `ϕ` plus a
+//! fully-connected action selector `π` and a value head, trained end-to-end
+//! with PPO.
+
+use foss_nn::{Graph, Linear, ParamSet, Var};
+use foss_rl::{sample_masked, PolicyValueNet, Ppo, PpoConfig, PpoStats, RolloutBatch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::FossConfig;
+use crate::encoding::EncodedPlan;
+use crate::state_net::StateNetwork;
+
+/// The parameterised model: `ϕ` + policy MLP + value MLP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgentModel {
+    state_net: StateNetwork,
+    policy_hidden: Linear,
+    policy_out: Linear,
+    value_hidden: Linear,
+    value_out: Linear,
+    actions: usize,
+}
+
+impl AgentModel {
+    fn new(
+        set: &mut ParamSet,
+        table_vocab: usize,
+        actions: usize,
+        cfg: &FossConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let state_net = StateNetwork::new(
+            set,
+            table_vocab,
+            cfg.d_model,
+            cfg.d_state,
+            cfg.heads,
+            cfg.blocks,
+            rng,
+        );
+        Self {
+            state_net,
+            policy_hidden: Linear::new(set, cfg.d_state, cfg.d_state, rng),
+            policy_out: Linear::new(set, cfg.d_state, actions, rng),
+            value_hidden: Linear::new(set, cfg.d_state, cfg.d_state, rng),
+            value_out: Linear::new(set, cfg.d_state, 1, rng),
+            actions,
+        }
+    }
+}
+
+impl PolicyValueNet<EncodedPlan> for AgentModel {
+    fn forward(&self, g: &mut Graph, set: &ParamSet, states: &[&EncodedPlan]) -> (Var, Var) {
+        let sv = self.state_net.forward_batch(g, set, states);
+        let ph = self.policy_hidden.forward(g, set, sv);
+        let ph = g.relu(ph);
+        let logits = self.policy_out.forward(g, set, ph);
+        let vh = self.value_hidden.forward(g, set, sv);
+        let vh = g.relu(vh);
+        let values = self.value_out.forward(g, set, vh);
+        (logits, values)
+    }
+
+    fn action_count(&self) -> usize {
+        self.actions
+    }
+}
+
+/// One planner agent: model, parameters, PPO trainer and its own RNG.
+///
+/// Multi-agent FOSS (§VI-C5) instantiates several of these "with different
+/// strategies (e.g., different discount factors and learning rates)" — see
+/// [`PlannerAgent::with_strategy`].
+pub struct PlannerAgent {
+    /// The network.
+    pub model: AgentModel,
+    /// Its parameters.
+    pub set: ParamSet,
+    ppo: Ppo,
+    rng: StdRng,
+}
+
+impl PlannerAgent {
+    /// Allocate an agent for `actions` possible actions.
+    pub fn new(table_vocab: usize, actions: usize, cfg: &FossConfig, seed: u64) -> Self {
+        Self::with_strategy(table_vocab, actions, cfg, seed, 1.0, cfg.rl_gamma)
+    }
+
+    /// Allocate with a scaled learning rate and an explicit RL discount —
+    /// the per-agent strategy diversification of the multi-agent mode.
+    pub fn with_strategy(
+        table_vocab: usize,
+        actions: usize,
+        cfg: &FossConfig,
+        seed: u64,
+        lr_scale: f32,
+        rl_gamma: f32,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = ParamSet::new();
+        let model = AgentModel::new(&mut set, table_vocab, actions, cfg, &mut rng);
+        let ppo_cfg = PpoConfig {
+            gamma: rl_gamma,
+            minibatch: 32,
+            ..PpoConfig::default()
+        };
+        Self { model, set, ppo: Ppo::new(ppo_cfg, cfg.agent_lr * lr_scale), rng }
+    }
+
+    /// PPO discount γ in effect.
+    pub fn gamma(&self) -> f32 {
+        self.ppo.cfg.gamma
+    }
+
+    /// GAE λ in effect.
+    pub fn lambda(&self) -> f32 {
+        self.ppo.cfg.lam
+    }
+
+    /// Evaluate one state: returns `(masked logits, value)`.
+    pub fn evaluate(&self, state: &EncodedPlan) -> (Vec<f32>, f32) {
+        let mut g = Graph::new();
+        let (logits, values) = self.model.forward(&mut g, &self.set, &[state]);
+        (g.value(logits).row(0).to_vec(), g.value(values).get(0, 0))
+    }
+
+    /// Sample an action under `mask`; returns `(action, logp, value)`.
+    pub fn act(&mut self, state: &EncodedPlan, mask: &[bool]) -> (usize, f32, f32) {
+        let (logits, value) = self.evaluate(state);
+        let (a, logp, _) = sample_masked(&logits, mask, &mut self.rng);
+        (a, logp, value)
+    }
+
+    /// Greedy action under `mask` (inference).
+    pub fn act_greedy(&self, state: &EncodedPlan, mask: &[bool]) -> usize {
+        let (logits, _) = self.evaluate(state);
+        logits
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask[*i])
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("mask admits no action")
+    }
+
+    /// Run one PPO update over a finished rollout batch.
+    pub fn update(&mut self, batch: &RolloutBatch<EncodedPlan>) -> PpoStats {
+        self.ppo.update(&self.model, &mut self.set, batch, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(tag: usize) -> EncodedPlan {
+        EncodedPlan {
+            ops: vec![tag % 6, 0],
+            tables: vec![0, 1],
+            sels: vec![10, 0],
+            rows: vec![2, 3],
+            heights: vec![1, 0],
+            structures: vec![3, 1],
+            reach: vec![vec![true, true], vec![true, true]],
+            step: 0.0,
+        }
+    }
+
+    fn agent(actions: usize) -> PlannerAgent {
+        PlannerAgent::new(3, actions, &FossConfig::tiny(), 9)
+    }
+
+    #[test]
+    fn act_respects_mask() {
+        let mut a = agent(5);
+        let mask = vec![false, true, false, false, true];
+        for _ in 0..50 {
+            let (act, logp, _v) = a.act(&plan(0), &mask);
+            assert!(mask[act]);
+            assert!(logp <= 0.0);
+        }
+    }
+
+    #[test]
+    fn greedy_is_deterministic_and_masked() {
+        let a = agent(4);
+        let mask = vec![true, false, true, false];
+        let g1 = a.act_greedy(&plan(1), &mask);
+        let g2 = a.act_greedy(&plan(1), &mask);
+        assert_eq!(g1, g2);
+        assert!(mask[g1]);
+    }
+
+    #[test]
+    fn strategy_variants_differ() {
+        let a = PlannerAgent::with_strategy(3, 4, &FossConfig::tiny(), 1, 1.0, 0.99);
+        let b = PlannerAgent::with_strategy(3, 4, &FossConfig::tiny(), 2, 0.5, 0.9);
+        assert_ne!(a.gamma(), b.gamma());
+        // Different seeds → different initial policies.
+        let (la, _) = a.evaluate(&plan(0));
+        let (lb, _) = b.evaluate(&plan(0));
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn update_changes_policy() {
+        use foss_rl::{RolloutBuffer, Transition};
+        let mut a = agent(3);
+        let mask = vec![true, true, true];
+        let before = a.evaluate(&plan(0)).0;
+        let mut buf = RolloutBuffer::new();
+        for _ in 0..8 {
+            let (act, logp, v) = a.act(&plan(0), &mask);
+            buf.push(Transition {
+                state: plan(0),
+                mask: mask.clone(),
+                action: act,
+                reward: if act == 2 { 1.0 } else { -1.0 },
+                done: true,
+                value: v,
+                logp,
+            });
+        }
+        let batch = buf.finish(a.gamma(), a.lambda());
+        let stats = a.update(&batch);
+        assert!(stats.epochs_run >= 1);
+        let after = a.evaluate(&plan(0)).0;
+        assert_ne!(before, after);
+    }
+}

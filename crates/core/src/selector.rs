@@ -1,0 +1,87 @@
+//! Candidate selection (§II): "following the temporal sequence, the AAM
+//! serves as the selector, assessing specific pairs of candidate plans and
+//! selecting the estimated optimal plan."
+//!
+//! Implemented as a champion tournament in generation order: the current
+//! champion sits in the *left* (reference) slot, each newer candidate in the
+//! *right* slot; when the AAM scores the challenger strictly better
+//! (score ≥ 1, i.e. it saves more than the `d_1 = 5%` noise floor), the
+//! challenger becomes champion.
+
+use crate::aam::AdvantageModel;
+use crate::encoding::EncodedPlan;
+
+/// Index of the estimated-best plan among `candidates` (temporal order).
+/// Panics on an empty slice — callers always include the original plan.
+pub fn select_best(aam: &AdvantageModel, candidates: &[&EncodedPlan]) -> usize {
+    assert!(!candidates.is_empty(), "selector needs at least one candidate");
+    let mut champion = 0usize;
+    for (i, cand) in candidates.iter().enumerate().skip(1) {
+        if aam.predict(candidates[champion], cand) >= 1 {
+            champion = i;
+        }
+    }
+    champion
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FossConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plan(tag: usize) -> EncodedPlan {
+        EncodedPlan {
+            ops: vec![tag % 6, 0],
+            tables: vec![0, 1],
+            sels: vec![10, tag % 10],
+            rows: vec![tag % 20, 1],
+            heights: vec![1, 0],
+            structures: vec![3, 1],
+            reach: vec![vec![true, true], vec![true, true]],
+            step: 0.0,
+        }
+    }
+
+    fn trained_model() -> AdvantageModel {
+        // Teach the AAM that op-tag 5 plans beat everything else.
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut aam = AdvantageModel::new(4, &FossConfig::tiny(), &mut rng);
+        let mut samples = Vec::new();
+        for other in 0..4usize {
+            samples.push((plan(other), plan(5), 2usize));
+            samples.push((plan(5), plan(other), 0usize));
+            samples.push((plan(other), plan(other), 0usize));
+        }
+        for _ in 0..60 {
+            aam.train_epoch(&samples, &mut rng);
+        }
+        aam
+    }
+
+    #[test]
+    fn tournament_finds_the_taught_winner() {
+        let aam = trained_model();
+        let c0 = plan(0);
+        let c1 = plan(2);
+        let c2 = plan(5);
+        let c3 = plan(1);
+        let idx = select_best(&aam, &[&c0, &c1, &c2, &c3]);
+        assert_eq!(idx, 2);
+    }
+
+    #[test]
+    fn single_candidate_is_selected() {
+        let aam = trained_model();
+        let only = plan(3);
+        assert_eq!(select_best(&aam, &[&only]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panic() {
+        let aam = trained_model();
+        let _ = select_best(&aam, &[]);
+    }
+}

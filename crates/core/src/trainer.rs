@@ -1,0 +1,546 @@
+//! The FOSS training loop (Fig. 3) and inference facade.
+//!
+//! One [`Foss`] instance owns the planner agent(s), the AAM, the execution
+//! buffer and handles the full loop:
+//!
+//! 1. **Bootstrap** — run real-environment episodes with the randomly
+//!    initialised planner, executing candidate plans under the dynamic
+//!    timeout into the execution buffer; train the AAM on the resulting
+//!    latency-labelled pairs.
+//! 2. **Iterate** — agents interact with the simulated environment
+//!    `Ê(Γp, θadv)` (Algorithm 1), PPO-updating on simulated experience;
+//!    *promising* plans flagged by the AAM are validated in the real
+//!    environment, extra random queries are sampled for validation, and the
+//!    AAM is retrained from the grown buffer.
+//! 3. **Inference** — each agent greedily repairs the expert plan; the AAM
+//!    tournament picks the final plan among candidates (and among agents in
+//!    multi-agent mode).
+
+use std::sync::Arc;
+
+use foss_common::{FossError, FxHashMap, FxHashSet, QueryId, Result};
+use foss_executor::CachingExecutor;
+use foss_optimizer::{PhysicalPlan, TraditionalOptimizer};
+use foss_query::Query;
+use foss_rl::RolloutBuffer;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::aam::AdvantageModel;
+use crate::actions::ActionSpace;
+use crate::advantage::AdvantageScale;
+use crate::agent::PlannerAgent;
+use crate::config::FossConfig;
+use crate::encoding::PlanEncoder;
+use crate::envs::{RealEnv, SimEnv};
+use crate::episode::{run_episode, PlanCtx};
+use crate::execbuf::{ExecutedPlan, ExecutionBuffer};
+use crate::selector::select_best;
+
+/// Per-iteration training diagnostics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrainReport {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Mean AAM loss of the last retraining epoch.
+    pub aam_loss: f32,
+    /// AAM accuracy on its own training pairs (optimistic, for trend only).
+    pub aam_accuracy: f32,
+    /// Mean episode reward across agents.
+    pub mean_reward: f32,
+    /// Total real executions performed so far (cache misses).
+    pub plans_executed: u64,
+    /// Plans stored in the execution buffer.
+    pub buffer_plans: usize,
+}
+
+/// Result of one inference call with provenance metadata.
+#[derive(Debug, Clone)]
+pub struct Inference {
+    /// The selected plan.
+    pub plan: PhysicalPlan,
+    /// How many doctor steps the selected plan is from the original
+    /// (0 = the expert plan was kept).
+    pub selected_step: usize,
+    /// Number of candidate plans considered.
+    pub candidates: usize,
+}
+
+/// The FOSS system.
+pub struct Foss {
+    cfg: FossConfig,
+    scale: AdvantageScale,
+    optimizer: Arc<TraditionalOptimizer>,
+    executor: Arc<CachingExecutor>,
+    encoder: PlanEncoder,
+    space: ActionSpace,
+    agents: Vec<PlannerAgent>,
+    aam: AdvantageModel,
+    buffer: ExecutionBuffer,
+    originals: FxHashMap<QueryId, PhysicalPlan>,
+    rng: StdRng,
+}
+
+impl Foss {
+    /// Assemble FOSS over an expert optimizer and a shared caching executor.
+    ///
+    /// `max_relations` sizes the global action space (largest `n` in the
+    /// workload); `table_rows` feeds the plan encoder's selectivity buckets.
+    pub fn new(
+        optimizer: Arc<TraditionalOptimizer>,
+        executor: Arc<CachingExecutor>,
+        max_relations: usize,
+        table_rows: Vec<u64>,
+        cfg: FossConfig,
+    ) -> Self {
+        let stream = foss_common::SeedStream::new(cfg.seed);
+        let rng = StdRng::seed_from_u64(stream.derive("foss-trainer"));
+        let table_count = table_rows.len();
+        let encoder = PlanEncoder::new(table_count, table_rows);
+        let space = ActionSpace::new(max_relations.max(2));
+        let mut agents = Vec::with_capacity(cfg.num_agents);
+        for a in 0..cfg.num_agents.max(1) {
+            // Strategy diversification (§VI-C5): vary LR and discount.
+            let lr_scale = 1.0 / (1.0 + a as f32 * 0.5);
+            let gamma = cfg.rl_gamma - 0.04 * a as f32;
+            agents.push(PlannerAgent::with_strategy(
+                table_count + 1,
+                space.len(),
+                &cfg,
+                stream.derive_indexed("agent", a as u64),
+                lr_scale,
+                gamma,
+            ));
+        }
+        let aam = AdvantageModel::new(
+            table_count + 1,
+            &cfg,
+            &mut StdRng::seed_from_u64(stream.derive("aam")),
+        );
+        let scale = AdvantageScale::new(cfg.adv_points.clone());
+        Self {
+            cfg,
+            scale,
+            optimizer,
+            executor,
+            encoder,
+            space,
+            agents,
+            aam,
+            buffer: ExecutionBuffer::new(),
+            originals: FxHashMap::default(),
+            rng,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &FossConfig {
+        &self.cfg
+    }
+
+    /// The trained advantage model.
+    pub fn aam(&self) -> &AdvantageModel {
+        &self.aam
+    }
+
+    /// The execution buffer (inspection / metrics).
+    pub fn buffer(&self) -> &ExecutionBuffer {
+        &self.buffer
+    }
+
+    /// Total real plan executions so far.
+    pub fn plans_executed(&self) -> u64 {
+        self.executor.executions()
+    }
+
+    fn original_plan(&mut self, query: &Query) -> Result<PhysicalPlan> {
+        if let Some(p) = self.originals.get(&query.id) {
+            return Ok(p.clone());
+        }
+        let p = self.optimizer.optimize(query)?;
+        self.originals.insert(query.id, p.clone());
+        Ok(p)
+    }
+
+    /// Phase 1: seed the execution buffer with real episodes and train the
+    /// initial AAM. `episodes_per_query` real episodes are run per query.
+    pub fn bootstrap(&mut self, queries: &[Query], episodes_per_query: usize) -> Result<TrainReport> {
+        let mut agents = std::mem::take(&mut self.agents);
+        let mut result = Ok(());
+        'outer: for query in queries {
+            let original = match self.original_plan(query) {
+                Ok(p) => p,
+                Err(e) => {
+                    result = Err(e);
+                    break 'outer;
+                }
+            };
+            for e in 0..episodes_per_query {
+                let n_agents = agents.len();
+                let agent = &mut agents[e % n_agents];
+                let mut env = RealEnv::new(
+                    &self.executor,
+                    &mut self.buffer,
+                    self.scale.clone(),
+                    self.cfg.timeout_factor,
+                );
+                if let Err(e) = run_episode(
+                    agent,
+                    &self.optimizer,
+                    &self.encoder,
+                    &self.space,
+                    query,
+                    &original,
+                    &mut env,
+                    &self.cfg,
+                    false,
+                ) {
+                    result = Err(e);
+                    break 'outer;
+                }
+            }
+        }
+        self.agents = agents;
+        result?;
+        let (loss, acc) = self.retrain_aam();
+        Ok(TrainReport {
+            iteration: 0,
+            aam_loss: loss,
+            aam_accuracy: acc,
+            mean_reward: 0.0,
+            plans_executed: self.executor.executions(),
+            buffer_plans: self.buffer.total_plans(),
+        })
+    }
+
+    fn retrain_aam(&mut self) -> (f32, f32) {
+        let pairs = self.buffer.training_pairs(&self.scale, 200, &mut self.rng);
+        if pairs.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut loss = 0.0;
+        for _ in 0..self.cfg.aam_epochs {
+            loss = self.aam.train_epoch(&pairs, &mut self.rng);
+        }
+        (loss, self.aam.accuracy(&pairs))
+    }
+
+    /// Phase 2: one training iteration (agent updates + validation + AAM
+    /// retraining). `queries` is the training workload.
+    pub fn train_iteration(&mut self, queries: &[Query], iteration: usize) -> Result<TrainReport> {
+        if queries.is_empty() {
+            return Err(FossError::InvalidQuery("empty training workload".into()));
+        }
+        let episodes_per_agent =
+            (self.cfg.episodes_per_update / self.agents.len().max(1)).max(1);
+        let mut agents = std::mem::take(&mut self.agents);
+        let mut mean_reward = 0.0f32;
+        let mut episodes_run = 0usize;
+        // Promising plans flagged during simulated interaction, deduped.
+        let mut promising: Vec<(usize, PlanCtx)> = Vec::new();
+        let mut promising_seen: FxHashSet<(QueryId, u64)> = FxHashSet::default();
+
+        let result = (|| -> Result<()> {
+            for agent in agents.iter_mut() {
+                let mut rollout = RolloutBuffer::new();
+                for _ in 0..episodes_per_agent {
+                    let qidx = self.rng.random_range(0..queries.len());
+                    let query = &queries[qidx];
+                    let original = self.original_plan(query)?;
+                    let res = if self.cfg.use_simulated_env {
+                        let mut env =
+                            SimEnv::new(&self.aam, &self.buffer, self.scale.clone());
+                        run_episode(
+                            agent,
+                            &self.optimizer,
+                            &self.encoder,
+                            &self.space,
+                            query,
+                            &original,
+                            &mut env,
+                            &self.cfg,
+                            false,
+                        )?
+                    } else {
+                        let mut env = RealEnv::new(
+                            &self.executor,
+                            &mut self.buffer,
+                            self.scale.clone(),
+                            self.cfg.timeout_factor,
+                        );
+                        run_episode(
+                            agent,
+                            &self.optimizer,
+                            &self.encoder,
+                            &self.space,
+                            query,
+                            &original,
+                            &mut env,
+                            &self.cfg,
+                            false,
+                        )?
+                    };
+                    mean_reward += res.total_reward;
+                    episodes_run += 1;
+                    // AAM-estimated improvements are validation candidates.
+                    if self.cfg.use_simulated_env
+                        && res.best.icp.fingerprint() != res.original.icp.fingerprint()
+                        && promising_seen.insert((query.id, res.best.icp.fingerprint()))
+                    {
+                        promising.push((qidx, res.best.clone()));
+                    }
+                    for t in res.transitions {
+                        rollout.push(t);
+                    }
+                }
+                let batch = rollout.finish(agent.gamma(), agent.lambda());
+                agent.update(&batch);
+            }
+            Ok(())
+        })();
+        self.agents = agents;
+        result?;
+
+        // Promising-plan validation (§V-B / Table II "Off-Validation").
+        if self.cfg.validate_promising {
+            promising.truncate(self.cfg.promising_per_update);
+            for (qidx, ctx) in promising {
+                let query = &queries[qidx];
+                self.execute_and_record(query, &ctx)?;
+            }
+        }
+        // Random candidate sampling for extra AAM data.
+        for _ in 0..self.cfg.random_validation_per_update {
+            let qidx = self.rng.random_range(0..queries.len());
+            let query = queries[qidx].clone();
+            let original = self.original_plan(&query)?;
+            let mut agents = std::mem::take(&mut self.agents);
+            let agent_idx = self.rng.random_range(0..agents.len());
+            let res = {
+                let mut env = SimEnv::new(&self.aam, &self.buffer, self.scale.clone());
+                run_episode(
+                    &mut agents[agent_idx],
+                    &self.optimizer,
+                    &self.encoder,
+                    &self.space,
+                    &query,
+                    &original,
+                    &mut env,
+                    &self.cfg,
+                    false,
+                )
+            };
+            self.agents = agents;
+            for ctx in res?.visited {
+                self.execute_and_record(&query, &ctx)?;
+            }
+        }
+
+        let (loss, acc) = self.retrain_aam();
+        Ok(TrainReport {
+            iteration,
+            aam_loss: loss,
+            aam_accuracy: acc,
+            mean_reward: mean_reward / episodes_run.max(1) as f32,
+            plans_executed: self.executor.executions(),
+            buffer_plans: self.buffer.total_plans(),
+        })
+    }
+
+    /// Execute `ctx` for real under the dynamic timeout and store the result.
+    fn execute_and_record(&mut self, query: &Query, ctx: &PlanCtx) -> Result<()> {
+        // Ensure the original is measured (budget anchor).
+        if self.buffer.original(query.id).is_none() {
+            let original = self.original_plan(query)?;
+            let out = self.executor.execute(query, &original, None)?;
+            let icp = original.extract_icp()?;
+            let encoded = self.encoder.encode(query, &original, 0.0);
+            self.buffer.record_original(
+                query.id,
+                ExecutedPlan { icp, plan: original, encoded, latency: out.latency, timed_out: false },
+            );
+        }
+        if self.buffer.contains(query.id, &ctx.icp) {
+            return Ok(());
+        }
+        let budget =
+            self.buffer.original(query.id).map(|o| o.latency).unwrap_or(f64::INFINITY)
+                * self.cfg.timeout_factor;
+        let (latency, timed_out) = match self.executor.execute(query, &ctx.plan, Some(budget)) {
+            Ok(out) => (out.latency, false),
+            Err(FossError::Timeout { .. }) => (budget, true),
+            Err(e) => return Err(e),
+        };
+        self.buffer.record(
+            query.id,
+            ExecutedPlan {
+                icp: ctx.icp.clone(),
+                plan: ctx.plan.clone(),
+                encoded: ctx.encoded.clone(),
+                latency,
+                timed_out,
+            },
+        );
+        Ok(())
+    }
+
+    /// Full training: bootstrap once, then `iterations` update rounds.
+    pub fn train(&mut self, queries: &[Query], iterations: usize) -> Result<Vec<TrainReport>> {
+        let mut reports = Vec::with_capacity(iterations + 1);
+        if self.buffer.total_plans() == 0 {
+            reports.push(self.bootstrap(queries, 1)?);
+        }
+        for i in 1..=iterations {
+            reports.push(self.train_iteration(queries, i)?);
+        }
+        Ok(reports)
+    }
+
+    /// Inference: repair `query`'s expert plan and select with the AAM.
+    pub fn optimize(&mut self, query: &Query) -> Result<PhysicalPlan> {
+        Ok(self.optimize_detailed(query)?.plan)
+    }
+
+    /// Inference with provenance (selected step, candidate count).
+    pub fn optimize_detailed(&mut self, query: &Query) -> Result<Inference> {
+        let original = self.original_plan(query)?;
+        let mut agents = std::mem::take(&mut self.agents);
+        let result = (|| -> Result<Inference> {
+            // Per-agent greedy episode → per-agent champion.
+            let mut champions: Vec<(PlanCtx, usize)> = Vec::new(); // (ctx, step)
+            for agent in agents.iter_mut() {
+                let mut env = SimEnv::new(&self.aam, &self.buffer, self.scale.clone());
+                let res = run_episode(
+                    agent,
+                    &self.optimizer,
+                    &self.encoder,
+                    &self.space,
+                    query,
+                    &original,
+                    &mut env,
+                    &self.cfg,
+                    true,
+                )?;
+                let mut cands: Vec<&crate::encoding::EncodedPlan> =
+                    vec![&res.original.encoded];
+                for v in &res.visited {
+                    cands.push(&v.encoded);
+                }
+                let idx = select_best(&self.aam, &cands);
+                let ctx = if idx == 0 {
+                    res.original.clone()
+                } else {
+                    res.visited[idx - 1].clone()
+                };
+                champions.push((ctx, idx));
+            }
+            // Multi-agent: final tournament among champions.
+            let encs: Vec<&crate::encoding::EncodedPlan> =
+                champions.iter().map(|(c, _)| &c.encoded).collect();
+            let winner = select_best(&self.aam, &encs);
+            let (ctx, step) = champions.swap_remove(winner);
+            let candidates = self.cfg.num_agents * (self.cfg.max_steps + 1);
+            Ok(Inference { plan: ctx.plan, selected_step: step, candidates })
+        })();
+        self.agents = agents;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envs::tests_support::TestWorld;
+
+    fn foss_over(world: &TestWorld, cfg: FossConfig) -> Foss {
+        let executor =
+            Arc::new(CachingExecutor::new(world.db.clone(), *world.opt.cost_model()));
+        Foss::new(
+            Arc::new(world.opt.clone()),
+            executor,
+            3,
+            world.db.stats().iter().map(|s| s.row_count).collect(),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn bootstrap_fills_buffer_and_trains_aam() {
+        let world = TestWorld::new(5);
+        let mut foss = foss_over(&world, FossConfig { episodes_per_update: 8, ..FossConfig::tiny() });
+        let report = foss.bootstrap(std::slice::from_ref(&world.query), 2).unwrap();
+        assert!(report.buffer_plans >= 2, "buffer has {}", report.buffer_plans);
+        assert!(report.plans_executed >= 2);
+        assert!(foss.buffer().original(world.query.id).is_some());
+    }
+
+    #[test]
+    fn train_iteration_grows_buffer_and_reports() {
+        let world = TestWorld::new(6);
+        let cfg = FossConfig {
+            episodes_per_update: 6,
+            promising_per_update: 4,
+            random_validation_per_update: 1,
+            ..FossConfig::tiny()
+        };
+        let mut foss = foss_over(&world, cfg);
+        let queries = vec![world.query.clone()];
+        foss.bootstrap(&queries, 1).unwrap();
+        let before = foss.buffer().total_plans();
+        let report = foss.train_iteration(&queries, 1).unwrap();
+        assert_eq!(report.iteration, 1);
+        assert!(report.buffer_plans >= before);
+        assert!(report.aam_accuracy >= 0.0);
+    }
+
+    #[test]
+    fn optimize_returns_a_runnable_plan() {
+        let world = TestWorld::new(7);
+        let cfg = FossConfig { episodes_per_update: 6, ..FossConfig::tiny() };
+        let mut foss = foss_over(&world, cfg);
+        foss.train(std::slice::from_ref(&world.query), 1).unwrap();
+        let inf = foss.optimize_detailed(&world.query).unwrap();
+        assert!(inf.selected_step <= foss.config().max_steps);
+        // The plan must execute and give the correct result cardinality.
+        let exec = CachingExecutor::new(world.db.clone(), *world.opt.cost_model());
+        let chosen = exec.execute(&world.query, &inf.plan, None).unwrap();
+        let orig = exec.execute(&world.query, &world.original, None).unwrap();
+        assert_eq!(chosen.rows, orig.rows, "FOSS must preserve query semantics");
+    }
+
+    #[test]
+    fn multi_agent_mode_runs() {
+        let world = TestWorld::new(8);
+        let cfg = FossConfig {
+            num_agents: 2,
+            episodes_per_update: 4,
+            ..FossConfig::tiny()
+        };
+        let mut foss = foss_over(&world, cfg);
+        foss.train(std::slice::from_ref(&world.query), 1).unwrap();
+        let inf = foss.optimize_detailed(&world.query).unwrap();
+        assert_eq!(inf.candidates, 2 * 4);
+    }
+
+    #[test]
+    fn off_simulated_mode_uses_real_rewards() {
+        let world = TestWorld::new(9);
+        let cfg = FossConfig {
+            use_simulated_env: false,
+            episodes_per_update: 4,
+            random_validation_per_update: 0,
+            ..FossConfig::tiny()
+        };
+        let mut foss = foss_over(&world, cfg);
+        foss.train(std::slice::from_ref(&world.query), 1).unwrap();
+        // Real-env episodes execute every distinct candidate plan.
+        assert!(foss.plans_executed() >= 4);
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let world = TestWorld::new(10);
+        let mut foss = foss_over(&world, FossConfig::tiny());
+        assert!(foss.train_iteration(&[], 1).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Latency memoisation.
+//!
+//! The training loop executes the same (query, plan) pair many times across
+//! episodes and AAM retraining rounds; since execution is deterministic, the
+//! outcome can be memoised by plan fingerprint. This mirrors the paper's
+//! execution buffer semantics: once a plan's latency is known it never needs
+//! to be re-executed.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use foss_common::{FossError, FxHashMap, QueryId, Result};
+use foss_optimizer::{CostModel, PhysicalPlan};
+use foss_query::Query;
+
+use crate::database::Database;
+use crate::exec::{ExecOutcome, Executor};
+
+/// What a cached execution looked like.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CachedResult {
+    /// Finished within budget.
+    Done(ExecOutcome),
+    /// Hit the work budget; the recorded value is the budget spent.
+    TimedOut {
+        /// Budget that was exceeded.
+        budget: f64,
+    },
+}
+
+/// An [`Executor`] front-end with a fingerprint-keyed latency cache and an
+/// execution counter (used to report "plans executed" statistics).
+pub struct CachingExecutor {
+    db: Arc<Database>,
+    cost: CostModel,
+    cache: Mutex<FxHashMap<(QueryId, u64), CachedResult>>,
+    executions: Mutex<u64>,
+}
+
+impl CachingExecutor {
+    /// Wrap a database + cost model.
+    pub fn new(db: Arc<Database>, cost: CostModel) -> Self {
+        Self {
+            db,
+            cost,
+            cache: Mutex::new(FxHashMap::default()),
+            executions: Mutex::new(0),
+        }
+    }
+
+    /// Execute (or recall) `plan` under an optional work budget.
+    ///
+    /// A cached `Done` outcome is returned regardless of the budget (its
+    /// latency is exact, the caller can compare against any threshold). A
+    /// cached `TimedOut` is only reused when the new budget is not larger
+    /// than the budget that failed; otherwise the plan is re-executed.
+    pub fn execute(
+        &self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        budget: Option<f64>,
+    ) -> Result<ExecOutcome> {
+        let key = (query.id, plan.fingerprint());
+        if let Some(cached) = self.cache.lock().get(&key).copied() {
+            match cached {
+                CachedResult::Done(out) => {
+                    if let Some(b) = budget {
+                        if out.latency > b {
+                            return Err(FossError::Timeout {
+                                spent: out.latency as u64,
+                                budget: b as u64,
+                            });
+                        }
+                    }
+                    return Ok(out);
+                }
+                CachedResult::TimedOut { budget: old } => {
+                    if budget.is_some_and(|b| b <= old) {
+                        return Err(FossError::Timeout { spent: old as u64, budget: old as u64 });
+                    }
+                    // Larger (or no) budget: fall through and re-execute.
+                }
+            }
+        }
+        *self.executions.lock() += 1;
+        let exec = Executor::new(&self.db, self.cost);
+        match exec.execute(query, plan, budget) {
+            Ok(out) => {
+                self.cache.lock().insert(key, CachedResult::Done(out));
+                Ok(out)
+            }
+            Err(e @ FossError::Timeout { .. }) => {
+                if let Some(b) = budget {
+                    self.cache.lock().insert(key, CachedResult::TimedOut { budget: b });
+                }
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Number of *real* executions performed (cache misses).
+    pub fn executions(&self) -> u64 {
+        *self.executions.lock()
+    }
+
+    /// Number of cached entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Drop all cached outcomes (used between experiment repetitions).
+    pub fn clear(&self) {
+        self.cache.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foss_catalog::{ColumnDef, Schema, TableDef};
+    use foss_common::QueryId;
+    use foss_optimizer::{CardinalityEstimator, TraditionalOptimizer};
+    use foss_query::QueryBuilder;
+    use foss_storage::{Column, Table};
+    use std::sync::Arc;
+
+    fn setup() -> (Database, TraditionalOptimizer, Query) {
+        let mut schema = Schema::new();
+        schema
+            .add_table(TableDef {
+                name: "a".into(),
+                columns: vec![ColumnDef::indexed("id")],
+            })
+            .unwrap();
+        schema
+            .add_table(TableDef {
+                name: "b".into(),
+                columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("a_id")],
+            })
+            .unwrap();
+        let schema = Arc::new(schema);
+        let a = Table::new("a", vec![("id".into(), Column::new((0..50).collect()))]).unwrap();
+        let b = Table::new(
+            "b",
+            vec![
+                ("id".into(), Column::new((0..200).collect())),
+                ("a_id".into(), Column::new((0..200).map(|i| i % 50).collect())),
+            ],
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![a, b], 8).unwrap();
+        let opt = TraditionalOptimizer::new(
+            schema.clone(),
+            CardinalityEstimator::new(db.stats_vec()),
+            CostModel::default(),
+        );
+        let mut qb = QueryBuilder::new(QueryId::new(0), 1);
+        let ra = qb.relation(schema.table_id("a").unwrap(), "a");
+        let rb = qb.relation(schema.table_id("b").unwrap(), "b");
+        qb.join(ra, 0, rb, 1);
+        let q = qb.build(&schema).unwrap();
+        (db, opt, q)
+    }
+
+    #[test]
+    fn second_execution_hits_cache() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let cx = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
+        let a = cx.execute(&q, &plan, None).unwrap();
+        let b = cx.execute(&q, &plan, None).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cx.executions(), 1);
+        assert_eq!(cx.cache_len(), 1);
+    }
+
+    #[test]
+    fn cached_done_respects_tighter_budget() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let cx = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
+        let out = cx.execute(&q, &plan, None).unwrap();
+        let err = cx.execute(&q, &plan, Some(out.latency / 2.0)).unwrap_err();
+        assert!(matches!(err, FossError::Timeout { .. }));
+        assert_eq!(cx.executions(), 1, "timeout answered from cache");
+    }
+
+    #[test]
+    fn timed_out_entry_retried_with_larger_budget() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let cx = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
+        let full = Executor::new(&db, *opt.cost_model())
+            .execute(&q, &plan, None)
+            .unwrap();
+        assert!(cx.execute(&q, &plan, Some(full.latency / 10.0)).is_err());
+        assert_eq!(cx.executions(), 1);
+        // Same tight budget: cache answers, no new execution.
+        assert!(cx.execute(&q, &plan, Some(full.latency / 20.0)).is_err());
+        assert_eq!(cx.executions(), 1);
+        // Larger budget: re-executes and succeeds.
+        let out = cx.execute(&q, &plan, Some(full.latency * 2.0)).unwrap();
+        assert_eq!(out, full);
+        assert_eq!(cx.executions(), 2);
+    }
+
+    #[test]
+    fn clear_resets_cache() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let cx = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
+        cx.execute(&q, &plan, None).unwrap();
+        cx.clear();
+        assert_eq!(cx.cache_len(), 0);
+        cx.execute(&q, &plan, None).unwrap();
+        assert_eq!(cx.executions(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! A database instance: schema + stored tables + statistics.
+
+use std::sync::Arc;
+
+use foss_catalog::{Schema, TableStats};
+use foss_common::{FossError, Result, TableId};
+use foss_storage::Table;
+
+/// Stored tables aligned with a [`Schema`], with indexes built on every
+/// column the schema declares `indexed` and `ANALYZE`-style statistics.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Arc<Schema>,
+    tables: Vec<Table>,
+    stats: Vec<TableStats>,
+}
+
+impl Database {
+    /// Assemble a database; `tables` must match the schema's table order and
+    /// column layout. Indexes are built for every `indexed` column.
+    pub fn new(schema: Arc<Schema>, mut tables: Vec<Table>, histogram_buckets: usize) -> Result<Self> {
+        if tables.len() != schema.table_count() {
+            return Err(FossError::InvalidQuery(format!(
+                "schema has {} tables, got {}",
+                schema.table_count(),
+                tables.len()
+            )));
+        }
+        for (def, table) in schema.tables().iter().zip(&tables) {
+            if def.columns.len() != table.column_count() {
+                return Err(FossError::InvalidQuery(format!(
+                    "table {} column count mismatch",
+                    def.name
+                )));
+            }
+        }
+        for (def, table) in schema.tables().iter().zip(tables.iter_mut()) {
+            for (ci, col) in def.columns.iter().enumerate() {
+                if col.indexed {
+                    table.build_hash_index(ci);
+                    table.build_sorted_index(ci);
+                }
+            }
+        }
+        let stats = tables
+            .iter()
+            .map(|t| TableStats::analyze(t, histogram_buckets))
+            .collect();
+        Ok(Self { schema, tables, stats })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Stored table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// `ANALYZE` output for the whole database (feeds the optimizer).
+    pub fn stats(&self) -> &[TableStats] {
+        &self.stats
+    }
+
+    /// Clone the statistics vector (the optimizer takes ownership).
+    pub fn stats_vec(&self) -> Vec<TableStats> {
+        self.stats.clone()
+    }
+
+    /// Total stored rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::row_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foss_catalog::{ColumnDef, TableDef};
+    use foss_storage::Column;
+
+    fn schema_one() -> Arc<Schema> {
+        let mut s = Schema::new();
+        s.add_table(TableDef {
+            name: "t".into(),
+            columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("v")],
+        })
+        .unwrap();
+        Arc::new(s)
+    }
+
+    fn table_one() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("id".into(), Column::new(vec![0, 1, 2])),
+                ("v".into(), Column::new(vec![5, 6, 7])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_indexes_on_indexed_columns() {
+        let db = Database::new(schema_one(), vec![table_one()], 8).unwrap();
+        let t = db.table(TableId::new(0));
+        assert!(t.hash_index(0).is_some());
+        assert!(t.sorted_index(0).is_some());
+        assert!(t.hash_index(1).is_none());
+        assert_eq!(db.total_rows(), 3);
+        assert_eq!(db.stats().len(), 1);
+    }
+
+    #[test]
+    fn table_count_mismatch_rejected() {
+        assert!(Database::new(schema_one(), vec![], 8).is_err());
+    }
+
+    #[test]
+    fn column_count_mismatch_rejected() {
+        let bad = Table::new("t", vec![("id".into(), Column::new(vec![1]))]).unwrap();
+        assert!(Database::new(schema_one(), vec![bad], 8).is_err());
+    }
+}

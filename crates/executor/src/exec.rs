@@ -1,0 +1,584 @@
+//! The physical operator interpreter.
+
+use foss_common::{FossError, Result};
+use foss_optimizer::{AccessPath, CostModel, JoinMethod, PhysicalPlan, PlanNode};
+use foss_query::{JoinEdge, Predicate, Query};
+
+use crate::database::Database;
+
+/// Result of executing a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOutcome {
+    /// Deterministic latency in work units.
+    pub latency: f64,
+    /// Number of result tuples (`COUNT(*)` semantics).
+    pub rows: u64,
+}
+
+/// Intermediate result: tuples of row ids, one column per joined relation.
+struct Rows {
+    /// Relation index corresponding to each tuple slot.
+    rels: Vec<usize>,
+    /// Flattened tuples; stride = `rels.len()`.
+    data: Vec<u32>,
+}
+
+impl Rows {
+    fn stride(&self) -> usize {
+        self.rels.len()
+    }
+
+    fn len(&self) -> usize {
+        if self.rels.is_empty() {
+            0
+        } else {
+            self.data.len() / self.rels.len()
+        }
+    }
+
+    fn tuple(&self, i: usize) -> &[u32] {
+        let s = self.stride();
+        &self.data[i * s..(i + 1) * s]
+    }
+
+    fn slot_of(&self, rel: usize) -> usize {
+        self.rels
+            .iter()
+            .position(|&r| r == rel)
+            .expect("join edge references un-joined relation")
+    }
+}
+
+/// Executes physical plans against a [`Database`].
+pub struct Executor<'a> {
+    db: &'a Database,
+    cost: CostModel,
+}
+
+struct WorkMeter {
+    spent: f64,
+    budget: f64,
+}
+
+impl WorkMeter {
+    fn charge(&mut self, amount: f64) -> Result<()> {
+        self.spent += amount;
+        if self.spent > self.budget {
+            Err(FossError::Timeout { spent: self.spent as u64, budget: self.budget as u64 })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<'a> Executor<'a> {
+    /// Executor over `db`, charging with `cost`'s constants (pass the same
+    /// model the optimizer uses so the two live on one scale).
+    pub fn new(db: &'a Database, cost: CostModel) -> Self {
+        Self { db, cost }
+    }
+
+    /// Execute `plan` for `query`.
+    ///
+    /// `budget` is the dynamic-timeout work-unit budget; `None` means
+    /// unlimited. On timeout the error carries the spent/budget amounts so
+    /// the training loop can label the plan.
+    pub fn execute(
+        &self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        budget: Option<f64>,
+    ) -> Result<ExecOutcome> {
+        let mut meter = WorkMeter { spent: 0.0, budget: budget.unwrap_or(f64::INFINITY) };
+        let rows = self.exec_node(query, &plan.root, &mut meter)?;
+        Ok(ExecOutcome { latency: meter.spent, rows: rows.len() as u64 })
+    }
+
+    fn exec_node(&self, query: &Query, node: &PlanNode, meter: &mut WorkMeter) -> Result<Rows> {
+        match node {
+            PlanNode::Scan { relation, access, .. } => {
+                let ids = self.exec_scan(query, *relation, access, meter)?;
+                let mut data = Vec::with_capacity(ids.len());
+                data.extend(ids);
+                Ok(Rows { rels: vec![*relation], data })
+            }
+            PlanNode::Join { method, left, right, edges, index_nl, .. } => {
+                let outer = self.exec_node(query, left, meter)?;
+                if *index_nl {
+                    let PlanNode::Scan { relation, .. } = **right else {
+                        return Err(FossError::InvalidPlan(
+                            "index nested loop requires a scan inner".into(),
+                        ));
+                    };
+                    return self.index_nl_join(query, outer, relation, edges, meter);
+                }
+                let inner = self.exec_node(query, right, meter)?;
+                match method {
+                    JoinMethod::Hash => self.hash_join(query, outer, inner, edges, meter),
+                    JoinMethod::Merge => self.merge_join(query, outer, inner, edges, meter),
+                    JoinMethod::NestLoop => self.nl_join(query, outer, inner, edges, meter),
+                }
+            }
+        }
+    }
+
+    fn exec_scan(
+        &self,
+        query: &Query,
+        rel: usize,
+        access: &AccessPath,
+        meter: &mut WorkMeter,
+    ) -> Result<Vec<u32>> {
+        let relation = &query.relations[rel];
+        let table = self.db.table(relation.table);
+        let preds = &relation.predicates;
+        let p = &self.cost.params;
+        match access {
+            AccessPath::SeqScan => {
+                meter.charge(
+                    table.row_count() as f64 * (p.cpu_tuple + p.pred_eval * preds.len() as f64),
+                )?;
+                let mut out = Vec::new();
+                'rows: for row in 0..table.row_count() {
+                    for pr in preds {
+                        if !pr.matches(table.column(pr.column()).get(row)) {
+                            continue 'rows;
+                        }
+                    }
+                    out.push(row as u32);
+                }
+                Ok(out)
+            }
+            AccessPath::IndexScan { column } => {
+                let driving = preds.iter().find(|pr| pr.column() == *column).copied();
+                let residual: Vec<Predicate> =
+                    preds.iter().filter(|pr| pr.column() != *column).copied().collect();
+                let n = table.row_count() as f64;
+                let mut matches: Vec<u32> = match driving {
+                    Some(Predicate::Eq { value, .. }) => {
+                        if let Some(h) = table.hash_index(*column) {
+                            h.lookup(value).to_vec()
+                        } else if let Some(s) = table.sorted_index(*column) {
+                            s.equal(value).collect()
+                        } else {
+                            return Err(FossError::InvalidPlan(format!(
+                                "index scan on unindexed column {column}"
+                            )));
+                        }
+                    }
+                    Some(Predicate::Range { lo, hi, .. }) => {
+                        let s = table.sorted_index(*column).ok_or_else(|| {
+                            FossError::InvalidPlan(format!(
+                                "range index scan on unindexed column {column}"
+                            ))
+                        })?;
+                        s.range(lo, hi).collect()
+                    }
+                    None => {
+                        // Index-only marker without a driving predicate:
+                        // degenerate full index scan.
+                        (0..table.row_count() as u32).collect()
+                    }
+                };
+                meter.charge(self.cost.index_scan(n, matches.len() as f64, residual.len()))?;
+                if !residual.is_empty() {
+                    matches.retain(|&row| {
+                        residual
+                            .iter()
+                            .all(|pr| pr.matches(table.column(pr.column()).get(row as usize)))
+                    });
+                }
+                matches.sort_unstable();
+                Ok(matches)
+            }
+        }
+    }
+
+    /// Value of `(rel, col)` for one side of a join condition.
+    #[inline]
+    fn value(&self, query: &Query, rel: usize, col: usize, row: u32) -> i64 {
+        self.db
+            .table(query.relations[rel].table)
+            .column(col)
+            .get(row as usize)
+    }
+
+    fn check_extra_edges(
+        &self,
+        query: &Query,
+        outer: &Rows,
+        outer_tuple: &[u32],
+        inner_rel: usize,
+        inner_row: u32,
+        edges: &[JoinEdge],
+    ) -> bool {
+        edges.iter().skip(1).all(|e| {
+            let lv = self.value(query, e.left, e.left_column, outer_tuple[outer.slot_of(e.left)]);
+            let rv = self.value(query, inner_rel, e.right_column, inner_row);
+            lv == rv
+        })
+    }
+
+    fn emit(out: &mut Vec<u32>, outer_tuple: &[u32], inner_row: u32) {
+        out.extend_from_slice(outer_tuple);
+        out.push(inner_row);
+    }
+
+    fn hash_join(
+        &self,
+        query: &Query,
+        outer: Rows,
+        inner: Rows,
+        edges: &[JoinEdge],
+        meter: &mut WorkMeter,
+    ) -> Result<Rows> {
+        let p = self.cost.params;
+        let inner_rel = inner.rels[0];
+        if edges.is_empty() {
+            return self.cross_join(outer, inner, meter);
+        }
+        let key = edges[0];
+        // Build on inner.
+        meter.charge(inner.len() as f64 * p.hash_build)?;
+        let mut table: foss_common::FxHashMap<i64, Vec<u32>> = foss_common::FxHashMap::default();
+        for i in 0..inner.len() {
+            let row = inner.data[i];
+            table
+                .entry(self.value(query, inner_rel, key.right_column, row))
+                .or_default()
+                .push(row);
+        }
+        // Probe with outer.
+        let mut out = Vec::new();
+        let lslot = outer.slot_of(key.left);
+        for i in 0..outer.len() {
+            meter.charge(p.hash_probe)?;
+            let t = outer.tuple(i);
+            let lv = self.value(query, key.left, key.left_column, t[lslot]);
+            if let Some(cands) = table.get(&lv) {
+                for &row in cands {
+                    if self.check_extra_edges(query, &outer, t, inner_rel, row, edges) {
+                        meter.charge(p.output_tuple)?;
+                        Self::emit(&mut out, t, row);
+                    }
+                }
+            }
+        }
+        let mut rels = outer.rels;
+        rels.push(inner_rel);
+        Ok(Rows { rels, data: out })
+    }
+
+    fn merge_join(
+        &self,
+        query: &Query,
+        outer: Rows,
+        inner: Rows,
+        edges: &[JoinEdge],
+        meter: &mut WorkMeter,
+    ) -> Result<Rows> {
+        let p = self.cost.params;
+        let inner_rel = inner.rels[0];
+        if edges.is_empty() {
+            return self.cross_join(outer, inner, meter);
+        }
+        let key = edges[0];
+        meter.charge(self.cost.sort(outer.len() as f64) + self.cost.sort(inner.len() as f64))?;
+        let lslot = outer.slot_of(key.left);
+        // Sort outer tuple indexes and inner rows by key value.
+        let mut oidx: Vec<usize> = (0..outer.len()).collect();
+        oidx.sort_unstable_by_key(|&i| {
+            self.value(query, key.left, key.left_column, outer.tuple(i)[lslot])
+        });
+        let mut irows: Vec<u32> = inner.data.clone();
+        irows.sort_unstable_by_key(|&row| self.value(query, inner_rel, key.right_column, row));
+
+        meter.charge((outer.len() + inner.len()) as f64 * p.merge_step)?;
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < oidx.len() && j < irows.len() {
+            let ov = self.value(query, key.left, key.left_column, outer.tuple(oidx[i])[lslot]);
+            let iv = self.value(query, inner_rel, key.right_column, irows[j]);
+            if ov < iv {
+                i += 1;
+            } else if ov > iv {
+                j += 1;
+            } else {
+                // Equal group: emit the cartesian product of the group.
+                let jstart = j;
+                let mut jend = j;
+                while jend < irows.len()
+                    && self.value(query, inner_rel, key.right_column, irows[jend]) == ov
+                {
+                    jend += 1;
+                }
+                while i < oidx.len()
+                    && self.value(query, key.left, key.left_column, outer.tuple(oidx[i])[lslot])
+                        == ov
+                {
+                    let t = outer.tuple(oidx[i]);
+                    for &row in &irows[jstart..jend] {
+                        if self.check_extra_edges(query, &outer, t, inner_rel, row, edges) {
+                            meter.charge(p.output_tuple)?;
+                            Self::emit(&mut out, t, row);
+                        }
+                    }
+                    i += 1;
+                }
+                j = jend;
+            }
+        }
+        let mut rels = outer.rels;
+        rels.push(inner_rel);
+        Ok(Rows { rels, data: out })
+    }
+
+    fn nl_join(
+        &self,
+        query: &Query,
+        outer: Rows,
+        inner: Rows,
+        edges: &[JoinEdge],
+        meter: &mut WorkMeter,
+    ) -> Result<Rows> {
+        let p = self.cost.params;
+        let inner_rel = inner.rels[0];
+        let mut out = Vec::new();
+        for i in 0..outer.len() {
+            // Charge a whole inner pass per outer row so catastrophic loops
+            // hit the budget after the first few rows.
+            meter.charge(inner.len() as f64 * p.nl_pair)?;
+            let t = outer.tuple(i);
+            'inner: for &row in &inner.data {
+                for e in edges {
+                    let lv = self.value(query, e.left, e.left_column, t[outer.slot_of(e.left)]);
+                    let rv = self.value(query, inner_rel, e.right_column, row);
+                    if lv != rv {
+                        continue 'inner;
+                    }
+                }
+                meter.charge(p.output_tuple)?;
+                Self::emit(&mut out, t, row);
+            }
+        }
+        let mut rels = outer.rels;
+        rels.push(inner_rel);
+        Ok(Rows { rels, data: out })
+    }
+
+    fn index_nl_join(
+        &self,
+        query: &Query,
+        outer: Rows,
+        inner_rel: usize,
+        edges: &[JoinEdge],
+        meter: &mut WorkMeter,
+    ) -> Result<Rows> {
+        let p = self.cost.params;
+        let key = *edges.first().ok_or_else(|| {
+            FossError::InvalidPlan("index nested loop requires a join edge".into())
+        })?;
+        let relation = &query.relations[inner_rel];
+        let table = self.db.table(relation.table);
+        let index = table.hash_index(key.right_column).ok_or_else(|| {
+            FossError::InvalidPlan(format!(
+                "index nested loop on unindexed column {}",
+                key.right_column
+            ))
+        })?;
+        let descent = p.index_probe + 0.3 * (table.row_count() as f64).max(2.0).log2();
+        let preds = &relation.predicates;
+        let lslot = outer.slot_of(key.left);
+        let mut out = Vec::new();
+        for i in 0..outer.len() {
+            meter.charge(descent)?;
+            let t = outer.tuple(i);
+            let lv = self.value(query, key.left, key.left_column, t[lslot]);
+            let fetched = index.lookup(lv);
+            meter.charge(fetched.len() as f64 * (p.index_fetch + p.pred_eval * preds.len() as f64))?;
+            'fetch: for &row in fetched {
+                for pr in preds {
+                    if !pr.matches(table.column(pr.column()).get(row as usize)) {
+                        continue 'fetch;
+                    }
+                }
+                if !self.check_extra_edges(query, &outer, t, inner_rel, row, edges) {
+                    continue;
+                }
+                meter.charge(p.output_tuple)?;
+                Self::emit(&mut out, t, row);
+            }
+        }
+        let mut rels = outer.rels;
+        rels.push(inner_rel);
+        Ok(Rows { rels, data: out })
+    }
+
+    fn cross_join(&self, outer: Rows, inner: Rows, meter: &mut WorkMeter) -> Result<Rows> {
+        let p = self.cost.params;
+        let inner_rel = inner.rels[0];
+        let mut out = Vec::new();
+        for i in 0..outer.len() {
+            meter.charge(inner.len() as f64 * p.nl_pair)?;
+            let t = outer.tuple(i);
+            for &row in &inner.data {
+                meter.charge(p.output_tuple)?;
+                Self::emit(&mut out, t, row);
+            }
+        }
+        let mut rels = outer.rels;
+        rels.push(inner_rel);
+        Ok(Rows { rels, data: out })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foss_catalog::{ColumnDef, Schema, TableDef};
+    use foss_common::QueryId;
+    use foss_optimizer::{CardinalityEstimator, Icp, TraditionalOptimizer, ALL_JOIN_METHODS};
+    use foss_query::QueryBuilder;
+    use foss_storage::{Column, Table};
+    use std::sync::Arc;
+
+    /// Two tables with a known join result for correctness checks:
+    /// a has ids 0..10, b has 30 rows with fk = id % 10 → join = 30 rows.
+    fn setup() -> (Database, TraditionalOptimizer, Query) {
+        let mut schema = Schema::new();
+        schema
+            .add_table(TableDef {
+                name: "a".into(),
+                columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("v")],
+            })
+            .unwrap();
+        schema
+            .add_table(TableDef {
+                name: "b".into(),
+                columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("a_id")],
+            })
+            .unwrap();
+        let schema = Arc::new(schema);
+        let a = Table::new(
+            "a",
+            vec![
+                ("id".into(), Column::new((0..10).collect())),
+                ("v".into(), Column::new((0..10).map(|i| i % 3).collect())),
+            ],
+        )
+        .unwrap();
+        let b = Table::new(
+            "b",
+            vec![
+                ("id".into(), Column::new((0..30).collect())),
+                ("a_id".into(), Column::new((0..30).map(|i| i % 10).collect())),
+            ],
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![a, b], 8).unwrap();
+        let opt = TraditionalOptimizer::new(
+            schema.clone(),
+            CardinalityEstimator::new(db.stats_vec()),
+            CostModel::default(),
+        );
+        let mut qb = QueryBuilder::new(QueryId::new(0), 1);
+        let ra = qb.relation(schema.table_id("a").unwrap(), "a");
+        let rb = qb.relation(schema.table_id("b").unwrap(), "b");
+        qb.join(ra, 0, rb, 1);
+        let q = qb.build(&schema).unwrap();
+        (db, opt, q)
+    }
+
+    #[test]
+    fn optimized_plan_gives_correct_count() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let exec = Executor::new(&db, *opt.cost_model());
+        let out = exec.execute(&q, &plan, None).unwrap();
+        assert_eq!(out.rows, 30);
+        assert!(out.latency > 0.0);
+    }
+
+    #[test]
+    fn all_join_methods_agree_on_result_count() {
+        let (db, opt, q) = setup();
+        let exec = Executor::new(&db, *opt.cost_model());
+        for order in [vec![0usize, 1], vec![1, 0]] {
+            for m in ALL_JOIN_METHODS {
+                let icp = Icp::new(order.clone(), vec![m]).unwrap();
+                let plan = opt.optimize_with_hint(&q, &icp).unwrap();
+                let out = exec.execute(&q, &plan, None).unwrap();
+                assert_eq!(out.rows, 30, "order={order:?} method={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn predicates_filter_results() {
+        let (db, opt, q0) = setup();
+        let schema = db.schema().clone();
+        let mut qb = QueryBuilder::new(QueryId::new(1), 1);
+        let ra = qb.relation(schema.table_id("a").unwrap(), "a");
+        let rb = qb.relation(schema.table_id("b").unwrap(), "b");
+        qb.join(ra, 0, rb, 1);
+        qb.predicate(ra, Predicate::Eq { column: 1, value: 0 });
+        let q = qb.build(&schema).unwrap();
+        let plan = opt.optimize(&q).unwrap();
+        let exec = Executor::new(&db, *opt.cost_model());
+        let out = exec.execute(&q, &plan, None).unwrap();
+        // a.v = 0 keeps ids {0,3,6,9} → 4 ids × 3 b-rows each.
+        assert_eq!(out.rows, 12);
+        drop(q0);
+    }
+
+    #[test]
+    fn timeout_aborts_execution() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let exec = Executor::new(&db, *opt.cost_model());
+        let full = exec.execute(&q, &plan, None).unwrap();
+        let err = exec.execute(&q, &plan, Some(full.latency / 10.0)).unwrap_err();
+        match err {
+            FossError::Timeout { spent, budget } => {
+                assert!(spent >= budget);
+            }
+            other => panic!("expected timeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_plans_cost_more_work() {
+        let (db, opt, q) = setup();
+        let exec = Executor::new(&db, *opt.cost_model());
+        let good = opt.optimize(&q).unwrap();
+        // Force a naive nested loop with the big table outer: strictly worse.
+        let bad_icp = Icp::new(vec![1, 0], vec![JoinMethod::NestLoop]).unwrap();
+        let bad = opt.optimize_with_hint(&q, &bad_icp).unwrap();
+        let lg = exec.execute(&q, &good, None).unwrap().latency;
+        let lb = exec.execute(&q, &bad, None).unwrap().latency;
+        assert!(lb > lg, "bad NL ({lb}) should exceed optimized plan ({lg})");
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let exec = Executor::new(&db, *opt.cost_model());
+        let a = exec.execute(&q, &plan, None).unwrap();
+        let b = exec.execute(&q, &plan, None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_relation_scan_counts_rows() {
+        let (db, opt, _) = setup();
+        let schema = db.schema().clone();
+        let mut qb = QueryBuilder::new(QueryId::new(2), 1);
+        let ra = qb.relation(schema.table_id("a").unwrap(), "a");
+        qb.predicate(ra, Predicate::Range { column: 0, lo: 2, hi: 5 });
+        let q = qb.build(&schema).unwrap();
+        let plan = opt.optimize(&q).unwrap();
+        let exec = Executor::new(&db, *opt.cost_model());
+        assert_eq!(exec.execute(&q, &plan, None).unwrap().rows, 4);
+    }
+}

@@ -1,0 +1,25 @@
+//! Plan execution with deterministic work-unit latency.
+//!
+//! Substitutes for the DBMS executor `Ψp` of the paper. Every physical
+//! operator is *actually executed* over the in-memory tables, and the work
+//! performed (tuples scanned, hash builds/probes, sort comparisons, index
+//! descents, output tuples) is charged with the **same cost constants** the
+//! optimizer uses for estimation. "True latency" is therefore:
+//!
+//! * deterministic — identical across runs, so experiments are reproducible;
+//! * faithful — bad join orders and bad join methods really are slow, because
+//!   the executor really does the extra work;
+//! * divergent from the optimizer's estimate exactly where cardinality
+//!   estimation errs, which is the repair opportunity FOSS learns.
+//!
+//! A work-unit **budget** implements the paper's dynamic timeout (1.5× the
+//! original plan's latency): execution aborts with [`foss_common::FossError::Timeout`]
+//! once the budget is exceeded, mid-operator if necessary.
+
+pub mod cache;
+pub mod database;
+pub mod exec;
+
+pub use cache::CachingExecutor;
+pub use database::Database;
+pub use exec::{ExecOutcome, Executor};

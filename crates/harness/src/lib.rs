@@ -1,0 +1,232 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§VI) on the synthetic substrates.
+//!
+//! | Paper artefact | Runner | Binary (`foss-bench`) |
+//! |---|---|---|
+//! | Table I (WRL/GMRL/runtime, 3 workloads × 6 methods) | [`table1::run`] | `table1` |
+//! | Fig. 4 (relative speedups) | derived from Table I | `fig4` |
+//! | Fig. 5 (training curves) | [`curves::run`] | `fig5` |
+//! | Fig. 6 (optimisation-time box plots) | [`opt_time::run`] | `fig6` |
+//! | Fig. 7 (step distribution vs maxsteps) | [`ablation::step_distribution`] | `fig7` |
+//! | Fig. 8 (known-best-plan savings ranking) | [`best_plans::run`] | `fig8` |
+//! | Fig. 9 (GMRL curves per configuration) | [`ablation::run`] | `fig9` |
+//! | Table II (design-choice ablations) | [`ablation::run`] | `table2` |
+//!
+//! **Unit convention**: execution latency is deterministic executor work
+//! units, which we equate to microseconds when combining with measured
+//! wall-clock optimisation time in WRL (see EXPERIMENTS.md).
+
+pub mod ablation;
+pub mod best_plans;
+pub mod curves;
+pub mod opt_time;
+pub mod table1;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use foss_baselines::LearnedOptimizer;
+use foss_common::{FossError, Result};
+use foss_core::encoding::PlanEncoder;
+use foss_core::{Foss, FossConfig};
+use foss_executor::CachingExecutor;
+use foss_query::Query;
+use foss_workloads::{
+    geometric_mean_relevant_latency, workload_relevant_latency, QueryOutcome, Workload,
+    WorkloadSpec,
+};
+
+/// Hard cap on how much worse than the expert an evaluated plan may run
+/// (bounds catastrophic Balsa plans exactly like the paper's TLE handling).
+pub const EVAL_TIMEOUT_FACTOR: f64 = 10.0;
+
+/// A workload plus the shared executor every method measures against.
+pub struct Experiment {
+    /// The benchmark.
+    pub workload: Workload,
+    /// Shared caching executor (all methods see identical latencies).
+    pub executor: Arc<CachingExecutor>,
+}
+
+impl Experiment {
+    /// Materialise a benchmark by name (`joblite`, `tpcdslite`, `stacklite`).
+    pub fn new(name: &str, spec: WorkloadSpec) -> Result<Self> {
+        let workload = match name {
+            "joblite" => foss_workloads::joblite::build(spec)?,
+            "tpcdslite" => foss_workloads::tpcdslite::build(spec)?,
+            "stacklite" => foss_workloads::stacklite::build(spec)?,
+            other => return Err(FossError::UnknownName(format!("workload {other}"))),
+        };
+        let executor = Arc::new(CachingExecutor::new(
+            workload.db.clone(),
+            *workload.optimizer.cost_model(),
+        ));
+        Ok(Self { workload, executor })
+    }
+
+    /// A plan encoder matching this workload's schema.
+    pub fn encoder(&self) -> PlanEncoder {
+        PlanEncoder::new(self.workload.table_count(), self.workload.table_rows())
+    }
+
+    /// A FOSS instance wired to this experiment.
+    pub fn foss(&self, cfg: FossConfig) -> Foss {
+        Foss::new(
+            self.workload.optimizer.clone(),
+            self.executor.clone(),
+            self.workload.max_relations,
+            self.workload.table_rows(),
+            cfg,
+        )
+    }
+}
+
+/// Adapter so [`Foss`] can be driven through the common baseline trait.
+pub struct FossAdapter {
+    /// The wrapped system.
+    pub foss: Foss,
+    iteration: usize,
+}
+
+impl FossAdapter {
+    /// Wrap a FOSS instance.
+    pub fn new(foss: Foss) -> Self {
+        Self { foss, iteration: 0 }
+    }
+}
+
+impl LearnedOptimizer for FossAdapter {
+    fn name(&self) -> &'static str {
+        "FOSS"
+    }
+
+    fn train_round(&mut self, queries: &[Query]) -> Result<()> {
+        if self.iteration == 0 {
+            self.foss.bootstrap(queries, 1)?;
+        } else {
+            self.foss.train_iteration(queries, self.iteration)?;
+        }
+        self.iteration += 1;
+        Ok(())
+    }
+
+    fn plan(&mut self, query: &Query) -> Result<foss_optimizer::PhysicalPlan> {
+        Ok(self.foss.optimize(query)?)
+    }
+}
+
+/// Per-split evaluation of one method.
+#[derive(Debug, Clone, Default)]
+pub struct SplitEval {
+    /// Workload relevant latency.
+    pub wrl: f64,
+    /// Geometric mean relevant latency.
+    pub gmrl: f64,
+    /// Total learned runtime (latency + optimisation, work units ≡ µs → s).
+    pub runtime_s: f64,
+    /// Per-query optimisation times (µs) — feeds Fig. 6.
+    pub opt_times_us: Vec<f64>,
+}
+
+/// Evaluate `method` on `queries`, comparing against the expert.
+pub fn evaluate_on(
+    exp: &Experiment,
+    method: &mut dyn LearnedOptimizer,
+    queries: &[Query],
+) -> Result<SplitEval> {
+    let mut outcomes = Vec::with_capacity(queries.len());
+    let mut opt_times = Vec::with_capacity(queries.len());
+    for query in queries {
+        // Expert measurement.
+        let e0 = Instant::now();
+        let expert_plan = exp.workload.optimizer.optimize(query)?;
+        let expert_opt_us = e0.elapsed().as_secs_f64() * 1e6;
+        let expert = exp.executor.execute(query, &expert_plan, None)?;
+        // Learned method measurement.
+        let t0 = Instant::now();
+        let plan = method.plan(query)?;
+        let opt_us = t0.elapsed().as_secs_f64() * 1e6;
+        let budget = expert.latency * EVAL_TIMEOUT_FACTOR;
+        let learned_latency = match exp.executor.execute(query, &plan, Some(budget)) {
+            Ok(out) => out.latency,
+            Err(FossError::Timeout { .. }) => budget,
+            Err(e) => return Err(e),
+        };
+        opt_times.push(opt_us);
+        outcomes.push(QueryOutcome {
+            learned_latency,
+            expert_latency: expert.latency,
+            learned_opt_time: opt_us,
+            expert_opt_time: expert_opt_us,
+        });
+    }
+    let runtime_s = outcomes
+        .iter()
+        .map(|o| (o.learned_latency + o.learned_opt_time) / 1e6)
+        .sum();
+    Ok(SplitEval {
+        wrl: workload_relevant_latency(&outcomes),
+        gmrl: geometric_mean_relevant_latency(&outcomes),
+        runtime_s,
+        opt_times_us: opt_times,
+    })
+}
+
+/// Simple percentile over a sample (linear interpolation).
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foss_baselines::PostgresBaseline;
+
+    #[test]
+    fn experiment_builds_and_expert_scores_unity() {
+        let exp = Experiment::new("tpcdslite", WorkloadSpec::tiny(3)).unwrap();
+        let mut pg = PostgresBaseline::new(exp.workload.optimizer.clone());
+        let queries: Vec<_> = exp.workload.test.iter().take(4).cloned().collect();
+        let eval = evaluate_on(&exp, &mut pg, &queries).unwrap();
+        // The expert against itself: latency ratios are exactly 1; WRL only
+        // differs through measured planning wall time.
+        assert!((eval.gmrl - 1.0).abs() < 1e-9, "gmrl={}", eval.gmrl);
+        assert!(eval.wrl > 0.5 && eval.wrl < 2.0, "wrl={}", eval.wrl);
+        assert_eq!(eval.opt_times_us.len(), 4);
+    }
+
+    #[test]
+    fn unknown_workload_rejected() {
+        assert!(Experiment::new("nope", WorkloadSpec::tiny(1)).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 4.0);
+        assert!((percentile(&s, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn foss_adapter_trains_and_plans() {
+        let exp = Experiment::new("tpcdslite", WorkloadSpec::tiny(5)).unwrap();
+        let cfg = FossConfig { episodes_per_update: 4, ..FossConfig::tiny() };
+        let mut foss = FossAdapter::new(exp.foss(cfg));
+        let queries: Vec<_> = exp.workload.train.iter().take(3).cloned().collect();
+        foss.train_round(&queries).unwrap(); // bootstrap
+        foss.train_round(&queries).unwrap(); // one iteration
+        let eval = evaluate_on(&exp, &mut foss, &queries[..2]).unwrap();
+        assert!(eval.gmrl > 0.0);
+    }
+}

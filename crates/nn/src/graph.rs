@@ -1,0 +1,847 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a tape of operations recorded during one forward pass;
+//! [`Graph::backward`] replays it in reverse, accumulating gradients into the
+//! tape and into the [`ParamSet`] for parameter leaves. The op set is exactly
+//! what the FOSS models need: dense algebra, attention building blocks
+//! (matmul / transpose / masked softmax), embedding gathers, and the
+//! pointwise functions used by PPO and the asymmetric loss.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamSet};
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // constant operands are kept for Debug output
+enum Op {
+    Leaf,
+    Param(ParamId),
+    MatMul(Var, Var),
+    Transpose(Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    MulElem(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var, f32),
+    AddRowBroadcast(Var, Var),
+    Relu(Var),
+    Tanh(Var),
+    Exp(Var),
+    PowConst(Var, f32),
+    Clamp(Var, f32, f32),
+    MinElem(Var, Var),
+    SoftmaxRows(Var),
+    LogSoftmaxRows(Var),
+    ConcatCols(Vec<Var>),
+    ConcatRows(Vec<Var>),
+    Gather(Var, Vec<usize>),
+    PickPerRow(Var, Vec<usize>),
+    MeanRows(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    LayerNormRows { x: Var, gamma: Var, beta: Var, eps: f32 },
+    SelectRow(Var, usize),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+    grad: Option<Matrix>,
+    needs_grad: bool,
+}
+
+/// The autograd tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Fresh empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node after [`Graph::backward`] (zeros if unreached).
+    pub fn grad(&self, v: Var) -> Matrix {
+        let n = &self.nodes[v.0];
+        n.grad
+            .clone()
+            .unwrap_or_else(|| Matrix::zeros(n.value.rows, n.value.cols))
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        let needs_grad = match &op {
+            Op::Leaf => false,
+            Op::Param(_) => true,
+            Op::MatMul(a, b)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::MulElem(a, b)
+            | Op::MinElem(a, b)
+            | Op::AddRowBroadcast(a, b) => self.needs(*a) || self.needs(*b),
+            Op::Transpose(a)
+            | Op::Scale(a, _)
+            | Op::AddScalar(a, _)
+            | Op::Relu(a)
+            | Op::Tanh(a)
+            | Op::Exp(a)
+            | Op::PowConst(a, _)
+            | Op::Clamp(a, _, _)
+            | Op::SoftmaxRows(a)
+            | Op::LogSoftmaxRows(a)
+            | Op::Gather(a, _)
+            | Op::PickPerRow(a, _)
+            | Op::MeanRows(a)
+            | Op::SumAll(a)
+            | Op::MeanAll(a)
+            | Op::SelectRow(a, _) => self.needs(*a),
+            Op::ConcatCols(vs) | Op::ConcatRows(vs) => vs.iter().any(|&v| self.needs(v)),
+            Op::LayerNormRows { x, gamma, beta, .. } => {
+                self.needs(*x) || self.needs(*gamma) || self.needs(*beta)
+            }
+        };
+        self.nodes.push(Node { op, value, grad: None, needs_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    /// A constant input (no gradient): data batches, masks, targets.
+    pub fn input(&mut self, m: Matrix) -> Var {
+        self.push(Op::Leaf, m)
+    }
+
+    /// A scalar constant.
+    pub fn constant(&mut self, v: f32) -> Var {
+        self.input(Matrix::scalar(v))
+    }
+
+    /// A parameter leaf; its gradient flows into `set` on backward.
+    pub fn param(&mut self, id: ParamId, set: &ParamSet) -> Var {
+        self.push(Op::Param(id), set.value(id).clone())
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(Op::Transpose(a), v)
+    }
+
+    /// Elementwise `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise `a * b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(Op::MulElem(a, b), v)
+    }
+
+    /// Elementwise `min(a, b)` (PPO clipped surrogate).
+    pub fn min_elem(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), f32::min);
+        self.push(Op::MinElem(a, b), v)
+    }
+
+    /// `a * c` for scalar constant `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x * c);
+        self.push(Op::Scale(a, c), v)
+    }
+
+    /// `a + c` for scalar constant `c`.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x + c);
+        self.push(Op::AddScalar(a, c), v)
+    }
+
+    /// Broadcast-add a `1×D` row vector to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (self.value(a), self.value(b));
+        assert_eq!(bm.rows, 1, "broadcast operand must be a row vector");
+        assert_eq!(am.cols, bm.cols, "broadcast width mismatch");
+        let mut out = am.clone();
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out.data[r * out.cols + c] += bm.data[c];
+            }
+        }
+        self.push(Op::AddRowBroadcast(a, b), out)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Elementwise `exp`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        self.push(Op::Exp(a), v)
+    }
+
+    /// Elementwise `a^p` for `a ≥ 0` (focal-loss decay terms).
+    pub fn pow_const(&mut self, a: Var, p: f32) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0).powf(p));
+        self.push(Op::PowConst(a, p), v)
+    }
+
+    /// Elementwise clamp to `[lo, hi]`; gradient is zero outside.
+    pub fn clamp(&mut self, a: Var, lo: f32, hi: f32) -> Var {
+        let v = self.value(a).map(|x| x.clamp(lo, hi));
+        self.push(Op::Clamp(a, lo, hi), v)
+    }
+
+    /// Row-wise softmax. Add a large-negative mask beforehand to exclude
+    /// entries (attention masks, action masks).
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_rows();
+        self.push(Op::SoftmaxRows(a), v)
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).log_softmax_rows();
+        self.push(Op::LogSoftmaxRows(a), v)
+    }
+
+    /// Concatenate along columns.
+    pub fn concat_cols(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty());
+        let rows = self.value(vars[0]).rows;
+        let cols: usize = vars.iter().map(|&v| self.value(v).cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut offset = 0;
+        for &v in vars {
+            let m = self.value(v);
+            assert_eq!(m.rows, rows, "concat_cols row mismatch");
+            for r in 0..rows {
+                out.data[r * cols + offset..r * cols + offset + m.cols]
+                    .copy_from_slice(m.row(r));
+            }
+            offset += m.cols;
+        }
+        self.push(Op::ConcatCols(vars.to_vec()), out)
+    }
+
+    /// Concatenate along rows.
+    pub fn concat_rows(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty());
+        let cols = self.value(vars[0]).cols;
+        let rows: usize = vars.iter().map(|&v| self.value(v).rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for &v in vars {
+            let m = self.value(v);
+            assert_eq!(m.cols, cols, "concat_rows col mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        self.push(Op::ConcatRows(vars.to_vec()), Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Gather rows of `table` by `indices` (embedding lookup).
+    pub fn gather(&mut self, table: Var, indices: &[usize]) -> Var {
+        let t = self.value(table);
+        let mut out = Matrix::zeros(indices.len(), t.cols);
+        for (r, &i) in indices.iter().enumerate() {
+            out.data[r * t.cols..(r + 1) * t.cols].copy_from_slice(t.row(i));
+        }
+        self.push(Op::Gather(table, indices.to_vec()), out)
+    }
+
+    /// `out[r, 0] = a[r, indices[r]]` — per-row element selection
+    /// (log-probability of the chosen action).
+    pub fn pick_per_row(&mut self, a: Var, indices: &[usize]) -> Var {
+        let m = self.value(a);
+        assert_eq!(m.rows, indices.len(), "one index per row required");
+        let mut out = Matrix::zeros(m.rows, 1);
+        for (r, &c) in indices.iter().enumerate() {
+            out.data[r] = m.get(r, c);
+        }
+        self.push(Op::PickPerRow(a, indices.to_vec()), out)
+    }
+
+    /// Mean over rows → `1×D` (sequence pooling).
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let m = self.value(a);
+        let mut out = Matrix::zeros(1, m.cols);
+        for r in 0..m.rows {
+            for c in 0..m.cols {
+                out.data[c] += m.get(r, c);
+            }
+        }
+        for v in &mut out.data {
+            *v /= m.rows as f32;
+        }
+        self.push(Op::MeanRows(a), out)
+    }
+
+    /// Sum of all elements → `1×1`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Matrix::scalar(self.value(a).sum());
+        self.push(Op::SumAll(a), v)
+    }
+
+    /// Mean of all elements → `1×1`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let m = self.value(a);
+        let v = Matrix::scalar(m.sum() / m.data.len() as f32);
+        self.push(Op::MeanAll(a), v)
+    }
+
+    /// Row-wise layer normalisation with learnable `gamma`/`beta` (`1×D`).
+    pub fn layer_norm_rows(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let (xm, gm, bm) = (self.value(x), self.value(gamma), self.value(beta));
+        assert_eq!(gm.rows, 1);
+        assert_eq!(bm.rows, 1);
+        assert_eq!(gm.cols, xm.cols);
+        let mut out = xm.clone();
+        for r in 0..xm.rows {
+            let row = xm.row(r);
+            let mean = row.iter().sum::<f32>() / row.len() as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for c in 0..xm.cols {
+                let xhat = (row[c] - mean) * inv;
+                out.data[r * xm.cols + c] = gm.data[c] * xhat + bm.data[c];
+            }
+        }
+        self.push(Op::LayerNormRows { x, gamma, beta, eps }, out)
+    }
+
+    /// Select one row → `1×D`.
+    pub fn select_row(&mut self, a: Var, row: usize) -> Var {
+        let m = self.value(a);
+        let out = Matrix::from_vec(1, m.cols, m.row(row).to_vec());
+        self.push(Op::SelectRow(a, row), out)
+    }
+
+    /// Run reverse-mode accumulation from scalar node `loss`; parameter
+    /// gradients are accumulated into `set`.
+    pub fn backward(&mut self, loss: Var, set: &mut ParamSet) {
+        {
+            let n = &self.nodes[loss.0];
+            assert_eq!(
+                (n.value.rows, n.value.cols),
+                (1, 1),
+                "backward requires a scalar loss"
+            );
+        }
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
+        for i in (0..self.nodes.len()).rev() {
+            if !self.nodes[i].needs_grad {
+                continue;
+            }
+            let Some(g) = self.nodes[i].grad.clone() else { continue };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Param(id) => set.accumulate_grad(id, &g),
+                Op::MatMul(a, b) => {
+                    let bt = self.nodes[b.0].value.transpose();
+                    let at = self.nodes[a.0].value.transpose();
+                    let ga = g.matmul(&bt);
+                    let gb = at.matmul(&g);
+                    self.accum(a, ga);
+                    self.accum(b, gb);
+                }
+                Op::Transpose(a) => self.accum(a, g.transpose()),
+                Op::Add(a, b) => {
+                    self.accum(a, g.clone());
+                    self.accum(b, g);
+                }
+                Op::Sub(a, b) => {
+                    self.accum(a, g.clone());
+                    self.accum(b, g.map(|x| -x));
+                }
+                Op::MulElem(a, b) => {
+                    let ga = g.zip(&self.nodes[b.0].value, |x, y| x * y);
+                    let gb = g.zip(&self.nodes[a.0].value, |x, y| x * y);
+                    self.accum(a, ga);
+                    self.accum(b, gb);
+                }
+                Op::MinElem(a, b) => {
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let ga = g.clone().zip(&av.zip(bv, |x, y| (x <= y) as u8 as f32), |gx, m| gx * m);
+                    let gb = g.zip(&av.zip(bv, |x, y| (x > y) as u8 as f32), |gx, m| gx * m);
+                    self.accum(a, ga);
+                    self.accum(b, gb);
+                }
+                Op::Scale(a, c) => self.accum(a, g.map(|x| x * c)),
+                Op::AddScalar(a, _) => self.accum(a, g),
+                Op::AddRowBroadcast(a, b) => {
+                    let mut gb = Matrix::zeros(1, g.cols);
+                    for r in 0..g.rows {
+                        for c in 0..g.cols {
+                            gb.data[c] += g.get(r, c);
+                        }
+                    }
+                    self.accum(a, g);
+                    self.accum(b, gb);
+                }
+                Op::Relu(a) => {
+                    let ga = g.zip(&self.nodes[a.0].value, |gx, x| if x > 0.0 { gx } else { 0.0 });
+                    self.accum(a, ga);
+                }
+                Op::Tanh(a) => {
+                    let ga = g.zip(&self.nodes[i].value, |gx, y| gx * (1.0 - y * y));
+                    self.accum(a, ga);
+                }
+                Op::Exp(a) => {
+                    let ga = g.zip(&self.nodes[i].value, |gx, y| gx * y);
+                    self.accum(a, ga);
+                }
+                Op::PowConst(a, p) => {
+                    let ga = g.zip(&self.nodes[a.0].value, |gx, x| {
+                        gx * p * x.max(1e-12).powf(p - 1.0)
+                    });
+                    self.accum(a, ga);
+                }
+                Op::Clamp(a, lo, hi) => {
+                    let ga = g.zip(&self.nodes[a.0].value, |gx, x| {
+                        if (lo..=hi).contains(&x) {
+                            gx
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.accum(a, ga);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = &self.nodes[i].value;
+                    let mut ga = Matrix::zeros(y.rows, y.cols);
+                    for r in 0..y.rows {
+                        let dot: f32 =
+                            (0..y.cols).map(|c| g.get(r, c) * y.get(r, c)).sum();
+                        for c in 0..y.cols {
+                            ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                        }
+                    }
+                    self.accum(a, ga);
+                }
+                Op::LogSoftmaxRows(a) => {
+                    let sm = self.nodes[a.0].value.softmax_rows();
+                    let mut ga = Matrix::zeros(sm.rows, sm.cols);
+                    for r in 0..sm.rows {
+                        let gsum: f32 = (0..sm.cols).map(|c| g.get(r, c)).sum();
+                        for c in 0..sm.cols {
+                            ga.set(r, c, g.get(r, c) - sm.get(r, c) * gsum);
+                        }
+                    }
+                    self.accum(a, ga);
+                }
+                Op::ConcatCols(vars) => {
+                    let mut offset = 0;
+                    for v in vars {
+                        let m = &self.nodes[v.0].value;
+                        let mut gv = Matrix::zeros(m.rows, m.cols);
+                        for r in 0..m.rows {
+                            for c in 0..m.cols {
+                                gv.set(r, c, g.get(r, offset + c));
+                            }
+                        }
+                        offset += m.cols;
+                        self.accum(v, gv);
+                    }
+                }
+                Op::ConcatRows(vars) => {
+                    let mut offset = 0;
+                    for v in vars {
+                        let m = &self.nodes[v.0].value;
+                        let gv = Matrix::from_vec(
+                            m.rows,
+                            m.cols,
+                            g.data[offset * g.cols..(offset + m.rows) * g.cols].to_vec(),
+                        );
+                        offset += m.rows;
+                        self.accum(v, gv);
+                    }
+                }
+                Op::Gather(table, indices) => {
+                    let t = &self.nodes[table.0].value;
+                    let mut gt = Matrix::zeros(t.rows, t.cols);
+                    for (r, &idx) in indices.iter().enumerate() {
+                        for c in 0..t.cols {
+                            gt.data[idx * t.cols + c] += g.get(r, c);
+                        }
+                    }
+                    self.accum(table, gt);
+                }
+                Op::PickPerRow(a, indices) => {
+                    let m = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(m.rows, m.cols);
+                    for (r, &c) in indices.iter().enumerate() {
+                        ga.set(r, c, g.get(r, 0));
+                    }
+                    self.accum(a, ga);
+                }
+                Op::MeanRows(a) => {
+                    let m = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(m.rows, m.cols);
+                    let scale = 1.0 / m.rows as f32;
+                    for r in 0..m.rows {
+                        for c in 0..m.cols {
+                            ga.set(r, c, g.get(0, c) * scale);
+                        }
+                    }
+                    self.accum(a, ga);
+                }
+                Op::SumAll(a) => {
+                    let m = &self.nodes[a.0].value;
+                    self.accum(a, Matrix::full(m.rows, m.cols, g.get(0, 0)));
+                }
+                Op::MeanAll(a) => {
+                    let m = &self.nodes[a.0].value;
+                    let v = g.get(0, 0) / m.data.len() as f32;
+                    self.accum(a, Matrix::full(m.rows, m.cols, v));
+                }
+                Op::LayerNormRows { x, gamma, beta, eps } => {
+                    let xm = self.nodes[x.0].value.clone();
+                    let gm = self.nodes[gamma.0].value.clone();
+                    let d = xm.cols as f32;
+                    let mut gx = Matrix::zeros(xm.rows, xm.cols);
+                    let mut ggamma = Matrix::zeros(1, xm.cols);
+                    let mut gbeta = Matrix::zeros(1, xm.cols);
+                    for r in 0..xm.rows {
+                        let row = xm.row(r);
+                        let mean = row.iter().sum::<f32>() / d;
+                        let var =
+                            row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        let xhat: Vec<f32> = row.iter().map(|v| (v - mean) * inv).collect();
+                        let gy: Vec<f32> = (0..xm.cols).map(|c| g.get(r, c)).collect();
+                        for c in 0..xm.cols {
+                            ggamma.data[c] += gy[c] * xhat[c];
+                            gbeta.data[c] += gy[c];
+                        }
+                        let gxhat: Vec<f32> =
+                            (0..xm.cols).map(|c| gy[c] * gm.data[c]).collect();
+                        let mean_gxhat = gxhat.iter().sum::<f32>() / d;
+                        let mean_gxhat_xhat =
+                            gxhat.iter().zip(&xhat).map(|(a, b)| a * b).sum::<f32>() / d;
+                        for c in 0..xm.cols {
+                            gx.set(
+                                r,
+                                c,
+                                inv * (gxhat[c] - mean_gxhat - xhat[c] * mean_gxhat_xhat),
+                            );
+                        }
+                    }
+                    self.accum(x, gx);
+                    self.accum(gamma, ggamma);
+                    self.accum(beta, gbeta);
+                }
+                Op::SelectRow(a, row) => {
+                    let m = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(m.rows, m.cols);
+                    for c in 0..m.cols {
+                        ga.set(row, c, g.get(0, c));
+                    }
+                    self.accum(a, ga);
+                }
+            }
+        }
+    }
+
+    fn accum(&mut self, v: Var, g: Matrix) {
+        if !self.nodes[v.0].needs_grad {
+            return;
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Numeric gradient check: perturb each element of the single parameter
+    /// and compare the finite difference to the analytic gradient.
+    fn check_gradient(
+        build: impl Fn(&mut Graph, Var) -> Var,
+        init: Matrix,
+        tol: f32,
+    ) {
+        let mut set = ParamSet::new();
+        let id = set.alloc(init);
+        // Analytic.
+        let mut g = Graph::new();
+        let p = g.param(id, &set);
+        let loss = build(&mut g, p);
+        set.zero_grad();
+        g.backward(loss, &mut set);
+        let analytic = set.grad(id).clone();
+        // Numeric.
+        let eps = 1e-3f32;
+        let n = set.value(id).data.len();
+        for i in 0..n {
+            let orig = set.value(id).data[i];
+            let eval = |set: &ParamSet| {
+                let mut g = Graph::new();
+                let p = g.param(id, set);
+                let loss = build(&mut g, p);
+                g.value(loss).get(0, 0)
+            };
+            set.value_mut(id).data[i] = orig + eps;
+            let up = eval(&set);
+            set.value_mut(id).data[i] = orig - eps;
+            let down = eval(&set);
+            set.value_mut(id).data[i] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic.data[i];
+            assert!(
+                (numeric - a).abs() < tol * (1.0 + numeric.abs().max(a.abs())),
+                "grad mismatch at {i}: numeric={numeric} analytic={a}"
+            );
+        }
+    }
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.random_range(-1.0..1.0f32)).collect(),
+        )
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let w = rand_matrix(3, 4, 1);
+        check_gradient(
+            |g, p| {
+                let x = g.input(rand_matrix(2, 3, 2));
+                let y = g.matmul(x, p);
+                let y = g.relu(y);
+                g.sum_all(y)
+            },
+            w,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_and_logsoftmax() {
+        check_gradient(
+            |g, p| {
+                let s = g.softmax_rows(p);
+                let t = g.input(rand_matrix(2, 4, 5));
+                let m = g.mul(s, t);
+                g.sum_all(m)
+            },
+            rand_matrix(2, 4, 3),
+            1e-2,
+        );
+        check_gradient(
+            |g, p| {
+                let s = g.log_softmax_rows(p);
+                let t = g.input(rand_matrix(2, 4, 6));
+                let m = g.mul(s, t);
+                g.sum_all(m)
+            },
+            rand_matrix(2, 4, 4),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        check_gradient(
+            |g, p| {
+                let gamma = g.input(Matrix::full(1, 4, 1.2));
+                let beta = g.input(Matrix::full(1, 4, -0.1));
+                let y = g.layer_norm_rows(p, gamma, beta, 1e-5);
+                let t = g.input(rand_matrix(3, 4, 8));
+                let m = g.mul(y, t);
+                g.sum_all(m)
+            },
+            rand_matrix(3, 4, 7),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_pointwise_ops() {
+        check_gradient(
+            |g, p| {
+                let e = g.exp(p);
+                let t = g.tanh(e);
+                let s = g.scale(t, 0.5);
+                let s = g.add_scalar(s, 1.0);
+                g.mean_all(s)
+            },
+            rand_matrix(2, 3, 9),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_pow_const() {
+        check_gradient(
+            |g, p| {
+                // keep inputs positive for powf
+                let sp = g.softmax_rows(p);
+                let pw = g.pow_const(sp, 2.5);
+                g.sum_all(pw)
+            },
+            rand_matrix(2, 4, 10),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_gather_and_pick() {
+        check_gradient(
+            |g, p| {
+                let rows = g.gather(p, &[0, 2, 2]);
+                let picked = g.pick_per_row(rows, &[1, 0, 1]);
+                g.sum_all(picked)
+            },
+            rand_matrix(3, 2, 11),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_and_broadcast() {
+        check_gradient(
+            |g, p| {
+                let x = g.input(rand_matrix(2, 3, 12));
+                let y = g.matmul(x, p); // 2×2
+                let z = g.concat_cols(&[y, y]);
+                let bias = g.input(rand_matrix(1, 4, 13));
+                let z = g.add_row_broadcast(z, bias);
+                let pooled = g.mean_rows(z);
+                g.sum_all(pooled)
+            },
+            rand_matrix(3, 2, 14),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_min_and_clamp() {
+        check_gradient(
+            |g, p| {
+                let c = g.clamp(p, -0.5, 0.5);
+                let other = g.input(rand_matrix(2, 3, 15));
+                let m = g.min_elem(c, other);
+                g.sum_all(m)
+            },
+            rand_matrix(2, 3, 16),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_select_and_transpose() {
+        check_gradient(
+            |g, p| {
+                let t = g.transpose(p);
+                let r = g.select_row(t, 1);
+                let sq = g.mul(r, r);
+                g.sum_all(sq)
+            },
+            rand_matrix(3, 2, 17),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_rows_and_sub() {
+        check_gradient(
+            |g, p| {
+                let a = g.scale(p, 2.0);
+                let stacked = g.concat_rows(&[p, a]);
+                let t = g.input(rand_matrix(4, 3, 18));
+                let d = g.sub(stacked, t);
+                let sq = g.mul(d, d);
+                g.mean_all(sq)
+            },
+            rand_matrix(2, 3, 19),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn masked_softmax_ignores_masked_entries() {
+        let mut g = Graph::new();
+        let logits = g.input(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let mask = g.input(Matrix::from_rows(&[&[0.0, -1e9, 0.0]]));
+        let masked = g.add(logits, mask);
+        let sm = g.softmax_rows(masked);
+        let v = g.value(sm);
+        assert!(v.get(0, 1) < 1e-6);
+        assert!((v.get(0, 0) + v.get(0, 2) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn end_to_end_training_reduces_loss() {
+        // Tiny regression: y = x @ W, learn W to match a target mapping.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut set = ParamSet::new();
+        let w = set.alloc_xavier(3, 2, &mut rng);
+        let mut adam = crate::params::Adam::new(0.05);
+        let x = rand_matrix(8, 3, 20);
+        let target = x.matmul(&Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 2.0], &[-1.5, 0.0]]));
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let mut g = Graph::new();
+            let xin = g.input(x.clone());
+            let wv = g.param(w, &set);
+            let pred = g.matmul(xin, wv);
+            let t = g.input(target.clone());
+            let d = g.sub(pred, t);
+            let sq = g.mul(d, d);
+            let loss = g.mean_all(sq);
+            last = g.value(loss).get(0, 0);
+            first.get_or_insert(last);
+            set.zero_grad();
+            g.backward(loss, &mut set);
+            adam.step(&mut set);
+        }
+        assert!(last < first.unwrap() / 100.0, "loss {first:?} → {last}");
+    }
+}

@@ -1,0 +1,275 @@
+//! Layer modules: thin wrappers that allocate parameters in a [`ParamSet`]
+//! and record their forward computation on a [`Graph`].
+
+use rand::rngs::StdRng;
+
+use crate::graph::{Graph, Var};
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamSet};
+
+/// Fully-connected layer `y = x W + b`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Allocate a layer in `set`.
+    pub fn new(set: &mut ParamSet, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let w = set.alloc_xavier(in_dim, out_dim, rng);
+        let b = set.alloc_zeros(1, out_dim);
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Record `x @ W + b`.
+    pub fn forward(&self, g: &mut Graph, set: &ParamSet, x: Var) -> Var {
+        let w = g.param(self.w, set);
+        let b = g.param(self.b, set);
+        let y = g.matmul(x, w);
+        g.add_row_broadcast(y, b)
+    }
+}
+
+/// Embedding table: id → row vector.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Embedding {
+    table: ParamId,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding width.
+    pub dim: usize,
+}
+
+impl Embedding {
+    /// Allocate a `vocab × dim` table.
+    pub fn new(set: &mut ParamSet, vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+        let table = set.alloc_xavier(vocab, dim, rng);
+        Self { table, vocab, dim }
+    }
+
+    /// Look up one embedding per index (rows of the output).
+    pub fn forward(&self, g: &mut Graph, set: &ParamSet, indices: &[usize]) -> Var {
+        debug_assert!(indices.iter().all(|&i| i < self.vocab), "embedding index out of range");
+        let t = g.param(self.table, set);
+        g.gather(t, indices)
+    }
+}
+
+/// Row-wise layer normalisation with learnable scale and shift.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    /// Normalised width.
+    pub dim: usize,
+}
+
+impl LayerNorm {
+    /// Allocate γ = 1, β = 0.
+    pub fn new(set: &mut ParamSet, dim: usize) -> Self {
+        let gamma = set.alloc_ones(1, dim);
+        let beta = set.alloc_zeros(1, dim);
+        Self { gamma, beta, dim }
+    }
+
+    /// Record the normalisation.
+    pub fn forward(&self, g: &mut Graph, set: &ParamSet, x: Var) -> Var {
+        let gamma = g.param(self.gamma, set);
+        let beta = g.param(self.beta, set);
+        g.layer_norm_rows(x, gamma, beta, 1e-5)
+    }
+}
+
+/// Multi-head self-attention over a node sequence with an additive mask.
+///
+/// The paper's state network masks attention between *unreachable* plan-tree
+/// nodes: "setting the attention score to 0 between two unreachable nodes and
+/// 1 between two reachable nodes" — implemented here as an additive `-1e9`
+/// mask before the softmax, the standard trick with identical effect.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MultiHeadAttention {
+    wq: Vec<ParamId>,
+    wk: Vec<ParamId>,
+    wv: Vec<ParamId>,
+    wo: ParamId,
+    /// Number of heads.
+    pub heads: usize,
+    /// Model width (must divide by `heads`).
+    pub d_model: usize,
+}
+
+impl MultiHeadAttention {
+    /// Allocate projection matrices for `heads` heads over width `d_model`.
+    pub fn new(set: &mut ParamSet, d_model: usize, heads: usize, rng: &mut StdRng) -> Self {
+        assert_eq!(d_model % heads, 0, "heads must divide d_model");
+        let dk = d_model / heads;
+        let mut wq = Vec::with_capacity(heads);
+        let mut wk = Vec::with_capacity(heads);
+        let mut wv = Vec::with_capacity(heads);
+        for _ in 0..heads {
+            wq.push(set.alloc_xavier(d_model, dk, rng));
+            wk.push(set.alloc_xavier(d_model, dk, rng));
+            wv.push(set.alloc_xavier(d_model, dk, rng));
+        }
+        let wo = set.alloc_xavier(d_model, d_model, rng);
+        Self { wq, wk, wv, wo, heads, d_model }
+    }
+
+    /// Record attention over `x` (`L × d_model`). `mask` is an `L × L`
+    /// additive matrix (`0` = attend, `-1e9` = blocked), typically a
+    /// reachability mask built by the caller.
+    pub fn forward(&self, g: &mut Graph, set: &ParamSet, x: Var, mask: &Matrix) -> Var {
+        let l = g.value(x).rows;
+        assert_eq!((mask.rows, mask.cols), (l, l), "mask must be L×L");
+        let dk = (self.d_model / self.heads) as f32;
+        let mask_var = g.input(mask.clone());
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let wq = g.param(self.wq[h], set);
+            let wk = g.param(self.wk[h], set);
+            let wv = g.param(self.wv[h], set);
+            let q = g.matmul(x, wq);
+            let k = g.matmul(x, wk);
+            let v = g.matmul(x, wv);
+            let kt = g.transpose(k);
+            let scores = g.matmul(q, kt);
+            let scores = g.scale(scores, 1.0 / dk.sqrt());
+            let scores = g.add(scores, mask_var);
+            let attn = g.softmax_rows(scores);
+            head_outputs.push(g.matmul(attn, v));
+        }
+        let concat = g.concat_cols(&head_outputs);
+        let wo = g.param(self.wo, set);
+        g.matmul(concat, wo)
+    }
+}
+
+/// Build an additive mask (`0` attend / `-1e9` blocked) from a boolean
+/// reachability matrix.
+pub fn additive_mask(reachable: &[Vec<bool>]) -> Matrix {
+    let l = reachable.len();
+    let mut m = Matrix::zeros(l, l);
+    for (r, row) in reachable.iter().enumerate() {
+        assert_eq!(row.len(), l, "reachability matrix must be square");
+        for (c, &ok) in row.iter().enumerate() {
+            if !ok {
+                m.set(r, c, -1e9);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Adam;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let mut set = ParamSet::new();
+        let lin = Linear::new(&mut set, 4, 3, &mut rng());
+        let mut g = Graph::new();
+        let x = g.input(Matrix::zeros(5, 4));
+        let y = lin.forward(&mut g, &set, x);
+        assert_eq!((g.value(y).rows, g.value(y).cols), (5, 3));
+    }
+
+    #[test]
+    fn embedding_lookup_rows() {
+        let mut set = ParamSet::new();
+        let emb = Embedding::new(&mut set, 10, 6, &mut rng());
+        let mut g = Graph::new();
+        let e = emb.forward(&mut g, &set, &[3, 3, 9]);
+        let v = g.value(e);
+        assert_eq!((v.rows, v.cols), (3, 6));
+        assert_eq!(v.row(0), v.row(1));
+        assert_ne!(v.row(0), v.row(2));
+    }
+
+    #[test]
+    fn layer_norm_normalises() {
+        let mut set = ParamSet::new();
+        let ln = LayerNorm::new(&mut set, 4);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[10.0, 20.0, 30.0, 40.0]]));
+        let y = ln.forward(&mut g, &set, x);
+        let row = g.value(y).row(0).to_vec();
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn attention_mask_blocks_tokens() {
+        let mut set = ParamSet::new();
+        let mha = MultiHeadAttention::new(&mut set, 8, 2, &mut rng());
+        // Token 0 may only attend to itself; with a full mask vs a blocked
+        // mask, token 1's representation changes but token 0's does not
+        // if token 0's row is identical in both masks.
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.5, -0.5, 0.2, 0.0, 0.1, 0.3],
+            &[0.0, 1.0, -0.5, 0.5, 0.0, 0.2, 0.3, 0.1],
+        ]);
+        let full = additive_mask(&[vec![true, false], vec![true, true]]);
+        let blocked = additive_mask(&[vec![true, false], vec![false, true]]);
+        let mut g1 = Graph::new();
+        let x1 = g1.input(x.clone());
+        let y1 = mha.forward(&mut g1, &set, x1, &full);
+        let mut g2 = Graph::new();
+        let x2 = g2.input(x.clone());
+        let y2 = mha.forward(&mut g2, &set, x2, &blocked);
+        let r0_1 = g1.value(y1).row(0).to_vec();
+        let r0_2 = g2.value(y2).row(0).to_vec();
+        let r1_1 = g1.value(y1).row(1).to_vec();
+        let r1_2 = g2.value(y2).row(1).to_vec();
+        assert_eq!(r0_1, r0_2, "token 0 sees the same context in both");
+        assert_ne!(r1_1, r1_2, "token 1 lost access to token 0");
+    }
+
+    #[test]
+    fn attention_is_trainable() {
+        // Overfit a 2-token sequence to a fixed target through attention.
+        let mut set = ParamSet::new();
+        let mut r = rng();
+        let mha = MultiHeadAttention::new(&mut set, 8, 2, &mut r);
+        let mut adam = Adam::new(0.01);
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.5, -0.5, 0.2, 0.0, 0.1, 0.3],
+            &[0.0, 1.0, -0.5, 0.5, 0.0, 0.2, 0.3, 0.1],
+        ]);
+        let target = Matrix::full(2, 8, 0.25);
+        let mask = additive_mask(&[vec![true, true], vec![true, true]]);
+        let mut losses = Vec::new();
+        for _ in 0..120 {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let y = mha.forward(&mut g, &set, xv, &mask);
+            let t = g.input(target.clone());
+            let d = g.sub(y, t);
+            let sq = g.mul(d, d);
+            let loss = g.mean_all(sq);
+            losses.push(g.value(loss).get(0, 0));
+            set.zero_grad();
+            g.backward(loss, &mut set);
+            adam.step(&mut set);
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] / 10.0),
+            "attention failed to train: {} → {}",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+}

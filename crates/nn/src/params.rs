@@ -1,0 +1,216 @@
+//! Trainable parameters and the Adam optimiser.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Handle to one parameter tensor inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// One trainable tensor with its gradient accumulator and Adam moments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (zeroed by [`ParamSet::zero_grad`]).
+    pub grad: Matrix,
+    m: Matrix,
+    v: Matrix,
+}
+
+/// A registry of parameters; layers hold [`ParamId`]s into one shared set so
+/// the whole model can be stepped, serialised and copied at once.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamSet {
+    params: Vec<Param>,
+}
+
+impl ParamSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a tensor initialised with Xavier/Glorot uniform init.
+    pub fn alloc_xavier(&mut self, rows: usize, cols: usize, rng: &mut StdRng) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        self.alloc(Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Allocate a zero-initialised tensor (biases, layer-norm beta).
+    pub fn alloc_zeros(&mut self, rows: usize, cols: usize) -> ParamId {
+        self.alloc(Matrix::zeros(rows, cols))
+    }
+
+    /// Allocate a one-initialised tensor (layer-norm gamma).
+    pub fn alloc_ones(&mut self, rows: usize, cols: usize) -> ParamId {
+        self.alloc(Matrix::full(rows, cols, 1.0))
+    }
+
+    /// Allocate from an explicit value.
+    pub fn alloc(&mut self, value: Matrix) -> ParamId {
+        let id = ParamId(self.params.len());
+        let (r, c) = (value.rows, value.cols);
+        self.params.push(Param {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        });
+        id
+    }
+
+    /// Value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable value (tests / manual surgery).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].grad
+    }
+
+    /// Add `g` into the parameter's gradient (called by backward).
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
+        self.params[id.0].grad.add_assign(g);
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grad(&mut self) {
+        for p in &mut self.params {
+            p.grad.data.fill(0.0);
+        }
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn scalar_count(&self) -> usize {
+        self.params.iter().map(|p| p.value.data.len()).sum()
+    }
+
+    /// Global gradient L2 norm (for clipping).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.grad.data.iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scale all gradients by `factor` (gradient clipping).
+    pub fn scale_grads(&mut self, factor: f32) {
+        for p in &mut self.params {
+            for g in &mut p.grad.data {
+                *g *= factor;
+            }
+        }
+    }
+}
+
+/// Adam optimiser state (the per-tensor moments live in each [`Param`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical fuzz.
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with standard betas.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Apply one update to every parameter using its accumulated gradient.
+    pub fn step(&mut self, set: &mut ParamSet) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for p in &mut set.params {
+            for i in 0..p.value.data.len() {
+                let g = p.grad.data[i];
+                p.m.data[i] = self.beta1 * p.m.data[i] + (1.0 - self.beta1) * g;
+                p.v.data[i] = self.beta2 * p.v.data[i] + (1.0 - self.beta2) * g * g;
+                let mhat = p.m.data[i] / b1t;
+                let vhat = p.v.data[i] / b2t;
+                p.value.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_init_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut set = ParamSet::new();
+        let id = set.alloc_xavier(8, 8, &mut rng);
+        let bound = (6.0 / 16.0f32).sqrt();
+        assert!(set.value(id).data.iter().all(|v| v.abs() <= bound));
+        assert_eq!(set.scalar_count(), 64);
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        // Minimise f(w) = (w - 3)^2 by hand-fed gradients.
+        let mut set = ParamSet::new();
+        let id = set.alloc(Matrix::scalar(0.0));
+        let mut adam = Adam::new(0.1);
+        for _ in 0..300 {
+            set.zero_grad();
+            let w = set.value(id).get(0, 0);
+            set.accumulate_grad(id, &Matrix::scalar(2.0 * (w - 3.0)));
+            adam.step(&mut set);
+        }
+        let w = set.value(id).get(0, 0);
+        assert!((w - 3.0).abs() < 0.05, "w={w}");
+        assert_eq!(adam.steps(), 300);
+    }
+
+    #[test]
+    fn grad_norm_and_clipping() {
+        let mut set = ParamSet::new();
+        let id = set.alloc(Matrix::zeros(1, 2));
+        set.accumulate_grad(id, &Matrix::from_rows(&[&[3.0, 4.0]]));
+        assert!((set.grad_norm() - 5.0).abs() < 1e-6);
+        set.scale_grads(0.5);
+        assert!((set.grad_norm() - 2.5).abs() < 1e-6);
+        set.zero_grad();
+        assert_eq!(set.grad_norm(), 0.0);
+    }
+}

@@ -1,0 +1,458 @@
+//! Left-deep dynamic-programming plan enumeration (Selinger).
+
+use std::sync::Arc;
+
+use foss_catalog::Schema;
+use foss_common::{FossError, FxHashMap, Result};
+use foss_query::{JoinEdge, Predicate, Query};
+
+use crate::cardinality::CardinalityEstimator;
+use crate::cost::CostModel;
+use crate::icp::{JoinMethod, ALL_JOIN_METHODS};
+use crate::plan::{AccessPath, PhysicalPlan, PlanNode};
+
+/// The expert engine: schema + statistics + cost model.
+///
+/// `optimize` plays PostgreSQL's planner; `optimize_with_hint` (in
+/// [`crate::hint`]) plays `pg_hint_plan`.
+#[derive(Debug, Clone)]
+pub struct TraditionalOptimizer {
+    schema: Arc<Schema>,
+    estimator: CardinalityEstimator,
+    cost: CostModel,
+}
+
+/// One candidate physical join, produced per join method.
+#[derive(Debug, Clone)]
+pub(crate) struct JoinCandidate {
+    pub method: JoinMethod,
+    pub index_nl: bool,
+    pub edges: Vec<JoinEdge>,
+    pub out_rows: f64,
+    /// Incremental cost of the join plus the inner scan.
+    pub incremental_cost: f64,
+    /// The inner scan node to attach (access path already chosen).
+    pub inner: PlanNode,
+}
+
+impl TraditionalOptimizer {
+    /// Build the optimizer over a schema and its statistics.
+    pub fn new(schema: Arc<Schema>, estimator: CardinalityEstimator, cost: CostModel) -> Self {
+        Self { schema, estimator, cost }
+    }
+
+    /// The schema this optimizer plans against.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The cardinality estimator (exposed for baselines that reuse it).
+    pub fn estimator(&self) -> &CardinalityEstimator {
+        &self.estimator
+    }
+
+    /// The cost model (shared with the executor for work accounting).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Plan `query` from scratch: Selinger DP for ≤ 16 relations, greedy
+    /// beyond (mirroring PostgreSQL's GEQO cutoff; GEQO itself is disabled
+    /// in the paper's setup, and our workloads stay under the cutoff).
+    pub fn optimize(&self, query: &Query) -> Result<PhysicalPlan> {
+        let n = query.relation_count();
+        if n == 0 {
+            return Err(FossError::InvalidQuery("empty query".into()));
+        }
+        if n == 1 {
+            return Ok(PhysicalPlan { root: self.best_scan(query, 0) });
+        }
+        if n <= 16 {
+            self.optimize_dp(query)
+        } else {
+            self.optimize_greedy(query)
+        }
+    }
+
+    fn optimize_dp(&self, query: &Query) -> Result<PhysicalPlan> {
+        let n = query.relation_count();
+        let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let mut dp: FxHashMap<u32, PlanNode> = FxHashMap::default();
+        for r in 0..n {
+            dp.insert(1 << r, self.best_scan(query, r));
+        }
+        let mut frontier: Vec<u32> = (0..n).map(|r| 1u32 << r).collect();
+        for _size in 1..n {
+            let mut next: FxHashMap<u32, PlanNode> = FxHashMap::default();
+            for &mask in &frontier {
+                let left = &dp[&mask];
+                let left_rels = mask_to_rels(mask);
+                for r in 0..n {
+                    if mask & (1 << r) != 0 {
+                        continue;
+                    }
+                    let edges = query.edges_between_set(&left_rels, r);
+                    if edges.is_empty() {
+                        // No cross products during enumeration; connected
+                        // queries always admit an edge-joined order.
+                        continue;
+                    }
+                    let cand = self.best_join(query, left, r, &edges);
+                    let new_mask = mask | (1 << r);
+                    let node = self.attach(left.clone(), cand);
+                    match next.get(&new_mask) {
+                        Some(best) if best.est_cost() <= node.est_cost() => {}
+                        _ => {
+                            next.insert(new_mask, node);
+                        }
+                    }
+                }
+            }
+            frontier = next.keys().copied().collect();
+            dp.extend(next);
+        }
+        dp.remove(&full)
+            .map(|root| PhysicalPlan { root })
+            .ok_or_else(|| FossError::InvalidQuery("join graph unreachable via edges".into()))
+    }
+
+    fn optimize_greedy(&self, query: &Query) -> Result<PhysicalPlan> {
+        let n = query.relation_count();
+        // Seed with the cheapest edge-joined pair.
+        let mut best_seed: Option<(PlanNode, Vec<usize>)> = None;
+        for e in &query.joins {
+            for (a, b) in [(e.left, e.right), (e.right, e.left)] {
+                let left = self.best_scan(query, a);
+                let edges = query.edges_between_set(&[a], b);
+                let cand = self.best_join(query, &left, b, &edges);
+                let node = self.attach(left, cand);
+                if best_seed.as_ref().is_none_or(|(p, _)| node.est_cost() < p.est_cost()) {
+                    best_seed = Some((node, vec![a, b]));
+                }
+            }
+        }
+        let (mut plan, mut rels) =
+            best_seed.ok_or_else(|| FossError::InvalidQuery("no join edges".into()))?;
+        while rels.len() < n {
+            let mut best: Option<(PlanNode, usize)> = None;
+            for r in 0..n {
+                if rels.contains(&r) {
+                    continue;
+                }
+                let edges = query.edges_between_set(&rels, r);
+                if edges.is_empty() {
+                    continue;
+                }
+                let cand = self.best_join(query, &plan, r, &edges);
+                let node = self.attach(plan.clone(), cand);
+                if best.as_ref().is_none_or(|(p, _)| node.est_cost() < p.est_cost()) {
+                    best = Some((node, r));
+                }
+            }
+            let (node, r) =
+                best.ok_or_else(|| FossError::InvalidQuery("join graph disconnected".into()))?;
+            plan = node;
+            rels.push(r);
+        }
+        Ok(PhysicalPlan { root: plan })
+    }
+
+    /// Cheapest access path for relation `rel` of `query`.
+    pub(crate) fn best_scan(&self, query: &Query, rel: usize) -> PlanNode {
+        let relation = &query.relations[rel];
+        let table_def = self.schema.table(relation.table);
+        let stats = self.estimator.table_stats(relation.table.index());
+        let table_rows = stats.row_count as f64;
+        let est_rows = self.estimator.base_rows(&self.schema, query, rel);
+        let npreds = relation.predicates.len();
+
+        let mut best_access = AccessPath::SeqScan;
+        let mut best_cost = self.cost.seq_scan(table_rows, npreds);
+
+        // Try an index scan driven by each indexed predicate column.
+        for p in &relation.predicates {
+            let col = p.column();
+            if !table_def.columns[col].indexed {
+                continue;
+            }
+            let cs = &stats.columns[col];
+            let sel = match *p {
+                Predicate::Eq { value, .. } => cs.selectivity_eq(value),
+                Predicate::Range { lo, hi, .. } => cs.selectivity_range(lo, hi),
+            };
+            let matching = (table_rows * sel).max(1.0);
+            let cost = self.cost.index_scan(table_rows, matching, npreds - 1);
+            if cost < best_cost {
+                best_cost = cost;
+                best_access = AccessPath::IndexScan { column: col };
+            }
+        }
+        PlanNode::Scan { relation: rel, access: best_access, est_rows, est_cost: best_cost }
+    }
+
+    /// All physical candidates for joining `left` with relation `right_rel`.
+    pub(crate) fn join_candidates(
+        &self,
+        query: &Query,
+        left: &PlanNode,
+        right_rel: usize,
+        edges: &[JoinEdge],
+    ) -> Vec<JoinCandidate> {
+        let relation = &query.relations[right_rel];
+        let table_def = self.schema.table(relation.table);
+        let stats = self.estimator.table_stats(relation.table.index());
+        let inner_table_rows = stats.row_count as f64;
+        let inner_scan = self.best_scan(query, right_rel);
+        let inner_rows = inner_scan.est_rows();
+        let outer_rows = left.est_rows();
+        let out_rows = if edges.is_empty() {
+            (outer_rows * inner_rows).max(1.0) // cross join fallback (hints only)
+        } else {
+            self.estimator.join_rows(query, outer_rows, inner_rows, edges)
+        };
+
+        let mut cands = Vec::with_capacity(4);
+        for method in ALL_JOIN_METHODS {
+            let base_cost = self.cost.join(
+                method,
+                outer_rows,
+                inner_rows,
+                out_rows,
+                false,
+                inner_table_rows,
+            );
+            cands.push(JoinCandidate {
+                method,
+                index_nl: false,
+                edges: edges.to_vec(),
+                out_rows,
+                incremental_cost: base_cost + inner_scan.est_cost(),
+                inner: inner_scan.clone(),
+            });
+            if method == JoinMethod::NestLoop {
+                if let Some(first) = edges.first() {
+                    if table_def.columns[first.right_column].indexed {
+                        let cost = self.cost.join(
+                            method,
+                            outer_rows,
+                            inner_rows,
+                            out_rows,
+                            true,
+                            inner_table_rows,
+                        );
+                        // The index replaces the inner scan entirely.
+                        let inner = PlanNode::Scan {
+                            relation: right_rel,
+                            access: AccessPath::IndexScan { column: first.right_column },
+                            est_rows: inner_rows,
+                            est_cost: 0.0,
+                        };
+                        cands.push(JoinCandidate {
+                            method,
+                            index_nl: true,
+                            edges: edges.to_vec(),
+                            out_rows,
+                            incremental_cost: cost,
+                            inner,
+                        });
+                    }
+                }
+            }
+        }
+        cands
+    }
+
+    /// Cheapest candidate among [`Self::join_candidates`].
+    pub(crate) fn best_join(
+        &self,
+        query: &Query,
+        left: &PlanNode,
+        right_rel: usize,
+        edges: &[JoinEdge],
+    ) -> JoinCandidate {
+        self.join_candidates(query, left, right_rel, edges)
+            .into_iter()
+            .min_by(|a, b| a.incremental_cost.total_cmp(&b.incremental_cost))
+            .expect("at least three join methods")
+    }
+
+    /// Cheapest candidate *with a fixed join method* (hint completion).
+    pub(crate) fn best_join_with_method(
+        &self,
+        query: &Query,
+        left: &PlanNode,
+        right_rel: usize,
+        edges: &[JoinEdge],
+        method: JoinMethod,
+    ) -> JoinCandidate {
+        self.join_candidates(query, left, right_rel, edges)
+            .into_iter()
+            .filter(|c| c.method == method)
+            .min_by(|a, b| a.incremental_cost.total_cmp(&b.incremental_cost))
+            .expect("every method yields at least one candidate")
+    }
+
+    /// Attach a candidate to the current left-deep prefix.
+    pub(crate) fn attach(&self, left: PlanNode, cand: JoinCandidate) -> PlanNode {
+        let est_cost = left.est_cost() + cand.incremental_cost;
+        PlanNode::Join {
+            method: cand.method,
+            left: Box::new(left),
+            right: Box::new(cand.inner),
+            edges: cand.edges,
+            index_nl: cand.index_nl,
+            est_rows: cand.out_rows,
+            est_cost,
+        }
+    }
+}
+
+fn mask_to_rels(mask: u32) -> Vec<usize> {
+    (0..32).filter(|&r| mask & (1 << r) != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostParams;
+    use foss_catalog::{ColumnDef, TableDef, TableStats};
+    use foss_common::QueryId;
+    use foss_query::QueryBuilder;
+    use foss_storage::{Column, Table};
+
+    /// Chain schema a—b—c with very different sizes so the join order matters.
+    fn setup() -> (Arc<Schema>, TraditionalOptimizer, Query) {
+        let mut schema = Schema::new();
+        let mut tables = Vec::new();
+        for (name, rows) in [("a", 100usize), ("b", 10_000), ("c", 1000)] {
+            schema
+                .add_table(TableDef {
+                    name: name.into(),
+                    columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("fk")],
+                })
+                .unwrap();
+            let ids: Vec<i64> = (0..rows as i64).collect();
+            let fks: Vec<i64> = (0..rows as i64).map(|i| i % 100).collect();
+            tables.push(
+                Table::new(
+                    name,
+                    vec![("id".into(), Column::new(ids)), ("fk".into(), Column::new(fks))],
+                )
+                .unwrap(),
+            );
+        }
+        let stats: Vec<TableStats> = tables.iter().map(|t| TableStats::analyze(t, 16)).collect();
+        let schema = Arc::new(schema);
+        let opt = TraditionalOptimizer::new(
+            schema.clone(),
+            CardinalityEstimator::new(stats),
+            CostModel::new(CostParams::default()),
+        );
+
+        let mut qb = QueryBuilder::new(QueryId::new(0), 1);
+        let a = qb.relation(schema.table_id("a").unwrap(), "a");
+        let b = qb.relation(schema.table_id("b").unwrap(), "b");
+        let c = qb.relation(schema.table_id("c").unwrap(), "c");
+        qb.join(a, 0, b, 1).join(a, 0, c, 1);
+        let q = qb.build(&schema).unwrap();
+        (schema, opt, q)
+    }
+
+    #[test]
+    fn dp_produces_left_deep_plan_covering_all_relations() {
+        let (_, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        assert!(plan.is_left_deep());
+        let icp = plan.extract_icp().unwrap();
+        assert_eq!(icp.relation_count(), 3);
+        assert!(plan.est_cost() > 0.0);
+    }
+
+    #[test]
+    fn dp_beats_or_matches_every_hint_order() {
+        // DP optimality under its own estimates: no hinted left-deep plan may
+        // have lower *estimated* cost.
+        use crate::icp::Icp;
+        let (_, opt, q) = setup();
+        let best = opt.optimize(&q).unwrap();
+        let orders = [
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![2, 0, 1],
+        ];
+        for order in orders {
+            for m1 in ALL_JOIN_METHODS {
+                for m2 in ALL_JOIN_METHODS {
+                    let icp = Icp::new(order.clone(), vec![m1, m2]).unwrap();
+                    let hinted = opt.optimize_with_hint(&q, &icp).unwrap();
+                    assert!(
+                        best.est_cost() <= hinted.est_cost() + 1e-6,
+                        "hint {icp} estimated cheaper ({}) than DP ({})",
+                        hinted.est_cost(),
+                        best.est_cost()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_relation_query() {
+        let (schema, opt, _) = setup();
+        let mut qb = QueryBuilder::new(QueryId::new(1), 1);
+        qb.relation(schema.table_id("a").unwrap(), "a");
+        let q = qb.build(&schema).unwrap();
+        let plan = opt.optimize(&q).unwrap();
+        assert_eq!(plan.root.node_count(), 1);
+        let icp = plan.extract_icp().unwrap();
+        assert_eq!(icp.join_count(), 0);
+    }
+
+    #[test]
+    fn greedy_handles_larger_queries() {
+        // Star query with 18 relations exercises the greedy path.
+        let mut schema = Schema::new();
+        let mut stats = Vec::new();
+        for i in 0..18 {
+            schema
+                .add_table(TableDef {
+                    name: format!("t{i}"),
+                    columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("fk")],
+                })
+                .unwrap();
+            let rows = 100 + i * 50;
+            let ids: Vec<i64> = (0..rows as i64).collect();
+            let fks: Vec<i64> = (0..rows as i64).map(|v| v % 50).collect();
+            let t = Table::new(
+                format!("t{i}"),
+                vec![("id".into(), Column::new(ids)), ("fk".into(), Column::new(fks))],
+            )
+            .unwrap();
+            stats.push(TableStats::analyze(&t, 8));
+        }
+        let schema = Arc::new(schema);
+        let opt = TraditionalOptimizer::new(
+            schema.clone(),
+            CardinalityEstimator::new(stats),
+            CostModel::default(),
+        );
+        let mut qb = QueryBuilder::new(QueryId::new(0), 1);
+        let hub = qb.relation(schema.table_id("t0").unwrap(), "t0");
+        for i in 1..18 {
+            let r = qb.relation(schema.table_id(&format!("t{i}")).unwrap(), format!("r{i}"));
+            qb.join(hub, 0, r, 1);
+        }
+        let q = qb.build(&schema).unwrap();
+        let plan = opt.optimize(&q).unwrap();
+        assert!(plan.is_left_deep());
+        assert_eq!(plan.extract_icp().unwrap().relation_count(), 18);
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let (_, opt, _) = setup();
+        let q = QueryBuilder::new(QueryId::new(9), 1).build_unchecked();
+        assert!(opt.optimize(&q).is_err());
+    }
+}

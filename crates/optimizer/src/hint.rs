@@ -1,0 +1,161 @@
+//! Hint steering: complete an incomplete plan — our `pg_hint_plan`.
+//!
+//! Given an ICP (join order + join methods) the expert engine builds the
+//! corresponding left-deep plan, filling in everything the ICP does not pin
+//! down: access paths, index nested loops, cardinality and cost estimates.
+//! This is the state-transition function `Γp(Q, ICP) → CP` of the paper's
+//! environment (both real and simulated).
+
+use foss_common::{FossError, Result};
+use foss_query::Query;
+
+use crate::dp::TraditionalOptimizer;
+use crate::icp::Icp;
+use crate::plan::PhysicalPlan;
+
+impl TraditionalOptimizer {
+    /// Complete `icp` into a physical plan for `query`.
+    ///
+    /// The join order and join methods are taken verbatim from the hint; the
+    /// optimizer contributes access-path selection (seq vs index scan,
+    /// index nested loop) using its own cost estimates — the "table scan
+    /// operators and other nodes will be complemented by the traditional
+    /// optimizer using its own expert knowledge" behaviour of §III.
+    pub fn optimize_with_hint(&self, query: &Query, icp: &Icp) -> Result<PhysicalPlan> {
+        let n = query.relation_count();
+        if icp.relation_count() != n {
+            return Err(FossError::InvalidPlan(format!(
+                "hint covers {} relations, query has {n}",
+                icp.relation_count()
+            )));
+        }
+        let mut left = self.best_scan(query, icp.order[0]);
+        let mut joined: Vec<usize> = vec![icp.order[0]];
+        for (k, &rel) in icp.order.iter().enumerate().skip(1) {
+            let method = icp.methods[k - 1];
+            let edges = query.edges_between_set(&joined, rel);
+            let cand = self.best_join_with_method(query, &left, rel, &edges, method);
+            left = self.attach(left, cand);
+            joined.push(rel);
+        }
+        Ok(PhysicalPlan { root: left })
+    }
+
+    /// `Γp(Q, /) → CP` for `t = 0` and `Γp(Q, ICP) → CP` for `t > 0`
+    /// (the paper's environment transition, Algorithm 1 lines 2 and 15).
+    pub fn transition(&self, query: &Query, icp: Option<&Icp>) -> Result<PhysicalPlan> {
+        match icp {
+            None => self.optimize(query),
+            Some(icp) => self.optimize_with_hint(query, icp),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::CardinalityEstimator;
+    use crate::cost::CostModel;
+    use crate::icp::JoinMethod;
+    use crate::plan::PlanNode;
+    use foss_catalog::{ColumnDef, Schema, TableDef, TableStats};
+    use foss_common::QueryId;
+    use foss_query::QueryBuilder;
+    use foss_storage::{Column, Table};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, TraditionalOptimizer, Query) {
+        let mut schema = Schema::new();
+        let mut stats = Vec::new();
+        for (name, rows) in [("a", 50usize), ("b", 5000), ("c", 500)] {
+            schema
+                .add_table(TableDef {
+                    name: name.into(),
+                    columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("fk")],
+                })
+                .unwrap();
+            let ids: Vec<i64> = (0..rows as i64).collect();
+            let fks: Vec<i64> = (0..rows as i64).map(|i| i % 50).collect();
+            let t = Table::new(
+                name,
+                vec![("id".into(), Column::new(ids)), ("fk".into(), Column::new(fks))],
+            )
+            .unwrap();
+            stats.push(TableStats::analyze(&t, 16));
+        }
+        let schema = Arc::new(schema);
+        let opt = TraditionalOptimizer::new(
+            schema.clone(),
+            CardinalityEstimator::new(stats),
+            CostModel::default(),
+        );
+        let mut qb = QueryBuilder::new(QueryId::new(0), 1);
+        let a = qb.relation(schema.table_id("a").unwrap(), "a");
+        let b = qb.relation(schema.table_id("b").unwrap(), "b");
+        let c = qb.relation(schema.table_id("c").unwrap(), "c");
+        qb.join(a, 0, b, 1).join(a, 0, c, 1);
+        let q = qb.build(&schema).unwrap();
+        (schema, opt, q)
+    }
+
+    #[test]
+    fn hint_is_respected_verbatim() {
+        let (_, opt, q) = setup();
+        let icp = Icp::new(vec![2, 0, 1], vec![JoinMethod::NestLoop, JoinMethod::Merge]).unwrap();
+        let plan = opt.optimize_with_hint(&q, &icp).unwrap();
+        let extracted = plan.extract_icp().unwrap();
+        assert_eq!(extracted, icp, "hinted order/methods must round-trip");
+    }
+
+    #[test]
+    fn transition_matches_paper_contract() {
+        let (_, opt, q) = setup();
+        let original = opt.transition(&q, None).unwrap();
+        let icp = original.extract_icp().unwrap();
+        let steered = opt.transition(&q, Some(&icp)).unwrap();
+        // Re-steering with the extracted ICP reproduces the same skeleton.
+        assert_eq!(steered.extract_icp().unwrap(), icp);
+    }
+
+    #[test]
+    fn wrong_arity_hint_rejected() {
+        let (_, opt, q) = setup();
+        let icp = Icp::new(vec![0, 1], vec![JoinMethod::Hash]).unwrap();
+        assert!(opt.optimize_with_hint(&q, &icp).is_err());
+    }
+
+    #[test]
+    fn cross_join_hints_are_completed_not_rejected() {
+        // Order (b, c, a): b and c share no edge, so the first join is a
+        // cross join; hint completion must still produce a plan (the planner
+        // masks such actions, but robustness matters for property tests).
+        let (_, opt, q) = setup();
+        let icp = Icp::new(vec![1, 2, 0], vec![JoinMethod::Hash, JoinMethod::Hash]).unwrap();
+        let plan = opt.optimize_with_hint(&q, &icp).unwrap();
+        assert!(plan.est_rows() >= 1.0);
+    }
+
+    #[test]
+    fn nestloop_hint_can_choose_index_inner() {
+        let (_, opt, q) = setup();
+        // Join (a ⋈ b) with NL: b.fk is the join column but only b.id is
+        // indexed... join edge is a.id = b.fk so inner lookup column is fk
+        // (not indexed) → naive NL. Now order (b, a): inner lookup column is
+        // a.id (indexed) → index NL expected.
+        let icp = Icp::new(vec![1, 0, 2], vec![JoinMethod::NestLoop, JoinMethod::Hash]).unwrap();
+        let plan = opt.optimize_with_hint(&q, &icp).unwrap();
+        fn find_nl(node: &PlanNode) -> Option<bool> {
+            match node {
+                PlanNode::Scan { .. } => None,
+                PlanNode::Join { method, index_nl, left, .. } => {
+                    if *method == JoinMethod::NestLoop {
+                        Some(*index_nl)
+                    } else {
+                        find_nl(left)
+                    }
+                }
+            }
+        }
+        assert_eq!(find_nl(&plan.root), Some(true));
+    }
+}

@@ -1,0 +1,30 @@
+//! A Selinger-style traditional cost-based optimizer — the "expert engine".
+//!
+//! This crate substitutes for PostgreSQL 12.1 in the paper's setup:
+//!
+//! * dynamic-programming enumeration of **left-deep** join trees (the paper
+//!   restricts FOSS to left-deep plans, matching PostgreSQL/MySQL practice),
+//! * a histogram-based cardinality estimator that makes the textbook
+//!   uniformity/independence assumptions,
+//! * a PostgreSQL-flavoured cost model over three join methods (hash, merge,
+//!   nested-loop, optionally index-accelerated) and two access paths,
+//! * **hint steering** equivalent to `pg_hint_plan`: given an incomplete plan
+//!   (join order + join methods), the optimizer completes it with its own
+//!   expert knowledge (access paths, estimated cardinalities).
+//!
+//! The estimator's systematic errors on skewed/correlated data are the reason
+//! the expert's plans are repairable — precisely the premise of FOSS.
+
+pub mod cardinality;
+pub mod cost;
+pub mod dp;
+pub mod hint;
+pub mod icp;
+pub mod plan;
+pub mod steering;
+
+pub use cardinality::CardinalityEstimator;
+pub use cost::{CostModel, CostParams};
+pub use dp::TraditionalOptimizer;
+pub use icp::{Icp, JoinMethod, ALL_JOIN_METHODS};
+pub use plan::{AccessPath, PhysicalPlan, PlanNode};

@@ -1,0 +1,237 @@
+//! Coarse steering modes used by the *plan-steerer* baselines.
+//!
+//! * [`TraditionalOptimizer::optimize_with_methods`] — plan with a restricted
+//!   set of join methods, the mechanism behind Bao-style hint sets
+//!   ("disable nested loop join for the entire query");
+//! * [`TraditionalOptimizer::optimize_with_leading`] — force a leading join
+//!   order prefix and let the optimizer complete the plan, the mechanism
+//!   behind HybridQO's MCTS-discovered leading hints.
+
+use foss_common::{FossError, Result};
+use foss_query::Query;
+
+use crate::dp::TraditionalOptimizer;
+use crate::icp::JoinMethod;
+use crate::plan::{PhysicalPlan, PlanNode};
+
+impl TraditionalOptimizer {
+    /// Plan `query` using only join methods in `allowed` (Bao hint sets).
+    pub fn optimize_with_methods(
+        &self,
+        query: &Query,
+        allowed: &[JoinMethod],
+    ) -> Result<PhysicalPlan> {
+        if allowed.is_empty() {
+            return Err(FossError::InvalidPlan("empty join-method set".into()));
+        }
+        let n = query.relation_count();
+        if n <= 1 {
+            return self.optimize(query);
+        }
+        // Greedy left-deep under the restriction: seed with the cheapest
+        // allowed pair, extend with the cheapest allowed join. (PostgreSQL's
+        // enable_* GUCs degrade similarly: the restricted space is searched
+        // with the same cost model.)
+        let mut best_seed: Option<(PlanNode, Vec<usize>)> = None;
+        for e in &query.joins {
+            for (a, b) in [(e.left, e.right), (e.right, e.left)] {
+                let left = self.best_scan(query, a);
+                let edges = query.edges_between_set(&[a], b);
+                if let Some(cand) = self.best_allowed(query, &left, b, &edges, allowed) {
+                    let node = self.attach(left, cand);
+                    if best_seed.as_ref().is_none_or(|(p, _)| node.est_cost() < p.est_cost()) {
+                        best_seed = Some((node, vec![a, b]));
+                    }
+                }
+            }
+        }
+        let (mut plan, mut rels) =
+            best_seed.ok_or_else(|| FossError::InvalidQuery("no join edges".into()))?;
+        while rels.len() < n {
+            let mut best: Option<(PlanNode, usize)> = None;
+            for r in 0..n {
+                if rels.contains(&r) {
+                    continue;
+                }
+                let edges = query.edges_between_set(&rels, r);
+                if edges.is_empty() {
+                    continue;
+                }
+                if let Some(cand) = self.best_allowed(query, &plan, r, &edges, allowed) {
+                    let node = self.attach(plan.clone(), cand);
+                    if best.as_ref().is_none_or(|(p, _)| node.est_cost() < p.est_cost()) {
+                        best = Some((node, r));
+                    }
+                }
+            }
+            let (node, r) =
+                best.ok_or_else(|| FossError::InvalidQuery("join graph disconnected".into()))?;
+            plan = node;
+            rels.push(r);
+        }
+        Ok(PhysicalPlan { root: plan })
+    }
+
+    fn best_allowed(
+        &self,
+        query: &Query,
+        left: &PlanNode,
+        right_rel: usize,
+        edges: &[foss_query::JoinEdge],
+        allowed: &[JoinMethod],
+    ) -> Option<crate::dp::JoinCandidate> {
+        self.join_candidates(query, left, right_rel, edges)
+            .into_iter()
+            .filter(|c| allowed.contains(&c.method))
+            .min_by(|a, b| a.incremental_cost.total_cmp(&b.incremental_cost))
+    }
+
+    /// Plan `query` with a forced leading join-order prefix (HybridQO).
+    ///
+    /// The prefix relations are joined first, in order, with cost-chosen
+    /// methods; the remaining relations are appended greedily by cost.
+    pub fn optimize_with_leading(&self, query: &Query, leading: &[usize]) -> Result<PhysicalPlan> {
+        let n = query.relation_count();
+        if leading.is_empty() || leading.len() > n {
+            return Err(FossError::InvalidPlan("bad leading prefix".into()));
+        }
+        let mut seen = vec![false; n];
+        for &r in leading {
+            if r >= n || seen[r] {
+                return Err(FossError::InvalidPlan("leading prefix not a partial permutation".into()));
+            }
+            seen[r] = true;
+        }
+        let mut plan = self.best_scan(query, leading[0]);
+        let mut rels = vec![leading[0]];
+        for &r in &leading[1..] {
+            let edges = query.edges_between_set(&rels, r);
+            let cand = self.best_join(query, &plan, r, &edges);
+            plan = self.attach(plan, cand);
+            rels.push(r);
+        }
+        while rels.len() < n {
+            let mut best: Option<(PlanNode, usize)> = None;
+            for r in 0..n {
+                if rels.contains(&r) {
+                    continue;
+                }
+                let edges = query.edges_between_set(&rels, r);
+                if edges.is_empty() {
+                    continue;
+                }
+                let cand = self.best_join(query, &plan, r, &edges);
+                let node = self.attach(plan.clone(), cand);
+                if best.as_ref().is_none_or(|(p, _)| node.est_cost() < p.est_cost()) {
+                    best = Some((node, r));
+                }
+            }
+            let (node, r) =
+                best.ok_or_else(|| FossError::InvalidQuery("join graph disconnected".into()))?;
+            plan = node;
+            rels.push(r);
+        }
+        Ok(PhysicalPlan { root: plan })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::CardinalityEstimator;
+    use crate::cost::CostModel;
+    use crate::icp::ALL_JOIN_METHODS;
+    use foss_catalog::{ColumnDef, Schema, TableDef, TableStats};
+    use foss_common::QueryId;
+    use foss_query::QueryBuilder;
+    use foss_storage::{Column, Table};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, TraditionalOptimizer, Query) {
+        let mut schema = Schema::new();
+        let mut stats = Vec::new();
+        for (name, rows) in [("a", 60usize), ("b", 6000), ("c", 600)] {
+            schema
+                .add_table(TableDef {
+                    name: name.into(),
+                    columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("fk")],
+                })
+                .unwrap();
+            let ids: Vec<i64> = (0..rows as i64).collect();
+            let fks: Vec<i64> = (0..rows as i64).map(|i| i % 60).collect();
+            let t = Table::new(
+                name,
+                vec![("id".into(), Column::new(ids)), ("fk".into(), Column::new(fks))],
+            )
+            .unwrap();
+            stats.push(TableStats::analyze(&t, 16));
+        }
+        let schema = Arc::new(schema);
+        let opt = TraditionalOptimizer::new(
+            schema.clone(),
+            CardinalityEstimator::new(stats),
+            CostModel::default(),
+        );
+        let mut qb = QueryBuilder::new(QueryId::new(0), 1);
+        let a = qb.relation(schema.table_id("a").unwrap(), "a");
+        let b = qb.relation(schema.table_id("b").unwrap(), "b");
+        let c = qb.relation(schema.table_id("c").unwrap(), "c");
+        qb.join(a, 0, b, 1).join(a, 0, c, 1);
+        let q = qb.build(&schema).unwrap();
+        (schema, opt, q)
+    }
+
+    fn methods_used(plan: &PhysicalPlan) -> Vec<JoinMethod> {
+        plan.extract_icp().unwrap().methods
+    }
+
+    #[test]
+    fn method_restriction_is_respected() {
+        let (_, opt, q) = setup();
+        for allowed in [
+            vec![JoinMethod::Hash],
+            vec![JoinMethod::Merge],
+            vec![JoinMethod::NestLoop],
+            vec![JoinMethod::Hash, JoinMethod::Merge],
+        ] {
+            let plan = opt.optimize_with_methods(&q, &allowed).unwrap();
+            for m in methods_used(&plan) {
+                assert!(allowed.contains(&m), "{m} not in {allowed:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrestricted_set_matches_or_beats_restrictions() {
+        let (_, opt, q) = setup();
+        let free = opt.optimize(&q).unwrap().est_cost();
+        for m in ALL_JOIN_METHODS {
+            let restricted = opt.optimize_with_methods(&q, &[m]).unwrap().est_cost();
+            assert!(free <= restricted + 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_method_set_rejected() {
+        let (_, opt, q) = setup();
+        assert!(opt.optimize_with_methods(&q, &[]).is_err());
+    }
+
+    #[test]
+    fn leading_prefix_is_respected() {
+        let (_, opt, q) = setup();
+        for leading in [vec![2usize, 0], vec![1, 0], vec![0, 2, 1]] {
+            let plan = opt.optimize_with_leading(&q, &leading).unwrap();
+            let icp = plan.extract_icp().unwrap();
+            assert_eq!(&icp.order[..leading.len()], &leading[..], "prefix not honoured");
+        }
+    }
+
+    #[test]
+    fn bad_leading_prefixes_rejected() {
+        let (_, opt, q) = setup();
+        assert!(opt.optimize_with_leading(&q, &[]).is_err());
+        assert!(opt.optimize_with_leading(&q, &[0, 0]).is_err());
+        assert!(opt.optimize_with_leading(&q, &[7]).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Scan predicates over a single relation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A predicate on one column of one relation.
+///
+/// Workload generators only emit conjunctions of these, matching the
+/// select-project-join queries the paper's benchmarks use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `col = value`
+    Eq {
+        /// Column index within the relation's table.
+        column: usize,
+        /// Constant compared against.
+        value: i64,
+    },
+    /// `lo ≤ col ≤ hi` (inclusive)
+    Range {
+        /// Column index within the relation's table.
+        column: usize,
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+}
+
+impl Predicate {
+    /// The column this predicate constrains.
+    pub fn column(&self) -> usize {
+        match self {
+            Predicate::Eq { column, .. } | Predicate::Range { column, .. } => *column,
+        }
+    }
+
+    /// Evaluate against a concrete value.
+    #[inline]
+    pub fn matches(&self, v: i64) -> bool {
+        match *self {
+            Predicate::Eq { value, .. } => v == value,
+            Predicate::Range { lo, hi, .. } => (lo..=hi).contains(&v),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Eq { column, value } => write!(f, "c{column} = {value}"),
+            Predicate::Range { column, lo, hi } => write!(f, "c{column} BETWEEN {lo} AND {hi}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_matches() {
+        let p = Predicate::Eq { column: 0, value: 5 };
+        assert!(p.matches(5));
+        assert!(!p.matches(6));
+        assert_eq!(p.column(), 0);
+    }
+
+    #[test]
+    fn range_matches_inclusive() {
+        let p = Predicate::Range { column: 2, lo: -1, hi: 3 };
+        assert!(p.matches(-1));
+        assert!(p.matches(3));
+        assert!(!p.matches(4));
+        assert_eq!(p.column(), 2);
+    }
+
+    #[test]
+    fn display_is_sqlish() {
+        assert_eq!(Predicate::Eq { column: 1, value: 9 }.to_string(), "c1 = 9");
+        assert_eq!(
+            Predicate::Range { column: 0, lo: 1, hi: 2 }.to_string(),
+            "c0 BETWEEN 1 AND 2"
+        );
+    }
+}

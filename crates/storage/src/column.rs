@@ -1,0 +1,94 @@
+//! A single integer column.
+//!
+//! All synthetic workloads use dictionary-encoded `i64` values: join keys,
+//! foreign keys and low-cardinality attributes. Keeping one concrete value
+//! type keeps the executor's inner loops monomorphic and branch-free.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `i64` column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    values: Vec<i64>,
+}
+
+impl Column {
+    /// Build a column from raw values.
+    pub fn new(values: Vec<i64>) -> Self {
+        Self { values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the column holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow the backing slice.
+    #[inline]
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Value at `row`. Panics when out of bounds (executor rows are trusted).
+    #[inline]
+    pub fn get(&self, row: usize) -> i64 {
+        self.values[row]
+    }
+
+    /// Minimum value, or `None` for an empty column.
+    pub fn min(&self) -> Option<i64> {
+        self.values.iter().copied().min()
+    }
+
+    /// Maximum value, or `None` for an empty column.
+    pub fn max(&self) -> Option<i64> {
+        self.values.iter().copied().max()
+    }
+
+    /// Exact number of distinct values (O(n log n); used at stats-build time
+    /// only, never in the executor hot path).
+    pub fn distinct_count(&self) -> usize {
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+}
+
+impl From<Vec<i64>> for Column {
+    fn from(values: Vec<i64>) -> Self {
+        Self::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let c = Column::new(vec![3, 1, 2, 1]);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(c.get(2), 2);
+        assert_eq!(c.min(), Some(1));
+        assert_eq!(c.max(), Some(3));
+        assert_eq!(c.distinct_count(), 3);
+    }
+
+    #[test]
+    fn empty_column_edge_cases() {
+        let c = Column::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.min(), None);
+        assert_eq!(c.max(), None);
+        assert_eq!(c.distinct_count(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-column access-path structures.
+//!
+//! `HashIndex` models a hash/B-tree equality lookup (used by index
+//! nested-loop joins); `SortedIndex` models a B-tree range scan. Both return
+//! *row ids* so the executor can fetch sibling columns.
+
+use foss_common::FxHashMap;
+
+/// Equality index: value → row ids.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: FxHashMap<i64, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Build from a column slice.
+    pub fn build(values: &[i64]) -> Self {
+        let mut map: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+        for (row, &v) in values.iter().enumerate() {
+            map.entry(v).or_default().push(row as u32);
+        }
+        Self { map }
+    }
+
+    /// Row ids matching `value` (empty slice when absent).
+    #[inline]
+    pub fn lookup(&self, value: i64) -> &[u32] {
+        self.map.get(&value).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Range index: (value, row id) pairs sorted by value.
+#[derive(Debug, Clone, Default)]
+pub struct SortedIndex {
+    entries: Vec<(i64, u32)>,
+}
+
+impl SortedIndex {
+    /// Build from a column slice.
+    pub fn build(values: &[i64]) -> Self {
+        let mut entries: Vec<(i64, u32)> = values
+            .iter()
+            .enumerate()
+            .map(|(row, &v)| (v, row as u32))
+            .collect();
+        entries.sort_unstable();
+        Self { entries }
+    }
+
+    /// Row ids with value in `[lo, hi]` (inclusive bounds).
+    pub fn range(&self, lo: i64, hi: i64) -> impl Iterator<Item = u32> + '_ {
+        let start = self.entries.partition_point(|&(v, _)| v < lo);
+        self.entries[start..]
+            .iter()
+            .take_while(move |&&(v, _)| v <= hi)
+            .map(|&(_, row)| row)
+    }
+
+    /// Row ids equal to `value`.
+    pub fn equal(&self, value: i64) -> impl Iterator<Item = u32> + '_ {
+        self.range(value, value)
+    }
+
+    /// Total entries (== rows in the indexed column).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_index_lookup() {
+        let idx = HashIndex::build(&[5, 7, 5, 9]);
+        assert_eq!(idx.lookup(5), &[0, 2]);
+        assert_eq!(idx.lookup(7), &[1]);
+        assert!(idx.lookup(42).is_empty());
+        assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn sorted_index_range() {
+        let idx = SortedIndex::build(&[30, 10, 20, 10]);
+        let rows: Vec<u32> = idx.range(10, 20).collect();
+        assert_eq!(rows, vec![1, 3, 2]);
+        let eq: Vec<u32> = idx.equal(10).collect();
+        assert_eq!(eq, vec![1, 3]);
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn sorted_index_empty_range() {
+        let idx = SortedIndex::build(&[1, 2, 3]);
+        assert_eq!(idx.range(10, 20).count(), 0);
+        // Degenerate hi < lo range.
+        assert_eq!(idx.range(3, 1).count(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! In-memory columnar storage and synthetic data generation.
+//!
+//! The paper evaluates FOSS against PostgreSQL over IMDb, TPC-DS and Stack
+//! data. This crate is the storage substrate of our substitution: integer
+//! columns held in plain vectors (all workload predicates are equality /
+//! range tests over dictionary-encoded values), optional hash and sorted
+//! indexes, and generators for the skewed / correlated distributions that
+//! make the traditional optimizer's independence assumption fail — the very
+//! failure FOSS is designed to repair.
+
+pub mod column;
+pub mod generator;
+pub mod index;
+pub mod table;
+
+pub use column::Column;
+pub use generator::{ColumnSpec, Distribution, TableGenerator};
+pub use index::{HashIndex, SortedIndex};
+pub use table::Table;

@@ -1,0 +1,187 @@
+//! A named collection of equal-length columns plus optional indexes.
+
+use foss_common::{FossError, FxHashMap, Result};
+
+use crate::column::Column;
+use crate::index::{HashIndex, SortedIndex};
+
+/// A base table: columns by name, with lazily built per-column indexes.
+///
+/// Indexes model PostgreSQL's B-tree / hash access paths: the optimizer may
+/// choose an index scan or an index nested-loop join when one exists.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    column_names: Vec<String>,
+    columns: Vec<Column>,
+    by_name: FxHashMap<String, usize>,
+    hash_indexes: FxHashMap<usize, HashIndex>,
+    sorted_indexes: FxHashMap<usize, SortedIndex>,
+}
+
+impl Table {
+    /// Build a table; all columns must have the same length.
+    pub fn new(name: impl Into<String>, columns: Vec<(String, Column)>) -> Result<Self> {
+        let name = name.into();
+        if let Some(first) = columns.first() {
+            let n = first.1.len();
+            if let Some((bad, _)) = columns.iter().find(|(_, c)| c.len() != n) {
+                return Err(FossError::InvalidQuery(format!(
+                    "column {bad} length differs from {n} in table {name}"
+                )));
+            }
+        }
+        let mut by_name = FxHashMap::default();
+        let mut column_names = Vec::with_capacity(columns.len());
+        let mut cols = Vec::with_capacity(columns.len());
+        for (i, (cname, col)) in columns.into_iter().enumerate() {
+            if by_name.insert(cname.clone(), i).is_some() {
+                return Err(FossError::InvalidQuery(format!(
+                    "duplicate column {cname} in table {name}"
+                )));
+            }
+            column_names.push(cname);
+            cols.push(col);
+        }
+        Ok(Self {
+            name,
+            column_names,
+            columns: cols,
+            by_name,
+            hash_indexes: FxHashMap::default(),
+            sorted_indexes: FxHashMap::default(),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> &[String] {
+        &self.column_names
+    }
+
+    /// Position of column `name`.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| FossError::UnknownName(format!("{}.{}", self.name, name)))
+    }
+
+    /// Column by position.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.column_index(name)?])
+    }
+
+    /// Build (or rebuild) a hash index on column `idx`.
+    pub fn build_hash_index(&mut self, idx: usize) {
+        let index = HashIndex::build(self.columns[idx].values());
+        self.hash_indexes.insert(idx, index);
+    }
+
+    /// Build (or rebuild) a sorted index on column `idx`.
+    pub fn build_sorted_index(&mut self, idx: usize) {
+        let index = SortedIndex::build(self.columns[idx].values());
+        self.sorted_indexes.insert(idx, index);
+    }
+
+    /// The hash index on column `idx`, when built.
+    pub fn hash_index(&self, idx: usize) -> Option<&HashIndex> {
+        self.hash_indexes.get(&idx)
+    }
+
+    /// The sorted index on column `idx`, when built.
+    pub fn sorted_index(&self, idx: usize) -> Option<&SortedIndex> {
+        self.sorted_indexes.get(&idx)
+    }
+
+    /// True when column `idx` has any index (the optimizer's access-path check).
+    pub fn has_index(&self, idx: usize) -> bool {
+        self.hash_indexes.contains_key(&idx) || self.sorted_indexes.contains_key(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("id".into(), Column::new(vec![1, 2, 3])),
+                ("v".into(), Column::new(vec![10, 20, 30])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = demo();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column_count(), 2);
+        assert_eq!(t.column_index("v").unwrap(), 1);
+        assert_eq!(t.column_by_name("id").unwrap().get(2), 3);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let r = Table::new(
+            "bad",
+            vec![
+                ("a".into(), Column::new(vec![1])),
+                ("b".into(), Column::new(vec![1, 2])),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let r = Table::new(
+            "bad",
+            vec![
+                ("a".into(), Column::new(vec![1])),
+                ("a".into(), Column::new(vec![2])),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = demo();
+        assert!(t.column_index("nope").is_err());
+    }
+
+    #[test]
+    fn index_lifecycle() {
+        let mut t = demo();
+        assert!(!t.has_index(0));
+        t.build_hash_index(0);
+        assert!(t.has_index(0));
+        assert!(t.hash_index(0).is_some());
+        assert!(t.sorted_index(0).is_none());
+        t.build_sorted_index(1);
+        assert!(t.sorted_index(1).is_some());
+    }
+}

@@ -1,0 +1,117 @@
+//! Internal helper shared by the three workload definitions: declare tables
+//! once and get schema + generated data + database + expert optimizer.
+
+use std::sync::Arc;
+
+use foss_catalog::{ColumnDef, ForeignKey, Schema, TableDef};
+use foss_common::Result;
+use foss_executor::Database;
+use foss_optimizer::{CardinalityEstimator, CostModel, TraditionalOptimizer};
+use foss_storage::{ColumnSpec, Distribution, TableGenerator};
+
+/// One declared column: schema definition + data distribution.
+pub(crate) struct Col {
+    pub def: ColumnDef,
+    pub dist: Distribution,
+}
+
+impl Col {
+    pub fn indexed(name: &str, dist: Distribution) -> Self {
+        Self { def: ColumnDef::indexed(name), dist }
+    }
+
+    pub fn plain(name: &str, dist: Distribution) -> Self {
+        Self { def: ColumnDef::plain(name), dist }
+    }
+}
+
+/// Declarative database builder.
+pub(crate) struct DbBuilder {
+    tables: Vec<(String, usize, Vec<Col>)>,
+    fks: Vec<(String, String, String, String)>,
+}
+
+impl DbBuilder {
+    pub fn new() -> Self {
+        Self { tables: Vec::new(), fks: Vec::new() }
+    }
+
+    /// Declare a table.
+    pub fn table(&mut self, name: &str, rows: usize, cols: Vec<Col>) -> &mut Self {
+        self.tables.push((name.to_string(), rows, cols));
+        self
+    }
+
+    /// Declare a foreign key (by names) — recorded in the schema's join
+    /// graph for documentation; templates join explicitly by column index.
+    pub fn fk(&mut self, from: &str, from_col: &str, to: &str, to_col: &str) -> &mut Self {
+        self.fks
+            .push((from.to_string(), from_col.to_string(), to.to_string(), to_col.to_string()));
+        self
+    }
+
+    /// Generate data and assemble the database + optimizer.
+    pub fn build(self, seed: u64) -> Result<(Arc<Schema>, Arc<Database>, Arc<TraditionalOptimizer>)> {
+        let mut schema = Schema::new();
+        for (name, _, cols) in &self.tables {
+            schema.add_table(TableDef {
+                name: name.clone(),
+                columns: cols.iter().map(|c| c.def.clone()).collect(),
+            })?;
+        }
+        for (from, from_col, to, to_col) in &self.fks {
+            let ft = schema.table_id(from)?;
+            let tt = schema.table_id(to)?;
+            let fc = schema
+                .table(ft)
+                .column_index(from_col)
+                .ok_or_else(|| foss_common::FossError::UnknownName(from_col.clone()))?;
+            let tc = schema
+                .table(tt)
+                .column_index(to_col)
+                .ok_or_else(|| foss_common::FossError::UnknownName(to_col.clone()))?;
+            schema.add_foreign_key(ForeignKey {
+                from_table: ft,
+                from_column: fc,
+                to_table: tt,
+                to_column: tc,
+            })?;
+        }
+        let schema = Arc::new(schema);
+        let gen = TableGenerator::new(seed);
+        let mut tables = Vec::with_capacity(self.tables.len());
+        for (name, rows, cols) in &self.tables {
+            let specs: Vec<ColumnSpec> = cols
+                .iter()
+                .map(|c| ColumnSpec::new(c.def.name.clone(), c.dist.clone()))
+                .collect();
+            tables.push(gen.generate(name, *rows, &specs)?);
+        }
+        let db = Arc::new(Database::new(schema.clone(), tables, 32)?);
+        let optimizer = Arc::new(TraditionalOptimizer::new(
+            schema.clone(),
+            CardinalityEstimator::new(db.stats_vec()),
+            CostModel::default(),
+        ));
+        Ok((schema, db, optimizer))
+    }
+}
+
+/// Instantiate `per_template` queries from each template, assigning
+/// sequential query ids.
+pub(crate) fn instantiate_all(
+    templates: &[crate::template::Template],
+    schema: &Schema,
+    per_template: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<Vec<foss_query::Query>> {
+    let mut queries = Vec::with_capacity(templates.len() * per_template);
+    let mut qid = 0usize;
+    for t in templates {
+        for _ in 0..per_template {
+            queries.push(t.instantiate(schema, foss_common::QueryId::new(qid), rng)?);
+            qid += 1;
+        }
+    }
+    Ok(queries)
+}

@@ -1,0 +1,159 @@
+//! Benchmark workloads: JOB-lite, TPC-DS-lite and Stack-lite.
+//!
+//! Synthetic stand-ins for the paper's three benchmarks, built to preserve
+//! what makes each hard (or easy) for a traditional optimizer:
+//!
+//! * **JOB-lite** (`joblite`) — the IMDb shape: 21 tables around a `title`
+//!   hub, Zipf-skewed fan-outs and correlated predicates, 33 templates /
+//!   113 queries with Balsa's 94/19 random split. Skew + correlation break
+//!   the independence assumption, so the expert's plans leave headroom.
+//! * **TPC-DS-lite** (`tpcdslite`) — three fact tables over shared
+//!   dimensions, mild skew, 19 templates × 6 queries (5/1 per template).
+//!   The expert is already close to optimal here (paper: WRL ≈ 0.87).
+//! * **Stack-lite** (`stacklite`) — StackExchange shape: heavy-tailed user /
+//!   question activity, 12 templates × 10 queries (8/2 per template).
+//!
+//! Queries are generated from explicit templates via [`template`], fully
+//! deterministic from the workload seed.
+
+pub(crate) mod builder;
+pub mod joblite;
+pub mod metrics;
+pub mod stacklite;
+pub mod template;
+pub mod tpcdslite;
+
+use std::sync::Arc;
+
+use foss_executor::Database;
+use foss_optimizer::TraditionalOptimizer;
+use foss_query::Query;
+
+pub use metrics::{geometric_mean_relevant_latency, workload_relevant_latency, QueryOutcome};
+pub use template::{PredSpec, Template, TemplateRel};
+
+/// A fully materialised benchmark: data, expert optimizer, query splits.
+pub struct Workload {
+    /// Benchmark name (`joblite` / `tpcdslite` / `stacklite`).
+    pub name: String,
+    /// The stored database (tables, indexes, statistics).
+    pub db: Arc<Database>,
+    /// The expert engine bound to this database's statistics.
+    pub optimizer: Arc<TraditionalOptimizer>,
+    /// Training queries.
+    pub train: Vec<Query>,
+    /// Held-out test queries.
+    pub test: Vec<Query>,
+    /// Largest relation count across all queries (sizes action spaces).
+    pub max_relations: usize,
+}
+
+impl Workload {
+    /// Train + test queries, train first.
+    pub fn all_queries(&self) -> Vec<Query> {
+        let mut all = self.train.clone();
+        all.extend(self.test.iter().cloned());
+        all
+    }
+
+    /// Per-table row counts (feeds FOSS's plan encoder).
+    pub fn table_rows(&self) -> Vec<u64> {
+        self.db.stats().iter().map(|s| s.row_count).collect()
+    }
+
+    /// Number of base tables.
+    pub fn table_count(&self) -> usize {
+        self.db.schema().table_count()
+    }
+}
+
+/// Scale factor applied to every generated table (1.0 = defaults; smaller
+/// values make unit tests fast).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Row-count multiplier.
+    pub scale: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self { seed: 42, scale: 1.0 }
+    }
+}
+
+impl WorkloadSpec {
+    /// Spec with an explicit seed at full scale.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, scale: 1.0 }
+    }
+
+    /// Tiny variant for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self { seed, scale: 0.1 }
+    }
+
+    pub(crate) fn rows(&self, base: usize) -> usize {
+        ((base as f64 * self.scale) as usize).max(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_workloads_materialise() {
+        for wl in [
+            joblite::build(WorkloadSpec::tiny(1)),
+            tpcdslite::build(WorkloadSpec::tiny(1)),
+            stacklite::build(WorkloadSpec::tiny(1)),
+        ] {
+            let wl = wl.expect("workload builds");
+            assert!(!wl.train.is_empty());
+            assert!(!wl.test.is_empty());
+            assert!(wl.max_relations >= 3);
+            assert!(wl.table_count() > 5);
+            assert_eq!(wl.table_rows().len(), wl.table_count());
+        }
+    }
+
+    #[test]
+    fn query_counts_match_paper_structure() {
+        let job = joblite::build(WorkloadSpec::tiny(2)).unwrap();
+        assert_eq!(job.train.len() + job.test.len(), 113);
+        assert_eq!(job.test.len(), 19);
+        let tpcds = tpcdslite::build(WorkloadSpec::tiny(2)).unwrap();
+        assert_eq!(tpcds.train.len(), 19 * 5);
+        assert_eq!(tpcds.test.len(), 19);
+        let stack = stacklite::build(WorkloadSpec::tiny(2)).unwrap();
+        assert_eq!(stack.train.len(), 12 * 8);
+        assert_eq!(stack.test.len(), 12 * 2);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let a = joblite::build(WorkloadSpec::tiny(7)).unwrap();
+        let b = joblite::build(WorkloadSpec::tiny(7)).unwrap();
+        assert_eq!(a.train.len(), b.train.len());
+        for (qa, qb) in a.train.iter().zip(&b.train) {
+            assert_eq!(qa, qb);
+        }
+        let c = joblite::build(WorkloadSpec::tiny(8)).unwrap();
+        // Different seed shuffles the split differently.
+        assert!(a.train.iter().zip(&c.train).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn every_query_plans_and_executes() {
+        use foss_executor::Executor;
+        let wl = tpcdslite::build(WorkloadSpec::tiny(3)).unwrap();
+        let exec = Executor::new(&wl.db, *wl.optimizer.cost_model());
+        for q in wl.all_queries().iter().take(12) {
+            let plan = wl.optimizer.optimize(q).expect("plans");
+            let out = exec.execute(q, &plan, None).expect("executes");
+            assert!(out.latency > 0.0);
+        }
+    }
+}

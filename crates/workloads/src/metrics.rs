@@ -1,0 +1,88 @@
+//! The paper's evaluation metrics (§VI-A Metrics).
+//!
+//! * **GMRL** — Geometric Mean Relevant Latency: per-query latency ratio vs
+//!   the expert, geometric-averaged. Query-level optimisation quality.
+//! * **WRL** — Workload Relevant Latency: total (latency + optimisation
+//!   time) ratio over the whole workload. Dominated by the heavy queries.
+//!
+//! For both, < 1 beats the expert optimizer.
+
+/// One query's measurement for a learned optimizer vs the expert.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOutcome {
+    /// Learned optimizer's execution latency (`ET_l`).
+    pub learned_latency: f64,
+    /// Expert's execution latency (`ET_e`).
+    pub expert_latency: f64,
+    /// Learned optimizer's optimisation (planning) time (`OT_l`).
+    pub learned_opt_time: f64,
+    /// Expert's optimisation time (`OT_e`).
+    pub expert_opt_time: f64,
+}
+
+/// `GMRL = (∏ ET_l / ET_e)^(1/|W|)`.
+pub fn geometric_mean_relevant_latency(outcomes: &[QueryOutcome]) -> f64 {
+    assert!(!outcomes.is_empty(), "GMRL over empty workload");
+    let log_sum: f64 = outcomes
+        .iter()
+        .map(|o| (o.learned_latency.max(1e-12) / o.expert_latency.max(1e-12)).ln())
+        .sum();
+    (log_sum / outcomes.len() as f64).exp()
+}
+
+/// `WRL = Σ(ET_l + OT_l) / Σ(ET_e + OT_e)`.
+pub fn workload_relevant_latency(outcomes: &[QueryOutcome]) -> f64 {
+    assert!(!outcomes.is_empty(), "WRL over empty workload");
+    let num: f64 = outcomes.iter().map(|o| o.learned_latency + o.learned_opt_time).sum();
+    let den: f64 = outcomes.iter().map(|o| o.expert_latency + o.expert_opt_time).sum();
+    num / den.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(l: f64, e: f64) -> QueryOutcome {
+        QueryOutcome {
+            learned_latency: l,
+            expert_latency: e,
+            learned_opt_time: 0.0,
+            expert_opt_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn identical_latencies_give_unity() {
+        let out = vec![o(10.0, 10.0), o(5.0, 5.0)];
+        assert!((geometric_mean_relevant_latency(&out) - 1.0).abs() < 1e-12);
+        assert!((workload_relevant_latency(&out) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmrl_is_geometric() {
+        // Ratios 0.25 and 4.0 cancel geometrically.
+        let out = vec![o(25.0, 100.0), o(400.0, 100.0)];
+        assert!((geometric_mean_relevant_latency(&out) - 1.0).abs() < 1e-9);
+        // WRL is dominated by totals instead: (25+400)/(200) = 2.125.
+        assert!((workload_relevant_latency(&out) - 2.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrl_includes_optimisation_time() {
+        let out = vec![QueryOutcome {
+            learned_latency: 50.0,
+            expert_latency: 100.0,
+            learned_opt_time: 50.0,
+            expert_opt_time: 0.0,
+        }];
+        // Latency halved, but planning overhead eats the gain.
+        assert!((workload_relevant_latency(&out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn better_everywhere_is_below_one() {
+        let out = vec![o(50.0, 100.0), o(5.0, 20.0)];
+        assert!(geometric_mean_relevant_latency(&out) < 1.0);
+        assert!(workload_relevant_latency(&out) < 1.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Query templates and their instantiation.
+//!
+//! A template fixes the relational shape (tables, aliases, join edges) and
+//! describes predicates as *distributions*; instantiation draws concrete
+//! constants, yielding the N-queries-per-template structure of JOB, TPC-DS
+//! and Stack.
+
+use foss_catalog::Schema;
+use foss_common::{QueryId, Result};
+use foss_query::{Predicate, Query, QueryBuilder};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// How a predicate constant is drawn at instantiation time.
+#[derive(Debug, Clone, Copy)]
+pub enum PredSpec {
+    /// `col = U[lo, hi]`.
+    EqUniform {
+        /// Column index.
+        column: usize,
+        /// Inclusive lower bound of the constant.
+        lo: i64,
+        /// Inclusive upper bound of the constant.
+        hi: i64,
+    },
+    /// `col = floor(|N(0, (hi−lo)/6)|) + lo` — biased towards small values,
+    /// matching Zipf-distributed columns (hot constants are queried more).
+    EqSkewed {
+        /// Column index.
+        column: usize,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// `col BETWEEN x AND x + w` with `x` uniform and `w ∈ [min_w, max_w]`.
+    Range {
+        /// Column index.
+        column: usize,
+        /// Domain lower bound.
+        lo: i64,
+        /// Domain upper bound.
+        hi: i64,
+        /// Minimum range width.
+        min_w: i64,
+        /// Maximum range width.
+        max_w: i64,
+    },
+}
+
+impl PredSpec {
+    fn draw(&self, rng: &mut StdRng) -> Predicate {
+        match *self {
+            PredSpec::EqUniform { column, lo, hi } => {
+                Predicate::Eq { column, value: rng.random_range(lo..=hi) }
+            }
+            PredSpec::EqSkewed { column, lo, hi } => {
+                // Square a uniform draw: density ~ 1/sqrt, biased low.
+                let span = (hi - lo).max(1) as f64;
+                let u: f64 = rng.random_range(0.0..1.0);
+                let v = lo + (u * u * span) as i64;
+                Predicate::Eq { column, value: v.min(hi) }
+            }
+            PredSpec::Range { column, lo, hi, min_w, max_w } => {
+                let w = rng.random_range(min_w..=max_w);
+                let start = rng.random_range(lo..=(hi - w).max(lo));
+                Predicate::Range { column, lo: start, hi: start + w }
+            }
+        }
+    }
+}
+
+/// One relation of a template.
+#[derive(Debug, Clone)]
+pub struct TemplateRel {
+    /// Base table name.
+    pub table: String,
+    /// Alias (unique within the template).
+    pub alias: String,
+    /// Predicate distributions.
+    pub preds: Vec<PredSpec>,
+}
+
+impl TemplateRel {
+    /// Convenience constructor.
+    pub fn new(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        Self { table: table.into(), alias: alias.into(), preds: Vec::new() }
+    }
+
+    /// Attach a predicate spec.
+    pub fn pred(mut self, p: PredSpec) -> Self {
+        self.preds.push(p);
+        self
+    }
+}
+
+/// A query template: relations + join edges (by relation index + column).
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// Template number (as reported in result tables).
+    pub id: u32,
+    /// Relations.
+    pub rels: Vec<TemplateRel>,
+    /// Join edges `(rel_a, col_a, rel_b, col_b)`.
+    pub joins: Vec<(usize, usize, usize, usize)>,
+}
+
+impl Template {
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Draw one concrete query.
+    pub fn instantiate(&self, schema: &Schema, qid: QueryId, rng: &mut StdRng) -> Result<Query> {
+        let mut qb = QueryBuilder::new(qid, self.id);
+        let mut rel_idx = Vec::with_capacity(self.rels.len());
+        for rel in &self.rels {
+            let table = schema.table_id(&rel.table)?;
+            let idx = qb.relation(table, rel.alias.clone());
+            for spec in &rel.preds {
+                qb.predicate(idx, spec.draw(rng));
+            }
+            rel_idx.push(idx);
+        }
+        for &(a, ca, b, cb) in &self.joins {
+            qb.join(rel_idx[a], ca, rel_idx[b], cb);
+        }
+        qb.build(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foss_catalog::{ColumnDef, TableDef};
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        for name in ["x", "y"] {
+            s.add_table(TableDef {
+                name: name.into(),
+                columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("v")],
+            })
+            .unwrap();
+        }
+        s
+    }
+
+    fn template() -> Template {
+        Template {
+            id: 9,
+            rels: vec![
+                TemplateRel::new("x", "x1")
+                    .pred(PredSpec::EqUniform { column: 1, lo: 0, hi: 9 }),
+                TemplateRel::new("y", "y1")
+                    .pred(PredSpec::Range { column: 1, lo: 0, hi: 100, min_w: 5, max_w: 20 }),
+            ],
+            joins: vec![(0, 0, 1, 1)],
+        }
+    }
+
+    #[test]
+    fn instantiation_produces_valid_queries() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = template().instantiate(&s, QueryId::new(0), &mut rng).unwrap();
+        assert_eq!(q.template, 9);
+        assert_eq!(q.relation_count(), 2);
+        assert_eq!(q.relations[0].predicates.len(), 1);
+        assert_eq!(q.relations[1].predicates.len(), 1);
+    }
+
+    #[test]
+    fn different_draws_differ_and_seeds_repeat() {
+        let s = schema();
+        let t = template();
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = t.instantiate(&s, QueryId::new(0), &mut rng).unwrap();
+        let b = t.instantiate(&s, QueryId::new(1), &mut rng).unwrap();
+        assert_ne!(a.relations[0].predicates, b.relations[0].predicates);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let a2 = t.instantiate(&s, QueryId::new(0), &mut rng2).unwrap();
+        assert_eq!(a.relations[0].predicates, a2.relations[0].predicates);
+    }
+
+    #[test]
+    fn skewed_pred_prefers_small_constants() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = PredSpec::EqSkewed { column: 1, lo: 0, hi: 100 };
+        let mut small = 0;
+        for _ in 0..500 {
+            if let Predicate::Eq { value, .. } = spec.draw(&mut rng) {
+                if value < 25 {
+                    small += 1;
+                }
+            }
+            let _ = &s;
+        }
+        assert!(small > 200, "small constants drawn only {small}/500 times");
+    }
+
+    #[test]
+    fn range_bounds_are_ordered() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let spec = PredSpec::Range { column: 0, lo: 0, hi: 50, min_w: 1, max_w: 10 };
+        for _ in 0..100 {
+            if let Predicate::Range { lo, hi, .. } = spec.draw(&mut rng) {
+                assert!(lo <= hi);
+            }
+        }
+    }
+}

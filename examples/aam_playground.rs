@@ -1,0 +1,104 @@
+//! The asymmetric advantage model in isolation: collect latency-labelled
+//! plan pairs on Stack-lite, train the AAM, and inspect its selector
+//! behaviour and confusion matrix — the machinery behind the paper's §IV.
+//!
+//! ```sh
+//! cargo run --release --example aam_playground
+//! ```
+
+use foss_repro::core::aam::AdvantageModel;
+use foss_repro::core::advantage::AdvantageScale;
+use foss_repro::core::encoding::PlanEncoder;
+use foss_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, RngExt, SeedableRng};
+
+fn main() -> Result<()> {
+    let wl = stacklite::build(WorkloadSpec { seed: 11, scale: 0.12 })?;
+    let executor = CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model());
+    let encoder = PlanEncoder::new(wl.table_count(), wl.table_rows());
+    let scale = AdvantageScale::paper_default();
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Collect pairs: expert plan + random one-step doctored mutations.
+    println!("collecting latency-labelled plan pairs...");
+    let mut samples = Vec::new();
+    for query in wl.train.iter().take(40) {
+        let original = wl.optimizer.optimize(query)?;
+        let orig_lat = executor.execute(query, &original, None)?.latency;
+        let orig_enc = encoder.encode(query, &original, 0.0);
+        let icp = original.extract_icp()?;
+        let mut variants = Vec::new();
+        for i in 1..=icp.join_count() {
+            for j in 1..=3 {
+                let mut cand = icp.clone();
+                if cand.override_method(i, j).is_ok() && cand != icp {
+                    variants.push(cand);
+                }
+            }
+        }
+        variants.shuffle(&mut rng);
+        for cand in variants.into_iter().take(4) {
+            let plan = wl.optimizer.optimize_with_hint(query, &cand)?;
+            let lat = match executor.execute(query, &plan, Some(orig_lat * 3.0)) {
+                Ok(o) => o.latency,
+                Err(FossError::Timeout { .. }) => orig_lat * 3.0,
+                Err(e) => return Err(e),
+            };
+            let enc = encoder.encode(query, &plan, 1.0 / 3.0);
+            samples.push((orig_enc.clone(), enc.clone(), scale.score_latencies(orig_lat, lat)));
+            samples.push((enc, orig_enc.clone(), scale.score_latencies(lat, orig_lat)));
+        }
+    }
+    let label_counts = (0..3)
+        .map(|k| samples.iter().filter(|s| s.2 == k).count())
+        .collect::<Vec<_>>();
+    println!(
+        "{} pairs (labels 0/1/2 = {:?}) — skewed toward 0, as §IV-C expects",
+        samples.len(),
+        label_counts
+    );
+
+    // Train.
+    let mut aam = AdvantageModel::new(wl.table_count() + 1, &FossConfig::tiny(), &mut rng);
+    let split = samples.len() * 4 / 5;
+    let (train, test) = samples.split_at(split);
+    for epoch in 1..=12 {
+        let loss = aam.train_epoch(train, &mut rng);
+        if epoch % 3 == 0 {
+            println!(
+                "epoch {epoch:2}: loss={loss:.4} train_acc={:.2} held_out_acc={:.2}",
+                aam.accuracy(train),
+                aam.accuracy(test)
+            );
+        }
+    }
+
+    // Confusion matrix on the held-out pairs.
+    let mut confusion = [[0usize; 3]; 3];
+    for (l, r, y) in test {
+        confusion[*y][aam.predict(l, r)] += 1;
+    }
+    println!("\nheld-out confusion matrix (rows = truth, cols = predicted):");
+    for (k, row) in confusion.iter().enumerate() {
+        println!("  true {k}: {row:?}");
+    }
+
+    // Selector demo: champion tournament over a few candidates.
+    let query = &wl.train[0];
+    let original = wl.optimizer.optimize(query)?;
+    let mut candidates = vec![encoder.encode(query, &original, 0.0)];
+    let icp = original.extract_icp()?;
+    for j in 1..=3 {
+        let mut cand = icp.clone();
+        if cand.override_method(1, j).is_ok() {
+            let plan = wl.optimizer.optimize_with_hint(query, &cand)?;
+            candidates.push(encoder.encode(query, &plan, 1.0 / 3.0));
+        }
+    }
+    let refs: Vec<&_> = candidates.iter().collect();
+    let winner = foss_repro::core::select_best(&aam, &refs);
+    println!("\nselector picked candidate {winner} of {}", candidates.len());
+    let _ = rng.random_range(0..2);
+    Ok(())
+}

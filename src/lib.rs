@@ -1,0 +1,39 @@
+//! Umbrella crate for the FOSS reproduction workspace.
+//!
+//! Re-exports the public surface of every member crate so examples,
+//! integration tests and downstream users can depend on one crate:
+//!
+//! ```
+//! use foss_repro::prelude::*;
+//!
+//! let wl = joblite::build(WorkloadSpec::tiny(1)).unwrap();
+//! let plan = wl.optimizer.optimize(&wl.train[0]).unwrap();
+//! assert!(plan.is_left_deep());
+//! ```
+
+pub use foss_baselines as baselines;
+pub use foss_catalog as catalog;
+pub use foss_common as common;
+pub use foss_core as core;
+pub use foss_executor as executor;
+pub use foss_harness as harness;
+pub use foss_nn as nn;
+pub use foss_optimizer as optimizer;
+pub use foss_query as query;
+pub use foss_rl as rl;
+pub use foss_storage as storage;
+pub use foss_workloads as workloads;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use foss_baselines::{
+        Bao, BalsaLite, HybridQo, LearnedOptimizer, LogerLite, PostgresBaseline,
+    };
+    pub use foss_common::{FossError, QueryId, Result, TableId};
+    pub use foss_core::{Foss, FossConfig};
+    pub use foss_executor::{CachingExecutor, Database, Executor};
+    pub use foss_harness::{evaluate_on, Experiment, FossAdapter};
+    pub use foss_optimizer::{Icp, JoinMethod, PhysicalPlan, TraditionalOptimizer};
+    pub use foss_query::{Predicate, Query, QueryBuilder};
+    pub use foss_workloads::{joblite, stacklite, tpcdslite, Workload, WorkloadSpec};
+}

@@ -1,0 +1,162 @@
+//! Property-based tests over the core invariants, using proptest.
+
+use foss_repro::core::actions::{order_is_connected, Action, ActionSpace};
+use foss_repro::core::advantage::AdvantageScale;
+use foss_repro::prelude::*;
+use foss_repro::workloads::metrics::QueryOutcome;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Action encode/decode is a bijection for any space size.
+    #[test]
+    fn action_space_bijection(max_n in 2usize..12) {
+        let sp = ActionSpace::new(max_n);
+        for a in 0..sp.len() {
+            prop_assert_eq!(sp.encode(sp.decode(a)), a);
+        }
+        prop_assert_eq!(sp.len(), max_n * (max_n - 1) / 2 + 3 * (max_n - 1));
+    }
+
+    /// `min_steps_from` is symmetric, zero only at identity, and any single
+    /// action moves the distance by at most one.
+    #[test]
+    fn min_steps_metric_properties(
+        perm in prop::sample::subsequence((0..6usize).collect::<Vec<_>>(), 6),
+        methods in prop::collection::vec(0usize..3, 5),
+        action_idx in 0usize..33,
+    ) {
+        // `subsequence` of full length is the identity; build a permutation
+        // by rotating it by the first method value instead.
+        let mut order: Vec<usize> = perm;
+        if order.len() != 6 { order = (0..6).collect(); }
+        order.rotate_left(methods[0] % 6);
+        let ms: Vec<JoinMethod> = methods
+            .iter()
+            .map(|&m| foss_repro::optimizer::ALL_JOIN_METHODS[m])
+            .collect();
+        let base = Icp::new((0..6).collect(), vec![JoinMethod::Hash; 5]).unwrap();
+        let other = Icp::new(order, ms).unwrap();
+        prop_assert_eq!(other.min_steps_from(&base), base.min_steps_from(&other));
+        prop_assert_eq!(base.min_steps_from(&base), 0);
+        if other != base {
+            prop_assert!(other.min_steps_from(&base) >= 1);
+        }
+        // Applying one action changes the distance by at most 1.
+        let sp = ActionSpace::new(6);
+        let action = sp.decode(action_idx % sp.len());
+        let mut moved = other.clone();
+        if sp.apply(action, &mut moved).is_ok() {
+            let before = other.min_steps_from(&base) as i64;
+            let after = moved.min_steps_from(&base) as i64;
+            prop_assert!((after - before).abs() <= 1, "action {:?} jumped {} → {}", action, before, after);
+        }
+    }
+
+    /// Advantage discretisation is monotone in the latency ratio and the
+    /// boundary semantics match Eq. 2.
+    #[test]
+    fn advantage_scale_monotone(lat_l in 1.0f64..1e6, ratio_a in 0.001f64..10.0, ratio_b in 0.001f64..10.0) {
+        let scale = AdvantageScale::paper_default();
+        let (fast, slow) = if ratio_a < ratio_b { (ratio_a, ratio_b) } else { (ratio_b, ratio_a) };
+        let s_fast = scale.score_latencies(lat_l, lat_l * fast);
+        let s_slow = scale.score_latencies(lat_l, lat_l * slow);
+        prop_assert!(s_fast >= s_slow, "faster plan scored lower");
+        prop_assert!(s_fast <= 2);
+    }
+
+    /// GMRL/WRL basic laws: scaling every learned latency by `k` scales
+    /// GMRL by `k`; both equal 1 when learned == expert.
+    #[test]
+    fn metric_scaling_laws(lats in prop::collection::vec(1.0f64..1e5, 1..20), k in 0.1f64..10.0) {
+        let base: Vec<QueryOutcome> = lats
+            .iter()
+            .map(|&l| QueryOutcome {
+                learned_latency: l,
+                expert_latency: l,
+                learned_opt_time: 0.0,
+                expert_opt_time: 0.0,
+            })
+            .collect();
+        let gmrl = foss_repro::workloads::geometric_mean_relevant_latency(&base);
+        prop_assert!((gmrl - 1.0).abs() < 1e-9);
+        let scaled: Vec<QueryOutcome> = base
+            .iter()
+            .map(|o| QueryOutcome { learned_latency: o.learned_latency * k, ..*o })
+            .collect();
+        let g2 = foss_repro::workloads::geometric_mean_relevant_latency(&scaled);
+        prop_assert!((g2 - k).abs() < k * 1e-6);
+        let w2 = foss_repro::workloads::workload_relevant_latency(&scaled);
+        prop_assert!((w2 - k).abs() < k * 1e-6);
+    }
+
+    /// Histogram selectivities are proper probabilities and range
+    /// selectivity is superset-monotone.
+    #[test]
+    fn histogram_selectivity_properties(
+        values in prop::collection::vec(-1000i64..1000, 1..300),
+        lo in -1000i64..1000,
+        width in 0i64..500,
+    ) {
+        let stats = foss_repro::catalog::ColumnStats::analyze(&values, 16);
+        let hi = lo + width;
+        let sel = stats.selectivity_range(lo, hi);
+        prop_assert!((0.0..=1.0).contains(&sel));
+        let wider = stats.selectivity_range(lo - 10, hi + 10);
+        prop_assert!(wider + 1e-9 >= sel, "widening a range reduced selectivity");
+        let eq = stats.selectivity_eq(lo);
+        prop_assert!((0.0..=1.0).contains(&eq));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every hinted permutation of a real query preserves the result count
+    /// and survives ICP round-tripping.
+    #[test]
+    fn hinted_plans_preserve_semantics(seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let wl = tpcdslite::build(WorkloadSpec { seed: 3, scale: 0.04 }).unwrap();
+        let exec = CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model());
+        let q = &wl.train[(seed as usize) % wl.train.len()];
+        let expert = wl.optimizer.optimize(q).unwrap();
+        let truth = exec.execute(q, &expert, None).unwrap().rows;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = foss_repro::baselines::random_connected_order(q, &mut rng);
+        prop_assert!(order_is_connected(q, &order));
+        let methods = vec![JoinMethod::Hash; order.len() - 1];
+        let icp = Icp::new(order, methods).unwrap();
+        let plan = wl.optimizer.optimize_with_hint(q, &icp).unwrap();
+        prop_assert_eq!(plan.extract_icp().unwrap(), icp);
+        let out = exec.execute(q, &plan, None).unwrap();
+        prop_assert_eq!(out.rows, truth);
+    }
+
+    /// The action mask only admits actions that keep the ICP valid and the
+    /// join order connected.
+    #[test]
+    fn mask_admits_only_valid_actions(seed in 0u64..200) {
+        let wl = tpcdslite::build(WorkloadSpec { seed: 3, scale: 0.04 }).unwrap();
+        let q = &wl.train[(seed as usize) % wl.train.len()];
+        if q.relation_count() < 2 { return Ok(()); }
+        let expert = wl.optimizer.optimize(q).unwrap();
+        let icp = expert.extract_icp().unwrap();
+        let sp = ActionSpace::new(wl.max_relations);
+        let mask = sp.mask(q, &icp, None);
+        prop_assert!(mask.iter().any(|&m| m));
+        for a in 0..sp.len() {
+            if !mask[a] { continue; }
+            let action = sp.decode(a);
+            let mut cand = icp.clone();
+            prop_assert!(sp.apply(action, &mut cand).is_ok(), "masked-in action failed: {:?}", action);
+            prop_assert!(order_is_connected(q, &cand.order), "action {:?} disconnected the order", action);
+            if let Action::Override { i, j } = action {
+                prop_assert!(cand.methods[i - 1] == foss_repro::optimizer::ALL_JOIN_METHODS[j - 1]);
+                prop_assert!(cand != icp, "same-method override not masked");
+            }
+        }
+    }
+}
