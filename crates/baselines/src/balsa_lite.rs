@@ -188,7 +188,7 @@ mod tests {
     fn plans_after_training() {
         let world = TestWorld::new(3);
         let mut b = balsa(&world);
-        b.train_round(&[world.query.clone()]).unwrap();
+        b.train_round(std::slice::from_ref(&world.query)).unwrap();
         let plan = b.plan(&world.query).unwrap();
         assert!(plan.is_left_deep());
     }

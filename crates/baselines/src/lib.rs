@@ -129,7 +129,7 @@ mod tests {
     fn postgres_baseline_is_stable() {
         let world = TestWorld::new(2);
         let mut pg = PostgresBaseline::new(std::sync::Arc::new(world.opt.clone()));
-        pg.train_round(&[world.query.clone()]).unwrap();
+        pg.train_round(std::slice::from_ref(&world.query)).unwrap();
         let a = pg.plan(&world.query).unwrap();
         let b = pg.plan(&world.query).unwrap();
         assert_eq!(a.fingerprint(), b.fingerprint());

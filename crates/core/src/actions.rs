@@ -117,7 +117,7 @@ impl ActionSpace {
             }
             Action::Override { i, j } => {
                 let m = ALL_JOIN_METHODS.len();
-                assert!(i >= 1 && i <= self.max_n - 1 && j >= 1 && j <= m, "bad override ({i},{j})");
+                assert!(i >= 1 && i < self.max_n && j >= 1 && j <= m, "bad override ({i},{j})");
                 self.swap_count() + (i - 1) * m + (j - 1)
             }
         }

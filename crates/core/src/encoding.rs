@@ -152,13 +152,13 @@ impl PlanEncoder {
         // themselves).
         let n = ops.len();
         let mut reach = vec![vec![false; n]; n];
-        for i in 0..n {
+        for (i, first_parent) in parents.iter().enumerate() {
             reach[i][i] = true;
-            let mut cur = i;
-            while let Some(p) = parents[cur] {
+            let mut next = *first_parent;
+            while let Some(p) = next {
                 reach[i][p] = true;
                 reach[p][i] = true;
-                cur = p;
+                next = parents[p];
             }
         }
 

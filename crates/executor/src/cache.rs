@@ -29,22 +29,82 @@ pub enum CachedResult {
     },
 }
 
+type CacheKey = (QueryId, u64);
+
+/// Cache map plus FIFO bookkeeping behind one lock so lookup, insert and
+/// eviction stay atomic.
+#[derive(Debug, Default)]
+struct CacheState {
+    map: FxHashMap<CacheKey, CachedResult>,
+    /// Insertion order of keys, oldest first; only consulted when bounded.
+    order: std::collections::VecDeque<CacheKey>,
+    /// `None` = unbounded (training-loop default).
+    capacity: Option<usize>,
+    evictions: u64,
+}
+
+impl CacheState {
+    fn insert(&mut self, key: CacheKey, value: CachedResult) {
+        if self.map.insert(key, value).is_some() {
+            // Overwrite (e.g. a timed-out entry upgraded after a re-run with
+            // a larger budget): position in the FIFO is unchanged.
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            self.order.push_back(key);
+            // Every bounded fresh insert pushed to `order`, so the deque
+            // can't run dry while the map is over capacity.
+            while self.map.len() > cap {
+                let oldest = self.order.pop_front().expect("FIFO out of sync with map");
+                if self.map.remove(&oldest).is_some() {
+                    self.evictions += 1;
+                }
+            }
+        }
+    }
+}
+
 /// An [`Executor`] front-end with a fingerprint-keyed latency cache and an
 /// execution counter (used to report "plans executed" statistics).
+///
+/// By default the cache is unbounded — the training loop revisits the same
+/// (query, plan) pairs across episodes and wants every latency memoised.
+/// [`CachingExecutor::with_capacity`] bounds it with FIFO eviction for
+/// serving-style workloads where the plan stream is unbounded.
 pub struct CachingExecutor {
     db: Arc<Database>,
     cost: CostModel,
-    cache: Mutex<FxHashMap<(QueryId, u64), CachedResult>>,
+    cache: Mutex<CacheState>,
     executions: Mutex<u64>,
 }
 
 impl CachingExecutor {
-    /// Wrap a database + cost model.
+    /// Wrap a database + cost model with an unbounded cache.
     pub fn new(db: Arc<Database>, cost: CostModel) -> Self {
         Self {
             db,
             cost,
-            cache: Mutex::new(FxHashMap::default()),
+            cache: Mutex::new(CacheState::default()),
+            executions: Mutex::new(0),
+        }
+    }
+
+    /// Like [`CachingExecutor::new`], but the cache holds at most `capacity`
+    /// outcomes; inserting beyond that evicts the oldest entries first.
+    ///
+    /// # Panics
+    /// If `capacity == 0` — such a cache would evict every entry on insert
+    /// and silently defeat memoisation; use [`CachingExecutor::new`] for an
+    /// unbounded cache instead.
+    pub fn with_capacity(db: Arc<Database>, cost: CostModel, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive (use `new` for unbounded)");
+        Self {
+            db,
+            cost,
+            cache: Mutex::new(CacheState {
+                capacity: Some(capacity),
+                ..CacheState::default()
+            }),
             executions: Mutex::new(0),
         }
     }
@@ -62,7 +122,7 @@ impl CachingExecutor {
         budget: Option<f64>,
     ) -> Result<ExecOutcome> {
         let key = (query.id, plan.fingerprint());
-        if let Some(cached) = self.cache.lock().get(&key).copied() {
+        if let Some(cached) = self.cache.lock().map.get(&key).copied() {
             match cached {
                 CachedResult::Done(out) => {
                     if let Some(b) = budget {
@@ -76,8 +136,10 @@ impl CachingExecutor {
                     return Ok(out);
                 }
                 CachedResult::TimedOut { budget: old } => {
-                    if budget.is_some_and(|b| b <= old) {
-                        return Err(FossError::Timeout { spent: old as u64, budget: old as u64 });
+                    if let Some(b) = budget.filter(|&b| b <= old) {
+                        // `spent` is the work the failed run actually did;
+                        // `budget` echoes what this caller asked for.
+                        return Err(FossError::Timeout { spent: old as u64, budget: b as u64 });
                     }
                     // Larger (or no) budget: fall through and re-execute.
                 }
@@ -100,19 +162,31 @@ impl CachingExecutor {
         }
     }
 
-    /// Number of *real* executions performed (cache misses).
+    /// Number of *real* executions performed (cache misses) over the
+    /// executor's lifetime; [`CachingExecutor::clear`] does not reset it.
     pub fn executions(&self) -> u64 {
         *self.executions.lock()
     }
 
     /// Number of cached entries.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().map.len()
+    }
+
+    /// Number of entries evicted to honour the capacity bound over the
+    /// executor's lifetime; like [`CachingExecutor::executions`] it is a
+    /// monotone counter that [`CachingExecutor::clear`] does not reset.
+    pub fn evictions(&self) -> u64 {
+        self.cache.lock().evictions
     }
 
     /// Drop all cached outcomes (used between experiment repetitions).
+    /// The `executions`/`evictions` counters are lifetime totals and are
+    /// deliberately left untouched.
     pub fn clear(&self) {
-        self.cache.lock().clear();
+        let mut cache = self.cache.lock();
+        cache.map.clear();
+        cache.order.clear();
     }
 }
 
@@ -165,6 +239,13 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let (db, opt, _) = setup();
+        let _ = CachingExecutor::with_capacity(Arc::new(db), *opt.cost_model(), 0);
+    }
+
+    #[test]
     fn second_execution_hits_cache() {
         let (db, opt, q) = setup();
         let plan = opt.optimize(&q).unwrap();
@@ -204,6 +285,61 @@ mod tests {
         let out = cx.execute(&q, &plan, Some(full.latency * 2.0)).unwrap();
         assert_eq!(out, full);
         assert_eq!(cx.executions(), 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_first() {
+        let (db, opt, q) = setup();
+        let expert = opt.optimize(&q).unwrap();
+        // Three distinct plans: the expert and its two method variants.
+        let icp = expert.extract_icp().unwrap();
+        let mut plans = vec![expert];
+        for j in 1..=2 {
+            let mut cand = icp.clone();
+            cand.override_method(1, (icp.methods[0].index() + j) % 3 + 1).unwrap_or(());
+            plans.push(opt.optimize_with_hint(&q, &cand).unwrap());
+        }
+        plans.dedup_by_key(|p| p.fingerprint());
+        assert!(plans.len() >= 2, "need distinct plans to exercise eviction");
+
+        let cx = CachingExecutor::with_capacity(Arc::new(db.clone()), *opt.cost_model(), 1);
+        cx.execute(&q, &plans[0], None).unwrap();
+        assert_eq!((cx.cache_len(), cx.evictions()), (1, 0));
+        // Second distinct plan evicts the first.
+        cx.execute(&q, &plans[1], None).unwrap();
+        assert_eq!((cx.cache_len(), cx.evictions()), (1, 1));
+        // Re-running the evicted plan is a miss again.
+        cx.execute(&q, &plans[0], None).unwrap();
+        assert_eq!(cx.executions(), 3);
+        assert_eq!(cx.evictions(), 2);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let cx = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
+        for _ in 0..10 {
+            cx.execute(&q, &plan, None).unwrap();
+        }
+        assert_eq!(cx.executions(), 1);
+        assert_eq!(cx.evictions(), 0);
+    }
+
+    #[test]
+    fn timed_out_upgrade_keeps_cache_bounded() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let full = Executor::new(&db, *opt.cost_model())
+            .execute(&q, &plan, None)
+            .unwrap();
+        let cx = CachingExecutor::with_capacity(Arc::new(db.clone()), *opt.cost_model(), 2);
+        // Time out once, then upgrade the same key with a larger budget: the
+        // overwrite must not double-count the key in the FIFO.
+        assert!(cx.execute(&q, &plan, Some(full.latency / 10.0)).is_err());
+        cx.execute(&q, &plan, None).unwrap();
+        assert_eq!(cx.cache_len(), 1);
+        assert_eq!(cx.evictions(), 0);
     }
 
     #[test]

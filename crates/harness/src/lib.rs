@@ -111,7 +111,7 @@ impl LearnedOptimizer for FossAdapter {
     }
 
     fn plan(&mut self, query: &Query) -> Result<foss_optimizer::PhysicalPlan> {
-        Ok(self.foss.optimize(query)?)
+        self.foss.optimize(query)
     }
 }
 

@@ -182,7 +182,7 @@ mod tests {
         assert_eq!(table.rows[5].method, "FOSS");
         // The expert row scores GMRL exactly 1 against itself.
         assert!((table.rows[0].train.gmrl - 1.0).abs() < 1e-9);
-        let text = render(&[table.clone()]);
+        let text = render(std::slice::from_ref(&table));
         assert!(text.contains("FOSS"));
         let fig4 = render_fig4(&[table]);
         assert!(fig4.contains("vs"));

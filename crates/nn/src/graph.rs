@@ -332,8 +332,8 @@ impl Graph {
             let mean = row.iter().sum::<f32>() / row.len() as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
             let inv = 1.0 / (var + eps).sqrt();
-            for c in 0..xm.cols {
-                let xhat = (row[c] - mean) * inv;
+            for (c, &xv) in row.iter().enumerate() {
+                let xhat = (xv - mean) * inv;
                 out.data[r * xm.cols + c] = gm.data[c] * xhat + bm.data[c];
             }
         }

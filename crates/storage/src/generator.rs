@@ -154,13 +154,13 @@ impl TableGenerator {
                     assert!(*source < ci, "Derived column must reference an earlier column");
                     assert!(*modulus > 0, "Derived modulus must be positive");
                     let src = &raw[*source];
-                    for row in 0..rows {
+                    for &base in src.iter().take(rows) {
                         let jitter = if *noise == 0 {
                             0
                         } else {
                             rng.random_range(0..*noise) as i64
                         };
-                        let v = src[row].wrapping_mul(*mul).wrapping_add(*offset + jitter);
+                        let v = base.wrapping_mul(*mul).wrapping_add(*offset + jitter);
                         vals.push(v.rem_euclid(*modulus as i64));
                     }
                 }

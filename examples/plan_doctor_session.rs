@@ -56,8 +56,8 @@ fn main() -> Result<()> {
     for step in 1..=3 {
         let mask = space.mask(query, &icp, last_swap);
         let mut best: Option<(Action, f64)> = None;
-        for a in 0..space.len() {
-            if !mask[a] {
+        for (a, &allowed) in mask.iter().enumerate() {
+            if !allowed {
                 continue;
             }
             let action = space.decode(a);

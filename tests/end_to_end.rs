@@ -139,8 +139,8 @@ fn joblite_expert_leaves_doctoring_headroom() {
         checked += 1;
         let space = ActionSpace::new(q.relation_count().max(2));
         let mask = space.mask(q, &icp, None);
-        for a in 0..space.len() {
-            if !mask[a] {
+        for (a, &allowed) in mask.iter().enumerate() {
+            if !allowed {
                 continue;
             }
             let mut cand = icp.clone();

@@ -5,6 +5,14 @@ use foss_repro::core::advantage::AdvantageScale;
 use foss_repro::prelude::*;
 use foss_repro::workloads::metrics::QueryOutcome;
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Workload shared across `extract_then_rehint_is_fixpoint` cases so the 64
+/// generated cases don't each pay the workload-construction cost.
+fn fixpoint_workload() -> &'static Workload {
+    static WL: OnceLock<Workload> = OnceLock::new();
+    WL.get_or_init(|| tpcdslite::build(WorkloadSpec { seed: 3, scale: 0.04 }).unwrap())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -91,6 +99,91 @@ proptest! {
         prop_assert!((w2 - k).abs() < k * 1e-6);
     }
 
+    /// `Icp::new` accepts exactly the well-formed (order, methods) pairs:
+    /// non-empty order that is a permutation of `0..n` with `n - 1` methods.
+    #[test]
+    fn icp_new_rejects_malformed(
+        order in prop::collection::vec(0usize..10, 0..8),
+        method_ids in prop::collection::vec(0usize..3, 0..8),
+    ) {
+        let methods: Vec<JoinMethod> = method_ids
+            .iter()
+            .map(|&m| foss_repro::optimizer::ALL_JOIN_METHODS[m])
+            .collect();
+        let n = order.len();
+        let mut seen = vec![false; n];
+        let is_perm = !order.is_empty()
+            && order.iter().all(|&r| {
+                let fresh = r < n && !seen[r];
+                if fresh {
+                    seen[r] = true;
+                }
+                fresh
+            });
+        let well_formed = is_perm && methods.len() + 1 == n;
+        let built = Icp::new(order.clone(), methods.clone());
+        prop_assert_eq!(
+            built.is_ok(),
+            well_formed,
+            "Icp::new({:?}, {} methods) validity mismatch",
+            order,
+            methods.len()
+        );
+        if let Ok(icp) = built {
+            prop_assert_eq!(icp.order, order.clone());
+            prop_assert_eq!(icp.methods, methods.clone());
+        }
+        // Random vectors are almost never well-formed, so also derive a
+        // guaranteed-valid ICP from the same inputs: a permutation of
+        // 0..k built by applying the drawn values as transpositions.
+        let k = method_ids.len() + 1;
+        let mut perm: Vec<usize> = (0..k).collect();
+        for (i, &v) in order.iter().enumerate() {
+            perm.swap(i % k, v % k);
+        }
+        let ok = Icp::new(perm.clone(), methods.clone());
+        prop_assert!(ok.is_ok(), "well-formed ICP rejected: {:?}", perm);
+        let icp = ok.unwrap();
+        prop_assert_eq!(icp.order, perm);
+        prop_assert_eq!(icp.methods, methods);
+    }
+
+    /// `extract_icp ∘ optimize_with_hint` is a fixpoint: steering the expert
+    /// optimizer with any valid ICP yields a plan whose extracted ICP is that
+    /// hint, and re-steering with the extracted ICP reproduces the same plan.
+    #[test]
+    fn extract_then_rehint_is_fixpoint(seed in 0u64..1000) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let wl = fixpoint_workload();
+        let q = &wl.train[(seed as usize) % wl.train.len()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = foss_repro::baselines::random_connected_order(q, &mut rng);
+        let n = order.len();
+        let methods: Vec<JoinMethod> = (0..n.saturating_sub(1))
+            .map(|i| foss_repro::optimizer::ALL_JOIN_METHODS[(seed as usize + i) % 3])
+            .collect();
+        let icp = Icp::new(order, methods).unwrap();
+        let plan = wl.optimizer.optimize_with_hint(q, &icp).unwrap();
+        let extracted = plan.extract_icp().unwrap();
+        prop_assert_eq!(&extracted, &icp, "hint was not honoured verbatim");
+        let replanned = wl.optimizer.optimize_with_hint(q, &extracted).unwrap();
+        prop_assert_eq!(
+            replanned.extract_icp().unwrap(),
+            extracted,
+            "re-steering drifted from the fixpoint"
+        );
+        prop_assert!(
+            (replanned.est_cost() - plan.est_cost()).abs()
+                <= f64::EPSILON * plan.est_cost().abs().max(1.0)
+        );
+        // The expert's own plan is also a fixpoint of the round-trip.
+        let expert = wl.optimizer.optimize(q).unwrap();
+        let expert_icp = expert.extract_icp().unwrap();
+        let rehinted = wl.optimizer.optimize_with_hint(q, &expert_icp).unwrap();
+        prop_assert_eq!(rehinted.extract_icp().unwrap(), expert_icp);
+    }
+
     /// Histogram selectivities are proper probabilities and range
     /// selectivity is superset-monotone.
     #[test]
@@ -147,8 +240,8 @@ proptest! {
         let sp = ActionSpace::new(wl.max_relations);
         let mask = sp.mask(q, &icp, None);
         prop_assert!(mask.iter().any(|&m| m));
-        for a in 0..sp.len() {
-            if !mask[a] { continue; }
+        for (a, &allowed) in mask.iter().enumerate() {
+            if !allowed { continue; }
             let action = sp.decode(a);
             let mut cand = icp.clone();
             prop_assert!(sp.apply(action, &mut cand).is_ok(), "masked-in action failed: {:?}", action);

@@ -1,0 +1,209 @@
+//! Vendored benchmarking harness exposing the subset of the `criterion` API
+//! this workspace uses: `Criterion` with the builder methods
+//! `sample_size`/`measurement_time`/`warm_up_time`, `bench_function` with
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Statistics are deliberately simple — per-sample means with a median
+//! summary — but timings are real wall-clock measurements, good enough for
+//! the coarse perf-trajectory tracking in `BENCH_*.json`. Set the
+//! `CRITERION_JSON` environment variable to a path to also write the
+//! summary as a JSON array.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// One finished benchmark: name plus per-sample mean iteration times.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub sample_means_ns: Vec<f64>,
+}
+
+impl BenchResult {
+    /// Median of the per-sample means, in nanoseconds.
+    pub fn median_ns(&self) -> f64 {
+        let mut v = self.sample_means_ns.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        if v.is_empty() {
+            return 0.0;
+        }
+        let mid = v.len() / 2;
+        if v.len().is_multiple_of(2) { (v[mid - 1] + v[mid]) / 2.0 } else { v[mid] }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the routine until the warm-up budget elapses, and
+        // estimate the per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut bencher);
+            warm_iters += bencher.iters;
+            bencher.iters = (bencher.iters * 2).min(4096);
+        }
+        let per_iter = if warm_iters == 0 {
+            Duration::from_micros(1)
+        } else {
+            warm_start.elapsed() / warm_iters.max(1) as u32
+        };
+
+        // Measurement: `sample_size` samples sharing the measurement budget.
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+        let mut sample_means_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            sample_means_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let result = BenchResult { name: name.to_string(), sample_means_ns };
+        println!(
+            "{:<32} time: {:>12.1} ns/iter  ({} samples x {} iters)",
+            result.name,
+            result.median_ns(),
+            self.sample_size,
+            iters_per_sample
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Emit the end-of-run summary (and `CRITERION_JSON` file if requested).
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                out.push_str(&format!(
+                    "  {{\"name\": \"{}\", \"median_ns\": {:.1}}}{}\n",
+                    r.name.replace('"', "\\\""),
+                    r.median_ns(),
+                    if i + 1 == self.results.len() { "" } else { "," }
+                ));
+            }
+            out.push_str("]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("criterion: failed to write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Timer handle passed to the closure given to `bench_function`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: both the simple list form and the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].sample_means_ns.len(), 3);
+        assert!(c.results[0].median_ns() >= 0.0);
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        let even = BenchResult { name: "e".into(), sample_means_ns: vec![4.0, 1.0, 3.0, 2.0] };
+        assert!((even.median_ns() - 2.5).abs() < 1e-12);
+        let odd = BenchResult { name: "o".into(), sample_means_ns: vec![3.0, 1.0, 2.0] };
+        assert!((odd.median_ns() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,26 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use rand::rngs::StdRng;
+
+use crate::{SizeRange, Strategy};
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

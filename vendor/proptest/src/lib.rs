@@ -1,0 +1,260 @@
+//! Vendored property-testing harness exposing the subset of the `proptest`
+//! API this workspace uses: the `proptest!` macro with
+//! `#![proptest_config(...)]`, `prop_assert!`/`prop_assert_eq!`, numeric
+//! range strategies, `prop::collection::vec` and `prop::sample::subsequence`.
+//!
+//! Differences from the real crate, by design (the build is offline):
+//! cases are generated from a per-test deterministic seed (stable across
+//! runs and platforms) and failing inputs are *not* shrunk — the failure
+//! report instead names the case index, which is reproducible.
+
+use rand::rngs::StdRng;
+
+pub mod collection;
+pub mod sample;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property case. Returned (via `prop_assert!`) rather than
+/// panicking so the runner can attach case context before reporting.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result type property bodies evaluate to (`return Ok(())` skips a case).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform> Strategy for core::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::RngExt;
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::RngExt;
+        rng.random_range(self.clone())
+    }
+}
+
+/// Inclusive bounds on a generated collection length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty size range");
+        Self { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        Self { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl SizeRange {
+    pub fn pick(&self, rng: &mut StdRng) -> usize {
+        use rand::RngExt;
+        rng.random_range(self.lo..=self.hi)
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::{rngs::StdRng, SeedableRng};
+
+    /// Stable per-test seed: FNV-1a over the test's module path and name,
+    /// so adding a test never perturbs another test's cases.
+    pub fn seed_for(test_path: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h | 1
+    }
+}
+
+/// Define property tests. Mirrors `proptest::proptest!` for the supported
+/// grammar: an optional `#![proptest_config(...)]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::__rt::SeedableRng as _;
+                let config: $crate::ProptestConfig = $cfg;
+                let seed = $crate::__rt::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::__rt::StdRng::seed_from_u64(seed ^ ((case as u64) << 1));
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            seed,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property body; failure aborts only the current case
+/// with a report instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// The names tests conventionally glob-import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, SizeRange, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+
+    /// Namespaced strategy constructors (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_hold(x in 1usize..10, y in -4i64..=4, f in 0.0f64..1.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_hold(v in prop::collection::vec(0usize..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn subsequence_preserves_order(s in prop::sample::subsequence((0..8usize).collect::<Vec<_>>(), 3)) {
+            prop_assert_eq!(s.len(), 3);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn full_length_subsequence_is_identity() {
+        use crate::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let s = crate::sample::subsequence((0..6usize).collect::<Vec<_>>(), 6);
+        assert_eq!(s.generate(&mut rng), (0..6).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,42 @@
+//! Sampling strategies (`prop::sample::subsequence`).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::{SizeRange, Strategy};
+
+/// Strategy producing order-preserving subsequences of `values` whose
+/// length is drawn from `size` (clamped to the source length).
+pub fn subsequence<T: Clone + std::fmt::Debug>(
+    values: Vec<T>,
+    size: impl Into<SizeRange>,
+) -> Subsequence<T> {
+    Subsequence { values, size: size.into() }
+}
+
+#[derive(Debug, Clone)]
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone + std::fmt::Debug> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let n = self.values.len();
+        let len = self.size.pick(rng).min(n);
+        // Floyd's algorithm: `len` distinct indices, then sort to keep order.
+        let mut picked: Vec<usize> = Vec::with_capacity(len);
+        for upper in (n - len)..n {
+            let cand = rng.random_range(0..=upper);
+            if picked.contains(&cand) {
+                picked.push(upper);
+            } else {
+                picked.push(cand);
+            }
+        }
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}

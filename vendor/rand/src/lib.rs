@@ -1,0 +1,190 @@
+//! Vendored, dependency-free stand-in for the parts of the `rand` crate this
+//! workspace uses. The build environment has no registry access, so instead
+//! of the real `rand` we ship a small deterministic PRNG with the same API
+//! surface: `rngs::StdRng`, `SeedableRng::seed_from_u64`, the `RngExt`
+//! extension trait (`random`, `random_range`, `random_bool`) and
+//! `seq::SliceRandom::shuffle`.
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — statistically solid
+//! for simulation workloads and fully deterministic across platforms, which
+//! is exactly what the reproduction needs. It makes no cryptographic claims.
+
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::StdRng;
+
+/// Minimal core trait: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniformly distributed `f32` in `[0, 1)` with 24 bits of precision.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a range (the subset of
+/// `rand::distr::uniform::SampleUniform` the workspace needs).
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let (lo_w, hi_w) = (lo as i128, hi as i128);
+                let span = if inclusive { hi_w - lo_w + 1 } else { hi_w - lo_w };
+                assert!(span > 0, "cannot sample from empty range {lo}..{hi}");
+                // Modulo reduction: the bias for spans ≪ 2^64 is negligible
+                // for the simulation workloads in this repository.
+                (lo_w + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($t:ty, $next:ident) => {
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                assert!(lo <= hi, "cannot sample from inverted range");
+                lo + rng.$next() * (hi - lo)
+            }
+        }
+    };
+}
+
+impl_sample_uniform_float!(f64, next_f64);
+impl_sample_uniform_float!(f32, next_f32);
+
+/// Ranges a value can be drawn from (`lo..hi` and `lo..=hi`).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Types with a canonical "just give me one" distribution (`random()`):
+/// floats uniform in `[0, 1)`, integers over their whole domain, fair bools.
+pub trait StandardDistributed {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardDistributed for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl StandardDistributed for f32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f32()
+    }
+}
+
+impl StandardDistributed for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardDistributed for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Extension methods on any generator (the `rand` 0.9+ spelling).
+pub trait RngExt: RngCore {
+    fn random<T: StandardDistributed>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Alias kept so `use rand::Rng` also works against this stub.
+pub use RngExt as Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&v));
+            let u: usize = rng.random_range(0..3);
+            assert!(u < 3);
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..4096 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01 && hi > 0.99);
+    }
+}

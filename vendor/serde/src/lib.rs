@@ -1,0 +1,33 @@
+//! Vendored stand-in for `serde`. The workspace only ever *derives*
+//! `Serialize`/`Deserialize` to mark types as serialisable — no code path
+//! actually serialises to a concrete format (the catalog's round-trip test
+//! clones instead, precisely to avoid the dependency). So the traits here
+//! are empty markers satisfied by every type, and the derive macros expand
+//! to nothing while still accepting `#[serde(...)]` helper attributes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(crate::Serialize, crate::Deserialize)]
+    struct Marked {
+        #[serde(skip)]
+        _hidden: u8,
+    }
+
+    fn assert_marker<T: crate::Serialize + for<'de> crate::Deserialize<'de>>() {}
+
+    #[test]
+    fn derive_and_blanket_impls_compose() {
+        assert_marker::<Marked>();
+        assert_marker::<Vec<String>>();
+    }
+}

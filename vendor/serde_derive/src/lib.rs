@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored `serde` stub.
+//! The real impls are blanket impls in the `serde` stub crate, so the
+//! derives only need to exist (and register the `#[serde(...)]` helper
+//! attribute) — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
