@@ -1,71 +1,14 @@
 //! Criterion micro-benchmarks over the substrates and the FOSS hot paths.
 //!
-//! These quantify the per-component costs behind the paper's Fig. 6
-//! (optimisation time): expert planning, hint steering, plan encoding,
-//! state-network / AAM inference, and executor throughput.
+//! The suite itself lives in [`foss_bench::micro_suite`] so that
+//! `cargo bench` and `probe --out BENCH_<tag>.json` (the perf-trajectory
+//! recorder and CI regression gate) measure identical code.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::sync::Arc;
-
-use foss_core::encoding::PlanEncoder;
-use foss_core::{AdvantageModel, FossConfig};
-use foss_executor::{CachingExecutor, Executor};
-use foss_nn::Matrix;
-use foss_workloads::{joblite, WorkloadSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn bench_all(c: &mut Criterion) {
-    let wl = joblite::build(WorkloadSpec { seed: 42, scale: 0.15 }).expect("workload");
-    let query = wl
-        .train
-        .iter()
-        .max_by_key(|q| q.relation_count())
-        .unwrap()
-        .clone();
-    let opt = wl.optimizer.clone();
-    let plan = opt.optimize(&query).unwrap();
-    let icp = plan.extract_icp().unwrap();
-    let encoder = PlanEncoder::new(wl.table_count(), wl.table_rows());
-    let encoded = encoder.encode(&query, &plan, 0.0);
-
-    c.bench_function("optimizer/dp_full_plan", |b| {
-        b.iter(|| black_box(opt.optimize(black_box(&query)).unwrap()))
-    });
-    c.bench_function("optimizer/hint_steering", |b| {
-        b.iter(|| black_box(opt.optimize_with_hint(black_box(&query), black_box(&icp)).unwrap()))
-    });
-    c.bench_function("encoding/plan_encode", |b| {
-        b.iter(|| black_box(encoder.encode(black_box(&query), black_box(&plan), 0.5)))
-    });
-
-    let mut rng = StdRng::seed_from_u64(7);
-    let aam = AdvantageModel::new(wl.table_count() + 1, &FossConfig::tiny(), &mut rng);
-    c.bench_function("aam/pair_inference", |b| {
-        b.iter(|| black_box(aam.predict(black_box(&encoded), black_box(&encoded))))
-    });
-
-    let exec = Executor::new(&wl.db, *opt.cost_model());
-    c.bench_function("executor/expert_plan", |b| {
-        b.iter(|| black_box(exec.execute(&query, &plan, None).unwrap()))
-    });
-    let caching = CachingExecutor::new(wl.db.clone(), *opt.cost_model());
-    caching.execute(&query, &plan, None).unwrap();
-    c.bench_function("executor/cached_lookup", |b| {
-        b.iter(|| black_box(caching.execute(&query, &plan, None).unwrap()))
-    });
-
-    let a = Matrix::full(64, 64, 0.5);
-    let bm = Matrix::full(64, 64, 0.25);
-    c.bench_function("nn/matmul_64x64", |b| b.iter(|| black_box(a.matmul(&bm))));
-
-    let _ = Arc::strong_count(&opt);
-}
 
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_all
+    targets = foss_bench::micro_suite
 }
 criterion_main!(micro);

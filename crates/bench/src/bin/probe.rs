@@ -1,6 +1,122 @@
+//! Substrate probes.
+//!
+//! Two modes:
+//!
+//! * **Bench mode** (`--out <path>`): run the shared micro-benchmark suite
+//!   ([`foss_bench::micro_suite`]) and write the `BENCH_<tag>.json` summary
+//!   directly — no more hand-assembling the perf trajectory from bench
+//!   stdout. `--quick` shrinks sample counts for CI smoke runs;
+//!   `--baseline <path>` + `--max-regress <factor>` turn the run into a
+//!   regression gate (non-zero exit when a guarded benchmark's median
+//!   exceeds `factor ×` its baseline median).
+//! * **Legacy mode** (no `--out`): exhaustively search small queries for the
+//!   expert-vs-optimal latency headroom that motivates plan doctoring.
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release --bin probe -- --out BENCH_pr2.json
+//! cargo run --release --bin probe -- --quick --out /tmp/ci.json \
+//!     --baseline BENCH_pr2.json --max-regress 2.0
+//! ```
+
+use criterion::Criterion;
+use foss_bench::{micro_suite, parse_bench_json};
 use foss_executor::CachingExecutor;
 use foss_optimizer::{Icp, ALL_JOIN_METHODS};
 use foss_workloads::{joblite, WorkloadSpec};
+use std::time::Duration;
+
+/// Benchmarks the regression gate guards (the FOSS serving hot path).
+const GUARDED: &[&str] = &["aam/pair_inference"];
+
+struct BenchArgs {
+    out: String,
+    quick: bool,
+    baseline: Option<String>,
+    max_regress: f64,
+}
+
+fn parse_args() -> Option<BenchArgs> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = None;
+    let mut quick = false;
+    let mut baseline = None;
+    let mut max_regress = 2.0;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                out = Some(argv.get(i + 1).expect("--out needs a path").clone());
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--baseline" => {
+                baseline = Some(argv.get(i + 1).expect("--baseline needs a path").clone());
+                i += 2;
+            }
+            "--max-regress" => {
+                max_regress = argv
+                    .get(i + 1)
+                    .expect("--max-regress needs a factor")
+                    .parse()
+                    .expect("--max-regress must be a number");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if out.is_none() && (quick || baseline.is_some()) {
+        panic!("--quick/--baseline/--max-regress require --out <path> (bench mode)");
+    }
+    out.map(|out| BenchArgs { out, quick, baseline, max_regress })
+}
+
+fn bench_mode(args: BenchArgs) {
+    let mut c = if args.quick {
+        Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(500))
+            .warm_up_time(Duration::from_millis(100))
+    } else {
+        Criterion::default()
+            .sample_size(20)
+            .measurement_time(Duration::from_secs(3))
+            .warm_up_time(Duration::from_millis(500))
+    };
+    micro_suite(&mut c);
+    c.write_json(&args.out).expect("write bench summary");
+    println!("wrote {}", args.out);
+
+    let Some(baseline_path) = args.baseline else { return };
+    let text = std::fs::read_to_string(&baseline_path).expect("read baseline");
+    let baseline = parse_bench_json(&text);
+    let mut failed = false;
+    for r in c.results() {
+        if !GUARDED.contains(&r.name.as_str()) {
+            continue;
+        }
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == &r.name) else {
+            println!("{:<32} not in baseline {baseline_path}, skipping", r.name);
+            continue;
+        };
+        let now = r.median_ns();
+        let factor = now / base;
+        let verdict = if factor > args.max_regress { "REGRESSION" } else { "ok" };
+        println!(
+            "{:<32} {now:>12.1} ns vs baseline {base:>12.1} ns ({factor:.2}x) {verdict}",
+            r.name
+        );
+        failed |= factor > args.max_regress;
+    }
+    if failed {
+        eprintln!("perf regression gate failed (>{:.1}x baseline)", args.max_regress);
+        std::process::exit(1);
+    }
+}
 
 fn perms(n: usize) -> Vec<Vec<usize>> {
     if n == 1 { return vec![vec![0]]; }
@@ -19,7 +135,7 @@ fn perms(n: usize) -> Vec<Vec<usize>> {
     out
 }
 
-fn main() {
+fn headroom_mode() {
     let wl = joblite::build(WorkloadSpec { seed: 4, scale: 0.15 }).unwrap();
     let exec = CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model());
     let mut ratios = Vec::new();
@@ -47,4 +163,11 @@ fn main() {
     }
     let gm: f64 = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
     println!("geo-mean expert/optimal = {:.2}", gm.exp());
+}
+
+fn main() {
+    match parse_args() {
+        Some(args) => bench_mode(args),
+        None => headroom_mode(),
+    }
 }

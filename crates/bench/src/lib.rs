@@ -7,8 +7,17 @@
 //! * `FOSS_SCALE` — workload row-count multiplier (default 0.2);
 //! * `FOSS_ROUNDS` — training rounds / iterations (default 3).
 
+use criterion::Criterion;
+use foss_core::encoding::PlanEncoder;
+use foss_core::{AdvantageModel, FossConfig};
+use foss_executor::{CachingExecutor, Executor};
 use foss_harness::table1::RunConfig;
-use foss_workloads::WorkloadSpec;
+use foss_nn::{Graph, Linear, Matrix, ParamSet};
+use foss_workloads::{joblite, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
 
 /// Build the shared run configuration from the environment.
 pub fn run_config_from_env() -> RunConfig {
@@ -28,9 +37,145 @@ pub fn run_config_from_env() -> RunConfig {
     }
 }
 
+/// The micro-benchmark suite behind `benches/micro.rs` *and*
+/// `probe --out BENCH_<tag>.json`: per-component costs of the FOSS hot paths
+/// (expert planning, hint steering, plan encoding, single and batched AAM
+/// inference, executor throughput, NN kernels).
+///
+/// Shared so the checked-in `BENCH_<tag>.json` perf trajectory and the CI
+/// regression gate measure exactly what the criterion bench target measures.
+pub fn micro_suite(c: &mut Criterion) {
+    let wl = joblite::build(WorkloadSpec { seed: 42, scale: 0.15 }).expect("workload");
+    let query = wl
+        .train
+        .iter()
+        .max_by_key(|q| q.relation_count())
+        .unwrap()
+        .clone();
+    let opt = wl.optimizer.clone();
+    let plan = opt.optimize(&query).unwrap();
+    let icp = plan.extract_icp().unwrap();
+    let encoder = PlanEncoder::new(wl.table_count(), wl.table_rows());
+    let encoded = encoder.encode(&query, &plan, 0.0);
+
+    c.bench_function("optimizer/dp_full_plan", |b| {
+        b.iter(|| black_box(opt.optimize(black_box(&query)).unwrap()))
+    });
+    c.bench_function("optimizer/hint_steering", |b| {
+        b.iter(|| black_box(opt.optimize_with_hint(black_box(&query), black_box(&icp)).unwrap()))
+    });
+    c.bench_function("encoding/plan_encode", |b| {
+        b.iter(|| black_box(encoder.encode(black_box(&query), black_box(&plan), 0.5)))
+    });
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let aam = AdvantageModel::new(wl.table_count() + 1, &FossConfig::tiny(), &mut rng);
+    c.bench_function("aam/pair_inference", |b| {
+        b.iter(|| black_box(aam.predict(black_box(&encoded), black_box(&encoded))))
+    });
+    // The two batched callers in the system, in their real shapes. Batch 8 is
+    // a selector tournament wave: one champion scored against 8 *distinct*
+    // candidate plans (encoded at distinct steps, so the state network
+    // genuinely runs per candidate). Batch 64 is AAM training/accuracy
+    // scoring: the first 64 ordered pairs drawn from 9 distinct plans —
+    // exactly what `ExecutionBuffer::training_pairs` emits, where unique-plan
+    // dedup lets one state-network pass serve many pairs.
+    let candidates: Vec<_> = (0..9)
+        .map(|i| encoder.encode(&query, &plan, i as f32 / 9.0))
+        .collect();
+    let wave: Vec<_> = candidates[..8].iter().map(|c| (&encoded, c)).collect();
+    c.bench_function("aam/pair_inference_batch8", |b| {
+        b.iter(|| black_box(aam.predict_batch(black_box(&wave))))
+    });
+    let mut ordered_pairs = Vec::new();
+    for l in &candidates {
+        for r in &candidates {
+            if !std::ptr::eq(l, r) {
+                ordered_pairs.push((l, r));
+            }
+        }
+    }
+    ordered_pairs.truncate(64);
+    c.bench_function("aam/pair_inference_batch64", |b| {
+        b.iter(|| black_box(aam.predict_batch(black_box(&ordered_pairs))))
+    });
+
+    let exec = Executor::new(&wl.db, *opt.cost_model());
+    c.bench_function("executor/expert_plan", |b| {
+        b.iter(|| black_box(exec.execute(&query, &plan, None).unwrap()))
+    });
+    let caching = CachingExecutor::new(wl.db.clone(), *opt.cost_model());
+    caching.execute(&query, &plan, None).unwrap();
+    c.bench_function("executor/cached_lookup", |b| {
+        b.iter(|| black_box(caching.execute(&query, &plan, None).unwrap()))
+    });
+
+    let a = Matrix::full(64, 64, 0.5);
+    let bm = Matrix::full(64, 64, 0.25);
+    c.bench_function("nn/matmul_64x64", |b| b.iter(|| black_box(a.matmul(&bm))));
+    let a128 = Matrix::full(128, 128, 0.5);
+    let b128 = Matrix::full(128, 128, 0.25);
+    c.bench_function("nn/matmul_128x128", |b| b.iter(|| black_box(a128.matmul(&b128))));
+
+    // One tape forward of a 64-state batch through a 2-layer MLP: measures
+    // how graph-construction overhead amortises across a batch.
+    let mut nn_rng = StdRng::seed_from_u64(11);
+    let mut set = ParamSet::new();
+    let l1 = Linear::new(&mut set, 64, 64, &mut nn_rng);
+    let l2 = Linear::new(&mut set, 64, 3, &mut nn_rng);
+    let batch_in = Matrix::full(64, 64, 0.1);
+    c.bench_function("nn/matmul_batched_fwd", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let x = g.input(batch_in.clone());
+            let h = l1.forward(&mut g, &set, x);
+            let h = g.relu(h);
+            let out = l2.forward(&mut g, &set, h);
+            black_box(g.value(out).get(0, 0))
+        })
+    });
+
+    let _ = Arc::strong_count(&opt);
+}
+
+/// Parse a `BENCH_<tag>.json` file (the format [`Criterion::summary_json`]
+/// writes) into `(name, median_ns)` entries. Hand-rolled: the format is owned
+/// by this workspace and the build is offline (no serde_json).
+pub fn parse_bench_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_start) = line.find("\"name\"") else { continue };
+        let rest = &line[name_start + 6..];
+        let Some(q1) = rest.find('"') else { continue };
+        let Some(q2) = rest[q1 + 1..].find('"') else { continue };
+        let name = &rest[q1 + 1..q1 + 1 + q2];
+        let Some(med_start) = line.find("\"median_ns\"") else { continue };
+        let med_rest = &line[med_start + 11..];
+        let num: String = med_rest
+            .chars()
+            .skip_while(|c| !c.is_ascii_digit() && *c != '-')
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_roundtrip() {
+        let text = "[\n  {\"name\": \"aam/pair_inference\", \"median_ns\": 121373.8},\n  {\"name\": \"nn/matmul_64x64\", \"median_ns\": 31992.3}\n]\n";
+        let parsed = parse_bench_json(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "aam/pair_inference");
+        assert!((parsed[0].1 - 121373.8).abs() < 1e-6);
+        assert!((parsed[1].1 - 31992.3).abs() < 1e-6);
+    }
 
     #[test]
     fn env_config_defaults() {

@@ -8,9 +8,11 @@
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod par;
 pub mod rng;
 
 pub use error::{FossError, Result};
 pub use hash::{fx_hash_one, FxHashMap, FxHashSet};
 pub use ids::{ColumnId, QueryId, TableId};
+pub use par::run_sharded;
 pub use rng::SeedStream;

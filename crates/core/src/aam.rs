@@ -12,7 +12,7 @@
 //! skew toward score-0 samples (most mutations make plans worse) does not
 //! drown out the rare score-2 "much better plan" examples.
 
-use foss_nn::{Adam, Embedding, Graph, Linear, Matrix, ParamSet, Var};
+use foss_nn::{Adam, Embedding, GradStore, Graph, Linear, Matrix, ParamSet, Var};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
@@ -23,6 +23,12 @@ use crate::state_net::StateNetwork;
 
 /// A labelled training pair: `(left, right, Adv(left, right))`.
 pub type AamSample = (EncodedPlan, EncodedPlan, usize);
+
+/// Number of gradient shards each training minibatch is split into. Shard
+/// boundaries are a pure function of the minibatch size (never of the host's
+/// core count), and shard gradients are merged in shard order, so training is
+/// bit-for-bit reproducible on any machine.
+const GRAD_SHARDS: usize = 4;
 
 /// The AAM: its own state network, position embeddings and difference head.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -77,13 +83,39 @@ impl AdvantageModel {
         self.k
     }
 
-    /// Record the batched forward pass; returns `B×K` logits.
+    /// Record the batched forward pass on ONE tape; returns `B×K` logits.
+    ///
+    /// All left plans and all right plans go through the state network as two
+    /// stacked segment batches, so graph construction, embedding gathers and
+    /// attention kernels are paid once per candidate set instead of once per
+    /// pair.
     fn forward_pairs(&self, g: &mut Graph, pairs: &[(&EncodedPlan, &EncodedPlan)]) -> Var {
         let b = pairs.len();
-        let lefts: Vec<&EncodedPlan> = pairs.iter().map(|p| p.0).collect();
-        let rights: Vec<&EncodedPlan> = pairs.iter().map(|p| p.1).collect();
-        let sl = self.state_net.forward_batch(g, &self.set, &lefts);
-        let sr = self.state_net.forward_batch(g, &self.set, &rights);
+        // Candidate sets repeat plans constantly (the tournament scores one
+        // champion against many challengers; the original plan appears in
+        // every wave), so the expensive state network runs once per *unique*
+        // plan — identified by reference — and pairs gather their rows from
+        // that shared batch. Gather copies rows verbatim, so dedup changes
+        // no bits.
+        let mut uniq: Vec<&EncodedPlan> = Vec::new();
+        let mut index_of: foss_common::FxHashMap<*const EncodedPlan, usize> =
+            foss_common::FxHashMap::default();
+        let mut left_ix = Vec::with_capacity(b);
+        let mut right_ix = Vec::with_capacity(b);
+        for &(l, r) in pairs {
+            for (plan, ix) in [(l, &mut left_ix), (r, &mut right_ix)] {
+                let id = *index_of
+                    .entry(plan as *const EncodedPlan)
+                    .or_insert_with(|| {
+                        uniq.push(plan);
+                        uniq.len() - 1
+                    });
+                ix.push(id);
+            }
+        }
+        let states = self.state_net.forward_batch(g, &self.set, &uniq);
+        let sl = g.gather(states, &left_ix);
+        let sr = g.gather(states, &right_ix);
         let pos_l = self.pos_emb.forward(g, &self.set, &vec![0usize; b]);
         let pos_r = self.pos_emb.forward(g, &self.set, &vec![1usize; b]);
         let hl_in = g.concat_cols(&[sl, pos_l]);
@@ -97,23 +129,19 @@ impl AdvantageModel {
     }
 
     /// Predict the discrete advantage score of `right` over `left`.
+    /// Singleton case of [`AdvantageModel::predict_batch`] — same tape, same
+    /// kernels, same bit patterns.
     pub fn predict(&self, left: &EncodedPlan, right: &EncodedPlan) -> usize {
-        let mut g = Graph::new();
-        let logits = self.forward_pairs(&mut g, &[(left, right)]);
-        let row = g.value(logits).row(0).to_vec();
-        row.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        self.predict_batch(&[(left, right)])[0]
     }
 
-    /// Predict scores for a batch of pairs at once.
+    /// Predict scores for a batch of pairs with one graph build and one
+    /// argmax sweep over the `B×K` logits.
     pub fn predict_batch(&self, pairs: &[(&EncodedPlan, &EncodedPlan)]) -> Vec<usize> {
         if pairs.is_empty() {
             return Vec::new();
         }
-        let mut g = Graph::new();
+        let mut g = Graph::inference();
         let logits = self.forward_pairs(&mut g, pairs);
         let m = g.value(logits);
         (0..m.rows)
@@ -128,8 +156,10 @@ impl AdvantageModel {
             .collect()
     }
 
-    /// The asymmetric focal loss with label smoothing over one minibatch.
-    fn loss(&self, g: &mut Graph, logits: Var, targets: &[usize]) -> Var {
+    /// The asymmetric focal loss with label smoothing, summed over the rows
+    /// of `logits` and scaled by `1/denom`. Workers pass the *full* minibatch
+    /// size as `denom` so shard losses add up to the minibatch mean loss.
+    fn loss(&self, g: &mut Graph, logits: Var, targets: &[usize], denom: usize) -> Var {
         let b = targets.len();
         let k = self.k;
         let eps = self.smoothing;
@@ -161,10 +191,50 @@ impl AdvantageModel {
         let term_neg = g.mul(tn0, wneg);
         let total = g.add(term_pos, term_neg);
         let s = g.sum_all(total);
-        g.scale(s, 1.0 / b as f32)
+        g.scale(s, 1.0 / denom as f32)
+    }
+
+    /// Forward + backward one minibatch, sharded across a scoped-thread
+    /// worker pool via [`foss_common::run_sharded`]. Each worker runs its
+    /// shard's batched tape against the shared parameters and accumulates
+    /// into a private [`GradStore`]; results come back in shard order, so
+    /// the merge is independent of thread scheduling. Returns the minibatch
+    /// loss and the per-shard gradient stores in shard order.
+    fn sharded_grads(
+        &self,
+        pairs: &[(&EncodedPlan, &EncodedPlan)],
+        targets: &[usize],
+    ) -> (f32, Vec<GradStore>) {
+        let b = pairs.len();
+        let shard = b.div_ceil(GRAD_SHARDS).max(1);
+        let nshards = b.div_ceil(shard);
+        let results = foss_common::run_sharded(nshards, |si| {
+            let pc = &pairs[si * shard..((si + 1) * shard).min(b)];
+            let tc = &targets[si * shard..((si + 1) * shard).min(b)];
+            let mut g = Graph::new();
+            let logits = self.forward_pairs(&mut g, pc);
+            let loss = self.loss(&mut g, logits, tc, b);
+            let lv = g.value(loss).get(0, 0);
+            let mut grads = GradStore::zeros_like(&self.set);
+            g.backward_into(loss, &mut grads);
+            (lv, grads)
+        });
+        let mut loss_total = 0.0;
+        let mut stores = Vec::with_capacity(results.len());
+        for (lv, grads) in results {
+            loss_total += lv;
+            stores.push(grads);
+        }
+        (loss_total, stores)
     }
 
     /// One supervised epoch over `samples`; returns the mean minibatch loss.
+    ///
+    /// Minibatch order and composition come from the seeded `rng` exactly as
+    /// in the sequential implementation; each minibatch's gradient is then
+    /// computed by [`AdvantageModel::sharded_grads`] in parallel and applied
+    /// as one Adam step. Fixed shard boundaries + ordered merges make the
+    /// whole epoch bit-for-bit deterministic for a fixed seed.
     pub fn train_epoch(&mut self, samples: &[AamSample], rng: &mut StdRng) -> f32 {
         if samples.is_empty() {
             return 0.0;
@@ -177,13 +247,13 @@ impl AdvantageModel {
             let pairs: Vec<(&EncodedPlan, &EncodedPlan)> =
                 chunk.iter().map(|&i| (&samples[i].0, &samples[i].1)).collect();
             let targets: Vec<usize> = chunk.iter().map(|&i| samples[i].2).collect();
-            let mut g = Graph::new();
-            let logits = self.forward_pairs(&mut g, &pairs);
-            let loss = self.loss(&mut g, logits, &targets);
-            total += g.value(loss).get(0, 0);
+            let (loss, stores) = self.sharded_grads(&pairs, &targets);
+            total += loss;
             batches += 1;
             self.set.zero_grad();
-            g.backward(loss, &mut self.set);
+            for store in &stores {
+                store.add_into(&mut self.set);
+            }
             let norm = self.set.grad_norm();
             if norm > 5.0 {
                 self.set.scale_grads(5.0 / norm);
@@ -304,6 +374,51 @@ mod tests {
         }
         // The minority pair must be classified correctly.
         assert_eq!(m.predict(&plan(1), &plan(5)), 2);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_loop_exactly() {
+        let m = model();
+        // Ragged pair set: plans of different lengths in one batch.
+        let mut long = plan(3);
+        long.ops.push(2);
+        long.tables.push(3);
+        long.sels.push(4);
+        long.rows.push(7);
+        long.heights.push(2);
+        long.structures.push(2);
+        long.reach = vec![vec![true; 4]; 4];
+        let plans = [plan(0), plan(1), plan(5), long];
+        let mut pairs = Vec::new();
+        for l in &plans {
+            for r in &plans {
+                pairs.push((l, r));
+            }
+        }
+        let batched = m.predict_batch(&pairs);
+        let looped: Vec<usize> = pairs.iter().map(|(l, r)| m.predict(l, r)).collect();
+        assert_eq!(batched, looped);
+    }
+
+    #[test]
+    fn parallel_train_epoch_is_deterministic() {
+        // Same seed ⇒ bit-for-bit identical models, losses and predictions,
+        // regardless of worker scheduling.
+        let run = || {
+            let mut m = model();
+            let mut rng = StdRng::seed_from_u64(99);
+            let samples: Vec<AamSample> = (0..37) // not a multiple of batch or shard count
+                .map(|i| (plan(i), plan((i + 3) % 7), i % 3))
+                .collect();
+            let losses: Vec<f32> =
+                (0..4).map(|_| m.train_epoch(&samples, &mut rng)).collect();
+            let preds = m.predict_batch(&samples.iter().map(|s| (&s.0, &s.1)).collect::<Vec<_>>());
+            (losses, preds)
+        };
+        let (l1, p1) = run();
+        let (l2, p2) = run();
+        assert_eq!(l1, l2, "losses must be bitwise identical");
+        assert_eq!(p1, p2);
     }
 
     #[test]

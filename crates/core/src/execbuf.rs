@@ -19,6 +19,10 @@ use crate::aam::AamSample;
 use crate::advantage::AdvantageScale;
 use crate::encoding::EncodedPlan;
 
+/// One query's labelling work: its executed plans and the chosen pair
+/// indices into them.
+type PairJob<'a> = (Vec<&'a ExecutedPlan>, Vec<(usize, usize)>);
+
 /// One executed plan with its measured (work-unit) latency.
 #[derive(Debug, Clone)]
 pub struct ExecutedPlan {
@@ -149,13 +153,20 @@ impl ExecutionBuffer {
     /// All ordered pairs of distinct executed plans (original included) per
     /// query, minus pairs where *both* sides timed out; capped at
     /// `max_pairs_per_query` by random subsampling to keep epochs bounded.
+    ///
+    /// Runs in two phases so the labelling loop can fan out: pair *selection*
+    /// is sequential (it consumes the seeded `rng`, so ordering must be
+    /// stable), then pair *materialisation* — scoring and cloning the
+    /// encodings — is sharded across a scoped worker pool with per-query
+    /// output slots, keeping the result identical to the sequential loop.
     pub fn training_pairs(
         &self,
         scale: &AdvantageScale,
         max_pairs_per_query: usize,
         rng: &mut StdRng,
     ) -> Vec<AamSample> {
-        let mut out = Vec::new();
+        // Phase 1: choose which pairs to emit per query (rng-dependent).
+        let mut jobs: Vec<PairJob> = Vec::new();
         for qid in self.queries() {
             let mut all: Vec<&ExecutedPlan> = self.plans(qid).iter().collect();
             if let Some(orig) = self.original(qid) {
@@ -177,12 +188,28 @@ impl ExecutionBuffer {
                 pairs.shuffle(rng);
                 pairs.truncate(max_pairs_per_query);
             }
-            for (i, j) in pairs {
-                let label = scale.score_latencies(all[i].latency, all[j].latency);
-                out.push((all[i].encoded.clone(), all[j].encoded.clone(), label));
+            if !pairs.is_empty() {
+                jobs.push((all, pairs));
             }
         }
-        out
+        // Phase 2: label + clone in parallel, results merged in job order.
+        const WORKERS: usize = 4;
+        let chunk = jobs.len().div_ceil(WORKERS).max(1);
+        let nshards = jobs.len().div_ceil(chunk);
+        foss_common::run_sharded(nshards, |wi| {
+            jobs[wi * chunk..((wi + 1) * chunk).min(jobs.len())]
+                .iter()
+                .flat_map(|(all, pairs)| {
+                    pairs.iter().map(|&(i, j)| {
+                        let label = scale.score_latencies(all[i].latency, all[j].latency);
+                        (all[i].encoded.clone(), all[j].encoded.clone(), label)
+                    })
+                })
+                .collect::<Vec<AamSample>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 

@@ -11,14 +11,39 @@
 use crate::aam::AdvantageModel;
 use crate::encoding::EncodedPlan;
 
+/// Batched-wave size: how many challengers one `predict_batch` call scores
+/// against the current champion. The cap bounds the wasted work when
+/// champions change often (an adversarial best-last ordering would otherwise
+/// score O(n²) pairs), while a stable champion still sweeps `n/WAVE` batched
+/// calls instead of `n−1` singles.
+const WAVE: usize = 16;
+
 /// Index of the estimated-best plan among `candidates` (temporal order).
 /// Panics on an empty slice — callers always include the original plan.
+///
+/// Scoring happens in *waves*: one batched forward scores the current
+/// champion against the next (up to [`WAVE`]) challengers, then the
+/// tournament advances to the first challenger the AAM rates strictly better
+/// (score ≥ 1) and re-batches from there. Scores computed against a
+/// dethroned champion are discarded, so the winner is identical to the
+/// sequential pairwise tournament.
 pub fn select_best(aam: &AdvantageModel, candidates: &[&EncodedPlan]) -> usize {
     assert!(!candidates.is_empty(), "selector needs at least one candidate");
     let mut champion = 0usize;
-    for (i, cand) in candidates.iter().enumerate().skip(1) {
-        if aam.predict(candidates[champion], cand) >= 1 {
-            champion = i;
+    let mut next = 1usize;
+    while next < candidates.len() {
+        let end = (next + WAVE).min(candidates.len());
+        let wave: Vec<(&EncodedPlan, &EncodedPlan)> = candidates[next..end]
+            .iter()
+            .map(|cand| (candidates[champion], *cand))
+            .collect();
+        let scores = aam.predict_batch(&wave);
+        match scores.iter().position(|&s| s >= 1) {
+            Some(offset) => {
+                champion = next + offset;
+                next = champion + 1;
+            }
+            None => next = end,
         }
     }
     champion
@@ -69,6 +94,24 @@ mod tests {
         let c3 = plan(1);
         let idx = select_best(&aam, &[&c0, &c1, &c2, &c3]);
         assert_eq!(idx, 2);
+    }
+
+    #[test]
+    fn wave_batching_matches_sequential_tournament() {
+        // The batched waves must reproduce the plain pairwise loop exactly,
+        // including champion changes mid-sequence.
+        let aam = trained_model();
+        // Longer than one wave (16) so the wave-boundary advance is covered.
+        let tags = [0, 2, 5, 1, 5, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 5, 3, 0];
+        let cands: Vec<EncodedPlan> = tags.iter().map(|&t| plan(t)).collect();
+        let refs: Vec<&EncodedPlan> = cands.iter().collect();
+        let mut champion = 0usize;
+        for i in 1..refs.len() {
+            if aam.predict(refs[champion], refs[i]) >= 1 {
+                champion = i;
+            }
+        }
+        assert_eq!(select_best(&aam, &refs), champion);
     }
 
     #[test]

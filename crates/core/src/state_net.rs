@@ -6,7 +6,10 @@
 //! get mean-pooled and — concatenated with the step feature — projected by a
 //! linear layer into the final `statevec`.
 
-use foss_nn::{additive_mask, Embedding, Graph, LayerNorm, Linear, Matrix, MultiHeadAttention, ParamSet, Var};
+use foss_nn::{
+    segment_additive_mask, Embedding, Graph, LayerNorm, Linear, Matrix, MultiHeadAttention,
+    ParamSet, Var,
+};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -80,41 +83,57 @@ impl StateNetwork {
     }
 
     /// Record the forward pass for one encoded plan; returns the `1×d_state`
-    /// state representation.
+    /// state representation. Delegates to [`StateNetwork::forward_batch`], so
+    /// single and batched inference share one code path (and bit patterns).
     pub fn forward(&self, g: &mut Graph, set: &ParamSet, plan: &EncodedPlan) -> Var {
-        let n = plan.len();
-        assert!(n > 0, "cannot encode an empty plan");
-        // Per-feature embeddings → node vectors N_i ⊕ height_i ⊕ ns_i.
-        let op = self.op_emb.forward(g, set, &plan.ops);
-        let table = self.table_emb.forward(g, set, &plan.tables);
-        let sel = self.sel_emb.forward(g, set, &plan.sels);
-        let rows = self.rows_emb.forward(g, set, &plan.rows);
-        let height = self.height_emb.forward(g, set, &plan.heights);
-        let st = self.struct_emb.forward(g, set, &plan.structures);
+        self.forward_batch(g, set, &[plan])
+    }
+
+    /// Forward a batch of plans through ONE stacked computation, producing
+    /// `B×d_state` state vectors.
+    ///
+    /// All plans' nodes are concatenated into a single `ΣL×d_model` sequence:
+    /// embeddings become one gather per feature, the attention blocks run on
+    /// block-diagonal segment kernels (attention never crosses a plan
+    /// boundary), and pooling is a per-segment row mean. Because every op
+    /// treats rows/segments independently, row `i` of the result is
+    /// bit-identical to `forward(plans[i])` — while graph-construction and
+    /// kernel-dispatch overhead is paid once per batch instead of per plan.
+    pub fn forward_batch(&self, g: &mut Graph, set: &ParamSet, plans: &[&EncodedPlan]) -> Var {
+        assert!(!plans.is_empty(), "cannot encode an empty batch");
+        assert!(plans.iter().all(|p| !p.is_empty()), "cannot encode an empty plan");
+        let cat = |f: for<'a> fn(&'a EncodedPlan) -> &'a [usize]| -> Vec<usize> {
+            plans.iter().flat_map(|p| f(p).iter().copied()).collect()
+        };
+        // Per-feature embeddings → node vectors N_i ⊕ height_i ⊕ ns_i,
+        // one gather per feature for the whole batch.
+        let op = self.op_emb.forward(g, set, &cat(|p| p.ops.as_slice()));
+        let table = self.table_emb.forward(g, set, &cat(|p| p.tables.as_slice()));
+        let sel = self.sel_emb.forward(g, set, &cat(|p| p.sels.as_slice()));
+        let rows = self.rows_emb.forward(g, set, &cat(|p| p.rows.as_slice()));
+        let height = self.height_emb.forward(g, set, &cat(|p| p.heights.as_slice()));
+        let st = self.struct_emb.forward(g, set, &cat(|p| p.structures.as_slice()));
         let mut x = g.concat_cols(&[op, table, sel, rows, height, st]);
 
-        let mask = additive_mask(&plan.reach);
+        let reaches: Vec<&[Vec<bool>]> = plans.iter().map(|p| p.reach.as_slice()).collect();
+        let (mask, segs) = segment_additive_mask(&reaches);
         for block in &self.blocks {
-            let attended = block.attn.forward(g, set, x, &mask);
-            let res = g.add(x, attended);
-            let normed = block.norm1.forward(g, set, res);
+            let attended = block.attn.forward_batch(g, set, x, &mask, &segs);
+            let normed = block.norm1.forward_residual(g, set, x, attended);
             let h = block.ff1.forward(g, set, normed);
             let h = g.relu(h);
             let h = block.ff2.forward(g, set, h);
-            let res2 = g.add(normed, h);
-            x = block.norm2.forward(g, set, res2);
+            x = block.norm2.forward_residual(g, set, normed, h);
         }
 
-        let pooled = g.mean_rows(x);
-        let step = g.input(Matrix::scalar(plan.step));
-        let with_step = g.concat_cols(&[pooled, step]);
+        let pooled = g.seg_mean_rows(x, &segs);
+        let steps = g.input(Matrix::from_vec(
+            plans.len(),
+            1,
+            plans.iter().map(|p| p.step).collect(),
+        ));
+        let with_step = g.concat_cols(&[pooled, steps]);
         self.out.forward(g, set, with_step)
-    }
-
-    /// Forward a batch of plans, stacking state vectors into `B×d_state`.
-    pub fn forward_batch(&self, g: &mut Graph, set: &ParamSet, plans: &[&EncodedPlan]) -> Var {
-        let vecs: Vec<Var> = plans.iter().map(|p| self.forward(g, set, p)).collect();
-        g.concat_rows(&vecs)
     }
 }
 
@@ -200,6 +219,39 @@ mod tests {
         let mut g2 = Graph::new();
         let single = net.forward(&mut g2, &set, &p1);
         assert_eq!(m.row(0), g2.value(single).row(0));
+    }
+
+    #[test]
+    fn ragged_batch_matches_singletons_bitwise() {
+        // Plans of different node counts in one batch: padding columns in
+        // the stacked attention must not perturb any plan's state vector.
+        let (net, set) = network();
+        let short = tiny_plan(0.25);
+        let long = EncodedPlan {
+            ops: vec![2, 0, 1, 3, 4],
+            tables: vec![0, 1, 2, 3, 0],
+            sels: vec![10, 0, 3, 5, 10],
+            rows: vec![8, 5, 4, 2, 9],
+            heights: vec![2, 1, 0, 0, 1],
+            structures: vec![3, 0, 1, 0, 1],
+            reach: vec![
+                vec![true, true, true, false, true],
+                vec![true, true, false, false, false],
+                vec![true, false, true, true, false],
+                vec![false, false, true, true, false],
+                vec![true, false, false, false, true],
+            ],
+            step: 0.75,
+        };
+        let mut g = Graph::new();
+        let batch = net.forward_batch(&mut g, &set, &[&short, &long, &short]);
+        let m = g.value(batch).clone();
+        assert_eq!((m.rows, m.cols), (3, 24));
+        for (row, plan) in [(0, &short), (1, &long), (2, &short)] {
+            let mut g1 = Graph::new();
+            let single = net.forward(&mut g1, &set, plan);
+            assert_eq!(m.row(row), g1.value(single).row(0), "row {row} diverged");
+        }
     }
 
     #[test]

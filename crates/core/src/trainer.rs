@@ -22,7 +22,7 @@ use foss_common::{FossError, FxHashMap, FxHashSet, QueryId, Result};
 use foss_executor::CachingExecutor;
 use foss_optimizer::{PhysicalPlan, TraditionalOptimizer};
 use foss_query::Query;
-use foss_rl::RolloutBuffer;
+use foss_rl::SharedRolloutBuffer;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -242,7 +242,10 @@ impl Foss {
 
         let result = (|| -> Result<()> {
             for agent in agents.iter_mut() {
-                let mut rollout = RolloutBuffer::new();
+                // Concurrency-safe collection point: episodes push whole
+                // trajectories atomically, so future parallel episode
+                // runners can share this buffer without reordering GAE.
+                let rollout = SharedRolloutBuffer::new();
                 for _ in 0..episodes_per_agent {
                     let qidx = self.rng.random_range(0..queries.len());
                     let query = &queries[qidx];
@@ -289,11 +292,9 @@ impl Foss {
                     {
                         promising.push((qidx, res.best.clone()));
                     }
-                    for t in res.transitions {
-                        rollout.push(t);
-                    }
+                    rollout.push_episode(res.transitions);
                 }
-                let batch = rollout.finish(agent.gamma(), agent.lambda());
+                let batch = rollout.into_inner().finish(agent.gamma(), agent.lambda());
                 agent.update(&batch);
             }
             Ok(())

@@ -7,8 +7,8 @@
 //! (matmul / transpose / masked softmax), embedding gathers, and the
 //! pointwise functions used by PPO and the asymmetric loss.
 
-use crate::matrix::Matrix;
-use crate::params::{ParamId, ParamSet};
+use crate::matrix::{dot, Matrix};
+use crate::params::{GradSink, ParamId, ParamSet};
 
 /// Handle to a node on the tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +20,8 @@ enum Op {
     Leaf,
     Param(ParamId),
     MatMul(Var, Var),
+    MatMulBias { x: Var, w: Var, b: Var },
+    SliceCols(Var, usize, usize),
     Transpose(Var),
     Add(Var, Var),
     Sub(Var, Var),
@@ -43,7 +45,22 @@ enum Op {
     SumAll(Var),
     MeanAll(Var),
     LayerNormRows { x: Var, gamma: Var, beta: Var, eps: f32 },
+    AddLayerNormRows { a: Var, b: Var, gamma: Var, beta: Var, eps: f32 },
     SelectRow(Var, usize),
+    SegAttnScores { q: Var, k: Var, segs: Vec<usize> },
+    SegAttnScoresMasked { q: Var, k: Var, mask: Var, segs: Vec<usize>, scale: f32 },
+    SegAttnApply { attn: Var, v: Var, segs: Vec<usize> },
+    SegMultiHeadAttention {
+        qkv: Var,
+        mask: Var,
+        segs: Vec<usize>,
+        heads: usize,
+        scale: f32,
+        /// Per-head softmax weights saved by the forward pass (`ΣL×Lmax`
+        /// each) so backward need not re-run the masked softmax.
+        attn: Vec<Matrix>,
+    },
+    SegMeanRows(Var, Vec<usize>),
 }
 
 struct Node {
@@ -57,12 +74,20 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    inference: bool,
 }
 
 impl Graph {
     /// Fresh empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A tape that will only ever run forward: ops skip the auxiliary state
+    /// they would otherwise save for backward (e.g. attention softmax
+    /// weights). [`Graph::backward`] on such a tape panics.
+    pub fn inference() -> Self {
+        Self { nodes: Vec::new(), inference: true }
     }
 
     /// Value of a node.
@@ -108,6 +133,18 @@ impl Graph {
             Op::LayerNormRows { x, gamma, beta, .. } => {
                 self.needs(*x) || self.needs(*gamma) || self.needs(*beta)
             }
+            Op::MatMulBias { x, w, b } => {
+                self.needs(*x) || self.needs(*w) || self.needs(*b)
+            }
+            Op::SliceCols(a, _, _) => self.needs(*a),
+            Op::AddLayerNormRows { a, b, gamma, beta, .. } => {
+                self.needs(*a) || self.needs(*b) || self.needs(*gamma) || self.needs(*beta)
+            }
+            Op::SegAttnScores { q: a, k: b, .. }
+            | Op::SegAttnScoresMasked { q: a, k: b, .. }
+            | Op::SegAttnApply { attn: a, v: b, .. } => self.needs(*a) || self.needs(*b),
+            Op::SegMultiHeadAttention { qkv, .. } => self.needs(*qkv),
+            Op::SegMeanRows(a, _) => self.needs(*a),
         };
         self.nodes.push(Node { op, value, grad: None, needs_grad });
         Var(self.nodes.len() - 1)
@@ -136,6 +173,35 @@ impl Graph {
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let v = self.value(a).matmul(self.value(b));
         self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Fused linear layer `x @ w + b` (`b` a `1×N` row bias): the output is
+    /// initialised with the broadcast bias and the product accumulates into
+    /// it, saving the intermediate matrix and extra pass an explicit
+    /// matmul-then-broadcast pair would spend.
+    pub fn matmul_bias(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let (xm, wm, bm) = (self.value(x), self.value(w), self.value(b));
+        assert_eq!(bm.rows, 1, "bias must be a row vector");
+        assert_eq!(bm.cols, wm.cols, "bias width mismatch");
+        let mut out = Matrix::zeros(xm.rows, wm.cols);
+        for r in 0..out.rows {
+            out.data[r * out.cols..(r + 1) * out.cols].copy_from_slice(&bm.data);
+        }
+        xm.matmul_acc_into(wm, &mut out);
+        self.push(Op::MatMulBias { x, w, b }, out)
+    }
+
+    /// Copy columns `[start, start+len)` → an `R×len` matrix (e.g. carving
+    /// one head's Q/K/V panel out of a packed projection).
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let m = self.value(a);
+        assert!(start + len <= m.cols, "column slice out of range");
+        let mut out = Matrix::zeros(m.rows, len);
+        for r in 0..m.rows {
+            out.data[r * len..(r + 1) * len]
+                .copy_from_slice(&m.data[r * m.cols + start..r * m.cols + start + len]);
+        }
+        self.push(Op::SliceCols(a, start, len), out)
     }
 
     /// Transpose.
@@ -340,6 +406,47 @@ impl Graph {
         self.push(Op::LayerNormRows { x, gamma, beta, eps }, out)
     }
 
+    /// Fused residual + row-wise layer norm: `LayerNorm(a + b)` without
+    /// materialising the sum (the transformer-block residual pattern). The
+    /// per-row arithmetic matches `add` followed by
+    /// [`Graph::layer_norm_rows`] exactly.
+    pub fn add_layer_norm_rows(
+        &mut self,
+        a: Var,
+        b: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    ) -> Var {
+        let (am, bm2, gm, bm) =
+            (self.value(a), self.value(b), self.value(gamma), self.value(beta));
+        assert_eq!((am.rows, am.cols), (bm2.rows, bm2.cols), "residual shape mismatch");
+        assert_eq!(gm.rows, 1);
+        assert_eq!(bm.rows, 1);
+        assert_eq!(gm.cols, am.cols);
+        let d = am.cols;
+        let mut out = Matrix::zeros(am.rows, d);
+        let mut sum_row = vec![0.0f32; d];
+        for r in 0..am.rows {
+            for ((s, &x), &y) in sum_row
+                .iter_mut()
+                .zip(&am.data[r * d..(r + 1) * d])
+                .zip(&bm2.data[r * d..(r + 1) * d])
+            {
+                *s = x + y;
+            }
+            let mean = sum_row.iter().sum::<f32>() / d as f32;
+            let var =
+                sum_row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (c, &xv) in sum_row.iter().enumerate() {
+                let xhat = (xv - mean) * inv;
+                out.data[r * d + c] = gm.data[c] * xhat + bm.data[c];
+            }
+        }
+        self.push(Op::AddLayerNormRows { a, b, gamma, beta, eps }, out)
+    }
+
     /// Select one row → `1×D`.
     pub fn select_row(&mut self, a: Var, row: usize) -> Var {
         let m = self.value(a);
@@ -347,9 +454,275 @@ impl Graph {
         self.push(Op::SelectRow(a, row), out)
     }
 
+    /// Per-segment attention scores over a stacked batch.
+    ///
+    /// `q` and `k` hold `B` variable-length sequences stacked along rows
+    /// (`segs[s]` rows each, `ΣL` total). The result is the block-diagonal of
+    /// `q @ k^T` laid out compactly: row `base+i` holds
+    /// `q_s[i] · k_s[j]` in columns `0..segs[s]`, zero in the padding columns
+    /// up to `max(segs)`. Each segment only ever reads its own rows, so batch
+    /// results are bit-identical to single-sequence results.
+    ///
+    /// Ragged batches must add a mask that blocks the padding columns (e.g.
+    /// from [`crate::layers::segment_additive_mask`]) before any row softmax
+    /// — a zero-filled padding column would otherwise receive softmax mass.
+    /// [`Graph::seg_attn_scores_masked`] folds that mask in directly.
+    pub fn seg_attn_scores(&mut self, q: Var, k: Var, segs: &[usize]) -> Var {
+        let (qm, km) = (self.value(q), self.value(k));
+        let total: usize = segs.iter().sum();
+        assert_eq!(qm.rows, total, "segment lengths must cover q");
+        assert_eq!(km.rows, total, "segment lengths must cover k");
+        assert_eq!(qm.cols, km.cols, "q/k width mismatch");
+        let d = qm.cols;
+        let lmax = segs.iter().copied().max().unwrap_or(0);
+        let mut out = Matrix::zeros(total, lmax);
+        let mut base = 0;
+        for &l in segs {
+            for i in 0..l {
+                let qi = &qm.data[(base + i) * d..(base + i + 1) * d];
+                let orow = &mut out.data[(base + i) * lmax..(base + i) * lmax + l];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = dot(qi, &km.data[(base + j) * d..(base + j + 1) * d]);
+                }
+            }
+            base += l;
+        }
+        self.push(Op::SegAttnScores { q, k, segs: segs.to_vec() }, out)
+    }
+
+    /// Fused, mask-aware attention scores: like [`Graph::seg_attn_scores`]
+    /// followed by a scale and an additive mask, but positions whose `mask`
+    /// entry is non-zero (blocked, `-1e9`) skip the dot product entirely and
+    /// emit the mask value itself. After the row softmax (whose underflow
+    /// shortcut turns them into exact `+0.0`) the result is bit-identical to
+    /// the unfused `scale → add-mask` pipeline, while sparse reachability
+    /// masks skip most of the score work. `mask` must be a constant input
+    /// (`ΣL×max(segs)`, `0.0` = attend).
+    pub fn seg_attn_scores_masked(
+        &mut self,
+        q: Var,
+        k: Var,
+        mask: Var,
+        segs: &[usize],
+        scale: f32,
+    ) -> Var {
+        let (qm, km, mm) = (self.value(q), self.value(k), self.value(mask));
+        let total: usize = segs.iter().sum();
+        let lmax = segs.iter().copied().max().unwrap_or(0);
+        assert_eq!(qm.rows, total, "segment lengths must cover q");
+        assert_eq!(km.rows, total, "segment lengths must cover k");
+        assert_eq!(qm.cols, km.cols, "q/k width mismatch");
+        assert_eq!((mm.rows, mm.cols), (total, lmax), "mask must be ΣL×Lmax");
+        assert!(!self.needs(mask), "attention mask must not require gradients");
+        let d = qm.cols;
+        let mut out = mm.clone();
+        let mut base = 0;
+        for &l in segs {
+            for i in 0..l {
+                let qi = &qm.data[(base + i) * d..(base + i + 1) * d];
+                let orow = &mut out.data[(base + i) * lmax..(base + i) * lmax + l];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    if *o == 0.0 {
+                        *o = dot(qi, &km.data[(base + j) * d..(base + j + 1) * d]) * scale;
+                    }
+                }
+            }
+            base += l;
+        }
+        self.push(Op::SegAttnScoresMasked { q, k, mask, segs: segs.to_vec(), scale }, out)
+    }
+
+    /// Per-segment `attn_s @ v_s` for scores produced by
+    /// [`Graph::seg_attn_scores`] (after mask + softmax): row `base+i` of the
+    /// output is `Σ_j attn[base+i][j] · v[base+j]` over the segment's own
+    /// rows. Padding columns of `attn` are ignored.
+    pub fn seg_attn_apply(&mut self, attn: Var, v: Var, segs: &[usize]) -> Var {
+        let (am, vm) = (self.value(attn), self.value(v));
+        let total: usize = segs.iter().sum();
+        let lmax = segs.iter().copied().max().unwrap_or(0);
+        assert_eq!(am.rows, total, "segment lengths must cover attn");
+        assert_eq!(vm.rows, total, "segment lengths must cover v");
+        assert_eq!(am.cols, lmax, "attn must be padded to max segment length");
+        let d = vm.cols;
+        let mut out = Matrix::zeros(total, d);
+        let mut base = 0;
+        for &l in segs {
+            for i in 0..l {
+                let arow = &am.data[(base + i) * lmax..(base + i) * lmax + l];
+                for (j, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        // Masked positions are *structurally* zero after the
+                        // masked softmax; skipping them changes no bits
+                        // (adding ±0·v is the identity) and skips the bulk
+                        // of the work for sparse reachability masks.
+                        continue;
+                    }
+                    let vrow = &vm.data[(base + j) * d..(base + j + 1) * d];
+                    let orow = &mut out.data[(base + i) * d..(base + i + 1) * d];
+                    for (o, &vv) in orow.iter_mut().zip(vrow) {
+                        *o += a * vv;
+                    }
+                }
+            }
+            base += l;
+        }
+        self.push(Op::SegAttnApply { attn, v, segs: segs.to_vec() }, out)
+    }
+
+    /// Fully-fused multi-head attention over a stacked segment batch.
+    ///
+    /// `qkv` is the packed projection (`ΣL × 3·d_model`, laid out
+    /// `[Q | K | V]` with heads side by side inside each section); `mask` the
+    /// additive reachability mask (`ΣL × max(segs)`, `0.0` = attend). For
+    /// every head the op computes masked scores, a numerically-stabilised
+    /// softmax (in a stack-local row buffer — no intermediate matrices) and
+    /// the weighted value sum, writing each head's output into its own
+    /// column window of the `ΣL × d_model` result — already in "concat"
+    /// layout for the output projection. Each row depends only on its own
+    /// segment, so batched results are bit-identical to singleton-batch
+    /// results; versus the unfused `slice → scores → softmax → apply` chain
+    /// the values agree to fp tolerance (the fused kernel accumulates scores
+    /// feature-major, so low-order bits may differ).
+    pub fn seg_multi_head_attention(
+        &mut self,
+        qkv: Var,
+        mask: Var,
+        segs: &[usize],
+        heads: usize,
+        scale: f32,
+    ) -> Var {
+        let (qm, mm) = (self.value(qkv), self.value(mask));
+        let total: usize = segs.iter().sum();
+        let lmax = segs.iter().copied().max().unwrap_or(0);
+        let w3 = qm.cols;
+        assert_eq!(w3 % 3, 0, "qkv width must be 3·d_model");
+        let d_model = w3 / 3;
+        assert_eq!(d_model % heads, 0, "heads must divide d_model");
+        let dk = d_model / heads;
+        assert_eq!(qm.rows, total, "segment lengths must cover qkv");
+        assert_eq!((mm.rows, mm.cols), (total, lmax), "mask must be ΣL×Lmax");
+        assert!(!self.needs(mask), "attention mask must not require gradients");
+        let mut out = Matrix::zeros(total, d_model);
+        let record_attn = !self.inference;
+        let mut attn_per_head = Vec::with_capacity(heads);
+        let mut buf = vec![0.0f32; lmax];
+        // Per-segment transposed K panel: scores then accumulate over the
+        // feature index with a contiguous, vectorisable inner loop over `j`
+        // instead of one short dot product per (i, j) pair.
+        let mut kt = vec![0.0f32; lmax * dk];
+        for h in 0..heads {
+            let (qo, ko, vo) = (h * dk, d_model + h * dk, 2 * d_model + h * dk);
+            let mut attn =
+                if record_attn { Matrix::zeros(total, lmax) } else { Matrix::zeros(0, 0) };
+            let mut base = 0;
+            for &l in segs {
+                for (c, col) in kt.chunks_mut(l).take(dk).enumerate() {
+                    for (j, o) in col.iter_mut().enumerate() {
+                        *o = qm.data[(base + j) * w3 + ko + c];
+                    }
+                }
+                for i in 0..l {
+                    let qi = &qm.data[(base + i) * w3 + qo..(base + i) * w3 + qo + dk];
+                    // Scores over all j at once, feature-major.
+                    buf[..l].fill(0.0);
+                    for (c, &qv) in qi.iter().enumerate() {
+                        let krow = &kt[c * l..c * l + l];
+                        for (b, &kv) in buf[..l].iter_mut().zip(krow) {
+                            *b += qv * kv;
+                        }
+                    }
+                    // Scale, then overwrite blocked positions with the mask
+                    // value (their computed score is discarded, keeping the
+                    // output identical to the skip-masked formulation).
+                    let mrow = &mm.data[(base + i) * lmax..(base + i) * lmax + l];
+                    for (b, &mv) in buf[..l].iter_mut().zip(mrow) {
+                        *b = if mv == 0.0 { *b * scale } else { mv };
+                    }
+                    // Softmax with the exp-underflow shortcut.
+                    let max = buf[..l].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for b in buf[..l].iter_mut() {
+                        let x = *b - max;
+                        *b = if x <= -105.0 { 0.0 } else { x.exp() };
+                        sum += *b;
+                    }
+                    let inv = 1.0 / sum;
+                    for b in buf[..l].iter_mut() {
+                        *b *= inv;
+                    }
+                    // Weighted value sum; masked weights are exactly 0.
+                    let orow = &mut out.data
+                        [(base + i) * d_model + h * dk..(base + i) * d_model + h * dk + dk];
+                    for (j, &a) in buf[..l].iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let vrow =
+                            &qm.data[(base + j) * w3 + vo..(base + j) * w3 + vo + dk];
+                        for (o, &vv) in orow.iter_mut().zip(vrow) {
+                            *o += a * vv;
+                        }
+                    }
+                    if record_attn {
+                        attn.data[(base + i) * lmax..(base + i) * lmax + l]
+                            .copy_from_slice(&buf[..l]);
+                    }
+                }
+                base += l;
+            }
+            attn_per_head.push(attn);
+        }
+        self.push(
+            Op::SegMultiHeadAttention {
+                qkv,
+                mask,
+                segs: segs.to_vec(),
+                heads,
+                scale,
+                attn: attn_per_head,
+            },
+            out,
+        )
+    }
+
+    /// Mean over each segment's rows → `B×D` (batched sequence pooling).
+    /// Segment `s` of the output equals [`Graph::mean_rows`] of that
+    /// segment's rows, bit for bit.
+    pub fn seg_mean_rows(&mut self, a: Var, segs: &[usize]) -> Var {
+        let m = self.value(a);
+        let total: usize = segs.iter().sum();
+        assert_eq!(m.rows, total, "segment lengths must cover input");
+        assert!(segs.iter().all(|&l| l > 0), "empty segment");
+        let d = m.cols;
+        let mut out = Matrix::zeros(segs.len(), d);
+        let mut base = 0;
+        for (s, &l) in segs.iter().enumerate() {
+            let orow = &mut out.data[s * d..(s + 1) * d];
+            for i in 0..l {
+                let row = &m.data[(base + i) * d..(base + i + 1) * d];
+                for (o, &v) in orow.iter_mut().zip(row) {
+                    *o += v;
+                }
+            }
+            for o in orow.iter_mut() {
+                *o /= l as f32;
+            }
+            base += l;
+        }
+        self.push(Op::SegMeanRows(a, segs.to_vec()), out)
+    }
+
     /// Run reverse-mode accumulation from scalar node `loss`; parameter
     /// gradients are accumulated into `set`.
     pub fn backward(&mut self, loss: Var, set: &mut ParamSet) {
+        self.backward_into(loss, set);
+    }
+
+    /// Like [`Graph::backward`] but generic over the gradient destination:
+    /// pass a [`crate::params::GradStore`] to collect gradients without
+    /// mutating shared optimiser state (parallel training workers).
+    pub fn backward_into(&mut self, loss: Var, sink: &mut impl GradSink) {
+        assert!(!self.inference, "cannot run backward on an inference tape");
         {
             let n = &self.nodes[loss.0];
             assert_eq!(
@@ -370,14 +743,36 @@ impl Graph {
             let op = self.nodes[i].op.clone();
             match op {
                 Op::Leaf => {}
-                Op::Param(id) => set.accumulate_grad(id, &g),
+                Op::Param(id) => sink.accumulate(id, &g),
                 Op::MatMul(a, b) => {
-                    let bt = self.nodes[b.0].value.transpose();
+                    let ga = g.matmul_nt(&self.nodes[b.0].value);
                     let at = self.nodes[a.0].value.transpose();
-                    let ga = g.matmul(&bt);
                     let gb = at.matmul(&g);
                     self.accum(a, ga);
                     self.accum(b, gb);
+                }
+                Op::MatMulBias { x, w, b } => {
+                    let gx = g.matmul_nt(&self.nodes[w.0].value);
+                    let xt = self.nodes[x.0].value.transpose();
+                    let gw = xt.matmul(&g);
+                    let mut gb = Matrix::zeros(1, g.cols);
+                    for r in 0..g.rows {
+                        for c in 0..g.cols {
+                            gb.data[c] += g.get(r, c);
+                        }
+                    }
+                    self.accum(x, gx);
+                    self.accum(w, gw);
+                    self.accum(b, gb);
+                }
+                Op::SliceCols(a, start, len) => {
+                    let m = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(m.rows, m.cols);
+                    for r in 0..m.rows {
+                        ga.data[r * m.cols + start..r * m.cols + start + len]
+                            .copy_from_slice(&g.data[r * len..(r + 1) * len]);
+                    }
+                    self.accum(a, ga);
                 }
                 Op::Transpose(a) => self.accum(a, g.transpose()),
                 Op::Add(a, b) => {
@@ -566,11 +961,240 @@ impl Graph {
                     self.accum(gamma, ggamma);
                     self.accum(beta, gbeta);
                 }
+                Op::AddLayerNormRows { a, b, gamma, beta, eps } => {
+                    // Same maths as LayerNormRows with x = a + b recomputed
+                    // row by row; the input gradient flows to both residual
+                    // operands unchanged.
+                    let am = &self.nodes[a.0].value;
+                    let bm2 = &self.nodes[b.0].value;
+                    let gm = self.nodes[gamma.0].value.clone();
+                    let d = am.cols as f32;
+                    let cols = am.cols;
+                    let mut gx = Matrix::zeros(am.rows, cols);
+                    let mut ggamma = Matrix::zeros(1, cols);
+                    let mut gbeta = Matrix::zeros(1, cols);
+                    let mut sum_row = vec![0.0f32; cols];
+                    for r in 0..am.rows {
+                        for ((s, &x), &y) in sum_row
+                            .iter_mut()
+                            .zip(&am.data[r * cols..(r + 1) * cols])
+                            .zip(&bm2.data[r * cols..(r + 1) * cols])
+                        {
+                            *s = x + y;
+                        }
+                        let mean = sum_row.iter().sum::<f32>() / d;
+                        let var = sum_row
+                            .iter()
+                            .map(|v| (v - mean) * (v - mean))
+                            .sum::<f32>()
+                            / d;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        let xhat: Vec<f32> =
+                            sum_row.iter().map(|v| (v - mean) * inv).collect();
+                        let gy: Vec<f32> = (0..cols).map(|c| g.get(r, c)).collect();
+                        for c in 0..cols {
+                            ggamma.data[c] += gy[c] * xhat[c];
+                            gbeta.data[c] += gy[c];
+                        }
+                        let gxhat: Vec<f32> =
+                            (0..cols).map(|c| gy[c] * gm.data[c]).collect();
+                        let mean_gxhat = gxhat.iter().sum::<f32>() / d;
+                        let mean_gxhat_xhat =
+                            gxhat.iter().zip(&xhat).map(|(a, b)| a * b).sum::<f32>() / d;
+                        for c in 0..cols {
+                            gx.set(
+                                r,
+                                c,
+                                inv * (gxhat[c] - mean_gxhat - xhat[c] * mean_gxhat_xhat),
+                            );
+                        }
+                    }
+                    self.accum(a, gx.clone());
+                    self.accum(b, gx);
+                    self.accum(gamma, ggamma);
+                    self.accum(beta, gbeta);
+                }
                 Op::SelectRow(a, row) => {
                     let m = &self.nodes[a.0].value;
                     let mut ga = Matrix::zeros(m.rows, m.cols);
                     for c in 0..m.cols {
                         ga.set(row, c, g.get(0, c));
+                    }
+                    self.accum(a, ga);
+                }
+                Op::SegAttnScores { q, k, segs } => {
+                    let qm = &self.nodes[q.0].value;
+                    let km = &self.nodes[k.0].value;
+                    let d = qm.cols;
+                    let lmax = segs.iter().copied().max().unwrap_or(0);
+                    let mut gq = Matrix::zeros(qm.rows, d);
+                    let mut gk = Matrix::zeros(km.rows, d);
+                    let mut base = 0;
+                    for &l in &segs {
+                        for i in 0..l {
+                            let grow = &g.data[(base + i) * lmax..(base + i) * lmax + l];
+                            for (j, &gij) in grow.iter().enumerate() {
+                                let krow = &km.data[(base + j) * d..(base + j + 1) * d];
+                                let qrow = &qm.data[(base + i) * d..(base + i + 1) * d];
+                                let gqrow = &mut gq.data[(base + i) * d..(base + i + 1) * d];
+                                for (o, &kv) in gqrow.iter_mut().zip(krow) {
+                                    *o += gij * kv;
+                                }
+                                let gkrow = &mut gk.data[(base + j) * d..(base + j + 1) * d];
+                                for (o, &qv) in gkrow.iter_mut().zip(qrow) {
+                                    *o += gij * qv;
+                                }
+                            }
+                        }
+                        base += l;
+                    }
+                    self.accum(q, gq);
+                    self.accum(k, gk);
+                }
+                Op::SegAttnScoresMasked { q, k, mask, segs, scale } => {
+                    let qm = &self.nodes[q.0].value;
+                    let km = &self.nodes[k.0].value;
+                    let mm = &self.nodes[mask.0].value;
+                    let d = qm.cols;
+                    let lmax = segs.iter().copied().max().unwrap_or(0);
+                    let mut gq = Matrix::zeros(qm.rows, d);
+                    let mut gk = Matrix::zeros(km.rows, d);
+                    let mut base = 0;
+                    for &l in &segs {
+                        for i in 0..l {
+                            let grow = &g.data[(base + i) * lmax..(base + i) * lmax + l];
+                            let mrow = &mm.data[(base + i) * lmax..(base + i) * lmax + l];
+                            for (j, (&gij, &mij)) in grow.iter().zip(mrow).enumerate() {
+                                if mij != 0.0 {
+                                    // Blocked position: the forward emitted
+                                    // the mask constant, not a dot product,
+                                    // so the output there has zero partials
+                                    // w.r.t. q and k.
+                                    continue;
+                                }
+                                let gs = gij * scale;
+                                let krow = &km.data[(base + j) * d..(base + j + 1) * d];
+                                let qrow = &qm.data[(base + i) * d..(base + i + 1) * d];
+                                let gqrow = &mut gq.data[(base + i) * d..(base + i + 1) * d];
+                                for (o, &kv) in gqrow.iter_mut().zip(krow) {
+                                    *o += gs * kv;
+                                }
+                                let gkrow = &mut gk.data[(base + j) * d..(base + j + 1) * d];
+                                for (o, &qv) in gkrow.iter_mut().zip(qrow) {
+                                    *o += gs * qv;
+                                }
+                            }
+                        }
+                        base += l;
+                    }
+                    self.accum(q, gq);
+                    self.accum(k, gk);
+                }
+                Op::SegAttnApply { attn, v, segs } => {
+                    let am = &self.nodes[attn.0].value;
+                    let vm = &self.nodes[v.0].value;
+                    let d = vm.cols;
+                    let lmax = segs.iter().copied().max().unwrap_or(0);
+                    let mut ga = Matrix::zeros(am.rows, am.cols);
+                    let mut gv = Matrix::zeros(vm.rows, d);
+                    let mut base = 0;
+                    for &l in &segs {
+                        for i in 0..l {
+                            let grow = &g.data[(base + i) * d..(base + i + 1) * d];
+                            let garow =
+                                &mut ga.data[(base + i) * lmax..(base + i) * lmax + l];
+                            for (j, o) in garow.iter_mut().enumerate() {
+                                *o = dot(grow, &vm.data[(base + j) * d..(base + j + 1) * d]);
+                            }
+                            let arow = &am.data[(base + i) * lmax..(base + i) * lmax + l];
+                            for (j, &aij) in arow.iter().enumerate() {
+                                if aij == 0.0 {
+                                    continue; // structurally-masked: ±0·g adds nothing
+                                }
+                                let gvrow = &mut gv.data[(base + j) * d..(base + j + 1) * d];
+                                for (o, &gg) in gvrow.iter_mut().zip(grow) {
+                                    *o += aij * gg;
+                                }
+                            }
+                        }
+                        base += l;
+                    }
+                    self.accum(attn, ga);
+                    self.accum(v, gv);
+                }
+                Op::SegMultiHeadAttention { qkv, mask, segs, heads, scale, attn } => {
+                    let qm = &self.nodes[qkv.0].value;
+                    let mm = &self.nodes[mask.0].value;
+                    let w3 = qm.cols;
+                    let d_model = w3 / 3;
+                    let dk = d_model / heads;
+                    let lmax = segs.iter().copied().max().unwrap_or(0);
+                    let mut gqkv = Matrix::zeros(qm.rows, w3);
+                    let mut gy = vec![0.0f32; lmax];
+                    for (h, y) in attn.iter().enumerate() {
+                        let (qo, ko, vo) = (h * dk, d_model + h * dk, 2 * d_model + h * dk);
+                        let mut base = 0;
+                        for &l in &segs {
+                            for i in 0..l {
+                                let grow = &g.data[(base + i) * d_model + h * dk
+                                    ..(base + i) * d_model + h * dk + dk];
+                                let yrow = &y.data[(base + i) * lmax..(base + i) * lmax + l];
+                                // gy = d(loss)/d(attn weights).
+                                for (j, o) in gy[..l].iter_mut().enumerate() {
+                                    *o = dot(
+                                        grow,
+                                        &qm.data
+                                            [(base + j) * w3 + vo..(base + j) * w3 + vo + dk],
+                                    );
+                                }
+                                // Softmax backward: gs = y ⊙ (gy − Σ gy·y).
+                                let dotsum: f32 =
+                                    gy[..l].iter().zip(yrow).map(|(a, b)| a * b).sum();
+                                let mrow = &mm.data[(base + i) * lmax..(base + i) * lmax + l];
+                                for j in 0..l {
+                                    let yij = yrow[j];
+                                    // gv: every attended value row gains y·g.
+                                    if yij != 0.0 {
+                                        let gvrow = &mut gqkv.data
+                                            [(base + j) * w3 + vo..(base + j) * w3 + vo + dk];
+                                        for (o, &gg) in gvrow.iter_mut().zip(grow) {
+                                            *o += yij * gg;
+                                        }
+                                    }
+                                    if mrow[j] != 0.0 {
+                                        continue; // blocked: no score was computed
+                                    }
+                                    let gs = yij * (gy[j] - dotsum) * scale;
+                                    let qi = (base + i) * w3 + qo;
+                                    let kj = (base + j) * w3 + ko;
+                                    for c in 0..dk {
+                                        gqkv.data[qi + c] += gs * qm.data[kj + c];
+                                    }
+                                    for c in 0..dk {
+                                        gqkv.data[kj + c] += gs * qm.data[qi + c];
+                                    }
+                                }
+                            }
+                            base += l;
+                        }
+                    }
+                    self.accum(qkv, gqkv);
+                }
+                Op::SegMeanRows(a, segs) => {
+                    let m = &self.nodes[a.0].value;
+                    let d = m.cols;
+                    let mut ga = Matrix::zeros(m.rows, d);
+                    let mut base = 0;
+                    for (s, &l) in segs.iter().enumerate() {
+                        let scale = 1.0 / l as f32;
+                        let grow = &g.data[s * d..(s + 1) * d];
+                        for i in 0..l {
+                            let garow = &mut ga.data[(base + i) * d..(base + i + 1) * d];
+                            for (o, &gg) in garow.iter_mut().zip(grow) {
+                                *o = gg * scale;
+                            }
+                        }
+                        base += l;
                     }
                     self.accum(a, ga);
                 }
@@ -802,6 +1426,342 @@ mod tests {
             rand_matrix(2, 3, 19),
             1e-2,
         );
+    }
+
+    #[test]
+    fn grad_seg_attn_scores_and_apply() {
+        // Two ragged segments (3 and 2 rows) through a toy attention:
+        // scores → softmax → apply, all differentiated through the segment ops.
+        let segs = [3usize, 2];
+        check_gradient(
+            |g, p| {
+                let k = g.input(rand_matrix(5, 4, 21));
+                let v = g.input(rand_matrix(5, 4, 22));
+                let scores = g.seg_attn_scores(p, k, &segs);
+                let sm = g.softmax_rows(scores);
+                let out = g.seg_attn_apply(sm, v, &segs);
+                let t = g.input(rand_matrix(5, 4, 23));
+                let m = g.mul(out, t);
+                g.sum_all(m)
+            },
+            rand_matrix(5, 4, 20),
+            2e-2,
+        );
+        // Gradients w.r.t. k and v sides too.
+        check_gradient(
+            |g, p| {
+                let q = g.input(rand_matrix(5, 4, 24));
+                let scores = g.seg_attn_scores(q, p, &segs);
+                let sm = g.softmax_rows(scores);
+                let out = g.seg_attn_apply(sm, p, &segs);
+                g.sum_all(out)
+            },
+            rand_matrix(5, 4, 25),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_bias_fused() {
+        // Against each operand of the fused linear.
+        check_gradient(
+            |g, p| {
+                let w = g.input(rand_matrix(3, 4, 71));
+                let b = g.input(rand_matrix(1, 4, 72));
+                let y = g.matmul_bias(p, w, b);
+                let y = g.tanh(y);
+                g.sum_all(y)
+            },
+            rand_matrix(2, 3, 70),
+            1e-2,
+        );
+        check_gradient(
+            |g, p| {
+                let x = g.input(rand_matrix(2, 3, 73));
+                let b = g.input(rand_matrix(1, 4, 74));
+                let y = g.matmul_bias(x, p, b);
+                g.sum_all(y)
+            },
+            rand_matrix(3, 4, 75),
+            1e-2,
+        );
+        check_gradient(
+            |g, p| {
+                let x = g.input(rand_matrix(2, 3, 76));
+                let w = g.input(rand_matrix(3, 4, 77));
+                let y = g.matmul_bias(x, w, p);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            rand_matrix(1, 4, 78),
+            1e-2,
+        );
+        // Value matches the unfused pipeline up to fp association.
+        let mut g = Graph::new();
+        let x = g.input(rand_matrix(2, 3, 79));
+        let w = g.input(rand_matrix(3, 4, 80));
+        let b = g.input(rand_matrix(1, 4, 81));
+        let fused = g.matmul_bias(x, w, b);
+        let mm = g.matmul(x, w);
+        let unfused = g.add_row_broadcast(mm, b);
+        for (a, e) in g.value(fused).data.iter().zip(&g.value(unfused).data.clone()) {
+            assert!((a - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grad_slice_cols() {
+        check_gradient(
+            |g, p| {
+                let s = g.slice_cols(p, 1, 2);
+                let t = g.input(rand_matrix(3, 2, 83));
+                let m = g.mul(s, t);
+                g.sum_all(m)
+            },
+            rand_matrix(3, 5, 82),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_add_layer_norm_fused() {
+        check_gradient(
+            |g, p| {
+                let other = g.input(rand_matrix(3, 4, 85));
+                let gamma = g.input(Matrix::full(1, 4, 1.1));
+                let beta = g.input(Matrix::full(1, 4, 0.2));
+                let y = g.add_layer_norm_rows(p, other, gamma, beta, 1e-5);
+                let t = g.input(rand_matrix(3, 4, 86));
+                let m = g.mul(y, t);
+                g.sum_all(m)
+            },
+            rand_matrix(3, 4, 84),
+            2e-2,
+        );
+        // Fused output equals add-then-norm exactly.
+        let mut g = Graph::new();
+        let a = g.input(rand_matrix(3, 4, 87));
+        let b = g.input(rand_matrix(3, 4, 88));
+        let gamma = g.input(Matrix::full(1, 4, 0.9));
+        let beta = g.input(Matrix::full(1, 4, -0.3));
+        let fused = g.add_layer_norm_rows(a, b, gamma, beta, 1e-5);
+        let sum = g.add(a, b);
+        let unfused = g.layer_norm_rows(sum, gamma, beta, 1e-5);
+        assert_eq!(g.value(fused).data, g.value(unfused).data.clone());
+    }
+
+    #[test]
+    fn grad_seg_attn_scores_masked() {
+        // Ragged segments with a sparse mask; gradient must flow only
+        // through unmasked positions, matching numeric differentiation.
+        let segs = [3usize, 2];
+        let mask = Matrix::from_rows(&[
+            &[0.0, -1e9, 0.0],
+            &[0.0, 0.0, -1e9],
+            &[-1e9, 0.0, 0.0],
+            &[0.0, 0.0, -1e9], // second segment: col 2 is ragged padding
+            &[-1e9, 0.0, -1e9],
+        ]);
+        check_gradient(
+            |g, p| {
+                let k = g.input(rand_matrix(5, 4, 51));
+                let v = g.input(rand_matrix(5, 4, 52));
+                let mv = g.input(mask.clone());
+                let scores = g.seg_attn_scores_masked(p, k, mv, &segs, 0.5);
+                let sm = g.softmax_rows(scores);
+                let out = g.seg_attn_apply(sm, v, &segs);
+                let t = g.input(rand_matrix(5, 4, 53));
+                let m = g.mul(out, t);
+                g.sum_all(m)
+            },
+            rand_matrix(5, 4, 50),
+            2e-2,
+        );
+        check_gradient(
+            |g, p| {
+                let q = g.input(rand_matrix(5, 4, 54));
+                let mv = g.input(mask.clone());
+                let scores = g.seg_attn_scores_masked(q, p, mv, &segs, 0.5);
+                let sm = g.softmax_rows(scores);
+                let out = g.seg_attn_apply(sm, p, &segs);
+                g.sum_all(out)
+            },
+            rand_matrix(5, 4, 55),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn masked_scores_match_unfused_pipeline() {
+        let segs = [3usize, 2];
+        let q = rand_matrix(5, 4, 60);
+        let k = rand_matrix(5, 4, 61);
+        let mask = Matrix::from_rows(&[
+            &[0.0, -1e9, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[-1e9, 0.0, 0.0],
+            &[0.0, 0.0, -1e9],
+            &[0.0, 0.0, -1e9],
+        ]);
+        let mut g1 = Graph::new();
+        let (q1, k1) = (g1.input(q.clone()), g1.input(k.clone()));
+        let m1 = g1.input(mask.clone());
+        let fused = g1.seg_attn_scores_masked(q1, k1, m1, &segs, 0.25);
+        let sm_fused = g1.softmax_rows(fused);
+        let mut g2 = Graph::new();
+        let (q2, k2) = (g2.input(q), g2.input(k));
+        let m2 = g2.input(mask);
+        let raw = g2.seg_attn_scores(q2, k2, &segs);
+        let scaled = g2.scale(raw, 0.25);
+        let masked = g2.add(scaled, m2);
+        let sm_unfused = g2.softmax_rows(masked);
+        assert_eq!(g1.value(sm_fused).data, g2.value(sm_unfused).data);
+    }
+
+    #[test]
+    fn grad_seg_multi_head_attention() {
+        // Packed qkv (d_model = 4, 2 heads of width 2) over ragged segments.
+        let segs = [3usize, 2];
+        let mask = Matrix::from_rows(&[
+            &[0.0, -1e9, 0.0],
+            &[0.0, 0.0, -1e9],
+            &[-1e9, 0.0, 0.0],
+            &[0.0, 0.0, -1e9],
+            &[-1e9, 0.0, -1e9],
+        ]);
+        check_gradient(
+            |g, p| {
+                let mv = g.input(mask.clone());
+                let att = g.seg_multi_head_attention(p, mv, &segs, 2, 0.7);
+                let t = g.input(rand_matrix(5, 4, 91));
+                let m = g.mul(att, t);
+                g.sum_all(m)
+            },
+            rand_matrix(5, 12, 90),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn fused_mha_matches_unfused_ops_bitwise() {
+        let segs = [3usize, 2];
+        let qkv = rand_matrix(5, 12, 92); // d_model = 4, heads = 2, dk = 2
+        let mask = Matrix::from_rows(&[
+            &[0.0, -1e9, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[-1e9, 0.0, 0.0],
+            &[0.0, 0.0, -1e9],
+            &[0.0, 0.0, -1e9],
+        ]);
+        let mut g1 = Graph::new();
+        let q1 = g1.input(qkv.clone());
+        let m1 = g1.input(mask.clone());
+        let fused = g1.seg_multi_head_attention(q1, m1, &segs, 2, 0.5);
+        let mut g2 = Graph::new();
+        let qv = g2.input(qkv);
+        let m2 = g2.input(mask);
+        let mut heads = Vec::new();
+        for h in 0..2usize {
+            let q = g2.slice_cols(qv, h * 2, 2);
+            let k = g2.slice_cols(qv, 4 + h * 2, 2);
+            let v = g2.slice_cols(qv, 8 + h * 2, 2);
+            let scores = g2.seg_attn_scores_masked(q, k, m2, &segs, 0.5);
+            let sm = g2.softmax_rows(scores);
+            heads.push(g2.seg_attn_apply(sm, v, &segs));
+        }
+        let unfused = g2.concat_cols(&heads);
+        // The fused kernel accumulates scores feature-major while the
+        // unfused ops use chunked dots, so association (and hence low-order
+        // bits) may differ; values must still agree to fp tolerance.
+        for (a, b) in g1.value(fused).data.iter().zip(&g2.value(unfused).data.clone()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn grad_seg_mean_rows() {
+        check_gradient(
+            |g, p| {
+                let pooled = g.seg_mean_rows(p, &[2, 3]);
+                let t = g.input(rand_matrix(2, 3, 27));
+                let m = g.mul(pooled, t);
+                g.sum_all(m)
+            },
+            rand_matrix(5, 3, 26),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn seg_ops_match_per_sequence_ops_bitwise() {
+        // A stacked two-segment batch must reproduce the per-sequence
+        // single-graph results exactly — the batched-inference invariant.
+        let qa = rand_matrix(3, 4, 30);
+        let qb = rand_matrix(2, 4, 31);
+        let ka = rand_matrix(3, 4, 32);
+        let kb = rand_matrix(2, 4, 33);
+        let stack = |a: &Matrix, b: &Matrix| {
+            let mut d = a.data.clone();
+            d.extend_from_slice(&b.data);
+            Matrix::from_vec(a.rows + b.rows, a.cols, d)
+        };
+        let mut g = Graph::new();
+        let q = g.input(stack(&qa, &qb));
+        let k = g.input(stack(&ka, &kb));
+        let scores = g.seg_attn_scores(q, k, &[3, 2]);
+        let sv = g.value(scores).clone();
+        // Per-segment reference via matmul_nt on the raw matrices.
+        let ra = qa.matmul_nt(&ka);
+        let rb = qb.matmul_nt(&kb);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(sv.get(i, j), ra.get(i, j));
+            }
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(sv.get(3 + i, j), rb.get(i, j));
+            }
+            assert_eq!(sv.get(3 + i, 2), 0.0, "padding column must be zero");
+        }
+        // seg_mean_rows row 0 == mean_rows of the first segment alone.
+        let pooled = g.seg_mean_rows(q, &[3, 2]);
+        let mut g2 = Graph::new();
+        let qa_in = g2.input(qa.clone());
+        let single = g2.mean_rows(qa_in);
+        assert_eq!(g.value(pooled).row(0), g2.value(single).row(0));
+    }
+
+    #[test]
+    fn backward_into_grad_store_matches_param_set() {
+        let mut set = ParamSet::new();
+        let id = set.alloc(rand_matrix(3, 4, 40));
+        let build = |g: &mut Graph, p: Var| {
+            let x = g.input(rand_matrix(2, 3, 41));
+            let y = g.matmul(x, p);
+            let y = g.tanh(y);
+            g.sum_all(y)
+        };
+        let mut g1 = Graph::new();
+        let p1 = g1.param(id, &set);
+        let loss1 = build(&mut g1, p1);
+        set.zero_grad();
+        g1.backward(loss1, &mut set);
+        let via_set = set.grad(id).clone();
+
+        let mut store = crate::params::GradStore::zeros_like(&set);
+        let mut g2 = Graph::new();
+        let p2 = g2.param(id, &set);
+        let loss2 = build(&mut g2, p2);
+        g2.backward_into(loss2, &mut store);
+        assert_eq!(store.grad(id), &via_set);
+
+        // add_into accumulates on top of existing grads.
+        store.add_into(&mut set);
+        let doubled = set.grad(id).clone();
+        for (d, v) in doubled.data.iter().zip(&via_set.data) {
+            assert!((d - 2.0 * v).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -26,12 +26,11 @@ impl Linear {
         Self { w, b, in_dim, out_dim }
     }
 
-    /// Record `x @ W + b`.
+    /// Record `x @ W + b` as one fused op (bias-initialised accumulation).
     pub fn forward(&self, g: &mut Graph, set: &ParamSet, x: Var) -> Var {
         let w = g.param(self.w, set);
         let b = g.param(self.b, set);
-        let y = g.matmul(x, w);
-        g.add_row_broadcast(y, b)
+        g.matmul_bias(x, w, b)
     }
 }
 
@@ -83,6 +82,14 @@ impl LayerNorm {
         let beta = g.param(self.beta, set);
         g.layer_norm_rows(x, gamma, beta, 1e-5)
     }
+
+    /// Record the fused residual form `LayerNorm(a + b)` (transformer
+    /// blocks), skipping the intermediate sum matrix.
+    pub fn forward_residual(&self, g: &mut Graph, set: &ParamSet, a: Var, b: Var) -> Var {
+        let gamma = g.param(self.gamma, set);
+        let beta = g.param(self.beta, set);
+        g.add_layer_norm_rows(a, b, gamma, beta, 1e-5)
+    }
 }
 
 /// Multi-head self-attention over a node sequence with an additive mask.
@@ -93,9 +100,10 @@ impl LayerNorm {
 /// mask before the softmax, the standard trick with identical effect.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct MultiHeadAttention {
-    wq: Vec<ParamId>,
-    wk: Vec<ParamId>,
-    wv: Vec<ParamId>,
+    /// Packed projection `d_model × 3·d_model`, laid out `[Q | K | V]` with
+    /// each section holding all heads side by side — one matmul projects the
+    /// whole batch for every head at once.
+    wqkv: ParamId,
     wo: ParamId,
     /// Number of heads.
     pub heads: usize,
@@ -107,17 +115,9 @@ impl MultiHeadAttention {
     /// Allocate projection matrices for `heads` heads over width `d_model`.
     pub fn new(set: &mut ParamSet, d_model: usize, heads: usize, rng: &mut StdRng) -> Self {
         assert_eq!(d_model % heads, 0, "heads must divide d_model");
-        let dk = d_model / heads;
-        let mut wq = Vec::with_capacity(heads);
-        let mut wk = Vec::with_capacity(heads);
-        let mut wv = Vec::with_capacity(heads);
-        for _ in 0..heads {
-            wq.push(set.alloc_xavier(d_model, dk, rng));
-            wk.push(set.alloc_xavier(d_model, dk, rng));
-            wv.push(set.alloc_xavier(d_model, dk, rng));
-        }
+        let wqkv = set.alloc_xavier(d_model, 3 * d_model, rng);
         let wo = set.alloc_xavier(d_model, d_model, rng);
-        Self { wq, wk, wv, wo, heads, d_model }
+        Self { wqkv, wo, heads, d_model }
     }
 
     /// Record attention over `x` (`L × d_model`). `mask` is an `L × L`
@@ -126,19 +126,18 @@ impl MultiHeadAttention {
     pub fn forward(&self, g: &mut Graph, set: &ParamSet, x: Var, mask: &Matrix) -> Var {
         let l = g.value(x).rows;
         assert_eq!((mask.rows, mask.cols), (l, l), "mask must be L×L");
-        let dk = (self.d_model / self.heads) as f32;
+        let dk = self.d_model / self.heads;
         let mask_var = g.input(mask.clone());
+        let wqkv = g.param(self.wqkv, set);
+        let qkv = g.matmul(x, wqkv);
         let mut head_outputs = Vec::with_capacity(self.heads);
         for h in 0..self.heads {
-            let wq = g.param(self.wq[h], set);
-            let wk = g.param(self.wk[h], set);
-            let wv = g.param(self.wv[h], set);
-            let q = g.matmul(x, wq);
-            let k = g.matmul(x, wk);
-            let v = g.matmul(x, wv);
+            let q = g.slice_cols(qkv, h * dk, dk);
+            let k = g.slice_cols(qkv, self.d_model + h * dk, dk);
+            let v = g.slice_cols(qkv, 2 * self.d_model + h * dk, dk);
             let kt = g.transpose(k);
             let scores = g.matmul(q, kt);
-            let scores = g.scale(scores, 1.0 / dk.sqrt());
+            let scores = g.scale(scores, 1.0 / (dk as f32).sqrt());
             let scores = g.add(scores, mask_var);
             let attn = g.softmax_rows(scores);
             head_outputs.push(g.matmul(attn, v));
@@ -146,6 +145,37 @@ impl MultiHeadAttention {
         let concat = g.concat_cols(&head_outputs);
         let wo = g.param(self.wo, set);
         g.matmul(concat, wo)
+    }
+
+    /// Record attention over a *batch* of sequences stacked along rows of
+    /// `x` (`ΣL × d_model`, `segs[s]` rows per sequence). Attention never
+    /// crosses a segment boundary, so one tape carries the whole batch.
+    /// `mask` is the `ΣL × max(segs)` additive matrix from
+    /// [`segment_additive_mask`] (it must also mask the padding columns of
+    /// ragged batches). Each sequence's output rows are bit-identical to a
+    /// singleton-batch call with that sequence alone.
+    pub fn forward_batch(
+        &self,
+        g: &mut Graph,
+        set: &ParamSet,
+        x: Var,
+        mask: &Matrix,
+        segs: &[usize],
+    ) -> Var {
+        let total = g.value(x).rows;
+        let lmax = segs.iter().copied().max().unwrap_or(0);
+        assert_eq!(segs.iter().sum::<usize>(), total, "segments must cover x");
+        assert_eq!((mask.rows, mask.cols), (total, lmax), "mask must be ΣL×Lmax");
+        let dk = self.d_model / self.heads;
+        let mask_var = g.input(mask.clone());
+        let wqkv = g.param(self.wqkv, set);
+        let qkv = g.matmul(x, wqkv);
+        // One fused node: masked scores, softmax and value-weighting for
+        // every head, reading Q/K/V straight out of the packed projection.
+        let attended =
+            g.seg_multi_head_attention(qkv, mask_var, segs, self.heads, 1.0 / (dk as f32).sqrt());
+        let wo = g.param(self.wo, set);
+        g.matmul(attended, wo)
     }
 }
 
@@ -163,6 +193,31 @@ pub fn additive_mask(reachable: &[Vec<bool>]) -> Matrix {
         }
     }
     m
+}
+
+/// Build the stacked-batch additive mask for
+/// [`MultiHeadAttention::forward_batch`]: one `L_s × L_s` reachability block
+/// per sequence, laid out as `ΣL × max(L_s)` with `-1e9` in the ragged
+/// padding columns. Also returns the segment lengths.
+pub fn segment_additive_mask(reachable_per_seq: &[&[Vec<bool>]]) -> (Matrix, Vec<usize>) {
+    let segs: Vec<usize> = reachable_per_seq.iter().map(|r| r.len()).collect();
+    let total: usize = segs.iter().sum();
+    let lmax = segs.iter().copied().max().unwrap_or(0);
+    let mut m = Matrix::full(total, lmax, -1e9);
+    let mut base = 0;
+    for reachable in reachable_per_seq {
+        let l = reachable.len();
+        for (r, row) in reachable.iter().enumerate() {
+            assert_eq!(row.len(), l, "reachability matrix must be square");
+            for (c, &ok) in row.iter().enumerate() {
+                if ok {
+                    m.set(base + r, c, 0.0);
+                }
+            }
+        }
+        base += l;
+    }
+    (m, segs)
 }
 
 #[cfg(test)]
@@ -236,6 +291,46 @@ mod tests {
         let r1_2 = g2.value(y2).row(1).to_vec();
         assert_eq!(r0_1, r0_2, "token 0 sees the same context in both");
         assert_ne!(r1_1, r1_2, "token 1 lost access to token 0");
+    }
+
+    #[test]
+    fn batched_attention_matches_singletons_bitwise() {
+        let mut set = ParamSet::new();
+        let mha = MultiHeadAttention::new(&mut set, 8, 2, &mut rng());
+        // Two sequences of different lengths (3 and 2 tokens) with
+        // non-trivial reachability.
+        let xa = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.5, -0.5, 0.2, 0.0, 0.1, 0.3],
+            &[0.0, 1.0, -0.5, 0.5, 0.0, 0.2, 0.3, 0.1],
+            &[0.3, -0.2, 0.1, 0.4, -0.1, 0.6, 0.0, 0.2],
+        ]);
+        let xb = Matrix::from_rows(&[
+            &[0.9, 0.1, -0.3, 0.2, 0.5, -0.4, 0.2, 0.0],
+            &[-0.1, 0.8, 0.3, -0.2, 0.1, 0.3, -0.5, 0.4],
+        ]);
+        let ra = vec![
+            vec![true, true, false],
+            vec![true, true, true],
+            vec![false, true, true],
+        ];
+        let rb = vec![vec![true, false], vec![true, true]];
+        // Batched pass.
+        let (mask, segs) = segment_additive_mask(&[&ra, &rb]);
+        let mut stacked = xa.data.clone();
+        stacked.extend_from_slice(&xb.data);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_vec(5, 8, stacked));
+        let y = mha.forward_batch(&mut g, &set, x, &mask, &segs);
+        // Singleton batches through the SAME path must match bit for bit.
+        for (xs, rs, base) in [(&xa, &ra, 0usize), (&xb, &rb, 3)] {
+            let (m1, s1) = segment_additive_mask(&[rs]);
+            let mut g1 = Graph::new();
+            let x1 = g1.input(xs.clone());
+            let y1 = mha.forward_batch(&mut g1, &set, x1, &m1, &s1);
+            for r in 0..xs.rows {
+                assert_eq!(g.value(y).row(base + r), g1.value(y1).row(r));
+            }
+        }
     }
 
     #[test]

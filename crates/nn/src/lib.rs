@@ -14,6 +14,8 @@ pub mod matrix;
 pub mod params;
 
 pub use graph::{Graph, Var};
-pub use layers::{additive_mask, Embedding, LayerNorm, Linear, MultiHeadAttention};
+pub use layers::{
+    additive_mask, segment_additive_mask, Embedding, LayerNorm, Linear, MultiHeadAttention,
+};
 pub use matrix::Matrix;
-pub use params::{Adam, ParamId, ParamSet};
+pub use params::{Adam, GradSink, GradStore, ParamId, ParamSet};

@@ -68,32 +68,241 @@ impl Matrix {
 
     /// `self @ other`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both inputs.
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self @ other` without allocating. `out` is overwritten.
+    ///
+    /// Register-blocked kernel: two rows of `self` advance together, sharing
+    /// every loaded row of `other`, with a 4-way unrolled `k` inner kernel
+    /// and slice-based addressing (no per-element bounds checks, no
+    /// data-dependent branches). The per-element accumulation order — `k` in
+    /// groups of four, remainder singly — is a function of `k` alone, never
+    /// of the row count or a row's position in the blocking, so stacking
+    /// extra rows onto a batch cannot change any existing row's result bit
+    /// pattern — the property the batched inference path relies on.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        if self.cols == 0 {
+            out.data.fill(0.0);
+            return;
+        }
+        // Initialise each output row by *assigning* the first k-group's
+        // contribution instead of zero-filling and accumulating — one whole
+        // pass over `out` saved. `0.0 + x == x` for every finite x except
+        // that `-0.0` would become `+0.0`, and `-0.0 == 0.0` anyway, so the
+        // k-grouping (and with it every accumulation-order guarantee) is
+        // unchanged from [`Matrix::matmul_acc_into`].
+        let n = other.cols;
+        let kd = self.cols;
+        let b = &other.data;
+        let mut i = 0;
+        while i + 2 <= self.rows {
+            let (o0, o1) = out.data[i * n..(i + 2) * n].split_at_mut(n);
+            let ar0 = &self.data[i * kd..(i + 1) * kd];
+            let ar1 = &self.data[(i + 1) * kd..(i + 2) * kd];
+            let mut k = if kd >= 4 {
+                let (x00, x01, x02, x03) = (ar0[0], ar0[1], ar0[2], ar0[3]);
+                let (x10, x11, x12, x13) = (ar1[0], ar1[1], ar1[2], ar1[3]);
+                let b0 = &b[..n];
+                let b1 = &b[n..2 * n];
+                let b2 = &b[2 * n..3 * n];
+                let b3 = &b[3 * n..4 * n];
+                for j in 0..n {
+                    o0[j] = x00 * b0[j] + x01 * b1[j] + x02 * b2[j] + x03 * b3[j];
+                    o1[j] = x10 * b0[j] + x11 * b1[j] + x12 * b2[j] + x13 * b3[j];
+                }
+                4
+            } else {
+                let (x0, x1) = (ar0[0], ar1[0]);
+                let brow = &b[..n];
+                for j in 0..n {
+                    o0[j] = x0 * brow[j];
+                    o1[j] = x1 * brow[j];
+                }
+                1
+            };
+            while k + 4 <= kd {
+                let (x00, x01, x02, x03) = (ar0[k], ar0[k + 1], ar0[k + 2], ar0[k + 3]);
+                let (x10, x11, x12, x13) = (ar1[k], ar1[k + 1], ar1[k + 2], ar1[k + 3]);
+                let b0 = &b[k * n..k * n + n];
+                let b1 = &b[(k + 1) * n..(k + 1) * n + n];
+                let b2 = &b[(k + 2) * n..(k + 2) * n + n];
+                let b3 = &b[(k + 3) * n..(k + 3) * n + n];
+                for j in 0..n {
+                    o0[j] += x00 * b0[j] + x01 * b1[j] + x02 * b2[j] + x03 * b3[j];
+                    o1[j] += x10 * b0[j] + x11 * b1[j] + x12 * b2[j] + x13 * b3[j];
+                }
+                k += 4;
+            }
+            while k < kd {
+                let (x0, x1) = (ar0[k], ar1[k]);
+                let brow = &b[k * n..k * n + n];
+                for j in 0..n {
+                    o0[j] += x0 * brow[j];
+                    o1[j] += x1 * brow[j];
+                }
+                k += 1;
+            }
+            i += 2;
+        }
+        if i < self.rows {
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            let arow = &self.data[i * kd..(i + 1) * kd];
+            let mut k = if kd >= 4 {
+                let (x0, x1, x2, x3) = (arow[0], arow[1], arow[2], arow[3]);
+                let b0 = &b[..n];
+                let b1 = &b[n..2 * n];
+                let b2 = &b[2 * n..3 * n];
+                let b3 = &b[3 * n..4 * n];
+                for j in 0..n {
+                    orow[j] = x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                }
+                4
+            } else {
+                let x = arow[0];
+                let brow = &b[..n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o = x * bv;
+                }
+                1
+            };
+            while k + 4 <= kd {
+                let (x0, x1, x2, x3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                let b0 = &b[k * n..k * n + n];
+                let b1 = &b[(k + 1) * n..(k + 1) * n + n];
+                let b2 = &b[(k + 2) * n..(k + 2) * n + n];
+                let b3 = &b[(k + 3) * n..(k + 3) * n + n];
+                for j in 0..n {
+                    orow[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                }
+                k += 4;
+            }
+            while k < kd {
+                let x = arow[k];
+                let brow = &b[k * n..k * n + n];
+                for j in 0..n {
+                    orow[j] += x * brow[j];
+                }
+                k += 1;
+            }
+        }
+    }
+
+    /// `out += self @ other` — the accumulate variant of
+    /// [`Matrix::matmul_into`]. Pre-filling `out` with a broadcast bias row
+    /// turns this into a fused linear layer with one pass over the data.
+    pub fn matmul_acc_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        let n = other.cols;
+        let kd = self.cols;
+        let b = &other.data;
+        let mut i = 0;
+        while i + 2 <= self.rows {
+            let (o0, o1) = out.data[i * n..(i + 2) * n].split_at_mut(n);
+            let ar0 = &self.data[i * kd..(i + 1) * kd];
+            let ar1 = &self.data[(i + 1) * kd..(i + 2) * kd];
+            let mut k = 0;
+            while k + 4 <= kd {
+                let (x00, x01, x02, x03) = (ar0[k], ar0[k + 1], ar0[k + 2], ar0[k + 3]);
+                let (x10, x11, x12, x13) = (ar1[k], ar1[k + 1], ar1[k + 2], ar1[k + 3]);
+                let b0 = &b[k * n..k * n + n];
+                let b1 = &b[(k + 1) * n..(k + 1) * n + n];
+                let b2 = &b[(k + 2) * n..(k + 2) * n + n];
+                let b3 = &b[(k + 3) * n..(k + 3) * n + n];
+                for j in 0..n {
+                    o0[j] += x00 * b0[j] + x01 * b1[j] + x02 * b2[j] + x03 * b3[j];
+                    o1[j] += x10 * b0[j] + x11 * b1[j] + x12 * b2[j] + x13 * b3[j];
+                }
+                k += 4;
+            }
+            while k < kd {
+                let (x0, x1) = (ar0[k], ar1[k]);
+                let brow = &b[k * n..k * n + n];
+                for j in 0..n {
+                    o0[j] += x0 * brow[j];
+                    o1[j] += x1 * brow[j];
+                }
+                k += 1;
+            }
+            i += 2;
+        }
+        if i < self.rows {
+            // Last odd row: identical k-grouping to the paired path, so a
+            // row's bit pattern does not depend on the matrix's row count.
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            let arow = &self.data[i * kd..(i + 1) * kd];
+            let mut k = 0;
+            while k + 4 <= kd {
+                let (x0, x1, x2, x3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                let b0 = &b[k * n..k * n + n];
+                let b1 = &b[(k + 1) * n..(k + 1) * n + n];
+                let b2 = &b[(k + 2) * n..(k + 2) * n + n];
+                let b3 = &b[(k + 3) * n..(k + 3) * n + n];
+                for j in 0..n {
+                    orow[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                }
+                k += 4;
+            }
+            while k < kd {
+                let x = arow[k];
+                let brow = &b[k * n..k * n + n];
+                for j in 0..n {
+                    orow[j] += x * brow[j];
+                }
+                k += 1;
+            }
+        }
+    }
+
+    /// `self @ other^T` without materialising the transpose: row `i` of the
+    /// output is the dot product of row `i` of `self` with every row of
+    /// `other`. Used by attention score kernels and the matmul backward pass.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt width mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let d = self.cols;
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
+            let arow = &self.data[i * d..(i + 1) * d];
+            let orow = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot(arow, &other.data[j * d..(j + 1) * d]);
             }
         }
         out
     }
 
-    /// Transpose.
+    /// Transpose (tiled so both matrices are walked in cache-line chunks).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
+        const TB: usize = 16;
+        let mut r0 = 0;
+        while r0 < self.rows {
+            let r1 = (r0 + TB).min(self.rows);
+            let mut c0 = 0;
+            while c0 < self.cols {
+                let c1 = (c0 + TB).min(self.cols);
+                for r in r0..r1 {
+                    let row = &self.data[r * self.cols + c0..r * self.cols + c1];
+                    for (c, &v) in row.iter().enumerate() {
+                        out.data[(c0 + c) * self.rows + r] = v;
+                    }
+                }
+                c0 = c1;
             }
+            r0 = r1;
         }
         out
     }
@@ -136,18 +345,28 @@ impl Matrix {
     }
 
     /// Row-wise softmax (numerically stabilised).
+    ///
+    /// Entries further than 105 below the row maximum skip the `exp` call:
+    /// `exp(x)` underflows to exactly `+0.0` for `x ≤ -105`, so the shortcut
+    /// is bit-identical while sparing attention rows full of `-1e9` mask
+    /// values the cost of a libm call per masked entry.
     pub fn softmax_rows(&self) -> Matrix {
-        let mut out = self.clone();
+        let mut out = Matrix::zeros(self.rows, self.cols);
         for r in 0..self.rows {
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
             let row = &mut out.data[r * self.cols..(r + 1) * self.cols];
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
+            for (v, &s) in row.iter_mut().zip(src) {
+                let x = s - max;
+                *v = if x <= -105.0 { 0.0 } else { x.exp() };
                 sum += *v;
             }
+            // One reciprocal per row: hardware division is the single most
+            // expensive scalar op in the masked-attention softmax.
+            let inv = 1.0 / sum;
             for v in row.iter_mut() {
-                *v /= sum;
+                *v *= inv;
             }
         }
         out
@@ -168,9 +387,68 @@ impl Matrix {
     }
 }
 
+/// Dot product with four independent accumulators (`chunks_exact` keeps the
+/// inner loop free of bounds checks). The summation order is a fixed
+/// function of the slice length, so every call site (attention scores,
+/// matmul backward, batched inference) produces identical bit patterns for
+/// identical inputs.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut s0 = 0.0f32;
+    let mut s1 = 0.0f32;
+    let mut s2 = 0.0f32;
+    let mut s3 = 0.0f32;
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (x, y) in ca.zip(cb) {
+        s0 += x[0] * y[0];
+        s1 += x[1] * y[1];
+        s2 += x[2] * y[2];
+        s3 += x[3] * y[3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for (x, y) in ra.iter().zip(rb) {
+        s += x * y;
+    }
+    s
+}
+
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Textbook i-j-k reference kernel the tiled implementations are tested
+    /// against (f32 rounding may differ; comparisons use a tolerance).
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for j in 0..b.cols {
+                let mut s = 0.0f32;
+                for k in 0..a.cols {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    fn pattern_matrix(rows: usize, cols: usize, salt: f32) -> Matrix {
+        let data = (0..rows * cols)
+            .map(|i| ((i as f32 * 0.37 + salt).sin()) * 0.5)
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!((a.rows, a.cols), (b.rows, b.cols));
+        for (x, y) in a.data.iter().zip(&b.data) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
 
     #[test]
     fn matmul_small() {
@@ -230,5 +508,91 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn tiled_matmul_matches_naive_on_ragged_shapes() {
+        // 1×N, N×1, dims that are not multiples of the k-tile (64) or the
+        // unroll width (4), and a shape that spans several k-tiles.
+        let shapes = [
+            (1, 7, 5),
+            (7, 1, 9),
+            (3, 1, 1),
+            (5, 66, 3),
+            (9, 130, 11),
+            (13, 17, 19),
+            (2, 64, 2),
+            (1, 129, 1),
+        ];
+        for (m, k, n) in shapes {
+            let a = pattern_matrix(m, k, 0.1);
+            let b = pattern_matrix(k, n, 0.9);
+            assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let a = pattern_matrix(6, 70, 0.3);
+        let b = pattern_matrix(70, 5, 0.7);
+        let mut out = Matrix::full(6, 5, f32::NAN); // stale contents must be overwritten
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul output shape mismatch")]
+    fn matmul_into_checks_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3);
+        a.matmul_into(&b, &mut out);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        for (m, k, n) in [(1, 5, 4), (6, 66, 1), (9, 13, 7)] {
+            let a = pattern_matrix(m, k, 0.2);
+            let b = pattern_matrix(n, k, 0.8); // matmul_nt computes a @ b^T
+            assert_close(&a.matmul_nt(&b), &naive_matmul(&a, &b.transpose()), 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_rows_are_batch_independent() {
+        // The batched-inference invariant: computing rows [x; y] together
+        // must give bit-identical results to computing x and y separately.
+        let w = pattern_matrix(70, 9, 0.4);
+        let x = pattern_matrix(1, 70, 0.5);
+        let y = pattern_matrix(1, 70, 0.6);
+        let mut stacked = x.data.clone();
+        stacked.extend_from_slice(&y.data);
+        let xy = Matrix::from_vec(2, 70, stacked).matmul(&w);
+        assert_eq!(xy.row(0), x.matmul(&w).row(0));
+        assert_eq!(xy.row(1), y.matmul(&w).row(0));
+    }
+
+    #[test]
+    fn transpose_tiling_covers_odd_dims() {
+        for (r, c) in [(1, 40), (40, 1), (17, 23), (16, 16), (33, 31)] {
+            let a = pattern_matrix(r, c, 0.15);
+            let t = a.transpose();
+            assert_eq!((t.rows, t.cols), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.get(j, i), a.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_matches_sequential_sum() {
+        for len in [0usize, 1, 3, 4, 7, 64, 130] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.11).cos()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.23).sin()).collect();
+            let seq: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - seq).abs() < 1e-4 * (1.0 + seq.abs()));
+        }
     }
 }

@@ -127,6 +127,64 @@ impl ParamSet {
     }
 }
 
+/// Destination for the parameter gradients a backward pass produces.
+///
+/// [`ParamSet`] implements it by accumulating into each parameter's `grad`
+/// slot; [`GradStore`] implements it as a detached buffer so worker threads
+/// can run backward passes concurrently against a shared `&ParamSet` and have
+/// their results merged deterministically afterwards.
+pub trait GradSink {
+    /// Add `g` into the gradient accumulator for `id`.
+    fn accumulate(&mut self, id: ParamId, g: &Matrix);
+}
+
+impl GradSink for ParamSet {
+    fn accumulate(&mut self, id: ParamId, g: &Matrix) {
+        self.accumulate_grad(id, g);
+    }
+}
+
+/// A stand-alone gradient buffer with the same tensor layout as a
+/// [`ParamSet`], but none of its values or optimiser moments — cheap to
+/// allocate per worker thread.
+#[derive(Debug, Clone)]
+pub struct GradStore {
+    grads: Vec<Matrix>,
+}
+
+impl GradStore {
+    /// Zero gradients shaped like every parameter in `set`.
+    pub fn zeros_like(set: &ParamSet) -> Self {
+        Self {
+            grads: set
+                .params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows, p.value.cols))
+                .collect(),
+        }
+    }
+
+    /// Gradient buffer for `id`.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    /// Add every buffered gradient into `set`'s accumulators (the
+    /// deterministic merge step after parallel backward passes).
+    pub fn add_into(&self, set: &mut ParamSet) {
+        assert_eq!(self.grads.len(), set.params.len(), "grad store / set layout mismatch");
+        for (p, g) in set.params.iter_mut().zip(&self.grads) {
+            p.grad.add_assign(g);
+        }
+    }
+}
+
+impl GradSink for GradStore {
+    fn accumulate(&mut self, id: ParamId, g: &Matrix) {
+        self.grads[id.0].add_assign(g);
+    }
+}
+
 /// Adam optimiser state (the per-tensor moments live in each [`Param`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {

@@ -5,6 +5,8 @@ use foss_repro::core::advantage::AdvantageScale;
 use foss_repro::prelude::*;
 use foss_repro::workloads::metrics::QueryOutcome;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::RngExt;
 use std::sync::OnceLock;
 
 /// Workload shared across `extract_then_rehint_is_fixpoint` cases so the 64
@@ -226,6 +228,58 @@ proptest! {
         prop_assert_eq!(plan.extract_icp().unwrap(), icp);
         let out = exec.execute(q, &plan, None).unwrap();
         prop_assert_eq!(out.rows, truth);
+    }
+
+    /// Batched AAM inference is a pure batching of single-pair inference:
+    /// `predict_batch(pairs)` returns exactly the classes a `predict(l, r)`
+    /// loop produces, for arbitrary (ragged, repeated, asymmetric) pair sets.
+    /// This is the invariant that lets the selector and trainer batch freely.
+    #[test]
+    fn predict_batch_equals_predict_loop(plan_seeds in prop::collection::vec(0u64..1_000_000, 2..8), pair_picks in prop::collection::vec(0usize..64, 1..24)) {
+        use foss_repro::core::aam::AdvantageModel;
+        use foss_repro::core::config::FossConfig;
+        use foss_repro::core::encoding::EncodedPlan;
+
+        #[allow(clippy::needless_range_loop)] // symmetric reach[i][j]/reach[j][i] fill
+        fn arbitrary_plan(seed: u64) -> EncodedPlan {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let l: usize = rng.random_range(1..=6);
+            let mut reach = vec![vec![false; l]; l];
+            for i in 0..l {
+                for j in 0..=i {
+                    let r = i == j || rng.random_range(0..3usize) == 0;
+                    reach[i][j] = r;
+                    reach[j][i] = r;
+                }
+            }
+            EncodedPlan {
+                ops: (0..l).map(|_| rng.random_range(0..6usize)).collect(),
+                tables: (0..l).map(|_| rng.random_range(0..4usize)).collect(),
+                sels: (0..l).map(|_| rng.random_range(0..11usize)).collect(),
+                rows: (0..l).map(|_| rng.random_range(0..30usize)).collect(),
+                heights: (0..l).map(|_| rng.random_range(0..32usize)).collect(),
+                structures: (0..l).map(|_| rng.random_range(0..4usize)).collect(),
+                reach,
+                step: rng.random_range(0.0..1.0f64) as f32,
+            }
+        }
+
+        static MODEL: OnceLock<AdvantageModel> = OnceLock::new();
+        let aam = MODEL.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(77);
+            AdvantageModel::new(4, &FossConfig::tiny(), &mut rng)
+        });
+        let plans: Vec<EncodedPlan> = plan_seeds.iter().map(|&s| arbitrary_plan(s)).collect();
+        // Pair picks index into the cross product, so the set contains
+        // repeats, self-pairs and both orientations.
+        let n = plans.len();
+        let pairs: Vec<(&EncodedPlan, &EncodedPlan)> = pair_picks
+            .iter()
+            .map(|&p| (&plans[p % n], &plans[(p / n) % n]))
+            .collect();
+        let batched = aam.predict_batch(&pairs);
+        let looped: Vec<usize> = pairs.iter().map(|(l, r)| aam.predict(l, r)).collect();
+        prop_assert_eq!(batched, looped);
     }
 
     /// The action mask only admits actions that keep the ICP valid and the

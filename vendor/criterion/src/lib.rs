@@ -116,20 +116,36 @@ impl Criterion {
         self
     }
 
+    /// All results recorded so far (drivers embedding the harness, e.g. the
+    /// `probe --out` perf-trajectory tool, read medians from here).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serialise the recorded results as the `BENCH_<tag>.json` array.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"median_ns\": {:.1}}}{}\n",
+                r.name.replace('"', "\\\""),
+                r.median_ns(),
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Write the `BENCH_<tag>.json` summary to `path`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.summary_json())
+    }
+
     /// Emit the end-of-run summary (and `CRITERION_JSON` file if requested).
     pub fn final_summary(&self) {
         if let Ok(path) = std::env::var("CRITERION_JSON") {
-            let mut out = String::from("[\n");
-            for (i, r) in self.results.iter().enumerate() {
-                out.push_str(&format!(
-                    "  {{\"name\": \"{}\", \"median_ns\": {:.1}}}{}\n",
-                    r.name.replace('"', "\\\""),
-                    r.median_ns(),
-                    if i + 1 == self.results.len() { "" } else { "," }
-                ));
-            }
-            out.push_str("]\n");
-            if let Err(e) = std::fs::write(&path, out) {
+            if let Err(e) = self.write_json(&path) {
                 eprintln!("criterion: failed to write {path}: {e}");
             }
         }
