@@ -78,7 +78,10 @@ impl BalsaLite {
         }
         for _ in 0..CANDIDATES {
             let icp = self.random_icp(query);
-            if out.iter().any(|(i, _)| i.fingerprint() == icp.fingerprint()) {
+            if out
+                .iter()
+                .any(|(i, _)| i.fingerprint() == icp.fingerprint())
+            {
                 continue;
             }
             let plan = self.recorder.optimizer.optimize_with_hint(query, &icp)?;
@@ -99,8 +102,10 @@ impl LearnedOptimizer for BalsaLite {
                 continue;
             }
             let cands = self.candidates(query)?;
-            let encs: Vec<EncodedPlan> =
-                cands.iter().map(|(_, p)| self.recorder.encode(query, p)).collect();
+            let encs: Vec<EncodedPlan> = cands
+                .iter()
+                .map(|(_, p)| self.recorder.encode(query, p))
+                .collect();
             let pick = if self.rng.random_range(0.0..1.0) < self.epsilon {
                 self.rng.random_range(0..cands.len())
             } else {
@@ -108,7 +113,8 @@ impl LearnedOptimizer for BalsaLite {
                 self.model.best_of(&refs)
             };
             let latency = self.recorder.measure(query, &cands[pick].1)?;
-            self.samples.push((encs[pick].clone(), (latency.max(1.0) as f32).ln()));
+            self.samples
+                .push((encs[pick].clone(), (latency.max(1.0) as f32).ln()));
             let entry = self.best_seen.entry(query.id);
             match entry {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -133,8 +139,10 @@ impl LearnedOptimizer for BalsaLite {
             return self.recorder.optimizer.optimize(query);
         }
         let cands = self.candidates(query)?;
-        let encs: Vec<EncodedPlan> =
-            cands.iter().map(|(_, p)| self.recorder.encode(query, p)).collect();
+        let encs: Vec<EncodedPlan> = cands
+            .iter()
+            .map(|(_, p)| self.recorder.encode(query, p))
+            .collect();
         let refs: Vec<&EncodedPlan> = encs.iter().collect();
         let best = self.model.best_of(&refs);
         Ok(cands.into_iter().nth(best).unwrap().1)
@@ -147,8 +155,10 @@ mod tests {
     use foss_core::envs::tests_support::TestWorld;
 
     fn balsa(world: &TestWorld) -> BalsaLite {
-        let executor =
-            Arc::new(CachingExecutor::new(world.db.clone(), *world.opt.cost_model()));
+        let executor = Arc::new(CachingExecutor::new(
+            world.db.clone(),
+            *world.opt.cost_model(),
+        ));
         let encoder = PlanEncoder::new(3, world.db.stats().iter().map(|s| s.row_count).collect());
         BalsaLite::new(Arc::new(world.opt.clone()), executor, encoder, 13)
     }

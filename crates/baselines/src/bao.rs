@@ -80,8 +80,10 @@ impl LearnedOptimizer for Bao {
     fn train_round(&mut self, queries: &[Query]) -> Result<()> {
         for query in queries {
             let cands = self.candidates(query)?;
-            let encs: Vec<EncodedPlan> =
-                cands.iter().map(|p| self.recorder.encode(query, p)).collect();
+            let encs: Vec<EncodedPlan> = cands
+                .iter()
+                .map(|p| self.recorder.encode(query, p))
+                .collect();
             let pick = if self.rng.random_range(0.0..1.0) < self.epsilon {
                 self.rng.random_range(0..cands.len())
             } else {
@@ -89,7 +91,8 @@ impl LearnedOptimizer for Bao {
                 self.model.best_of(&refs)
             };
             let latency = self.recorder.measure(query, &cands[pick])?;
-            self.samples.push((encs[pick].clone(), (latency.max(1.0) as f32).ln()));
+            self.samples
+                .push((encs[pick].clone(), (latency.max(1.0) as f32).ln()));
         }
         for _ in 0..2 {
             self.model.train_epoch(&self.samples, &mut self.rng);
@@ -100,8 +103,10 @@ impl LearnedOptimizer for Bao {
 
     fn plan(&mut self, query: &Query) -> Result<PhysicalPlan> {
         let cands = self.candidates(query)?;
-        let encs: Vec<EncodedPlan> =
-            cands.iter().map(|p| self.recorder.encode(query, p)).collect();
+        let encs: Vec<EncodedPlan> = cands
+            .iter()
+            .map(|p| self.recorder.encode(query, p))
+            .collect();
         let refs: Vec<&EncodedPlan> = encs.iter().collect();
         let best = self.model.best_of(&refs);
         Ok(cands.into_iter().nth(best).unwrap())
@@ -114,8 +119,10 @@ mod tests {
     use foss_core::envs::tests_support::TestWorld;
 
     fn bao(world: &TestWorld) -> Bao {
-        let executor =
-            Arc::new(CachingExecutor::new(world.db.clone(), *world.opt.cost_model()));
+        let executor = Arc::new(CachingExecutor::new(
+            world.db.clone(),
+            *world.opt.cost_model(),
+        ));
         let encoder = PlanEncoder::new(3, world.db.stats().iter().map(|s| s.row_count).collect());
         Bao::new(Arc::new(world.opt.clone()), executor, encoder, 7)
     }

@@ -77,9 +77,7 @@ impl HybridQo {
                     if prefix.contains(&r) {
                         continue;
                     }
-                    if !prefix.is_empty()
-                        && query.edges_between_set(&prefix, r).is_empty()
-                    {
+                    if !prefix.is_empty() && query.edges_between_set(&prefix, r).is_empty() {
                         continue;
                     }
                     let mut child = prefix.clone();
@@ -88,8 +86,7 @@ impl HybridQo {
                     let uct = if count == 0 {
                         f64::INFINITY
                     } else {
-                        reward_sum / count as f64
-                            + 1.4 * (parent_visits.ln() / count as f64).sqrt()
+                        reward_sum / count as f64 + 1.4 * (parent_visits.ln() / count as f64).sqrt()
                     };
                     if best.as_ref().is_none_or(|(b, _)| uct > *b) {
                         best = Some((uct, r));
@@ -127,7 +124,11 @@ impl HybridQo {
     fn candidates(&mut self, query: &Query) -> Result<Vec<PhysicalPlan>> {
         let mut out = vec![self.recorder.optimizer.optimize(query)?];
         for prefix in self.search_prefixes(query) {
-            if let Ok(plan) = self.recorder.optimizer.optimize_with_leading(query, &prefix) {
+            if let Ok(plan) = self
+                .recorder
+                .optimizer
+                .optimize_with_leading(query, &prefix)
+            {
                 if out.iter().all(|p| p.fingerprint() != plan.fingerprint()) {
                     out.push(plan);
                 }
@@ -145,8 +146,10 @@ impl LearnedOptimizer for HybridQo {
     fn train_round(&mut self, queries: &[Query]) -> Result<()> {
         for query in queries {
             let cands = self.candidates(query)?;
-            let encs: Vec<EncodedPlan> =
-                cands.iter().map(|p| self.recorder.encode(query, p)).collect();
+            let encs: Vec<EncodedPlan> = cands
+                .iter()
+                .map(|p| self.recorder.encode(query, p))
+                .collect();
             let pick = if self.rng.random_range(0.0..1.0) < self.epsilon {
                 self.rng.random_range(0..cands.len())
             } else {
@@ -154,7 +157,8 @@ impl LearnedOptimizer for HybridQo {
                 self.model.best_of(&refs)
             };
             let latency = self.recorder.measure(query, &cands[pick])?;
-            self.samples.push((encs[pick].clone(), (latency.max(1.0) as f32).ln()));
+            self.samples
+                .push((encs[pick].clone(), (latency.max(1.0) as f32).ln()));
         }
         for _ in 0..2 {
             self.model.train_epoch(&self.samples, &mut self.rng);
@@ -165,8 +169,10 @@ impl LearnedOptimizer for HybridQo {
 
     fn plan(&mut self, query: &Query) -> Result<PhysicalPlan> {
         let cands = self.candidates(query)?;
-        let encs: Vec<EncodedPlan> =
-            cands.iter().map(|p| self.recorder.encode(query, p)).collect();
+        let encs: Vec<EncodedPlan> = cands
+            .iter()
+            .map(|p| self.recorder.encode(query, p))
+            .collect();
         let refs: Vec<&EncodedPlan> = encs.iter().collect();
         let best = self.model.best_of(&refs);
         Ok(cands.into_iter().nth(best).unwrap())
@@ -179,8 +185,10 @@ mod tests {
     use foss_core::envs::tests_support::TestWorld;
 
     fn hqo(world: &TestWorld) -> HybridQo {
-        let executor =
-            Arc::new(CachingExecutor::new(world.db.clone(), *world.opt.cost_model()));
+        let executor = Arc::new(CachingExecutor::new(
+            world.db.clone(),
+            *world.opt.cost_model(),
+        ));
         let encoder = PlanEncoder::new(3, world.db.stats().iter().map(|s| s.row_count).collect());
         HybridQo::new(Arc::new(world.opt.clone()), executor, encoder, 11)
     }

@@ -71,7 +71,12 @@ impl LogerLite {
 
     /// Candidate join orders: expert order, best-seen, mutations, random.
     fn candidate_orders(&mut self, query: &Query) -> Result<Vec<Vec<usize>>> {
-        let expert = self.recorder.optimizer.optimize(query)?.extract_icp()?.order;
+        let expert = self
+            .recorder
+            .optimizer
+            .optimize(query)?
+            .extract_icp()?
+            .order;
         let mut orders = vec![expert.clone()];
         if let Some((best, _)) = self.best_seen.get(&query.id).cloned() {
             if best != expert {
@@ -92,8 +97,14 @@ impl LogerLite {
         let mut out: Vec<(Vec<usize>, PhysicalPlan)> = Vec::with_capacity(orders.len());
         for order in orders {
             // Methods stay with the expert: leading-order steering only.
-            let plan = self.recorder.optimizer.optimize_with_leading(query, &order)?;
-            if out.iter().all(|(_, p)| p.fingerprint() != plan.fingerprint()) {
+            let plan = self
+                .recorder
+                .optimizer
+                .optimize_with_leading(query, &order)?;
+            if out
+                .iter()
+                .all(|(_, p)| p.fingerprint() != plan.fingerprint())
+            {
                 out.push((order, plan));
             }
         }
@@ -112,8 +123,10 @@ impl LearnedOptimizer for LogerLite {
                 continue;
             }
             let cands = self.candidates(query)?;
-            let encs: Vec<EncodedPlan> =
-                cands.iter().map(|(_, p)| self.recorder.encode(query, p)).collect();
+            let encs: Vec<EncodedPlan> = cands
+                .iter()
+                .map(|(_, p)| self.recorder.encode(query, p))
+                .collect();
             let pick = if self.rng.random_range(0.0..1.0) < self.epsilon {
                 self.rng.random_range(0..cands.len())
             } else {
@@ -121,13 +134,15 @@ impl LearnedOptimizer for LogerLite {
                 self.model.best_of(&refs)
             };
             let latency = self.recorder.measure(query, &cands[pick].1)?;
-            self.samples.push((encs[pick].clone(), (latency.max(1.0) as f32).ln()));
+            self.samples
+                .push((encs[pick].clone(), (latency.max(1.0) as f32).ln()));
             let better = self
                 .best_seen
                 .get(&query.id)
                 .is_none_or(|(_, best)| latency < *best);
             if better {
-                self.best_seen.insert(query.id, (cands[pick].0.clone(), latency));
+                self.best_seen
+                    .insert(query.id, (cands[pick].0.clone(), latency));
             }
         }
         for _ in 0..2 {
@@ -142,8 +157,10 @@ impl LearnedOptimizer for LogerLite {
             return self.recorder.optimizer.optimize(query);
         }
         let cands = self.candidates(query)?;
-        let encs: Vec<EncodedPlan> =
-            cands.iter().map(|(_, p)| self.recorder.encode(query, p)).collect();
+        let encs: Vec<EncodedPlan> = cands
+            .iter()
+            .map(|(_, p)| self.recorder.encode(query, p))
+            .collect();
         let refs: Vec<&EncodedPlan> = encs.iter().collect();
         let best = self.model.best_of(&refs);
         Ok(cands.into_iter().nth(best).unwrap().1)
@@ -156,8 +173,10 @@ mod tests {
     use foss_core::envs::tests_support::TestWorld;
 
     fn loger(world: &TestWorld) -> LogerLite {
-        let executor =
-            Arc::new(CachingExecutor::new(world.db.clone(), *world.opt.cost_model()));
+        let executor = Arc::new(CachingExecutor::new(
+            world.db.clone(),
+            *world.opt.cost_model(),
+        ));
         let encoder = PlanEncoder::new(3, world.db.stats().iter().map(|s| s.row_count).collect());
         LogerLite::new(Arc::new(world.opt.clone()), executor, encoder, 17)
     }
@@ -178,7 +197,11 @@ mod tests {
         let world = TestWorld::new(2);
         let mut l = loger(&world);
         for (order, plan) in l.candidates(&world.query).unwrap() {
-            let direct = l.recorder.optimizer.optimize_with_leading(&world.query, &order).unwrap();
+            let direct = l
+                .recorder
+                .optimizer
+                .optimize_with_leading(&world.query, &order)
+                .unwrap();
             assert_eq!(plan.fingerprint(), direct.fingerprint());
         }
     }

@@ -28,7 +28,12 @@ impl ExecRecorder {
         executor: Arc<CachingExecutor>,
         encoder: PlanEncoder,
     ) -> Self {
-        Self { optimizer, executor, encoder, expert_latency: FxHashMap::default() }
+        Self {
+            optimizer,
+            executor,
+            encoder,
+            expert_latency: FxHashMap::default(),
+        }
     }
 
     /// The expert plan's latency (measured once, cached).

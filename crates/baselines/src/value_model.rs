@@ -27,7 +27,13 @@ impl PlanValueModel {
         let mut set = ParamSet::new();
         let net = StateNetwork::new(&mut set, table_vocab, 32, 32, 2, 1, rng);
         let head = Linear::new(&mut set, 32, 1, rng);
-        Self { set, net, head, adam: Adam::new(1e-3), batch: 16 }
+        Self {
+            set,
+            net,
+            head,
+            adam: Adam::new(1e-3),
+            batch: 16,
+        }
     }
 
     /// Predicted `ln(latency)` for one plan.

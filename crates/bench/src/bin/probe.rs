@@ -27,8 +27,14 @@ use foss_optimizer::{Icp, ALL_JOIN_METHODS};
 use foss_workloads::{joblite, WorkloadSpec};
 use std::time::Duration;
 
-/// Benchmarks the regression gate guards (the FOSS serving hot path).
-const GUARDED: &[&str] = &["aam/pair_inference"];
+/// Benchmarks the regression gate guards: the FOSS serving hot path plus the
+/// chunked executor operators and the bounded-cache eviction path.
+const GUARDED: &[&str] = &[
+    "aam/pair_inference",
+    "exec/scan_filter",
+    "exec/hash_join",
+    "cache/eviction",
+];
 
 struct BenchArgs {
     out: String,
@@ -72,7 +78,12 @@ fn parse_args() -> Option<BenchArgs> {
     if out.is_none() && (quick || baseline.is_some()) {
         panic!("--quick/--baseline/--max-regress require --out <path> (bench mode)");
     }
-    out.map(|out| BenchArgs { out, quick, baseline, max_regress })
+    out.map(|out| BenchArgs {
+        out,
+        quick,
+        baseline,
+        max_regress,
+    })
 }
 
 fn bench_mode(args: BenchArgs) {
@@ -91,7 +102,9 @@ fn bench_mode(args: BenchArgs) {
     c.write_json(&args.out).expect("write bench summary");
     println!("wrote {}", args.out);
 
-    let Some(baseline_path) = args.baseline else { return };
+    let Some(baseline_path) = args.baseline else {
+        return;
+    };
     let text = std::fs::read_to_string(&baseline_path).expect("read baseline");
     let baseline = parse_bench_json(&text);
     let mut failed = false;
@@ -105,7 +118,11 @@ fn bench_mode(args: BenchArgs) {
         };
         let now = r.median_ns();
         let factor = now / base;
-        let verdict = if factor > args.max_regress { "REGRESSION" } else { "ok" };
+        let verdict = if factor > args.max_regress {
+            "REGRESSION"
+        } else {
+            "ok"
+        };
         println!(
             "{:<32} {now:>12.1} ns vs baseline {base:>12.1} ns ({factor:.2}x) {verdict}",
             r.name
@@ -113,16 +130,24 @@ fn bench_mode(args: BenchArgs) {
         failed |= factor > args.max_regress;
     }
     if failed {
-        eprintln!("perf regression gate failed (>{:.1}x baseline)", args.max_regress);
+        eprintln!(
+            "perf regression gate failed (>{:.1}x baseline)",
+            args.max_regress
+        );
         std::process::exit(1);
     }
 }
 
 fn perms(n: usize) -> Vec<Vec<usize>> {
-    if n == 1 { return vec![vec![0]]; }
+    if n == 1 {
+        return vec![vec![0]];
+    }
     let mut out = Vec::new();
     fn rec(cur: &mut Vec<usize>, rem: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
-        if rem.is_empty() { out.push(cur.clone()); return; }
+        if rem.is_empty() {
+            out.push(cur.clone());
+            return;
+        }
         for i in 0..rem.len() {
             let v = rem.remove(i);
             cur.push(v);
@@ -136,10 +161,19 @@ fn perms(n: usize) -> Vec<Vec<usize>> {
 }
 
 fn headroom_mode() {
-    let wl = joblite::build(WorkloadSpec { seed: 4, scale: 0.15 }).unwrap();
+    let wl = joblite::build(WorkloadSpec {
+        seed: 4,
+        scale: 0.15,
+    })
+    .unwrap();
     let exec = CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model());
     let mut ratios = Vec::new();
-    for q in wl.train.iter().filter(|q| (3..=4).contains(&q.relation_count())).take(12) {
+    for q in wl
+        .train
+        .iter()
+        .filter(|q| (3..=4).contains(&q.relation_count()))
+        .take(12)
+    {
         let expert = wl.optimizer.optimize(q).unwrap();
         let orig = exec.execute(q, &expert, None).unwrap().latency;
         let n = q.relation_count();
@@ -150,16 +184,26 @@ fn headroom_mode() {
             for code in 0..3usize.pow(m as u32) {
                 let mut methods = Vec::new();
                 let mut c = code;
-                for _ in 0..m { methods.push(ALL_JOIN_METHODS[c % 3]); c /= 3; }
+                for _ in 0..m {
+                    methods.push(ALL_JOIN_METHODS[c % 3]);
+                    c /= 3;
+                }
                 let icp = Icp::new(order.clone(), methods).unwrap();
                 let plan = wl.optimizer.optimize_with_hint(q, &icp).unwrap();
                 if let Ok(o) = exec.execute(q, &plan, Some(best)) {
-                    if o.latency < best { best = o.latency; }
+                    if o.latency < best {
+                        best = o.latency;
+                    }
                 }
             }
         }
         ratios.push(orig / best);
-        println!("q{} n={} expert={orig:.0} optimal={best:.0} ratio={:.2}", q.id.0, n, orig / best);
+        println!(
+            "q{} n={} expert={orig:.0} optimal={best:.0} ratio={:.2}",
+            q.id.0,
+            n,
+            orig / best
+        );
     }
     let gm: f64 = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
     println!("geo-mean expert/optimal = {:.2}", gm.exp());

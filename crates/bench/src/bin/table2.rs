@@ -3,5 +3,8 @@
 fn main() {
     let cfg = foss_bench::run_config_from_env();
     let rows = foss_harness::ablation::run("joblite", &cfg).expect("ablation");
-    println!("{}", foss_harness::ablation::render_table2("joblite", &rows));
+    println!(
+        "{}",
+        foss_harness::ablation::render_table2("joblite", &rows)
+    );
 }

@@ -1,18 +1,24 @@
 //! Benchmark crate: criterion micro-benchmarks (`benches/micro.rs`) and one
 //! binary per paper table/figure (`src/bin/*`).
 //!
-//! Binaries read two environment variables so the same targets serve both
+//! Binaries read three environment variables so the same targets serve both
 //! smoke runs and fuller reproductions:
 //!
-//! * `FOSS_SCALE` — workload row-count multiplier (default 0.2);
-//! * `FOSS_ROUNDS` — training rounds / iterations (default 3).
+//! * `FOSS_SCALE` — workload row-count multiplier (default 1.0, the full
+//!   generator size; the chunked executor makes this the practical default);
+//! * `FOSS_ROUNDS` — training rounds / iterations (default 3);
+//! * `FOSS_EXEC` — executor engine: `chunked` (default) or `scalar` (the
+//!   row-at-a-time differential-testing reference).
 
 use criterion::Criterion;
+use foss_common::QueryId;
 use foss_core::encoding::PlanEncoder;
 use foss_core::{AdvantageModel, FossConfig};
-use foss_executor::{CachingExecutor, Executor};
+use foss_executor::{CachingExecutor, EvictionPolicy, ExecMode, Executor};
 use foss_harness::table1::RunConfig;
 use foss_nn::{Graph, Linear, Matrix, ParamSet};
+use foss_optimizer::{AccessPath, Icp, JoinMethod, PhysicalPlan, PlanNode};
+use foss_query::{Predicate, Query, QueryBuilder};
 use foss_workloads::{joblite, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,16 +30,24 @@ pub fn run_config_from_env() -> RunConfig {
     let scale: f64 = std::env::var("FOSS_SCALE")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(0.2);
+        .unwrap_or(1.0);
     let rounds: usize = std::env::var("FOSS_ROUNDS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
+    let exec_mode = match std::env::var("FOSS_EXEC").ok().as_deref() {
+        None | Some("") | Some("chunked") => ExecMode::Chunked,
+        Some("scalar") => ExecMode::Scalar,
+        // Fail loudly: silently falling back would make a differential
+        // replay compare two identical chunked runs.
+        Some(other) => panic!("FOSS_EXEC must be `chunked` or `scalar`, got `{other}`"),
+    };
     RunConfig {
         spec: WorkloadSpec { seed: 42, scale },
         baseline_rounds: rounds,
         foss_iterations: rounds,
         foss_episodes: 30 * rounds,
+        exec_mode,
     }
 }
 
@@ -45,7 +59,11 @@ pub fn run_config_from_env() -> RunConfig {
 /// Shared so the checked-in `BENCH_<tag>.json` perf trajectory and the CI
 /// regression gate measure exactly what the criterion bench target measures.
 pub fn micro_suite(c: &mut Criterion) {
-    let wl = joblite::build(WorkloadSpec { seed: 42, scale: 0.15 }).expect("workload");
+    let wl = joblite::build(WorkloadSpec {
+        seed: 42,
+        scale: 0.15,
+    })
+    .expect("workload");
     let query = wl
         .train
         .iter()
@@ -62,7 +80,12 @@ pub fn micro_suite(c: &mut Criterion) {
         b.iter(|| black_box(opt.optimize(black_box(&query)).unwrap()))
     });
     c.bench_function("optimizer/hint_steering", |b| {
-        b.iter(|| black_box(opt.optimize_with_hint(black_box(&query), black_box(&icp)).unwrap()))
+        b.iter(|| {
+            black_box(
+                opt.optimize_with_hint(black_box(&query), black_box(&icp))
+                    .unwrap(),
+            )
+        })
     });
     c.bench_function("encoding/plan_encode", |b| {
         b.iter(|| black_box(encoder.encode(black_box(&query), black_box(&plan), 0.5)))
@@ -110,12 +133,55 @@ pub fn micro_suite(c: &mut Criterion) {
         b.iter(|| black_box(caching.execute(&query, &plan, None).unwrap()))
     });
 
+    // Chunk-at-a-time operators vs the scalar reference, on full-scale
+    // (scale = 1.0) joblite tables so per-tuple interpreter overhead is what
+    // gets measured. The `*_scalar` twins quantify the speedup; the perf
+    // gate guards the chunked engines against regressions.
+    let full = joblite::build(WorkloadSpec::seeded(42)).expect("full-scale workload");
+    let cost = *full.optimizer.cost_model();
+    let chunked = Executor::new(&full.db, cost);
+    let scalar = Executor::with_mode(&full.db, cost, ExecMode::Scalar);
+    let (scan_query, scan_plan) = scan_filter_case(&full);
+    c.bench_function("exec/scan_filter", |b| {
+        b.iter(|| black_box(chunked.execute(&scan_query, &scan_plan, None).unwrap()))
+    });
+    c.bench_function("exec/scan_filter_scalar", |b| {
+        b.iter(|| black_box(scalar.execute(&scan_query, &scan_plan, None).unwrap()))
+    });
+    let (join_query, join_plan) = hash_join_case(&full);
+    c.bench_function("exec/hash_join", |b| {
+        b.iter(|| black_box(chunked.execute(&join_query, &join_plan, None).unwrap()))
+    });
+    c.bench_function("exec/hash_join_scalar", |b| {
+        b.iter(|| black_box(scalar.execute(&join_query, &join_plan, None).unwrap()))
+    });
+
+    // Eviction-policy overhead on a skewed serving-style stream: a 4-plan
+    // hot set re-referenced between one-shot cold queries through a bounded
+    // LRU cache, so every pass mixes hits, misses and evictions.
+    let (cache_queries, cache_plan, trace) = eviction_case(&full);
+    let bounded =
+        CachingExecutor::with_capacity_policy(full.db.clone(), cost, 16, EvictionPolicy::Lru);
+    c.bench_function("cache/eviction", |b| {
+        b.iter(|| {
+            for &qi in &trace {
+                black_box(
+                    bounded
+                        .execute(&cache_queries[qi], &cache_plan, None)
+                        .unwrap(),
+                );
+            }
+        })
+    });
+
     let a = Matrix::full(64, 64, 0.5);
     let bm = Matrix::full(64, 64, 0.25);
     c.bench_function("nn/matmul_64x64", |b| b.iter(|| black_box(a.matmul(&bm))));
     let a128 = Matrix::full(128, 128, 0.5);
     let b128 = Matrix::full(128, 128, 0.25);
-    c.bench_function("nn/matmul_128x128", |b| b.iter(|| black_box(a128.matmul(&b128))));
+    c.bench_function("nn/matmul_128x128", |b| {
+        b.iter(|| black_box(a128.matmul(&b128)))
+    });
 
     // One tape forward of a 64-state batch through a 2-layer MLP: measures
     // how graph-construction overhead amortises across a batch.
@@ -138,18 +204,110 @@ pub fn micro_suite(c: &mut Criterion) {
     let _ = Arc::strong_count(&opt);
 }
 
+/// A single-relation scan over `cast_info` (the biggest joblite table) with
+/// one range and one equality filter, forced onto a sequential scan.
+fn scan_filter_case(wl: &foss_workloads::Workload) -> (Query, PhysicalPlan) {
+    let schema = wl.db.schema().clone();
+    let mut qb = QueryBuilder::new(QueryId::new(9001), 1);
+    let ci = qb.relation(schema.table_id("cast_info").expect("cast_info"), "ci");
+    // person_id in the lower half, role_id pinned: a moderately selective
+    // conjunction evaluated over every row.
+    qb.predicate(
+        ci,
+        Predicate::Range {
+            column: 1,
+            lo: 0,
+            hi: 3999,
+        },
+    );
+    qb.predicate(
+        ci,
+        Predicate::Eq {
+            column: 2,
+            value: 3,
+        },
+    );
+    let query = qb.build(&schema).expect("scan query");
+    let plan = PhysicalPlan {
+        root: PlanNode::Scan {
+            relation: 0,
+            access: AccessPath::SeqScan,
+            est_rows: 0.0,
+            est_cost: 0.0,
+        },
+    };
+    (query, plan)
+}
+
+/// `title ⋈ cast_info` forced onto a hash join (build on `cast_info`).
+fn hash_join_case(wl: &foss_workloads::Workload) -> (Query, PhysicalPlan) {
+    let schema = wl.db.schema().clone();
+    let mut qb = QueryBuilder::new(QueryId::new(9002), 1);
+    let t = qb.relation(schema.table_id("title").expect("title"), "t");
+    let ci = qb.relation(schema.table_id("cast_info").expect("cast_info"), "ci");
+    qb.join(t, 0, ci, 0);
+    let query = qb.build(&schema).expect("join query");
+    let icp = Icp::new(vec![0, 1], vec![JoinMethod::Hash]).expect("icp");
+    let plan = wl
+        .optimizer
+        .optimize_with_hint(&query, &icp)
+        .expect("hash plan");
+    (query, plan)
+}
+
+/// Queries + trace for the `cache/eviction` bench: distinct tiny queries over
+/// `info_type` (4 hot, 44 cold) interleaved hot/cold.
+fn eviction_case(wl: &foss_workloads::Workload) -> (Vec<Query>, PhysicalPlan, Vec<usize>) {
+    let schema = wl.db.schema().clone();
+    let it = schema.table_id("info_type").expect("info_type");
+    let queries: Vec<Query> = (0..48)
+        .map(|i| {
+            let mut qb = QueryBuilder::new(QueryId::new(9100 + i), 1);
+            let r = qb.relation(it, "it");
+            qb.predicate(
+                r,
+                Predicate::Eq {
+                    column: 1,
+                    value: i as i64 % 10,
+                },
+            );
+            qb.build(&schema).expect("cache query")
+        })
+        .collect();
+    let plan = PhysicalPlan {
+        root: PlanNode::Scan {
+            relation: 0,
+            access: AccessPath::SeqScan,
+            est_rows: 1.0,
+            est_cost: 1.0,
+        },
+    };
+    let mut trace = Vec::with_capacity(88);
+    for i in 0..44 {
+        trace.push(i % 4); // hot set, re-referenced throughout
+        trace.push(4 + i); // one-shot cold keys
+    }
+    (queries, plan, trace)
+}
+
 /// Parse a `BENCH_<tag>.json` file (the format [`Criterion::summary_json`]
 /// writes) into `(name, median_ns)` entries. Hand-rolled: the format is owned
 /// by this workspace and the build is offline (no serde_json).
 pub fn parse_bench_json(text: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     for line in text.lines() {
-        let Some(name_start) = line.find("\"name\"") else { continue };
+        let Some(name_start) = line.find("\"name\"") else {
+            continue;
+        };
         let rest = &line[name_start + 6..];
         let Some(q1) = rest.find('"') else { continue };
-        let Some(q2) = rest[q1 + 1..].find('"') else { continue };
+        let Some(q2) = rest[q1 + 1..].find('"') else {
+            continue;
+        };
         let name = &rest[q1 + 1..q1 + 1 + q2];
-        let Some(med_start) = line.find("\"median_ns\"") else { continue };
+        let Some(med_start) = line.find("\"median_ns\"") else {
+            continue;
+        };
         let med_rest = &line[med_start + 11..];
         let num: String = med_rest
             .chars()
@@ -181,8 +339,13 @@ mod tests {
     fn env_config_defaults() {
         std::env::remove_var("FOSS_SCALE");
         std::env::remove_var("FOSS_ROUNDS");
+        std::env::remove_var("FOSS_EXEC");
         let cfg = run_config_from_env();
         assert_eq!(cfg.baseline_rounds, 3);
-        assert!((cfg.spec.scale - 0.2).abs() < 1e-9);
+        assert!(
+            (cfg.spec.scale - 1.0).abs() < 1e-9,
+            "generators default to full scale"
+        );
+        assert_eq!(cfg.exec_mode, ExecMode::Chunked);
     }
 }

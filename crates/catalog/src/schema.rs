@@ -15,12 +15,18 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// An unindexed column.
     pub fn plain(name: impl Into<String>) -> Self {
-        Self { name: name.into(), indexed: false }
+        Self {
+            name: name.into(),
+            indexed: false,
+        }
     }
 
     /// An indexed column (primary keys, common join keys).
     pub fn indexed(name: impl Into<String>) -> Self {
-        Self { name: name.into(), indexed: true }
+        Self {
+            name: name.into(),
+            indexed: true,
+        }
     }
 }
 
@@ -74,7 +80,10 @@ impl Schema {
     /// Add a table; returns its id. Errors on duplicate names.
     pub fn add_table(&mut self, def: TableDef) -> Result<TableId> {
         if self.by_name.contains_key(&def.name) {
-            return Err(FossError::InvalidQuery(format!("duplicate table {}", def.name)));
+            return Err(FossError::InvalidQuery(format!(
+                "duplicate table {}",
+                def.name
+            )));
         }
         let id = TableId::new(self.tables.len());
         self.by_name.insert(def.name.clone(), id);
@@ -167,8 +176,13 @@ mod tests {
                 columns: vec![ColumnDef::indexed("id"), ColumnDef::plain("a_id")],
             })
             .unwrap();
-        s.add_foreign_key(ForeignKey { from_table: b, from_column: 1, to_table: a, to_column: 0 })
-            .unwrap();
+        s.add_foreign_key(ForeignKey {
+            from_table: b,
+            from_column: 1,
+            to_table: a,
+            to_column: 0,
+        })
+        .unwrap();
         s
     }
 
@@ -183,7 +197,10 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let mut s = two_table_schema();
-        let r = s.add_table(TableDef { name: "a".into(), columns: vec![] });
+        let r = s.add_table(TableDef {
+            name: "a".into(),
+            columns: vec![],
+        });
         assert!(r.is_err());
     }
 

@@ -31,7 +31,13 @@ impl Histogram {
     /// Build an equi-depth histogram with at most `buckets` buckets.
     pub fn build(values: &[i64], buckets: usize) -> Self {
         if values.is_empty() {
-            return Self { bounds: vec![], counts: vec![], min: 0, max: 0, total: 0 };
+            return Self {
+                bounds: vec![],
+                counts: vec![],
+                min: 0,
+                max: 0,
+                total: 0,
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_unstable();
@@ -54,7 +60,13 @@ impl Histogram {
             counts.push((end - i) as u64);
             i = end;
         }
-        Self { bounds, counts, min, max, total }
+        Self {
+            bounds,
+            counts,
+            min,
+            max,
+            total,
+        }
     }
 
     /// Estimated fraction of rows with value `= v` (uniformity within bucket).
@@ -93,7 +105,9 @@ impl Histogram {
     }
 
     fn bucket_of(&self, v: i64) -> usize {
-        self.bounds.partition_point(|&b| b < v).min(self.bounds.len().saturating_sub(1))
+        self.bounds
+            .partition_point(|&b| b < v)
+            .min(self.bounds.len().saturating_sub(1))
     }
 
     /// Column minimum seen at build time.
@@ -128,7 +142,10 @@ impl ColumnStats {
         let mut sorted = values.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        Self { histogram, distinct: sorted.len() as u64 }
+        Self {
+            histogram,
+            distinct: sorted.len() as u64,
+        }
     }
 
     /// Selectivity of `col = v`.
@@ -157,7 +174,10 @@ impl TableStats {
         let columns = (0..table.column_count())
             .map(|c| ColumnStats::analyze(table.column(c).values(), buckets))
             .collect();
-        Self { row_count: table.row_count() as u64, columns }
+        Self {
+            row_count: table.row_count() as u64,
+            columns,
+        }
     }
 }
 

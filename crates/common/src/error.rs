@@ -41,7 +41,10 @@ impl fmt::Display for FossError {
             FossError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             FossError::InvalidAction(m) => write!(f, "invalid action: {m}"),
             FossError::Timeout { spent, budget } => {
-                write!(f, "execution timed out: spent {spent} work units of budget {budget}")
+                write!(
+                    f,
+                    "execution timed out: spent {spent} work units of budget {budget}"
+                )
             }
             FossError::Numeric(m) => write!(f, "numeric error: {m}"),
             FossError::Serde(m) => write!(f, "serialisation error: {m}"),
@@ -57,8 +60,14 @@ mod tests {
 
     #[test]
     fn display_formats_timeout() {
-        let e = FossError::Timeout { spent: 10, budget: 5 };
-        assert_eq!(e.to_string(), "execution timed out: spent 10 work units of budget 5");
+        let e = FossError::Timeout {
+            spent: 10,
+            budget: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "execution timed out: spent 10 work units of budget 5"
+        );
     }
 
     #[test]

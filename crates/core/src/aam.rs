@@ -232,7 +232,7 @@ impl AdvantageModel {
     ///
     /// Minibatch order and composition come from the seeded `rng` exactly as
     /// in the sequential implementation; each minibatch's gradient is then
-    /// computed by [`AdvantageModel::sharded_grads`] in parallel and applied
+    /// computed by `AdvantageModel::sharded_grads` in parallel and applied
     /// as one Adam step. Fixed shard boundaries + ordered merges make the
     /// whole epoch bit-for-bit deterministic for a fixed seed.
     pub fn train_epoch(&mut self, samples: &[AamSample], rng: &mut StdRng) -> f32 {
@@ -244,8 +244,10 @@ impl AdvantageModel {
         let mut total = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(self.batch.max(1)) {
-            let pairs: Vec<(&EncodedPlan, &EncodedPlan)> =
-                chunk.iter().map(|&i| (&samples[i].0, &samples[i].1)).collect();
+            let pairs: Vec<(&EncodedPlan, &EncodedPlan)> = chunk
+                .iter()
+                .map(|&i| (&samples[i].0, &samples[i].1))
+                .collect();
             let targets: Vec<usize> = chunk.iter().map(|&i| samples[i].2).collect();
             let (loss, stores) = self.sharded_grads(&pairs, &targets);
             total += loss;
@@ -352,7 +354,11 @@ mod tests {
             last = m.train_epoch(&samples, &mut rng);
         }
         assert!(last < first, "loss should fall: {first} → {last}");
-        assert!(m.accuracy(&samples) > 0.9, "accuracy={}", m.accuracy(&samples));
+        assert!(
+            m.accuracy(&samples) > 0.9,
+            "accuracy={}",
+            m.accuracy(&samples)
+        );
     }
 
     #[test]
@@ -407,11 +413,11 @@ mod tests {
         let run = || {
             let mut m = model();
             let mut rng = StdRng::seed_from_u64(99);
-            let samples: Vec<AamSample> = (0..37) // not a multiple of batch or shard count
-                .map(|i| (plan(i), plan((i + 3) % 7), i % 3))
-                .collect();
-            let losses: Vec<f32> =
-                (0..4).map(|_| m.train_epoch(&samples, &mut rng)).collect();
+            let samples: Vec<AamSample> =
+                (0..37) // not a multiple of batch or shard count
+                    .map(|i| (plan(i), plan((i + 3) % 7), i % 3))
+                    .collect();
+            let losses: Vec<f32> = (0..4).map(|_| m.train_epoch(&samples, &mut rng)).collect();
             let preds = m.predict_batch(&samples.iter().map(|s| (&s.0, &s.1)).collect::<Vec<_>>());
             (losses, preds)
         };

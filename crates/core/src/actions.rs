@@ -100,7 +100,10 @@ impl ActionSpace {
         } else {
             let o = a - is;
             let m = ALL_JOIN_METHODS.len();
-            Action::Override { i: o / m + 1, j: o % m + 1 }
+            Action::Override {
+                i: o / m + 1,
+                j: o % m + 1,
+            }
         }
     }
 
@@ -117,7 +120,10 @@ impl ActionSpace {
             }
             Action::Override { i, j } => {
                 let m = ALL_JOIN_METHODS.len();
-                assert!(i >= 1 && i < self.max_n && j >= 1 && j <= m, "bad override ({i},{j})");
+                assert!(
+                    i >= 1 && i < self.max_n && j >= 1 && j <= m,
+                    "bad override ({i},{j})"
+                );
                 self.swap_count() + (i - 1) * m + (j - 1)
             }
         }
@@ -290,7 +296,10 @@ mod tests {
         let sp = ActionSpace::new(4);
         // Last action swapped T2 and T3: parents are O1 and O2.
         let mask = sp.mask(&q, &icp4(), Some((2, 3)));
-        let legal: Vec<Action> = (0..sp.len()).filter(|&a| mask[a]).map(|a| sp.decode(a)).collect();
+        let legal: Vec<Action> = (0..sp.len())
+            .filter(|&a| mask[a])
+            .map(|a| sp.decode(a))
+            .collect();
         assert!(!legal.is_empty());
         for action in &legal {
             match action {

@@ -106,7 +106,12 @@ impl PlannerAgent {
             minibatch: 32,
             ..PpoConfig::default()
         };
-        Self { model, set, ppo: Ppo::new(ppo_cfg, cfg.agent_lr * lr_scale), rng }
+        Self {
+            model,
+            set,
+            ppo: Ppo::new(ppo_cfg, cfg.agent_lr * lr_scale),
+            rng,
+        }
     }
 
     /// PPO discount γ in effect.
@@ -147,7 +152,8 @@ impl PlannerAgent {
 
     /// Run one PPO update over a finished rollout batch.
     pub fn update(&mut self, batch: &RolloutBatch<EncodedPlan>) -> PpoStats {
-        self.ppo.update(&self.model, &mut self.set, batch, &mut self.rng)
+        self.ppo
+            .update(&self.model, &mut self.set, batch, &mut self.rng)
     }
 }
 

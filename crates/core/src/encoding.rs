@@ -22,7 +22,7 @@ use foss_optimizer::{JoinMethod, PhysicalPlan, PlanNode};
 use foss_query::Query;
 use serde::{Deserialize, Serialize};
 
-/// Operator vocabulary size (see [`op_code`]).
+/// Operator vocabulary size (see `op_code`).
 pub const OP_VOCAB: usize = 6;
 /// Selectivity-bucket vocabulary: 0..=9 for scans, 10 = join node.
 pub const SEL_VOCAB: usize = 11;
@@ -81,7 +81,9 @@ fn op_code(node: &PlanNode) -> usize {
             foss_optimizer::AccessPath::SeqScan => 0,
             foss_optimizer::AccessPath::IndexScan { .. } => 1,
         },
-        PlanNode::Join { method, index_nl, .. } => match (method, index_nl) {
+        PlanNode::Join {
+            method, index_nl, ..
+        } => match (method, index_nl) {
             (JoinMethod::Hash, _) => 2,
             (JoinMethod::Merge, _) => 3,
             (JoinMethod::NestLoop, false) => 4,
@@ -95,7 +97,10 @@ impl PlanEncoder {
     /// (used to bucket scan selectivities).
     pub fn new(table_count: usize, table_rows: Vec<u64>) -> Self {
         assert_eq!(table_count, table_rows.len());
-        Self { table_count, table_rows }
+        Self {
+            table_count,
+            table_rows,
+        }
     }
 
     /// Table-id embedding vocabulary (`table_count + 1` for "none").
@@ -130,7 +135,9 @@ impl PlanEncoder {
             let est = node.est_rows().max(1.0);
             rows.push((est.log2().round() as usize).min(ROWS_VOCAB - 1));
             match node {
-                PlanNode::Scan { relation, est_rows, .. } => {
+                PlanNode::Scan {
+                    relation, est_rows, ..
+                } => {
                     let table = query.relations[*relation].table.index();
                     tables.push(table + 1);
                     let total = self.table_rows[table].max(1) as f64;
@@ -162,7 +169,16 @@ impl PlanEncoder {
             }
         }
 
-        EncodedPlan { ops, tables, sels, rows, heights, structures, reach, step }
+        EncodedPlan {
+            ops,
+            tables,
+            sels,
+            rows,
+            heights,
+            structures,
+            reach,
+            step,
+        }
     }
 }
 
@@ -191,7 +207,10 @@ mod tests {
             let fks: Vec<i64> = (0..rows as i64).map(|i| i % 64).collect();
             let t = Table::new(
                 name,
-                vec![("id".into(), Column::new(ids)), ("fk".into(), Column::new(fks))],
+                vec![
+                    ("id".into(), Column::new(ids)),
+                    ("fk".into(), Column::new(fks)),
+                ],
             )
             .unwrap();
             stats.push(TableStats::analyze(&t, 16));
@@ -208,7 +227,14 @@ mod tests {
         let b = qb.relation(schema.table_id("b").unwrap(), "b");
         let c = qb.relation(schema.table_id("c").unwrap(), "c");
         qb.join(a, 0, b, 1).join(a, 0, c, 1);
-        qb.predicate(b, Predicate::Range { column: 1, lo: 0, hi: 7 });
+        qb.predicate(
+            b,
+            Predicate::Range {
+                column: 1,
+                lo: 0,
+                hi: 7,
+            },
+        );
         let q = qb.build(&schema).unwrap();
         let enc = PlanEncoder::new(3, rows_vec);
         (opt, q, enc)
@@ -299,7 +325,9 @@ mod tests {
         let plan = opt.optimize(&q).unwrap();
         let icp = plan.extract_icp().unwrap();
         let mut other = icp.clone();
-        other.override_method(1, 1 + (other.methods[0].index() + 1) % 3).unwrap();
+        other
+            .override_method(1, 1 + (other.methods[0].index() + 1) % 3)
+            .unwrap();
         let plan2 = opt.optimize_with_hint(&q, &other).unwrap();
         let e1 = enc.encode(&q, &plan, 0.0);
         let e2 = enc.encode(&q, &plan2, 0.0);
@@ -313,11 +341,18 @@ mod tests {
         let (opt, q, enc) = setup();
         let icp = Icp::new(
             vec![1, 0, 2],
-            vec![foss_optimizer::JoinMethod::NestLoop, foss_optimizer::JoinMethod::Hash],
+            vec![
+                foss_optimizer::JoinMethod::NestLoop,
+                foss_optimizer::JoinMethod::Hash,
+            ],
         )
         .unwrap();
         let plan = opt.optimize_with_hint(&q, &icp).unwrap();
         let e = enc.encode(&q, &plan, 0.0);
-        assert!(e.ops.contains(&5), "expected an index-NL op code in {:?}", e.ops);
+        assert!(
+            e.ops.contains(&5),
+            "expected an index-NL op code in {:?}",
+            e.ops
+        );
     }
 }

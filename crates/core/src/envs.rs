@@ -46,7 +46,12 @@ impl<'a> RealEnv<'a> {
         scale: AdvantageScale,
         timeout_factor: f64,
     ) -> Self {
-        Self { executor, buffer, scale, timeout_factor }
+        Self {
+            executor,
+            buffer,
+            scale,
+            timeout_factor,
+        }
     }
 
     fn original_latency(&self, qid: QueryId) -> Result<f64> {
@@ -116,7 +121,11 @@ impl RewardOracle for RealEnv<'_> {
             .into_iter()
             .map(|(p, refb)| {
                 (
-                    PlanCtx { icp: p.icp.clone(), plan: p.plan.clone(), encoded: p.encoded.clone() },
+                    PlanCtx {
+                        icp: p.icp.clone(),
+                        plan: p.plan.clone(),
+                        encoded: p.encoded.clone(),
+                    },
                     refb,
                 )
             })
@@ -134,7 +143,11 @@ pub struct SimEnv<'a> {
 
 impl<'a> SimEnv<'a> {
     /// Build over a trained AAM and the (read-only) execution buffer.
-    pub fn new(aam: &'a AdvantageModel, buffer: &'a ExecutionBuffer, scale: AdvantageScale) -> Self {
+    pub fn new(
+        aam: &'a AdvantageModel,
+        buffer: &'a ExecutionBuffer,
+        scale: AdvantageScale,
+    ) -> Self {
         Self { aam, buffer, scale }
     }
 }
@@ -154,7 +167,11 @@ impl RewardOracle for SimEnv<'_> {
             .into_iter()
             .map(|(p, refb)| {
                 (
-                    PlanCtx { icp: p.icp.clone(), plan: p.plan.clone(), encoded: p.encoded.clone() },
+                    PlanCtx {
+                        icp: p.icp.clone(),
+                        plan: p.plan.clone(),
+                        encoded: p.encoded.clone(),
+                    },
                     refb,
                 )
             })
@@ -172,9 +189,7 @@ pub mod tests_support {
     use crate::encoding::PlanEncoder;
     use foss_catalog::{ColumnDef, Schema, TableDef};
     use foss_executor::Database;
-    use foss_optimizer::{
-        CardinalityEstimator, CostModel, PhysicalPlan, TraditionalOptimizer,
-    };
+    use foss_optimizer::{CardinalityEstimator, CostModel, PhysicalPlan, TraditionalOptimizer};
     use foss_query::QueryBuilder;
     use foss_storage::{Column, Table};
     use std::sync::Arc;
@@ -212,7 +227,10 @@ pub mod tests_support {
                 tables.push(
                     Table::new(
                         name,
-                        vec![("id".into(), Column::new(ids)), ("fk".into(), Column::new(fks))],
+                        vec![
+                            ("id".into(), Column::new(ids)),
+                            ("fk".into(), Column::new(fks)),
+                        ],
                     )
                     .unwrap(),
                 );
@@ -233,7 +251,15 @@ pub mod tests_support {
             let encoder = PlanEncoder::new(3, db.stats().iter().map(|s| s.row_count).collect());
             let space = ActionSpace::new(3);
             let agent = PlannerAgent::new(4, space.len(), &FossConfig::tiny(), seed);
-            Self { db, opt, encoder, agent, space, query, original }
+            Self {
+                db,
+                opt,
+                encoder,
+                agent,
+                space,
+                query,
+                original,
+            }
         }
     }
 
@@ -246,11 +272,7 @@ pub mod tests_support {
     }
 
     impl<'a> LatencyOracle<'a> {
-        pub fn new(
-            db: &Arc<Database>,
-            opt: &TraditionalOptimizer,
-            _encoder: &PlanEncoder,
-        ) -> Self {
+        pub fn new(db: &Arc<Database>, opt: &TraditionalOptimizer, _encoder: &PlanEncoder) -> Self {
             Self {
                 exec: CachingExecutor::new(db.clone(), *opt.cost_model()),
                 scale: AdvantageScale::paper_default(),
@@ -289,8 +311,7 @@ mod tests {
 
     fn ctx_for(world: &TestWorld, icp: Icp) -> PlanCtx {
         let plan = world.opt.optimize_with_hint(&world.query, &icp).unwrap();
-        let encoder =
-            PlanEncoder::new(3, world.db.stats().iter().map(|s| s.row_count).collect());
+        let encoder = PlanEncoder::new(3, world.db.stats().iter().map(|s| s.row_count).collect());
         let encoded = encoder.encode(&world.query, &plan, 0.5);
         PlanCtx { icp, plan, encoded }
     }
@@ -324,7 +345,9 @@ mod tests {
         let orig_ctx = ctx_for(&world, orig_icp.clone());
         env.prepare(&world.query, &orig_ctx).unwrap();
         let mut other = orig_icp.clone();
-        other.override_method(1, 1 + (other.methods[0].index() + 1) % 3).unwrap();
+        other
+            .override_method(1, 1 + (other.methods[0].index() + 1) % 3)
+            .unwrap();
         let other_ctx = ctx_for(&world, other.clone());
         let lat = env.latency_of(&world.query, &other_ctx).unwrap();
         let orig_lat = buf.original(world.query.id).unwrap().latency;

@@ -90,7 +90,11 @@ pub fn run_episode(
         space.apply(action, &mut icp_t)?;
         let plan_t = optimizer.optimize_with_hint(query, &icp_t)?;
         let encoded_t = encoder.encode(query, &plan_t, t as f32 / max_steps as f32);
-        let ctx_t = PlanCtx { icp: icp_t, plan: plan_t, encoded: encoded_t };
+        let ctx_t = PlanCtx {
+            icp: icp_t,
+            plan: plan_t,
+            encoded: encoded_t,
+        };
 
         // Penalty (Eq. 3): γ · (minsteps(ICP_t) − t) ≤ 0.
         let minsteps = ctx_t.icp.min_steps_from(&icp0);
@@ -140,7 +144,13 @@ pub fn run_episode(
         ctx_prev = ctx_t;
     }
 
-    Ok(EpisodeResult { transitions, original: original_ctx, visited, best, total_reward })
+    Ok(EpisodeResult {
+        transitions,
+        original: original_ctx,
+        visited,
+        best,
+        total_reward,
+    })
 }
 
 #[cfg(test)]
@@ -151,7 +161,10 @@ mod tests {
     #[test]
     fn episode_produces_maxsteps_transitions() {
         let mut world = TestWorld::new(3);
-        let cfg = FossConfig { max_steps: 3, ..FossConfig::tiny() };
+        let cfg = FossConfig {
+            max_steps: 3,
+            ..FossConfig::tiny()
+        };
         let mut oracle = LatencyOracle::new(&world.db, &world.opt, &world.encoder);
         let res = run_episode(
             &mut world.agent,
@@ -181,7 +194,10 @@ mod tests {
         // step whose ICP equals the original gets reward ≤ 0 (no bounty:
         // fingerprint was pre-seeded).
         let mut world = TestWorld::new(3);
-        let cfg = FossConfig { max_steps: 3, ..FossConfig::tiny() };
+        let cfg = FossConfig {
+            max_steps: 3,
+            ..FossConfig::tiny()
+        };
         for _ in 0..10 {
             let mut oracle = LatencyOracle::new(&world.db, &world.opt, &world.encoder);
             let res = run_episode(
@@ -214,7 +230,10 @@ mod tests {
         // picked a same-as-original mutation (masked out), so the first
         // transition's reward is ≥ 0 whenever its plan is new.
         let mut world = TestWorld::new(3);
-        let cfg = FossConfig { max_steps: 2, ..FossConfig::tiny() };
+        let cfg = FossConfig {
+            max_steps: 2,
+            ..FossConfig::tiny()
+        };
         let mut oracle = LatencyOracle::new(&world.db, &world.opt, &world.encoder);
         let res = run_episode(
             &mut world.agent,
@@ -238,7 +257,10 @@ mod tests {
     #[test]
     fn greedy_mode_is_deterministic() {
         let mut world = TestWorld::new(3);
-        let cfg = FossConfig { max_steps: 3, ..FossConfig::tiny() };
+        let cfg = FossConfig {
+            max_steps: 3,
+            ..FossConfig::tiny()
+        };
         let run = |world: &mut TestWorld| {
             let mut oracle = LatencyOracle::new(&world.db, &world.opt, &world.encoder);
             let res = run_episode(
@@ -253,7 +275,10 @@ mod tests {
                 true,
             )
             .unwrap();
-            res.visited.iter().map(|c| c.icp.fingerprint()).collect::<Vec<_>>()
+            res.visited
+                .iter()
+                .map(|c| c.icp.fingerprint())
+                .collect::<Vec<_>>()
         };
         let a = run(&mut world);
         let b = run(&mut world);
@@ -265,7 +290,10 @@ mod tests {
         // With a latency oracle the estimated optimum is exact, so `best`
         // must have latency ≤ original.
         let mut world = TestWorld::new(3);
-        let cfg = FossConfig { max_steps: 3, ..FossConfig::tiny() };
+        let cfg = FossConfig {
+            max_steps: 3,
+            ..FossConfig::tiny()
+        };
         let mut oracle = LatencyOracle::new(&world.db, &world.opt, &world.encoder);
         let res = run_episode(
             &mut world.agent,

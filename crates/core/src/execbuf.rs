@@ -55,14 +55,22 @@ impl ExecutionBuffer {
 
     /// Record the original (expert) plan for a query.
     pub fn record_original(&mut self, qid: QueryId, executed: ExecutedPlan) {
-        self.seen.entry(qid).or_default().insert(executed.icp.fingerprint());
+        self.seen
+            .entry(qid)
+            .or_default()
+            .insert(executed.icp.fingerprint());
         self.originals.insert(qid, executed);
     }
 
     /// Record an executed candidate; duplicates (same ICP) are dropped.
     /// Returns whether the plan was new.
     pub fn record(&mut self, qid: QueryId, executed: ExecutedPlan) -> bool {
-        if !self.seen.entry(qid).or_default().insert(executed.icp.fingerprint()) {
+        if !self
+            .seen
+            .entry(qid)
+            .or_default()
+            .insert(executed.icp.fingerprint())
+        {
             return false;
         }
         self.plans.entry(qid).or_default().push(executed);
@@ -76,7 +84,9 @@ impl ExecutionBuffer {
 
     /// Whether this exact ICP was already executed for `qid`.
     pub fn contains(&self, qid: QueryId, icp: &Icp) -> bool {
-        self.seen.get(&qid).is_some_and(|s| s.contains(&icp.fingerprint()))
+        self.seen
+            .get(&qid)
+            .is_some_and(|s| s.contains(&icp.fingerprint()))
     }
 
     /// Executed candidates (excluding the original) for `qid`.
@@ -129,7 +139,9 @@ impl ExecutionBuffer {
     /// `refb_i = Adv_init(ORI, ref_i)`, ordered by decreasing bounty.
     /// Degenerates gracefully when no plan beats the original yet.
     pub fn references(&self, qid: QueryId, scale: &AdvantageScale) -> Vec<(&ExecutedPlan, f64)> {
-        let Some(orig) = self.original(qid) else { return Vec::new() };
+        let Some(orig) = self.original(qid) else {
+            return Vec::new();
+        };
         let mut better: Vec<&ExecutedPlan> = self
             .plans(qid)
             .iter()
@@ -142,7 +154,10 @@ impl ExecutionBuffer {
         }
         if better.len() >= 2 {
             let median = better[better.len() / 2];
-            refs.push((median, scale.initial_advantage(orig.latency, median.latency)));
+            refs.push((
+                median,
+                scale.initial_advantage(orig.latency, median.latency),
+            ));
         }
         refs.push((orig, 0.0));
         refs

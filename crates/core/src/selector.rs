@@ -22,13 +22,16 @@ const WAVE: usize = 16;
 /// Panics on an empty slice — callers always include the original plan.
 ///
 /// Scoring happens in *waves*: one batched forward scores the current
-/// champion against the next (up to [`WAVE`]) challengers, then the
+/// champion against the next (up to `WAVE`) challengers, then the
 /// tournament advances to the first challenger the AAM rates strictly better
 /// (score ≥ 1) and re-batches from there. Scores computed against a
 /// dethroned champion are discarded, so the winner is identical to the
 /// sequential pairwise tournament.
 pub fn select_best(aam: &AdvantageModel, candidates: &[&EncodedPlan]) -> usize {
-    assert!(!candidates.is_empty(), "selector needs at least one candidate");
+    assert!(
+        !candidates.is_empty(),
+        "selector needs at least one candidate"
+    );
     let mut champion = 0usize;
     let mut next = 1usize;
     while next < candidates.len() {

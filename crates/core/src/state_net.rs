@@ -101,18 +101,27 @@ impl StateNetwork {
     /// kernel-dispatch overhead is paid once per batch instead of per plan.
     pub fn forward_batch(&self, g: &mut Graph, set: &ParamSet, plans: &[&EncodedPlan]) -> Var {
         assert!(!plans.is_empty(), "cannot encode an empty batch");
-        assert!(plans.iter().all(|p| !p.is_empty()), "cannot encode an empty plan");
+        assert!(
+            plans.iter().all(|p| !p.is_empty()),
+            "cannot encode an empty plan"
+        );
         let cat = |f: for<'a> fn(&'a EncodedPlan) -> &'a [usize]| -> Vec<usize> {
             plans.iter().flat_map(|p| f(p).iter().copied()).collect()
         };
         // Per-feature embeddings → node vectors N_i ⊕ height_i ⊕ ns_i,
         // one gather per feature for the whole batch.
         let op = self.op_emb.forward(g, set, &cat(|p| p.ops.as_slice()));
-        let table = self.table_emb.forward(g, set, &cat(|p| p.tables.as_slice()));
+        let table = self
+            .table_emb
+            .forward(g, set, &cat(|p| p.tables.as_slice()));
         let sel = self.sel_emb.forward(g, set, &cat(|p| p.sels.as_slice()));
         let rows = self.rows_emb.forward(g, set, &cat(|p| p.rows.as_slice()));
-        let height = self.height_emb.forward(g, set, &cat(|p| p.heights.as_slice()));
-        let st = self.struct_emb.forward(g, set, &cat(|p| p.structures.as_slice()));
+        let height = self
+            .height_emb
+            .forward(g, set, &cat(|p| p.heights.as_slice()));
+        let st = self
+            .struct_emb
+            .forward(g, set, &cat(|p| p.structures.as_slice()));
         let mut x = g.concat_cols(&[op, table, sel, rows, height, st]);
 
         let reaches: Vec<&[Vec<bool>]> = plans.iter().map(|p| p.reach.as_slice()).collect();

@@ -164,7 +164,11 @@ impl Foss {
 
     /// Phase 1: seed the execution buffer with real episodes and train the
     /// initial AAM. `episodes_per_query` real episodes are run per query.
-    pub fn bootstrap(&mut self, queries: &[Query], episodes_per_query: usize) -> Result<TrainReport> {
+    pub fn bootstrap(
+        &mut self,
+        queries: &[Query],
+        episodes_per_query: usize,
+    ) -> Result<TrainReport> {
         let mut agents = std::mem::take(&mut self.agents);
         let mut result = Ok(());
         'outer: for query in queries {
@@ -231,8 +235,7 @@ impl Foss {
         if queries.is_empty() {
             return Err(FossError::InvalidQuery("empty training workload".into()));
         }
-        let episodes_per_agent =
-            (self.cfg.episodes_per_update / self.agents.len().max(1)).max(1);
+        let episodes_per_agent = (self.cfg.episodes_per_update / self.agents.len().max(1)).max(1);
         let mut agents = std::mem::take(&mut self.agents);
         let mut mean_reward = 0.0f32;
         let mut episodes_run = 0usize;
@@ -251,8 +254,7 @@ impl Foss {
                     let query = &queries[qidx];
                     let original = self.original_plan(query)?;
                     let res = if self.cfg.use_simulated_env {
-                        let mut env =
-                            SimEnv::new(&self.aam, &self.buffer, self.scale.clone());
+                        let mut env = SimEnv::new(&self.aam, &self.buffer, self.scale.clone());
                         run_episode(
                             agent,
                             &self.optimizer,
@@ -358,15 +360,24 @@ impl Foss {
             let encoded = self.encoder.encode(query, &original, 0.0);
             self.buffer.record_original(
                 query.id,
-                ExecutedPlan { icp, plan: original, encoded, latency: out.latency, timed_out: false },
+                ExecutedPlan {
+                    icp,
+                    plan: original,
+                    encoded,
+                    latency: out.latency,
+                    timed_out: false,
+                },
             );
         }
         if self.buffer.contains(query.id, &ctx.icp) {
             return Ok(());
         }
-        let budget =
-            self.buffer.original(query.id).map(|o| o.latency).unwrap_or(f64::INFINITY)
-                * self.cfg.timeout_factor;
+        let budget = self
+            .buffer
+            .original(query.id)
+            .map(|o| o.latency)
+            .unwrap_or(f64::INFINITY)
+            * self.cfg.timeout_factor;
         let (latency, timed_out) = match self.executor.execute(query, &ctx.plan, Some(budget)) {
             Ok(out) => (out.latency, false),
             Err(FossError::Timeout { .. }) => (budget, true),
@@ -422,8 +433,7 @@ impl Foss {
                     &self.cfg,
                     true,
                 )?;
-                let mut cands: Vec<&crate::encoding::EncodedPlan> =
-                    vec![&res.original.encoded];
+                let mut cands: Vec<&crate::encoding::EncodedPlan> = vec![&res.original.encoded];
                 for v in &res.visited {
                     cands.push(&v.encoded);
                 }
@@ -441,7 +451,11 @@ impl Foss {
             let winner = select_best(&self.aam, &encs);
             let (ctx, step) = champions.swap_remove(winner);
             let candidates = self.cfg.num_agents * (self.cfg.max_steps + 1);
-            Ok(Inference { plan: ctx.plan, selected_step: step, candidates })
+            Ok(Inference {
+                plan: ctx.plan,
+                selected_step: step,
+                candidates,
+            })
         })();
         self.agents = agents;
         result
@@ -454,8 +468,10 @@ mod tests {
     use crate::envs::tests_support::TestWorld;
 
     fn foss_over(world: &TestWorld, cfg: FossConfig) -> Foss {
-        let executor =
-            Arc::new(CachingExecutor::new(world.db.clone(), *world.opt.cost_model()));
+        let executor = Arc::new(CachingExecutor::new(
+            world.db.clone(),
+            *world.opt.cost_model(),
+        ));
         Foss::new(
             Arc::new(world.opt.clone()),
             executor,
@@ -468,9 +484,21 @@ mod tests {
     #[test]
     fn bootstrap_fills_buffer_and_trains_aam() {
         let world = TestWorld::new(5);
-        let mut foss = foss_over(&world, FossConfig { episodes_per_update: 8, ..FossConfig::tiny() });
-        let report = foss.bootstrap(std::slice::from_ref(&world.query), 2).unwrap();
-        assert!(report.buffer_plans >= 2, "buffer has {}", report.buffer_plans);
+        let mut foss = foss_over(
+            &world,
+            FossConfig {
+                episodes_per_update: 8,
+                ..FossConfig::tiny()
+            },
+        );
+        let report = foss
+            .bootstrap(std::slice::from_ref(&world.query), 2)
+            .unwrap();
+        assert!(
+            report.buffer_plans >= 2,
+            "buffer has {}",
+            report.buffer_plans
+        );
         assert!(report.plans_executed >= 2);
         assert!(foss.buffer().original(world.query.id).is_some());
     }
@@ -497,7 +525,10 @@ mod tests {
     #[test]
     fn optimize_returns_a_runnable_plan() {
         let world = TestWorld::new(7);
-        let cfg = FossConfig { episodes_per_update: 6, ..FossConfig::tiny() };
+        let cfg = FossConfig {
+            episodes_per_update: 6,
+            ..FossConfig::tiny()
+        };
         let mut foss = foss_over(&world, cfg);
         foss.train(std::slice::from_ref(&world.query), 1).unwrap();
         let inf = foss.optimize_detailed(&world.query).unwrap();

@@ -5,6 +5,13 @@
 //! outcome can be memoised by plan fingerprint. This mirrors the paper's
 //! execution buffer semantics: once a plan's latency is known it never needs
 //! to be re-executed.
+//!
+//! Bounded caches (the serving-style configuration) support two eviction
+//! policies: **FIFO** (insertion order, the original behaviour) and **LRU**
+//! (least-recently-used, implemented with lazy deletion so hits stay O(1)
+//! amortised). On skewed plan streams LRU keeps the hot set resident where
+//! FIFO ages it out — see the hit-rate test below and the `cache/eviction`
+//! micro-benchmark.
 
 use std::sync::Arc;
 
@@ -15,7 +22,7 @@ use foss_optimizer::{CostModel, PhysicalPlan};
 use foss_query::Query;
 
 use crate::database::Database;
-use crate::exec::{ExecOutcome, Executor};
+use crate::exec::{ExecMode, ExecOutcome, Executor};
 
 /// What a cached execution looked like.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,35 +36,99 @@ pub enum CachedResult {
     },
 }
 
+/// Eviction policy for bounded caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict in insertion order.
+    #[default]
+    Fifo,
+    /// Evict the least-recently-used entry (hits refresh recency).
+    Lru,
+}
+
 type CacheKey = (QueryId, u64);
 
-/// Cache map plus FIFO bookkeeping behind one lock so lookup, insert and
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    value: CachedResult,
+    /// Clock tick of this entry's live position in `order`; older pushes of
+    /// the same key are stale and skipped at eviction time.
+    stamp: u64,
+}
+
+/// Cache map plus eviction bookkeeping behind one lock so lookup, insert and
 /// eviction stay atomic.
 #[derive(Debug, Default)]
 struct CacheState {
-    map: FxHashMap<CacheKey, CachedResult>,
-    /// Insertion order of keys, oldest first; only consulted when bounded.
-    order: std::collections::VecDeque<CacheKey>,
+    map: FxHashMap<CacheKey, Entry>,
+    /// Eviction queue, oldest candidate first; only consulted when bounded.
+    /// Under LRU a key may appear several times (lazy deletion): only the
+    /// occurrence whose stamp matches the map entry is live.
+    order: std::collections::VecDeque<(CacheKey, u64)>,
+    clock: u64,
     /// `None` = unbounded (training-loop default).
     capacity: Option<usize>,
+    policy: EvictionPolicy,
     evictions: u64,
 }
 
 impl CacheState {
-    fn insert(&mut self, key: CacheKey, value: CachedResult) {
-        if self.map.insert(key, value).is_some() {
-            // Overwrite (e.g. a timed-out entry upgraded after a re-run with
-            // a larger budget): position in the FIFO is unchanged.
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Refresh `key`'s recency (LRU hits only).
+    fn touch(&mut self, key: CacheKey) {
+        if self.capacity.is_none() || self.policy != EvictionPolicy::Lru {
             return;
         }
+        let stamp = self.tick();
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.stamp = stamp;
+            self.order.push_back((key, stamp));
+            self.compact();
+        }
+    }
+
+    /// Drop stale queue entries once lazy deletion has bloated the queue
+    /// beyond a small multiple of capacity, keeping memory bounded.
+    fn compact(&mut self) {
+        let Some(cap) = self.capacity else { return };
+        if self.order.len() > cap.saturating_mul(4).max(64) {
+            let map = &self.map;
+            self.order
+                .retain(|&(k, s)| map.get(&k).is_some_and(|e| e.stamp == s));
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, value: CachedResult) {
+        if let Some(entry) = self.map.get_mut(&key) {
+            // Overwrite (e.g. a timed-out entry upgraded after a re-run with
+            // a larger budget). FIFO keeps the original queue position; LRU
+            // counts the re-execution as a use and refreshes recency.
+            entry.value = value;
+            if self.policy == EvictionPolicy::Lru {
+                self.touch(key);
+            }
+            return;
+        }
+        let stamp = self.tick();
+        self.map.insert(key, Entry { value, stamp });
         if let Some(cap) = self.capacity {
-            self.order.push_back(key);
+            self.order.push_back((key, stamp));
             // Every bounded fresh insert pushed to `order`, so the deque
             // can't run dry while the map is over capacity.
             while self.map.len() > cap {
-                let oldest = self.order.pop_front().expect("FIFO out of sync with map");
-                if self.map.remove(&oldest).is_some() {
-                    self.evictions += 1;
+                let (oldest, s) = self.order.pop_front().expect("queue out of sync with map");
+                match self.map.get(&oldest) {
+                    // Live occurrence: evict.
+                    Some(e) if e.stamp == s => {
+                        self.map.remove(&oldest);
+                        self.evictions += 1;
+                    }
+                    // Stale occurrence superseded by a later touch: skip.
+                    _ => {}
                 }
             }
         }
@@ -69,44 +140,91 @@ impl CacheState {
 ///
 /// By default the cache is unbounded — the training loop revisits the same
 /// (query, plan) pairs across episodes and wants every latency memoised.
-/// [`CachingExecutor::with_capacity`] bounds it with FIFO eviction for
-/// serving-style workloads where the plan stream is unbounded.
+/// [`CachingExecutor::with_capacity`] bounds it (FIFO), and
+/// [`CachingExecutor::with_capacity_policy`] additionally selects the
+/// eviction policy, for serving-style workloads where the plan stream is
+/// unbounded.
 pub struct CachingExecutor {
     db: Arc<Database>,
     cost: CostModel,
+    mode: ExecMode,
     cache: Mutex<CacheState>,
     executions: Mutex<u64>,
+    hits: Mutex<u64>,
 }
 
 impl CachingExecutor {
-    /// Wrap a database + cost model with an unbounded cache.
+    /// Wrap a database + cost model with an unbounded cache over the default
+    /// (chunked) engine.
     pub fn new(db: Arc<Database>, cost: CostModel) -> Self {
+        Self::with_mode(db, cost, ExecMode::default())
+    }
+
+    /// Like [`CachingExecutor::new`] with an explicit executor engine.
+    pub fn with_mode(db: Arc<Database>, cost: CostModel, mode: ExecMode) -> Self {
         Self {
             db,
             cost,
+            mode,
             cache: Mutex::new(CacheState::default()),
             executions: Mutex::new(0),
+            hits: Mutex::new(0),
         }
     }
 
     /// Like [`CachingExecutor::new`], but the cache holds at most `capacity`
-    /// outcomes; inserting beyond that evicts the oldest entries first.
+    /// outcomes; inserting beyond that evicts FIFO-oldest entries first.
     ///
     /// # Panics
     /// If `capacity == 0` — such a cache would evict every entry on insert
     /// and silently defeat memoisation; use [`CachingExecutor::new`] for an
     /// unbounded cache instead.
     pub fn with_capacity(db: Arc<Database>, cost: CostModel, capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive (use `new` for unbounded)");
+        Self::with_capacity_policy(db, cost, capacity, EvictionPolicy::Fifo)
+    }
+
+    /// Bounded cache with an explicit [`EvictionPolicy`].
+    ///
+    /// # Panics
+    /// If `capacity == 0` (see [`CachingExecutor::with_capacity`]).
+    pub fn with_capacity_policy(
+        db: Arc<Database>,
+        cost: CostModel,
+        capacity: usize,
+        policy: EvictionPolicy,
+    ) -> Self {
+        assert!(
+            capacity > 0,
+            "cache capacity must be positive (use `new` for unbounded)"
+        );
         Self {
             db,
             cost,
+            mode: ExecMode::default(),
             cache: Mutex::new(CacheState {
                 capacity: Some(capacity),
+                policy,
                 ..CacheState::default()
             }),
             executions: Mutex::new(0),
+            hits: Mutex::new(0),
         }
+    }
+
+    /// Replace the executor engine (chainable), so the cache-shape
+    /// constructors compose with the engine choice — e.g. a bounded LRU
+    /// cache over the scalar reference:
+    /// `CachingExecutor::with_capacity_policy(db, cost, 16, EvictionPolicy::Lru)
+    ///     .with_exec_mode(ExecMode::Scalar)`.
+    #[must_use]
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The executor engine misses run on.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Execute (or recall) `plan` under an optional work budget.
@@ -122,9 +240,18 @@ impl CachingExecutor {
         budget: Option<f64>,
     ) -> Result<ExecOutcome> {
         let key = (query.id, plan.fingerprint());
-        if let Some(cached) = self.cache.lock().map.get(&key).copied() {
+        let cached = {
+            let mut cache = self.cache.lock();
+            let cached = cache.map.get(&key).map(|e| e.value);
+            if cached.is_some() {
+                cache.touch(key);
+            }
+            cached
+        };
+        if let Some(cached) = cached {
             match cached {
                 CachedResult::Done(out) => {
+                    *self.hits.lock() += 1;
                     if let Some(b) = budget {
                         if out.latency > b {
                             return Err(FossError::Timeout {
@@ -139,14 +266,18 @@ impl CachingExecutor {
                     if let Some(b) = budget.filter(|&b| b <= old) {
                         // `spent` is the work the failed run actually did;
                         // `budget` echoes what this caller asked for.
-                        return Err(FossError::Timeout { spent: old as u64, budget: b as u64 });
+                        *self.hits.lock() += 1;
+                        return Err(FossError::Timeout {
+                            spent: old as u64,
+                            budget: b as u64,
+                        });
                     }
                     // Larger (or no) budget: fall through and re-execute.
                 }
             }
         }
         *self.executions.lock() += 1;
-        let exec = Executor::new(&self.db, self.cost);
+        let exec = Executor::with_mode(&self.db, self.cost, self.mode);
         match exec.execute(query, plan, budget) {
             Ok(out) => {
                 self.cache.lock().insert(key, CachedResult::Done(out));
@@ -154,7 +285,9 @@ impl CachingExecutor {
             }
             Err(e @ FossError::Timeout { .. }) => {
                 if let Some(b) = budget {
-                    self.cache.lock().insert(key, CachedResult::TimedOut { budget: b });
+                    self.cache
+                        .lock()
+                        .insert(key, CachedResult::TimedOut { budget: b });
                 }
                 Err(e)
             }
@@ -166,6 +299,12 @@ impl CachingExecutor {
     /// executor's lifetime; [`CachingExecutor::clear`] does not reset it.
     pub fn executions(&self) -> u64 {
         *self.executions.lock()
+    }
+
+    /// Number of lookups answered from the cache (including cached timeouts)
+    /// over the executor's lifetime.
+    pub fn hits(&self) -> u64 {
+        *self.hits.lock()
     }
 
     /// Number of cached entries.
@@ -196,7 +335,7 @@ mod tests {
     use foss_catalog::{ColumnDef, Schema, TableDef};
     use foss_common::QueryId;
     use foss_optimizer::{CardinalityEstimator, TraditionalOptimizer};
-    use foss_query::QueryBuilder;
+    use foss_query::{Predicate, QueryBuilder};
     use foss_storage::{Column, Table};
     use std::sync::Arc;
 
@@ -220,7 +359,10 @@ mod tests {
             "b",
             vec![
                 ("id".into(), Column::new((0..200).collect())),
-                ("a_id".into(), Column::new((0..200).map(|i| i % 50).collect())),
+                (
+                    "a_id".into(),
+                    Column::new((0..200).map(|i| i % 50).collect()),
+                ),
             ],
         )
         .unwrap();
@@ -236,6 +378,36 @@ mod tests {
         qb.join(ra, 0, rb, 1);
         let q = qb.build(&schema).unwrap();
         (db, opt, q)
+    }
+
+    /// Distinct single-relation queries over the same tiny table: distinct
+    /// cache keys with near-zero execution cost, for policy tests.
+    fn distinct_queries(db: &Database, n: usize) -> (Vec<Query>, PhysicalPlan) {
+        use foss_optimizer::{AccessPath, PlanNode};
+        let schema = db.schema().clone();
+        let queries = (0..n)
+            .map(|i| {
+                let mut qb = QueryBuilder::new(QueryId::new(1000 + i), 1);
+                let ra = qb.relation(schema.table_id("a").unwrap(), "a");
+                qb.predicate(
+                    ra,
+                    Predicate::Eq {
+                        column: 0,
+                        value: i as i64 % 50,
+                    },
+                );
+                qb.build(&schema).unwrap()
+            })
+            .collect();
+        let plan = PhysicalPlan {
+            root: PlanNode::Scan {
+                relation: 0,
+                access: AccessPath::SeqScan,
+                est_rows: 1.0,
+                est_cost: 1.0,
+            },
+        };
+        (queries, plan)
     }
 
     #[test]
@@ -254,6 +426,7 @@ mod tests {
         let b = cx.execute(&q, &plan, None).unwrap();
         assert_eq!(a, b);
         assert_eq!(cx.executions(), 1);
+        assert_eq!(cx.hits(), 1);
         assert_eq!(cx.cache_len(), 1);
     }
 
@@ -296,7 +469,8 @@ mod tests {
         let mut plans = vec![expert];
         for j in 1..=2 {
             let mut cand = icp.clone();
-            cand.override_method(1, (icp.methods[0].index() + j) % 3 + 1).unwrap_or(());
+            cand.override_method(1, (icp.methods[0].index() + j) % 3 + 1)
+                .unwrap_or(());
             plans.push(opt.optimize_with_hint(&q, &cand).unwrap());
         }
         plans.dedup_by_key(|p| p.fingerprint());
@@ -312,6 +486,86 @@ mod tests {
         cx.execute(&q, &plans[0], None).unwrap();
         assert_eq!(cx.executions(), 3);
         assert_eq!(cx.evictions(), 2);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_entries() {
+        let (db, opt, _) = setup();
+        let (queries, plan) = distinct_queries(&db, 3);
+        let cx = CachingExecutor::with_capacity_policy(
+            Arc::new(db.clone()),
+            *opt.cost_model(),
+            2,
+            EvictionPolicy::Lru,
+        );
+        cx.execute(&queries[0], &plan, None).unwrap(); // cache: [0]
+        cx.execute(&queries[1], &plan, None).unwrap(); // cache: [0, 1]
+        cx.execute(&queries[0], &plan, None).unwrap(); // touch 0 → LRU is 1
+        cx.execute(&queries[2], &plan, None).unwrap(); // evicts 1, not 0
+        assert_eq!(cx.evictions(), 1);
+        cx.execute(&queries[0], &plan, None).unwrap();
+        assert_eq!(cx.executions(), 3, "query 0 must still be cached under LRU");
+        cx.execute(&queries[1], &plan, None).unwrap();
+        assert_eq!(cx.executions(), 4, "query 1 was the LRU victim");
+    }
+
+    /// On a skewed trace (a small hot set re-referenced between a stream of
+    /// cold singletons) LRU keeps the hot set resident; FIFO ages it out and
+    /// re-misses it. This is the policy's reason to exist.
+    #[test]
+    fn lru_beats_fifo_hit_rate_on_skewed_trace() {
+        let (db, opt, _) = setup();
+        let db = Arc::new(db);
+        let hot = 4usize;
+        let cold = 120usize;
+        let (queries, plan) = distinct_queries(&db, hot + cold);
+        let mut trace = Vec::new();
+        for i in 0..cold {
+            trace.push(i % hot); // hot keys recur throughout…
+            trace.push(hot + i); // …interleaved with one-shot cold keys
+        }
+        let mut misses = Vec::new();
+        for policy in [EvictionPolicy::Fifo, EvictionPolicy::Lru] {
+            let cx =
+                CachingExecutor::with_capacity_policy(db.clone(), *opt.cost_model(), 8, policy);
+            for &qi in &trace {
+                cx.execute(&queries[qi], &plan, None).unwrap();
+            }
+            assert_eq!(cx.hits() + cx.executions(), trace.len() as u64);
+            misses.push(cx.executions());
+        }
+        let (fifo, lru) = (misses[0], misses[1]);
+        // LRU's floor: each distinct key misses once.
+        assert_eq!(
+            lru,
+            (hot + cold) as u64,
+            "LRU should only miss compulsory entries"
+        );
+        assert!(
+            fifo > lru + 20,
+            "FIFO should re-miss the hot set repeatedly (fifo={fifo} lru={lru})"
+        );
+    }
+
+    #[test]
+    fn bounded_cache_composes_with_scalar_engine() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let chunked = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
+        let cx = CachingExecutor::with_capacity_policy(
+            Arc::new(db.clone()),
+            *opt.cost_model(),
+            4,
+            EvictionPolicy::Lru,
+        )
+        .with_exec_mode(ExecMode::Scalar);
+        assert_eq!(cx.mode(), ExecMode::Scalar);
+        // The engines are bit-identical, so a scalar miss fills the cache
+        // with exactly what the chunked engine would have produced.
+        assert_eq!(
+            cx.execute(&q, &plan, None).unwrap(),
+            chunked.execute(&q, &plan, None).unwrap()
+        );
     }
 
     #[test]
@@ -340,6 +594,30 @@ mod tests {
         cx.execute(&q, &plan, None).unwrap();
         assert_eq!(cx.cache_len(), 1);
         assert_eq!(cx.evictions(), 0);
+    }
+
+    #[test]
+    fn lazy_deletion_queue_stays_bounded() {
+        let (db, opt, _) = setup();
+        let (queries, plan) = distinct_queries(&db, 4);
+        let cx = CachingExecutor::with_capacity_policy(
+            Arc::new(db.clone()),
+            *opt.cost_model(),
+            4,
+            EvictionPolicy::Lru,
+        );
+        // Thousands of touches on resident keys must not grow memory without
+        // bound: compaction trims stale queue entries.
+        for round in 0..2000 {
+            cx.execute(&queries[round % 4], &plan, None).unwrap();
+        }
+        assert_eq!(cx.executions(), 4);
+        assert_eq!(cx.evictions(), 0);
+        let queue_len = cx.cache.lock().order.len();
+        assert!(
+            queue_len <= 64 + 4,
+            "lazy queue grew unbounded: {queue_len}"
+        );
     }
 
     #[test]

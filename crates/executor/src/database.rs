@@ -18,7 +18,11 @@ pub struct Database {
 impl Database {
     /// Assemble a database; `tables` must match the schema's table order and
     /// column layout. Indexes are built for every `indexed` column.
-    pub fn new(schema: Arc<Schema>, mut tables: Vec<Table>, histogram_buckets: usize) -> Result<Self> {
+    pub fn new(
+        schema: Arc<Schema>,
+        mut tables: Vec<Table>,
+        histogram_buckets: usize,
+    ) -> Result<Self> {
         if tables.len() != schema.table_count() {
             return Err(FossError::InvalidQuery(format!(
                 "schema has {} tables, got {}",
@@ -46,7 +50,11 @@ impl Database {
             .iter()
             .map(|t| TableStats::analyze(t, histogram_buckets))
             .collect();
-        Ok(Self { schema, tables, stats })
+        Ok(Self {
+            schema,
+            tables,
+            stats,
+        })
     }
 
     /// The schema.

@@ -1,10 +1,41 @@
 //! The physical operator interpreter.
+//!
+//! Two interchangeable engines live behind [`ExecMode`]:
+//!
+//! * **Chunked** (the default) — chunk-at-a-time execution: every operator
+//!   consumes and produces batches of [`CHUNK_SIZE`] tuples. Scans evaluate
+//!   predicates column-at-a-time over contiguous slices and refine a
+//!   selection vector; joins hoist key columns out of the loop, gather probe
+//!   keys into chunk-local buffers, and emit (project) matched tuples in
+//!   bulk. The `COUNT(*)` aggregate at the root is the chunk count folded in
+//!   [`Executor::execute`].
+//! * **Scalar** — the reference row-at-a-time interpreter, kept for
+//!   differential testing (see the chunked-vs-scalar property tests).
+//!
+//! Both engines share one *chunk-granular metering discipline*: work-unit
+//! charges are accrued per chunk, in the same order, with the same floating
+//! point operations. Latencies are therefore **bit-identical** across modes,
+//! and results match row-for-row in the same order — switching engines can
+//! never change trained-model behaviour.
 
 use foss_common::{FossError, Result};
 use foss_optimizer::{AccessPath, CostModel, JoinMethod, PhysicalPlan, PlanNode};
 use foss_query::{JoinEdge, Predicate, Query};
 
 use crate::database::Database;
+
+/// Rows per execution chunk (tuples processed between two meter charges).
+pub const CHUNK_SIZE: usize = 1024;
+
+/// Which operator implementations the interpreter dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Chunk-at-a-time operators over column chunks with selection vectors.
+    #[default]
+    Chunked,
+    /// Row-at-a-time reference interpreter (differential-testing flag).
+    Scalar,
+}
 
 /// Result of executing a plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -15,25 +46,35 @@ pub struct ExecOutcome {
     pub rows: u64,
 }
 
-/// Intermediate result: tuples of row ids, one column per joined relation.
-struct Rows {
+/// Materialised result: tuples of row ids, one slot per joined relation.
+///
+/// Public so differential tests can compare full result sets (not just
+/// counts) across [`ExecMode`]s; see [`Executor::execute_rows`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSet {
     /// Relation index corresponding to each tuple slot.
-    rels: Vec<usize>,
+    pub rels: Vec<usize>,
     /// Flattened tuples; stride = `rels.len()`.
-    data: Vec<u32>,
+    pub data: Vec<u32>,
 }
 
-impl Rows {
+impl RowSet {
     fn stride(&self) -> usize {
         self.rels.len()
     }
 
-    fn len(&self) -> usize {
+    /// Number of result tuples.
+    pub fn len(&self) -> usize {
         if self.rels.is_empty() {
             0
         } else {
             self.data.len() / self.rels.len()
         }
+    }
+
+    /// True when the result holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     fn tuple(&self, i: usize) -> &[u32] {
@@ -49,10 +90,15 @@ impl Rows {
     }
 }
 
+/// Hoisted per-edge extra join-condition columns:
+/// `(outer tuple slot, outer column data, inner column data)`.
+type EdgeCols<'a> = Vec<(usize, &'a [i64], &'a [i64])>;
+
 /// Executes physical plans against a [`Database`].
 pub struct Executor<'a> {
     db: &'a Database,
     cost: CostModel,
+    mode: ExecMode,
 }
 
 struct WorkMeter {
@@ -64,18 +110,123 @@ impl WorkMeter {
     fn charge(&mut self, amount: f64) -> Result<()> {
         self.spent += amount;
         if self.spent > self.budget {
-            Err(FossError::Timeout { spent: self.spent as u64, budget: self.budget as u64 })
+            Err(FossError::Timeout {
+                spent: self.spent as u64,
+                budget: self.budget as u64,
+            })
         } else {
             Ok(())
         }
     }
 }
 
+/// Fill `sel` with the row ids in `start..end` passing `pred` over
+/// contiguous column data. The predicate variant is matched once, outside
+/// the loop, and rows are written branchlessly (unconditional store, the
+/// cursor advances by the predicate bit) so selectivity near 50% doesn't
+/// stall the pipeline on mispredictions.
+fn filter_chunk(pred: &Predicate, col: &[i64], start: usize, end: usize, sel: &mut Vec<u32>) {
+    sel.clear();
+    sel.resize(end - start, 0);
+    let out = &mut sel[..end - start];
+    let mut n = 0usize;
+    match *pred {
+        Predicate::Eq { value, .. } => {
+            for (off, &v) in col[start..end].iter().enumerate() {
+                out[n] = (start + off) as u32;
+                n += (v == value) as usize;
+            }
+        }
+        Predicate::Range { lo, hi, .. } => {
+            for (off, &v) in col[start..end].iter().enumerate() {
+                out[n] = (start + off) as u32;
+                n += (lo <= v && v <= hi) as usize;
+            }
+        }
+    }
+    sel.truncate(n);
+}
+
+/// Accumulates per-unit work (emitted tuples, fetched index rows) and
+/// charges the meter in [`CHUNK_SIZE`] quanta, so a join can overshoot its
+/// budget by at most ~one chunk of unmetered output while materialising
+/// matches. Both engines drive this with identical unit counts in identical
+/// order, keeping the floating-point charge sequence — and therefore the
+/// latency — bit-identical across [`ExecMode`]s.
+struct BatchCharge {
+    pending: usize,
+    unit: f64,
+}
+
+impl BatchCharge {
+    fn new(unit: f64) -> Self {
+        Self { pending: 0, unit }
+    }
+
+    /// Record `n` units, charging whenever a full chunk has accumulated.
+    #[inline]
+    fn add(&mut self, n: usize, meter: &mut WorkMeter) -> Result<()> {
+        self.pending += n;
+        if self.pending >= CHUNK_SIZE {
+            let pend = std::mem::take(&mut self.pending);
+            meter.charge(pend as f64 * self.unit)?;
+        }
+        Ok(())
+    }
+
+    /// Record one unit (an emitted tuple).
+    #[inline]
+    fn emitted(&mut self, meter: &mut WorkMeter) -> Result<()> {
+        self.add(1, meter)
+    }
+
+    /// Charge whatever remains below one chunk.
+    fn flush(&mut self, meter: &mut WorkMeter) -> Result<()> {
+        let pend = std::mem::take(&mut self.pending);
+        meter.charge(pend as f64 * self.unit)
+    }
+}
+
+/// Refine a selection vector in place by `pred` over `col`, with the same
+/// branchless compaction as [`filter_chunk`].
+fn refine_selection(pred: &Predicate, col: &[i64], sel: &mut Vec<u32>) {
+    let mut n = 0usize;
+    match *pred {
+        Predicate::Eq { value, .. } => {
+            for i in 0..sel.len() {
+                let r = sel[i];
+                sel[n] = r;
+                n += (col[r as usize] == value) as usize;
+            }
+        }
+        Predicate::Range { lo, hi, .. } => {
+            for i in 0..sel.len() {
+                let r = sel[i];
+                sel[n] = r;
+                let v = col[r as usize];
+                n += (lo <= v && v <= hi) as usize;
+            }
+        }
+    }
+    sel.truncate(n);
+}
+
 impl<'a> Executor<'a> {
-    /// Executor over `db`, charging with `cost`'s constants (pass the same
-    /// model the optimizer uses so the two live on one scale).
+    /// Chunked executor over `db`, charging with `cost`'s constants (pass the
+    /// same model the optimizer uses so the two live on one scale).
     pub fn new(db: &'a Database, cost: CostModel) -> Self {
-        Self { db, cost }
+        Self::with_mode(db, cost, ExecMode::default())
+    }
+
+    /// Executor with an explicit engine (`ExecMode::Scalar` keeps the
+    /// row-at-a-time reference path for differential testing).
+    pub fn with_mode(db: &'a Database, cost: CostModel, mode: ExecMode) -> Self {
+        Self { db, cost, mode }
+    }
+
+    /// The engine this executor dispatches to.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Execute `plan` for `query`.
@@ -89,20 +240,48 @@ impl<'a> Executor<'a> {
         plan: &PhysicalPlan,
         budget: Option<f64>,
     ) -> Result<ExecOutcome> {
-        let mut meter = WorkMeter { spent: 0.0, budget: budget.unwrap_or(f64::INFINITY) };
-        let rows = self.exec_node(query, &plan.root, &mut meter)?;
-        Ok(ExecOutcome { latency: meter.spent, rows: rows.len() as u64 })
+        self.execute_rows(query, plan, budget).map(|(out, _)| out)
     }
 
-    fn exec_node(&self, query: &Query, node: &PlanNode, meter: &mut WorkMeter) -> Result<Rows> {
+    /// Like [`Executor::execute`], but also returns the materialised result
+    /// tuples (used by differential tests comparing [`ExecMode`]s).
+    pub fn execute_rows(
+        &self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        budget: Option<f64>,
+    ) -> Result<(ExecOutcome, RowSet)> {
+        let mut meter = WorkMeter {
+            spent: 0.0,
+            budget: budget.unwrap_or(f64::INFINITY),
+        };
+        let rows = self.exec_node(query, &plan.root, &mut meter)?;
+        let outcome = ExecOutcome {
+            latency: meter.spent,
+            rows: rows.len() as u64,
+        };
+        Ok((outcome, rows))
+    }
+
+    fn exec_node(&self, query: &Query, node: &PlanNode, meter: &mut WorkMeter) -> Result<RowSet> {
         match node {
-            PlanNode::Scan { relation, access, .. } => {
-                let ids = self.exec_scan(query, *relation, access, meter)?;
-                let mut data = Vec::with_capacity(ids.len());
-                data.extend(ids);
-                Ok(Rows { rels: vec![*relation], data })
+            PlanNode::Scan {
+                relation, access, ..
+            } => {
+                let data = self.exec_scan(query, *relation, access, meter)?;
+                Ok(RowSet {
+                    rels: vec![*relation],
+                    data,
+                })
             }
-            PlanNode::Join { method, left, right, edges, index_nl, .. } => {
+            PlanNode::Join {
+                method,
+                left,
+                right,
+                edges,
+                index_nl,
+                ..
+            } => {
                 let outer = self.exec_node(query, left, meter)?;
                 if *index_nl {
                     let PlanNode::Scan { relation, .. } = **right else {
@@ -122,6 +301,16 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Backing column slice for `(rel, col)` — hoisted out of inner loops by
+    /// the chunked operators.
+    #[inline]
+    fn column_slice(&self, query: &Query, rel: usize, col: usize) -> &'a [i64] {
+        self.db
+            .table(query.relations[rel].table)
+            .column(col)
+            .values()
+    }
+
     fn exec_scan(
         &self,
         query: &Query,
@@ -135,24 +324,51 @@ impl<'a> Executor<'a> {
         let p = &self.cost.params;
         match access {
             AccessPath::SeqScan => {
-                meter.charge(
-                    table.row_count() as f64 * (p.cpu_tuple + p.pred_eval * preds.len() as f64),
-                )?;
+                let n = table.row_count();
+                meter.charge(n as f64 * (p.cpu_tuple + p.pred_eval * preds.len() as f64))?;
                 let mut out = Vec::new();
-                'rows: for row in 0..table.row_count() {
-                    for pr in preds {
-                        if !pr.matches(table.column(pr.column()).get(row)) {
-                            continue 'rows;
+                match self.mode {
+                    ExecMode::Scalar => {
+                        'rows: for row in 0..n {
+                            for pr in preds {
+                                if !pr.matches(table.column(pr.column()).get(row)) {
+                                    continue 'rows;
+                                }
+                            }
+                            out.push(row as u32);
                         }
                     }
-                    out.push(row as u32);
+                    ExecMode::Chunked => {
+                        let cols: Vec<&[i64]> = preds
+                            .iter()
+                            .map(|pr| table.column(pr.column()).values())
+                            .collect();
+                        let mut sel: Vec<u32> = Vec::with_capacity(CHUNK_SIZE);
+                        for start in (0..n).step_by(CHUNK_SIZE) {
+                            let end = (start + CHUNK_SIZE).min(n);
+                            if preds.is_empty() {
+                                out.extend(start as u32..end as u32);
+                                continue;
+                            }
+                            // First predicate streams the contiguous chunk;
+                            // the rest refine the selection vector.
+                            filter_chunk(&preds[0], cols[0], start, end, &mut sel);
+                            for (pr, col) in preds.iter().zip(&cols).skip(1) {
+                                refine_selection(pr, col, &mut sel);
+                            }
+                            out.extend_from_slice(&sel);
+                        }
+                    }
                 }
                 Ok(out)
             }
             AccessPath::IndexScan { column } => {
                 let driving = preds.iter().find(|pr| pr.column() == *column).copied();
-                let residual: Vec<Predicate> =
-                    preds.iter().filter(|pr| pr.column() != *column).copied().collect();
+                let residual: Vec<Predicate> = preds
+                    .iter()
+                    .filter(|pr| pr.column() != *column)
+                    .copied()
+                    .collect();
                 let n = table.row_count() as f64;
                 let mut matches: Vec<u32> = match driving {
                     Some(Predicate::Eq { value, .. }) => {
@@ -180,13 +396,30 @@ impl<'a> Executor<'a> {
                         (0..table.row_count() as u32).collect()
                     }
                 };
-                meter.charge(self.cost.index_scan(n, matches.len() as f64, residual.len()))?;
+                meter.charge(
+                    self.cost
+                        .index_scan(n, matches.len() as f64, residual.len()),
+                )?;
                 if !residual.is_empty() {
-                    matches.retain(|&row| {
-                        residual
-                            .iter()
-                            .all(|pr| pr.matches(table.column(pr.column()).get(row as usize)))
-                    });
+                    match self.mode {
+                        ExecMode::Scalar => {
+                            matches.retain(|&row| {
+                                residual.iter().all(|pr| {
+                                    pr.matches(table.column(pr.column()).get(row as usize))
+                                })
+                            });
+                        }
+                        ExecMode::Chunked => {
+                            // Predicate-at-a-time over the fetched row ids.
+                            for pr in &residual {
+                                refine_selection(
+                                    pr,
+                                    table.column(pr.column()).values(),
+                                    &mut matches,
+                                );
+                            }
+                        }
+                    }
                 }
                 matches.sort_unstable();
                 Ok(matches)
@@ -206,14 +439,19 @@ impl<'a> Executor<'a> {
     fn check_extra_edges(
         &self,
         query: &Query,
-        outer: &Rows,
+        outer: &RowSet,
         outer_tuple: &[u32],
         inner_rel: usize,
         inner_row: u32,
         edges: &[JoinEdge],
     ) -> bool {
         edges.iter().skip(1).all(|e| {
-            let lv = self.value(query, e.left, e.left_column, outer_tuple[outer.slot_of(e.left)]);
+            let lv = self.value(
+                query,
+                e.left,
+                e.left_column,
+                outer_tuple[outer.slot_of(e.left)],
+            );
             let rv = self.value(query, inner_rel, e.right_column, inner_row);
             lv == rv
         })
@@ -224,14 +462,36 @@ impl<'a> Executor<'a> {
         out.push(inner_row);
     }
 
+    /// Hoisted column slices for the non-key join conditions:
+    /// `(outer slot, outer column, inner column)` per extra edge.
+    fn extra_edge_columns(
+        &self,
+        query: &Query,
+        outer: &RowSet,
+        inner_rel: usize,
+        edges: &[JoinEdge],
+    ) -> EdgeCols<'a> {
+        edges
+            .iter()
+            .skip(1)
+            .map(|e| {
+                (
+                    outer.slot_of(e.left),
+                    self.column_slice(query, e.left, e.left_column),
+                    self.column_slice(query, inner_rel, e.right_column),
+                )
+            })
+            .collect()
+    }
+
     fn hash_join(
         &self,
         query: &Query,
-        outer: Rows,
-        inner: Rows,
+        outer: RowSet,
+        inner: RowSet,
         edges: &[JoinEdge],
         meter: &mut WorkMeter,
-    ) -> Result<Rows> {
+    ) -> Result<RowSet> {
         let p = self.cost.params;
         let inner_rel = inner.rels[0];
         if edges.is_empty() {
@@ -241,42 +501,106 @@ impl<'a> Executor<'a> {
         // Build on inner.
         meter.charge(inner.len() as f64 * p.hash_build)?;
         let mut table: foss_common::FxHashMap<i64, Vec<u32>> = foss_common::FxHashMap::default();
-        for i in 0..inner.len() {
-            let row = inner.data[i];
-            table
-                .entry(self.value(query, inner_rel, key.right_column, row))
-                .or_default()
-                .push(row);
+        match self.mode {
+            ExecMode::Scalar => {
+                for &row in &inner.data {
+                    table
+                        .entry(self.value(query, inner_rel, key.right_column, row))
+                        .or_default()
+                        .push(row);
+                }
+            }
+            ExecMode::Chunked => {
+                // Gather the build keys through one hoisted column slice.
+                let icol = self.column_slice(query, inner_rel, key.right_column);
+                for &row in &inner.data {
+                    table.entry(icol[row as usize]).or_default().push(row);
+                }
+            }
         }
-        // Probe with outer.
+        // Probe with outer, one chunk of tuples at a time; output charges
+        // accumulate in chunk quanta so runaway fan-out hits the budget
+        // mid-chunk instead of after a whole chunk has materialised.
         let mut out = Vec::new();
+        let mut emits = BatchCharge::new(p.output_tuple);
+        let stride = outer.stride();
         let lslot = outer.slot_of(key.left);
-        for i in 0..outer.len() {
-            meter.charge(p.hash_probe)?;
-            let t = outer.tuple(i);
-            let lv = self.value(query, key.left, key.left_column, t[lslot]);
-            if let Some(cands) = table.get(&lv) {
-                for &row in cands {
-                    if self.check_extra_edges(query, &outer, t, inner_rel, row, edges) {
-                        meter.charge(p.output_tuple)?;
-                        Self::emit(&mut out, t, row);
+        let n = outer.len();
+        match self.mode {
+            ExecMode::Scalar => {
+                for start in (0..n).step_by(CHUNK_SIZE) {
+                    let end = (start + CHUNK_SIZE).min(n);
+                    meter.charge((end - start) as f64 * p.hash_probe)?;
+                    for i in start..end {
+                        let t = outer.tuple(i);
+                        let lv = self.value(query, key.left, key.left_column, t[lslot]);
+                        if let Some(cands) = table.get(&lv) {
+                            for &row in cands {
+                                if self.check_extra_edges(query, &outer, t, inner_rel, row, edges) {
+                                    Self::emit(&mut out, t, row);
+                                    emits.emitted(meter)?;
+                                }
+                            }
+                        }
                     }
+                    emits.flush(meter)?;
+                }
+            }
+            ExecMode::Chunked => {
+                let lcol = self.column_slice(query, key.left, key.left_column);
+                let extra = self.extra_edge_columns(query, &outer, inner_rel, edges);
+                let mut keys: Vec<i64> = Vec::with_capacity(CHUNK_SIZE);
+                for start in (0..n).step_by(CHUNK_SIZE) {
+                    let end = (start + CHUNK_SIZE).min(n);
+                    meter.charge((end - start) as f64 * p.hash_probe)?;
+                    // Columnar gather of the probe keys for this chunk.
+                    keys.clear();
+                    keys.extend(
+                        outer.data[start * stride..end * stride]
+                            .iter()
+                            .skip(lslot)
+                            .step_by(stride)
+                            .map(|&r| lcol[r as usize]),
+                    );
+                    for (off, lv) in keys.iter().enumerate() {
+                        let Some(cands) = table.get(lv) else { continue };
+                        let i = start + off;
+                        let t = &outer.data[i * stride..(i + 1) * stride];
+                        if extra.is_empty() {
+                            // Pure projection: bulk-copy each match.
+                            for &row in cands {
+                                Self::emit(&mut out, t, row);
+                                emits.emitted(meter)?;
+                            }
+                        } else {
+                            for &row in cands {
+                                if extra
+                                    .iter()
+                                    .all(|&(slot, lc, rc)| lc[t[slot] as usize] == rc[row as usize])
+                                {
+                                    Self::emit(&mut out, t, row);
+                                    emits.emitted(meter)?;
+                                }
+                            }
+                        }
+                    }
+                    emits.flush(meter)?;
                 }
             }
         }
         let mut rels = outer.rels;
         rels.push(inner_rel);
-        Ok(Rows { rels, data: out })
+        Ok(RowSet { rels, data: out })
     }
 
     fn merge_join(
         &self,
         query: &Query,
-        outer: Rows,
-        inner: Rows,
+        outer: RowSet,
+        inner: RowSet,
         edges: &[JoinEdge],
         meter: &mut WorkMeter,
-    ) -> Result<Rows> {
+    ) -> Result<RowSet> {
         let p = self.cost.params;
         let inner_rel = inner.rels[0];
         if edges.is_empty() {
@@ -284,21 +608,63 @@ impl<'a> Executor<'a> {
         }
         let key = edges[0];
         meter.charge(self.cost.sort(outer.len() as f64) + self.cost.sort(inner.len() as f64))?;
+        let stride = outer.stride();
         let lslot = outer.slot_of(key.left);
-        // Sort outer tuple indexes and inner rows by key value.
+        // Sort outer tuple indexes and inner rows by (key value, position):
+        // the positional tie-break keeps equal-key orders identical across
+        // engines (unstable sorts would otherwise be free to differ).
         let mut oidx: Vec<usize> = (0..outer.len()).collect();
-        oidx.sort_unstable_by_key(|&i| {
-            self.value(query, key.left, key.left_column, outer.tuple(i)[lslot])
-        });
         let mut irows: Vec<u32> = inner.data.clone();
-        irows.sort_unstable_by_key(|&row| self.value(query, inner_rel, key.right_column, row));
+        let (okeys, ikeys): (Vec<i64>, Vec<i64>) = match self.mode {
+            ExecMode::Scalar => {
+                oidx.sort_unstable_by_key(|&i| {
+                    (
+                        self.value(query, key.left, key.left_column, outer.tuple(i)[lslot]),
+                        i,
+                    )
+                });
+                irows.sort_unstable_by_key(|&row| {
+                    (self.value(query, inner_rel, key.right_column, row), row)
+                });
+                (
+                    oidx.iter()
+                        .map(|&i| {
+                            self.value(query, key.left, key.left_column, outer.tuple(i)[lslot])
+                        })
+                        .collect(),
+                    irows
+                        .iter()
+                        .map(|&row| self.value(query, inner_rel, key.right_column, row))
+                        .collect(),
+                )
+            }
+            ExecMode::Chunked => {
+                // Gather each side's keys once, sort ids by (key, position),
+                // then realign the gathered keys with the sorted order.
+                let lcol = self.column_slice(query, key.left, key.left_column);
+                let icol = self.column_slice(query, inner_rel, key.right_column);
+                oidx.sort_unstable_by_key(|&i| (lcol[outer.data[i * stride + lslot] as usize], i));
+                irows.sort_unstable_by_key(|&row| (icol[row as usize], row));
+                (
+                    oidx.iter()
+                        .map(|&i| lcol[outer.data[i * stride + lslot] as usize])
+                        .collect(),
+                    irows.iter().map(|&row| icol[row as usize]).collect(),
+                )
+            }
+        };
 
         meter.charge((outer.len() + inner.len()) as f64 * p.merge_step)?;
+        let extra = match self.mode {
+            ExecMode::Scalar => Vec::new(),
+            ExecMode::Chunked => self.extra_edge_columns(query, &outer, inner_rel, edges),
+        };
         let mut out = Vec::new();
+        let mut emits = BatchCharge::new(p.output_tuple);
         let (mut i, mut j) = (0usize, 0usize);
         while i < oidx.len() && j < irows.len() {
-            let ov = self.value(query, key.left, key.left_column, outer.tuple(oidx[i])[lslot]);
-            let iv = self.value(query, inner_rel, key.right_column, irows[j]);
+            let ov = okeys[i];
+            let iv = ikeys[j];
             if ov < iv {
                 i += 1;
             } else if ov > iv {
@@ -307,20 +673,23 @@ impl<'a> Executor<'a> {
                 // Equal group: emit the cartesian product of the group.
                 let jstart = j;
                 let mut jend = j;
-                while jend < irows.len()
-                    && self.value(query, inner_rel, key.right_column, irows[jend]) == ov
-                {
+                while jend < irows.len() && ikeys[jend] == ov {
                     jend += 1;
                 }
-                while i < oidx.len()
-                    && self.value(query, key.left, key.left_column, outer.tuple(oidx[i])[lslot])
-                        == ov
-                {
+                while i < oidx.len() && okeys[i] == ov {
                     let t = outer.tuple(oidx[i]);
                     for &row in &irows[jstart..jend] {
-                        if self.check_extra_edges(query, &outer, t, inner_rel, row, edges) {
-                            meter.charge(p.output_tuple)?;
+                        let matched = match self.mode {
+                            ExecMode::Scalar => {
+                                self.check_extra_edges(query, &outer, t, inner_rel, row, edges)
+                            }
+                            ExecMode::Chunked => extra
+                                .iter()
+                                .all(|&(slot, lc, rc)| lc[t[slot] as usize] == rc[row as usize]),
+                        };
+                        if matched {
                             Self::emit(&mut out, t, row);
+                            emits.emitted(meter)?;
                         }
                     }
                     i += 1;
@@ -328,52 +697,125 @@ impl<'a> Executor<'a> {
                 j = jend;
             }
         }
+        emits.flush(meter)?;
         let mut rels = outer.rels;
         rels.push(inner_rel);
-        Ok(Rows { rels, data: out })
+        Ok(RowSet { rels, data: out })
     }
 
     fn nl_join(
         &self,
         query: &Query,
-        outer: Rows,
-        inner: Rows,
+        outer: RowSet,
+        inner: RowSet,
         edges: &[JoinEdge],
         meter: &mut WorkMeter,
-    ) -> Result<Rows> {
+    ) -> Result<RowSet> {
         let p = self.cost.params;
         let inner_rel = inner.rels[0];
+        let stride = outer.stride();
+        let n = outer.len();
         let mut out = Vec::new();
-        for i in 0..outer.len() {
-            // Charge a whole inner pass per outer row so catastrophic loops
-            // hit the budget after the first few rows.
-            meter.charge(inner.len() as f64 * p.nl_pair)?;
-            let t = outer.tuple(i);
-            'inner: for &row in &inner.data {
-                for e in edges {
-                    let lv = self.value(query, e.left, e.left_column, t[outer.slot_of(e.left)]);
-                    let rv = self.value(query, inner_rel, e.right_column, row);
-                    if lv != rv {
-                        continue 'inner;
+        // Chunked engine: per-edge hoisted outer columns plus inner key
+        // values gathered once, aligned with `inner.data`.
+        type NlHoisted<'c> = (Vec<(usize, &'c [i64])>, Vec<Vec<i64>>);
+        let hoisted: Option<NlHoisted<'_>> = match self.mode {
+            ExecMode::Scalar => None,
+            ExecMode::Chunked => {
+                let lcols: Vec<(usize, &[i64])> = edges
+                    .iter()
+                    .map(|e| {
+                        (
+                            outer.slot_of(e.left),
+                            self.column_slice(query, e.left, e.left_column),
+                        )
+                    })
+                    .collect();
+                let ivals: Vec<Vec<i64>> = edges
+                    .iter()
+                    .map(|e| {
+                        let icol = self.column_slice(query, inner_rel, e.right_column);
+                        inner.data.iter().map(|&row| icol[row as usize]).collect()
+                    })
+                    .collect();
+                Some((lcols, ivals))
+            }
+        };
+        let mut emits = BatchCharge::new(p.output_tuple);
+        for start in (0..n).step_by(CHUNK_SIZE) {
+            let end = (start + CHUNK_SIZE).min(n);
+            // Charge a whole inner pass per chunk of outer rows so
+            // catastrophic loops hit the budget after the first chunk.
+            meter.charge((end - start) as f64 * inner.len() as f64 * p.nl_pair)?;
+            match &hoisted {
+                None => {
+                    for i in start..end {
+                        let t = outer.tuple(i);
+                        'inner: for &row in &inner.data {
+                            for e in edges {
+                                let lv = self.value(
+                                    query,
+                                    e.left,
+                                    e.left_column,
+                                    t[outer.slot_of(e.left)],
+                                );
+                                let rv = self.value(query, inner_rel, e.right_column, row);
+                                if lv != rv {
+                                    continue 'inner;
+                                }
+                            }
+                            Self::emit(&mut out, t, row);
+                            emits.emitted(meter)?;
+                        }
                     }
                 }
-                meter.charge(p.output_tuple)?;
-                Self::emit(&mut out, t, row);
+                Some((lcols, ivals)) => {
+                    for i in start..end {
+                        let t = &outer.data[i * stride..(i + 1) * stride];
+                        match &ivals[..] {
+                            // Single equi-join edge: stream the gathered
+                            // inner keys (the common case).
+                            [only] => {
+                                let (slot, lcol) = lcols[0];
+                                let lv = lcol[t[slot] as usize];
+                                for (j, &rv) in only.iter().enumerate() {
+                                    if rv == lv {
+                                        Self::emit(&mut out, t, inner.data[j]);
+                                        emits.emitted(meter)?;
+                                    }
+                                }
+                            }
+                            _ => {
+                                let lvs: Vec<i64> = lcols
+                                    .iter()
+                                    .map(|&(slot, lc)| lc[t[slot] as usize])
+                                    .collect();
+                                for (j, &row) in inner.data.iter().enumerate() {
+                                    if ivals.iter().zip(&lvs).all(|(iv, &lv)| iv[j] == lv) {
+                                        Self::emit(&mut out, t, row);
+                                        emits.emitted(meter)?;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
             }
+            emits.flush(meter)?;
         }
         let mut rels = outer.rels;
         rels.push(inner_rel);
-        Ok(Rows { rels, data: out })
+        Ok(RowSet { rels, data: out })
     }
 
     fn index_nl_join(
         &self,
         query: &Query,
-        outer: Rows,
+        outer: RowSet,
         inner_rel: usize,
         edges: &[JoinEdge],
         meter: &mut WorkMeter,
-    ) -> Result<Rows> {
+    ) -> Result<RowSet> {
         let p = self.cost.params;
         let key = *edges.first().ok_or_else(|| {
             FossError::InvalidPlan("index nested loop requires a join edge".into())
@@ -388,47 +830,105 @@ impl<'a> Executor<'a> {
         })?;
         let descent = p.index_probe + 0.3 * (table.row_count() as f64).max(2.0).log2();
         let preds = &relation.predicates;
+        let stride = outer.stride();
         let lslot = outer.slot_of(key.left);
+        let n = outer.len();
         let mut out = Vec::new();
-        for i in 0..outer.len() {
-            meter.charge(descent)?;
-            let t = outer.tuple(i);
-            let lv = self.value(query, key.left, key.left_column, t[lslot]);
-            let fetched = index.lookup(lv);
-            meter.charge(fetched.len() as f64 * (p.index_fetch + p.pred_eval * preds.len() as f64))?;
-            'fetch: for &row in fetched {
-                for pr in preds {
-                    if !pr.matches(table.column(pr.column()).get(row as usize)) {
-                        continue 'fetch;
+        type InlHoisted<'c> = (&'c [i64], Vec<&'c [i64]>, EdgeCols<'c>);
+        let hoisted: Option<InlHoisted<'_>> = match self.mode {
+            ExecMode::Scalar => None,
+            ExecMode::Chunked => Some((
+                self.column_slice(query, key.left, key.left_column),
+                preds
+                    .iter()
+                    .map(|pr| table.column(pr.column()).values())
+                    .collect(),
+                self.extra_edge_columns(query, &outer, inner_rel, edges),
+            )),
+        };
+        // Fetched index rows and emitted tuples both accrue in chunk quanta:
+        // a hot probe key with huge fan-out runs into the budget mid-chunk.
+        let mut fetches = BatchCharge::new(p.index_fetch + p.pred_eval * preds.len() as f64);
+        let mut emits = BatchCharge::new(p.output_tuple);
+        for start in (0..n).step_by(CHUNK_SIZE) {
+            let end = (start + CHUNK_SIZE).min(n);
+            meter.charge((end - start) as f64 * descent)?;
+            match &hoisted {
+                None => {
+                    for i in start..end {
+                        let t = outer.tuple(i);
+                        let lv = self.value(query, key.left, key.left_column, t[lslot]);
+                        let fetched = index.lookup(lv);
+                        fetches.add(fetched.len(), meter)?;
+                        'fetch: for &row in fetched {
+                            for pr in preds {
+                                if !pr.matches(table.column(pr.column()).get(row as usize)) {
+                                    continue 'fetch;
+                                }
+                            }
+                            if !self.check_extra_edges(query, &outer, t, inner_rel, row, edges) {
+                                continue;
+                            }
+                            Self::emit(&mut out, t, row);
+                            emits.emitted(meter)?;
+                        }
                     }
                 }
-                if !self.check_extra_edges(query, &outer, t, inner_rel, row, edges) {
-                    continue;
+                Some((lcol, pcols, extra)) => {
+                    for i in start..end {
+                        let t = &outer.data[i * stride..(i + 1) * stride];
+                        let lv = lcol[t[lslot] as usize];
+                        let fetched = index.lookup(lv);
+                        fetches.add(fetched.len(), meter)?;
+                        'cfetch: for &row in fetched {
+                            for (pr, col) in preds.iter().zip(pcols) {
+                                if !pr.matches(col[row as usize]) {
+                                    continue 'cfetch;
+                                }
+                            }
+                            if !extra
+                                .iter()
+                                .all(|&(slot, lc, rc)| lc[t[slot] as usize] == rc[row as usize])
+                            {
+                                continue;
+                            }
+                            Self::emit(&mut out, t, row);
+                            emits.emitted(meter)?;
+                        }
+                    }
                 }
-                meter.charge(p.output_tuple)?;
-                Self::emit(&mut out, t, row);
             }
+            fetches.flush(meter)?;
+            emits.flush(meter)?;
         }
         let mut rels = outer.rels;
         rels.push(inner_rel);
-        Ok(Rows { rels, data: out })
+        Ok(RowSet { rels, data: out })
     }
 
-    fn cross_join(&self, outer: Rows, inner: Rows, meter: &mut WorkMeter) -> Result<Rows> {
+    fn cross_join(&self, outer: RowSet, inner: RowSet, meter: &mut WorkMeter) -> Result<RowSet> {
         let p = self.cost.params;
         let inner_rel = inner.rels[0];
+        let n = outer.len();
         let mut out = Vec::new();
-        for i in 0..outer.len() {
-            meter.charge(inner.len() as f64 * p.nl_pair)?;
-            let t = outer.tuple(i);
-            for &row in &inner.data {
-                meter.charge(p.output_tuple)?;
-                Self::emit(&mut out, t, row);
+        for start in (0..n).step_by(CHUNK_SIZE) {
+            let end = (start + CHUNK_SIZE).min(n);
+            let pairs = (end - start) as f64 * inner.len() as f64;
+            // A cross join's output size is known up front, so the whole
+            // chunk is charged *before* materialising anything: a
+            // catastrophic product aborts without allocating its tuples.
+            meter.charge(pairs * p.nl_pair)?;
+            meter.charge(pairs * p.output_tuple)?;
+            for i in start..end {
+                let t = outer.tuple(i);
+                for &row in &inner.data {
+                    Self::emit(&mut out, t, row);
+                }
             }
         }
         let mut rels = outer.rels;
         rels.push(inner_rel);
-        Ok(Rows { rels, data: out })
+        Ok(RowSet { rels, data: out })
     }
 }
 
@@ -445,6 +945,11 @@ mod tests {
     /// Two tables with a known join result for correctness checks:
     /// a has ids 0..10, b has 30 rows with fk = id % 10 → join = 30 rows.
     fn setup() -> (Database, TraditionalOptimizer, Query) {
+        setup_sized(10, 30)
+    }
+
+    /// Same shape at arbitrary sizes (large sizes span several chunks).
+    fn setup_sized(a_rows: i64, b_rows: i64) -> (Database, TraditionalOptimizer, Query) {
         let mut schema = Schema::new();
         schema
             .add_table(TableDef {
@@ -462,16 +967,22 @@ mod tests {
         let a = Table::new(
             "a",
             vec![
-                ("id".into(), Column::new((0..10).collect())),
-                ("v".into(), Column::new((0..10).map(|i| i % 3).collect())),
+                ("id".into(), Column::new((0..a_rows).collect())),
+                (
+                    "v".into(),
+                    Column::new((0..a_rows).map(|i| i % 3).collect()),
+                ),
             ],
         )
         .unwrap();
         let b = Table::new(
             "b",
             vec![
-                ("id".into(), Column::new((0..30).collect())),
-                ("a_id".into(), Column::new((0..30).map(|i| i % 10).collect())),
+                ("id".into(), Column::new((0..b_rows).collect())),
+                (
+                    "a_id".into(),
+                    Column::new((0..b_rows).map(|i| i % a_rows).collect()),
+                ),
             ],
         )
         .unwrap();
@@ -500,6 +1011,15 @@ mod tests {
     }
 
     #[test]
+    fn default_mode_is_chunked() {
+        let (db, opt, _) = setup();
+        let exec = Executor::new(&db, *opt.cost_model());
+        assert_eq!(exec.mode(), ExecMode::Chunked);
+        let scalar = Executor::with_mode(&db, *opt.cost_model(), ExecMode::Scalar);
+        assert_eq!(scalar.mode(), ExecMode::Scalar);
+    }
+
+    #[test]
     fn all_join_methods_agree_on_result_count() {
         let (db, opt, q) = setup();
         let exec = Executor::new(&db, *opt.cost_model());
@@ -513,6 +1033,59 @@ mod tests {
         }
     }
 
+    /// Every (order, method) plan variant produces identical outcomes and
+    /// identical result tuples (same rows, same order) in both engines.
+    #[test]
+    fn chunked_matches_scalar_on_all_plan_variants() {
+        // Sizes that exceed CHUNK_SIZE so chunk boundaries are exercised.
+        let (db, opt, q) = setup_sized(700, 3000);
+        let chunked = Executor::new(&db, *opt.cost_model());
+        let scalar = Executor::with_mode(&db, *opt.cost_model(), ExecMode::Scalar);
+        for order in [vec![0usize, 1], vec![1, 0]] {
+            for m in ALL_JOIN_METHODS {
+                let icp = Icp::new(order.clone(), vec![m]).unwrap();
+                let plan = opt.optimize_with_hint(&q, &icp).unwrap();
+                let (oc, rc) = chunked.execute_rows(&q, &plan, None).unwrap();
+                let (os, rs) = scalar.execute_rows(&q, &plan, None).unwrap();
+                assert_eq!(oc, os, "outcome diverged: order={order:?} method={m}");
+                assert_eq!(rc, rs, "tuples diverged: order={order:?} method={m}");
+                assert_eq!(oc.rows, 3000);
+            }
+        }
+    }
+
+    /// Timeouts report identical spent work in both engines.
+    #[test]
+    fn chunked_matches_scalar_on_timeout() {
+        let (db, opt, q) = setup_sized(700, 3000);
+        let chunked = Executor::new(&db, *opt.cost_model());
+        let scalar = Executor::with_mode(&db, *opt.cost_model(), ExecMode::Scalar);
+        let plan = opt.optimize(&q).unwrap();
+        let full = chunked.execute(&q, &plan, None).unwrap();
+        let ec = chunked
+            .execute(&q, &plan, Some(full.latency / 3.0))
+            .unwrap_err();
+        let es = scalar
+            .execute(&q, &plan, Some(full.latency / 3.0))
+            .unwrap_err();
+        match (ec, es) {
+            (
+                FossError::Timeout {
+                    spent: sc,
+                    budget: bc,
+                },
+                FossError::Timeout {
+                    spent: ss,
+                    budget: bs,
+                },
+            ) => {
+                assert_eq!(sc, ss);
+                assert_eq!(bc, bs);
+            }
+            other => panic!("expected twin timeouts, got {other:?}"),
+        }
+    }
+
     #[test]
     fn predicates_filter_results() {
         let (db, opt, q0) = setup();
@@ -521,7 +1094,13 @@ mod tests {
         let ra = qb.relation(schema.table_id("a").unwrap(), "a");
         let rb = qb.relation(schema.table_id("b").unwrap(), "b");
         qb.join(ra, 0, rb, 1);
-        qb.predicate(ra, Predicate::Eq { column: 1, value: 0 });
+        qb.predicate(
+            ra,
+            Predicate::Eq {
+                column: 1,
+                value: 0,
+            },
+        );
         let q = qb.build(&schema).unwrap();
         let plan = opt.optimize(&q).unwrap();
         let exec = Executor::new(&db, *opt.cost_model());
@@ -532,12 +1111,55 @@ mod tests {
     }
 
     #[test]
+    fn multi_predicate_scan_matches_scalar_across_chunks() {
+        let (db, opt, _) = setup_sized(5000, 16);
+        let schema = db.schema().clone();
+        let mut qb = QueryBuilder::new(QueryId::new(3), 1);
+        let ra = qb.relation(schema.table_id("a").unwrap(), "a");
+        qb.predicate(
+            ra,
+            Predicate::Range {
+                column: 0,
+                lo: 100,
+                hi: 4200,
+            },
+        );
+        qb.predicate(
+            ra,
+            Predicate::Eq {
+                column: 1,
+                value: 2,
+            },
+        );
+        let q = qb.build(&schema).unwrap();
+        // Force a sequential scan so the chunked filter path runs.
+        let plan = PhysicalPlan {
+            root: PlanNode::Scan {
+                relation: 0,
+                access: AccessPath::SeqScan,
+                est_rows: 0.0,
+                est_cost: 0.0,
+            },
+        };
+        let chunked = Executor::new(&db, *opt.cost_model());
+        let scalar = Executor::with_mode(&db, *opt.cost_model(), ExecMode::Scalar);
+        let (oc, rc) = chunked.execute_rows(&q, &plan, None).unwrap();
+        let (os, rs) = scalar.execute_rows(&q, &plan, None).unwrap();
+        assert_eq!(oc, os);
+        assert_eq!(rc, rs);
+        // ids 100..=4200 with id % 3 == 2 → 1367 rows.
+        assert_eq!(oc.rows, (100..=4200).filter(|i| i % 3 == 2).count() as u64);
+    }
+
+    #[test]
     fn timeout_aborts_execution() {
         let (db, opt, q) = setup();
         let plan = opt.optimize(&q).unwrap();
         let exec = Executor::new(&db, *opt.cost_model());
         let full = exec.execute(&q, &plan, None).unwrap();
-        let err = exec.execute(&q, &plan, Some(full.latency / 10.0)).unwrap_err();
+        let err = exec
+            .execute(&q, &plan, Some(full.latency / 10.0))
+            .unwrap_err();
         match err {
             FossError::Timeout { spent, budget } => {
                 assert!(spent >= budget);
@@ -563,10 +1185,12 @@ mod tests {
     fn execution_is_deterministic() {
         let (db, opt, q) = setup();
         let plan = opt.optimize(&q).unwrap();
-        let exec = Executor::new(&db, *opt.cost_model());
-        let a = exec.execute(&q, &plan, None).unwrap();
-        let b = exec.execute(&q, &plan, None).unwrap();
-        assert_eq!(a, b);
+        for mode in [ExecMode::Chunked, ExecMode::Scalar] {
+            let exec = Executor::with_mode(&db, *opt.cost_model(), mode);
+            let a = exec.execute(&q, &plan, None).unwrap();
+            let b = exec.execute(&q, &plan, None).unwrap();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]
@@ -575,7 +1199,14 @@ mod tests {
         let schema = db.schema().clone();
         let mut qb = QueryBuilder::new(QueryId::new(2), 1);
         let ra = qb.relation(schema.table_id("a").unwrap(), "a");
-        qb.predicate(ra, Predicate::Range { column: 0, lo: 2, hi: 5 });
+        qb.predicate(
+            ra,
+            Predicate::Range {
+                column: 0,
+                lo: 2,
+                hi: 5,
+            },
+        );
         let q = qb.build(&schema).unwrap();
         let plan = opt.optimize(&q).unwrap();
         let exec = Executor::new(&db, *opt.cost_model());

@@ -14,12 +14,18 @@
 //!
 //! A work-unit **budget** implements the paper's dynamic timeout (1.5× the
 //! original plan's latency): execution aborts with [`foss_common::FossError::Timeout`]
-//! once the budget is exceeded, mid-operator if necessary.
+//! once the budget is exceeded, mid-operator (at chunk granularity) if
+//! necessary.
+//!
+//! Operators come in two engines selected by [`ExecMode`]: the default
+//! chunk-at-a-time engine ([`CHUNK_SIZE`]-row column chunks with selection
+//! vectors) and the scalar row-at-a-time reference kept for differential
+//! testing. Both charge identical work units and produce identical tuples.
 
 pub mod cache;
 pub mod database;
 pub mod exec;
 
-pub use cache::CachingExecutor;
+pub use cache::{CachingExecutor, EvictionPolicy};
 pub use database::Database;
-pub use exec::{ExecOutcome, Executor};
+pub use exec::{ExecMode, ExecOutcome, Executor, RowSet, CHUNK_SIZE};

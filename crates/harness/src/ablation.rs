@@ -11,12 +11,34 @@ use crate::{evaluate_on, Experiment, FossAdapter};
 
 /// The paper's eight configurations (Table II).
 pub fn configurations(base_episodes: usize, seed: u64) -> Vec<(String, FossConfig)> {
-    let base = FossConfig { episodes_per_update: base_episodes, seed, ..FossConfig::tiny() };
+    let base = FossConfig {
+        episodes_per_update: base_episodes,
+        seed,
+        ..FossConfig::tiny()
+    };
     vec![
-        ("2-Maxsteps".into(), FossConfig { max_steps: 2, ..base.clone() }),
+        (
+            "2-Maxsteps".into(),
+            FossConfig {
+                max_steps: 2,
+                ..base.clone()
+            },
+        ),
         ("3-Maxsteps (FOSS)".into(), base.clone()),
-        ("4-Maxsteps".into(), FossConfig { max_steps: 4, ..base.clone() }),
-        ("5-Maxsteps".into(), FossConfig { max_steps: 5, ..base.clone() }),
+        (
+            "4-Maxsteps".into(),
+            FossConfig {
+                max_steps: 4,
+                ..base.clone()
+            },
+        ),
+        (
+            "5-Maxsteps".into(),
+            FossConfig {
+                max_steps: 5,
+                ..base.clone()
+            },
+        ),
         (
             "Off-Simulated".into(),
             FossConfig {
@@ -27,9 +49,27 @@ pub fn configurations(base_episodes: usize, seed: u64) -> Vec<(String, FossConfi
                 ..base.clone()
             },
         ),
-        ("Off-Penalty".into(), FossConfig { penalty_gamma: 0.0, ..base.clone() }),
-        ("Off-Validation".into(), FossConfig { validate_promising: false, ..base.clone() }),
-        ("2-Agents".into(), FossConfig { num_agents: 2, ..base }),
+        (
+            "Off-Penalty".into(),
+            FossConfig {
+                penalty_gamma: 0.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "Off-Validation".into(),
+            FossConfig {
+                validate_promising: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "2-Agents".into(),
+            FossConfig {
+                num_agents: 2,
+                ..base
+            },
+        ),
     ]
 }
 
@@ -53,7 +93,7 @@ pub struct AblationRow {
 
 /// Run every configuration on `workload`.
 pub fn run(workload: &str, cfg: &RunConfig) -> Result<Vec<AblationRow>> {
-    let exp = Experiment::new(workload, cfg.spec)?;
+    let exp = Experiment::with_exec_mode(workload, cfg.spec, cfg.exec_mode)?;
     let train = exp.workload.train.clone();
     let all = exp.workload.all_queries();
     let mut rows = Vec::new();
@@ -75,8 +115,8 @@ pub fn run(workload: &str, cfg: &RunConfig) -> Result<Vec<AblationRow>> {
             let inf = adapter.foss.optimize_detailed(q)?;
             step_histogram[inf.selected_step.min(max_steps)] += 1;
         }
-        let opt_time_us = eval.opt_times_us.iter().sum::<f64>()
-            / eval.opt_times_us.len().max(1) as f64;
+        let opt_time_us =
+            eval.opt_times_us.iter().sum::<f64>() / eval.opt_times_us.len().max(1) as f64;
         rows.push(AblationRow {
             name,
             training_time_s,

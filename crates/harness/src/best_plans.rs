@@ -2,7 +2,7 @@
 //! ever produced per query across several runs, ranked by time savings
 //! relative to the expert plan (`1 − lat_best / lat_expert`).
 
-use foss_baselines::{Bao, BalsaLite, HybridQo, LearnedOptimizer, LogerLite};
+use foss_baselines::{BalsaLite, Bao, HybridQo, LearnedOptimizer, LogerLite};
 use foss_common::{FossError, Result};
 use foss_core::FossConfig;
 
@@ -31,7 +31,7 @@ impl SavingsSeries {
 /// Run each method `runs` times with different seeds; keep the best latency
 /// observed per query.
 pub fn run(workload: &str, cfg: &RunConfig, runs: usize) -> Result<Vec<SavingsSeries>> {
-    let exp = Experiment::new(workload, cfg.spec)?;
+    let exp = Experiment::with_exec_mode(workload, cfg.spec, cfg.exec_mode)?;
     let queries = exp.workload.all_queries();
     let train = exp.workload.train.clone();
     let encoder = exp.encoder();
@@ -47,15 +47,24 @@ pub fn run(workload: &str, cfg: &RunConfig, runs: usize) -> Result<Vec<SavingsSe
             let seed = cfg.spec.seed ^ ((run_idx as u64 + 1) << 8);
             let mut method: Box<dyn LearnedOptimizer> = match name {
                 "Bao" => Box::new(Bao::new(opt.clone(), exec.clone(), encoder.clone(), seed)),
-                "Balsa" => {
-                    Box::new(BalsaLite::new(opt.clone(), exec.clone(), encoder.clone(), seed))
-                }
-                "Loger" => {
-                    Box::new(LogerLite::new(opt.clone(), exec.clone(), encoder.clone(), seed))
-                }
-                "HybridQO" => {
-                    Box::new(HybridQo::new(opt.clone(), exec.clone(), encoder.clone(), seed))
-                }
+                "Balsa" => Box::new(BalsaLite::new(
+                    opt.clone(),
+                    exec.clone(),
+                    encoder.clone(),
+                    seed,
+                )),
+                "Loger" => Box::new(LogerLite::new(
+                    opt.clone(),
+                    exec.clone(),
+                    encoder.clone(),
+                    seed,
+                )),
+                "HybridQO" => Box::new(HybridQo::new(
+                    opt.clone(),
+                    exec.clone(),
+                    encoder.clone(),
+                    seed,
+                )),
                 "FOSS" => {
                     let foss_cfg = FossConfig {
                         episodes_per_update: cfg.foss_episodes,
@@ -91,7 +100,10 @@ pub fn run(workload: &str, cfg: &RunConfig, runs: usize) -> Result<Vec<SavingsSe
             .map(|(b, e)| 1.0 - b / e.max(1e-9))
             .collect();
         savings.sort_by(|a, b| b.total_cmp(a));
-        all.push(SavingsSeries { method: name.to_string(), savings });
+        all.push(SavingsSeries {
+            method: name.to_string(),
+            savings,
+        });
     }
     Ok(all)
 }
@@ -100,8 +112,12 @@ pub fn run(workload: &str, cfg: &RunConfig, runs: usize) -> Result<Vec<SavingsSe
 pub fn render(workload: &str, series: &[SavingsSeries]) -> String {
     let mut out = format!("Fig.8 — known-best-plan time savings ranking on {workload}\n");
     for s in series {
-        let head: Vec<String> =
-            s.savings.iter().take(8).map(|v| format!("{:+.2}", v)).collect();
+        let head: Vec<String> = s
+            .savings
+            .iter()
+            .take(8)
+            .map(|v| format!("{:+.2}", v))
+            .collect();
         out.push_str(&format!(
             "{:<10} ≥25%: {:>3} queries  ≥75%: {:>3} queries  top: [{}]\n",
             s.method,

@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use foss_baselines::{Bao, BalsaLite, HybridQo, LearnedOptimizer, LogerLite};
+use foss_baselines::{BalsaLite, Bao, HybridQo, LearnedOptimizer, LogerLite};
 use foss_common::Result;
 use foss_core::FossConfig;
 
@@ -31,7 +31,7 @@ pub struct Curve {
 /// Train every learned method for `rounds`, snapshotting test speedup after
 /// each round.
 pub fn run(workload: &str, cfg: &RunConfig, rounds: usize) -> Result<Vec<Curve>> {
-    let exp = Experiment::new(workload, cfg.spec)?;
+    let exp = Experiment::with_exec_mode(workload, cfg.spec, cfg.exec_mode)?;
     let train = exp.workload.train.clone();
     let test = exp.workload.test.clone();
     let encoder = exp.encoder();
@@ -39,13 +39,36 @@ pub fn run(workload: &str, cfg: &RunConfig, rounds: usize) -> Result<Vec<Curve>>
     let exec = exp.executor.clone();
     let seed = cfg.spec.seed;
 
-    let foss_cfg =
-        FossConfig { episodes_per_update: cfg.foss_episodes, seed, ..FossConfig::tiny() };
+    let foss_cfg = FossConfig {
+        episodes_per_update: cfg.foss_episodes,
+        seed,
+        ..FossConfig::tiny()
+    };
     let mut methods: Vec<Box<dyn LearnedOptimizer>> = vec![
-        Box::new(Bao::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 1)),
-        Box::new(BalsaLite::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 2)),
-        Box::new(LogerLite::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 3)),
-        Box::new(HybridQo::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 4)),
+        Box::new(Bao::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 1,
+        )),
+        Box::new(BalsaLite::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 2,
+        )),
+        Box::new(LogerLite::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 3,
+        )),
+        Box::new(HybridQo::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 4,
+        )),
         Box::new(FossAdapter::new(exp.foss(foss_cfg))),
     ];
 
@@ -59,9 +82,15 @@ pub fn run(workload: &str, cfg: &RunConfig, rounds: usize) -> Result<Vec<Curve>>
             train_time += t0.elapsed().as_secs_f64();
             let eval = evaluate_on(&exp, method.as_mut(), &test)?;
             // Speedup on totals = 1 / WRL.
-            points.push(CurvePoint { train_time_s: train_time, test_speedup: 1.0 / eval.wrl });
+            points.push(CurvePoint {
+                train_time_s: train_time,
+                test_speedup: 1.0 / eval.wrl,
+            });
         }
-        curves.push(Curve { method: method.name().to_string(), points });
+        curves.push(Curve {
+            method: method.name().to_string(),
+            points,
+        });
     }
     Ok(curves)
 }
@@ -72,7 +101,10 @@ pub fn render(workload: &str, curves: &[Curve]) -> String {
     for c in curves {
         out.push_str(&format!("{:<10}", c.method));
         for p in &c.points {
-            out.push_str(&format!("  t={:>6.1}s → {:>5.2}x", p.train_time_s, p.test_speedup));
+            out.push_str(&format!(
+                "  t={:>6.1}s → {:>5.2}x",
+                p.train_time_s, p.test_speedup
+            ));
         }
         out.push('\n');
     }

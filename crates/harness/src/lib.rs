@@ -7,7 +7,7 @@
 //! | Fig. 4 (relative speedups) | derived from Table I | `fig4` |
 //! | Fig. 5 (training curves) | [`curves::run`] | `fig5` |
 //! | Fig. 6 (optimisation-time box plots) | [`opt_time::run`] | `fig6` |
-//! | Fig. 7 (step distribution vs maxsteps) | [`ablation::step_distribution`] | `fig7` |
+//! | Fig. 7 (step distribution vs maxsteps) | [`ablation::render_fig7`] | `fig7` |
 //! | Fig. 8 (known-best-plan savings ranking) | [`best_plans::run`] | `fig8` |
 //! | Fig. 9 (GMRL curves per configuration) | [`ablation::run`] | `fig9` |
 //! | Table II (design-choice ablations) | [`ablation::run`] | `table2` |
@@ -49,17 +49,30 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    /// Materialise a benchmark by name (`joblite`, `tpcdslite`, `stacklite`).
+    /// Materialise a benchmark by name (`joblite`, `tpcdslite`, `stacklite`)
+    /// over the default chunk-at-a-time executor.
     pub fn new(name: &str, spec: WorkloadSpec) -> Result<Self> {
+        Self::with_exec_mode(name, spec, foss_executor::ExecMode::default())
+    }
+
+    /// Like [`Experiment::new`] with an explicit executor engine, so every
+    /// table/figure runner can be replayed against the scalar reference
+    /// (`FOSS_EXEC=scalar` in the `foss-bench` binaries).
+    pub fn with_exec_mode(
+        name: &str,
+        spec: WorkloadSpec,
+        mode: foss_executor::ExecMode,
+    ) -> Result<Self> {
         let workload = match name {
             "joblite" => foss_workloads::joblite::build(spec)?,
             "tpcdslite" => foss_workloads::tpcdslite::build(spec)?,
             "stacklite" => foss_workloads::stacklite::build(spec)?,
             other => return Err(FossError::UnknownName(format!("workload {other}"))),
         };
-        let executor = Arc::new(CachingExecutor::new(
+        let executor = Arc::new(CachingExecutor::with_mode(
             workload.db.clone(),
             *workload.optimizer.cost_model(),
+            mode,
         ));
         Ok(Self { workload, executor })
     }
@@ -221,7 +234,10 @@ mod tests {
     #[test]
     fn foss_adapter_trains_and_plans() {
         let exp = Experiment::new("tpcdslite", WorkloadSpec::tiny(5)).unwrap();
-        let cfg = FossConfig { episodes_per_update: 4, ..FossConfig::tiny() };
+        let cfg = FossConfig {
+            episodes_per_update: 4,
+            ..FossConfig::tiny()
+        };
         let mut foss = FossAdapter::new(exp.foss(cfg));
         let queries: Vec<_> = exp.workload.train.iter().take(3).cloned().collect();
         foss.train_round(&queries).unwrap(); // bootstrap

@@ -1,7 +1,7 @@
 //! Fig. 6 — optimisation-time distribution (box plots) on the JOB workload:
 //! time from query input to execution-plan output, per method.
 
-use foss_baselines::{Bao, BalsaLite, HybridQo, LearnedOptimizer, LogerLite, PostgresBaseline};
+use foss_baselines::{BalsaLite, Bao, HybridQo, LearnedOptimizer, LogerLite, PostgresBaseline};
 use foss_common::Result;
 use foss_core::FossConfig;
 
@@ -27,22 +27,45 @@ pub struct OptTimeBox {
 
 /// Measure optimisation times on the full workload for every method.
 pub fn run(workload: &str, cfg: &RunConfig) -> Result<Vec<OptTimeBox>> {
-    let exp = Experiment::new(workload, cfg.spec)?;
+    let exp = Experiment::with_exec_mode(workload, cfg.spec, cfg.exec_mode)?;
     let queries = exp.workload.all_queries();
     let train = exp.workload.train.clone();
     let encoder = exp.encoder();
     let opt = exp.workload.optimizer.clone();
     let exec = exp.executor.clone();
     let seed = cfg.spec.seed;
-    let foss_cfg =
-        FossConfig { episodes_per_update: cfg.foss_episodes, seed, ..FossConfig::tiny() };
+    let foss_cfg = FossConfig {
+        episodes_per_update: cfg.foss_episodes,
+        seed,
+        ..FossConfig::tiny()
+    };
 
     let mut methods: Vec<Box<dyn LearnedOptimizer>> = vec![
         Box::new(PostgresBaseline::new(opt.clone())),
-        Box::new(Bao::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 21)),
-        Box::new(BalsaLite::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 22)),
-        Box::new(LogerLite::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 23)),
-        Box::new(HybridQo::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 24)),
+        Box::new(Bao::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 21,
+        )),
+        Box::new(BalsaLite::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 22,
+        )),
+        Box::new(LogerLite::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 23,
+        )),
+        Box::new(HybridQo::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 24,
+        )),
         Box::new(FossAdapter::new(exp.foss(foss_cfg))),
     ];
 

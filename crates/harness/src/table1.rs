@@ -1,9 +1,10 @@
 //! Table I — performance of all methods on all workloads — and Fig. 4,
 //! which is derived from the same runs (relative total-latency speedups).
 
-use foss_baselines::{Bao, BalsaLite, HybridQo, LearnedOptimizer, LogerLite, PostgresBaseline};
+use foss_baselines::{BalsaLite, Bao, HybridQo, LearnedOptimizer, LogerLite, PostgresBaseline};
 use foss_common::Result;
 use foss_core::FossConfig;
+use foss_executor::ExecMode;
 use foss_workloads::WorkloadSpec;
 
 use crate::{evaluate_on, Experiment, FossAdapter, SplitEval};
@@ -39,6 +40,9 @@ pub struct RunConfig {
     pub foss_iterations: usize,
     /// Simulated episodes per FOSS iteration.
     pub foss_episodes: usize,
+    /// Executor engine all methods are measured against (chunked by
+    /// default; scalar is the differential-testing reference).
+    pub exec_mode: ExecMode,
 }
 
 impl Default for RunConfig {
@@ -48,6 +52,7 @@ impl Default for RunConfig {
             baseline_rounds: 4,
             foss_iterations: 4,
             foss_episodes: 120,
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -56,17 +61,21 @@ impl RunConfig {
     /// A configuration small enough for CI smoke runs.
     pub fn smoke() -> Self {
         Self {
-            spec: WorkloadSpec { seed: 42, scale: 0.08 },
+            spec: WorkloadSpec {
+                seed: 42,
+                scale: 0.08,
+            },
             baseline_rounds: 1,
             foss_iterations: 1,
             foss_episodes: 12,
+            exec_mode: ExecMode::default(),
         }
     }
 }
 
 /// Run Table I for one workload.
 pub fn run_workload(name: &str, cfg: &RunConfig) -> Result<WorkloadTable> {
-    let exp = Experiment::new(name, cfg.spec)?;
+    let exp = Experiment::with_exec_mode(name, cfg.spec, cfg.exec_mode)?;
     let train = exp.workload.train.clone();
     let test = exp.workload.test.clone();
     let encoder = exp.encoder();
@@ -76,10 +85,30 @@ pub fn run_workload(name: &str, cfg: &RunConfig) -> Result<WorkloadTable> {
 
     let mut methods: Vec<Box<dyn LearnedOptimizer>> = vec![
         Box::new(PostgresBaseline::new(opt.clone())),
-        Box::new(Bao::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 0xBA0)),
-        Box::new(BalsaLite::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 0xBA15A)),
-        Box::new(LogerLite::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 0x106E5)),
-        Box::new(HybridQo::new(opt.clone(), exec.clone(), encoder.clone(), seed ^ 0x4B1D)),
+        Box::new(Bao::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 0xBA0,
+        )),
+        Box::new(BalsaLite::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 0xBA15A,
+        )),
+        Box::new(LogerLite::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 0x106E5,
+        )),
+        Box::new(HybridQo::new(
+            opt.clone(),
+            exec.clone(),
+            encoder.clone(),
+            seed ^ 0x4B1D,
+        )),
     ];
 
     let mut rows = Vec::new();
@@ -110,7 +139,10 @@ pub fn run_workload(name: &str, cfg: &RunConfig) -> Result<WorkloadTable> {
         test: evaluate_on(&exp, &mut foss, &test)?,
     });
 
-    Ok(WorkloadTable { workload: name.to_string(), rows })
+    Ok(WorkloadTable {
+        workload: name.to_string(),
+        rows,
+    })
 }
 
 /// Run Table I across all three workloads.
@@ -133,8 +165,14 @@ pub fn render(tables: &[WorkloadTable]) -> String {
         for r in &t.rows {
             out.push_str(&format!(
                 "{:<15} | {:<10} | {:>6.2}  {:>6.2}  | {:>6.2}  {:>6.2}  | {:>8.3} / {:>8.3}\n",
-                r.method, t.workload, r.train.wrl, r.train.gmrl, r.test.wrl, r.test.gmrl,
-                r.train.runtime_s, r.test.runtime_s,
+                r.method,
+                t.workload,
+                r.train.wrl,
+                r.train.gmrl,
+                r.test.wrl,
+                r.test.gmrl,
+                r.train.runtime_s,
+                r.test.runtime_s,
             ));
         }
     }

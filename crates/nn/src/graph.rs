@@ -20,7 +20,11 @@ enum Op {
     Leaf,
     Param(ParamId),
     MatMul(Var, Var),
-    MatMulBias { x: Var, w: Var, b: Var },
+    MatMulBias {
+        x: Var,
+        w: Var,
+        b: Var,
+    },
     SliceCols(Var, usize, usize),
     Transpose(Var),
     Add(Var, Var),
@@ -44,12 +48,37 @@ enum Op {
     MeanRows(Var),
     SumAll(Var),
     MeanAll(Var),
-    LayerNormRows { x: Var, gamma: Var, beta: Var, eps: f32 },
-    AddLayerNormRows { a: Var, b: Var, gamma: Var, beta: Var, eps: f32 },
+    LayerNormRows {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    },
+    AddLayerNormRows {
+        a: Var,
+        b: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    },
     SelectRow(Var, usize),
-    SegAttnScores { q: Var, k: Var, segs: Vec<usize> },
-    SegAttnScoresMasked { q: Var, k: Var, mask: Var, segs: Vec<usize>, scale: f32 },
-    SegAttnApply { attn: Var, v: Var, segs: Vec<usize> },
+    SegAttnScores {
+        q: Var,
+        k: Var,
+        segs: Vec<usize>,
+    },
+    SegAttnScoresMasked {
+        q: Var,
+        k: Var,
+        mask: Var,
+        segs: Vec<usize>,
+        scale: f32,
+    },
+    SegAttnApply {
+        attn: Var,
+        v: Var,
+        segs: Vec<usize>,
+    },
     SegMultiHeadAttention {
         qkv: Var,
         mask: Var,
@@ -87,7 +116,10 @@ impl Graph {
     /// they would otherwise save for backward (e.g. attention softmax
     /// weights). [`Graph::backward`] on such a tape panics.
     pub fn inference() -> Self {
-        Self { nodes: Vec::new(), inference: true }
+        Self {
+            nodes: Vec::new(),
+            inference: true,
+        }
     }
 
     /// Value of a node.
@@ -133,20 +165,23 @@ impl Graph {
             Op::LayerNormRows { x, gamma, beta, .. } => {
                 self.needs(*x) || self.needs(*gamma) || self.needs(*beta)
             }
-            Op::MatMulBias { x, w, b } => {
-                self.needs(*x) || self.needs(*w) || self.needs(*b)
-            }
+            Op::MatMulBias { x, w, b } => self.needs(*x) || self.needs(*w) || self.needs(*b),
             Op::SliceCols(a, _, _) => self.needs(*a),
-            Op::AddLayerNormRows { a, b, gamma, beta, .. } => {
-                self.needs(*a) || self.needs(*b) || self.needs(*gamma) || self.needs(*beta)
-            }
+            Op::AddLayerNormRows {
+                a, b, gamma, beta, ..
+            } => self.needs(*a) || self.needs(*b) || self.needs(*gamma) || self.needs(*beta),
             Op::SegAttnScores { q: a, k: b, .. }
             | Op::SegAttnScoresMasked { q: a, k: b, .. }
             | Op::SegAttnApply { attn: a, v: b, .. } => self.needs(*a) || self.needs(*b),
             Op::SegMultiHeadAttention { qkv, .. } => self.needs(*qkv),
             Op::SegMeanRows(a, _) => self.needs(*a),
         };
-        self.nodes.push(Node { op, value, grad: None, needs_grad });
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+            needs_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -314,8 +349,7 @@ impl Graph {
             let m = self.value(v);
             assert_eq!(m.rows, rows, "concat_cols row mismatch");
             for r in 0..rows {
-                out.data[r * cols + offset..r * cols + offset + m.cols]
-                    .copy_from_slice(m.row(r));
+                out.data[r * cols + offset..r * cols + offset + m.cols].copy_from_slice(m.row(r));
             }
             offset += m.cols;
         }
@@ -333,7 +367,10 @@ impl Graph {
             assert_eq!(m.cols, cols, "concat_rows col mismatch");
             data.extend_from_slice(&m.data);
         }
-        self.push(Op::ConcatRows(vars.to_vec()), Matrix::from_vec(rows, cols, data))
+        self.push(
+            Op::ConcatRows(vars.to_vec()),
+            Matrix::from_vec(rows, cols, data),
+        )
     }
 
     /// Gather rows of `table` by `indices` (embedding lookup).
@@ -403,24 +440,33 @@ impl Graph {
                 out.data[r * xm.cols + c] = gm.data[c] * xhat + bm.data[c];
             }
         }
-        self.push(Op::LayerNormRows { x, gamma, beta, eps }, out)
+        self.push(
+            Op::LayerNormRows {
+                x,
+                gamma,
+                beta,
+                eps,
+            },
+            out,
+        )
     }
 
     /// Fused residual + row-wise layer norm: `LayerNorm(a + b)` without
     /// materialising the sum (the transformer-block residual pattern). The
     /// per-row arithmetic matches `add` followed by
     /// [`Graph::layer_norm_rows`] exactly.
-    pub fn add_layer_norm_rows(
-        &mut self,
-        a: Var,
-        b: Var,
-        gamma: Var,
-        beta: Var,
-        eps: f32,
-    ) -> Var {
-        let (am, bm2, gm, bm) =
-            (self.value(a), self.value(b), self.value(gamma), self.value(beta));
-        assert_eq!((am.rows, am.cols), (bm2.rows, bm2.cols), "residual shape mismatch");
+    pub fn add_layer_norm_rows(&mut self, a: Var, b: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let (am, bm2, gm, bm) = (
+            self.value(a),
+            self.value(b),
+            self.value(gamma),
+            self.value(beta),
+        );
+        assert_eq!(
+            (am.rows, am.cols),
+            (bm2.rows, bm2.cols),
+            "residual shape mismatch"
+        );
         assert_eq!(gm.rows, 1);
         assert_eq!(bm.rows, 1);
         assert_eq!(gm.cols, am.cols);
@@ -436,15 +482,23 @@ impl Graph {
                 *s = x + y;
             }
             let mean = sum_row.iter().sum::<f32>() / d as f32;
-            let var =
-                sum_row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let var = sum_row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv = 1.0 / (var + eps).sqrt();
             for (c, &xv) in sum_row.iter().enumerate() {
                 let xhat = (xv - mean) * inv;
                 out.data[r * d + c] = gm.data[c] * xhat + bm.data[c];
             }
         }
-        self.push(Op::AddLayerNormRows { a, b, gamma, beta, eps }, out)
+        self.push(
+            Op::AddLayerNormRows {
+                a,
+                b,
+                gamma,
+                beta,
+                eps,
+            },
+            out,
+        )
     }
 
     /// Select one row → `1×D`.
@@ -487,7 +541,14 @@ impl Graph {
             }
             base += l;
         }
-        self.push(Op::SegAttnScores { q, k, segs: segs.to_vec() }, out)
+        self.push(
+            Op::SegAttnScores {
+                q,
+                k,
+                segs: segs.to_vec(),
+            },
+            out,
+        )
     }
 
     /// Fused, mask-aware attention scores: like [`Graph::seg_attn_scores`]
@@ -513,7 +574,10 @@ impl Graph {
         assert_eq!(km.rows, total, "segment lengths must cover k");
         assert_eq!(qm.cols, km.cols, "q/k width mismatch");
         assert_eq!((mm.rows, mm.cols), (total, lmax), "mask must be ΣL×Lmax");
-        assert!(!self.needs(mask), "attention mask must not require gradients");
+        assert!(
+            !self.needs(mask),
+            "attention mask must not require gradients"
+        );
         let d = qm.cols;
         let mut out = mm.clone();
         let mut base = 0;
@@ -529,7 +593,16 @@ impl Graph {
             }
             base += l;
         }
-        self.push(Op::SegAttnScoresMasked { q, k, mask, segs: segs.to_vec(), scale }, out)
+        self.push(
+            Op::SegAttnScoresMasked {
+                q,
+                k,
+                mask,
+                segs: segs.to_vec(),
+                scale,
+            },
+            out,
+        )
     }
 
     /// Per-segment `attn_s @ v_s` for scores produced by
@@ -566,7 +639,14 @@ impl Graph {
             }
             base += l;
         }
-        self.push(Op::SegAttnApply { attn, v, segs: segs.to_vec() }, out)
+        self.push(
+            Op::SegAttnApply {
+                attn,
+                v,
+                segs: segs.to_vec(),
+            },
+            out,
+        )
     }
 
     /// Fully-fused multi-head attention over a stacked segment batch.
@@ -601,7 +681,10 @@ impl Graph {
         let dk = d_model / heads;
         assert_eq!(qm.rows, total, "segment lengths must cover qkv");
         assert_eq!((mm.rows, mm.cols), (total, lmax), "mask must be ΣL×Lmax");
-        assert!(!self.needs(mask), "attention mask must not require gradients");
+        assert!(
+            !self.needs(mask),
+            "attention mask must not require gradients"
+        );
         let mut out = Matrix::zeros(total, d_model);
         let record_attn = !self.inference;
         let mut attn_per_head = Vec::with_capacity(heads);
@@ -612,8 +695,11 @@ impl Graph {
         let mut kt = vec![0.0f32; lmax * dk];
         for h in 0..heads {
             let (qo, ko, vo) = (h * dk, d_model + h * dk, 2 * d_model + h * dk);
-            let mut attn =
-                if record_attn { Matrix::zeros(total, lmax) } else { Matrix::zeros(0, 0) };
+            let mut attn = if record_attn {
+                Matrix::zeros(total, lmax)
+            } else {
+                Matrix::zeros(0, 0)
+            };
             let mut base = 0;
             for &l in segs {
                 for (c, col) in kt.chunks_mut(l).take(dk).enumerate() {
@@ -657,8 +743,7 @@ impl Graph {
                         if a == 0.0 {
                             continue;
                         }
-                        let vrow =
-                            &qm.data[(base + j) * w3 + vo..(base + j) * w3 + vo + dk];
+                        let vrow = &qm.data[(base + j) * w3 + vo..(base + j) * w3 + vo + dk];
                         for (o, &vv) in orow.iter_mut().zip(vrow) {
                             *o += a * vv;
                         }
@@ -739,7 +824,9 @@ impl Graph {
             if !self.nodes[i].needs_grad {
                 continue;
             }
-            let Some(g) = self.nodes[i].grad.clone() else { continue };
+            let Some(g) = self.nodes[i].grad.clone() else {
+                continue;
+            };
             let op = self.nodes[i].op.clone();
             match op {
                 Op::Leaf => {}
@@ -792,7 +879,9 @@ impl Graph {
                 Op::MinElem(a, b) => {
                     let av = &self.nodes[a.0].value;
                     let bv = &self.nodes[b.0].value;
-                    let ga = g.clone().zip(&av.zip(bv, |x, y| (x <= y) as u8 as f32), |gx, m| gx * m);
+                    let ga = g
+                        .clone()
+                        .zip(&av.zip(bv, |x, y| (x <= y) as u8 as f32), |gx, m| gx * m);
                     let gb = g.zip(&av.zip(bv, |x, y| (x > y) as u8 as f32), |gx, m| gx * m);
                     self.accum(a, ga);
                     self.accum(b, gb);
@@ -810,7 +899,10 @@ impl Graph {
                     self.accum(b, gb);
                 }
                 Op::Relu(a) => {
-                    let ga = g.zip(&self.nodes[a.0].value, |gx, x| if x > 0.0 { gx } else { 0.0 });
+                    let ga = g.zip(
+                        &self.nodes[a.0].value,
+                        |gx, x| if x > 0.0 { gx } else { 0.0 },
+                    );
                     self.accum(a, ga);
                 }
                 Op::Tanh(a) => {
@@ -841,8 +933,7 @@ impl Graph {
                     let y = &self.nodes[i].value;
                     let mut ga = Matrix::zeros(y.rows, y.cols);
                     for r in 0..y.rows {
-                        let dot: f32 =
-                            (0..y.cols).map(|c| g.get(r, c) * y.get(r, c)).sum();
+                        let dot: f32 = (0..y.cols).map(|c| g.get(r, c) * y.get(r, c)).sum();
                         for c in 0..y.cols {
                             ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
                         }
@@ -925,7 +1016,12 @@ impl Graph {
                     let v = g.get(0, 0) / m.data.len() as f32;
                     self.accum(a, Matrix::full(m.rows, m.cols, v));
                 }
-                Op::LayerNormRows { x, gamma, beta, eps } => {
+                Op::LayerNormRows {
+                    x,
+                    gamma,
+                    beta,
+                    eps,
+                } => {
                     let xm = self.nodes[x.0].value.clone();
                     let gm = self.nodes[gamma.0].value.clone();
                     let d = xm.cols as f32;
@@ -935,8 +1031,7 @@ impl Graph {
                     for r in 0..xm.rows {
                         let row = xm.row(r);
                         let mean = row.iter().sum::<f32>() / d;
-                        let var =
-                            row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
+                        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
                         let inv = 1.0 / (var + eps).sqrt();
                         let xhat: Vec<f32> = row.iter().map(|v| (v - mean) * inv).collect();
                         let gy: Vec<f32> = (0..xm.cols).map(|c| g.get(r, c)).collect();
@@ -944,8 +1039,7 @@ impl Graph {
                             ggamma.data[c] += gy[c] * xhat[c];
                             gbeta.data[c] += gy[c];
                         }
-                        let gxhat: Vec<f32> =
-                            (0..xm.cols).map(|c| gy[c] * gm.data[c]).collect();
+                        let gxhat: Vec<f32> = (0..xm.cols).map(|c| gy[c] * gm.data[c]).collect();
                         let mean_gxhat = gxhat.iter().sum::<f32>() / d;
                         let mean_gxhat_xhat =
                             gxhat.iter().zip(&xhat).map(|(a, b)| a * b).sum::<f32>() / d;
@@ -961,7 +1055,13 @@ impl Graph {
                     self.accum(gamma, ggamma);
                     self.accum(beta, gbeta);
                 }
-                Op::AddLayerNormRows { a, b, gamma, beta, eps } => {
+                Op::AddLayerNormRows {
+                    a,
+                    b,
+                    gamma,
+                    beta,
+                    eps,
+                } => {
                     // Same maths as LayerNormRows with x = a + b recomputed
                     // row by row; the input gradient flows to both residual
                     // operands unchanged.
@@ -983,21 +1083,15 @@ impl Graph {
                             *s = x + y;
                         }
                         let mean = sum_row.iter().sum::<f32>() / d;
-                        let var = sum_row
-                            .iter()
-                            .map(|v| (v - mean) * (v - mean))
-                            .sum::<f32>()
-                            / d;
+                        let var = sum_row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
                         let inv = 1.0 / (var + eps).sqrt();
-                        let xhat: Vec<f32> =
-                            sum_row.iter().map(|v| (v - mean) * inv).collect();
+                        let xhat: Vec<f32> = sum_row.iter().map(|v| (v - mean) * inv).collect();
                         let gy: Vec<f32> = (0..cols).map(|c| g.get(r, c)).collect();
                         for c in 0..cols {
                             ggamma.data[c] += gy[c] * xhat[c];
                             gbeta.data[c] += gy[c];
                         }
-                        let gxhat: Vec<f32> =
-                            (0..cols).map(|c| gy[c] * gm.data[c]).collect();
+                        let gxhat: Vec<f32> = (0..cols).map(|c| gy[c] * gm.data[c]).collect();
                         let mean_gxhat = gxhat.iter().sum::<f32>() / d;
                         let mean_gxhat_xhat =
                             gxhat.iter().zip(&xhat).map(|(a, b)| a * b).sum::<f32>() / d;
@@ -1051,7 +1145,13 @@ impl Graph {
                     self.accum(q, gq);
                     self.accum(k, gk);
                 }
-                Op::SegAttnScoresMasked { q, k, mask, segs, scale } => {
+                Op::SegAttnScoresMasked {
+                    q,
+                    k,
+                    mask,
+                    segs,
+                    scale,
+                } => {
                     let qm = &self.nodes[q.0].value;
                     let km = &self.nodes[k.0].value;
                     let mm = &self.nodes[mask.0].value;
@@ -1101,8 +1201,7 @@ impl Graph {
                     for &l in &segs {
                         for i in 0..l {
                             let grow = &g.data[(base + i) * d..(base + i + 1) * d];
-                            let garow =
-                                &mut ga.data[(base + i) * lmax..(base + i) * lmax + l];
+                            let garow = &mut ga.data[(base + i) * lmax..(base + i) * lmax + l];
                             for (j, o) in garow.iter_mut().enumerate() {
                                 *o = dot(grow, &vm.data[(base + j) * d..(base + j + 1) * d]);
                             }
@@ -1122,7 +1221,14 @@ impl Graph {
                     self.accum(attn, ga);
                     self.accum(v, gv);
                 }
-                Op::SegMultiHeadAttention { qkv, mask, segs, heads, scale, attn } => {
+                Op::SegMultiHeadAttention {
+                    qkv,
+                    mask,
+                    segs,
+                    heads,
+                    scale,
+                    attn,
+                } => {
                     let qm = &self.nodes[qkv.0].value;
                     let mm = &self.nodes[mask.0].value;
                     let w3 = qm.cols;
@@ -1143,8 +1249,7 @@ impl Graph {
                                 for (j, o) in gy[..l].iter_mut().enumerate() {
                                     *o = dot(
                                         grow,
-                                        &qm.data
-                                            [(base + j) * w3 + vo..(base + j) * w3 + vo + dk],
+                                        &qm.data[(base + j) * w3 + vo..(base + j) * w3 + vo + dk],
                                     );
                                 }
                                 // Softmax backward: gs = y ⊙ (gy − Σ gy·y).
@@ -1221,11 +1326,7 @@ mod tests {
 
     /// Numeric gradient check: perturb each element of the single parameter
     /// and compare the finite difference to the analytic gradient.
-    fn check_gradient(
-        build: impl Fn(&mut Graph, Var) -> Var,
-        init: Matrix,
-        tol: f32,
-    ) {
+    fn check_gradient(build: impl Fn(&mut Graph, Var) -> Var, init: Matrix, tol: f32) {
         let mut set = ParamSet::new();
         let id = set.alloc(init);
         // Analytic.
@@ -1266,7 +1367,9 @@ mod tests {
         Matrix::from_vec(
             rows,
             cols,
-            (0..rows * cols).map(|_| rng.random_range(-1.0..1.0f32)).collect(),
+            (0..rows * cols)
+                .map(|_| rng.random_range(-1.0..1.0f32))
+                .collect(),
         )
     }
 
@@ -1504,7 +1607,12 @@ mod tests {
         let fused = g.matmul_bias(x, w, b);
         let mm = g.matmul(x, w);
         let unfused = g.add_row_broadcast(mm, b);
-        for (a, e) in g.value(fused).data.iter().zip(&g.value(unfused).data.clone()) {
+        for (a, e) in g
+            .value(fused)
+            .data
+            .iter()
+            .zip(&g.value(unfused).data.clone())
+        {
             assert!((a - e).abs() < 1e-6);
         }
     }
@@ -1673,7 +1781,12 @@ mod tests {
         // The fused kernel accumulates scores feature-major while the
         // unfused ops use chunked dots, so association (and hence low-order
         // bits) may differ; values must still agree to fp tolerance.
-        for (a, b) in g1.value(fused).data.iter().zip(&g2.value(unfused).data.clone()) {
+        for (a, b) in g1
+            .value(fused)
+            .data
+            .iter()
+            .zip(&g2.value(unfused).data.clone())
+        {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
         }
     }
@@ -1784,7 +1897,11 @@ mod tests {
         let w = set.alloc_xavier(3, 2, &mut rng);
         let mut adam = crate::params::Adam::new(0.05);
         let x = rand_matrix(8, 3, 20);
-        let target = x.matmul(&Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 2.0], &[-1.5, 0.0]]));
+        let target = x.matmul(&Matrix::from_rows(&[
+            &[1.0, -1.0],
+            &[0.5, 2.0],
+            &[-1.5, 0.0],
+        ]));
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..200 {

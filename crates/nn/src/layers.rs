@@ -23,7 +23,12 @@ impl Linear {
     pub fn new(set: &mut ParamSet, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
         let w = set.alloc_xavier(in_dim, out_dim, rng);
         let b = set.alloc_zeros(1, out_dim);
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Record `x @ W + b` as one fused op (bias-initialised accumulation).
@@ -53,7 +58,10 @@ impl Embedding {
 
     /// Look up one embedding per index (rows of the output).
     pub fn forward(&self, g: &mut Graph, set: &ParamSet, indices: &[usize]) -> Var {
-        debug_assert!(indices.iter().all(|&i| i < self.vocab), "embedding index out of range");
+        debug_assert!(
+            indices.iter().all(|&i| i < self.vocab),
+            "embedding index out of range"
+        );
         let t = g.param(self.table, set);
         g.gather(t, indices)
     }
@@ -117,7 +125,12 @@ impl MultiHeadAttention {
         assert_eq!(d_model % heads, 0, "heads must divide d_model");
         let wqkv = set.alloc_xavier(d_model, 3 * d_model, rng);
         let wo = set.alloc_xavier(d_model, d_model, rng);
-        Self { wqkv, wo, heads, d_model }
+        Self {
+            wqkv,
+            wo,
+            heads,
+            d_model,
+        }
     }
 
     /// Record attention over `x` (`L × d_model`). `mask` is an `L × L`
@@ -165,7 +178,11 @@ impl MultiHeadAttention {
         let total = g.value(x).rows;
         let lmax = segs.iter().copied().max().unwrap_or(0);
         assert_eq!(segs.iter().sum::<usize>(), total, "segments must cover x");
-        assert_eq!((mask.rows, mask.cols), (total, lmax), "mask must be ΣL×Lmax");
+        assert_eq!(
+            (mask.rows, mask.cols),
+            (total, lmax),
+            "mask must be ΣL×Lmax"
+        );
         let dk = self.d_model / self.heads;
         let mask_var = g.input(mask.clone());
         let wqkv = g.param(self.wqkv, set);

@@ -17,12 +17,20 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Self { rows, cols, data: vec![v; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Build from a nested-slice literal (tests / small constants).
@@ -34,7 +42,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build from a flat vec.
@@ -318,17 +330,30 @@ impl Matrix {
 
     /// Elementwise combination; shapes must match.
     pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "zip shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "zip shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
     /// In-place `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -415,7 +440,6 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     s
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,7 +470,10 @@ mod tests {
     fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
         assert_eq!((a.rows, a.cols), (b.rows, b.cols));
         for (x, y) in a.data.iter().zip(&b.data) {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{x} vs {y}"
+            );
         }
     }
 

@@ -172,7 +172,11 @@ impl GradStore {
     /// Add every buffered gradient into `set`'s accumulators (the
     /// deterministic merge step after parallel backward passes).
     pub fn add_into(&self, set: &mut ParamSet) {
-        assert_eq!(self.grads.len(), set.params.len(), "grad store / set layout mismatch");
+        assert_eq!(
+            self.grads.len(),
+            set.params.len(),
+            "grad store / set layout mismatch"
+        );
         for (p, g) in set.params.iter_mut().zip(&self.grads) {
             p.grad.add_assign(g);
         }
@@ -202,7 +206,13 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Apply one update to every parameter using its accumulated gradient.

@@ -117,11 +117,17 @@ mod tests {
         let stats = vec![
             TableStats {
                 row_count: 1000,
-                columns: vec![ColumnStats::analyze(&ids, 32), ColumnStats::analyze(&vs, 32)],
+                columns: vec![
+                    ColumnStats::analyze(&ids, 32),
+                    ColumnStats::analyze(&vs, 32),
+                ],
             },
             TableStats {
                 row_count: 5000,
-                columns: vec![ColumnStats::analyze(&bids, 32), ColumnStats::analyze(&aids, 32)],
+                columns: vec![
+                    ColumnStats::analyze(&bids, 32),
+                    ColumnStats::analyze(&aids, 32),
+                ],
             },
         ];
         let est = CardinalityEstimator::new(stats);
@@ -130,7 +136,13 @@ mod tests {
         let ra = qb.relation(a, "a");
         let rb = qb.relation(b, "b");
         qb.join(ra, 0, rb, 1);
-        qb.predicate(ra, Predicate::Eq { column: 1, value: 3 });
+        qb.predicate(
+            ra,
+            Predicate::Eq {
+                column: 1,
+                value: 3,
+            },
+        );
         let q = qb.build(&schema).unwrap();
         (schema, est, q)
     }

@@ -75,7 +75,12 @@ impl CostModel {
 
     /// Cost of an index scan returning `matching_rows` of `table_rows`,
     /// then filtering with `residual_predicates`.
-    pub fn index_scan(&self, table_rows: f64, matching_rows: f64, residual_predicates: usize) -> f64 {
+    pub fn index_scan(
+        &self,
+        table_rows: f64,
+        matching_rows: f64,
+        residual_predicates: usize,
+    ) -> f64 {
         self.params.index_probe
             + 0.3 * (table_rows.max(2.0)).log2()
             + matching_rows
@@ -107,9 +112,7 @@ impl CostModel {
         let p = &self.params;
         let emit = out_rows * p.output_tuple;
         match method {
-            JoinMethod::Hash => {
-                inner_rows * p.hash_build + outer_rows * p.hash_probe + emit
-            }
+            JoinMethod::Hash => inner_rows * p.hash_build + outer_rows * p.hash_probe + emit,
             JoinMethod::Merge => {
                 self.sort(outer_rows)
                     + self.sort(inner_rows)
@@ -154,8 +157,22 @@ mod tests {
 
     #[test]
     fn hash_join_beats_naive_nl_on_large_inputs() {
-        let hash = m().join(JoinMethod::Hash, 10_000.0, 10_000.0, 10_000.0, false, 10_000.0);
-        let nl = m().join(JoinMethod::NestLoop, 10_000.0, 10_000.0, 10_000.0, false, 10_000.0);
+        let hash = m().join(
+            JoinMethod::Hash,
+            10_000.0,
+            10_000.0,
+            10_000.0,
+            false,
+            10_000.0,
+        );
+        let nl = m().join(
+            JoinMethod::NestLoop,
+            10_000.0,
+            10_000.0,
+            10_000.0,
+            false,
+            10_000.0,
+        );
         assert!(hash < nl / 100.0, "hash={hash} nl={nl}");
     }
 
@@ -164,7 +181,14 @@ mod tests {
         // 3 outer rows probing an indexed table of 1M rows: NL should win —
         // the paper's query-1b situation.
         let hash = m().join(JoinMethod::Hash, 3.0, 1_000_000.0, 3.0, false, 1_000_000.0);
-        let inl = m().join(JoinMethod::NestLoop, 3.0, 1_000_000.0, 3.0, true, 1_000_000.0);
+        let inl = m().join(
+            JoinMethod::NestLoop,
+            3.0,
+            1_000_000.0,
+            3.0,
+            true,
+            1_000_000.0,
+        );
         assert!(inl < hash / 1000.0, "inl={inl} hash={hash}");
     }
 

@@ -38,7 +38,11 @@ pub(crate) struct JoinCandidate {
 impl TraditionalOptimizer {
     /// Build the optimizer over a schema and its statistics.
     pub fn new(schema: Arc<Schema>, estimator: CardinalityEstimator, cost: CostModel) -> Self {
-        Self { schema, estimator, cost }
+        Self {
+            schema,
+            estimator,
+            cost,
+        }
     }
 
     /// The schema this optimizer plans against.
@@ -65,7 +69,9 @@ impl TraditionalOptimizer {
             return Err(FossError::InvalidQuery("empty query".into()));
         }
         if n == 1 {
-            return Ok(PhysicalPlan { root: self.best_scan(query, 0) });
+            return Ok(PhysicalPlan {
+                root: self.best_scan(query, 0),
+            });
         }
         if n <= 16 {
             self.optimize_dp(query)
@@ -126,7 +132,10 @@ impl TraditionalOptimizer {
                 let edges = query.edges_between_set(&[a], b);
                 let cand = self.best_join(query, &left, b, &edges);
                 let node = self.attach(left, cand);
-                if best_seed.as_ref().is_none_or(|(p, _)| node.est_cost() < p.est_cost()) {
+                if best_seed
+                    .as_ref()
+                    .is_none_or(|(p, _)| node.est_cost() < p.est_cost())
+                {
                     best_seed = Some((node, vec![a, b]));
                 }
             }
@@ -145,7 +154,10 @@ impl TraditionalOptimizer {
                 }
                 let cand = self.best_join(query, &plan, r, &edges);
                 let node = self.attach(plan.clone(), cand);
-                if best.as_ref().is_none_or(|(p, _)| node.est_cost() < p.est_cost()) {
+                if best
+                    .as_ref()
+                    .is_none_or(|(p, _)| node.est_cost() < p.est_cost())
+                {
                     best = Some((node, r));
                 }
             }
@@ -187,7 +199,12 @@ impl TraditionalOptimizer {
                 best_access = AccessPath::IndexScan { column: col };
             }
         }
-        PlanNode::Scan { relation: rel, access: best_access, est_rows, est_cost: best_cost }
+        PlanNode::Scan {
+            relation: rel,
+            access: best_access,
+            est_rows,
+            est_cost: best_cost,
+        }
     }
 
     /// All physical candidates for joining `left` with relation `right_rel`.
@@ -208,7 +225,8 @@ impl TraditionalOptimizer {
         let out_rows = if edges.is_empty() {
             (outer_rows * inner_rows).max(1.0) // cross join fallback (hints only)
         } else {
-            self.estimator.join_rows(query, outer_rows, inner_rows, edges)
+            self.estimator
+                .join_rows(query, outer_rows, inner_rows, edges)
         };
 
         let mut cands = Vec::with_capacity(4);
@@ -243,7 +261,9 @@ impl TraditionalOptimizer {
                         // The index replaces the inner scan entirely.
                         let inner = PlanNode::Scan {
                             relation: right_rel,
-                            access: AccessPath::IndexScan { column: first.right_column },
+                            access: AccessPath::IndexScan {
+                                column: first.right_column,
+                            },
                             est_rows: inner_rows,
                             est_cost: 0.0,
                         };
@@ -336,7 +356,10 @@ mod tests {
             tables.push(
                 Table::new(
                     name,
-                    vec![("id".into(), Column::new(ids)), ("fk".into(), Column::new(fks))],
+                    vec![
+                        ("id".into(), Column::new(ids)),
+                        ("fk".into(), Column::new(fks)),
+                    ],
                 )
                 .unwrap(),
             );
@@ -375,12 +398,7 @@ mod tests {
         use crate::icp::Icp;
         let (_, opt, q) = setup();
         let best = opt.optimize(&q).unwrap();
-        let orders = [
-            vec![0, 1, 2],
-            vec![0, 2, 1],
-            vec![1, 0, 2],
-            vec![2, 0, 1],
-        ];
+        let orders = [vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2], vec![2, 0, 1]];
         for order in orders {
             for m1 in ALL_JOIN_METHODS {
                 for m2 in ALL_JOIN_METHODS {
@@ -426,7 +444,10 @@ mod tests {
             let fks: Vec<i64> = (0..rows as i64).map(|v| v % 50).collect();
             let t = Table::new(
                 format!("t{i}"),
-                vec![("id".into(), Column::new(ids)), ("fk".into(), Column::new(fks))],
+                vec![
+                    ("id".into(), Column::new(ids)),
+                    ("fk".into(), Column::new(fks)),
+                ],
             )
             .unwrap();
             stats.push(TableStats::analyze(&t, 8));

@@ -78,7 +78,10 @@ mod tests {
             let fks: Vec<i64> = (0..rows as i64).map(|i| i % 50).collect();
             let t = Table::new(
                 name,
-                vec![("id".into(), Column::new(ids)), ("fk".into(), Column::new(fks))],
+                vec![
+                    ("id".into(), Column::new(ids)),
+                    ("fk".into(), Column::new(fks)),
+                ],
             )
             .unwrap();
             stats.push(TableStats::analyze(&t, 16));
@@ -147,7 +150,12 @@ mod tests {
         fn find_nl(node: &PlanNode) -> Option<bool> {
             match node {
                 PlanNode::Scan { .. } => None,
-                PlanNode::Join { method, index_nl, left, .. } => {
+                PlanNode::Join {
+                    method,
+                    index_nl,
+                    left,
+                    ..
+                } => {
                     if *method == JoinMethod::NestLoop {
                         Some(*index_nl)
                     } else {

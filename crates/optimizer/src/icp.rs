@@ -108,7 +108,9 @@ impl Icp {
     pub fn swap(&mut self, l: usize, r: usize) -> Result<()> {
         let n = self.order.len();
         if l == 0 || r == 0 || l > n || r > n || l == r {
-            return Err(FossError::InvalidAction(format!("Swap(T{l}, T{r}) out of range (n={n})")));
+            return Err(FossError::InvalidAction(format!(
+                "Swap(T{l}, T{r}) out of range (n={n})"
+            )));
         }
         self.order.swap(l - 1, r - 1);
         Ok(())
@@ -123,9 +125,10 @@ impl Icp {
                 self.methods.len()
             )));
         }
-        let m = JoinMethod::from_index(j.checked_sub(1).ok_or_else(|| {
-            FossError::InvalidAction("join method index is 1-based".into())
-        })?)
+        let m = JoinMethod::from_index(
+            j.checked_sub(1)
+                .ok_or_else(|| FossError::InvalidAction("join method index is 1-based".into()))?,
+        )
         .ok_or_else(|| FossError::InvalidAction(format!("no join method #{j}")))?;
         self.methods[i - 1] = m;
         Ok(())

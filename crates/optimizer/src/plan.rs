@@ -130,7 +130,9 @@ impl PhysicalPlan {
     pub fn fingerprint(&self) -> u64 {
         fn feed(node: &PlanNode, acc: &mut Vec<u64>) {
             match node {
-                PlanNode::Scan { relation, access, .. } => {
+                PlanNode::Scan {
+                    relation, access, ..
+                } => {
                     acc.push(0x5ca4);
                     acc.push(*relation as u64);
                     acc.push(match access {
@@ -138,7 +140,13 @@ impl PhysicalPlan {
                         AccessPath::IndexScan { column } => *column as u64,
                     });
                 }
-                PlanNode::Join { method, left, right, index_nl, .. } => {
+                PlanNode::Join {
+                    method,
+                    left,
+                    right,
+                    index_nl,
+                    ..
+                } => {
                     acc.push(0x101a);
                     acc.push(method.index() as u64);
                     acc.push(*index_nl as u64);
@@ -158,7 +166,12 @@ impl PhysicalPlan {
         fn walk(node: &PlanNode, depth: usize, out: &mut String) {
             let pad = "  ".repeat(depth);
             match node {
-                PlanNode::Scan { relation, access, est_rows, est_cost } => {
+                PlanNode::Scan {
+                    relation,
+                    access,
+                    est_rows,
+                    est_cost,
+                } => {
                     let a = match access {
                         AccessPath::SeqScan => "SeqScan".to_string(),
                         AccessPath::IndexScan { column } => format!("IndexScan(c{column})"),
@@ -167,7 +180,15 @@ impl PhysicalPlan {
                         "{pad}{a} rel={relation} (rows={est_rows:.0} cost={est_cost:.0})\n"
                     ));
                 }
-                PlanNode::Join { method, left, right, index_nl, est_rows, est_cost, .. } => {
+                PlanNode::Join {
+                    method,
+                    left,
+                    right,
+                    index_nl,
+                    est_rows,
+                    est_cost,
+                    ..
+                } => {
                     let idx = if *index_nl { " [indexed]" } else { "" };
                     out.push_str(&format!(
                         "{pad}{method}{idx} (rows={est_rows:.0} cost={est_cost:.0})\n"
@@ -182,13 +203,22 @@ impl PhysicalPlan {
     }
 }
 
-fn collect_left_deep(node: &PlanNode, order: &mut Vec<usize>, methods: &mut Vec<JoinMethod>) -> Result<()> {
+fn collect_left_deep(
+    node: &PlanNode,
+    order: &mut Vec<usize>,
+    methods: &mut Vec<JoinMethod>,
+) -> Result<()> {
     match node {
         PlanNode::Scan { relation, .. } => {
             order.push(*relation);
             Ok(())
         }
-        PlanNode::Join { method, left, right, .. } => {
+        PlanNode::Join {
+            method,
+            left,
+            right,
+            ..
+        } => {
             collect_left_deep(left, order, methods)?;
             match **right {
                 PlanNode::Scan { relation, .. } => order.push(relation),
@@ -215,7 +245,12 @@ mod tests {
     use super::*;
 
     fn scan(rel: usize) -> PlanNode {
-        PlanNode::Scan { relation: rel, access: AccessPath::SeqScan, est_rows: 10.0, est_cost: 10.0 }
+        PlanNode::Scan {
+            relation: rel,
+            access: AccessPath::SeqScan,
+            est_rows: 10.0,
+            est_cost: 10.0,
+        }
     }
 
     fn join(method: JoinMethod, left: PlanNode, right: PlanNode) -> PlanNode {
@@ -232,7 +267,11 @@ mod tests {
 
     fn left_deep3() -> PhysicalPlan {
         PhysicalPlan {
-            root: join(JoinMethod::Merge, join(JoinMethod::Hash, scan(2), scan(0)), scan(1)),
+            root: join(
+                JoinMethod::Merge,
+                join(JoinMethod::Hash, scan(2), scan(0)),
+                scan(1),
+            ),
         }
     }
 

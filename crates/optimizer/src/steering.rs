@@ -39,7 +39,10 @@ impl TraditionalOptimizer {
                 let edges = query.edges_between_set(&[a], b);
                 if let Some(cand) = self.best_allowed(query, &left, b, &edges, allowed) {
                     let node = self.attach(left, cand);
-                    if best_seed.as_ref().is_none_or(|(p, _)| node.est_cost() < p.est_cost()) {
+                    if best_seed
+                        .as_ref()
+                        .is_none_or(|(p, _)| node.est_cost() < p.est_cost())
+                    {
                         best_seed = Some((node, vec![a, b]));
                     }
                 }
@@ -59,7 +62,10 @@ impl TraditionalOptimizer {
                 }
                 if let Some(cand) = self.best_allowed(query, &plan, r, &edges, allowed) {
                     let node = self.attach(plan.clone(), cand);
-                    if best.as_ref().is_none_or(|(p, _)| node.est_cost() < p.est_cost()) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|(p, _)| node.est_cost() < p.est_cost())
+                    {
                         best = Some((node, r));
                     }
                 }
@@ -98,7 +104,9 @@ impl TraditionalOptimizer {
         let mut seen = vec![false; n];
         for &r in leading {
             if r >= n || seen[r] {
-                return Err(FossError::InvalidPlan("leading prefix not a partial permutation".into()));
+                return Err(FossError::InvalidPlan(
+                    "leading prefix not a partial permutation".into(),
+                ));
             }
             seen[r] = true;
         }
@@ -122,7 +130,10 @@ impl TraditionalOptimizer {
                 }
                 let cand = self.best_join(query, &plan, r, &edges);
                 let node = self.attach(plan.clone(), cand);
-                if best.as_ref().is_none_or(|(p, _)| node.est_cost() < p.est_cost()) {
+                if best
+                    .as_ref()
+                    .is_none_or(|(p, _)| node.est_cost() < p.est_cost())
+                {
                     best = Some((node, r));
                 }
             }
@@ -161,7 +172,10 @@ mod tests {
             let fks: Vec<i64> = (0..rows as i64).map(|i| i % 60).collect();
             let t = Table::new(
                 name,
-                vec![("id".into(), Column::new(ids)), ("fk".into(), Column::new(fks))],
+                vec![
+                    ("id".into(), Column::new(ids)),
+                    ("fk".into(), Column::new(fks)),
+                ],
             )
             .unwrap();
             stats.push(TableStats::analyze(&t, 16));
@@ -223,7 +237,11 @@ mod tests {
         for leading in [vec![2usize, 0], vec![1, 0], vec![0, 2, 1]] {
             let plan = opt.optimize_with_leading(&q, &leading).unwrap();
             let icp = plan.extract_icp().unwrap();
-            assert_eq!(&icp.order[..leading.len()], &leading[..], "prefix not honoured");
+            assert_eq!(
+                &icp.order[..leading.len()],
+                &leading[..],
+                "prefix not honoured"
+            );
         }
     }
 

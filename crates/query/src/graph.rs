@@ -1,7 +1,7 @@
 //! The query graph: relations, join edges, predicates.
 
-use foss_common::{FossError, QueryId, Result, TableId};
 use foss_catalog::Schema;
+use foss_common::{FossError, QueryId, Result, TableId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -115,10 +115,9 @@ impl Query {
         }
         for e in &self.joins {
             for (r, c) in [(e.left, e.left_column), (e.right, e.right_column)] {
-                let rel = self
-                    .relations
-                    .get(r)
-                    .ok_or_else(|| FossError::InvalidQuery(format!("join references relation {r}")))?;
+                let rel = self.relations.get(r).ok_or_else(|| {
+                    FossError::InvalidQuery(format!("join references relation {r}"))
+                })?;
                 if c >= schema.table(rel.table).columns.len() {
                     return Err(FossError::InvalidQuery(format!(
                         "join column {c} out of range for {}",
@@ -195,12 +194,21 @@ pub struct QueryBuilder {
 impl QueryBuilder {
     /// Start a query with the given workload id and template number.
     pub fn new(id: QueryId, template: u32) -> Self {
-        Self { id, template, relations: Vec::new(), joins: Vec::new() }
+        Self {
+            id,
+            template,
+            relations: Vec::new(),
+            joins: Vec::new(),
+        }
     }
 
     /// Add a relation; returns its index.
     pub fn relation(&mut self, table: TableId, alias: impl Into<String>) -> usize {
-        self.relations.push(Relation { table, alias: alias.into(), predicates: Vec::new() });
+        self.relations.push(Relation {
+            table,
+            alias: alias.into(),
+            predicates: Vec::new(),
+        });
         self.relations.len() - 1
     }
 
@@ -211,21 +219,42 @@ impl QueryBuilder {
     }
 
     /// Add an equi-join edge.
-    pub fn join(&mut self, left: usize, left_column: usize, right: usize, right_column: usize) -> &mut Self {
-        self.joins.push(JoinEdge { left, left_column, right, right_column });
+    pub fn join(
+        &mut self,
+        left: usize,
+        left_column: usize,
+        right: usize,
+        right_column: usize,
+    ) -> &mut Self {
+        self.joins.push(JoinEdge {
+            left,
+            left_column,
+            right,
+            right_column,
+        });
         self
     }
 
     /// Finalise, validating against the schema.
     pub fn build(self, schema: &Schema) -> Result<Query> {
-        let q = Query { id: self.id, template: self.template, relations: self.relations, joins: self.joins };
+        let q = Query {
+            id: self.id,
+            template: self.template,
+            relations: self.relations,
+            joins: self.joins,
+        };
         q.validate(schema)?;
         Ok(q)
     }
 
     /// Finalise without validation (tests for invalid structures).
     pub fn build_unchecked(self) -> Query {
-        Query { id: self.id, template: self.template, relations: self.relations, joins: self.joins }
+        Query {
+            id: self.id,
+            template: self.template,
+            relations: self.relations,
+            joins: self.joins,
+        }
     }
 }
 
@@ -252,7 +281,13 @@ mod tests {
         let b = qb.relation(s.table_id("b").unwrap(), "b");
         let c = qb.relation(s.table_id("c").unwrap(), "c");
         qb.join(a, 0, b, 1).join(b, 0, c, 1);
-        qb.predicate(a, Predicate::Eq { column: 1, value: 3 });
+        qb.predicate(
+            a,
+            Predicate::Eq {
+                column: 1,
+                value: 3,
+            },
+        );
         qb.build(s).unwrap()
     }
 

@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn eq_matches() {
-        let p = Predicate::Eq { column: 0, value: 5 };
+        let p = Predicate::Eq {
+            column: 0,
+            value: 5,
+        };
         assert!(p.matches(5));
         assert!(!p.matches(6));
         assert_eq!(p.column(), 0);
@@ -68,7 +71,11 @@ mod tests {
 
     #[test]
     fn range_matches_inclusive() {
-        let p = Predicate::Range { column: 2, lo: -1, hi: 3 };
+        let p = Predicate::Range {
+            column: 2,
+            lo: -1,
+            hi: 3,
+        };
         assert!(p.matches(-1));
         assert!(p.matches(3));
         assert!(!p.matches(4));
@@ -77,9 +84,21 @@ mod tests {
 
     #[test]
     fn display_is_sqlish() {
-        assert_eq!(Predicate::Eq { column: 1, value: 9 }.to_string(), "c1 = 9");
         assert_eq!(
-            Predicate::Range { column: 0, lo: 1, hi: 2 }.to_string(),
+            Predicate::Eq {
+                column: 1,
+                value: 9
+            }
+            .to_string(),
+            "c1 = 9"
+        );
+        assert_eq!(
+            Predicate::Range {
+                column: 0,
+                lo: 1,
+                hi: 2
+            }
+            .to_string(),
             "c0 BETWEEN 1 AND 2"
         );
     }

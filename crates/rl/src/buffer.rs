@@ -39,7 +39,9 @@ pub struct RolloutBatch<S> {
 
 impl<S> Default for RolloutBuffer<S> {
     fn default() -> Self {
-        Self { transitions: Vec::new() }
+        Self {
+            transitions: Vec::new(),
+        }
     }
 }
 
@@ -83,7 +85,11 @@ impl<S> RolloutBuffer<S> {
         let mut next_advantage = 0.0f32;
         for i in (0..n).rev() {
             let t = &self.transitions[i];
-            let (nv, na) = if t.done { (0.0, 0.0) } else { (next_value, next_advantage) };
+            let (nv, na) = if t.done {
+                (0.0, 0.0)
+            } else {
+                (next_value, next_advantage)
+            };
             let delta = t.reward + gamma * nv - t.value;
             let adv = delta + gamma * lam * na;
             advantages[i] = adv;
@@ -94,13 +100,21 @@ impl<S> RolloutBuffer<S> {
         // Normalise advantages (standard PPO practice).
         if n > 1 {
             let mean = advantages.iter().sum::<f32>() / n as f32;
-            let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n as f32;
+            let var = advantages
+                .iter()
+                .map(|a| (a - mean) * (a - mean))
+                .sum::<f32>()
+                / n as f32;
             let std = var.sqrt().max(1e-6);
             for a in &mut advantages {
                 *a = (*a - mean) / std;
             }
         }
-        RolloutBatch { transitions: self.transitions, advantages, returns }
+        RolloutBatch {
+            transitions: self.transitions,
+            advantages,
+            returns,
+        }
     }
 }
 
@@ -121,7 +135,9 @@ pub struct SharedRolloutBuffer<S> {
 impl<S> SharedRolloutBuffer<S> {
     /// Empty shared buffer.
     pub fn new() -> Self {
-        Self { inner: parking_lot::Mutex::new(RolloutBuffer::new()) }
+        Self {
+            inner: parking_lot::Mutex::new(RolloutBuffer::new()),
+        }
     }
 
     /// Store one step.
@@ -158,7 +174,15 @@ mod tests {
     use super::*;
 
     fn step(reward: f32, value: f32, done: bool) -> Transition<u32> {
-        Transition { state: 0, mask: vec![true], action: 0, reward, done, value, logp: 0.0 }
+        Transition {
+            state: 0,
+            mask: vec![true],
+            action: 0,
+            reward,
+            done,
+            value,
+            logp: 0.0,
+        }
     }
 
     #[test]
@@ -220,10 +244,7 @@ mod tests {
                 let shared = &shared;
                 scope.spawn(move || {
                     // One episode per worker, pushed atomically.
-                    shared.push_episode([
-                        step(w as f32, 0.0, false),
-                        step(1.0, 0.0, true),
-                    ]);
+                    shared.push_episode([step(w as f32, 0.0, false), step(1.0, 0.0, true)]);
                 });
             }
         });
@@ -245,8 +266,12 @@ mod tests {
         }
         let batch = b.finish(0.9, 0.9);
         let mean: f32 = batch.advantages.iter().sum::<f32>() / 10.0;
-        let var: f32 =
-            batch.advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 10.0;
+        let var: f32 = batch
+            .advantages
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f32>()
+            / 10.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

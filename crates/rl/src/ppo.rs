@@ -83,7 +83,10 @@ pub struct Ppo {
 impl Ppo {
     /// Trainer with learning rate `lr`.
     pub fn new(cfg: PpoConfig, lr: f32) -> Self {
-        Self { cfg, adam: foss_nn::Adam::new(lr) }
+        Self {
+            cfg,
+            adam: foss_nn::Adam::new(lr),
+        }
     }
 
     /// Run the clipped-surrogate update over `batch`.
@@ -103,12 +106,10 @@ impl Ppo {
         'epochs: for epoch in 0..self.cfg.epochs {
             order.shuffle(rng);
             for chunk in order.chunks(self.cfg.minibatch.max(1)) {
-                let states: Vec<&S> =
-                    chunk.iter().map(|&i| &batch.transitions[i].state).collect();
+                let states: Vec<&S> = chunk.iter().map(|&i| &batch.transitions[i].state).collect();
                 let actions: Vec<usize> =
                     chunk.iter().map(|&i| batch.transitions[i].action).collect();
-                let old_logp: Vec<f32> =
-                    chunk.iter().map(|&i| batch.transitions[i].logp).collect();
+                let old_logp: Vec<f32> = chunk.iter().map(|&i| batch.transitions[i].logp).collect();
                 let advs: Vec<f32> = chunk.iter().map(|&i| batch.advantages[i]).collect();
                 let rets: Vec<f32> = chunk.iter().map(|&i| batch.returns[i]).collect();
                 let b = chunk.len();
@@ -193,11 +194,7 @@ impl Ppo {
 /// Sample an action from masked logits; returns `(action, logp, probs)`.
 ///
 /// Used at collection time (no gradients needed).
-pub fn sample_masked(
-    logits: &[f32],
-    mask: &[bool],
-    rng: &mut StdRng,
-) -> (usize, f32, Vec<f32>) {
+pub fn sample_masked(logits: &[f32], mask: &[bool], rng: &mut StdRng) -> (usize, f32, Vec<f32>) {
     debug_assert_eq!(logits.len(), mask.len());
     let max = logits
         .iter()
@@ -279,9 +276,17 @@ mod tests {
             value: Linear::new(&mut set, 2, 2, &mut rng),
         };
         // value head outputs 2 cols; use col 0 only — simpler: make value 1-col net.
-        let net = TinyNet { policy: net.policy, value: Linear::new(&mut set, 2, 1, &mut rng) };
+        let net = TinyNet {
+            policy: net.policy,
+            value: Linear::new(&mut set, 2, 1, &mut rng),
+        };
         let mut ppo = Ppo::new(
-            PpoConfig { minibatch: 32, epochs: 4, target_kl: None, ..Default::default() },
+            PpoConfig {
+                minibatch: 32,
+                epochs: 4,
+                target_kl: None,
+                ..Default::default()
+            },
             0.05,
         );
         for _round in 0..30 {
@@ -293,7 +298,11 @@ mod tests {
                 let l = g.value(logits).row(0).to_vec();
                 let v = g.value(values).get(0, 0);
                 let (a, logp, _) = sample_masked(&l, &[true, true], &mut rng);
-                let reward = if (s == 0 && a == 1) || (s == 1 && a == 0) { 1.0 } else { 0.0 };
+                let reward = if (s == 0 && a == 1) || (s == 1 && a == 0) {
+                    1.0
+                } else {
+                    0.0
+                };
                 buf.push(Transition {
                     state: s,
                     mask: vec![true, true],
@@ -368,7 +377,12 @@ mod tests {
         // Hugely aggressive LR with a tiny KL target: must stop before all
         // 50 epochs.
         let mut ppo = Ppo::new(
-            PpoConfig { epochs: 50, target_kl: Some(1e-4), minibatch: 8, ..Default::default() },
+            PpoConfig {
+                epochs: 50,
+                target_kl: Some(1e-4),
+                minibatch: 8,
+                ..Default::default()
+            },
             0.5,
         );
         let mut buf = RolloutBuffer::new();
@@ -386,6 +400,10 @@ mod tests {
         }
         let batch = buf.finish(0.99, 0.95);
         let stats = ppo.update(&net, &mut set, &batch, &mut rng);
-        assert!(stats.epochs_run < 50, "expected early stop, ran {}", stats.epochs_run);
+        assert!(
+            stats.epochs_run < 50,
+            "expected early stop, ran {}",
+            stats.epochs_run
+        );
     }
 }

@@ -65,7 +65,10 @@ pub struct ColumnSpec {
 impl ColumnSpec {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, dist: Distribution) -> Self {
-        Self { name: name.into(), dist }
+        Self {
+            name: name.into(),
+            dist,
+        }
     }
 }
 
@@ -150,8 +153,17 @@ impl TableGenerator {
                         vals.push(z.sample(&mut rng) as i64);
                     }
                 }
-                Distribution::Derived { source, mul, offset, noise, modulus } => {
-                    assert!(*source < ci, "Derived column must reference an earlier column");
+                Distribution::Derived {
+                    source,
+                    mul,
+                    offset,
+                    noise,
+                    modulus,
+                } => {
+                    assert!(
+                        *source < ci,
+                        "Derived column must reference an earlier column"
+                    );
                     assert!(*modulus > 0, "Derived modulus must be positive");
                     let src = &raw[*source];
                     for &base in src.iter().take(rows) {
@@ -194,7 +206,10 @@ mod tests {
     fn uniform_respects_bounds() {
         let t = gen(
             1000,
-            &[ColumnSpec::new("u", Distribution::Uniform { lo: -3, hi: 3 })],
+            &[ColumnSpec::new(
+                "u",
+                Distribution::Uniform { lo: -3, hi: 3 },
+            )],
         );
         assert!(t.column(0).values().iter().all(|&v| (-3..=3).contains(&v)));
         assert!(t.column(0).distinct_count() > 1);
@@ -202,15 +217,24 @@ mod tests {
 
     #[test]
     fn zipf_is_skewed_toward_low_ranks() {
-        let t = gen(5000, &[ColumnSpec::new("z", Distribution::Zipf { n: 100, s: 1.2 })]);
+        let t = gen(
+            5000,
+            &[ColumnSpec::new("z", Distribution::Zipf { n: 100, s: 1.2 })],
+        );
         let zeros = t.column(0).values().iter().filter(|&&v| v == 0).count();
         let tails = t.column(0).values().iter().filter(|&&v| v >= 50).count();
-        assert!(zeros > tails, "rank 0 ({zeros}) should dominate the tail ({tails})");
+        assert!(
+            zeros > tails,
+            "rank 0 ({zeros}) should dominate the tail ({tails})"
+        );
     }
 
     #[test]
     fn zipf_zero_skew_is_roughly_uniform() {
-        let t = gen(10_000, &[ColumnSpec::new("z", Distribution::Zipf { n: 10, s: 0.0 })]);
+        let t = gen(
+            10_000,
+            &[ColumnSpec::new("z", Distribution::Zipf { n: 10, s: 0.0 })],
+        );
         let zeros = t.column(0).values().iter().filter(|&&v| v == 0).count();
         // ~1000 expected; allow generous slack.
         assert!((600..1600).contains(&zeros), "zeros={zeros}");
@@ -220,7 +244,13 @@ mod tests {
     fn fk_values_reference_target() {
         let t = gen(
             500,
-            &[ColumnSpec::new("fk", Distribution::ForeignKeyZipf { target_rows: 50, s: 1.0 })],
+            &[ColumnSpec::new(
+                "fk",
+                Distribution::ForeignKeyZipf {
+                    target_rows: 50,
+                    s: 1.0,
+                },
+            )],
         );
         assert!(t.column(0).values().iter().all(|&v| (0..50).contains(&v)));
     }
@@ -233,7 +263,13 @@ mod tests {
                 ColumnSpec::new("a", Distribution::Uniform { lo: 0, hi: 99 }),
                 ColumnSpec::new(
                     "b",
-                    Distribution::Derived { source: 0, mul: 1, offset: 0, noise: 0, modulus: 100 },
+                    Distribution::Derived {
+                        source: 0,
+                        mul: 1,
+                        offset: 0,
+                        noise: 0,
+                        modulus: 100,
+                    },
                 ),
             ],
         );
@@ -242,7 +278,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let specs = [ColumnSpec::new("u", Distribution::Uniform { lo: 0, hi: 1000 })];
+        let specs = [ColumnSpec::new(
+            "u",
+            Distribution::Uniform { lo: 0, hi: 1000 },
+        )];
         let a = TableGenerator::new(7).generate("x", 100, &specs).unwrap();
         let b = TableGenerator::new(7).generate("x", 100, &specs).unwrap();
         assert_eq!(a.column(0).values(), b.column(0).values());
@@ -252,7 +291,10 @@ mod tests {
 
     #[test]
     fn different_tables_get_different_streams() {
-        let specs = [ColumnSpec::new("u", Distribution::Uniform { lo: 0, hi: 1000 })];
+        let specs = [ColumnSpec::new(
+            "u",
+            Distribution::Uniform { lo: 0, hi: 1000 },
+        )];
         let g = TableGenerator::new(7);
         let a = g.generate("x", 50, &specs).unwrap();
         let b = g.generate("y", 50, &specs).unwrap();

@@ -17,11 +17,17 @@ pub(crate) struct Col {
 
 impl Col {
     pub fn indexed(name: &str, dist: Distribution) -> Self {
-        Self { def: ColumnDef::indexed(name), dist }
+        Self {
+            def: ColumnDef::indexed(name),
+            dist,
+        }
     }
 
     pub fn plain(name: &str, dist: Distribution) -> Self {
-        Self { def: ColumnDef::plain(name), dist }
+        Self {
+            def: ColumnDef::plain(name),
+            dist,
+        }
     }
 }
 
@@ -33,7 +39,10 @@ pub(crate) struct DbBuilder {
 
 impl DbBuilder {
     pub fn new() -> Self {
-        Self { tables: Vec::new(), fks: Vec::new() }
+        Self {
+            tables: Vec::new(),
+            fks: Vec::new(),
+        }
     }
 
     /// Declare a table.
@@ -45,13 +54,20 @@ impl DbBuilder {
     /// Declare a foreign key (by names) — recorded in the schema's join
     /// graph for documentation; templates join explicitly by column index.
     pub fn fk(&mut self, from: &str, from_col: &str, to: &str, to_col: &str) -> &mut Self {
-        self.fks
-            .push((from.to_string(), from_col.to_string(), to.to_string(), to_col.to_string()));
+        self.fks.push((
+            from.to_string(),
+            from_col.to_string(),
+            to.to_string(),
+            to_col.to_string(),
+        ));
         self
     }
 
     /// Generate data and assemble the database + optimizer.
-    pub fn build(self, seed: u64) -> Result<(Arc<Schema>, Arc<Database>, Arc<TraditionalOptimizer>)> {
+    pub fn build(
+        self,
+        seed: u64,
+    ) -> Result<(Arc<Schema>, Arc<Database>, Arc<TraditionalOptimizer>)> {
         let mut schema = Schema::new();
         for (name, _, cols) in &self.tables {
             schema.add_table(TableDef {

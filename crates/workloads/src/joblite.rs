@@ -33,105 +33,295 @@ fn schema(spec: &WorkloadSpec) -> DbBuilder {
     let mut b = DbBuilder::new();
     let r = |base: usize| spec.rows(base);
     // Dimension tables.
-    b.table("kind_type", r(8).min(8), vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("kind", D::Uniform { lo: 0, hi: 7 }),
-    ]);
-    b.table("company_type", r(8).min(8), vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("kind", D::Uniform { lo: 0, hi: 3 }),
-    ]);
-    b.table("info_type", r(110), vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("grp", D::Uniform { lo: 0, hi: 10 }),
-    ]);
-    b.table("link_type", r(18).min(18), vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("grp", D::Uniform { lo: 0, hi: 5 }),
-    ]);
-    b.table("role_type", r(12).min(12), vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("grp", D::Uniform { lo: 0, hi: 3 }),
-    ]);
-    b.table("comp_cast_type", r(8).min(4), vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("kind", D::Uniform { lo: 0, hi: 3 }),
-    ]);
-    b.table("keyword", r(3000), vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("grp", D::Zipf { n: 200, s: 1.1 }),
-    ]);
-    b.table("company_name", r(2000), vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("country", D::Zipf { n: 60, s: 1.2 }),
-    ]);
-    b.table("name", r(8000), vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("gender", D::Uniform { lo: 0, hi: 2 }),
-        Col::plain("grp", D::Zipf { n: 500, s: 1.0 }),
-    ]);
-    b.table("char_name", r(4000), vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("grp", D::Zipf { n: 300, s: 1.0 }),
-    ]);
+    b.table(
+        "kind_type",
+        r(8).min(8),
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("kind", D::Uniform { lo: 0, hi: 7 }),
+        ],
+    );
+    b.table(
+        "company_type",
+        r(8).min(8),
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("kind", D::Uniform { lo: 0, hi: 3 }),
+        ],
+    );
+    b.table(
+        "info_type",
+        r(110),
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("grp", D::Uniform { lo: 0, hi: 10 }),
+        ],
+    );
+    b.table(
+        "link_type",
+        r(18).min(18),
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("grp", D::Uniform { lo: 0, hi: 5 }),
+        ],
+    );
+    b.table(
+        "role_type",
+        r(12).min(12),
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("grp", D::Uniform { lo: 0, hi: 3 }),
+        ],
+    );
+    b.table(
+        "comp_cast_type",
+        r(8).min(4),
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("kind", D::Uniform { lo: 0, hi: 3 }),
+        ],
+    );
+    b.table(
+        "keyword",
+        r(3000),
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("grp", D::Zipf { n: 200, s: 1.1 }),
+        ],
+    );
+    b.table(
+        "company_name",
+        r(2000),
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("country", D::Zipf { n: 60, s: 1.2 }),
+        ],
+    );
+    b.table(
+        "name",
+        r(8000),
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("gender", D::Uniform { lo: 0, hi: 2 }),
+            Col::plain("grp", D::Zipf { n: 500, s: 1.0 }),
+        ],
+    );
+    b.table(
+        "char_name",
+        r(4000),
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("grp", D::Zipf { n: 300, s: 1.0 }),
+        ],
+    );
     // The hub.
     let titles = r(8000) as u64;
-    b.table("title", titles as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("kind_id", D::ForeignKeyZipf { target_rows: 8, s: 0.9 }),
-        Col::plain("production_year", D::Zipf { n: 140, s: 0.6 }), // 0 = recent
-        Col::plain("grp", D::Zipf { n: 400, s: 1.0 }),
-    ]);
+    b.table(
+        "title",
+        titles as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain(
+                "kind_id",
+                D::ForeignKeyZipf {
+                    target_rows: 8,
+                    s: 0.9,
+                },
+            ),
+            Col::plain("production_year", D::Zipf { n: 140, s: 0.6 }), // 0 = recent
+            Col::plain("grp", D::Zipf { n: 400, s: 1.0 }),
+        ],
+    );
     let names = r(8000) as u64;
     let keywords = r(3000) as u64;
     let companies = r(2000) as u64;
     let info_types = r(110) as u64;
     // Satellite facts (movie_id indexed to admit index nested loops).
-    b.table("movie_companies", r(12_000), vec![
-        Col::indexed("movie_id", D::ForeignKeyZipf { target_rows: titles, s: 1.05 }),
-        Col::plain("company_id", D::ForeignKeyZipf { target_rows: companies, s: 1.1 }),
-        Col::plain("company_type_id", D::ForeignKeyUniform { target_rows: 4 }),
-    ]);
-    b.table("movie_info", r(16_000), vec![
-        Col::indexed("movie_id", D::ForeignKeyZipf { target_rows: titles, s: 1.0 }),
-        Col::plain("info_type_id", D::ForeignKeyZipf { target_rows: info_types, s: 1.2 }),
-        Col::plain("val", D::Zipf { n: 1000, s: 1.1 }),
-    ]);
-    b.table("movie_info_idx", r(6000), vec![
-        Col::indexed("movie_id", D::ForeignKeyZipf { target_rows: titles, s: 0.9 }),
-        Col::plain("info_type_id", D::ForeignKeyZipf { target_rows: info_types, s: 1.0 }),
-        Col::plain("val", D::Zipf { n: 100, s: 0.8 }),
-    ]);
-    b.table("movie_keyword", r(12_000), vec![
-        Col::indexed("movie_id", D::ForeignKeyZipf { target_rows: titles, s: 1.1 }),
-        Col::plain("keyword_id", D::ForeignKeyZipf { target_rows: keywords, s: 1.1 }),
-    ]);
-    b.table("cast_info", r(25_000), vec![
-        Col::indexed("movie_id", D::ForeignKeyZipf { target_rows: titles, s: 1.1 }),
-        Col::indexed("person_id", D::ForeignKeyZipf { target_rows: names, s: 1.05 }),
-        Col::plain("role_id", D::ForeignKeyUniform { target_rows: 12 }),
-    ]);
-    b.table("complete_cast", r(1500), vec![
-        Col::indexed("movie_id", D::ForeignKeyZipf { target_rows: titles, s: 0.8 }),
-        Col::plain("subject_id", D::ForeignKeyUniform { target_rows: 4 }),
-    ]);
-    b.table("movie_link", r(1500), vec![
-        Col::indexed("movie_id", D::ForeignKeyZipf { target_rows: titles, s: 0.9 }),
-        Col::plain("linked_movie_id", D::ForeignKeyUniform { target_rows: titles }),
-        Col::plain("link_type_id", D::ForeignKeyUniform { target_rows: 18 }),
-    ]);
-    b.table("person_info", r(8000), vec![
-        Col::indexed("person_id", D::ForeignKeyZipf { target_rows: names, s: 1.1 }),
-        Col::plain("info_type_id", D::ForeignKeyUniform { target_rows: info_types }),
-    ]);
-    b.table("aka_name", r(3000), vec![
-        Col::indexed("person_id", D::ForeignKeyZipf { target_rows: names, s: 1.0 }),
-        Col::plain("grp", D::Uniform { lo: 0, hi: 50 }),
-    ]);
-    b.table("aka_title", r(2000), vec![
-        Col::indexed("movie_id", D::ForeignKeyZipf { target_rows: titles, s: 0.9 }),
-        Col::plain("grp", D::Uniform { lo: 0, hi: 50 }),
-    ]);
+    b.table(
+        "movie_companies",
+        r(12_000),
+        vec![
+            Col::indexed(
+                "movie_id",
+                D::ForeignKeyZipf {
+                    target_rows: titles,
+                    s: 1.05,
+                },
+            ),
+            Col::plain(
+                "company_id",
+                D::ForeignKeyZipf {
+                    target_rows: companies,
+                    s: 1.1,
+                },
+            ),
+            Col::plain("company_type_id", D::ForeignKeyUniform { target_rows: 4 }),
+        ],
+    );
+    b.table(
+        "movie_info",
+        r(16_000),
+        vec![
+            Col::indexed(
+                "movie_id",
+                D::ForeignKeyZipf {
+                    target_rows: titles,
+                    s: 1.0,
+                },
+            ),
+            Col::plain(
+                "info_type_id",
+                D::ForeignKeyZipf {
+                    target_rows: info_types,
+                    s: 1.2,
+                },
+            ),
+            Col::plain("val", D::Zipf { n: 1000, s: 1.1 }),
+        ],
+    );
+    b.table(
+        "movie_info_idx",
+        r(6000),
+        vec![
+            Col::indexed(
+                "movie_id",
+                D::ForeignKeyZipf {
+                    target_rows: titles,
+                    s: 0.9,
+                },
+            ),
+            Col::plain(
+                "info_type_id",
+                D::ForeignKeyZipf {
+                    target_rows: info_types,
+                    s: 1.0,
+                },
+            ),
+            Col::plain("val", D::Zipf { n: 100, s: 0.8 }),
+        ],
+    );
+    b.table(
+        "movie_keyword",
+        r(12_000),
+        vec![
+            Col::indexed(
+                "movie_id",
+                D::ForeignKeyZipf {
+                    target_rows: titles,
+                    s: 1.1,
+                },
+            ),
+            Col::plain(
+                "keyword_id",
+                D::ForeignKeyZipf {
+                    target_rows: keywords,
+                    s: 1.1,
+                },
+            ),
+        ],
+    );
+    b.table(
+        "cast_info",
+        r(25_000),
+        vec![
+            Col::indexed(
+                "movie_id",
+                D::ForeignKeyZipf {
+                    target_rows: titles,
+                    s: 1.1,
+                },
+            ),
+            Col::indexed(
+                "person_id",
+                D::ForeignKeyZipf {
+                    target_rows: names,
+                    s: 1.05,
+                },
+            ),
+            Col::plain("role_id", D::ForeignKeyUniform { target_rows: 12 }),
+        ],
+    );
+    b.table(
+        "complete_cast",
+        r(1500),
+        vec![
+            Col::indexed(
+                "movie_id",
+                D::ForeignKeyZipf {
+                    target_rows: titles,
+                    s: 0.8,
+                },
+            ),
+            Col::plain("subject_id", D::ForeignKeyUniform { target_rows: 4 }),
+        ],
+    );
+    b.table(
+        "movie_link",
+        r(1500),
+        vec![
+            Col::indexed(
+                "movie_id",
+                D::ForeignKeyZipf {
+                    target_rows: titles,
+                    s: 0.9,
+                },
+            ),
+            Col::plain(
+                "linked_movie_id",
+                D::ForeignKeyUniform {
+                    target_rows: titles,
+                },
+            ),
+            Col::plain("link_type_id", D::ForeignKeyUniform { target_rows: 18 }),
+        ],
+    );
+    b.table(
+        "person_info",
+        r(8000),
+        vec![
+            Col::indexed(
+                "person_id",
+                D::ForeignKeyZipf {
+                    target_rows: names,
+                    s: 1.1,
+                },
+            ),
+            Col::plain(
+                "info_type_id",
+                D::ForeignKeyUniform {
+                    target_rows: info_types,
+                },
+            ),
+        ],
+    );
+    b.table(
+        "aka_name",
+        r(3000),
+        vec![
+            Col::indexed(
+                "person_id",
+                D::ForeignKeyZipf {
+                    target_rows: names,
+                    s: 1.0,
+                },
+            ),
+            Col::plain("grp", D::Uniform { lo: 0, hi: 50 }),
+        ],
+    );
+    b.table(
+        "aka_title",
+        r(2000),
+        vec![
+            Col::indexed(
+                "movie_id",
+                D::ForeignKeyZipf {
+                    target_rows: titles,
+                    s: 0.9,
+                },
+            ),
+            Col::plain("grp", D::Uniform { lo: 0, hi: 50 }),
+        ],
+    );
     // FK graph (for documentation / tooling).
     b.fk("movie_companies", "movie_id", "title", "id");
     b.fk("movie_companies", "company_id", "company_name", "id");
@@ -170,45 +360,49 @@ pub fn templates() -> Vec<Template> {
     // The 33 combos (template families follow JOB's 1a..33c progression:
     // small chains first, wide stars later).
     let combos: Vec<Vec<usize>> = vec![
-        vec![MC],                     // 1: t, mc, cn
-        vec![MI],                     // 2
-        vec![MK],                     // 3
-        vec![MIDX],                   // 4
-        vec![CI],                     // 5
-        vec![MC, KT],                 // 6
-        vec![MI, KT],                 // 7
-        vec![MK, MI],                 // 8
-        vec![CI, MK],                 // 9
-        vec![MC, MI],                 // 10
-        vec![MCT],                    // 11
-        vec![CIR],                    // 12
-        vec![MIDX, MI],               // 13
-        vec![MC, MK],                 // 14
-        vec![CI, MC],                 // 15
-        vec![CI, MI],                 // 16
-        vec![CC],                     // 17
-        vec![ML],                     // 18
-        vec![AT, MI],                 // 19
-        vec![CI, PI],                 // 20
-        vec![CI, AN],                 // 21
-        vec![MCT, MI],                // 22
-        vec![MK, MIDX],               // 23
-        vec![CIR, MK],                // 24
-        vec![MC, MI, MK],             // 25
-        vec![CI, MC, MI],             // 26
-        vec![CIR, MC, KT],            // 27
-        vec![CC, MK, MI],             // 28
-        vec![ML, MK],                 // 29
-        vec![CI, MI, MIDX],           // 30
-        vec![CIR, PI, MK],            // 31
-        vec![MCT, MIDX, MK, KT],      // 32
-        vec![CIR, MC, MI, MK],        // 33
+        vec![MC],                // 1: t, mc, cn
+        vec![MI],                // 2
+        vec![MK],                // 3
+        vec![MIDX],              // 4
+        vec![CI],                // 5
+        vec![MC, KT],            // 6
+        vec![MI, KT],            // 7
+        vec![MK, MI],            // 8
+        vec![CI, MK],            // 9
+        vec![MC, MI],            // 10
+        vec![MCT],               // 11
+        vec![CIR],               // 12
+        vec![MIDX, MI],          // 13
+        vec![MC, MK],            // 14
+        vec![CI, MC],            // 15
+        vec![CI, MI],            // 16
+        vec![CC],                // 17
+        vec![ML],                // 18
+        vec![AT, MI],            // 19
+        vec![CI, PI],            // 20
+        vec![CI, AN],            // 21
+        vec![MCT, MI],           // 22
+        vec![MK, MIDX],          // 23
+        vec![CIR, MK],           // 24
+        vec![MC, MI, MK],        // 25
+        vec![CI, MC, MI],        // 26
+        vec![CIR, MC, KT],       // 27
+        vec![CC, MK, MI],        // 28
+        vec![ML, MK],            // 29
+        vec![CI, MI, MIDX],      // 30
+        vec![CIR, PI, MK],       // 31
+        vec![MCT, MIDX, MK, KT], // 32
+        vec![CIR, MC, MI, MK],   // 33
     ];
 
     for (ti, combo) in combos.iter().enumerate() {
         let id = ti as u32 + 1;
-        let mut rels: Vec<TemplateRel> = vec![TemplateRel::new("title", "t")
-            .pred(PredSpec::EqSkewed { column: 2, lo: 0, hi: 60 })];
+        let mut rels: Vec<TemplateRel> =
+            vec![TemplateRel::new("title", "t").pred(PredSpec::EqSkewed {
+                column: 2,
+                lo: 0,
+                hi: 60,
+            })];
         let mut joins: Vec<(usize, usize, usize, usize)> = Vec::new();
         let mut ci_name_rel: Option<usize> = None;
         for &block in combo {
@@ -218,8 +412,13 @@ pub fn templates() -> Vec<Template> {
                     rels.push(TemplateRel::new("movie_companies", "mc"));
                     joins.push((0, 0, mc, 0)); // t.id = mc.movie_id
                     let cn = rels.len();
-                    rels.push(TemplateRel::new("company_name", "cn")
-                        .pred(PredSpec::EqSkewed { column: 1, lo: 0, hi: 30 }));
+                    rels.push(
+                        TemplateRel::new("company_name", "cn").pred(PredSpec::EqSkewed {
+                            column: 1,
+                            lo: 0,
+                            hi: 30,
+                        }),
+                    );
                     joins.push((mc, 1, cn, 0)); // mc.company_id = cn.id
                     if block == MCT {
                         let ct = rels.len();
@@ -229,8 +428,13 @@ pub fn templates() -> Vec<Template> {
                 }
                 MI => {
                     let mi = rels.len();
-                    rels.push(TemplateRel::new("movie_info", "mi")
-                        .pred(PredSpec::EqSkewed { column: 2, lo: 0, hi: 200 }));
+                    rels.push(
+                        TemplateRel::new("movie_info", "mi").pred(PredSpec::EqSkewed {
+                            column: 2,
+                            lo: 0,
+                            hi: 200,
+                        }),
+                    );
                     joins.push((0, 0, mi, 0));
                     let it = rels.len();
                     rels.push(TemplateRel::new("info_type", "it"));
@@ -238,8 +442,13 @@ pub fn templates() -> Vec<Template> {
                 }
                 MIDX => {
                     let mi = rels.len();
-                    rels.push(TemplateRel::new("movie_info_idx", "mi_idx")
-                        .pred(PredSpec::EqSkewed { column: 2, lo: 0, hi: 40 }));
+                    rels.push(TemplateRel::new("movie_info_idx", "mi_idx").pred(
+                        PredSpec::EqSkewed {
+                            column: 2,
+                            lo: 0,
+                            hi: 40,
+                        },
+                    ));
                     joins.push((0, 0, mi, 0));
                     let it = rels.len();
                     rels.push(TemplateRel::new("info_type", "it2"));
@@ -250,8 +459,11 @@ pub fn templates() -> Vec<Template> {
                     rels.push(TemplateRel::new("movie_keyword", "mk"));
                     joins.push((0, 0, mk, 0));
                     let k = rels.len();
-                    rels.push(TemplateRel::new("keyword", "k")
-                        .pred(PredSpec::EqSkewed { column: 1, lo: 0, hi: 100 }));
+                    rels.push(TemplateRel::new("keyword", "k").pred(PredSpec::EqSkewed {
+                        column: 1,
+                        lo: 0,
+                        hi: 100,
+                    }));
                     joins.push((mk, 1, k, 0));
                 }
                 CI | CIR => {
@@ -259,8 +471,11 @@ pub fn templates() -> Vec<Template> {
                     rels.push(TemplateRel::new("cast_info", "ci"));
                     joins.push((0, 0, ci, 0));
                     let n = rels.len();
-                    rels.push(TemplateRel::new("name", "n")
-                        .pred(PredSpec::EqUniform { column: 1, lo: 0, hi: 2 }));
+                    rels.push(TemplateRel::new("name", "n").pred(PredSpec::EqUniform {
+                        column: 1,
+                        lo: 0,
+                        hi: 2,
+                    }));
                     joins.push((ci, 1, n, 0));
                     ci_name_rel = Some(n);
                     if block == CIR {
@@ -287,8 +502,13 @@ pub fn templates() -> Vec<Template> {
                 }
                 AT => {
                     let at = rels.len();
-                    rels.push(TemplateRel::new("aka_title", "at")
-                        .pred(PredSpec::EqUniform { column: 1, lo: 0, hi: 25 }));
+                    rels.push(
+                        TemplateRel::new("aka_title", "at").pred(PredSpec::EqUniform {
+                            column: 1,
+                            lo: 0,
+                            hi: 25,
+                        }),
+                    );
                     joins.push((0, 0, at, 0));
                 }
                 PI => {
@@ -300,8 +520,13 @@ pub fn templates() -> Vec<Template> {
                 AN => {
                     let n = ci_name_rel.expect("AN requires a CI block first");
                     let an = rels.len();
-                    rels.push(TemplateRel::new("aka_name", "an")
-                        .pred(PredSpec::EqUniform { column: 1, lo: 0, hi: 25 }));
+                    rels.push(
+                        TemplateRel::new("aka_name", "an").pred(PredSpec::EqUniform {
+                            column: 1,
+                            lo: 0,
+                            hi: 25,
+                        }),
+                    );
                     joins.push((n, 0, an, 0));
                 }
                 KT => {
@@ -340,8 +565,7 @@ pub fn build(spec: WorkloadSpec) -> Result<Workload> {
     let mut order: Vec<usize> = (0..queries.len()).collect();
     let mut split_rng = StdRng::seed_from_u64(stream.derive("joblite-split"));
     order.shuffle(&mut split_rng);
-    let test_idx: std::collections::HashSet<usize> =
-        order[..TEST_COUNT].iter().copied().collect();
+    let test_idx: std::collections::HashSet<usize> = order[..TEST_COUNT].iter().copied().collect();
     let mut train = Vec::with_capacity(QUERY_COUNT - TEST_COUNT);
     let mut test = Vec::with_capacity(TEST_COUNT);
     for (i, q) in queries.into_iter().enumerate() {
@@ -357,7 +581,14 @@ pub fn build(spec: WorkloadSpec) -> Result<Workload> {
         .map(|q| q.relation_count())
         .max()
         .unwrap_or(2);
-    Ok(Workload { name: "joblite".into(), db, optimizer, train, test, max_relations })
+    Ok(Workload {
+        name: "joblite".into(),
+        db,
+        optimizer,
+        train,
+        test,
+        max_relations,
+    })
 }
 
 #[cfg(test)]

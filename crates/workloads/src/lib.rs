@@ -79,7 +79,10 @@ pub struct WorkloadSpec {
 
 impl Default for WorkloadSpec {
     fn default() -> Self {
-        Self { seed: 42, scale: 1.0 }
+        Self {
+            seed: 42,
+            scale: 1.0,
+        }
     }
 }
 

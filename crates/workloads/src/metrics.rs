@@ -33,8 +33,14 @@ pub fn geometric_mean_relevant_latency(outcomes: &[QueryOutcome]) -> f64 {
 /// `WRL = Σ(ET_l + OT_l) / Σ(ET_e + OT_e)`.
 pub fn workload_relevant_latency(outcomes: &[QueryOutcome]) -> f64 {
     assert!(!outcomes.is_empty(), "WRL over empty workload");
-    let num: f64 = outcomes.iter().map(|o| o.learned_latency + o.learned_opt_time).sum();
-    let den: f64 = outcomes.iter().map(|o| o.expert_latency + o.expert_opt_time).sum();
+    let num: f64 = outcomes
+        .iter()
+        .map(|o| o.learned_latency + o.learned_opt_time)
+        .sum();
+    let den: f64 = outcomes
+        .iter()
+        .map(|o| o.expert_latency + o.expert_opt_time)
+        .sum();
     num / den.max(1e-12)
 }
 

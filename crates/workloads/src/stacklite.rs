@@ -27,50 +27,173 @@ fn schema(spec: &WorkloadSpec) -> DbBuilder {
     let users = r(6000) as u64;
     let questions = r(12_000) as u64;
     let tags = r(500) as u64;
-    b.table("site", sites as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("grp", D::Uniform { lo: 0, hi: 7 }),
-    ]);
-    b.table("so_user", users as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("site_id", D::ForeignKeyZipf { target_rows: sites, s: 1.2 }),
-        Col::plain("reputation", D::Zipf { n: 1000, s: 1.3 }),
-    ]);
-    b.table("question", questions as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("site_id", D::ForeignKeyZipf { target_rows: sites, s: 1.2 }),
-        Col::indexed("owner_id", D::ForeignKeyZipf { target_rows: users, s: 1.2 }),
-        Col::plain("score", D::Zipf { n: 200, s: 1.1 }),
-    ]);
-    b.table("tag", tags as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("site_id", D::ForeignKeyZipf { target_rows: sites, s: 1.0 }),
-    ]);
-    b.table("answer", r(20_000), vec![
-        Col::indexed("question_id", D::ForeignKeyZipf { target_rows: questions, s: 1.15 }),
-        Col::indexed("owner_id", D::ForeignKeyZipf { target_rows: users, s: 1.25 }),
-        Col::plain("score", D::Zipf { n: 100, s: 1.0 }),
-    ]);
-    b.table("tag_question", r(18_000), vec![
-        Col::indexed("tag_id", D::ForeignKeyZipf { target_rows: tags, s: 1.2 }),
-        Col::indexed("question_id", D::ForeignKeyZipf { target_rows: questions, s: 1.1 }),
-    ]);
-    b.table("badge", r(8000), vec![
-        Col::indexed("user_id", D::ForeignKeyZipf { target_rows: users, s: 1.2 }),
-        Col::plain("grp", D::Zipf { n: 50, s: 0.9 }),
-    ]);
-    b.table("comment", r(15_000), vec![
-        Col::indexed("post_id", D::ForeignKeyZipf { target_rows: questions, s: 1.2 }),
-        Col::plain("user_id", D::ForeignKeyZipf { target_rows: users, s: 1.2 }),
-    ]);
-    b.table("post_link", r(3000), vec![
-        Col::indexed("question_from", D::ForeignKeyZipf { target_rows: questions, s: 1.0 }),
-        Col::plain("question_to", D::ForeignKeyUniform { target_rows: questions }),
-    ]);
-    b.table("vote", r(10_000), vec![
-        Col::indexed("question_id", D::ForeignKeyZipf { target_rows: questions, s: 1.25 }),
-        Col::plain("vote_type", D::Uniform { lo: 0, hi: 3 }),
-    ]);
+    b.table(
+        "site",
+        sites as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("grp", D::Uniform { lo: 0, hi: 7 }),
+        ],
+    );
+    b.table(
+        "so_user",
+        users as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain(
+                "site_id",
+                D::ForeignKeyZipf {
+                    target_rows: sites,
+                    s: 1.2,
+                },
+            ),
+            Col::plain("reputation", D::Zipf { n: 1000, s: 1.3 }),
+        ],
+    );
+    b.table(
+        "question",
+        questions as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain(
+                "site_id",
+                D::ForeignKeyZipf {
+                    target_rows: sites,
+                    s: 1.2,
+                },
+            ),
+            Col::indexed(
+                "owner_id",
+                D::ForeignKeyZipf {
+                    target_rows: users,
+                    s: 1.2,
+                },
+            ),
+            Col::plain("score", D::Zipf { n: 200, s: 1.1 }),
+        ],
+    );
+    b.table(
+        "tag",
+        tags as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain(
+                "site_id",
+                D::ForeignKeyZipf {
+                    target_rows: sites,
+                    s: 1.0,
+                },
+            ),
+        ],
+    );
+    b.table(
+        "answer",
+        r(20_000),
+        vec![
+            Col::indexed(
+                "question_id",
+                D::ForeignKeyZipf {
+                    target_rows: questions,
+                    s: 1.15,
+                },
+            ),
+            Col::indexed(
+                "owner_id",
+                D::ForeignKeyZipf {
+                    target_rows: users,
+                    s: 1.25,
+                },
+            ),
+            Col::plain("score", D::Zipf { n: 100, s: 1.0 }),
+        ],
+    );
+    b.table(
+        "tag_question",
+        r(18_000),
+        vec![
+            Col::indexed(
+                "tag_id",
+                D::ForeignKeyZipf {
+                    target_rows: tags,
+                    s: 1.2,
+                },
+            ),
+            Col::indexed(
+                "question_id",
+                D::ForeignKeyZipf {
+                    target_rows: questions,
+                    s: 1.1,
+                },
+            ),
+        ],
+    );
+    b.table(
+        "badge",
+        r(8000),
+        vec![
+            Col::indexed(
+                "user_id",
+                D::ForeignKeyZipf {
+                    target_rows: users,
+                    s: 1.2,
+                },
+            ),
+            Col::plain("grp", D::Zipf { n: 50, s: 0.9 }),
+        ],
+    );
+    b.table(
+        "comment",
+        r(15_000),
+        vec![
+            Col::indexed(
+                "post_id",
+                D::ForeignKeyZipf {
+                    target_rows: questions,
+                    s: 1.2,
+                },
+            ),
+            Col::plain(
+                "user_id",
+                D::ForeignKeyZipf {
+                    target_rows: users,
+                    s: 1.2,
+                },
+            ),
+        ],
+    );
+    b.table(
+        "post_link",
+        r(3000),
+        vec![
+            Col::indexed(
+                "question_from",
+                D::ForeignKeyZipf {
+                    target_rows: questions,
+                    s: 1.0,
+                },
+            ),
+            Col::plain(
+                "question_to",
+                D::ForeignKeyUniform {
+                    target_rows: questions,
+                },
+            ),
+        ],
+    );
+    b.table(
+        "vote",
+        r(10_000),
+        vec![
+            Col::indexed(
+                "question_id",
+                D::ForeignKeyZipf {
+                    target_rows: questions,
+                    s: 1.25,
+                },
+            ),
+            Col::plain("vote_type", D::Uniform { lo: 0, hi: 3 }),
+        ],
+    );
     b
 }
 
@@ -80,18 +203,27 @@ pub fn templates() -> Vec<Template> {
     // so_user columns: id=0 site_id=1 reputation=2
     let mut out = Vec::with_capacity(TEMPLATE_IDS.len());
     for (k, &id) in TEMPLATE_IDS.iter().enumerate() {
-        let mut rels = vec![TemplateRel::new("question", "q")
-            .pred(PredSpec::EqSkewed { column: 3, lo: 0, hi: 50 })];
+        let mut rels = vec![TemplateRel::new("question", "q").pred(PredSpec::EqSkewed {
+            column: 3,
+            lo: 0,
+            hi: 50,
+        })];
         let mut joins = Vec::new();
         // Every template joins answers (the workhorse join in Stack).
         let a = rels.len();
-        rels.push(TemplateRel::new("answer", "a")
-            .pred(PredSpec::EqSkewed { column: 2, lo: 0, hi: 20 }));
+        rels.push(TemplateRel::new("answer", "a").pred(PredSpec::EqSkewed {
+            column: 2,
+            lo: 0,
+            hi: 20,
+        }));
         joins.push((0, 0, a, 0));
         if k % 2 == 0 {
             let u = rels.len();
-            rels.push(TemplateRel::new("so_user", "u")
-                .pred(PredSpec::EqSkewed { column: 2, lo: 0, hi: 100 }));
+            rels.push(TemplateRel::new("so_user", "u").pred(PredSpec::EqSkewed {
+                column: 2,
+                lo: 0,
+                hi: 100,
+            }));
             joins.push((0, 2, u, 0));
         }
         if k % 3 == 0 {
@@ -128,8 +260,11 @@ pub fn templates() -> Vec<Template> {
             rels.push(TemplateRel::new("so_user", "u2"));
             joins.push((a, 1, u2, 0));
             let bd = rels.len();
-            rels.push(TemplateRel::new("badge", "b")
-                .pred(PredSpec::EqSkewed { column: 1, lo: 0, hi: 25 }));
+            rels.push(TemplateRel::new("badge", "b").pred(PredSpec::EqSkewed {
+                column: 1,
+                lo: 0,
+                hi: 25,
+            }));
             joins.push((u2, 0, bd, 0));
         }
         out.push(Template { id, rels, joins });
@@ -153,9 +288,20 @@ pub fn build(spec: WorkloadSpec) -> Result<Workload> {
             train.push(q);
         }
     }
-    let max_relations =
-        train.iter().chain(&test).map(|q| q.relation_count()).max().unwrap_or(2);
-    Ok(Workload { name: "stacklite".into(), db, optimizer, train, test, max_relations })
+    let max_relations = train
+        .iter()
+        .chain(&test)
+        .map(|q| q.relation_count())
+        .max()
+        .unwrap_or(2);
+    Ok(Workload {
+        name: "stacklite".into(),
+        db,
+        optimizer,
+        train,
+        test,
+        max_relations,
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +312,10 @@ mod tests {
     fn twelve_templates_with_paper_ids() {
         let ts = templates();
         assert_eq!(ts.len(), 12);
-        assert_eq!(ts.iter().map(|t| t.id).collect::<Vec<_>>(), TEMPLATE_IDS.to_vec());
+        assert_eq!(
+            ts.iter().map(|t| t.id).collect::<Vec<_>>(),
+            TEMPLATE_IDS.to_vec()
+        );
     }
 
     #[test]
@@ -177,7 +326,11 @@ mod tests {
         let col = ans.column(0);
         let hot: usize = col.values().iter().filter(|&&v| v < 10).count();
         // The 10 hottest questions should own a clearly outsized share.
-        assert!(hot as f64 > col.len() as f64 * 0.05, "hot={hot}/{}", col.len());
+        assert!(
+            hot as f64 > col.len() as f64 * 0.05,
+            "hot={hot}/{}",
+            col.len()
+        );
     }
 
     #[test]

@@ -51,20 +51,34 @@ pub enum PredSpec {
 impl PredSpec {
     fn draw(&self, rng: &mut StdRng) -> Predicate {
         match *self {
-            PredSpec::EqUniform { column, lo, hi } => {
-                Predicate::Eq { column, value: rng.random_range(lo..=hi) }
-            }
+            PredSpec::EqUniform { column, lo, hi } => Predicate::Eq {
+                column,
+                value: rng.random_range(lo..=hi),
+            },
             PredSpec::EqSkewed { column, lo, hi } => {
                 // Square a uniform draw: density ~ 1/sqrt, biased low.
                 let span = (hi - lo).max(1) as f64;
                 let u: f64 = rng.random_range(0.0..1.0);
                 let v = lo + (u * u * span) as i64;
-                Predicate::Eq { column, value: v.min(hi) }
+                Predicate::Eq {
+                    column,
+                    value: v.min(hi),
+                }
             }
-            PredSpec::Range { column, lo, hi, min_w, max_w } => {
+            PredSpec::Range {
+                column,
+                lo,
+                hi,
+                min_w,
+                max_w,
+            } => {
                 let w = rng.random_range(min_w..=max_w);
                 let start = rng.random_range(lo..=(hi - w).max(lo));
-                Predicate::Range { column, lo: start, hi: start + w }
+                Predicate::Range {
+                    column,
+                    lo: start,
+                    hi: start + w,
+                }
             }
         }
     }
@@ -84,7 +98,11 @@ pub struct TemplateRel {
 impl TemplateRel {
     /// Convenience constructor.
     pub fn new(table: impl Into<String>, alias: impl Into<String>) -> Self {
-        Self { table: table.into(), alias: alias.into(), preds: Vec::new() }
+        Self {
+            table: table.into(),
+            alias: alias.into(),
+            preds: Vec::new(),
+        }
     }
 
     /// Attach a predicate spec.
@@ -152,10 +170,18 @@ mod tests {
         Template {
             id: 9,
             rels: vec![
-                TemplateRel::new("x", "x1")
-                    .pred(PredSpec::EqUniform { column: 1, lo: 0, hi: 9 }),
-                TemplateRel::new("y", "y1")
-                    .pred(PredSpec::Range { column: 1, lo: 0, hi: 100, min_w: 5, max_w: 20 }),
+                TemplateRel::new("x", "x1").pred(PredSpec::EqUniform {
+                    column: 1,
+                    lo: 0,
+                    hi: 9,
+                }),
+                TemplateRel::new("y", "y1").pred(PredSpec::Range {
+                    column: 1,
+                    lo: 0,
+                    hi: 100,
+                    min_w: 5,
+                    max_w: 20,
+                }),
             ],
             joins: vec![(0, 0, 1, 1)],
         }
@@ -165,7 +191,9 @@ mod tests {
     fn instantiation_produces_valid_queries() {
         let s = schema();
         let mut rng = StdRng::seed_from_u64(3);
-        let q = template().instantiate(&s, QueryId::new(0), &mut rng).unwrap();
+        let q = template()
+            .instantiate(&s, QueryId::new(0), &mut rng)
+            .unwrap();
         assert_eq!(q.template, 9);
         assert_eq!(q.relation_count(), 2);
         assert_eq!(q.relations[0].predicates.len(), 1);
@@ -189,7 +217,11 @@ mod tests {
     fn skewed_pred_prefers_small_constants() {
         let s = schema();
         let mut rng = StdRng::seed_from_u64(7);
-        let spec = PredSpec::EqSkewed { column: 1, lo: 0, hi: 100 };
+        let spec = PredSpec::EqSkewed {
+            column: 1,
+            lo: 0,
+            hi: 100,
+        };
         let mut small = 0;
         for _ in 0..500 {
             if let Predicate::Eq { value, .. } = spec.draw(&mut rng) {
@@ -205,7 +237,13 @@ mod tests {
     #[test]
     fn range_bounds_are_ordered() {
         let mut rng = StdRng::seed_from_u64(9);
-        let spec = PredSpec::Range { column: 0, lo: 0, hi: 50, min_w: 1, max_w: 10 };
+        let spec = PredSpec::Range {
+            column: 0,
+            lo: 0,
+            hi: 50,
+            min_w: 1,
+            max_w: 10,
+        };
         for _ in 0..100 {
             if let Predicate::Range { lo, hi, .. } = spec.draw(&mut rng) {
                 assert!(lo <= hi);

@@ -20,8 +20,9 @@ use crate::template::{PredSpec, Template, TemplateRel};
 use crate::{Workload, WorkloadSpec};
 
 /// The template numbers used in the paper's TPC-DS selection.
-pub const TEMPLATE_IDS: [u32; 19] =
-    [3, 7, 12, 18, 20, 26, 27, 37, 42, 43, 50, 52, 55, 62, 82, 91, 96, 98, 99];
+pub const TEMPLATE_IDS: [u32; 19] = [
+    3, 7, 12, 18, 20, 26, 27, 37, 42, 43, 50, 52, 55, 62, 82, 91, 96, 98, 99,
+];
 
 fn schema(spec: &WorkloadSpec) -> DbBuilder {
     let mut b = DbBuilder::new();
@@ -35,55 +36,123 @@ fn schema(spec: &WorkloadSpec) -> DbBuilder {
     let hds = r(400) as u64;
     let promos = r(128).max(16) as u64;
     let times = r(800) as u64;
-    b.table("date_dim", dates as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("year", D::Uniform { lo: 0, hi: 9 }),
-        Col::plain("moy", D::Uniform { lo: 1, hi: 12 }),
-    ]);
-    b.table("item", items as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("category", D::Zipf { n: 20, s: 0.6 }),
-        Col::plain("brand", D::Zipf { n: 100, s: 0.6 }),
-    ]);
-    b.table("customer", customers as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("cdemo_id", D::ForeignKeyUniform { target_rows: demos }),
-        Col::plain("addr_id", D::ForeignKeyUniform { target_rows: addresses }),
-    ]);
-    b.table("customer_address", addresses as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("state", D::Zipf { n: 50, s: 0.7 }),
-    ]);
-    b.table("customer_demographics", demos as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("dep_count", D::Uniform { lo: 0, hi: 9 }),
-    ]);
-    b.table("store", stores as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("county", D::Uniform { lo: 0, hi: 15 }),
-    ]);
-    b.table("household_demographics", hds as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("income_band", D::Uniform { lo: 0, hi: 19 }),
-    ]);
-    b.table("promotion", promos as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("channel", D::Uniform { lo: 0, hi: 3 }),
-    ]);
-    b.table("time_dim", times as usize, vec![
-        Col::indexed("id", D::SequentialId),
-        Col::plain("hour", D::Uniform { lo: 0, hi: 23 }),
-    ]);
+    b.table(
+        "date_dim",
+        dates as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("year", D::Uniform { lo: 0, hi: 9 }),
+            Col::plain("moy", D::Uniform { lo: 1, hi: 12 }),
+        ],
+    );
+    b.table(
+        "item",
+        items as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("category", D::Zipf { n: 20, s: 0.6 }),
+            Col::plain("brand", D::Zipf { n: 100, s: 0.6 }),
+        ],
+    );
+    b.table(
+        "customer",
+        customers as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("cdemo_id", D::ForeignKeyUniform { target_rows: demos }),
+            Col::plain(
+                "addr_id",
+                D::ForeignKeyUniform {
+                    target_rows: addresses,
+                },
+            ),
+        ],
+    );
+    b.table(
+        "customer_address",
+        addresses as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("state", D::Zipf { n: 50, s: 0.7 }),
+        ],
+    );
+    b.table(
+        "customer_demographics",
+        demos as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("dep_count", D::Uniform { lo: 0, hi: 9 }),
+        ],
+    );
+    b.table(
+        "store",
+        stores as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("county", D::Uniform { lo: 0, hi: 15 }),
+        ],
+    );
+    b.table(
+        "household_demographics",
+        hds as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("income_band", D::Uniform { lo: 0, hi: 19 }),
+        ],
+    );
+    b.table(
+        "promotion",
+        promos as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("channel", D::Uniform { lo: 0, hi: 3 }),
+        ],
+    );
+    b.table(
+        "time_dim",
+        times as usize,
+        vec![
+            Col::indexed("id", D::SequentialId),
+            Col::plain("hour", D::Uniform { lo: 0, hi: 23 }),
+        ],
+    );
     // Facts: mild skew only (s ≤ 0.5) — TPC-DS data is far more uniform
     // than IMDb, which is why the expert does well here.
     let fact = || {
         vec![
-            Col::indexed("sold_date", D::ForeignKeyZipf { target_rows: dates, s: 0.4 }),
-            Col::indexed("item_id", D::ForeignKeyZipf { target_rows: items, s: 0.5 }),
-            Col::plain("customer_id", D::ForeignKeyUniform { target_rows: customers }),
-            Col::plain("store_id", D::ForeignKeyUniform { target_rows: stores }),
+            Col::indexed(
+                "sold_date",
+                D::ForeignKeyZipf {
+                    target_rows: dates,
+                    s: 0.4,
+                },
+            ),
+            Col::indexed(
+                "item_id",
+                D::ForeignKeyZipf {
+                    target_rows: items,
+                    s: 0.5,
+                },
+            ),
+            Col::plain(
+                "customer_id",
+                D::ForeignKeyUniform {
+                    target_rows: customers,
+                },
+            ),
+            Col::plain(
+                "store_id",
+                D::ForeignKeyUniform {
+                    target_rows: stores,
+                },
+            ),
             Col::plain("hdemo_id", D::ForeignKeyUniform { target_rows: hds }),
-            Col::plain("promo_id", D::ForeignKeyUniform { target_rows: promos }),
+            Col::plain(
+                "promo_id",
+                D::ForeignKeyUniform {
+                    target_rows: promos,
+                },
+            ),
             Col::plain("cdemo_id", D::ForeignKeyUniform { target_rows: demos }),
             Col::plain("time_id", D::ForeignKeyUniform { target_rows: times }),
             Col::plain("quantity", D::Uniform { lo: 1, hi: 100 }),
@@ -103,19 +172,30 @@ pub fn templates() -> Vec<Template> {
     let mut out = Vec::with_capacity(TEMPLATE_IDS.len());
     for (k, &id) in TEMPLATE_IDS.iter().enumerate() {
         let fact = facts[k % 3];
-        let mut rels = vec![TemplateRel::new(fact, "f")
-            .pred(PredSpec::Range { column: 8, lo: 1, hi: 100, min_w: 20, max_w: 60 })];
+        let mut rels = vec![TemplateRel::new(fact, "f").pred(PredSpec::Range {
+            column: 8,
+            lo: 1,
+            hi: 100,
+            min_w: 20,
+            max_w: 60,
+        })];
         let mut joins = Vec::new();
         // Every template filters by date year.
         let d = rels.len();
-        rels.push(TemplateRel::new("date_dim", "d")
-            .pred(PredSpec::EqUniform { column: 1, lo: 0, hi: 9 }));
+        rels.push(TemplateRel::new("date_dim", "d").pred(PredSpec::EqUniform {
+            column: 1,
+            lo: 0,
+            hi: 9,
+        }));
         joins.push((0, 0, d, 0));
         // Dimension mix varies by template index.
         if k % 2 == 0 {
             let i = rels.len();
-            rels.push(TemplateRel::new("item", "i")
-                .pred(PredSpec::EqSkewed { column: 1, lo: 0, hi: 19 }));
+            rels.push(TemplateRel::new("item", "i").pred(PredSpec::EqSkewed {
+                column: 1,
+                lo: 0,
+                hi: 19,
+            }));
             joins.push((0, 1, i, 0));
         }
         if k % 3 == 0 {
@@ -123,8 +203,13 @@ pub fn templates() -> Vec<Template> {
             rels.push(TemplateRel::new("customer", "c"));
             joins.push((0, 2, c, 0));
             let ca = rels.len();
-            rels.push(TemplateRel::new("customer_address", "ca")
-                .pred(PredSpec::EqSkewed { column: 1, lo: 0, hi: 30 }));
+            rels.push(
+                TemplateRel::new("customer_address", "ca").pred(PredSpec::EqSkewed {
+                    column: 1,
+                    lo: 0,
+                    hi: 30,
+                }),
+            );
             joins.push((c, 2, ca, 0));
         }
         if k % 4 == 0 {
@@ -134,8 +219,13 @@ pub fn templates() -> Vec<Template> {
         }
         if k % 5 == 0 {
             let hd = rels.len();
-            rels.push(TemplateRel::new("household_demographics", "hd")
-                .pred(PredSpec::EqUniform { column: 1, lo: 0, hi: 19 }));
+            rels.push(
+                TemplateRel::new("household_demographics", "hd").pred(PredSpec::EqUniform {
+                    column: 1,
+                    lo: 0,
+                    hi: 19,
+                }),
+            );
             joins.push((0, 4, hd, 0));
         }
         if k % 6 == 0 {
@@ -145,8 +235,13 @@ pub fn templates() -> Vec<Template> {
         }
         if k % 7 == 0 {
             let t = rels.len();
-            rels.push(TemplateRel::new("time_dim", "t")
-                .pred(PredSpec::Range { column: 1, lo: 0, hi: 23, min_w: 4, max_w: 12 }));
+            rels.push(TemplateRel::new("time_dim", "t").pred(PredSpec::Range {
+                column: 1,
+                lo: 0,
+                hi: 23,
+                min_w: 4,
+                max_w: 12,
+            }));
             joins.push((0, 7, t, 0));
         }
         out.push(Template { id, rels, joins });
@@ -170,9 +265,20 @@ pub fn build(spec: WorkloadSpec) -> Result<Workload> {
             train.push(q);
         }
     }
-    let max_relations =
-        train.iter().chain(&test).map(|q| q.relation_count()).max().unwrap_or(2);
-    Ok(Workload { name: "tpcdslite".into(), db, optimizer, train, test, max_relations })
+    let max_relations = train
+        .iter()
+        .chain(&test)
+        .map(|q| q.relation_count())
+        .max()
+        .unwrap_or(2);
+    Ok(Workload {
+        name: "tpcdslite".into(),
+        db,
+        optimizer,
+        train,
+        test,
+        max_relations,
+    })
 }
 
 #[cfg(test)]
@@ -193,7 +299,11 @@ mod tests {
         for t in templates() {
             // Relation 0 is the fact; most joins touch it.
             let fact_joins = t.joins.iter().filter(|j| j.0 == 0).count();
-            assert!(fact_joins + 1 >= t.joins.len(), "template {} not star-ish", t.id);
+            assert!(
+                fact_joins + 1 >= t.joins.len(),
+                "template {} not star-ish",
+                t.id
+            );
         }
     }
 

@@ -14,7 +14,10 @@ use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, RngExt, SeedableRng};
 
 fn main() -> Result<()> {
-    let wl = stacklite::build(WorkloadSpec { seed: 11, scale: 0.12 })?;
+    let wl = stacklite::build(WorkloadSpec {
+        seed: 11,
+        scale: 0.12,
+    })?;
     let executor = CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model());
     let encoder = PlanEncoder::new(wl.table_count(), wl.table_rows());
     let scale = AdvantageScale::paper_default();
@@ -46,7 +49,11 @@ fn main() -> Result<()> {
                 Err(e) => return Err(e),
             };
             let enc = encoder.encode(query, &plan, 1.0 / 3.0);
-            samples.push((orig_enc.clone(), enc.clone(), scale.score_latencies(orig_lat, lat)));
+            samples.push((
+                orig_enc.clone(),
+                enc.clone(),
+                scale.score_latencies(orig_lat, lat),
+            ));
             samples.push((enc, orig_enc.clone(), scale.score_latencies(lat, orig_lat)));
         }
     }
@@ -98,7 +105,10 @@ fn main() -> Result<()> {
     }
     let refs: Vec<&_> = candidates.iter().collect();
     let winner = foss_repro::core::select_best(&aam, &refs);
-    println!("\nselector picked candidate {winner} of {}", candidates.len());
+    println!(
+        "\nselector picked candidate {winner} of {}",
+        candidates.len()
+    );
     let _ = rng.random_range(0..2);
     Ok(())
 }

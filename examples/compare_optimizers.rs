@@ -8,7 +8,9 @@
 use foss_repro::prelude::*;
 
 fn main() -> Result<()> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "tpcdslite".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tpcdslite".into());
     let mut cfg = foss_repro::harness::table1::RunConfig::smoke();
     cfg.spec.scale = 0.12;
     cfg.baseline_rounds = 2;
@@ -16,7 +18,10 @@ fn main() -> Result<()> {
     cfg.foss_episodes = 40;
     eprintln!("running {name} with {cfg:?} ...");
     let table = foss_repro::harness::table1::run_workload(&name, &cfg)?;
-    println!("{}", foss_repro::harness::table1::render(std::slice::from_ref(&table)));
+    println!(
+        "{}",
+        foss_repro::harness::table1::render(std::slice::from_ref(&table))
+    );
     println!("{}", foss_repro::harness::table1::render_fig4(&[table]));
     Ok(())
 }

@@ -11,7 +11,10 @@ use foss_repro::core::actions::{Action, ActionSpace};
 use foss_repro::prelude::*;
 
 fn main() -> Result<()> {
-    let wl = joblite::build(WorkloadSpec { seed: 7, scale: 0.15 })?;
+    let wl = joblite::build(WorkloadSpec {
+        seed: 7,
+        scale: 0.15,
+    })?;
     let executor = CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model());
 
     // Find the training query where manual doctoring helps the most.
@@ -40,7 +43,11 @@ fn main() -> Result<()> {
     println!("query (template {}): {}", query.template, query);
 
     let original = wl.optimizer.optimize(query)?;
-    println!("\nexpert plan ({} relations):\n{}", query.relation_count(), original.explain());
+    println!(
+        "\nexpert plan ({} relations):\n{}",
+        query.relation_count(),
+        original.explain()
+    );
     println!("expert true latency: {orig_lat:.0} work units");
     println!(
         "expert estimated cost: {:.0} (the gap is the estimation error FOSS exploits)",

@@ -9,7 +9,10 @@ use foss_repro::prelude::*;
 
 fn main() -> Result<()> {
     // 1. Materialise the JOB-lite benchmark (IMDb-shaped synthetic data).
-    let spec = WorkloadSpec { seed: 42, scale: 0.15 };
+    let spec = WorkloadSpec {
+        seed: 42,
+        scale: 0.15,
+    };
     let wl = joblite::build(spec)?;
     println!(
         "JOB-lite: {} tables, {} train / {} test queries",
@@ -29,7 +32,10 @@ fn main() -> Result<()> {
         wl.db.clone(),
         *wl.optimizer.cost_model(),
     ));
-    let cfg = FossConfig { episodes_per_update: 60, ..FossConfig::tiny() };
+    let cfg = FossConfig {
+        episodes_per_update: 60,
+        ..FossConfig::tiny()
+    };
     let mut foss = Foss::new(
         wl.optimizer.clone(),
         executor.clone(),
@@ -60,6 +66,9 @@ fn main() -> Result<()> {
     let expert_lat = executor.execute(query, &expert_plan, None)?.latency;
     let foss_lat = executor.execute(query, &inference.plan, None)?.latency;
     println!("expert latency: {expert_lat:.0} work units");
-    println!("FOSS latency:   {foss_lat:.0} work units ({:.2}x)", expert_lat / foss_lat);
+    println!(
+        "FOSS latency:   {foss_lat:.0} work units ({:.2}x)",
+        expert_lat / foss_lat
+    );
     Ok(())
 }

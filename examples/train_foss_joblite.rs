@@ -12,7 +12,10 @@ fn main() -> Result<()> {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
-    let wl = joblite::build(WorkloadSpec { seed: 42, scale: 0.12 })?;
+    let wl = joblite::build(WorkloadSpec {
+        seed: 42,
+        scale: 0.12,
+    })?;
     let exp_executor = std::sync::Arc::new(CachingExecutor::new(
         wl.db.clone(),
         *wl.optimizer.cost_model(),
@@ -31,7 +34,10 @@ fn main() -> Result<()> {
         cfg,
     );
 
-    println!("bootstrap: executing expert + doctored candidates for {} queries", wl.train.len());
+    println!(
+        "bootstrap: executing expert + doctored candidates for {} queries",
+        wl.train.len()
+    );
     let report = foss.bootstrap(&wl.train, 1)?;
     println!(
         "  buffer={} plans, {} real executions, AAM loss {:.3} acc {:.2}",

@@ -27,7 +27,7 @@ pub use foss_workloads as workloads;
 /// The names most programs need.
 pub mod prelude {
     pub use foss_baselines::{
-        Bao, BalsaLite, HybridQo, LearnedOptimizer, LogerLite, PostgresBaseline,
+        BalsaLite, Bao, HybridQo, LearnedOptimizer, LogerLite, PostgresBaseline,
     };
     pub use foss_common::{FossError, QueryId, Result, TableId};
     pub use foss_core::{Foss, FossConfig};

@@ -1,0 +1,104 @@
+//! Differential property tests for the executor engines: chunk-at-a-time
+//! execution must be indistinguishable from the scalar reference — same
+//! result tuples in the same order, bit-identical work-unit latency, and
+//! identical timeout accounting — across all three workloads, for expert
+//! plans and for randomly perturbed (often catastrophic) plans alike.
+
+use foss_repro::executor::{ExecMode, Executor};
+use foss_repro::optimizer::ALL_JOIN_METHODS;
+use foss_repro::prelude::*;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One small instance of each workload, shared across cases so the 48
+/// generated cases don't each pay the workload-construction cost.
+fn workloads() -> &'static [Workload; 3] {
+    static WL: OnceLock<[Workload; 3]> = OnceLock::new();
+    WL.get_or_init(|| {
+        [
+            joblite::build(WorkloadSpec {
+                seed: 11,
+                scale: 0.05,
+            })
+            .unwrap(),
+            tpcdslite::build(WorkloadSpec {
+                seed: 12,
+                scale: 0.05,
+            })
+            .unwrap(),
+            stacklite::build(WorkloadSpec {
+                seed: 13,
+                scale: 0.05,
+            })
+            .unwrap(),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chunked == scalar on the expert plan and on a random ICP mutation of
+    /// it (rotated join order, re-rolled join methods), run under a budget
+    /// so catastrophic mutations compare their timeout accounting instead
+    /// of running to completion.
+    #[test]
+    fn chunked_execution_equals_scalar(
+        wl_idx in 0usize..3,
+        q_pick in 0usize..10_000,
+        rot in 0usize..8,
+        mcode in 0usize..19_683, // 3^9: a method draw per possible join
+    ) {
+        let wl = &workloads()[wl_idx];
+        let split = if q_pick % 2 == 0 { &wl.train } else { &wl.test };
+        let query = &split[(q_pick / 2) % split.len()];
+        let cost = *wl.optimizer.cost_model();
+        let chunked = Executor::with_mode(&wl.db, cost, ExecMode::Chunked);
+        let scalar = Executor::with_mode(&wl.db, cost, ExecMode::Scalar);
+
+        // Expert plan, unbounded: full result sets must match exactly.
+        let expert = wl.optimizer.optimize(query).unwrap();
+        let (co, cr) = chunked.execute_rows(query, &expert, None).unwrap();
+        let (so, sr) = scalar.execute_rows(query, &expert, None).unwrap();
+        prop_assert_eq!(co, so);
+        prop_assert_eq!(cr.rels, sr.rels);
+        prop_assert_eq!(cr.data, sr.data);
+
+        // Perturbed plan: rotate the join order, re-roll every method.
+        let base = expert.extract_icp().unwrap();
+        let n = base.order.len();
+        let mut order = base.order.clone();
+        order.rotate_left(rot % n);
+        let mut methods = Vec::with_capacity(n.saturating_sub(1));
+        let mut code = mcode;
+        for _ in 0..n.saturating_sub(1) {
+            methods.push(ALL_JOIN_METHODS[code % 3]);
+            code /= 3;
+        }
+        let icp = Icp::new(order, methods).unwrap();
+        let plan = wl.optimizer.optimize_with_hint(query, &icp).unwrap();
+        let budget = Some(co.latency * 25.0);
+        match (
+            chunked.execute_rows(query, &plan, budget),
+            scalar.execute_rows(query, &plan, budget),
+        ) {
+            (Ok((po, pr)), Ok((qo, qr))) => {
+                prop_assert_eq!(po, qo);
+                prop_assert_eq!(pr.rels, qr.rels);
+                prop_assert_eq!(pr.data, qr.data);
+            }
+            (
+                Err(FossError::Timeout { spent: cs, budget: cb }),
+                Err(FossError::Timeout { spent: ss, budget: sb }),
+            ) => {
+                prop_assert_eq!(cs, ss);
+                prop_assert_eq!(cb, sb);
+            }
+            (c, s) => {
+                return Err(TestCaseError::fail(format!(
+                    "engines diverged on perturbed plan: chunked={c:?} scalar={s:?}"
+                )));
+            }
+        }
+    }
+}

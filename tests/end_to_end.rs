@@ -6,7 +6,11 @@ use foss_repro::prelude::*;
 use std::sync::Arc;
 
 fn tiny_workload() -> Workload {
-    tpcdslite::build(WorkloadSpec { seed: 9, scale: 0.05 }).unwrap()
+    tpcdslite::build(WorkloadSpec {
+        seed: 9,
+        scale: 0.05,
+    })
+    .unwrap()
 }
 
 #[test]
@@ -26,7 +30,11 @@ fn every_plan_variant_preserves_query_semantics() {
         // Every single-method restriction.
         for m in foss_repro::optimizer::ALL_JOIN_METHODS {
             let plan = wl.optimizer.optimize_with_methods(q, &[m]).unwrap();
-            assert_eq!(exec.execute(q, &plan, None).unwrap().rows, truth, "method {m}");
+            assert_eq!(
+                exec.execute(q, &plan, None).unwrap().rows,
+                truth,
+                "method {m}"
+            );
         }
         // A leading-prefix hint.
         let lead = vec![icp.order[icp.order.len() - 1]];
@@ -38,8 +46,14 @@ fn every_plan_variant_preserves_query_semantics() {
 #[test]
 fn foss_end_to_end_on_real_workload() {
     let wl = tiny_workload();
-    let executor = Arc::new(CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model()));
-    let cfg = FossConfig { episodes_per_update: 10, ..FossConfig::tiny() };
+    let executor = Arc::new(CachingExecutor::new(
+        wl.db.clone(),
+        *wl.optimizer.cost_model(),
+    ));
+    let cfg = FossConfig {
+        episodes_per_update: 10,
+        ..FossConfig::tiny()
+    };
     let mut foss = Foss::new(
         wl.optimizer.clone(),
         executor.clone(),
@@ -69,8 +83,14 @@ fn foss_never_catastrophically_regresses_with_selector() {
     // much worse than the expert when the AAM actively mispredicts; with a
     // bootstrap-trained AAM, total latency stays within a small factor.
     let wl = tiny_workload();
-    let executor = Arc::new(CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model()));
-    let cfg = FossConfig { episodes_per_update: 12, ..FossConfig::tiny() };
+    let executor = Arc::new(CachingExecutor::new(
+        wl.db.clone(),
+        *wl.optimizer.cost_model(),
+    ));
+    let cfg = FossConfig {
+        episodes_per_update: 12,
+        ..FossConfig::tiny()
+    };
     let mut foss = Foss::new(
         wl.optimizer.clone(),
         executor.clone(),
@@ -97,14 +117,37 @@ fn foss_never_catastrophically_regresses_with_selector() {
 #[test]
 fn baselines_share_the_trait_and_plan_correctly() {
     let wl = tiny_workload();
-    let exec = Arc::new(CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model()));
+    let exec = Arc::new(CachingExecutor::new(
+        wl.db.clone(),
+        *wl.optimizer.cost_model(),
+    ));
     let encoder = foss_repro::core::encoding::PlanEncoder::new(wl.table_count(), wl.table_rows());
     let mut methods: Vec<Box<dyn LearnedOptimizer>> = vec![
         Box::new(PostgresBaseline::new(wl.optimizer.clone())),
-        Box::new(Bao::new(wl.optimizer.clone(), exec.clone(), encoder.clone(), 1)),
-        Box::new(BalsaLite::new(wl.optimizer.clone(), exec.clone(), encoder.clone(), 2)),
-        Box::new(LogerLite::new(wl.optimizer.clone(), exec.clone(), encoder.clone(), 3)),
-        Box::new(HybridQo::new(wl.optimizer.clone(), exec.clone(), encoder.clone(), 4)),
+        Box::new(Bao::new(
+            wl.optimizer.clone(),
+            exec.clone(),
+            encoder.clone(),
+            1,
+        )),
+        Box::new(BalsaLite::new(
+            wl.optimizer.clone(),
+            exec.clone(),
+            encoder.clone(),
+            2,
+        )),
+        Box::new(LogerLite::new(
+            wl.optimizer.clone(),
+            exec.clone(),
+            encoder.clone(),
+            3,
+        )),
+        Box::new(HybridQo::new(
+            wl.optimizer.clone(),
+            exec.clone(),
+            encoder.clone(),
+            4,
+        )),
     ];
     let train: Vec<Query> = wl.train.iter().take(4).cloned().collect();
     for m in methods.iter_mut() {
@@ -128,7 +171,11 @@ fn joblite_expert_leaves_doctoring_headroom() {
     // expert sits much closer to optimal here than PostgreSQL does on real
     // IMDb — headroom exists but is far smaller than the paper's 6×.
     use foss_repro::core::actions::ActionSpace;
-    let wl = joblite::build(WorkloadSpec { seed: 4, scale: 0.06 }).unwrap();
+    let wl = joblite::build(WorkloadSpec {
+        seed: 4,
+        scale: 0.06,
+    })
+    .unwrap();
     let exec = CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model());
     let mut improvable = 0;
     let mut checked = 0;

@@ -13,7 +13,13 @@ use std::sync::OnceLock;
 /// generated cases don't each pay the workload-construction cost.
 fn fixpoint_workload() -> &'static Workload {
     static WL: OnceLock<Workload> = OnceLock::new();
-    WL.get_or_init(|| tpcdslite::build(WorkloadSpec { seed: 3, scale: 0.04 }).unwrap())
+    WL.get_or_init(|| {
+        tpcdslite::build(WorkloadSpec {
+            seed: 3,
+            scale: 0.04,
+        })
+        .unwrap()
+    })
 }
 
 proptest! {

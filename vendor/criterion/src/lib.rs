@@ -33,7 +33,11 @@ impl BenchResult {
             return 0.0;
         }
         let mid = v.len() / 2;
-        if v.len().is_multiple_of(2) { (v[mid - 1] + v[mid]) / 2.0 } else { v[mid] }
+        if v.len().is_multiple_of(2) {
+            (v[mid - 1] + v[mid]) / 2.0
+        } else {
+            v[mid]
+        }
     }
 }
 
@@ -81,7 +85,10 @@ impl Criterion {
         // estimate the per-iteration cost to size measurement batches.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         while warm_start.elapsed() < self.warm_up_time {
             f(&mut bencher);
             warm_iters += bencher.iters;
@@ -95,8 +102,8 @@ impl Criterion {
 
         // Measurement: `sample_size` samples sharing the measurement budget.
         let budget_per_sample = self.measurement_time / self.sample_size as u32;
-        let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
-            .clamp(1, 1_000_000) as u64;
+        let iters_per_sample =
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
         let mut sample_means_ns = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             bencher.iters = iters_per_sample;
@@ -104,7 +111,10 @@ impl Criterion {
             f(&mut bencher);
             sample_means_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
         }
-        let result = BenchResult { name: name.to_string(), sample_means_ns };
+        let result = BenchResult {
+            name: name.to_string(),
+            sample_means_ns,
+        };
         println!(
             "{:<32} time: {:>12.1} ns/iter  ({} samples x {} iters)",
             result.name,
@@ -217,9 +227,15 @@ mod tests {
 
     #[test]
     fn median_handles_even_and_odd() {
-        let even = BenchResult { name: "e".into(), sample_means_ns: vec![4.0, 1.0, 3.0, 2.0] };
+        let even = BenchResult {
+            name: "e".into(),
+            sample_means_ns: vec![4.0, 1.0, 3.0, 2.0],
+        };
         assert!((even.median_ns() - 2.5).abs() < 1e-12);
-        let odd = BenchResult { name: "o".into(), sample_means_ns: vec![3.0, 1.0, 2.0] };
+        let odd = BenchResult {
+            name: "o".into(),
+            sample_means_ns: vec![3.0, 1.0, 2.0],
+        };
         assert!((odd.median_ns() - 2.0).abs() < 1e-12);
     }
 }

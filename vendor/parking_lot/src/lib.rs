@@ -13,7 +13,9 @@ pub struct Mutex<T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::Mutex::new(value) }
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -39,7 +41,9 @@ pub struct RwLock<T: ?Sized> {
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::RwLock::new(value) }
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {

@@ -7,7 +7,10 @@ use crate::{SizeRange, Strategy};
 /// Strategy producing `Vec`s whose elements come from `element` and whose
 /// length is drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 #[derive(Debug, Clone)]

@@ -41,7 +41,9 @@ pub struct TestCaseError {
 
 impl TestCaseError {
     pub fn fail(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -95,13 +97,19 @@ impl From<usize> for SizeRange {
 impl From<core::ops::Range<usize>> for SizeRange {
     fn from(r: core::ops::Range<usize>) -> Self {
         assert!(r.end > r.start, "empty size range");
-        Self { lo: r.start, hi: r.end - 1 }
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
     }
 }
 
 impl From<core::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-        Self { lo: *r.start(), hi: *r.end() }
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
     }
 }
 
@@ -212,8 +220,8 @@ macro_rules! prop_assert_eq {
 /// The names tests conventionally glob-import.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, proptest, ProptestConfig, SizeRange, Strategy,
-        TestCaseError, TestCaseResult,
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, SizeRange, Strategy, TestCaseError,
+        TestCaseResult,
     };
 
     /// Namespaced strategy constructors (`prop::collection::vec`, ...).

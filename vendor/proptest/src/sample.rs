@@ -11,7 +11,10 @@ pub fn subsequence<T: Clone + std::fmt::Debug>(
     values: Vec<T>,
     size: impl Into<SizeRange>,
 ) -> Subsequence<T> {
-    Subsequence { values, size: size.into() }
+    Subsequence {
+        values,
+        size: size.into(),
+    }
 }
 
 #[derive(Debug, Clone)]

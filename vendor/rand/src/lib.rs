@@ -60,7 +60,12 @@ impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 macro_rules! impl_sample_uniform_float {
     ($t:ty, $next:ident) => {
         impl SampleUniform for $t {
-            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
                 assert!(lo <= hi, "cannot sample from inverted range");
                 lo + rng.$next() * (hi - lo)
             }
