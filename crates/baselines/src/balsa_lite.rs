@@ -21,6 +21,7 @@ use foss_core::encoding::{EncodedPlan, PlanEncoder};
 use foss_executor::CachingExecutor;
 use foss_optimizer::{Icp, JoinMethod, PhysicalPlan, TraditionalOptimizer, ALL_JOIN_METHODS};
 use foss_query::Query;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -37,7 +38,9 @@ pub struct BalsaLite {
     model: PlanValueModel,
     samples: Vec<(EncodedPlan, f32)>,
     best_seen: FxHashMap<QueryId, (Icp, f64)>,
-    rng: StdRng,
+    /// Behind a lock: candidate sampling draws randomness during planning,
+    /// which is `&self` (see [`LearnedOptimizer::plan`]).
+    rng: Mutex<StdRng>,
     epsilon: f64,
 }
 
@@ -56,21 +59,22 @@ impl BalsaLite {
             model,
             samples: Vec::new(),
             best_seen: FxHashMap::default(),
-            rng,
+            rng: Mutex::new(rng),
             epsilon: 0.6,
         }
     }
 
-    fn random_icp(&mut self, query: &Query) -> Icp {
-        let order = random_connected_order(query, &mut self.rng);
+    fn random_icp(&self, query: &Query) -> Icp {
+        let mut rng = self.rng.lock();
+        let order = random_connected_order(query, &mut rng);
         let methods: Vec<JoinMethod> = (0..order.len().saturating_sub(1))
-            .map(|_| ALL_JOIN_METHODS[self.rng.random_range(0..ALL_JOIN_METHODS.len())])
+            .map(|_| ALL_JOIN_METHODS[rng.random_range(0..ALL_JOIN_METHODS.len())])
             .collect();
         Icp::new(order, methods).expect("random ICP is structurally valid")
     }
 
     /// Sample candidate plans — from scratch, no expert plan included.
-    fn candidates(&mut self, query: &Query) -> Result<Vec<(Icp, PhysicalPlan)>> {
+    fn candidates(&self, query: &Query) -> Result<Vec<(Icp, PhysicalPlan)>> {
         let mut out: Vec<(Icp, PhysicalPlan)> = Vec::with_capacity(CANDIDATES + 1);
         if let Some((icp, _)) = self.best_seen.get(&query.id).cloned().map(|v| (v.0, v.1)) {
             let plan = self.recorder.optimizer.optimize_with_hint(query, &icp)?;
@@ -106,8 +110,9 @@ impl LearnedOptimizer for BalsaLite {
                 .iter()
                 .map(|(_, p)| self.recorder.encode(query, p))
                 .collect();
-            let pick = if self.rng.random_range(0.0..1.0) < self.epsilon {
-                self.rng.random_range(0..cands.len())
+            let explore = self.rng.lock().random_range(0.0..1.0) < self.epsilon;
+            let pick = if explore {
+                self.rng.lock().random_range(0..cands.len())
             } else {
                 let refs: Vec<&EncodedPlan> = encs.iter().collect();
                 self.model.best_of(&refs)
@@ -127,14 +132,15 @@ impl LearnedOptimizer for BalsaLite {
                 }
             }
         }
+        let rng = self.rng.get_mut();
         for _ in 0..2 {
-            self.model.train_epoch(&self.samples, &mut self.rng);
+            self.model.train_epoch(&self.samples, rng);
         }
         self.epsilon = (self.epsilon * 0.85).max(0.05);
         Ok(())
     }
 
-    fn plan(&mut self, query: &Query) -> Result<PhysicalPlan> {
+    fn plan(&self, query: &Query) -> Result<PhysicalPlan> {
         if query.relation_count() < 2 {
             return self.recorder.optimizer.optimize(query);
         }
@@ -166,7 +172,7 @@ mod tests {
     #[test]
     fn candidates_do_not_anchor_on_expert() {
         let world = TestWorld::new(1);
-        let mut b = balsa(&world);
+        let b = balsa(&world);
         let expert_fp = world.original.fingerprint();
         // Over many fresh samples, candidates are random — some may happen
         // to equal the expert plan, but the *mechanism* includes no expert

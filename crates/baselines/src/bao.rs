@@ -101,7 +101,7 @@ impl LearnedOptimizer for Bao {
         Ok(())
     }
 
-    fn plan(&mut self, query: &Query) -> Result<PhysicalPlan> {
+    fn plan(&self, query: &Query) -> Result<PhysicalPlan> {
         let cands = self.candidates(query)?;
         let encs: Vec<EncodedPlan> = cands
             .iter()

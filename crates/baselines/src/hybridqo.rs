@@ -14,6 +14,7 @@ use foss_core::encoding::{EncodedPlan, PlanEncoder};
 use foss_executor::CachingExecutor;
 use foss_optimizer::{PhysicalPlan, TraditionalOptimizer};
 use foss_query::Query;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -33,7 +34,9 @@ pub struct HybridQo {
     recorder: ExecRecorder,
     model: PlanValueModel,
     samples: Vec<(EncodedPlan, f32)>,
-    rng: StdRng,
+    /// Behind a lock because the UCT search draws randomness during
+    /// *planning*, which is `&self` (see [`LearnedOptimizer::plan`]).
+    rng: Mutex<StdRng>,
     epsilon: f64,
 }
 
@@ -51,13 +54,13 @@ impl HybridQo {
             recorder: ExecRecorder::new(optimizer, executor, encoder),
             model,
             samples: Vec::new(),
-            rng,
+            rng: Mutex::new(rng),
             epsilon: 0.4,
         }
     }
 
     /// UCT over prefix space; returns the best-scoring prefixes.
-    fn search_prefixes(&mut self, query: &Query) -> Vec<Vec<usize>> {
+    fn search_prefixes(&self, query: &Query) -> Vec<Vec<usize>> {
         let n = query.relation_count();
         // Node statistics keyed by prefix.
         let mut visits: FxHashMap<Vec<usize>, (f64, u32)> = FxHashMap::default();
@@ -94,7 +97,7 @@ impl HybridQo {
                 }
                 let Some((_, r)) = best else { break };
                 prefix.push(r);
-                if self.rng.random_range(0.0..1.0) < 0.3 {
+                if self.rng.lock().random_range(0.0..1.0) < 0.3 {
                     break; // stochastic depth, keeps short prefixes sampled
                 }
             }
@@ -121,7 +124,7 @@ impl HybridQo {
         scored.into_iter().map(|(p, _)| p).collect()
     }
 
-    fn candidates(&mut self, query: &Query) -> Result<Vec<PhysicalPlan>> {
+    fn candidates(&self, query: &Query) -> Result<Vec<PhysicalPlan>> {
         let mut out = vec![self.recorder.optimizer.optimize(query)?];
         for prefix in self.search_prefixes(query) {
             if let Ok(plan) = self
@@ -150,8 +153,9 @@ impl LearnedOptimizer for HybridQo {
                 .iter()
                 .map(|p| self.recorder.encode(query, p))
                 .collect();
-            let pick = if self.rng.random_range(0.0..1.0) < self.epsilon {
-                self.rng.random_range(0..cands.len())
+            let explore = self.rng.lock().random_range(0.0..1.0) < self.epsilon;
+            let pick = if explore {
+                self.rng.lock().random_range(0..cands.len())
             } else {
                 let refs: Vec<&EncodedPlan> = encs.iter().collect();
                 self.model.best_of(&refs)
@@ -160,14 +164,15 @@ impl LearnedOptimizer for HybridQo {
             self.samples
                 .push((encs[pick].clone(), (latency.max(1.0) as f32).ln()));
         }
+        let rng = self.rng.get_mut();
         for _ in 0..2 {
-            self.model.train_epoch(&self.samples, &mut self.rng);
+            self.model.train_epoch(&self.samples, rng);
         }
         self.epsilon = (self.epsilon * 0.8).max(0.05);
         Ok(())
     }
 
-    fn plan(&mut self, query: &Query) -> Result<PhysicalPlan> {
+    fn plan(&self, query: &Query) -> Result<PhysicalPlan> {
         let cands = self.candidates(query)?;
         let encs: Vec<EncodedPlan> = cands
             .iter()
@@ -196,7 +201,7 @@ mod tests {
     #[test]
     fn prefix_search_returns_valid_prefixes() {
         let world = TestWorld::new(1);
-        let mut h = hqo(&world);
+        let h = hqo(&world);
         let prefixes = h.search_prefixes(&world.query);
         assert!(!prefixes.is_empty());
         assert!(prefixes.len() <= TOP_PREFIXES);
@@ -212,7 +217,7 @@ mod tests {
     #[test]
     fn candidates_respect_their_prefix() {
         let world = TestWorld::new(2);
-        let mut h = hqo(&world);
+        let h = hqo(&world);
         let cands = h.candidates(&world.query).unwrap();
         assert!(cands.len() >= 2, "expert + at least one hinted plan");
         for plan in &cands {

@@ -41,6 +41,15 @@ pub use loger_lite::LogerLite;
 pub use value_model::PlanValueModel;
 
 /// The common interface the experiment harness drives.
+///
+/// Training and planning are deliberately split across mutability:
+/// `train_round` takes `&mut self` (it updates models and replay state),
+/// while [`LearnedOptimizer::plan`] takes `&self` — planning is a read-only
+/// query over whatever the method has learned so far, so evaluation
+/// harnesses and serving front ends can plan without exclusive access.
+/// Methods that need randomness during planning keep their RNG behind a
+/// lock (the draw order is unchanged in serial use, so seeded experiments
+/// reproduce exactly).
 pub trait LearnedOptimizer {
     /// Display name used in result tables.
     fn name(&self) -> &'static str;
@@ -48,8 +57,8 @@ pub trait LearnedOptimizer {
     /// One training round over the workload (may execute plans).
     fn train_round(&mut self, queries: &[Query]) -> Result<()>;
 
-    /// Produce the plan this optimizer would run for `query`.
-    fn plan(&mut self, query: &Query) -> Result<PhysicalPlan>;
+    /// Produce the plan this optimizer would run for `query` (read-only).
+    fn plan(&self, query: &Query) -> Result<PhysicalPlan>;
 }
 
 /// The expert optimizer as a baseline (PostgreSQL row of Table I).
@@ -73,7 +82,7 @@ impl LearnedOptimizer for PostgresBaseline {
         Ok(()) // nothing to learn
     }
 
-    fn plan(&mut self, query: &Query) -> Result<PhysicalPlan> {
+    fn plan(&self, query: &Query) -> Result<PhysicalPlan> {
         self.optimizer.optimize(query)
     }
 }

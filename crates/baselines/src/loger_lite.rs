@@ -19,6 +19,7 @@ use foss_core::encoding::{EncodedPlan, PlanEncoder};
 use foss_executor::CachingExecutor;
 use foss_optimizer::{PhysicalPlan, TraditionalOptimizer};
 use foss_query::Query;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -35,7 +36,9 @@ pub struct LogerLite {
     model: PlanValueModel,
     samples: Vec<(EncodedPlan, f32)>,
     best_seen: FxHashMap<QueryId, (Vec<usize>, f64)>,
-    rng: StdRng,
+    /// Behind a lock: order mutation draws randomness during planning,
+    /// which is `&self` (see [`LearnedOptimizer::plan`]).
+    rng: Mutex<StdRng>,
     epsilon: f64,
 }
 
@@ -54,23 +57,24 @@ impl LogerLite {
             model,
             samples: Vec::new(),
             best_seen: FxHashMap::default(),
-            rng,
+            rng: Mutex::new(rng),
             epsilon: 0.4,
         }
     }
 
-    fn mutate_order(&mut self, order: &[usize]) -> Vec<usize> {
+    fn mutate_order(&self, order: &[usize]) -> Vec<usize> {
         let mut out = order.to_vec();
         if out.len() >= 2 {
-            let i = self.rng.random_range(0..out.len());
-            let j = self.rng.random_range(0..out.len());
+            let mut rng = self.rng.lock();
+            let i = rng.random_range(0..out.len());
+            let j = rng.random_range(0..out.len());
             out.swap(i, j);
         }
         out
     }
 
     /// Candidate join orders: expert order, best-seen, mutations, random.
-    fn candidate_orders(&mut self, query: &Query) -> Result<Vec<Vec<usize>>> {
+    fn candidate_orders(&self, query: &Query) -> Result<Vec<Vec<usize>>> {
         let expert = self
             .recorder
             .optimizer
@@ -86,13 +90,13 @@ impl LogerLite {
         }
         orders.push(self.mutate_order(&expert));
         while orders.len() < CANDIDATES {
-            orders.push(random_connected_order(query, &mut self.rng));
+            orders.push(random_connected_order(query, &mut self.rng.lock()));
         }
         orders.dedup();
         Ok(orders)
     }
 
-    fn candidates(&mut self, query: &Query) -> Result<Vec<(Vec<usize>, PhysicalPlan)>> {
+    fn candidates(&self, query: &Query) -> Result<Vec<(Vec<usize>, PhysicalPlan)>> {
         let orders = self.candidate_orders(query)?;
         let mut out: Vec<(Vec<usize>, PhysicalPlan)> = Vec::with_capacity(orders.len());
         for order in orders {
@@ -127,8 +131,9 @@ impl LearnedOptimizer for LogerLite {
                 .iter()
                 .map(|(_, p)| self.recorder.encode(query, p))
                 .collect();
-            let pick = if self.rng.random_range(0.0..1.0) < self.epsilon {
-                self.rng.random_range(0..cands.len())
+            let explore = self.rng.lock().random_range(0.0..1.0) < self.epsilon;
+            let pick = if explore {
+                self.rng.lock().random_range(0..cands.len())
             } else {
                 let refs: Vec<&EncodedPlan> = encs.iter().collect();
                 self.model.best_of(&refs)
@@ -145,14 +150,15 @@ impl LearnedOptimizer for LogerLite {
                     .insert(query.id, (cands[pick].0.clone(), latency));
             }
         }
+        let rng = self.rng.get_mut();
         for _ in 0..2 {
-            self.model.train_epoch(&self.samples, &mut self.rng);
+            self.model.train_epoch(&self.samples, rng);
         }
         self.epsilon = (self.epsilon * 0.8).max(0.05);
         Ok(())
     }
 
-    fn plan(&mut self, query: &Query) -> Result<PhysicalPlan> {
+    fn plan(&self, query: &Query) -> Result<PhysicalPlan> {
         if query.relation_count() < 2 {
             return self.recorder.optimizer.optimize(query);
         }
@@ -184,7 +190,7 @@ mod tests {
     #[test]
     fn candidates_include_expert_order() {
         let world = TestWorld::new(1);
-        let mut l = loger(&world);
+        let l = loger(&world);
         let expert_order = world.original.extract_icp().unwrap().order;
         let cands = l.candidates(&world.query).unwrap();
         assert!(cands.iter().any(|(o, _)| *o == expert_order));
@@ -195,7 +201,7 @@ mod tests {
         // Every candidate must coincide with the expert's method choice for
         // its own order (leading steering picks methods by cost).
         let world = TestWorld::new(2);
-        let mut l = loger(&world);
+        let l = loger(&world);
         for (order, plan) in l.candidates(&world.query).unwrap() {
             let direct = l
                 .recorder

@@ -1,0 +1,146 @@
+//! `plan-doctor` — the PlanDoctor service driven as a long-lived process.
+//!
+//! Trains FOSS on a workload's train split, publishes a snapshot into a
+//! [`foss_service::PlanDoctor`], then spins up N worker threads that submit
+//! queries concurrently over the one snapshot and prints the metrics
+//! summary line (p50/p95/p99 latency, fallback rate, cache hit rate,
+//! in-flight high-water mark).
+//!
+//! ```text
+//! cargo run --release --bin plan-doctor -- \
+//!     --workload tpcdslite --scale 0.08 --threads 4 --queries 24
+//! ```
+//!
+//! Flags: `--workload <joblite|tpcdslite|stacklite>` (default tpcdslite),
+//! `--scale <f64>` (default `FOSS_SCALE` or 1.0), `--threads <n>`
+//! (default 4), `--queries <n>` total submissions (default 24),
+//! `--rounds <n>` training rounds (default 1), `--budget-us <f64>`
+//! per-query planning budget (default: none), `--max-in-flight <n>`
+//! admission ceiling (default 16).
+
+use std::sync::Arc;
+
+use foss_core::FossConfig;
+use foss_harness::{Experiment, FossAdapter};
+use foss_service::{PlanDoctor, QueryRequest, ServiceConfig};
+use foss_workloads::WorkloadSpec;
+
+struct Args {
+    workload: String,
+    scale: f64,
+    threads: usize,
+    queries: usize,
+    rounds: usize,
+    budget_us: Option<f64>,
+    max_in_flight: usize,
+}
+
+fn parse_args() -> Args {
+    let env_scale: f64 = std::env::var("FOSS_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let mut args = Args {
+        workload: "tpcdslite".into(),
+        scale: env_scale,
+        threads: 4,
+        queries: 24,
+        rounds: 1,
+        budget_us: None,
+        max_in_flight: 16,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> &str {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--workload" => args.workload = value(i).to_string(),
+            "--scale" => args.scale = value(i).parse().expect("--scale must be a number"),
+            "--threads" => args.threads = value(i).parse().expect("--threads must be a count"),
+            "--queries" => args.queries = value(i).parse().expect("--queries must be a count"),
+            "--rounds" => args.rounds = value(i).parse().expect("--rounds must be a count"),
+            "--budget-us" => {
+                args.budget_us = Some(value(i).parse().expect("--budget-us must be a number"))
+            }
+            "--max-in-flight" => {
+                args.max_in_flight = value(i).parse().expect("--max-in-flight must be a count")
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 2;
+    }
+    assert!(args.threads > 0, "--threads must be positive");
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = WorkloadSpec {
+        seed: 42,
+        scale: args.scale,
+    };
+    let exp = Experiment::new(&args.workload, spec).expect("workload");
+    println!(
+        "plan-doctor: workload={} scale={} train={} test={}",
+        args.workload,
+        args.scale,
+        exp.workload.train.len(),
+        exp.workload.test.len()
+    );
+
+    // Train, then publish a snapshot into the service.
+    let mut adapter = FossAdapter::new(exp.foss(FossConfig {
+        episodes_per_update: 12,
+        seed: spec.seed,
+        ..FossConfig::tiny()
+    }));
+    use foss_baselines::LearnedOptimizer;
+    for round in 0..args.rounds.max(1) {
+        adapter
+            .train_round(&exp.workload.train)
+            .unwrap_or_else(|e| panic!("training round {round} failed: {e}"));
+    }
+    let doctor = Arc::new(PlanDoctor::new(
+        adapter.snapshot().as_ref().clone(),
+        exp.executor.clone(),
+        ServiceConfig {
+            max_in_flight: args.max_in_flight,
+            planning_budget_us: args.budget_us,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    // N worker threads submit the test split round-robin until `queries`
+    // total submissions have completed.
+    let pool: Vec<_> = exp.workload.all_queries();
+    assert!(!pool.is_empty(), "workload has no queries");
+    let per_thread = args.queries.div_ceil(args.threads);
+    std::thread::scope(|scope| {
+        for t in 0..args.threads {
+            let doctor = doctor.clone();
+            let pool = &pool;
+            scope.spawn(move || {
+                for k in 0..per_thread {
+                    let idx = t * per_thread + k;
+                    if idx >= args.queries {
+                        break;
+                    }
+                    let query = pool[idx % pool.len()].clone();
+                    match doctor.submit(QueryRequest::new(query)) {
+                        Ok(d) => {
+                            if d.fallback {
+                                println!("  worker {t}: query {idx} fell back ({:?})", d.reason);
+                            }
+                        }
+                        Err(e) => panic!("submit failed: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    println!("{}", doctor.metrics().summary_line());
+}

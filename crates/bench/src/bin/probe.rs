@@ -27,13 +27,15 @@ use foss_optimizer::{Icp, ALL_JOIN_METHODS};
 use foss_workloads::{joblite, WorkloadSpec};
 use std::time::Duration;
 
-/// Benchmarks the regression gate guards: the FOSS serving hot path plus the
-/// chunked executor operators and the bounded-cache eviction path.
+/// Benchmarks the regression gate guards: the FOSS serving hot path (AAM
+/// inference and end-to-end PlanDoctor submits) plus the chunked executor
+/// operators and the bounded-cache eviction path.
 const GUARDED: &[&str] = &[
     "aam/pair_inference",
     "exec/scan_filter",
     "exec/hash_join",
     "cache/eviction",
+    "service/submit_throughput",
 ];
 
 struct BenchArgs {

@@ -13,12 +13,13 @@
 use criterion::Criterion;
 use foss_common::QueryId;
 use foss_core::encoding::PlanEncoder;
-use foss_core::{AdvantageModel, FossConfig};
+use foss_core::{AdvantageModel, Foss, FossConfig};
 use foss_executor::{CachingExecutor, EvictionPolicy, ExecMode, Executor};
 use foss_harness::table1::RunConfig;
 use foss_nn::{Graph, Linear, Matrix, ParamSet};
 use foss_optimizer::{AccessPath, Icp, JoinMethod, PhysicalPlan, PlanNode};
 use foss_query::{Predicate, Query, QueryBuilder};
+use foss_service::{PlanDoctor, QueryRequest, ServiceConfig};
 use foss_workloads::{joblite, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -171,6 +172,57 @@ pub fn micro_suite(c: &mut Criterion) {
                         .unwrap(),
                 );
             }
+        })
+    });
+
+    // PlanDoctor serving throughput: the same submission batch planned and
+    // executed through the service front end by one thread vs four worker
+    // threads over a single shared snapshot. The 1→4-thread ratio is the
+    // concurrent-serving scaling figure (≈1× on a single-core host — the
+    // planning path is CPU-bound — and grows with available cores).
+    let caching_for_service = Arc::new(CachingExecutor::new(wl.db.clone(), *opt.cost_model()));
+    let mut foss = Foss::new(
+        wl.optimizer.clone(),
+        caching_for_service.clone(),
+        wl.max_relations,
+        wl.table_rows(),
+        FossConfig {
+            episodes_per_update: 4,
+            ..FossConfig::tiny()
+        },
+    );
+    let serve_train: Vec<Query> = wl.train.iter().take(6).cloned().collect();
+    foss.bootstrap(&serve_train, 1).expect("service bootstrap");
+    let doctor = PlanDoctor::new(
+        foss.snapshot(),
+        caching_for_service,
+        ServiceConfig::default(),
+    );
+    let serve_queries: Vec<Query> = wl.train.iter().take(8).cloned().collect();
+    // Warm the latency cache so both benches measure planning throughput,
+    // not first-touch execution.
+    for q in &serve_queries {
+        doctor.submit(QueryRequest::new(q.clone())).expect("warmup");
+    }
+    c.bench_function("service/submit_throughput_1t", |b| {
+        b.iter(|| {
+            for q in &serve_queries {
+                black_box(doctor.submit(QueryRequest::new(q.clone())).unwrap());
+            }
+        })
+    });
+    c.bench_function("service/submit_throughput", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for chunk in serve_queries.chunks(serve_queries.len().div_ceil(4)) {
+                    let doctor = &doctor;
+                    scope.spawn(move || {
+                        for q in chunk {
+                            black_box(doctor.submit(QueryRequest::new(q.clone())).unwrap());
+                        }
+                    });
+                }
+            })
         })
     });
 

@@ -10,9 +10,11 @@ pub mod hash;
 pub mod ids;
 pub mod par;
 pub mod rng;
+pub mod stats;
 
 pub use error::{FossError, Result};
 pub use hash::{fx_hash_one, FxHashMap, FxHashSet};
 pub use ids::{ColumnId, QueryId, TableId};
 pub use par::run_sharded;
 pub use rng::SeedStream;
+pub use stats::percentile;

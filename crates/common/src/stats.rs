@@ -1,0 +1,60 @@
+//! Small shared statistics helpers.
+//!
+//! Lives in `foss_common` so both the experiment harness and the serving
+//! metrics registry compute percentiles with one definition (linear
+//! interpolation between order statistics, the same convention NumPy's
+//! default and PostgreSQL's `percentile_cont` use).
+
+/// Percentile `p` (0–100) of `samples` with linear interpolation.
+///
+/// Returns `None` on an empty sample set — callers decide whether that means
+/// "0", "skip the row" or "report n/a"; nothing panics on an idle metrics
+/// registry.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    Some(if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_return_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn interpolates_between_order_statistics() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), Some(1.0));
+        assert_eq!(percentile(&s, 100.0), Some(4.0));
+        assert!((percentile(&s, 50.0).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_p_is_clamped() {
+        let s = [5.0, 7.0];
+        assert_eq!(percentile(&s, -10.0), Some(5.0));
+        assert_eq!(percentile(&s, 150.0), Some(7.0));
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = [3.5];
+        for p in [0.0, 25.0, 99.0] {
+            assert_eq!(percentile(&s, p), Some(3.5));
+        }
+    }
+}

@@ -68,6 +68,60 @@ impl PolicyValueNet<EncodedPlan> for AgentModel {
     }
 }
 
+/// Evaluate one state against a model + parameter set: `(logits, value)`.
+///
+/// Shared by the trainable [`PlannerAgent`] and the serving
+/// [`FrozenPolicy`] so both paths run the exact same tape.
+fn eval_model(model: &AgentModel, set: &ParamSet, state: &EncodedPlan) -> (Vec<f32>, f32) {
+    let mut g = Graph::new();
+    let (logits, values) = model.forward(&mut g, set, &[state]);
+    (g.value(logits).row(0).to_vec(), g.value(values).get(0, 0))
+}
+
+/// Argmax action under `mask` for a model + parameter set.
+fn greedy_action(model: &AgentModel, set: &ParamSet, state: &EncodedPlan, mask: &[bool]) -> usize {
+    let (logits, _) = eval_model(model, set, state);
+    logits
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask[*i])
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("mask admits no action")
+}
+
+/// Read-only greedy action selection — the part of a planner a serving
+/// snapshot needs. Implemented by the live [`PlannerAgent`] (training-side
+/// inference) and by [`FrozenPolicy`] (published snapshots), so the episode
+/// loop can run identically over either.
+pub trait PlanPolicy {
+    /// Greedy action under `mask` (deterministic for fixed weights).
+    fn act_greedy(&self, state: &EncodedPlan, mask: &[bool]) -> usize;
+}
+
+/// An immutable copy of an agent's policy weights, detached from its PPO
+/// trainer and RNG. `Clone` + `Send` + `Sync`: many threads can plan over
+/// one frozen policy concurrently.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrozenPolicy {
+    model: AgentModel,
+    set: ParamSet,
+}
+
+impl FrozenPolicy {
+    /// Evaluate one state: returns `(masked logits, value)` — bit-identical
+    /// to the live agent the policy was frozen from.
+    pub fn evaluate(&self, state: &EncodedPlan) -> (Vec<f32>, f32) {
+        eval_model(&self.model, &self.set, state)
+    }
+}
+
+impl PlanPolicy for FrozenPolicy {
+    fn act_greedy(&self, state: &EncodedPlan, mask: &[bool]) -> usize {
+        greedy_action(&self.model, &self.set, state, mask)
+    }
+}
+
 /// One planner agent: model, parameters, PPO trainer and its own RNG.
 ///
 /// Multi-agent FOSS (§VI-C5) instantiates several of these "with different
@@ -126,9 +180,7 @@ impl PlannerAgent {
 
     /// Evaluate one state: returns `(masked logits, value)`.
     pub fn evaluate(&self, state: &EncodedPlan) -> (Vec<f32>, f32) {
-        let mut g = Graph::new();
-        let (logits, values) = self.model.forward(&mut g, &self.set, &[state]);
-        (g.value(logits).row(0).to_vec(), g.value(values).get(0, 0))
+        eval_model(&self.model, &self.set, state)
     }
 
     /// Sample an action under `mask`; returns `(action, logp, value)`.
@@ -140,20 +192,28 @@ impl PlannerAgent {
 
     /// Greedy action under `mask` (inference).
     pub fn act_greedy(&self, state: &EncodedPlan, mask: &[bool]) -> usize {
-        let (logits, _) = self.evaluate(state);
-        logits
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask[*i])
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("mask admits no action")
+        greedy_action(&self.model, &self.set, state, mask)
+    }
+
+    /// Copy the current policy weights into an immutable, shareable
+    /// [`FrozenPolicy`] (the agent keeps training; the copy never changes).
+    pub fn freeze(&self) -> FrozenPolicy {
+        FrozenPolicy {
+            model: self.model.clone(),
+            set: self.set.clone(),
+        }
     }
 
     /// Run one PPO update over a finished rollout batch.
     pub fn update(&mut self, batch: &RolloutBatch<EncodedPlan>) -> PpoStats {
         self.ppo
             .update(&self.model, &mut self.set, batch, &mut self.rng)
+    }
+}
+
+impl PlanPolicy for PlannerAgent {
+    fn act_greedy(&self, state: &EncodedPlan, mask: &[bool]) -> usize {
+        PlannerAgent::act_greedy(self, state, mask)
     }
 }
 
@@ -208,6 +268,47 @@ mod tests {
         let (la, _) = a.evaluate(&plan(0));
         let (lb, _) = b.evaluate(&plan(0));
         assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn frozen_policy_matches_live_agent() {
+        let a = agent(4);
+        let frozen = a.freeze();
+        let mask = vec![true, false, true, true];
+        for tag in 0..6 {
+            assert_eq!(frozen.evaluate(&plan(tag)), a.evaluate(&plan(tag)));
+            assert_eq!(
+                PlanPolicy::act_greedy(&frozen, &plan(tag), &mask),
+                a.act_greedy(&plan(tag), &mask)
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_policy_is_detached_from_training() {
+        use foss_rl::{RolloutBuffer, Transition};
+        let mut a = agent(3);
+        let frozen = a.freeze();
+        let before = frozen.evaluate(&plan(0)).0;
+        let mask = vec![true, true, true];
+        let mut buf = RolloutBuffer::new();
+        for _ in 0..8 {
+            let (act, logp, v) = a.act(&plan(0), &mask);
+            buf.push(Transition {
+                state: plan(0),
+                mask: mask.clone(),
+                action: act,
+                reward: 1.0,
+                done: true,
+                value: v,
+                logp,
+            });
+        }
+        let batch = buf.finish(a.gamma(), a.lambda());
+        a.update(&batch);
+        // The live agent moved; the frozen copy did not.
+        assert_ne!(a.evaluate(&plan(0)).0, before);
+        assert_eq!(frozen.evaluate(&plan(0)).0, before);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use foss_query::Query;
 use foss_rl::Transition;
 
 use crate::actions::{as_swap, ActionSpace};
-use crate::agent::PlannerAgent;
+use crate::agent::{PlanPolicy, PlannerAgent};
 use crate::config::FossConfig;
 use crate::encoding::{EncodedPlan, PlanEncoder};
 use crate::envs::RewardOracle;
@@ -55,6 +55,68 @@ pub fn run_episode(
     cfg: &FossConfig,
     greedy: bool,
 ) -> Result<EpisodeResult> {
+    if greedy {
+        return run_episode_greedy(
+            agent, optimizer, encoder, space, query, original, oracle, cfg,
+        );
+    }
+    let mut choose = |state: &EncodedPlan, mask: &[bool]| agent.act(state, mask);
+    run_episode_core(
+        &mut choose,
+        optimizer,
+        encoder,
+        space,
+        query,
+        original,
+        oracle,
+        cfg,
+    )
+}
+
+/// The read-only inference episode: greedy actions from a [`PlanPolicy`]
+/// (a live agent or a frozen snapshot policy), `&self` all the way down —
+/// many threads can run this concurrently over one set of weights.
+#[allow(clippy::too_many_arguments)]
+pub fn run_episode_greedy(
+    policy: &dyn PlanPolicy,
+    optimizer: &TraditionalOptimizer,
+    encoder: &PlanEncoder,
+    space: &ActionSpace,
+    query: &Query,
+    original: &PhysicalPlan,
+    oracle: &mut dyn RewardOracle,
+    cfg: &FossConfig,
+) -> Result<EpisodeResult> {
+    let mut choose =
+        |state: &EncodedPlan, mask: &[bool]| (policy.act_greedy(state, mask), 0.0, 0.0);
+    run_episode_core(
+        &mut choose,
+        optimizer,
+        encoder,
+        space,
+        query,
+        original,
+        oracle,
+        cfg,
+    )
+}
+
+/// Per-step decision function: `(state, mask) -> (action, logp, value)` —
+/// sampling during training, argmax during inference.
+type ChooseFn<'a> = &'a mut dyn FnMut(&EncodedPlan, &[bool]) -> (usize, f32, f32);
+
+/// The shared episode loop over a [`ChooseFn`].
+#[allow(clippy::too_many_arguments)]
+fn run_episode_core(
+    choose: ChooseFn<'_>,
+    optimizer: &TraditionalOptimizer,
+    encoder: &PlanEncoder,
+    space: &ActionSpace,
+    query: &Query,
+    original: &PhysicalPlan,
+    oracle: &mut dyn RewardOracle,
+    cfg: &FossConfig,
+) -> Result<EpisodeResult> {
     let icp0 = original.extract_icp()?;
     let original_ctx = PlanCtx {
         icp: icp0.clone(),
@@ -80,11 +142,7 @@ pub fn run_episode(
         let mask = space.mask(query, &ctx_prev.icp, last_swap);
         debug_assert!(mask.iter().any(|&m| m), "no legal action at step {t}");
         let state = ctx_prev.encoded.clone();
-        let (a, logp, value) = if greedy {
-            (agent.act_greedy(&state, &mask), 0.0, 0.0)
-        } else {
-            agent.act(&state, &mask)
-        };
+        let (a, logp, value) = choose(&state, &mask);
         let action = space.decode(a);
         let mut icp_t = ctx_prev.icp.clone();
         space.apply(action, &mut icp_t)?;

@@ -29,17 +29,19 @@ pub mod envs;
 pub mod episode;
 pub mod execbuf;
 pub mod selector;
+pub mod snapshot;
 pub mod state_net;
 pub mod trainer;
 
 pub use aam::AdvantageModel;
 pub use actions::{Action, ActionSpace};
 pub use advantage::AdvantageScale;
-pub use agent::PlannerAgent;
+pub use agent::{FrozenPolicy, PlanPolicy, PlannerAgent};
 pub use config::FossConfig;
 pub use encoding::{EncodedPlan, PlanEncoder};
 pub use envs::{RealEnv, RewardOracle, SimEnv};
-pub use episode::{run_episode, EpisodeResult};
+pub use episode::{run_episode, run_episode_greedy, EpisodeResult};
 pub use execbuf::{ExecutedPlan, ExecutionBuffer};
 pub use selector::select_best;
-pub use trainer::{Foss, TrainReport};
+pub use snapshot::{PlannerSnapshot, SnapshotCell};
+pub use trainer::{Foss, Inference, TrainReport};

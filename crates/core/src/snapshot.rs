@@ -1,0 +1,349 @@
+//! Read-only planning snapshots — the serving half of the core split.
+//!
+//! [`Foss`](crate::trainer::Foss) owns the mutable training state (PPO
+//! agents, execution buffer, AAM optimiser moments). A [`PlannerSnapshot`]
+//! is an immutable copy of everything inference needs — frozen agent
+//! policies, the AAM weights, the plan encoder/action space, the expert
+//! optimizer handle and a frozen view of the execution buffer — behind
+//! `Arc`s, so cloning a snapshot is a handful of reference-count bumps and
+//! [`PlannerSnapshot::optimize`] takes `&self`: any number of threads can
+//! plan concurrently over one snapshot while training continues elsewhere.
+//!
+//! [`SnapshotCell`] is the publication point: the trainer calls
+//! [`SnapshotCell::publish`] after an update round (hot model swap), servers
+//! call [`SnapshotCell::load`] per query and keep planning on whatever
+//! generation they loaded — no lock is held while planning.
+
+use std::sync::Arc;
+
+use foss_common::{FxHashMap, QueryId, Result};
+use foss_optimizer::{PhysicalPlan, TraditionalOptimizer};
+use foss_query::Query;
+use parking_lot::RwLock;
+
+use crate::aam::AdvantageModel;
+use crate::actions::ActionSpace;
+use crate::advantage::AdvantageScale;
+use crate::agent::{FrozenPolicy, PlanPolicy};
+use crate::config::FossConfig;
+use crate::encoding::{EncodedPlan, PlanEncoder};
+use crate::envs::SimEnv;
+use crate::episode::run_episode_greedy;
+use crate::execbuf::ExecutionBuffer;
+use crate::selector::select_best;
+use crate::trainer::Inference;
+
+/// An immutable, cheaply-cloneable view of a trained FOSS planner.
+///
+/// Produced by [`Foss::snapshot`](crate::trainer::Foss::snapshot); see the
+/// module docs for the threading contract.
+#[derive(Clone)]
+pub struct PlannerSnapshot {
+    cfg: FossConfig,
+    scale: AdvantageScale,
+    optimizer: Arc<TraditionalOptimizer>,
+    encoder: Arc<PlanEncoder>,
+    space: Arc<ActionSpace>,
+    policies: Arc<Vec<FrozenPolicy>>,
+    aam: Arc<AdvantageModel>,
+    buffer: Arc<ExecutionBuffer>,
+    originals: Arc<FxHashMap<QueryId, PhysicalPlan>>,
+}
+
+impl PlannerSnapshot {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        cfg: FossConfig,
+        scale: AdvantageScale,
+        optimizer: Arc<TraditionalOptimizer>,
+        encoder: Arc<PlanEncoder>,
+        space: Arc<ActionSpace>,
+        policies: Arc<Vec<FrozenPolicy>>,
+        aam: Arc<AdvantageModel>,
+        buffer: Arc<ExecutionBuffer>,
+        originals: Arc<FxHashMap<QueryId, PhysicalPlan>>,
+    ) -> Self {
+        Self {
+            cfg,
+            scale,
+            optimizer,
+            encoder,
+            space,
+            policies,
+            aam,
+            buffer,
+            originals,
+        }
+    }
+
+    /// The configuration the planner was trained with.
+    pub fn config(&self) -> &FossConfig {
+        &self.cfg
+    }
+
+    /// The frozen advantage model.
+    pub fn aam(&self) -> &AdvantageModel {
+        &self.aam
+    }
+
+    /// The expert optimizer this snapshot repairs plans from.
+    pub fn optimizer(&self) -> &Arc<TraditionalOptimizer> {
+        &self.optimizer
+    }
+
+    /// Executed plans frozen into this snapshot (staleness indicator).
+    pub fn buffer_plans(&self) -> usize {
+        self.buffer.total_plans()
+    }
+
+    /// The expert (DP) plan for `query` — the fallback every serving-path
+    /// decision can reach without touching learned state. Answered from the
+    /// frozen original-plan cache when the query was seen in training.
+    pub fn expert_plan(&self, query: &Query) -> Result<PhysicalPlan> {
+        if let Some(p) = self.originals.get(&query.id) {
+            return Ok(p.clone());
+        }
+        self.optimizer.optimize(query)
+    }
+
+    /// Doctored plan for `query` (read-only; see module docs).
+    pub fn optimize(&self, query: &Query) -> Result<PhysicalPlan> {
+        Ok(self.optimize_detailed(query)?.plan)
+    }
+
+    /// Doctored plan with provenance (selected step, candidate count, AAM
+    /// confidence).
+    pub fn optimize_detailed(&self, query: &Query) -> Result<Inference> {
+        let original = self.expert_plan(query)?;
+        self.optimize_detailed_from(query, &original)
+    }
+
+    /// Like [`PlannerSnapshot::optimize_detailed`] with the expert plan
+    /// supplied by the caller — the serving path already needs the expert
+    /// plan for its fallback, so this avoids planning it twice per query.
+    /// `original` must be this snapshot's [`PlannerSnapshot::expert_plan`]
+    /// for `query`.
+    pub fn optimize_detailed_from(
+        &self,
+        query: &Query,
+        original: &PhysicalPlan,
+    ) -> Result<Inference> {
+        let policies: Vec<&dyn PlanPolicy> =
+            self.policies.iter().map(|p| p as &dyn PlanPolicy).collect();
+        infer(
+            &policies,
+            &self.aam,
+            &self.buffer,
+            &self.scale,
+            &self.optimizer,
+            &self.encoder,
+            &self.space,
+            &self.cfg,
+            query,
+            original,
+        )
+    }
+}
+
+/// The shared greedy-inference pipeline: per-policy greedy episodes, a
+/// per-policy AAM tournament, then a final tournament among champions.
+///
+/// Both [`Foss::optimize_detailed`](crate::trainer::Foss::optimize_detailed)
+/// (live agents) and [`PlannerSnapshot::optimize_detailed`] (frozen
+/// policies) run exactly this function, which is what makes snapshot plans
+/// bit-identical to trainer plans.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn infer(
+    policies: &[&dyn PlanPolicy],
+    aam: &AdvantageModel,
+    buffer: &ExecutionBuffer,
+    scale: &AdvantageScale,
+    optimizer: &TraditionalOptimizer,
+    encoder: &PlanEncoder,
+    space: &ActionSpace,
+    cfg: &FossConfig,
+    query: &Query,
+    original: &PhysicalPlan,
+) -> Result<Inference> {
+    // Per-policy greedy episode → per-policy champion.
+    let mut champions = Vec::with_capacity(policies.len());
+    for policy in policies {
+        let mut env = SimEnv::new(aam, buffer, scale.clone());
+        let res = run_episode_greedy(
+            *policy, optimizer, encoder, space, query, original, &mut env, cfg,
+        )?;
+        let mut cands: Vec<&EncodedPlan> = vec![&res.original.encoded];
+        for v in &res.visited {
+            cands.push(&v.encoded);
+        }
+        let idx = select_best(aam, &cands);
+        let ctx = if idx == 0 {
+            res.original.clone()
+        } else {
+            res.visited[idx - 1].clone()
+        };
+        champions.push((ctx, idx));
+    }
+    // Multi-agent: final tournament among champions.
+    let encs: Vec<&EncodedPlan> = champions.iter().map(|(c, _)| &c.encoded).collect();
+    let winner = select_best(aam, &encs);
+    let (ctx, step) = champions.swap_remove(winner);
+    let candidates = cfg.num_agents * (cfg.max_steps + 1);
+    // Confidence: the AAM's advantage score of the selected plan over the
+    // expert plan (0 when the expert plan was kept — there is nothing to be
+    // confident about).
+    let aam_confidence = if step == 0 {
+        0
+    } else {
+        aam.predict(&encoder.encode(query, original, 0.0), &ctx.encoded)
+    };
+    Ok(Inference {
+        plan: ctx.plan,
+        selected_step: step,
+        candidates,
+        aam_confidence,
+    })
+}
+
+/// A hot-swappable snapshot slot: the trainer publishes, servers load.
+///
+/// `load` clones an `Arc` under a read lock (nanoseconds); planning happens
+/// entirely outside the lock, so a publish never blocks behind an in-flight
+/// query and a query never observes a half-published model.
+pub struct SnapshotCell {
+    slot: RwLock<Arc<PlannerSnapshot>>,
+    generation: std::sync::atomic::AtomicU64,
+}
+
+impl SnapshotCell {
+    /// Start serving from `snapshot` (generation 0).
+    pub fn new(snapshot: PlannerSnapshot) -> Self {
+        Self {
+            slot: RwLock::new(Arc::new(snapshot)),
+            generation: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot to plan with right now.
+    pub fn load(&self) -> Arc<PlannerSnapshot> {
+        self.slot.read().clone()
+    }
+
+    /// Atomically replace the served snapshot (hot model swap).
+    pub fn publish(&self, snapshot: PlannerSnapshot) {
+        *self.slot.write() = Arc::new(snapshot);
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// How many times [`SnapshotCell::publish`] has run.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envs::tests_support::TestWorld;
+    use crate::trainer::Foss;
+    use foss_executor::CachingExecutor;
+
+    fn trained_foss(world: &TestWorld, seed: u64) -> Foss {
+        let executor = Arc::new(CachingExecutor::new(
+            world.db.clone(),
+            *world.opt.cost_model(),
+        ));
+        let mut foss = Foss::new(
+            Arc::new(world.opt.clone()),
+            executor,
+            3,
+            world.db.stats().iter().map(|s| s.row_count).collect(),
+            FossConfig {
+                episodes_per_update: 6,
+                seed,
+                ..FossConfig::tiny()
+            },
+        );
+        foss.train(std::slice::from_ref(&world.query), 1).unwrap();
+        foss
+    }
+
+    #[test]
+    fn snapshot_plans_match_trainer_plans() {
+        let world = TestWorld::new(21);
+        let foss = trained_foss(&world, 21);
+        let snap = foss.snapshot();
+        let live = foss.optimize_detailed(&world.query).unwrap();
+        let frozen = snap.optimize_detailed(&world.query).unwrap();
+        assert_eq!(live.plan.fingerprint(), frozen.plan.fingerprint());
+        assert_eq!(live.selected_step, frozen.selected_step);
+        assert_eq!(live.candidates, frozen.candidates);
+        assert_eq!(live.aam_confidence, frozen.aam_confidence);
+    }
+
+    #[test]
+    fn snapshot_clone_is_shallow_and_identical() {
+        let world = TestWorld::new(22);
+        let foss = trained_foss(&world, 22);
+        let a = foss.snapshot();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.aam, &b.aam), "clone must share weights");
+        assert_eq!(
+            a.optimize(&world.query).unwrap().fingerprint(),
+            b.optimize(&world.query).unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn many_threads_plan_over_one_snapshot() {
+        let world = TestWorld::new(23);
+        let foss = trained_foss(&world, 23);
+        let snap = foss.snapshot();
+        let serial = snap.optimize(&world.query).unwrap().fingerprint();
+        let fingerprints: Vec<u64> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let snap = snap.clone();
+                    let query = world.query.clone();
+                    scope.spawn(move || snap.optimize(&query).unwrap().fingerprint())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for fp in fingerprints {
+            assert_eq!(fp, serial, "concurrent planning must be deterministic");
+        }
+    }
+
+    #[test]
+    fn cell_publishes_new_generations() {
+        let world = TestWorld::new(24);
+        let mut foss = trained_foss(&world, 24);
+        let cell = SnapshotCell::new(foss.snapshot());
+        let first = cell.load();
+        assert_eq!(cell.generation(), 0);
+        foss.train_iteration(std::slice::from_ref(&world.query), 2)
+            .unwrap();
+        cell.publish(foss.snapshot());
+        let second = cell.load();
+        assert_eq!(cell.generation(), 1);
+        assert!(!Arc::ptr_eq(&first, &second), "publish must swap the slot");
+        // The retired generation keeps working (readers finish on it).
+        first.optimize(&world.query).unwrap();
+    }
+
+    #[test]
+    fn expert_plan_matches_optimizer_for_unseen_queries() {
+        let world = TestWorld::new(25);
+        let foss = trained_foss(&world, 25);
+        let snap = foss.snapshot();
+        let direct = world.opt.optimize(&world.query).unwrap();
+        assert_eq!(
+            snap.expert_plan(&world.query).unwrap().fingerprint(),
+            direct.fingerprint()
+        );
+    }
+}

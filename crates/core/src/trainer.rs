@@ -35,7 +35,7 @@ use crate::encoding::PlanEncoder;
 use crate::envs::{RealEnv, SimEnv};
 use crate::episode::{run_episode, PlanCtx};
 use crate::execbuf::{ExecutedPlan, ExecutionBuffer};
-use crate::selector::select_best;
+use crate::snapshot::PlannerSnapshot;
 
 /// Per-iteration training diagnostics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -64,6 +64,10 @@ pub struct Inference {
     pub selected_step: usize,
     /// Number of candidate plans considered.
     pub candidates: usize,
+    /// AAM advantage score of the selected plan over the expert plan
+    /// (0 when the expert plan was kept; `K-1` is the strongest verdict).
+    /// The serving path uses this for its low-confidence fallback.
+    pub aam_confidence: usize,
 }
 
 /// The FOSS system.
@@ -409,56 +413,58 @@ impl Foss {
     }
 
     /// Inference: repair `query`'s expert plan and select with the AAM.
-    pub fn optimize(&mut self, query: &Query) -> Result<PhysicalPlan> {
+    ///
+    /// Read-only: the training state is untouched, so inference can run
+    /// between (or concurrently with readers of) training rounds. For
+    /// serving across threads, publish a [`PlannerSnapshot`] instead.
+    pub fn optimize(&self, query: &Query) -> Result<PhysicalPlan> {
         Ok(self.optimize_detailed(query)?.plan)
     }
 
-    /// Inference with provenance (selected step, candidate count).
-    pub fn optimize_detailed(&mut self, query: &Query) -> Result<Inference> {
-        let original = self.original_plan(query)?;
-        let mut agents = std::mem::take(&mut self.agents);
-        let result = (|| -> Result<Inference> {
-            // Per-agent greedy episode → per-agent champion.
-            let mut champions: Vec<(PlanCtx, usize)> = Vec::new(); // (ctx, step)
-            for agent in agents.iter_mut() {
-                let mut env = SimEnv::new(&self.aam, &self.buffer, self.scale.clone());
-                let res = run_episode(
-                    agent,
-                    &self.optimizer,
-                    &self.encoder,
-                    &self.space,
-                    query,
-                    &original,
-                    &mut env,
-                    &self.cfg,
-                    true,
-                )?;
-                let mut cands: Vec<&crate::encoding::EncodedPlan> = vec![&res.original.encoded];
-                for v in &res.visited {
-                    cands.push(&v.encoded);
-                }
-                let idx = select_best(&self.aam, &cands);
-                let ctx = if idx == 0 {
-                    res.original.clone()
-                } else {
-                    res.visited[idx - 1].clone()
-                };
-                champions.push((ctx, idx));
-            }
-            // Multi-agent: final tournament among champions.
-            let encs: Vec<&crate::encoding::EncodedPlan> =
-                champions.iter().map(|(c, _)| &c.encoded).collect();
-            let winner = select_best(&self.aam, &encs);
-            let (ctx, step) = champions.swap_remove(winner);
-            let candidates = self.cfg.num_agents * (self.cfg.max_steps + 1);
-            Ok(Inference {
-                plan: ctx.plan,
-                selected_step: step,
-                candidates,
-            })
-        })();
-        self.agents = agents;
-        result
+    /// Inference with provenance (selected step, candidate count, AAM
+    /// confidence). Same read-only pipeline as
+    /// [`PlannerSnapshot::optimize_detailed`] — plans are bit-identical.
+    pub fn optimize_detailed(&self, query: &Query) -> Result<Inference> {
+        let original = match self.originals.get(&query.id) {
+            Some(p) => p.clone(),
+            None => self.optimizer.optimize(query)?,
+        };
+        let policies: Vec<&dyn crate::agent::PlanPolicy> = self
+            .agents
+            .iter()
+            .map(|a| a as &dyn crate::agent::PlanPolicy)
+            .collect();
+        crate::snapshot::infer(
+            &policies,
+            &self.aam,
+            &self.buffer,
+            &self.scale,
+            &self.optimizer,
+            &self.encoder,
+            &self.space,
+            &self.cfg,
+            query,
+            &original,
+        )
+    }
+
+    /// Freeze the current planner into an immutable [`PlannerSnapshot`]
+    /// (frozen agent policies + AAM weights + execution-buffer view behind
+    /// `Arc`s). The snapshot is a deep copy: subsequent training rounds do
+    /// not affect plans served from it. Publish through a
+    /// [`crate::snapshot::SnapshotCell`] for hot model swaps.
+    pub fn snapshot(&self) -> PlannerSnapshot {
+        PlannerSnapshot::new(
+            self.cfg.clone(),
+            self.scale.clone(),
+            self.optimizer.clone(),
+            Arc::new(self.encoder.clone()),
+            Arc::new(self.space),
+            Arc::new(self.agents.iter().map(|a| a.freeze()).collect()),
+            Arc::new(self.aam.clone()),
+            Arc::new(self.buffer.clone()),
+            Arc::new(self.originals.clone()),
+        )
     }
 }
 

@@ -13,6 +13,7 @@
 //! FIFO ages it out — see the hit-rate test below and the `cache/eviction`
 //! micro-benchmark.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -34,6 +35,49 @@ pub enum CachedResult {
         /// Budget that was exceeded.
         budget: f64,
     },
+}
+
+/// One consistent snapshot of a [`CachingExecutor`]'s counters.
+///
+/// `executions`, `hits` and `evictions` are lifetime totals;
+/// [`CachingExecutor::clear`] resets only `entries`. The serving metrics
+/// registry consumes this struct wholesale, so every counter the cache
+/// maintains travels together instead of through ad-hoc accessors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Real executions performed (cache misses).
+    pub executions: u64,
+    /// Lookups answered from the cache (including cached timeouts).
+    pub hits: u64,
+    /// Entries evicted to honour a capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.executions;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since `baseline` (a stats snapshot taken earlier on
+    /// the same executor). `entries` is a gauge, not a counter, and stays
+    /// absolute. Lets a consumer report only its own traffic on a shared
+    /// executor — e.g. the serving metrics exclude training-time activity.
+    pub fn since(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            executions: self.executions.saturating_sub(baseline.executions),
+            hits: self.hits.saturating_sub(baseline.hits),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+            entries: self.entries,
+        }
+    }
 }
 
 /// Eviction policy for bounded caches.
@@ -149,8 +193,8 @@ pub struct CachingExecutor {
     cost: CostModel,
     mode: ExecMode,
     cache: Mutex<CacheState>,
-    executions: Mutex<u64>,
-    hits: Mutex<u64>,
+    executions: AtomicU64,
+    hits: AtomicU64,
 }
 
 impl CachingExecutor {
@@ -167,8 +211,8 @@ impl CachingExecutor {
             cost,
             mode,
             cache: Mutex::new(CacheState::default()),
-            executions: Mutex::new(0),
-            hits: Mutex::new(0),
+            executions: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
         }
     }
 
@@ -206,8 +250,8 @@ impl CachingExecutor {
                 policy,
                 ..CacheState::default()
             }),
-            executions: Mutex::new(0),
-            hits: Mutex::new(0),
+            executions: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
         }
     }
 
@@ -251,7 +295,7 @@ impl CachingExecutor {
         if let Some(cached) = cached {
             match cached {
                 CachedResult::Done(out) => {
-                    *self.hits.lock() += 1;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
                     if let Some(b) = budget {
                         if out.latency > b {
                             return Err(FossError::Timeout {
@@ -266,7 +310,7 @@ impl CachingExecutor {
                     if let Some(b) = budget.filter(|&b| b <= old) {
                         // `spent` is the work the failed run actually did;
                         // `budget` echoes what this caller asked for.
-                        *self.hits.lock() += 1;
+                        self.hits.fetch_add(1, Ordering::Relaxed);
                         return Err(FossError::Timeout {
                             spent: old as u64,
                             budget: b as u64,
@@ -276,7 +320,7 @@ impl CachingExecutor {
                 }
             }
         }
-        *self.executions.lock() += 1;
+        self.executions.fetch_add(1, Ordering::Relaxed);
         let exec = Executor::with_mode(&self.db, self.cost, self.mode);
         match exec.execute(query, plan, budget) {
             Ok(out) => {
@@ -297,26 +341,22 @@ impl CachingExecutor {
 
     /// Number of *real* executions performed (cache misses) over the
     /// executor's lifetime; [`CachingExecutor::clear`] does not reset it.
+    /// Shorthand for [`CacheStats::executions`] via [`CachingExecutor::stats`].
     pub fn executions(&self) -> u64 {
-        *self.executions.lock()
+        self.executions.load(Ordering::Relaxed)
     }
 
-    /// Number of lookups answered from the cache (including cached timeouts)
-    /// over the executor's lifetime.
-    pub fn hits(&self) -> u64 {
-        *self.hits.lock()
-    }
-
-    /// Number of cached entries.
-    pub fn cache_len(&self) -> usize {
-        self.cache.lock().map.len()
-    }
-
-    /// Number of entries evicted to honour the capacity bound over the
-    /// executor's lifetime; like [`CachingExecutor::executions`] it is a
-    /// monotone counter that [`CachingExecutor::clear`] does not reset.
-    pub fn evictions(&self) -> u64 {
-        self.cache.lock().evictions
+    /// One consistent snapshot of every cache counter (executions, hits,
+    /// evictions, resident entries) — the single source the serving metrics
+    /// registry and the tests consume.
+    pub fn stats(&self) -> CacheStats {
+        let cache = self.cache.lock();
+        CacheStats {
+            executions: self.executions.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: cache.evictions,
+            entries: cache.map.len(),
+        }
     }
 
     /// Drop all cached outcomes (used between experiment repetitions).
@@ -425,9 +465,27 @@ mod tests {
         let a = cx.execute(&q, &plan, None).unwrap();
         let b = cx.execute(&q, &plan, None).unwrap();
         assert_eq!(a, b);
-        assert_eq!(cx.executions(), 1);
-        assert_eq!(cx.hits(), 1);
-        assert_eq!(cx.cache_len(), 1);
+        let stats = cx.stats();
+        assert_eq!(stats.executions, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_since_reports_only_new_traffic() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let cx = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
+        cx.execute(&q, &plan, None).unwrap(); // "training" miss
+        let baseline = cx.stats();
+        cx.execute(&q, &plan, None).unwrap(); // "serving" hit
+        cx.execute(&q, &plan, None).unwrap();
+        let delta = cx.stats().since(&baseline);
+        assert_eq!(delta.executions, 0);
+        assert_eq!(delta.hits, 2);
+        assert_eq!(delta.entries, 1, "entries is a gauge, not a delta");
+        assert_eq!(delta.hit_rate(), 1.0);
     }
 
     #[test]
@@ -478,14 +536,17 @@ mod tests {
 
         let cx = CachingExecutor::with_capacity(Arc::new(db.clone()), *opt.cost_model(), 1);
         cx.execute(&q, &plans[0], None).unwrap();
-        assert_eq!((cx.cache_len(), cx.evictions()), (1, 0));
+        let s = cx.stats();
+        assert_eq!((s.entries, s.evictions), (1, 0));
         // Second distinct plan evicts the first.
         cx.execute(&q, &plans[1], None).unwrap();
-        assert_eq!((cx.cache_len(), cx.evictions()), (1, 1));
+        let s = cx.stats();
+        assert_eq!((s.entries, s.evictions), (1, 1));
         // Re-running the evicted plan is a miss again.
         cx.execute(&q, &plans[0], None).unwrap();
-        assert_eq!(cx.executions(), 3);
-        assert_eq!(cx.evictions(), 2);
+        let s = cx.stats();
+        assert_eq!(s.executions, 3);
+        assert_eq!(s.evictions, 2);
     }
 
     #[test]
@@ -502,11 +563,15 @@ mod tests {
         cx.execute(&queries[1], &plan, None).unwrap(); // cache: [0, 1]
         cx.execute(&queries[0], &plan, None).unwrap(); // touch 0 → LRU is 1
         cx.execute(&queries[2], &plan, None).unwrap(); // evicts 1, not 0
-        assert_eq!(cx.evictions(), 1);
+        assert_eq!(cx.stats().evictions, 1);
         cx.execute(&queries[0], &plan, None).unwrap();
-        assert_eq!(cx.executions(), 3, "query 0 must still be cached under LRU");
+        assert_eq!(
+            cx.stats().executions,
+            3,
+            "query 0 must still be cached under LRU"
+        );
         cx.execute(&queries[1], &plan, None).unwrap();
-        assert_eq!(cx.executions(), 4, "query 1 was the LRU victim");
+        assert_eq!(cx.stats().executions, 4, "query 1 was the LRU victim");
     }
 
     /// On a skewed trace (a small hot set re-referenced between a stream of
@@ -531,8 +596,9 @@ mod tests {
             for &qi in &trace {
                 cx.execute(&queries[qi], &plan, None).unwrap();
             }
-            assert_eq!(cx.hits() + cx.executions(), trace.len() as u64);
-            misses.push(cx.executions());
+            let s = cx.stats();
+            assert_eq!(s.hits + s.executions, trace.len() as u64);
+            misses.push(s.executions);
         }
         let (fifo, lru) = (misses[0], misses[1]);
         // LRU's floor: each distinct key misses once.
@@ -576,8 +642,10 @@ mod tests {
         for _ in 0..10 {
             cx.execute(&q, &plan, None).unwrap();
         }
-        assert_eq!(cx.executions(), 1);
-        assert_eq!(cx.evictions(), 0);
+        let s = cx.stats();
+        assert_eq!(s.executions, 1);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.hits, 9);
     }
 
     #[test]
@@ -592,8 +660,9 @@ mod tests {
         // overwrite must not double-count the key in the FIFO.
         assert!(cx.execute(&q, &plan, Some(full.latency / 10.0)).is_err());
         cx.execute(&q, &plan, None).unwrap();
-        assert_eq!(cx.cache_len(), 1);
-        assert_eq!(cx.evictions(), 0);
+        let s = cx.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.evictions, 0);
     }
 
     #[test]
@@ -611,8 +680,9 @@ mod tests {
         for round in 0..2000 {
             cx.execute(&queries[round % 4], &plan, None).unwrap();
         }
-        assert_eq!(cx.executions(), 4);
-        assert_eq!(cx.evictions(), 0);
+        let s = cx.stats();
+        assert_eq!(s.executions, 4);
+        assert_eq!(s.evictions, 0);
         let queue_len = cx.cache.lock().order.len();
         assert!(
             queue_len <= 64 + 4,
@@ -627,8 +697,8 @@ mod tests {
         let cx = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
         cx.execute(&q, &plan, None).unwrap();
         cx.clear();
-        assert_eq!(cx.cache_len(), 0);
+        assert_eq!(cx.stats().entries, 0);
         cx.execute(&q, &plan, None).unwrap();
-        assert_eq!(cx.executions(), 2);
+        assert_eq!(cx.stats().executions, 2);
     }
 }

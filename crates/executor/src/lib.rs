@@ -26,6 +26,6 @@ pub mod cache;
 pub mod database;
 pub mod exec;
 
-pub use cache::{CachingExecutor, EvictionPolicy};
+pub use cache::{CacheStats, CachingExecutor, EvictionPolicy};
 pub use database::Database;
 pub use exec::{ExecMode, ExecOutcome, Executor, RowSet, CHUNK_SIZE};

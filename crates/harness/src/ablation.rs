@@ -104,15 +104,17 @@ pub fn run(workload: &str, cfg: &RunConfig) -> Result<Vec<AblationRow>> {
         let mut gmrl_curve = Vec::new();
         for _ in 0..=cfg.foss_iterations {
             adapter.train_round(&train)?;
-            let eval = evaluate_on(&exp, &mut adapter, &train)?;
+            let eval = evaluate_on(&exp, &adapter, &train)?;
             gmrl_curve.push(eval.gmrl);
         }
         let training_time_s = t0.elapsed().as_secs_f64();
-        let eval = evaluate_on(&exp, &mut adapter, &all)?;
-        // Fig. 7: where on the episode the selected plan sits.
+        let eval = evaluate_on(&exp, &adapter, &all)?;
+        // Fig. 7: where on the episode the selected plan sits — read from
+        // the adapter's published snapshot, like the serving path does.
+        let snapshot = adapter.snapshot().clone();
         let mut step_histogram = vec![0usize; max_steps + 1];
         for q in &all {
-            let inf = adapter.foss.optimize_detailed(q)?;
+            let inf = snapshot.optimize_detailed(q)?;
             step_histogram[inf.selected_step.min(max_steps)] += 1;
         }
         let opt_time_us =
@@ -204,7 +206,7 @@ mod tests {
         for (name, foss_cfg) in configurations(cfg.foss_episodes, 1).into_iter().take(2) {
             let mut adapter = FossAdapter::new(exp.foss(foss_cfg));
             adapter.train_round(&train).unwrap();
-            let eval = evaluate_on(&exp, &mut adapter, &train).unwrap();
+            let eval = evaluate_on(&exp, &adapter, &train).unwrap();
             assert!(eval.gmrl > 0.0, "{name} failed");
         }
     }

@@ -80,7 +80,7 @@ pub fn run(workload: &str, cfg: &RunConfig, rounds: usize) -> Result<Vec<Curve>>
             let t0 = Instant::now();
             method.train_round(&train)?;
             train_time += t0.elapsed().as_secs_f64();
-            let eval = evaluate_on(&exp, method.as_mut(), &test)?;
+            let eval = evaluate_on(&exp, &**method, &test)?;
             // Speedup on totals = 1 / WRL.
             points.push(CurvePoint {
                 train_time_s: train_time,

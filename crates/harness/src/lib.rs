@@ -15,6 +15,12 @@
 //! **Unit convention**: execution latency is deterministic executor work
 //! units, which we equate to microseconds when combining with measured
 //! wall-clock optimisation time in WRL (see EXPERIMENTS.md).
+//!
+//! **Snapshot-based planning**: since the serving redesign, every runner
+//! evaluates FOSS through read-only [`foss_core::PlannerSnapshot`]s — the
+//! [`FossAdapter`] refreshes its snapshot after each training round and
+//! [`LearnedOptimizer::plan`] is `&self` for all methods, so evaluation
+//! exercises exactly the code path the `PlanDoctor` service serves.
 
 pub mod ablation;
 pub mod best_plans;
@@ -28,7 +34,7 @@ use std::time::Instant;
 use foss_baselines::LearnedOptimizer;
 use foss_common::{FossError, Result};
 use foss_core::encoding::PlanEncoder;
-use foss_core::{Foss, FossConfig};
+use foss_core::{Foss, FossConfig, PlannerSnapshot};
 use foss_executor::CachingExecutor;
 use foss_query::Query;
 use foss_workloads::{
@@ -95,16 +101,33 @@ impl Experiment {
 }
 
 /// Adapter so [`Foss`] can be driven through the common baseline trait.
+///
+/// Mirrors the serving architecture in miniature: training mutates the
+/// wrapped [`Foss`], and after every round the adapter publishes a fresh
+/// read-only [`PlannerSnapshot`] that [`LearnedOptimizer::plan`] serves
+/// from — the same snapshot type the `PlanDoctor` service front end holds.
 pub struct FossAdapter {
     /// The wrapped system.
     pub foss: Foss,
+    snapshot: Arc<PlannerSnapshot>,
     iteration: usize,
 }
 
 impl FossAdapter {
-    /// Wrap a FOSS instance.
+    /// Wrap a FOSS instance (publishing an initial, untrained snapshot).
     pub fn new(foss: Foss) -> Self {
-        Self { foss, iteration: 0 }
+        let snapshot = Arc::new(foss.snapshot());
+        Self {
+            foss,
+            snapshot,
+            iteration: 0,
+        }
+    }
+
+    /// The snapshot currently served by [`LearnedOptimizer::plan`]
+    /// (refreshed after every training round).
+    pub fn snapshot(&self) -> &Arc<PlannerSnapshot> {
+        &self.snapshot
     }
 }
 
@@ -120,11 +143,12 @@ impl LearnedOptimizer for FossAdapter {
             self.foss.train_iteration(queries, self.iteration)?;
         }
         self.iteration += 1;
+        self.snapshot = Arc::new(self.foss.snapshot());
         Ok(())
     }
 
-    fn plan(&mut self, query: &Query) -> Result<foss_optimizer::PhysicalPlan> {
-        self.foss.optimize(query)
+    fn plan(&self, query: &Query) -> Result<foss_optimizer::PhysicalPlan> {
+        self.snapshot.optimize(query)
     }
 }
 
@@ -142,9 +166,12 @@ pub struct SplitEval {
 }
 
 /// Evaluate `method` on `queries`, comparing against the expert.
+///
+/// Takes `&dyn` — evaluation only plans (read-only since the serving
+/// redesign) and never trains.
 pub fn evaluate_on(
     exp: &Experiment,
-    method: &mut dyn LearnedOptimizer,
+    method: &dyn LearnedOptimizer,
     queries: &[Query],
 ) -> Result<SplitEval> {
     let mut outcomes = Vec::with_capacity(queries.len());
@@ -185,19 +212,12 @@ pub fn evaluate_on(
     })
 }
 
-/// Simple percentile over a sample (linear interpolation).
+/// Simple percentile over a sample (linear interpolation), shared with the
+/// serving metrics via [`foss_common::percentile`]. Returns `0.0` for an
+/// empty sample set — a defined value instead of the panic this used to be,
+/// so figure runners and metrics reporters tolerate empty splits.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    assert!(!samples.is_empty());
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    let pos = (p / 100.0) * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    if lo == hi {
-        sorted[lo]
-    } else {
-        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
-    }
+    foss_common::percentile(samples, p).unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -208,9 +228,9 @@ mod tests {
     #[test]
     fn experiment_builds_and_expert_scores_unity() {
         let exp = Experiment::new("tpcdslite", WorkloadSpec::tiny(3)).unwrap();
-        let mut pg = PostgresBaseline::new(exp.workload.optimizer.clone());
+        let pg = PostgresBaseline::new(exp.workload.optimizer.clone());
         let queries: Vec<_> = exp.workload.test.iter().take(4).cloned().collect();
-        let eval = evaluate_on(&exp, &mut pg, &queries).unwrap();
+        let eval = evaluate_on(&exp, &pg, &queries).unwrap();
         // The expert against itself: latency ratios are exactly 1; WRL only
         // differs through measured planning wall time.
         assert!((eval.gmrl - 1.0).abs() < 1e-9, "gmrl={}", eval.gmrl);
@@ -232,6 +252,14 @@ mod tests {
     }
 
     #[test]
+    fn percentile_of_empty_samples_is_zero() {
+        // Used to panic; the serving metrics registry needs a defined value
+        // when no queries have completed yet.
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+    }
+
+    #[test]
     fn foss_adapter_trains_and_plans() {
         let exp = Experiment::new("tpcdslite", WorkloadSpec::tiny(5)).unwrap();
         let cfg = FossConfig {
@@ -242,7 +270,26 @@ mod tests {
         let queries: Vec<_> = exp.workload.train.iter().take(3).cloned().collect();
         foss.train_round(&queries).unwrap(); // bootstrap
         foss.train_round(&queries).unwrap(); // one iteration
-        let eval = evaluate_on(&exp, &mut foss, &queries[..2]).unwrap();
+        let eval = evaluate_on(&exp, &foss, &queries[..2]).unwrap();
         assert!(eval.gmrl > 0.0);
+    }
+
+    #[test]
+    fn foss_adapter_plans_match_trainer_inference_exactly() {
+        // The redesign's regression guard: the snapshot the adapter serves
+        // must produce bit-identical plans to direct trainer inference.
+        let exp = Experiment::new("tpcdslite", WorkloadSpec::tiny(9)).unwrap();
+        let cfg = FossConfig {
+            episodes_per_update: 4,
+            ..FossConfig::tiny()
+        };
+        let mut foss = FossAdapter::new(exp.foss(cfg));
+        let queries: Vec<_> = exp.workload.train.iter().take(2).cloned().collect();
+        foss.train_round(&queries).unwrap();
+        for q in exp.workload.test.iter().take(3) {
+            let served = foss.plan(q).unwrap();
+            let direct = foss.foss.optimize(q).unwrap();
+            assert_eq!(served.fingerprint(), direct.fingerprint());
+        }
     }
 }

@@ -74,7 +74,7 @@ pub fn run(workload: &str, cfg: &RunConfig) -> Result<Vec<OptTimeBox>> {
         for _ in 0..cfg.baseline_rounds.min(1) {
             method.train_round(&train)?;
         }
-        let eval = evaluate_on(&exp, method.as_mut(), &queries)?;
+        let eval = evaluate_on(&exp, &**method, &queries)?;
         let s = &eval.opt_times_us;
         boxes.push(OptTimeBox {
             method: method.name().to_string(),

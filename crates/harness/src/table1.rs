@@ -118,8 +118,8 @@ pub fn run_workload(name: &str, cfg: &RunConfig) -> Result<WorkloadTable> {
         }
         rows.push(MethodRow {
             method: method.name().to_string(),
-            train: evaluate_on(&exp, method.as_mut(), &train)?,
-            test: evaluate_on(&exp, method.as_mut(), &test)?,
+            train: evaluate_on(&exp, &**method, &train)?,
+            test: evaluate_on(&exp, &**method, &test)?,
         });
     }
 
@@ -135,8 +135,8 @@ pub fn run_workload(name: &str, cfg: &RunConfig) -> Result<WorkloadTable> {
     }
     rows.push(MethodRow {
         method: "FOSS".to_string(),
-        train: evaluate_on(&exp, &mut foss, &train)?,
-        test: evaluate_on(&exp, &mut foss, &test)?,
+        train: evaluate_on(&exp, &foss, &train)?,
+        test: evaluate_on(&exp, &foss, &test)?,
     });
 
     Ok(WorkloadTable {

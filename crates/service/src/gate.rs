@@ -1,0 +1,134 @@
+//! Admission control: a bounded pool of in-flight permits.
+//!
+//! The gate is the service's back-pressure mechanism — at most
+//! `max_in_flight` queries hold a permit at once; further `submit` calls
+//! block (FIFO-ish under the condvar) until a permit frees. It also tracks
+//! the in-flight high-water mark, the serving metric that tells an operator
+//! how close the deployment runs to its admission ceiling.
+
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct GateState {
+    in_flight: usize,
+    high_water: usize,
+}
+
+/// Bounded in-flight permit pool (see module docs).
+#[derive(Debug)]
+pub struct AdmissionGate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `capacity` concurrent queries.
+    ///
+    /// # Panics
+    /// If `capacity == 0` — such a gate would deadlock the first caller.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "admission capacity must be positive");
+        Self {
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Block until a permit is free, then take it. The permit is released
+    /// when the returned guard drops (panic-safe: an unwinding worker still
+    /// frees its slot).
+    pub fn acquire(&self) -> Permit<'_> {
+        let mut state = self.state.lock().expect("gate lock poisoned");
+        while state.in_flight == self.capacity {
+            state = self.freed.wait(state).expect("gate lock poisoned");
+        }
+        state.in_flight += 1;
+        state.high_water = state.high_water.max(state.in_flight);
+        Permit { gate: self }
+    }
+
+    /// Queries currently holding a permit.
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().expect("gate lock poisoned").in_flight
+    }
+
+    /// Most permits ever held simultaneously.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("gate lock poisoned").high_water
+    }
+
+    /// The admission ceiling.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().expect("gate lock poisoned");
+        state.in_flight -= 1;
+        drop(state);
+        self.freed.notify_one();
+    }
+}
+
+/// RAII guard for one admitted query.
+#[must_use = "dropping the permit immediately releases the admission slot"]
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = AdmissionGate::new(0);
+    }
+
+    #[test]
+    fn permits_track_in_flight_and_high_water() {
+        let gate = AdmissionGate::new(3);
+        let a = gate.acquire();
+        let b = gate.acquire();
+        assert_eq!(gate.in_flight(), 2);
+        assert_eq!(gate.high_water(), 2);
+        drop(a);
+        assert_eq!(gate.in_flight(), 1);
+        let _c = gate.acquire();
+        assert_eq!(gate.in_flight(), 2);
+        // High water never decreases.
+        assert_eq!(gate.high_water(), 2);
+        drop(b);
+    }
+
+    #[test]
+    fn gate_bounds_concurrency_across_threads() {
+        let gate = AdmissionGate::new(2);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let _permit = gate.acquire();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "gate leaked permits");
+        assert!(gate.high_water() <= 2);
+        assert_eq!(gate.in_flight(), 0, "all permits returned");
+    }
+}

@@ -1,0 +1,564 @@
+//! **PlanDoctor as a service** — the online front end over FOSS.
+//!
+//! The paper evaluates FOSS in batch (train → evaluate splits); this crate
+//! is the serving half the ROADMAP's north star asks for: a long-lived
+//! process that admits queries, plans them over an immutable
+//! [`PlannerSnapshot`], executes through the shared [`CachingExecutor`],
+//! and degrades gracefully to the expert DP plan whenever the learned path
+//! cannot be trusted.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   trainer (Foss, &mut) ──publish──▶ SnapshotCell ◀──load── submit() × N threads
+//!                                        │                      │
+//!                                        ▼                      ▼
+//!                               PlannerSnapshot (&self)   AdmissionGate (permits)
+//!                                                               │
+//!                                                               ▼
+//!                                             CachingExecutor (shared, budgeted)
+//!                                                               │
+//!                                                               ▼
+//!                                             MetricsRegistry (atomic counters)
+//! ```
+//!
+//! # Admission and fallback semantics
+//!
+//! * **Admission** — at most [`ServiceConfig::max_in_flight`] queries run
+//!   concurrently; excess `submit` calls block until a permit frees. The
+//!   high-water mark is exported through [`MetricsSnapshot`].
+//! * **Planning budget** — if planning wall time exceeds the per-query
+//!   budget ([`QueryRequest::planning_budget_us`] overriding
+//!   [`ServiceConfig::planning_budget_us`]), the doctored plan is discarded
+//!   and the expert plan is served ([`FallbackReason::PlanningTimeout`]).
+//! * **Confidence floor** — a doctored plan is only run when the AAM's
+//!   advantage score over the expert plan reaches
+//!   [`ServiceConfig::min_confidence`] ([`FallbackReason::LowConfidence`]
+//!   otherwise).
+//! * **Execution budget** — the doctored plan runs under
+//!   `expert latency × exec_timeout_factor`; blowing it serves the expert
+//!   result instead ([`FallbackReason::ExecTimeout`]). The expert plan
+//!   itself is never budgeted — it is the safety net.
+//!
+//! Every decision is recorded as an [`Outcome`] in the atomic
+//! [`MetricsRegistry`]; [`PlanDoctor::metrics`] snapshots p50/p95/p99
+//! latency, fallback rate, cache hit rate and the in-flight high-water mark.
+
+pub mod gate;
+pub mod metrics;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use foss_common::{FossError, FxHashMap, QueryId, Result};
+use foss_core::{PlannerSnapshot, SnapshotCell};
+use foss_executor::CachingExecutor;
+use foss_optimizer::PhysicalPlan;
+use foss_query::Query;
+use parking_lot::Mutex;
+
+pub use gate::{AdmissionGate, Permit};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, Outcome};
+
+/// Serving knobs (see the module docs for the semantics of each).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Admission ceiling: queries allowed in flight simultaneously.
+    pub max_in_flight: usize,
+    /// Default per-query planning budget (µs); `None` disables the check.
+    pub planning_budget_us: Option<f64>,
+    /// Minimum AAM advantage score (over the expert plan) a doctored plan
+    /// needs before the service will run it. `1` accepts anything the
+    /// selector already rated better than the noise floor; `K-1` (= 2 with
+    /// the paper's split points) serves only "much better" verdicts.
+    pub min_confidence: usize,
+    /// Execution budget for doctored plans, as a multiple of the expert
+    /// plan's latency.
+    pub exec_timeout_factor: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 16,
+            planning_budget_us: None,
+            min_confidence: 1,
+            exec_timeout_factor: 10.0,
+        }
+    }
+}
+
+/// One query submitted to the service.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The query to plan and execute.
+    pub query: Query,
+    /// Per-request planning budget override (µs).
+    pub planning_budget_us: Option<f64>,
+}
+
+impl QueryRequest {
+    /// A request with the service-default budgets.
+    pub fn new(query: Query) -> Self {
+        Self {
+            query,
+            planning_budget_us: None,
+        }
+    }
+
+    /// Override the planning budget for this request only.
+    #[must_use]
+    pub fn with_planning_budget_us(mut self, budget_us: f64) -> Self {
+        self.planning_budget_us = Some(budget_us);
+        self
+    }
+}
+
+/// Why a query was answered with the expert plan instead of the doctored
+/// one ([`FallbackReason::None`] when the doctored decision stood).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The doctored decision was served.
+    None,
+    /// Planning exceeded its wall-clock budget.
+    PlanningTimeout,
+    /// The AAM's confidence in the doctored plan was below the floor.
+    LowConfidence,
+    /// The doctored plan exceeded its execution budget.
+    ExecTimeout,
+}
+
+/// What the service decided (and observed) for one query.
+#[derive(Debug, Clone)]
+pub struct PlanDecision {
+    /// The plan that was executed for the caller.
+    pub plan: PhysicalPlan,
+    /// Whether the expert plan was served in place of the doctored plan.
+    pub fallback: bool,
+    /// Why (when `fallback` is true).
+    pub reason: FallbackReason,
+    /// Wall-clock planning time (µs).
+    pub planning_us: f64,
+    /// Execution latency of the served plan (work units ≡ µs).
+    pub latency: f64,
+    /// Doctor step the *doctored candidate* came from (0 = the doctor
+    /// itself kept the expert plan). Diagnostic only: when `fallback` is
+    /// true the served `plan` is the expert plan regardless of this value.
+    pub selected_step: usize,
+    /// Candidate plans the tournament considered.
+    pub candidates: usize,
+}
+
+/// The serving front end: snapshot handle + executor + admission + metrics.
+///
+/// `submit` takes `&self`; share one `PlanDoctor` across worker threads
+/// (e.g. behind an `Arc`) and call [`PlanDoctor::publish`] from the
+/// training loop to hot-swap the model underneath running traffic.
+pub struct PlanDoctor {
+    snapshots: SnapshotCell,
+    executor: Arc<CachingExecutor>,
+    /// Executor counters at construction time: the executor is typically
+    /// shared with the trainer, so serving metrics report deltas from here
+    /// rather than lifetime totals polluted by pre-service training
+    /// traffic. (A trainer that keeps executing on the shared executor
+    /// *while* the service runs still lands in the delta — see
+    /// [`PlanDoctor::metrics`].)
+    cache_baseline: foss_executor::CacheStats,
+    /// Expert plans already computed for this service, so a hot query
+    /// outside the snapshot's frozen originals map pays the DP cost once,
+    /// not per submit. Cleared on [`PlanDoctor::publish`].
+    expert_memo: Mutex<FxHashMap<QueryId, PhysicalPlan>>,
+    cfg: ServiceConfig,
+    gate: AdmissionGate,
+    metrics: MetricsRegistry,
+}
+
+impl PlanDoctor {
+    /// Serve `snapshot` through `executor` under `cfg`.
+    pub fn new(
+        snapshot: PlannerSnapshot,
+        executor: Arc<CachingExecutor>,
+        cfg: ServiceConfig,
+    ) -> Self {
+        Self {
+            snapshots: SnapshotCell::new(snapshot),
+            cache_baseline: executor.stats(),
+            executor,
+            expert_memo: Mutex::new(FxHashMap::default()),
+            gate: AdmissionGate::new(cfg.max_in_flight),
+            metrics: MetricsRegistry::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Hot-swap the served model; in-flight queries finish on the snapshot
+    /// they loaded, subsequent submits plan on the new one. The expert-plan
+    /// memo is dropped so the new snapshot's original-plan view governs.
+    pub fn publish(&self, snapshot: PlannerSnapshot) {
+        self.snapshots.publish(snapshot);
+        self.expert_memo.lock().clear();
+    }
+
+    /// How many snapshots have been published since construction.
+    pub fn snapshot_generation(&self) -> u64 {
+        self.snapshots.generation()
+    }
+
+    /// The expert plan for `query`: from the snapshot's frozen originals,
+    /// else the service memo, else one DP run that populates the memo.
+    fn expert_plan(&self, snapshot: &PlannerSnapshot, query: &Query) -> Result<PhysicalPlan> {
+        if let Some(plan) = self.expert_memo.lock().get(&query.id) {
+            return Ok(plan.clone());
+        }
+        let plan = snapshot.expert_plan(query)?;
+        self.expert_memo.lock().insert(query.id, plan.clone());
+        Ok(plan)
+    }
+
+    /// Plan, budget-check, execute and record one query (see the module
+    /// docs for the full decision procedure). Blocks while the admission
+    /// gate is full; safe to call from any number of threads. Failed
+    /// submissions count into the registry's `errors` gauge.
+    pub fn submit(&self, req: QueryRequest) -> Result<PlanDecision> {
+        let _permit = self.gate.acquire();
+        match self.submit_admitted(&req) {
+            Ok(decision) => Ok(decision),
+            Err(e) => {
+                self.metrics.record_error();
+                Err(e)
+            }
+        }
+    }
+
+    fn submit_admitted(&self, req: &QueryRequest) -> Result<PlanDecision> {
+        let snapshot = self.snapshots.load();
+
+        // Planning: the expert plan (needed for the fallback anyway, so it
+        // is planned exactly once and memoised) plus the doctored repair
+        // over it.
+        let t0 = Instant::now();
+        let expert_plan = self.expert_plan(&snapshot, &req.query)?;
+        let inference = snapshot.optimize_detailed_from(&req.query, &expert_plan)?;
+        let planning_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        // The safety net: the expert plan, executed unbudgeted.
+        let expert = self.executor.execute(&req.query, &expert_plan, None)?;
+
+        let budget_us = req.planning_budget_us.or(self.cfg.planning_budget_us);
+        let mut reason = FallbackReason::None;
+        if budget_us.is_some_and(|b| planning_us > b) {
+            reason = FallbackReason::PlanningTimeout;
+        } else if inference.selected_step != 0 && inference.aam_confidence < self.cfg.min_confidence
+        {
+            reason = FallbackReason::LowConfidence;
+        }
+
+        let doctored_is_expert = inference.plan.fingerprint() == expert_plan.fingerprint();
+        let (plan, latency) = if reason != FallbackReason::None {
+            (expert_plan, expert.latency)
+        } else if doctored_is_expert {
+            (inference.plan, expert.latency)
+        } else {
+            let exec_budget = expert.latency * self.cfg.exec_timeout_factor;
+            match self
+                .executor
+                .execute(&req.query, &inference.plan, Some(exec_budget))
+            {
+                Ok(out) => (inference.plan, out.latency),
+                Err(FossError::Timeout { .. }) => {
+                    reason = FallbackReason::ExecTimeout;
+                    (expert_plan, expert.latency)
+                }
+                Err(e) => return Err(e),
+            }
+        };
+
+        self.metrics.record(&Outcome {
+            planning_us,
+            latency,
+            reason,
+        });
+        Ok(PlanDecision {
+            plan,
+            fallback: reason != FallbackReason::None,
+            reason,
+            planning_us,
+            latency,
+            selected_step: inference.selected_step,
+            candidates: inference.candidates,
+        })
+    }
+
+    /// Current metrics. Percentiles are computed at call time over the
+    /// most recent samples; cache counters are deltas since this
+    /// `PlanDoctor` was constructed, so a trainer-shared executor's
+    /// training traffic does not skew the serving hit rate.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(
+            self.executor.stats().since(&self.cache_baseline),
+            self.gate.high_water(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foss_core::envs::tests_support::TestWorld;
+    use foss_core::{Foss, FossConfig};
+    use foss_query::QueryBuilder;
+
+    struct Served {
+        world: TestWorld,
+        foss: Foss,
+        doctor: PlanDoctor,
+    }
+
+    fn served(seed: u64, cfg: ServiceConfig) -> Served {
+        let world = TestWorld::new(seed);
+        let executor = Arc::new(CachingExecutor::new(
+            world.db.clone(),
+            *world.opt.cost_model(),
+        ));
+        let mut foss = Foss::new(
+            Arc::new(world.opt.clone()),
+            executor.clone(),
+            3,
+            world.db.stats().iter().map(|s| s.row_count).collect(),
+            FossConfig {
+                episodes_per_update: 6,
+                seed,
+                ..FossConfig::tiny()
+            },
+        );
+        foss.train(std::slice::from_ref(&world.query), 1).unwrap();
+        let doctor = PlanDoctor::new(foss.snapshot(), executor, cfg);
+        Served {
+            world,
+            foss,
+            doctor,
+        }
+    }
+
+    /// Distinct queries over the TestWorld schema (full chain + both
+    /// two-table joins), so aggregate tests have a real multiset.
+    fn query_mix(world: &TestWorld) -> Vec<Query> {
+        let schema = world.db.schema().clone();
+        let mut queries = vec![world.query.clone()];
+        for (i, pair) in [("a", "b"), ("a", "c")].iter().enumerate() {
+            let mut qb = QueryBuilder::new(foss_common::QueryId::new(100 + i), 1);
+            let l = qb.relation(schema.table_id(pair.0).unwrap(), pair.0);
+            let r = qb.relation(schema.table_id(pair.1).unwrap(), pair.1);
+            qb.join(l, 0, r, 1);
+            queries.push(qb.build(&schema).unwrap());
+        }
+        queries
+    }
+
+    #[test]
+    fn submit_plans_executes_and_records() {
+        let s = served(31, ServiceConfig::default());
+        let decision = s
+            .doctor
+            .submit(QueryRequest::new(s.world.query.clone()))
+            .unwrap();
+        assert!(decision.latency > 0.0);
+        assert!(decision.candidates >= 4);
+        if !decision.fallback {
+            assert_eq!(decision.reason, FallbackReason::None);
+        }
+        let m = s.doctor.metrics();
+        assert_eq!(m.submitted, 1);
+        assert_eq!(m.errors, 0);
+        assert!(m.latency_p50 > 0.0);
+        assert_eq!(m.latency_p50, m.latency_p99, "single sample");
+        // The expert plan was memoised for subsequent submits.
+        assert_eq!(s.doctor.expert_memo.lock().len(), 1);
+        // The served plan preserves query semantics.
+        let served_rows = s
+            .doctor
+            .executor
+            .execute(&s.world.query, &decision.plan, None)
+            .unwrap()
+            .rows;
+        let expert_rows = s
+            .doctor
+            .executor
+            .execute(&s.world.query, &s.world.original, None)
+            .unwrap()
+            .rows;
+        assert_eq!(served_rows, expert_rows);
+    }
+
+    #[test]
+    fn forced_planning_timeout_falls_back_to_expert_plan() {
+        let s = served(32, ServiceConfig::default());
+        let req = QueryRequest::new(s.world.query.clone()).with_planning_budget_us(0.0);
+        let decision = s.doctor.submit(req).unwrap();
+        assert!(decision.fallback, "zero budget must force fallback");
+        assert_eq!(decision.reason, FallbackReason::PlanningTimeout);
+        let expert = s.world.opt.optimize(&s.world.query).unwrap();
+        assert_eq!(
+            decision.plan.fingerprint(),
+            expert.fingerprint(),
+            "fallback must serve the expert DP plan"
+        );
+        let m = s.doctor.metrics();
+        assert_eq!((m.fallbacks, m.planning_timeouts), (1, 1));
+        assert!((m.fallback_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_floor_gates_doctored_plans() {
+        // An unreachable confidence floor: every doctored plan (step != 0)
+        // must fall back; kept expert plans (step == 0) must not count as
+        // fallbacks.
+        let s = served(
+            33,
+            ServiceConfig {
+                min_confidence: usize::MAX,
+                ..ServiceConfig::default()
+            },
+        );
+        for q in query_mix(&s.world) {
+            let d = s.doctor.submit(QueryRequest::new(q.clone())).unwrap();
+            if d.selected_step == 0 {
+                assert!(!d.fallback);
+            } else {
+                assert!(d.fallback);
+                assert_eq!(d.reason, FallbackReason::LowConfidence);
+                let expert = s.world.opt.optimize(&q).unwrap();
+                assert_eq!(d.plan.fingerprint(), expert.fingerprint());
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_submits_match_serial_outcome_multiset() {
+        let key = |d: &PlanDecision| {
+            (
+                d.plan.fingerprint(),
+                d.latency.to_bits(),
+                d.fallback,
+                d.selected_step,
+            )
+        };
+        // Serial reference run on its own service instance.
+        let serial = served(34, ServiceConfig::default());
+        let queries = query_mix(&serial.world);
+        let mut expected: Vec<_> = Vec::new();
+        for rep in 0..4 {
+            for q in &queries {
+                let _ = rep;
+                expected.push(key(&serial
+                    .doctor
+                    .submit(QueryRequest::new(q.clone()))
+                    .unwrap()));
+            }
+        }
+        expected.sort_unstable();
+
+        // Concurrent run: 4 threads, each submitting every query once.
+        let concurrent = served(34, ServiceConfig::default());
+        let queries = query_mix(&concurrent.world);
+        let mut observed: Vec<_> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let doctor = &concurrent.doctor;
+                    let queries = queries.clone();
+                    scope.spawn(move || {
+                        queries
+                            .iter()
+                            .map(|q| key(&doctor.submit(QueryRequest::new(q.clone())).unwrap()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        observed.sort_unstable();
+        assert_eq!(
+            observed, expected,
+            "concurrent aggregate must equal the serial outcome multiset"
+        );
+        let m = concurrent.doctor.metrics();
+        assert_eq!(m.submitted, 12);
+        assert!(m.in_flight_high_water >= 1 && m.in_flight_high_water <= 16);
+        assert!(m.cache_hit_rate > 0.0, "repeat queries must hit the cache");
+    }
+
+    #[test]
+    fn cache_metrics_exclude_training_traffic() {
+        // `served` trains over the same executor the doctor serves from;
+        // before any submit, the serving-side cache stats must read zero.
+        let s = served(37, ServiceConfig::default());
+        assert!(s.doctor.executor.stats().executions > 0, "training ran");
+        let m = s.doctor.metrics();
+        assert_eq!(m.cache.executions, 0);
+        assert_eq!(m.cache.hits, 0);
+        assert_eq!(m.cache_hit_rate, 0.0);
+        // Submitting the training query twice: serving sees its own hits.
+        s.doctor
+            .submit(QueryRequest::new(s.world.query.clone()))
+            .unwrap();
+        s.doctor
+            .submit(QueryRequest::new(s.world.query.clone()))
+            .unwrap();
+        let m = s.doctor.metrics();
+        assert!(m.cache.hits > 0);
+        assert!(m.cache_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn admission_gate_bounds_in_flight_queries() {
+        let s = served(
+            35,
+            ServiceConfig {
+                max_in_flight: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let doctor = &s.doctor;
+                let query = s.world.query.clone();
+                scope.spawn(move || doctor.submit(QueryRequest::new(query)).unwrap());
+            }
+        });
+        let m = s.doctor.metrics();
+        assert_eq!(m.submitted, 6);
+        assert!(
+            m.in_flight_high_water <= 2,
+            "admission ceiling violated: {}",
+            m.in_flight_high_water
+        );
+    }
+
+    #[test]
+    fn publish_hot_swaps_the_served_snapshot() {
+        let mut s = served(36, ServiceConfig::default());
+        let before = s
+            .doctor
+            .submit(QueryRequest::new(s.world.query.clone()))
+            .unwrap();
+        assert_eq!(s.doctor.snapshot_generation(), 0);
+        s.foss
+            .train_iteration(std::slice::from_ref(&s.world.query), 2)
+            .unwrap();
+        s.doctor.publish(s.foss.snapshot());
+        assert_eq!(s.doctor.snapshot_generation(), 1);
+        let after = s
+            .doctor
+            .submit(QueryRequest::new(s.world.query.clone()))
+            .unwrap();
+        // Both generations serve valid plans for the same query.
+        assert!(before.latency > 0.0 && after.latency > 0.0);
+    }
+}

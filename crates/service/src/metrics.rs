@@ -1,0 +1,292 @@
+//! The service's metrics registry.
+//!
+//! Counters are lock-free atomics bumped on the submit path; latency and
+//! planning-time samples go into mutex-guarded **bounded** reservoirs that
+//! are only locked for a push (the percentile math runs at snapshot time,
+//! off the hot path). Percentiles share their definition with the
+//! experiment harness via [`foss_common::percentile`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use foss_executor::CacheStats;
+use parking_lot::Mutex;
+
+use crate::FallbackReason;
+
+/// Capacity of each sample reservoir. Percentiles are computed over a
+/// sliding window of the most recent [`RESERVOIR_CAP`] samples, so a
+/// long-lived service holds O(1) memory and `metrics()` costs O(cap log
+/// cap) regardless of uptime.
+const RESERVOIR_CAP: usize = 4096;
+
+/// Fixed-capacity sliding window (ring buffer once full).
+#[derive(Debug, Default)]
+struct Reservoir {
+    samples: Vec<f64>,
+    /// Oldest slot, overwritten next once the window is full.
+    next: usize,
+}
+
+impl Reservoir {
+    fn push(&mut self, value: f64) {
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(value);
+        } else {
+            self.samples[self.next] = value;
+            self.next = (self.next + 1) % RESERVOIR_CAP;
+        }
+    }
+}
+
+/// One completed query's contribution to the registry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// Wall-clock planning time (µs).
+    pub planning_us: f64,
+    /// Execution latency of the plan that was run (work units ≡ µs).
+    pub latency: f64,
+    /// Why (if at all) the expert plan was served instead of the doctored
+    /// plan.
+    pub reason: FallbackReason,
+}
+
+/// Accumulates [`Outcome`]s; shared by all worker threads.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    submitted: AtomicU64,
+    errors: AtomicU64,
+    fallbacks: AtomicU64,
+    planning_timeouts: AtomicU64,
+    low_confidence: AtomicU64,
+    exec_timeouts: AtomicU64,
+    latencies: Mutex<Reservoir>,
+    planning_us: Mutex<Reservoir>,
+}
+
+impl MetricsRegistry {
+    /// Fold one completed query into the registry.
+    pub fn record(&self, outcome: &Outcome) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        match outcome.reason {
+            FallbackReason::None => {}
+            FallbackReason::PlanningTimeout => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.planning_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            FallbackReason::LowConfidence => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.low_confidence.fetch_add(1, Ordering::Relaxed);
+            }
+            FallbackReason::ExecTimeout => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.exec_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.latencies.lock().push(outcome.latency);
+        self.planning_us.lock().push(outcome.planning_us);
+    }
+
+    /// Count an admitted query that failed with an error (no [`Outcome`]
+    /// exists for it). Keeps the registry an honest account of admitted
+    /// traffic: `submitted` counts completions only, `errors` the rest.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting (counters are read
+    /// individually; percentiles come from the reservoirs — the most
+    /// recent 4096 samples — at call time). `cache` and
+    /// `in_flight_high_water` are supplied by the owner, which holds the
+    /// executor and the admission gate.
+    pub fn snapshot(&self, cache: CacheStats, in_flight_high_water: usize) -> MetricsSnapshot {
+        let latencies = self.latencies.lock().samples.clone();
+        let planning = self.planning_us.lock().samples.clone();
+        let pct = |s: &[f64], p: f64| foss_common::percentile(s, p).unwrap_or(0.0);
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let fallbacks = self.fallbacks.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted,
+            errors: self.errors.load(Ordering::Relaxed),
+            fallbacks,
+            planning_timeouts: self.planning_timeouts.load(Ordering::Relaxed),
+            low_confidence: self.low_confidence.load(Ordering::Relaxed),
+            exec_timeouts: self.exec_timeouts.load(Ordering::Relaxed),
+            fallback_rate: if submitted == 0 {
+                0.0
+            } else {
+                fallbacks as f64 / submitted as f64
+            },
+            latency_p50: pct(&latencies, 50.0),
+            latency_p95: pct(&latencies, 95.0),
+            latency_p99: pct(&latencies, 99.0),
+            planning_p50_us: pct(&planning, 50.0),
+            planning_p99_us: pct(&planning, 99.0),
+            in_flight_high_water,
+            cache_hit_rate: cache.hit_rate(),
+            cache,
+        }
+    }
+}
+
+/// Point-in-time view of the registry (plus cache + admission gauges).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Queries completed.
+    pub submitted: u64,
+    /// Admitted queries that failed with an error (not in `submitted`).
+    pub errors: u64,
+    /// Queries answered with the expert plan instead of the doctored one.
+    pub fallbacks: u64,
+    /// …because planning exceeded its budget.
+    pub planning_timeouts: u64,
+    /// …because the AAM's confidence was below the configured floor.
+    pub low_confidence: u64,
+    /// …because the doctored plan blew its execution budget.
+    pub exec_timeouts: u64,
+    /// `fallbacks / submitted` (0 when idle).
+    pub fallback_rate: f64,
+    /// Median execution latency (work units ≡ µs).
+    pub latency_p50: f64,
+    /// 95th-percentile execution latency.
+    pub latency_p95: f64,
+    /// 99th-percentile execution latency.
+    pub latency_p99: f64,
+    /// Median planning time (µs).
+    pub planning_p50_us: f64,
+    /// 99th-percentile planning time (µs).
+    pub planning_p99_us: f64,
+    /// Most queries ever in flight simultaneously.
+    pub in_flight_high_water: usize,
+    /// Shared executor cache counters.
+    pub cache: CacheStats,
+    /// `cache.hit_rate()` at snapshot time.
+    pub cache_hit_rate: f64,
+}
+
+impl MetricsSnapshot {
+    /// One-line operator summary (the `plan-doctor` binary prints this and
+    /// CI asserts on it).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "plan-doctor metrics: submitted={} p50={:.0} p95={:.0} p99={:.0} \
+             fallback_rate={:.3} cache_hit_rate={:.3} inflight_hwm={} errors={}",
+            self.submitted,
+            self.latency_p50,
+            self.latency_p95,
+            self.latency_p99,
+            self.fallback_rate,
+            self.cache_hit_rate,
+            self.in_flight_high_water,
+            self.errors,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(latency: f64, reason: FallbackReason) -> Outcome {
+        Outcome {
+            planning_us: 10.0,
+            latency,
+            reason,
+        }
+    }
+
+    #[test]
+    fn empty_registry_reports_zeros() {
+        let reg = MetricsRegistry::default();
+        let snap = reg.snapshot(CacheStats::default(), 0);
+        assert_eq!(snap.submitted, 0);
+        assert_eq!(snap.fallback_rate, 0.0);
+        assert_eq!(snap.latency_p99, 0.0, "empty percentiles must not panic");
+        assert!(snap.summary_line().contains("submitted=0"));
+    }
+
+    #[test]
+    fn counters_and_percentiles_accumulate() {
+        let reg = MetricsRegistry::default();
+        for i in 0..100 {
+            let reason = if i % 10 == 0 {
+                FallbackReason::PlanningTimeout
+            } else {
+                FallbackReason::None
+            };
+            reg.record(&outcome(i as f64, reason));
+        }
+        let snap = reg.snapshot(
+            CacheStats {
+                executions: 25,
+                hits: 75,
+                evictions: 0,
+                entries: 25,
+            },
+            7,
+        );
+        assert_eq!(snap.submitted, 100);
+        assert_eq!(snap.fallbacks, 10);
+        assert_eq!(snap.planning_timeouts, 10);
+        assert!((snap.fallback_rate - 0.1).abs() < 1e-12);
+        assert!(snap.latency_p50 <= snap.latency_p95);
+        assert!(snap.latency_p95 <= snap.latency_p99);
+        assert!((snap.latency_p50 - 49.5).abs() < 1e-9);
+        assert!((snap.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(snap.in_flight_high_water, 7);
+    }
+
+    #[test]
+    fn errors_are_counted_separately_from_completions() {
+        let reg = MetricsRegistry::default();
+        reg.record(&outcome(5.0, FallbackReason::None));
+        reg.record_error();
+        reg.record_error();
+        let snap = reg.snapshot(CacheStats::default(), 1);
+        assert_eq!(snap.submitted, 1);
+        assert_eq!(snap.errors, 2);
+        assert!(snap.summary_line().contains("errors=2"));
+    }
+
+    #[test]
+    fn reservoirs_stay_bounded_and_track_the_recent_window() {
+        let reg = MetricsRegistry::default();
+        // Fill well past capacity: old samples (latency 0) must age out.
+        for _ in 0..RESERVOIR_CAP + 100 {
+            reg.record(&outcome(0.0, FallbackReason::None));
+        }
+        for _ in 0..RESERVOIR_CAP {
+            reg.record(&outcome(100.0, FallbackReason::None));
+        }
+        assert_eq!(reg.latencies.lock().samples.len(), RESERVOIR_CAP);
+        let snap = reg.snapshot(CacheStats::default(), 1);
+        assert_eq!(snap.submitted, (2 * RESERVOIR_CAP + 100) as u64);
+        assert_eq!(
+            snap.latency_p50, 100.0,
+            "window must contain only the most recent samples"
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let reg = MetricsRegistry::default();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let reg = &reg;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let reason = if t == 0 {
+                            FallbackReason::ExecTimeout
+                        } else {
+                            FallbackReason::None
+                        };
+                        reg.record(&outcome((t * 50 + i) as f64, reason));
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot(CacheStats::default(), 4);
+        assert_eq!(snap.submitted, 200);
+        assert_eq!(snap.exec_timeouts, 50);
+        assert_eq!(snap.fallbacks, 50);
+    }
+}

@@ -21,6 +21,7 @@ pub use foss_nn as nn;
 pub use foss_optimizer as optimizer;
 pub use foss_query as query;
 pub use foss_rl as rl;
+pub use foss_service as service;
 pub use foss_storage as storage;
 pub use foss_workloads as workloads;
 
@@ -30,10 +31,11 @@ pub mod prelude {
         BalsaLite, Bao, HybridQo, LearnedOptimizer, LogerLite, PostgresBaseline,
     };
     pub use foss_common::{FossError, QueryId, Result, TableId};
-    pub use foss_core::{Foss, FossConfig};
+    pub use foss_core::{Foss, FossConfig, PlannerSnapshot, SnapshotCell};
     pub use foss_executor::{CachingExecutor, Database, Executor};
     pub use foss_harness::{evaluate_on, Experiment, FossAdapter};
     pub use foss_optimizer::{Icp, JoinMethod, PhysicalPlan, TraditionalOptimizer};
     pub use foss_query::{Predicate, Query, QueryBuilder};
+    pub use foss_service::{PlanDecision, PlanDoctor, QueryRequest, ServiceConfig};
     pub use foss_workloads::{joblite, stacklite, tpcdslite, Workload, WorkloadSpec};
 }

@@ -1,0 +1,80 @@
+//! Serving-path regression guard: plans served from a published
+//! [`PlannerSnapshot`] (the `FossAdapter`/`PlanDoctor` path) must be
+//! bit-identical to direct trainer inference on the tpcdslite tiny split.
+//! This pins the API redesign to the pre-redesign planning behaviour.
+
+use foss_repro::prelude::*;
+
+#[test]
+fn snapshot_plans_bit_identical_to_trainer_on_tpcdslite_tiny() {
+    let exp = Experiment::new("tpcdslite", WorkloadSpec::tiny(7)).unwrap();
+    let cfg = FossConfig {
+        episodes_per_update: 6,
+        seed: 7,
+        ..FossConfig::tiny()
+    };
+    let mut adapter = FossAdapter::new(exp.foss(cfg));
+    let train: Vec<_> = exp.workload.train.iter().take(4).cloned().collect();
+    adapter.train_round(&train).unwrap(); // bootstrap
+    adapter.train_round(&train).unwrap(); // one update round
+
+    let snapshot = adapter.snapshot().clone();
+    let queries: Vec<_> = exp
+        .workload
+        .test
+        .iter()
+        .take(6)
+        .chain(train.iter())
+        .cloned()
+        .collect();
+    for q in &queries {
+        let served = snapshot.optimize_detailed(q).unwrap();
+        let direct = adapter.foss.optimize_detailed(q).unwrap();
+        assert_eq!(
+            served.plan.fingerprint(),
+            direct.plan.fingerprint(),
+            "query {:?}: snapshot plan diverged from trainer inference",
+            q.id
+        );
+        assert_eq!(served.selected_step, direct.selected_step);
+        assert_eq!(served.aam_confidence, direct.aam_confidence);
+        // And through the LearnedOptimizer facade (what evaluate_on uses).
+        assert_eq!(
+            adapter.plan(q).unwrap().fingerprint(),
+            direct.plan.fingerprint()
+        );
+    }
+}
+
+#[test]
+fn plan_doctor_serves_snapshot_plans_end_to_end() {
+    let exp = Experiment::new("tpcdslite", WorkloadSpec::tiny(11)).unwrap();
+    let cfg = FossConfig {
+        episodes_per_update: 6,
+        seed: 11,
+        ..FossConfig::tiny()
+    };
+    let mut adapter = FossAdapter::new(exp.foss(cfg));
+    let train: Vec<_> = exp.workload.train.iter().take(3).cloned().collect();
+    adapter.train_round(&train).unwrap();
+
+    let doctor = PlanDoctor::new(
+        adapter.snapshot().as_ref().clone(),
+        exp.executor.clone(),
+        ServiceConfig::default(),
+    );
+    for q in exp.workload.test.iter().take(4) {
+        let decision = doctor.submit(QueryRequest::new(q.clone())).unwrap();
+        if !decision.fallback {
+            assert_eq!(
+                decision.plan.fingerprint(),
+                adapter.plan(q).unwrap().fingerprint(),
+                "service must serve exactly the snapshot's plan"
+            );
+        }
+        assert!(decision.latency > 0.0);
+    }
+    let metrics = doctor.metrics();
+    assert_eq!(metrics.submitted, 4);
+    assert!(metrics.latency_p50 <= metrics.latency_p99);
+}
