@@ -2,7 +2,7 @@
 
 fn main() {
     let cfg = foss_bench::run_config_from_env();
-    for wl in ["joblite", "tpcdslite", "stacklite"] {
+    for wl in foss_workloads::WORKLOAD_NAMES {
         let curves =
             foss_harness::curves::run(wl, &cfg, cfg.baseline_rounds.max(2)).expect("curves");
         println!("{}", foss_harness::curves::render(wl, &curves));

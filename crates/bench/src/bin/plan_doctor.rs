@@ -11,7 +11,8 @@
 //!     --workload tpcdslite --scale 0.08 --threads 4 --queries 24
 //! ```
 //!
-//! Flags: `--workload <joblite|tpcdslite|stacklite>` (default tpcdslite),
+//! Flags: `--workload <name>` — any of
+//! [`foss_workloads::WORKLOAD_NAMES`] (default tpcdslite),
 //! `--scale <f64>` (default `FOSS_SCALE` or 1.0), `--threads <n>`
 //! (default 4), `--queries <n>` total submissions (default 24),
 //! `--rounds <n>` training rounds (default 1), `--budget-us <f64>`
@@ -82,7 +83,12 @@ fn main() {
         seed: 42,
         scale: args.scale,
     };
-    let exp = Experiment::new(&args.workload, spec).expect("workload");
+    // Registry lookup: a typo'd --workload exits with the valid-name list
+    // instead of a panic backtrace.
+    let exp = Experiment::new(&args.workload, spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     println!(
         "plan-doctor: workload={} scale={} train={} test={}",
         args.workload,

@@ -9,8 +9,9 @@
 //!   `--baseline <path>` + `--max-regress <factor>` turn the run into a
 //!   regression gate (non-zero exit when a guarded benchmark's median
 //!   exceeds `factor ×` its baseline median).
-//! * **Legacy mode** (no `--out`): exhaustively search small queries for the
-//!   expert-vs-optimal latency headroom that motivates plan doctoring.
+//! * **Headroom mode** (no `--out`): exhaustively search small queries for
+//!   the expert-vs-optimal latency headroom that motivates plan doctoring,
+//!   on any registered workload (`--workload <name>`, default `joblite`).
 //!
 //! Examples:
 //!
@@ -18,22 +19,25 @@
 //! cargo run --release --bin probe -- --out BENCH_pr2.json
 //! cargo run --release --bin probe -- --quick --out /tmp/ci.json \
 //!     --baseline BENCH_pr2.json --max-regress 2.0
+//! cargo run --release --bin probe -- --workload dsblite
 //! ```
 
 use criterion::Criterion;
 use foss_bench::{micro_suite, parse_bench_json};
 use foss_executor::CachingExecutor;
 use foss_optimizer::{Icp, ALL_JOIN_METHODS};
-use foss_workloads::{joblite, WorkloadSpec};
+use foss_workloads::{Workload, WorkloadSpec};
 use std::time::Duration;
 
 /// Benchmarks the regression gate guards: the FOSS serving hot path (AAM
 /// inference and end-to-end PlanDoctor submits) plus the chunked executor
-/// operators and the bounded-cache eviction path.
+/// operators — including the heavy-tail skewed hash join — and the
+/// bounded-cache eviction path.
 const GUARDED: &[&str] = &[
     "aam/pair_inference",
     "exec/scan_filter",
     "exec/hash_join",
+    "exec/hash_join_skewed",
     "cache/eviction",
     "service/submit_throughput",
 ];
@@ -45,12 +49,18 @@ struct BenchArgs {
     max_regress: f64,
 }
 
-fn parse_args() -> Option<BenchArgs> {
+enum Mode {
+    Bench(BenchArgs),
+    Headroom { workload: String },
+}
+
+fn parse_args() -> Mode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut out = None;
     let mut quick = false;
     let mut baseline = None;
     let mut max_regress = 2.0;
+    let mut workload: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -74,18 +84,30 @@ fn parse_args() -> Option<BenchArgs> {
                     .expect("--max-regress must be a number");
                 i += 2;
             }
+            "--workload" => {
+                workload = Some(argv.get(i + 1).expect("--workload needs a name").clone());
+                i += 2;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
     if out.is_none() && (quick || baseline.is_some()) {
         panic!("--quick/--baseline/--max-regress require --out <path> (bench mode)");
     }
-    out.map(|out| BenchArgs {
-        out,
-        quick,
-        baseline,
-        max_regress,
-    })
+    if out.is_some() && workload.is_some() {
+        panic!("--workload selects the headroom workload; it has no effect with --out (the bench suite's workloads are fixed)");
+    }
+    match out {
+        Some(out) => Mode::Bench(BenchArgs {
+            out,
+            quick,
+            baseline,
+            max_regress,
+        }),
+        None => Mode::Headroom {
+            workload: workload.unwrap_or_else(|| "joblite".to_string()),
+        },
+    }
 }
 
 fn bench_mode(args: BenchArgs) {
@@ -162,12 +184,19 @@ fn perms(n: usize) -> Vec<Vec<usize>> {
     out
 }
 
-fn headroom_mode() {
-    let wl = joblite::build(WorkloadSpec {
-        seed: 4,
-        scale: 0.15,
-    })
-    .unwrap();
+fn headroom_mode(workload: &str) {
+    // Registry lookup: a typo exits with the list of valid names.
+    let wl = Workload::by_name(
+        workload,
+        WorkloadSpec {
+            seed: 4,
+            scale: 0.15,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let exec = CachingExecutor::new(wl.db.clone(), *wl.optimizer.cost_model());
     let mut ratios = Vec::new();
     for q in wl
@@ -207,13 +236,17 @@ fn headroom_mode() {
             orig / best
         );
     }
+    if ratios.is_empty() {
+        println!("no 3-4-relation train queries in `{workload}`; nothing to probe");
+        return;
+    }
     let gm: f64 = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
     println!("geo-mean expert/optimal = {:.2}", gm.exp());
 }
 
 fn main() {
     match parse_args() {
-        Some(args) => bench_mode(args),
-        None => headroom_mode(),
+        Mode::Bench(args) => bench_mode(args),
+        Mode::Headroom { workload } => headroom_mode(&workload),
     }
 }

@@ -20,7 +20,7 @@ use foss_nn::{Graph, Linear, Matrix, ParamSet};
 use foss_optimizer::{AccessPath, Icp, JoinMethod, PhysicalPlan, PlanNode};
 use foss_query::{Predicate, Query, QueryBuilder};
 use foss_service::{PlanDoctor, QueryRequest, ServiceConfig};
-use foss_workloads::{joblite, WorkloadSpec};
+use foss_workloads::{joblite, skewstress, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -157,6 +157,22 @@ pub fn micro_suite(c: &mut Criterion) {
         b.iter(|| black_box(scalar.execute(&join_query, &join_plan, None).unwrap()))
     });
 
+    // Heavy-tail hash join from the skew-stress workload: with Zipf s ≥ 1.5
+    // join keys, the hottest key owns ~40% of both sides, so one hash bucket
+    // dominates the build and almost every probe lands in a long chain —
+    // the adversarial shape for the chunked join's key-gather path.
+    let skew = skewstress::build(WorkloadSpec {
+        seed: 42,
+        scale: 0.2,
+    })
+    .expect("skewstress workload");
+    let skew_cost = *skew.optimizer.cost_model();
+    let skew_exec = Executor::new(&skew.db, skew_cost);
+    let (skew_query, skew_plan) = hash_join_skewed_case(&skew);
+    c.bench_function("exec/hash_join_skewed", |b| {
+        b.iter(|| black_box(skew_exec.execute(&skew_query, &skew_plan, None).unwrap()))
+    });
+
     // Eviction-policy overhead on a skewed serving-style stream: a 4-plan
     // hot set re-referenced between one-shot cold queries through a bounded
     // LRU cache, so every pass mixes hits, misses and evictions.
@@ -288,6 +304,24 @@ fn scan_filter_case(wl: &foss_workloads::Workload) -> (Query, PhysicalPlan) {
             est_cost: 0.0,
         },
     };
+    (query, plan)
+}
+
+/// `event ⋈ audit` on their shared (extremely Zipf-skewed) hub key, forced
+/// onto a hash join: an FK–FK join whose output is dominated by the single
+/// hottest key's cross product.
+fn hash_join_skewed_case(wl: &foss_workloads::Workload) -> (Query, PhysicalPlan) {
+    let schema = wl.db.schema().clone();
+    let mut qb = QueryBuilder::new(QueryId::new(9003), 1);
+    let e = qb.relation(schema.table_id("event").expect("event"), "e");
+    let a = qb.relation(schema.table_id("audit").expect("audit"), "a");
+    qb.join(e, 0, a, 0);
+    let query = qb.build(&schema).expect("skewed join query");
+    let icp = Icp::new(vec![0, 1], vec![JoinMethod::Hash]).expect("icp");
+    let plan = wl
+        .optimizer
+        .optimize_with_hint(&query, &icp)
+        .expect("skewed hash plan");
     (query, plan)
 }
 

@@ -55,8 +55,9 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    /// Materialise a benchmark by name (`joblite`, `tpcdslite`, `stacklite`)
-    /// over the default chunk-at-a-time executor.
+    /// Materialise a benchmark by registry name (any of
+    /// [`foss_workloads::WORKLOAD_NAMES`]) over the default chunk-at-a-time
+    /// executor.
     pub fn new(name: &str, spec: WorkloadSpec) -> Result<Self> {
         Self::with_exec_mode(name, spec, foss_executor::ExecMode::default())
     }
@@ -69,12 +70,7 @@ impl Experiment {
         spec: WorkloadSpec,
         mode: foss_executor::ExecMode,
     ) -> Result<Self> {
-        let workload = match name {
-            "joblite" => foss_workloads::joblite::build(spec)?,
-            "tpcdslite" => foss_workloads::tpcdslite::build(spec)?,
-            "stacklite" => foss_workloads::stacklite::build(spec)?,
-            other => return Err(FossError::UnknownName(format!("workload {other}"))),
-        };
+        let workload = Workload::by_name(name, spec)?;
         let executor = Arc::new(CachingExecutor::with_mode(
             workload.db.clone(),
             *workload.optimizer.cost_model(),
@@ -239,8 +235,25 @@ mod tests {
     }
 
     #[test]
-    fn unknown_workload_rejected() {
-        assert!(Experiment::new("nope", WorkloadSpec::tiny(1)).is_err());
+    fn unknown_workload_rejected_with_name_listing() {
+        let err = match Experiment::new("nope", WorkloadSpec::tiny(1)) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("bogus workload name should not build"),
+        };
+        // The registry error teaches the valid names.
+        assert!(
+            err.contains("dsblite") && err.contains("skewstress"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn new_workloads_build_experiments() {
+        for name in ["dsblite", "skewstress"] {
+            let exp = Experiment::new(name, WorkloadSpec::tiny(4)).unwrap();
+            assert_eq!(exp.workload.name, name);
+            assert!(!exp.workload.test.is_empty());
+        }
     }
 
     #[test]

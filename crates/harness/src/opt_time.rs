@@ -106,6 +106,20 @@ mod tests {
     use super::*;
 
     #[test]
+    fn new_workloads_run_through_the_runner() {
+        // The registry is the only name interpreter, so every runner takes
+        // the new workloads; guard it on the cheapest one.
+        let mut cfg = RunConfig::smoke();
+        cfg.spec.scale = 0.04;
+        cfg.foss_episodes = 4;
+        for name in ["dsblite", "skewstress"] {
+            let boxes = run(name, &cfg).unwrap();
+            assert_eq!(boxes.len(), 6, "{name}");
+            assert!(boxes.iter().all(|b| b.max >= b.min), "{name}");
+        }
+    }
+
+    #[test]
     fn boxes_are_ordered() {
         let mut cfg = RunConfig::smoke();
         cfg.spec.scale = 0.05;

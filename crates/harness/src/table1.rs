@@ -145,9 +145,9 @@ pub fn run_workload(name: &str, cfg: &RunConfig) -> Result<WorkloadTable> {
     })
 }
 
-/// Run Table I across all three workloads.
+/// Run Table I across every registered workload.
 pub fn run(cfg: &RunConfig) -> Result<Vec<WorkloadTable>> {
-    ["joblite", "tpcdslite", "stacklite"]
+    foss_workloads::WORKLOAD_NAMES
         .iter()
         .map(|n| run_workload(n, cfg))
         .collect()

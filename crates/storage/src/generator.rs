@@ -51,6 +51,41 @@ pub enum Distribution {
         /// Values are reduced modulo this (must be > 0).
         modulus: u64,
     },
+    /// Mixture with *tunable* correlation strength: with probability `rho`
+    /// the value is the source column's value folded monotonically into
+    /// `[lo, hi]` (`lo + source mod span`), otherwise an independent uniform
+    /// draw over the same domain. Unlike [`Distribution::Derived`] (a pure
+    /// function plus additive noise), `rho` dials the rank correlation
+    /// continuously from 0 (independent) to ~1 (functional dependency) —
+    /// the knob DSB turns on its correlated column pairs.
+    Correlated {
+        /// Index of the source column (must precede this one in the spec list).
+        source: usize,
+        /// Inclusive domain lower bound.
+        lo: i64,
+        /// Inclusive domain upper bound.
+        hi: i64,
+        /// Probability of copying the (folded) source value; in `[0, 1]`.
+        rho: f64,
+    },
+    /// Jointly-skewed foreign key: a Zipf draw over `[0, target_rows)` that
+    /// is, with probability `rho`, replaced by the source column's value
+    /// folded into the key domain. When the source is itself Zipf-skewed
+    /// over the same domain the marginal stays Zipf while the two columns
+    /// become strongly dependent — hot filter values co-occur with hot join
+    /// keys, so a predicate on the source column concentrates the join
+    /// fan-out exactly where an independence-assuming estimator least
+    /// expects it.
+    ZipfJoint {
+        /// Referenced table's row count; keys land in `[0, target_rows)`.
+        target_rows: u64,
+        /// Zipf exponent of the independent component.
+        s: f64,
+        /// Index of the source column (must precede this one in the spec list).
+        source: usize,
+        /// Probability of coupling to the source; in `[0, 1]`.
+        rho: f64,
+    },
 }
 
 /// Specification for one generated column.
@@ -174,6 +209,57 @@ impl TableGenerator {
                         };
                         let v = base.wrapping_mul(*mul).wrapping_add(*offset + jitter);
                         vals.push(v.rem_euclid(*modulus as i64));
+                    }
+                }
+                Distribution::Correlated {
+                    source,
+                    lo,
+                    hi,
+                    rho,
+                } => {
+                    assert!(
+                        *source < ci,
+                        "Correlated column must reference an earlier column"
+                    );
+                    assert!(lo <= hi, "Correlated domain must be non-empty");
+                    assert!((0.0..=1.0).contains(rho), "rho must be a probability");
+                    let span = hi - lo + 1;
+                    let src = &raw[*source];
+                    for &base in src.iter().take(rows) {
+                        // Draw both branches unconditionally so the RNG
+                        // stream (and thus every later column) is identical
+                        // for every rho.
+                        let fresh = rng.random_range(*lo..=*hi);
+                        let u: f64 = rng.random();
+                        vals.push(if u < *rho {
+                            lo + base.rem_euclid(span)
+                        } else {
+                            fresh
+                        });
+                    }
+                }
+                Distribution::ZipfJoint {
+                    target_rows,
+                    s,
+                    source,
+                    rho,
+                } => {
+                    assert!(
+                        *source < ci,
+                        "ZipfJoint column must reference an earlier column"
+                    );
+                    assert!((0.0..=1.0).contains(rho), "rho must be a probability");
+                    let n = (*target_rows).max(1);
+                    let z = ZipfSampler::new(n, *s);
+                    let src = &raw[*source];
+                    for &base in src.iter().take(rows) {
+                        let fresh = z.sample(&mut rng) as i64;
+                        let u: f64 = rng.random();
+                        vals.push(if u < *rho {
+                            base.rem_euclid(n as i64)
+                        } else {
+                            fresh
+                        });
                     }
                 }
             }

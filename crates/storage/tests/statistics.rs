@@ -1,0 +1,254 @@
+//! Statistical acceptance tests for the correlation-planting generators.
+//!
+//! [`Distribution::Correlated`] and [`Distribution::ZipfJoint`] exist to
+//! plant *measurable* skew and cross-column dependence (the properties DSB
+//! adds on top of TPC-DS). These tests verify, under a deterministic seed,
+//! that the generated data actually carries the requested statistics:
+//!
+//! * Spearman rank correlation between a `Correlated` column and its source
+//!   tracks the requested `rho`,
+//! * a `ZipfJoint` column's marginal passes a chi-square goodness-of-fit
+//!   test against the requested Zipf law (and the same test *rejects* a
+//!   uniform law, so the check has power),
+//! * conditioning on the source column concentrates `ZipfJoint` join keys —
+//!   the dependence that breaks independence-assuming estimators.
+
+use foss_storage::{ColumnSpec, Distribution, Table, TableGenerator};
+
+fn gen(seed: u64, rows: usize, specs: &[ColumnSpec]) -> Table {
+    TableGenerator::new(seed)
+        .generate("stat_t", rows, specs)
+        .unwrap()
+}
+
+/// Average ranks (ties share the mean rank), 1-based.
+fn average_ranks(vals: &[i64]) -> Vec<f64> {
+    let n = vals.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by_key(|&i| vals[i]);
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && vals[idx[j + 1]] == vals[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's rho: Pearson correlation of the rank vectors.
+fn spearman(a: &[i64], b: &[i64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let (ra, rb) = (average_ranks(a), average_ranks(b));
+    let n = ra.len() as f64;
+    let (ma, mb) = (ra.iter().sum::<f64>() / n, rb.iter().sum::<f64>() / n);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+/// Chi-square statistic of observed key counts against a probability vector,
+/// with tail categories pooled so every expected count is ≥ 5. Returns
+/// `(statistic, degrees_of_freedom)`.
+fn chi_square(observed: &[i64], probs: &[f64]) -> (f64, usize) {
+    let total: f64 = observed.len() as f64;
+    let mut counts = vec![0u64; probs.len()];
+    for &v in observed {
+        counts[v as usize] += 1;
+    }
+    let mut stat = 0.0;
+    let mut bins = 0usize;
+    let mut pool_obs = 0.0;
+    let mut pool_exp = 0.0;
+    for (k, &p) in probs.iter().enumerate() {
+        pool_obs += counts[k] as f64;
+        pool_exp += p * total;
+        if pool_exp >= 5.0 {
+            stat += (pool_obs - pool_exp).powi(2) / pool_exp;
+            bins += 1;
+            pool_obs = 0.0;
+            pool_exp = 0.0;
+        }
+    }
+    if pool_exp > 0.0 {
+        stat += (pool_obs - pool_exp).powi(2) / pool_exp;
+        bins += 1;
+    }
+    (stat, bins.saturating_sub(1))
+}
+
+/// Zipf pmf over ranks `[0, n)` with exponent `s`.
+fn zipf_pmf(n: usize, s: f64) -> Vec<f64> {
+    let mut p: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = p.iter().sum();
+    for v in &mut p {
+        *v /= total;
+    }
+    p
+}
+
+#[test]
+fn correlated_rho_dials_rank_correlation() {
+    let rows = 8000;
+    let specs = |rho: f64| {
+        [
+            ColumnSpec::new("src", Distribution::Uniform { lo: 0, hi: 99 }),
+            ColumnSpec::new(
+                "cor",
+                Distribution::Correlated {
+                    source: 0,
+                    lo: 0,
+                    hi: 99,
+                    rho,
+                },
+            ),
+        ]
+    };
+    let mut measured = Vec::new();
+    for rho in [0.0, 0.5, 0.9] {
+        let t = gen(1234, rows, &specs(rho));
+        measured.push(spearman(t.column(0).values(), t.column(1).values()));
+    }
+    assert!(
+        measured[0].abs() < 0.08,
+        "rho=0 should be uncorrelated, got {}",
+        measured[0]
+    );
+    assert!(
+        measured[2] > 0.8,
+        "rho=0.9 should be strongly rank-correlated, got {}",
+        measured[2]
+    );
+    assert!(
+        measured[0] < measured[1] && measured[1] < measured[2],
+        "rank correlation must increase with rho: {measured:?}"
+    );
+}
+
+#[test]
+fn zipf_joint_marginal_passes_chi_square_against_requested_law() {
+    // Source Zipf-skewed over the same domain ⇒ the ZipfJoint marginal is a
+    // mixture of two identical Zipf laws, i.e. exactly the requested law.
+    let (n, s, rows) = (50u64, 1.2f64, 20_000usize);
+    let t = gen(
+        777,
+        rows,
+        &[
+            ColumnSpec::new("src", Distribution::ForeignKeyZipf { target_rows: n, s }),
+            ColumnSpec::new(
+                "fk",
+                Distribution::ZipfJoint {
+                    target_rows: n,
+                    s,
+                    source: 0,
+                    rho: 0.6,
+                },
+            ),
+        ],
+    );
+    let fk = t.column(1).values();
+    let probs = zipf_pmf(n as usize, s);
+    let (stat, df) = chi_square(fk, &probs);
+    // ~5σ above the mean of a χ²(df) distribution — astronomically unlikely
+    // to trip by chance under the requested law, but a uniform or wrongly
+    // skewed generator lands orders of magnitude above it (checked below).
+    let threshold = df as f64 + 5.0 * (2.0 * df as f64).sqrt();
+    assert!(
+        stat < threshold,
+        "chi-square {stat:.1} exceeds {threshold:.1} (df={df})"
+    );
+    // Power check: the same data must *fail* a uniform-law test decisively.
+    let uniform = vec![1.0 / n as f64; n as usize];
+    let (ustat, udf) = chi_square(fk, &uniform);
+    let uthreshold = udf as f64 + 5.0 * (2.0 * udf as f64).sqrt();
+    assert!(
+        ustat > 4.0 * uthreshold,
+        "test has no power: uniform chi-square only {ustat:.1} (df={udf})"
+    );
+}
+
+#[test]
+fn zipf_joint_conditioning_concentrates_join_keys() {
+    // The estimation-breaking property: among rows whose *source* value is
+    // hot, the join key is far more concentrated than unconditionally.
+    let (n, s) = (100u64, 1.1f64);
+    let t = gen(
+        4242,
+        15_000,
+        &[
+            ColumnSpec::new("src", Distribution::ForeignKeyZipf { target_rows: n, s }),
+            ColumnSpec::new(
+                "fk",
+                Distribution::ZipfJoint {
+                    target_rows: n,
+                    s,
+                    source: 0,
+                    rho: 0.7,
+                },
+            ),
+        ],
+    );
+    let (src, fk) = (t.column(0).values(), t.column(1).values());
+    let hot_rows: Vec<usize> = (0..src.len()).filter(|&i| src[i] == 0).collect();
+    assert!(hot_rows.len() > 100, "hot source value too rare to test");
+    let cond = hot_rows.iter().filter(|&&i| fk[i] == 0).count() as f64 / hot_rows.len() as f64;
+    let uncond = fk.iter().filter(|&&v| v == 0).count() as f64 / fk.len() as f64;
+    assert!(
+        cond >= 0.7,
+        "coupling lost: P(fk=0 | src=0) = {cond:.2} < rho"
+    );
+    assert!(
+        cond > 1.5 * uncond,
+        "conditioning barely moves the key distribution: {cond:.2} vs {uncond:.2}"
+    );
+}
+
+#[test]
+fn correlation_generators_are_deterministic_and_rho_preserves_the_stream() {
+    let specs = |rho: f64| {
+        [
+            ColumnSpec::new("src", Distribution::Zipf { n: 40, s: 1.0 }),
+            ColumnSpec::new(
+                "cor",
+                Distribution::Correlated {
+                    source: 0,
+                    lo: 0,
+                    hi: 39,
+                    rho,
+                },
+            ),
+            ColumnSpec::new(
+                "fk",
+                Distribution::ZipfJoint {
+                    target_rows: 40,
+                    s: 1.3,
+                    source: 0,
+                    rho,
+                },
+            ),
+            ColumnSpec::new("after", Distribution::Uniform { lo: 0, hi: 999 }),
+        ]
+    };
+    let a = gen(9, 500, &specs(0.8));
+    let b = gen(9, 500, &specs(0.8));
+    for c in 0..4 {
+        assert_eq!(a.column(c).values(), b.column(c).values(), "column {c}");
+    }
+    // Changing rho must not reshuffle RNG draws feeding *later* columns.
+    let c = gen(9, 500, &specs(0.1));
+    assert_eq!(a.column(0).values(), c.column(0).values());
+    assert_eq!(a.column(3).values(), c.column(3).values());
+    assert_ne!(a.column(1).values(), c.column(1).values());
+}

@@ -1,7 +1,10 @@
-//! Benchmark workloads: JOB-lite, TPC-DS-lite and Stack-lite.
+//! Benchmark workloads: JOB-lite, TPC-DS-lite, Stack-lite, DSB-lite and
+//! skew-stress.
 //!
-//! Synthetic stand-ins for the paper's three benchmarks, built to preserve
-//! what makes each hard (or easy) for a traditional optimizer:
+//! The first three are synthetic stand-ins for the paper's benchmarks,
+//! built to preserve what makes each hard (or easy) for a traditional
+//! optimizer; the last two extend the scenario matrix towards correlated
+//! and extreme-skew regimes:
 //!
 //! * **JOB-lite** (`joblite`) — the IMDb shape: 21 tables around a `title`
 //!   hub, Zipf-skewed fan-outs and correlated predicates, 33 templates /
@@ -12,19 +15,33 @@
 //!   The expert is already close to optimal here (paper: WRL ≈ 0.87).
 //! * **Stack-lite** (`stacklite`) — StackExchange shape: heavy-tailed user /
 //!   question activity, 12 templates × 10 queries (8/2 per template).
+//! * **DSB-lite** (`dsblite`) — the TPC-DS star/snowflake regenerated with
+//!   DSB-style hostile statistics: correlated column pairs and jointly
+//!   Zipf-skewed fact foreign keys, 15 templates × 6 queries (5/1 per
+//!   template), every template filtering both halves of a correlated pair.
+//! * **Skew-stress** (`skewstress`) — a small-schema stress instrument:
+//!   extreme heavy-tail join keys (Zipf s ≥ 1.5) and range predicates with
+//!   order-of-magnitude selectivity spreads, 10 templates × 8 queries
+//!   (6/2 per template).
 //!
-//! Queries are generated from explicit templates via [`template`], fully
-//! deterministic from the workload seed.
+//! Workloads are materialised by canonical name through
+//! [`Workload::by_name`] (the registry every binary and runner routes
+//! through); [`WORKLOAD_NAMES`] lists the valid names. Queries are generated
+//! from explicit templates via [`template`], fully deterministic from the
+//! workload seed.
 
 pub(crate) mod builder;
+pub mod dsblite;
 pub mod joblite;
 pub mod metrics;
+pub mod skewstress;
 pub mod stacklite;
 pub mod template;
 pub mod tpcdslite;
 
 use std::sync::Arc;
 
+use foss_common::Result;
 use foss_executor::Database;
 use foss_optimizer::TraditionalOptimizer;
 use foss_query::Query;
@@ -32,9 +49,14 @@ use foss_query::Query;
 pub use metrics::{geometric_mean_relevant_latency, workload_relevant_latency, QueryOutcome};
 pub use template::{PredSpec, Template, TemplateRel};
 
+/// Canonical workload names, in presentation order. The single source of
+/// truth for every `--workload` flag, runner loop and error message.
+pub const WORKLOAD_NAMES: [&str; 5] =
+    ["joblite", "tpcdslite", "stacklite", "dsblite", "skewstress"];
+
 /// A fully materialised benchmark: data, expert optimizer, query splits.
 pub struct Workload {
-    /// Benchmark name (`joblite` / `tpcdslite` / `stacklite`).
+    /// Benchmark name (one of [`WORKLOAD_NAMES`]).
     pub name: String,
     /// The stored database (tables, indexes, statistics).
     pub db: Arc<Database>,
@@ -49,6 +71,31 @@ pub struct Workload {
 }
 
 impl Workload {
+    /// Materialise a workload by registry name.
+    ///
+    /// This is the one place workload names are interpreted — harness
+    /// runners, bench binaries and the service front end all route through
+    /// it, so a typo gets one helpful error instead of five divergent
+    /// `match` arms:
+    ///
+    /// ```text
+    /// unknown name: workload `tpcds` — valid workloads: joblite,
+    /// tpcdslite, stacklite, dsblite, skewstress
+    /// ```
+    pub fn by_name(name: &str, spec: WorkloadSpec) -> Result<Self> {
+        match name {
+            "joblite" => joblite::build(spec),
+            "tpcdslite" => tpcdslite::build(spec),
+            "stacklite" => stacklite::build(spec),
+            "dsblite" => dsblite::build(spec),
+            "skewstress" => skewstress::build(spec),
+            other => Err(foss_common::FossError::UnknownName(format!(
+                "workload `{other}` — valid workloads: {}",
+                WORKLOAD_NAMES.join(", ")
+            ))),
+        }
+    }
+
     /// Train + test queries, train first.
     pub fn all_queries(&self) -> Vec<Query> {
         let mut all = self.train.clone();
@@ -107,18 +154,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_three_workloads_materialise() {
-        for wl in [
-            joblite::build(WorkloadSpec::tiny(1)),
-            tpcdslite::build(WorkloadSpec::tiny(1)),
-            stacklite::build(WorkloadSpec::tiny(1)),
-        ] {
-            let wl = wl.expect("workload builds");
+    fn all_five_workloads_materialise_by_name() {
+        for name in WORKLOAD_NAMES {
+            let wl = Workload::by_name(name, WorkloadSpec::tiny(1)).expect("workload builds");
+            assert_eq!(wl.name, name);
             assert!(!wl.train.is_empty());
             assert!(!wl.test.is_empty());
             assert!(wl.max_relations >= 3);
             assert!(wl.table_count() > 5);
             assert_eq!(wl.table_rows().len(), wl.table_count());
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_valid_workloads() {
+        let msg = match Workload::by_name("tpcds", WorkloadSpec::tiny(1)) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("typo should not resolve to a workload"),
+        };
+        for name in WORKLOAD_NAMES {
+            assert!(msg.contains(name), "error {msg:?} should list {name}");
         }
     }
 
@@ -133,6 +188,12 @@ mod tests {
         let stack = stacklite::build(WorkloadSpec::tiny(2)).unwrap();
         assert_eq!(stack.train.len(), 12 * 8);
         assert_eq!(stack.test.len(), 12 * 2);
+        let dsb = dsblite::build(WorkloadSpec::tiny(2)).unwrap();
+        assert_eq!(dsb.train.len(), 15 * 5);
+        assert_eq!(dsb.test.len(), 15);
+        let stress = skewstress::build(WorkloadSpec::tiny(2)).unwrap();
+        assert_eq!(stress.train.len(), 10 * 6);
+        assert_eq!(stress.test.len(), 10 * 2);
     }
 
     #[test]

@@ -37,5 +37,7 @@ pub mod prelude {
     pub use foss_optimizer::{Icp, JoinMethod, PhysicalPlan, TraditionalOptimizer};
     pub use foss_query::{Predicate, Query, QueryBuilder};
     pub use foss_service::{PlanDecision, PlanDoctor, QueryRequest, ServiceConfig};
-    pub use foss_workloads::{joblite, stacklite, tpcdslite, Workload, WorkloadSpec};
+    pub use foss_workloads::{
+        dsblite, joblite, skewstress, stacklite, tpcdslite, Workload, WorkloadSpec, WORKLOAD_NAMES,
+    };
 }

@@ -1,8 +1,10 @@
 //! Differential property tests for the executor engines: chunk-at-a-time
 //! execution must be indistinguishable from the scalar reference — same
 //! result tuples in the same order, bit-identical work-unit latency, and
-//! identical timeout accounting — across all three workloads, for expert
-//! plans and for randomly perturbed (often catastrophic) plans alike.
+//! identical timeout accounting — across all five workloads (including the
+//! correlated-data DSB-lite and the heavy-tail skew-stress, whose hash
+//! joins hammer a single bucket), for expert plans and for randomly
+//! perturbed (often catastrophic) plans alike.
 
 use foss_repro::executor::{ExecMode, Executor};
 use foss_repro::optimizer::ALL_JOIN_METHODS;
@@ -10,28 +12,25 @@ use foss_repro::prelude::*;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
-/// One small instance of each workload, shared across cases so the 48
-/// generated cases don't each pay the workload-construction cost.
-fn workloads() -> &'static [Workload; 3] {
-    static WL: OnceLock<[Workload; 3]> = OnceLock::new();
+/// One small instance of each registered workload, shared across cases so
+/// the generated cases don't each pay the workload-construction cost.
+fn workloads() -> &'static Vec<Workload> {
+    static WL: OnceLock<Vec<Workload>> = OnceLock::new();
     WL.get_or_init(|| {
-        [
-            joblite::build(WorkloadSpec {
-                seed: 11,
-                scale: 0.05,
+        WORKLOAD_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                Workload::by_name(
+                    name,
+                    WorkloadSpec {
+                        seed: 11 + i as u64,
+                        scale: 0.05,
+                    },
+                )
+                .unwrap()
             })
-            .unwrap(),
-            tpcdslite::build(WorkloadSpec {
-                seed: 12,
-                scale: 0.05,
-            })
-            .unwrap(),
-            stacklite::build(WorkloadSpec {
-                seed: 13,
-                scale: 0.05,
-            })
-            .unwrap(),
-        ]
+            .collect()
     })
 }
 
@@ -44,7 +43,7 @@ proptest! {
     /// of running to completion.
     #[test]
     fn chunked_execution_equals_scalar(
-        wl_idx in 0usize..3,
+        wl_idx in 0usize..WORKLOAD_NAMES.len(),
         q_pick in 0usize..10_000,
         rot in 0usize..8,
         mcode in 0usize..19_683, // 3^9: a method draw per possible join

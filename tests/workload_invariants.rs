@@ -1,0 +1,133 @@
+//! Workload invariants, property-tested over every registered workload.
+//!
+//! These are the contracts the rest of the system builds on:
+//!
+//! * **Determinism** — two builds from the same seed are bit-identical:
+//!   same per-table row counts, same column contents, same query text.
+//!   Training, snapshots and the differential executor tests all assume a
+//!   workload is a pure function of its spec.
+//! * **Splits** — train and test are non-empty and disjoint (a leaked test
+//!   query would silently inflate every learned method's score).
+//! * **Action-space sizing** — `max_relations` equals the widest query, so
+//!   the trainer's `ActionSpace` is exactly large enough for every episode.
+//! * **Executability** — every query plans and executes without error on
+//!   the chunked engine (sampled by proptest, ≥32 cases per workload).
+
+use foss_repro::executor::Executor;
+use foss_repro::prelude::*;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One small instance of each registered workload, shared across proptest
+/// cases so each case only pays for query execution.
+fn workloads() -> &'static Vec<Workload> {
+    static WL: OnceLock<Vec<Workload>> = OnceLock::new();
+    WL.get_or_init(|| {
+        WORKLOAD_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                Workload::by_name(
+                    name,
+                    WorkloadSpec {
+                        seed: 21 + i as u64,
+                        scale: 0.05,
+                    },
+                )
+                .unwrap()
+            })
+            .collect()
+    })
+}
+
+/// Everything observable about a build, flattened for equality comparison.
+fn fingerprint(wl: &Workload) -> (Vec<u64>, Vec<i64>, Vec<String>) {
+    let rows = wl.table_rows();
+    let schema = wl.db.schema();
+    let mut col_sums = Vec::new();
+    for t in 0..schema.table_count() {
+        let tid = foss_repro::common::TableId::new(t);
+        let table = wl.db.table(tid);
+        for c in 0..schema.table(tid).columns.len() {
+            col_sums.push(table.column(c).values().iter().sum::<i64>());
+        }
+    }
+    let texts = wl.all_queries().iter().map(|q| format!("{q:?}")).collect();
+    (rows, col_sums, texts)
+}
+
+#[test]
+fn builds_are_bit_identical_across_two_builds() {
+    for name in WORKLOAD_NAMES {
+        let spec = WorkloadSpec {
+            seed: 77,
+            scale: 0.08,
+        };
+        let a = Workload::by_name(name, spec).unwrap();
+        let b = Workload::by_name(name, spec).unwrap();
+        let (rows_a, cols_a, texts_a) = fingerprint(&a);
+        let (rows_b, cols_b, texts_b) = fingerprint(&b);
+        assert_eq!(rows_a, rows_b, "{name}: row counts differ across builds");
+        assert_eq!(cols_a, cols_b, "{name}: column data differs across builds");
+        assert_eq!(texts_a, texts_b, "{name}: query text differs across builds");
+    }
+}
+
+#[test]
+fn splits_are_disjoint_and_nonempty() {
+    for wl in workloads() {
+        assert!(!wl.train.is_empty(), "{}: empty train split", wl.name);
+        assert!(!wl.test.is_empty(), "{}: empty test split", wl.name);
+        for tq in &wl.test {
+            assert!(
+                !wl.train.contains(tq),
+                "{}: test query {} leaked into the train split",
+                wl.name,
+                tq.id
+            );
+        }
+    }
+}
+
+#[test]
+fn max_relations_matches_widest_query() {
+    for wl in workloads() {
+        let widest = wl
+            .all_queries()
+            .iter()
+            .map(|q| q.relation_count())
+            .max()
+            .unwrap();
+        assert_eq!(
+            wl.max_relations, widest,
+            "{}: max_relations {} != widest query {}",
+            wl.name, wl.max_relations, widest
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A sampled query from *each* workload plans with the expert and
+    /// executes without error on the chunked engine — 32 cases × 5
+    /// workloads ≥ 32 executions per workload.
+    #[test]
+    fn every_query_plans_and_executes_on_the_chunked_engine(
+        q_pick in 0usize..10_000,
+    ) {
+        for wl in workloads() {
+            let split = if q_pick % 2 == 0 { &wl.train } else { &wl.test };
+            let query = &split[(q_pick / 2) % split.len()];
+            let exec = Executor::new(&wl.db, *wl.optimizer.cost_model());
+            let plan = wl.optimizer.optimize(query).unwrap();
+            let out = exec.execute(query, &plan, None).unwrap();
+            prop_assert!(
+                out.latency > 0.0,
+                "{}: query {} executed with non-positive latency",
+                wl.name,
+                query.id
+            );
+        }
+    }
+}
