@@ -14,7 +14,7 @@ use criterion::Criterion;
 use foss_common::QueryId;
 use foss_core::encoding::PlanEncoder;
 use foss_core::{AdvantageModel, Foss, FossConfig};
-use foss_executor::{CachingExecutor, EvictionPolicy, ExecMode, Executor};
+use foss_executor::{CachingExecutor, EvictionPolicy, ExecMode, Executor, ParallelConfig};
 use foss_harness::table1::RunConfig;
 use foss_nn::{Graph, Linear, Matrix, ParamSet};
 use foss_optimizer::{AccessPath, Icp, JoinMethod, PhysicalPlan, PlanNode};
@@ -171,6 +171,26 @@ pub fn micro_suite(c: &mut Criterion) {
     let (skew_query, skew_plan) = hash_join_skewed_case(&skew);
     c.bench_function("exec/hash_join_skewed", |b| {
         b.iter(|| black_box(skew_exec.execute(&skew_query, &skew_plan, None).unwrap()))
+    });
+
+    // Morsel-driven parallel twins: the same filtered scan and skewed hash
+    // join on a 4-worker executor. Results and metered latency are
+    // bit-identical to the single-threaded runs above by construction, so
+    // wall-clock is the only thing these can move; the ratio to their
+    // single-threaded counterparts is the intra-query scaling figure
+    // (≈1× on a single-core host, grows with available cores). The
+    // partitioned join keeps the Zipf hot keys on the broadcast path.
+    let par4 = ParallelConfig {
+        workers: 4,
+        ..ParallelConfig::sequential()
+    };
+    let par_scan = Executor::new(&full.db, cost).with_parallelism(par4);
+    c.bench_function("exec/parallel_scan", |b| {
+        b.iter(|| black_box(par_scan.execute(&scan_query, &scan_plan, None).unwrap()))
+    });
+    let par_skew = Executor::new(&skew.db, skew_cost).with_parallelism(par4);
+    c.bench_function("exec/hash_join_partitioned", |b| {
+        b.iter(|| black_box(par_skew.execute(&skew_query, &skew_plan, None).unwrap()))
     });
 
     // Eviction-policy overhead on a skewed serving-style stream: a 4-plan

@@ -15,6 +15,6 @@ pub mod stats;
 pub use error::{FossError, Result};
 pub use hash::{fx_hash_one, FxHashMap, FxHashSet};
 pub use ids::{ColumnId, QueryId, TableId};
-pub use par::run_sharded;
+pub use par::{env_workers, run_morsels, run_sharded};
 pub use rng::SeedStream;
 pub use stats::percentile;

@@ -70,6 +70,16 @@ pub struct Inference {
     pub aam_confidence: usize,
 }
 
+/// What one parallel episode runner brings back for the agent-order merge.
+#[derive(Default)]
+struct AgentRun {
+    reward_sum: f32,
+    episodes: usize,
+    /// `(query index, repaired plan)` candidates for real-env validation;
+    /// deduplication happens at the merge, across agents.
+    promising: Vec<(usize, PlanCtx)>,
+}
+
 /// The FOSS system.
 pub struct Foss {
     cfg: FossConfig,
@@ -240,44 +250,106 @@ impl Foss {
             return Err(FossError::InvalidQuery("empty training workload".into()));
         }
         let episodes_per_agent = (self.cfg.episodes_per_update / self.agents.len().max(1)).max(1);
-        let mut agents = std::mem::take(&mut self.agents);
         let mut mean_reward = 0.0f32;
         let mut episodes_run = 0usize;
         // Promising plans flagged during simulated interaction, deduped.
         let mut promising: Vec<(usize, PlanCtx)> = Vec::new();
         let mut promising_seen: FxHashSet<(QueryId, u64)> = FxHashSet::default();
 
-        let result = (|| -> Result<()> {
-            for agent in agents.iter_mut() {
-                // Concurrency-safe collection point: episodes push whole
-                // trajectories atomically, so future parallel episode
-                // runners can share this buffer without reordering GAE.
-                let rollout = SharedRolloutBuffer::new();
-                for _ in 0..episodes_per_agent {
-                    let qidx = self.rng.random_range(0..queries.len());
-                    let query = &queries[qidx];
-                    let original = self.original_plan(query)?;
-                    let res = if self.cfg.use_simulated_env {
-                        let mut env = SimEnv::new(&self.aam, &self.buffer, self.scale.clone());
-                        run_episode(
-                            agent,
-                            &self.optimizer,
-                            &self.encoder,
-                            &self.space,
-                            query,
-                            &original,
-                            &mut env,
-                            &self.cfg,
-                            false,
-                        )?
-                    } else {
+        if self.cfg.use_simulated_env {
+            // Simulated episodes only read the AAM and the buffer, so the
+            // agents run in parallel — one episode runner per agent, each
+            // with its own query-selection RNG split from the experiment
+            // seed by (iteration, agent). The split (rather than sharing
+            // `self.rng`) is what makes the schedule independent of thread
+            // interleaving: results are identical at any worker count.
+            for query in queries {
+                self.original_plan(query)?;
+            }
+            let mut agents = std::mem::take(&mut self.agents);
+            let stream = foss_common::SeedStream::new(self.cfg.seed).substream("episode-queries");
+            let (aam, buffer, scale, cfg) = (&self.aam, &self.buffer, &self.scale, &self.cfg);
+            let (encoder, space, originals) = (&self.encoder, &self.space, &self.originals);
+            let optimizer: &TraditionalOptimizer = &self.optimizer;
+            let num_agents = agents.len() as u64;
+            let outcomes: Vec<Result<AgentRun>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = agents
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(a, agent)| {
+                        let seed = stream
+                            .derive_indexed("agent", iteration as u64 * num_agents + a as u64);
+                        scope.spawn(move || -> Result<AgentRun> {
+                            let mut rng = StdRng::seed_from_u64(seed);
+                            // Concurrency-safe collection point: episodes
+                            // push whole trajectories atomically, so the
+                            // GAE pass sees them unreordered.
+                            let rollout = SharedRolloutBuffer::new();
+                            let mut run = AgentRun::default();
+                            for _ in 0..episodes_per_agent {
+                                let qidx = rng.random_range(0..queries.len());
+                                let query = &queries[qidx];
+                                let original = originals
+                                    .get(&query.id)
+                                    .expect("originals pre-resolved above")
+                                    .clone();
+                                let mut env = SimEnv::new(aam, buffer, scale.clone());
+                                let res = run_episode(
+                                    agent, optimizer, encoder, space, query, &original, &mut env,
+                                    cfg, false,
+                                )?;
+                                run.reward_sum += res.total_reward;
+                                run.episodes += 1;
+                                // AAM-estimated improvements are validation
+                                // candidates (deduped at the merge).
+                                if res.best.icp.fingerprint() != res.original.icp.fingerprint() {
+                                    run.promising.push((qidx, res.best.clone()));
+                                }
+                                rollout.push_episode(res.transitions);
+                            }
+                            let batch = rollout.into_inner().finish(agent.gamma(), agent.lambda());
+                            agent.update(&batch);
+                            Ok(run)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("episode runner panicked"))
+                    .collect()
+            });
+            self.agents = agents;
+            // Merge in agent order so rewards and the promising list are
+            // deterministic regardless of which thread finished first.
+            for outcome in outcomes {
+                let run = outcome?;
+                mean_reward += run.reward_sum;
+                episodes_run += run.episodes;
+                for (qidx, ctx) in run.promising {
+                    if promising_seen.insert((queries[qidx].id, ctx.icp.fingerprint())) {
+                        promising.push((qidx, ctx));
+                    }
+                }
+            }
+        } else {
+            // Real-environment episodes append to the execution buffer and
+            // must stay sequential (the buffer is the training ground truth
+            // and its insertion order feeds AAM pair sampling).
+            let mut agents = std::mem::take(&mut self.agents);
+            let result = (|| -> Result<()> {
+                for agent in agents.iter_mut() {
+                    let rollout = SharedRolloutBuffer::new();
+                    for _ in 0..episodes_per_agent {
+                        let qidx = self.rng.random_range(0..queries.len());
+                        let query = &queries[qidx];
+                        let original = self.original_plan(query)?;
                         let mut env = RealEnv::new(
                             &self.executor,
                             &mut self.buffer,
                             self.scale.clone(),
                             self.cfg.timeout_factor,
                         );
-                        run_episode(
+                        let res = run_episode(
                             agent,
                             &self.optimizer,
                             &self.encoder,
@@ -287,26 +359,19 @@ impl Foss {
                             &mut env,
                             &self.cfg,
                             false,
-                        )?
-                    };
-                    mean_reward += res.total_reward;
-                    episodes_run += 1;
-                    // AAM-estimated improvements are validation candidates.
-                    if self.cfg.use_simulated_env
-                        && res.best.icp.fingerprint() != res.original.icp.fingerprint()
-                        && promising_seen.insert((query.id, res.best.icp.fingerprint()))
-                    {
-                        promising.push((qidx, res.best.clone()));
+                        )?;
+                        mean_reward += res.total_reward;
+                        episodes_run += 1;
+                        rollout.push_episode(res.transitions);
                     }
-                    rollout.push_episode(res.transitions);
+                    let batch = rollout.into_inner().finish(agent.gamma(), agent.lambda());
+                    agent.update(&batch);
                 }
-                let batch = rollout.into_inner().finish(agent.gamma(), agent.lambda());
-                agent.update(&batch);
-            }
-            Ok(())
-        })();
-        self.agents = agents;
-        result?;
+                Ok(())
+            })();
+            self.agents = agents;
+            result?;
+        }
 
         // Promising-plan validation (§V-B / Table II "Off-Validation").
         if self.cfg.validate_promising {
@@ -573,6 +638,31 @@ mod tests {
         foss.train(std::slice::from_ref(&world.query), 1).unwrap();
         // Real-env episodes execute every distinct candidate plan.
         assert!(foss.plans_executed() >= 4);
+    }
+
+    /// Parallel episode runners must not make training order-dependent:
+    /// two identically-seeded multi-agent runs (whose per-agent RNGs are
+    /// split from the experiment seed, not drawn from a shared stream)
+    /// produce bit-identical rewards and the same inference plan.
+    #[test]
+    fn parallel_episode_runners_are_deterministic() {
+        let reports_and_plan = |_: usize| {
+            let world = TestWorld::new(11);
+            let cfg = FossConfig {
+                num_agents: 3,
+                episodes_per_update: 6,
+                promising_per_update: 4,
+                random_validation_per_update: 1,
+                ..FossConfig::tiny()
+            };
+            let mut foss = foss_over(&world, cfg);
+            let queries = vec![world.query.clone()];
+            let reports = foss.train(&queries, 2).unwrap();
+            let rewards: Vec<u32> = reports.iter().map(|r| r.mean_reward.to_bits()).collect();
+            let plan = foss.optimize(&world.query).unwrap().fingerprint();
+            (rewards, plan, foss.buffer().total_plans())
+        };
+        assert_eq!(reports_and_plan(0), reports_and_plan(1));
     }
 
     #[test]

@@ -14,11 +14,11 @@
 //! micro-benchmark.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
 
 use parking_lot::Mutex;
 
-use foss_common::{FossError, FxHashMap, QueryId, Result};
+use foss_common::{FossError, FxHashMap, FxHashSet, QueryId, Result};
 use foss_optimizer::{CostModel, PhysicalPlan};
 use foss_query::Query;
 
@@ -30,10 +30,15 @@ use crate::exec::{ExecMode, ExecOutcome, Executor};
 pub enum CachedResult {
     /// Finished within budget.
     Done(ExecOutcome),
-    /// Hit the work budget; the recorded value is the budget spent.
+    /// Hit the work budget.
     TimedOut {
         /// Budget that was exceeded.
         budget: f64,
+        /// Work units the failed run actually performed before aborting
+        /// (≈ budget + one chunk's charge — the metered convention), taken
+        /// verbatim from the run's [`FossError::Timeout`] so replaying the
+        /// cached error under the same budget is bit-identical.
+        spent: u64,
     },
 }
 
@@ -193,8 +198,28 @@ pub struct CachingExecutor {
     cost: CostModel,
     mode: ExecMode,
     cache: Mutex<CacheState>,
+    /// Keys currently being executed by some thread (single-flight): a
+    /// concurrent miss on an in-flight key waits on `inflight_cv` for the
+    /// executing thread to fill the cache instead of re-executing.
+    /// `std::sync::Mutex` because the condvar must pair with it.
+    inflight: StdMutex<FxHashSet<CacheKey>>,
+    inflight_cv: Condvar,
     executions: AtomicU64,
     hits: AtomicU64,
+}
+
+/// RAII claim on an in-flight key: released (with waiters woken) on drop, so
+/// an unwinding execution can't strand the key and deadlock later callers.
+struct InflightClaim<'a> {
+    cx: &'a CachingExecutor,
+    key: CacheKey,
+}
+
+impl Drop for InflightClaim<'_> {
+    fn drop(&mut self) {
+        self.cx.lock_inflight().remove(&self.key);
+        self.cx.inflight_cv.notify_all();
+    }
 }
 
 impl CachingExecutor {
@@ -211,6 +236,8 @@ impl CachingExecutor {
             cost,
             mode,
             cache: Mutex::new(CacheState::default()),
+            inflight: StdMutex::new(FxHashSet::default()),
+            inflight_cv: Condvar::new(),
             executions: AtomicU64::new(0),
             hits: AtomicU64::new(0),
         }
@@ -250,6 +277,8 @@ impl CachingExecutor {
                 policy,
                 ..CacheState::default()
             }),
+            inflight: StdMutex::new(FxHashSet::default()),
+            inflight_cv: Condvar::new(),
             executions: AtomicU64::new(0),
             hits: AtomicU64::new(0),
         }
@@ -271,19 +300,18 @@ impl CachingExecutor {
         self.mode
     }
 
-    /// Execute (or recall) `plan` under an optional work budget.
-    ///
-    /// A cached `Done` outcome is returned regardless of the budget (its
-    /// latency is exact, the caller can compare against any threshold). A
-    /// cached `TimedOut` is only reused when the new budget is not larger
-    /// than the budget that failed; otherwise the plan is re-executed.
-    pub fn execute(
-        &self,
-        query: &Query,
-        plan: &PhysicalPlan,
-        budget: Option<f64>,
-    ) -> Result<ExecOutcome> {
-        let key = (query.id, plan.fingerprint());
+    /// Lock the in-flight key set, shrugging off poisoning: the set's
+    /// invariant (a key is present iff some claim guard is alive) survives
+    /// a panicking thread because [`InflightClaim`] removes its key on drop.
+    fn lock_inflight(&self) -> MutexGuard<'_, FxHashSet<CacheKey>> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Answer `key` from the cache, or `None` on a miss (including a cached
+    /// timeout that a larger budget may now beat — that must re-execute).
+    fn lookup(&self, key: CacheKey, budget: Option<f64>) -> Option<Result<ExecOutcome>> {
         let cached = {
             let mut cache = self.cache.lock();
             let cached = cache.map.get(&key).map(|e| e.value);
@@ -291,52 +319,101 @@ impl CachingExecutor {
                 cache.touch(key);
             }
             cached
-        };
-        if let Some(cached) = cached {
-            match cached {
-                CachedResult::Done(out) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    if let Some(b) = budget {
-                        if out.latency > b {
-                            return Err(FossError::Timeout {
-                                spent: out.latency as u64,
-                                budget: b as u64,
-                            });
-                        }
-                    }
-                    return Ok(out);
-                }
-                CachedResult::TimedOut { budget: old } => {
-                    if let Some(b) = budget.filter(|&b| b <= old) {
-                        // `spent` is the work the failed run actually did;
-                        // `budget` echoes what this caller asked for.
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Err(FossError::Timeout {
-                            spent: old as u64,
+        }?;
+        match cached {
+            CachedResult::Done(out) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(b) = budget {
+                    if out.latency > b {
+                        // A real metered run stops just past the budget, not
+                        // at the full latency; the exact abort point isn't
+                        // recoverable from the cache, so report the budget
+                        // itself (the metered value truncates to the same
+                        // whole work units in all but pathological cases).
+                        return Some(Err(FossError::Timeout {
+                            spent: b as u64,
                             budget: b as u64,
-                        });
+                        }));
                     }
-                    // Larger (or no) budget: fall through and re-execute.
                 }
+                Some(Ok(out))
             }
+            CachedResult::TimedOut { budget: old, spent } => {
+                if let Some(b) = budget.filter(|&b| b <= old) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    // Same budget: replay the recorded error bit-for-bit.
+                    // Tighter budget: the abort point isn't recoverable, so
+                    // mirror the metered convention as in the Done path.
+                    let spent = if b == old { spent } else { b as u64 };
+                    return Some(Err(FossError::Timeout {
+                        spent,
+                        budget: b as u64,
+                    }));
+                }
+                // Larger (or no) budget: re-execute.
+                None
+            }
+        }
+    }
+
+    /// Execute (or recall) `plan` under an optional work budget.
+    ///
+    /// A cached `Done` outcome is returned regardless of the budget (its
+    /// latency is exact, the caller can compare against any threshold). A
+    /// cached `TimedOut` is only reused when the new budget is not larger
+    /// than the budget that failed; otherwise the plan is re-executed.
+    ///
+    /// Concurrent misses on the same key are single-flighted: exactly one
+    /// thread executes, the rest wait for its memoised outcome, so a stampede
+    /// of identical submits costs one execution (and counts one miss).
+    pub fn execute(
+        &self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        budget: Option<f64>,
+    ) -> Result<ExecOutcome> {
+        let key = (query.id, plan.fingerprint());
+        let claim = loop {
+            if let Some(res) = self.lookup(key, budget) {
+                return res;
+            }
+            // Miss: claim the key, or wait for whoever holds the claim and
+            // then re-check the cache they were filling.
+            let mut inflight = self.lock_inflight();
+            if !inflight.contains(&key) {
+                inflight.insert(key);
+                break InflightClaim { cx: self, key };
+            }
+            let guard = self
+                .inflight_cv
+                .wait(inflight)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            drop(guard);
+        };
+        // Double-check under the claim: a racer may have filled the cache
+        // between our lookup and the claim.
+        if let Some(res) = self.lookup(key, budget) {
+            return res;
         }
         self.executions.fetch_add(1, Ordering::Relaxed);
         let exec = Executor::with_mode(&self.db, self.cost, self.mode);
-        match exec.execute(query, plan, budget) {
+        let result = match exec.execute(query, plan, budget) {
             Ok(out) => {
                 self.cache.lock().insert(key, CachedResult::Done(out));
                 Ok(out)
             }
-            Err(e @ FossError::Timeout { .. }) => {
+            Err(e @ FossError::Timeout { spent, .. }) => {
                 if let Some(b) = budget {
                     self.cache
                         .lock()
-                        .insert(key, CachedResult::TimedOut { budget: b });
+                        .insert(key, CachedResult::TimedOut { budget: b, spent });
                 }
                 Err(e)
             }
             Err(e) => Err(e),
-        }
+        };
+        drop(claim);
+        result
     }
 
     /// Number of *real* executions performed (cache misses) over the
@@ -688,6 +765,125 @@ mod tests {
             queue_len <= 64 + 4,
             "lazy queue grew unbounded: {queue_len}"
         );
+    }
+
+    /// The miss-stampede regression: N threads submitting the same keys
+    /// concurrently must produce exactly one real execution per distinct
+    /// key — the single-flight claim makes every racer wait for the first
+    /// thread's memoised outcome instead of re-executing.
+    #[test]
+    fn concurrent_submits_single_flight_to_one_execution_per_key() {
+        use std::sync::Barrier;
+        let (db, opt, _) = setup();
+        let (queries, plan) = distinct_queries(&db, 4);
+        let cx = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
+        let threads = 8;
+        let barrier = Barrier::new(threads);
+        let outcomes: Vec<Vec<ExecOutcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let cx = &cx;
+                    let queries = &queries;
+                    let plan = &plan;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        // Offset start positions so every key sees
+                        // concurrent first-misses from several threads.
+                        (0..3 * queries.len())
+                            .map(|i| {
+                                cx.execute(&queries[(t + i) % queries.len()], plan, None)
+                                    .unwrap()
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let s = cx.stats();
+        assert_eq!(
+            s.executions,
+            queries.len() as u64,
+            "each distinct key must execute exactly once"
+        );
+        assert_eq!(
+            s.hits + s.executions,
+            (threads * 3 * queries.len()) as u64,
+            "every lookup is either the one miss or a hit"
+        );
+        // Determinism: every thread saw the identical outcome per key.
+        let mut reference: Vec<Option<ExecOutcome>> = vec![None; queries.len()];
+        for (t, per_thread) in outcomes.iter().enumerate() {
+            assert_eq!(per_thread.len(), 3 * queries.len());
+            for (i, out) in per_thread.iter().enumerate() {
+                let qi = (t + i) % queries.len();
+                match reference[qi] {
+                    None => reference[qi] = Some(*out),
+                    Some(want) => {
+                        assert_eq!(*out, want, "outcome for key {qi} differs across threads")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Satellite check: a cache-served timeout must be indistinguishable —
+    /// bit for bit — from the metered run that produced it.
+    #[test]
+    fn cached_timeout_error_matches_metered_run_bit_for_bit() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let full = Executor::new(&db, *opt.cost_model())
+            .execute(&q, &plan, None)
+            .unwrap();
+        let budget = full.latency / 3.0;
+        let metered = Executor::new(&db, *opt.cost_model())
+            .execute(&q, &plan, Some(budget))
+            .unwrap_err();
+        let FossError::Timeout {
+            spent: m_spent,
+            budget: m_budget,
+        } = metered
+        else {
+            panic!("expected a timeout");
+        };
+        // The metered convention: the run stops just past the budget, not
+        // at the plan's full latency.
+        assert!(m_spent as f64 <= full.latency);
+        let cx = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
+        for round in 0..2 {
+            // Round 0 executes and records; round 1 is served from cache.
+            let err = cx.execute(&q, &plan, Some(budget)).unwrap_err();
+            let FossError::Timeout { spent, budget: b } = err else {
+                panic!("expected a timeout");
+            };
+            assert_eq!((spent, b), (m_spent, m_budget), "round {round}");
+        }
+        assert_eq!(cx.executions(), 1, "second timeout came from the cache");
+    }
+
+    /// Cached `Done` outcomes answered under a tighter budget mirror the
+    /// metered convention too: `spent` reports the budget, not the full
+    /// latency of the completed run.
+    #[test]
+    fn cached_done_timeout_reports_budget_not_full_latency() {
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let cx = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
+        let out = cx.execute(&q, &plan, None).unwrap();
+        let tight = out.latency / 2.0;
+        let FossError::Timeout { spent, budget } = cx.execute(&q, &plan, Some(tight)).unwrap_err()
+        else {
+            panic!("expected a timeout");
+        };
+        assert_eq!(budget, tight as u64);
+        assert_eq!(
+            spent, tight as u64,
+            "spent mirrors the budget, not {}",
+            out.latency
+        );
+        assert_eq!(cx.executions(), 1);
     }
 
     #[test]

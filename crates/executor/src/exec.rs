@@ -37,6 +37,57 @@ pub enum ExecMode {
     Scalar,
 }
 
+/// Intra-query parallelism knobs for the chunked engine.
+///
+/// Worker threads pull [`CHUNK_SIZE`]-aligned morsels off a shared queue;
+/// morsel boundaries depend only on the input size (never on host cores), and
+/// a shard-ordered merge replays the sequential engine's exact floating-point
+/// charge sequence, so results **and** metered latency are bit-identical for
+/// every worker count — including timeouts. `workers == 1` (the default
+/// unless `FOSS_WORKERS` is set) keeps every operator on the caller's thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelConfig {
+    /// Worker threads for parallel operators (1 = sequential).
+    pub workers: usize,
+    /// Chunks per morsel; the queue hands out `morsel_chunks * CHUNK_SIZE`
+    /// rows at a time.
+    pub morsel_chunks: usize,
+    /// Build-side keys owning at least this fraction of the build rows are
+    /// broadcast to every probe worker instead of hashed into one partition.
+    pub hot_key_fraction: f64,
+    /// Absolute row-count floor for hot-key broadcast (small builds never
+    /// pay the replication bookkeeping).
+    pub hot_key_min: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self {
+            workers: foss_common::env_workers(),
+            morsel_chunks: 8,
+            hot_key_fraction: 1.0 / 64.0,
+            hot_key_min: 64,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A config that keeps execution on the calling thread regardless of
+    /// `FOSS_WORKERS`.
+    pub fn sequential() -> Self {
+        Self {
+            workers: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Rows per morsel (always a multiple of [`CHUNK_SIZE`], so morsel
+    /// boundaries coincide with the sequential engine's chunk boundaries).
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_chunks.max(1) * CHUNK_SIZE
+    }
+}
+
 /// Result of executing a plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecOutcome {
@@ -56,10 +107,25 @@ pub struct RowSet {
     pub rels: Vec<usize>,
     /// Flattened tuples; stride = `rels.len()`.
     pub data: Vec<u32>,
+    /// The query's projection list (group key and aggregate input columns),
+    /// populated at the plan root by [`Executor::execute_rows`] so downstream
+    /// consumers — the group-by aggregator above all — know which columns to
+    /// gather out of the tuples. Empty for plain `COUNT(*)` queries.
+    pub proj: Vec<foss_query::ColRef>,
 }
 
 impl RowSet {
-    fn stride(&self) -> usize {
+    /// A result set with an empty projection list (operators build these;
+    /// the root attaches the query's projection).
+    pub(crate) fn bare(rels: Vec<usize>, data: Vec<u32>) -> Self {
+        Self {
+            rels,
+            data,
+            proj: Vec::new(),
+        }
+    }
+
+    pub(crate) fn stride(&self) -> usize {
         self.rels.len()
     }
 
@@ -82,7 +148,7 @@ impl RowSet {
         &self.data[i * s..(i + 1) * s]
     }
 
-    fn slot_of(&self, rel: usize) -> usize {
+    pub(crate) fn slot_of(&self, rel: usize) -> usize {
         self.rels
             .iter()
             .position(|&r| r == rel)
@@ -92,22 +158,23 @@ impl RowSet {
 
 /// Hoisted per-edge extra join-condition columns:
 /// `(outer tuple slot, outer column data, inner column data)`.
-type EdgeCols<'a> = Vec<(usize, &'a [i64], &'a [i64])>;
+pub(crate) type EdgeCols<'a> = Vec<(usize, &'a [i64], &'a [i64])>;
 
 /// Executes physical plans against a [`Database`].
 pub struct Executor<'a> {
     db: &'a Database,
-    cost: CostModel,
+    pub(crate) cost: CostModel,
     mode: ExecMode,
+    pub(crate) par: ParallelConfig,
 }
 
-struct WorkMeter {
-    spent: f64,
-    budget: f64,
+pub(crate) struct WorkMeter {
+    pub(crate) spent: f64,
+    pub(crate) budget: f64,
 }
 
 impl WorkMeter {
-    fn charge(&mut self, amount: f64) -> Result<()> {
+    pub(crate) fn charge(&mut self, amount: f64) -> Result<()> {
         self.spent += amount;
         if self.spent > self.budget {
             Err(FossError::Timeout {
@@ -125,7 +192,13 @@ impl WorkMeter {
 /// the loop, and rows are written branchlessly (unconditional store, the
 /// cursor advances by the predicate bit) so selectivity near 50% doesn't
 /// stall the pipeline on mispredictions.
-fn filter_chunk(pred: &Predicate, col: &[i64], start: usize, end: usize, sel: &mut Vec<u32>) {
+pub(crate) fn filter_chunk(
+    pred: &Predicate,
+    col: &[i64],
+    start: usize,
+    end: usize,
+    sel: &mut Vec<u32>,
+) {
     sel.clear();
     sel.resize(end - start, 0);
     let out = &mut sel[..end - start];
@@ -153,13 +226,13 @@ fn filter_chunk(pred: &Predicate, col: &[i64], start: usize, end: usize, sel: &m
 /// matches. Both engines drive this with identical unit counts in identical
 /// order, keeping the floating-point charge sequence — and therefore the
 /// latency — bit-identical across [`ExecMode`]s.
-struct BatchCharge {
+pub(crate) struct BatchCharge {
     pending: usize,
     unit: f64,
 }
 
 impl BatchCharge {
-    fn new(unit: f64) -> Self {
+    pub(crate) fn new(unit: f64) -> Self {
         Self { pending: 0, unit }
     }
 
@@ -176,12 +249,12 @@ impl BatchCharge {
 
     /// Record one unit (an emitted tuple).
     #[inline]
-    fn emitted(&mut self, meter: &mut WorkMeter) -> Result<()> {
+    pub(crate) fn emitted(&mut self, meter: &mut WorkMeter) -> Result<()> {
         self.add(1, meter)
     }
 
     /// Charge whatever remains below one chunk.
-    fn flush(&mut self, meter: &mut WorkMeter) -> Result<()> {
+    pub(crate) fn flush(&mut self, meter: &mut WorkMeter) -> Result<()> {
         let pend = std::mem::take(&mut self.pending);
         meter.charge(pend as f64 * self.unit)
     }
@@ -189,7 +262,7 @@ impl BatchCharge {
 
 /// Refine a selection vector in place by `pred` over `col`, with the same
 /// branchless compaction as [`filter_chunk`].
-fn refine_selection(pred: &Predicate, col: &[i64], sel: &mut Vec<u32>) {
+pub(crate) fn refine_selection(pred: &Predicate, col: &[i64], sel: &mut Vec<u32>) {
     let mut n = 0usize;
     match *pred {
         Predicate::Eq { value, .. } => {
@@ -220,13 +293,43 @@ impl<'a> Executor<'a> {
 
     /// Executor with an explicit engine (`ExecMode::Scalar` keeps the
     /// row-at-a-time reference path for differential testing).
+    ///
+    /// The chunked engine picks its worker count up from the `FOSS_WORKERS`
+    /// environment variable (default 1); [`Executor::with_parallelism`]
+    /// overrides it. The scalar reference never parallelises.
     pub fn with_mode(db: &'a Database, cost: CostModel, mode: ExecMode) -> Self {
-        Self { db, cost, mode }
+        Self {
+            db,
+            cost,
+            mode,
+            par: ParallelConfig::default(),
+        }
+    }
+
+    /// Replace the parallelism knobs (chainable). Results and latency are
+    /// bit-identical for every configuration; this only changes how the work
+    /// is scheduled.
+    #[must_use]
+    pub fn with_parallelism(mut self, par: ParallelConfig) -> Self {
+        self.par = par;
+        self
     }
 
     /// The engine this executor dispatches to.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// The parallelism knobs the chunked engine runs under.
+    pub fn parallelism(&self) -> ParallelConfig {
+        self.par
+    }
+
+    /// True when `rows` is large enough (at least two morsels) for the
+    /// morsel queue to beat inline execution.
+    #[inline]
+    pub(crate) fn par_eligible(&self, rows: usize) -> bool {
+        self.par.workers > 1 && rows >= 2 * self.par.morsel_rows()
     }
 
     /// Execute `plan` for `query`.
@@ -255,12 +358,40 @@ impl<'a> Executor<'a> {
             spent: 0.0,
             budget: budget.unwrap_or(f64::INFINITY),
         };
-        let rows = self.exec_node(query, &plan.root, &mut meter)?;
+        let mut rows = self.exec_node(query, &plan.root, &mut meter)?;
+        rows.proj = query.projection();
         let outcome = ExecOutcome {
             latency: meter.spent,
             rows: rows.len() as u64,
         };
         Ok((outcome, rows))
+    }
+
+    /// Like [`Executor::execute_rows`], but folds the join result through
+    /// the query's aggregation spec ([`foss_query::AggSpec`], defaulting to
+    /// a global `COUNT(*)`) chunk at a time. The returned outcome's
+    /// `latency` includes the aggregation charges and its `rows` counts the
+    /// aggregate's *output* groups; the fold runs over the final tuple set,
+    /// so the result and latency stay bit-identical across [`ExecMode`]s
+    /// and worker counts.
+    pub fn execute_agg(
+        &self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        budget: Option<f64>,
+    ) -> Result<(ExecOutcome, crate::agg::AggResult)> {
+        let mut meter = WorkMeter {
+            spent: 0.0,
+            budget: budget.unwrap_or(f64::INFINITY),
+        };
+        let mut rows = self.exec_node(query, &plan.root, &mut meter)?;
+        rows.proj = query.projection();
+        let agg = crate::agg::aggregate(self, query, &rows, &mut meter)?;
+        let outcome = ExecOutcome {
+            latency: meter.spent,
+            rows: agg.rows.len() as u64,
+        };
+        Ok((outcome, agg))
     }
 
     fn exec_node(&self, query: &Query, node: &PlanNode, meter: &mut WorkMeter) -> Result<RowSet> {
@@ -269,10 +400,7 @@ impl<'a> Executor<'a> {
                 relation, access, ..
             } => {
                 let data = self.exec_scan(query, *relation, access, meter)?;
-                Ok(RowSet {
-                    rels: vec![*relation],
-                    data,
-                })
+                Ok(RowSet::bare(vec![*relation], data))
             }
             PlanNode::Join {
                 method,
@@ -304,7 +432,7 @@ impl<'a> Executor<'a> {
     /// Backing column slice for `(rel, col)` — hoisted out of inner loops by
     /// the chunked operators.
     #[inline]
-    fn column_slice(&self, query: &Query, rel: usize, col: usize) -> &'a [i64] {
+    pub(crate) fn column_slice(&self, query: &Query, rel: usize, col: usize) -> &'a [i64] {
         self.db
             .table(query.relations[rel].table)
             .column(col)
@@ -343,6 +471,12 @@ impl<'a> Executor<'a> {
                             .iter()
                             .map(|pr| table.column(pr.column()).values())
                             .collect();
+                        if !preds.is_empty() && self.par_eligible(n) {
+                            // The scan's whole charge is already on the
+                            // meter; filtering is embarrassingly parallel
+                            // and chunk outputs concatenate in chunk order.
+                            return Ok(crate::parallel::par_filter_scan(self.par, preds, &cols, n));
+                        }
                         let mut sel: Vec<u32> = Vec::with_capacity(CHUNK_SIZE);
                         for start in (0..n).step_by(CHUNK_SIZE) {
                             let end = (start + CHUNK_SIZE).min(n);
@@ -464,7 +598,7 @@ impl<'a> Executor<'a> {
 
     /// Hoisted column slices for the non-key join conditions:
     /// `(outer slot, outer column, inner column)` per extra edge.
-    fn extra_edge_columns(
+    pub(crate) fn extra_edge_columns(
         &self,
         query: &Query,
         outer: &RowSet,
@@ -497,100 +631,134 @@ impl<'a> Executor<'a> {
         if edges.is_empty() {
             return self.cross_join(outer, inner, meter);
         }
-        let key = edges[0];
         // Build on inner.
         meter.charge(inner.len() as f64 * p.hash_build)?;
-        let mut table: foss_common::FxHashMap<i64, Vec<u32>> = foss_common::FxHashMap::default();
-        match self.mode {
-            ExecMode::Scalar => {
-                for &row in &inner.data {
-                    table
-                        .entry(self.value(query, inner_rel, key.right_column, row))
-                        .or_default()
-                        .push(row);
-                }
-            }
+        let out = match self.mode {
+            ExecMode::Scalar => self.hash_probe_scalar(query, &outer, &inner, edges, meter)?,
             ExecMode::Chunked => {
-                // Gather the build keys through one hoisted column slice.
-                let icol = self.column_slice(query, inner_rel, key.right_column);
-                for &row in &inner.data {
-                    table.entry(icol[row as usize]).or_default().push(row);
+                // The morsel-parallel probe declines (`None`) when the input
+                // is too small or when output charges alone already
+                // guarantee a timeout; the sequential probe then handles it
+                // from the identical meter state.
+                match crate::parallel::try_hash_join(self, query, &outer, &inner, edges, meter)? {
+                    Some(data) => data,
+                    None => self.hash_probe_chunked(query, &outer, &inner, edges, meter)?,
                 }
             }
+        };
+        let mut rels = outer.rels;
+        rels.push(inner_rel);
+        Ok(RowSet::bare(rels, out))
+    }
+
+    /// Row-at-a-time reference build + probe.
+    fn hash_probe_scalar(
+        &self,
+        query: &Query,
+        outer: &RowSet,
+        inner: &RowSet,
+        edges: &[JoinEdge],
+        meter: &mut WorkMeter,
+    ) -> Result<Vec<u32>> {
+        let p = self.cost.params;
+        let inner_rel = inner.rels[0];
+        let key = edges[0];
+        let mut table: foss_common::FxHashMap<i64, Vec<u32>> = foss_common::FxHashMap::default();
+        for &row in &inner.data {
+            table
+                .entry(self.value(query, inner_rel, key.right_column, row))
+                .or_default()
+                .push(row);
         }
-        // Probe with outer, one chunk of tuples at a time; output charges
-        // accumulate in chunk quanta so runaway fan-out hits the budget
-        // mid-chunk instead of after a whole chunk has materialised.
+        let mut out = Vec::new();
+        let mut emits = BatchCharge::new(p.output_tuple);
+        let lslot = outer.slot_of(key.left);
+        let n = outer.len();
+        for start in (0..n).step_by(CHUNK_SIZE) {
+            let end = (start + CHUNK_SIZE).min(n);
+            meter.charge((end - start) as f64 * p.hash_probe)?;
+            for i in start..end {
+                let t = outer.tuple(i);
+                let lv = self.value(query, key.left, key.left_column, t[lslot]);
+                if let Some(cands) = table.get(&lv) {
+                    for &row in cands {
+                        if self.check_extra_edges(query, outer, t, inner_rel, row, edges) {
+                            Self::emit(&mut out, t, row);
+                            emits.emitted(meter)?;
+                        }
+                    }
+                }
+            }
+            emits.flush(meter)?;
+        }
+        Ok(out)
+    }
+
+    /// Chunk-at-a-time single-threaded build + probe; output charges
+    /// accumulate in chunk quanta so runaway fan-out hits the budget
+    /// mid-chunk instead of after a whole chunk has materialised.
+    fn hash_probe_chunked(
+        &self,
+        query: &Query,
+        outer: &RowSet,
+        inner: &RowSet,
+        edges: &[JoinEdge],
+        meter: &mut WorkMeter,
+    ) -> Result<Vec<u32>> {
+        let p = self.cost.params;
+        let inner_rel = inner.rels[0];
+        let key = edges[0];
+        // Gather the build keys through one hoisted column slice.
+        let icol = self.column_slice(query, inner_rel, key.right_column);
+        let mut table: foss_common::FxHashMap<i64, Vec<u32>> = foss_common::FxHashMap::default();
+        for &row in &inner.data {
+            table.entry(icol[row as usize]).or_default().push(row);
+        }
         let mut out = Vec::new();
         let mut emits = BatchCharge::new(p.output_tuple);
         let stride = outer.stride();
         let lslot = outer.slot_of(key.left);
         let n = outer.len();
-        match self.mode {
-            ExecMode::Scalar => {
-                for start in (0..n).step_by(CHUNK_SIZE) {
-                    let end = (start + CHUNK_SIZE).min(n);
-                    meter.charge((end - start) as f64 * p.hash_probe)?;
-                    for i in start..end {
-                        let t = outer.tuple(i);
-                        let lv = self.value(query, key.left, key.left_column, t[lslot]);
-                        if let Some(cands) = table.get(&lv) {
-                            for &row in cands {
-                                if self.check_extra_edges(query, &outer, t, inner_rel, row, edges) {
-                                    Self::emit(&mut out, t, row);
-                                    emits.emitted(meter)?;
-                                }
-                            }
-                        }
+        let lcol = self.column_slice(query, key.left, key.left_column);
+        let extra = self.extra_edge_columns(query, outer, inner_rel, edges);
+        let mut keys: Vec<i64> = Vec::with_capacity(CHUNK_SIZE);
+        for start in (0..n).step_by(CHUNK_SIZE) {
+            let end = (start + CHUNK_SIZE).min(n);
+            meter.charge((end - start) as f64 * p.hash_probe)?;
+            // Columnar gather of the probe keys for this chunk.
+            keys.clear();
+            keys.extend(
+                outer.data[start * stride..end * stride]
+                    .iter()
+                    .skip(lslot)
+                    .step_by(stride)
+                    .map(|&r| lcol[r as usize]),
+            );
+            for (off, lv) in keys.iter().enumerate() {
+                let Some(cands) = table.get(lv) else { continue };
+                let i = start + off;
+                let t = &outer.data[i * stride..(i + 1) * stride];
+                if extra.is_empty() {
+                    // Pure projection: bulk-copy each match.
+                    for &row in cands {
+                        Self::emit(&mut out, t, row);
+                        emits.emitted(meter)?;
                     }
-                    emits.flush(meter)?;
-                }
-            }
-            ExecMode::Chunked => {
-                let lcol = self.column_slice(query, key.left, key.left_column);
-                let extra = self.extra_edge_columns(query, &outer, inner_rel, edges);
-                let mut keys: Vec<i64> = Vec::with_capacity(CHUNK_SIZE);
-                for start in (0..n).step_by(CHUNK_SIZE) {
-                    let end = (start + CHUNK_SIZE).min(n);
-                    meter.charge((end - start) as f64 * p.hash_probe)?;
-                    // Columnar gather of the probe keys for this chunk.
-                    keys.clear();
-                    keys.extend(
-                        outer.data[start * stride..end * stride]
+                } else {
+                    for &row in cands {
+                        if extra
                             .iter()
-                            .skip(lslot)
-                            .step_by(stride)
-                            .map(|&r| lcol[r as usize]),
-                    );
-                    for (off, lv) in keys.iter().enumerate() {
-                        let Some(cands) = table.get(lv) else { continue };
-                        let i = start + off;
-                        let t = &outer.data[i * stride..(i + 1) * stride];
-                        if extra.is_empty() {
-                            // Pure projection: bulk-copy each match.
-                            for &row in cands {
-                                Self::emit(&mut out, t, row);
-                                emits.emitted(meter)?;
-                            }
-                        } else {
-                            for &row in cands {
-                                if extra
-                                    .iter()
-                                    .all(|&(slot, lc, rc)| lc[t[slot] as usize] == rc[row as usize])
-                                {
-                                    Self::emit(&mut out, t, row);
-                                    emits.emitted(meter)?;
-                                }
-                            }
+                            .all(|&(slot, lc, rc)| lc[t[slot] as usize] == rc[row as usize])
+                        {
+                            Self::emit(&mut out, t, row);
+                            emits.emitted(meter)?;
                         }
                     }
-                    emits.flush(meter)?;
                 }
             }
+            emits.flush(meter)?;
         }
-        let mut rels = outer.rels;
-        rels.push(inner_rel);
-        Ok(RowSet { rels, data: out })
+        Ok(out)
     }
 
     fn merge_join(
@@ -700,7 +868,7 @@ impl<'a> Executor<'a> {
         emits.flush(meter)?;
         let mut rels = outer.rels;
         rels.push(inner_rel);
-        Ok(RowSet { rels, data: out })
+        Ok(RowSet::bare(rels, out))
     }
 
     fn nl_join(
@@ -713,6 +881,18 @@ impl<'a> Executor<'a> {
     ) -> Result<RowSet> {
         let p = self.cost.params;
         let inner_rel = inner.rels[0];
+        if self.mode == ExecMode::Chunked {
+            // The morsel-parallel path pre-computes how far the per-chunk
+            // pair charges can reach under the budget, so even catastrophic
+            // loops do bounded work; it declines (`None`) on small inputs.
+            if let Some(data) =
+                crate::parallel::try_nl_join(self, query, &outer, &inner, edges, meter)?
+            {
+                let mut rels = outer.rels;
+                rels.push(inner_rel);
+                return Ok(RowSet::bare(rels, data));
+            }
+        }
         let stride = outer.stride();
         let n = outer.len();
         let mut out = Vec::new();
@@ -805,7 +985,7 @@ impl<'a> Executor<'a> {
         }
         let mut rels = outer.rels;
         rels.push(inner_rel);
-        Ok(RowSet { rels, data: out })
+        Ok(RowSet::bare(rels, out))
     }
 
     fn index_nl_join(
@@ -903,7 +1083,7 @@ impl<'a> Executor<'a> {
         }
         let mut rels = outer.rels;
         rels.push(inner_rel);
-        Ok(RowSet { rels, data: out })
+        Ok(RowSet::bare(rels, out))
     }
 
     fn cross_join(&self, outer: RowSet, inner: RowSet, meter: &mut WorkMeter) -> Result<RowSet> {
@@ -928,7 +1108,7 @@ impl<'a> Executor<'a> {
         }
         let mut rels = outer.rels;
         rels.push(inner_rel);
-        Ok(RowSet { rels, data: out })
+        Ok(RowSet::bare(rels, out))
     }
 }
 
@@ -1054,6 +1234,69 @@ mod tests {
         }
     }
 
+    /// The morsel-parallel engine is bit-identical to the single-threaded
+    /// chunked engine on every (order, method) variant — results, latency,
+    /// and timeout accounting — at several worker counts, including a config
+    /// that force-broadcasts every build key.
+    #[test]
+    fn parallel_matches_sequential_on_all_plan_variants() {
+        let (db, opt, q) = setup_sized(3000, 9000);
+        let seq =
+            Executor::new(&db, *opt.cost_model()).with_parallelism(ParallelConfig::sequential());
+        let configs = [
+            ParallelConfig {
+                workers: 2,
+                morsel_chunks: 1,
+                ..ParallelConfig::default()
+            },
+            ParallelConfig {
+                workers: 4,
+                morsel_chunks: 1,
+                ..ParallelConfig::default()
+            },
+            // Forced hot-key replication: every key broadcast.
+            ParallelConfig {
+                workers: 3,
+                morsel_chunks: 1,
+                hot_key_fraction: 0.0,
+                hot_key_min: 1,
+            },
+        ];
+        for order in [vec![0usize, 1], vec![1, 0]] {
+            for m in ALL_JOIN_METHODS {
+                let icp = Icp::new(order.clone(), vec![m]).unwrap();
+                let plan = opt.optimize_with_hint(&q, &icp).unwrap();
+                let (so, sr) = seq.execute_rows(&q, &plan, None).unwrap();
+                let tight = Some(so.latency / 3.0);
+                let FossError::Timeout {
+                    spent: ss,
+                    budget: sb,
+                } = seq.execute_rows(&q, &plan, tight).unwrap_err()
+                else {
+                    panic!("expected sequential timeout")
+                };
+                for cfg in configs {
+                    let par = Executor::new(&db, *opt.cost_model()).with_parallelism(cfg);
+                    let (po, pr) = par.execute_rows(&q, &plan, None).unwrap();
+                    assert_eq!(so, po, "outcome diverged: {order:?} {m} {cfg:?}");
+                    assert_eq!(sr, pr, "tuples diverged: {order:?} {m} {cfg:?}");
+                    let FossError::Timeout {
+                        spent: ps,
+                        budget: pb,
+                    } = par.execute_rows(&q, &plan, tight).unwrap_err()
+                    else {
+                        panic!("expected parallel timeout: {order:?} {m} {cfg:?}")
+                    };
+                    assert_eq!(
+                        (ss, sb),
+                        (ps, pb),
+                        "timeout diverged: {order:?} {m} {cfg:?}"
+                    );
+                }
+            }
+        }
+    }
+
     /// Timeouts report identical spent work in both engines.
     #[test]
     fn chunked_matches_scalar_on_timeout() {
@@ -1151,6 +1394,54 @@ mod tests {
         assert_eq!(oc.rows, (100..=4200).filter(|i| i % 3 == 2).count() as u64);
     }
 
+    /// The morsel-parallel filter scan returns the same row ids in the same
+    /// order (and the same latency bits) as the sequential chunked scan.
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let (db, opt, _) = setup_sized(50_000, 16);
+        let schema = db.schema().clone();
+        let mut qb = QueryBuilder::new(QueryId::new(7), 1);
+        let ra = qb.relation(schema.table_id("a").unwrap(), "a");
+        qb.predicate(
+            ra,
+            Predicate::Range {
+                column: 0,
+                lo: 1_000,
+                hi: 44_000,
+            },
+        );
+        qb.predicate(
+            ra,
+            Predicate::Eq {
+                column: 1,
+                value: 1,
+            },
+        );
+        let q = qb.build(&schema).unwrap();
+        let plan = PhysicalPlan {
+            root: PlanNode::Scan {
+                relation: 0,
+                access: AccessPath::SeqScan,
+                est_rows: 0.0,
+                est_cost: 0.0,
+            },
+        };
+        let seq =
+            Executor::new(&db, *opt.cost_model()).with_parallelism(ParallelConfig::sequential());
+        let (so, sr) = seq.execute_rows(&q, &plan, None).unwrap();
+        for workers in [2, 4, 7] {
+            let par = Executor::new(&db, *opt.cost_model()).with_parallelism(ParallelConfig {
+                workers,
+                morsel_chunks: 2,
+                ..ParallelConfig::default()
+            });
+            let (po, pr) = par.execute_rows(&q, &plan, None).unwrap();
+            assert_eq!(so.latency.to_bits(), po.latency.to_bits());
+            assert_eq!(so, po);
+            assert_eq!(sr, pr, "scan rows diverged at {workers} workers");
+        }
+    }
+
     #[test]
     fn timeout_aborts_execution() {
         let (db, opt, q) = setup();
@@ -1211,5 +1502,136 @@ mod tests {
         let plan = opt.optimize(&q).unwrap();
         let exec = Executor::new(&db, *opt.cost_model());
         assert_eq!(exec.execute(&q, &plan, None).unwrap().rows, 4);
+    }
+
+    /// The setup() join with COUNT/SUM/MIN/MAX over `b.id`, optionally
+    /// grouped by `a.v`.
+    fn agg_query(db: &Database, qid: usize, group: bool) -> Query {
+        use foss_query::{AggFunc, ColRef};
+        let schema = db.schema().clone();
+        let mut qb = QueryBuilder::new(QueryId::new(qid), 1);
+        let ra = qb.relation(schema.table_id("a").unwrap(), "a");
+        let rb = qb.relation(schema.table_id("b").unwrap(), "b");
+        qb.join(ra, 0, rb, 1);
+        if group {
+            qb.group_by(ra, 1);
+        }
+        let b_id = ColRef { rel: rb, column: 0 };
+        qb.aggregate(AggFunc::Count)
+            .aggregate(AggFunc::Sum(b_id))
+            .aggregate(AggFunc::Min(b_id))
+            .aggregate(AggFunc::Max(b_id));
+        qb.build(&schema).unwrap()
+    }
+
+    #[test]
+    fn group_by_aggregates_match_hand_computed_values() {
+        let (db, opt, _) = setup();
+        let q = agg_query(&db, 11, true);
+        let plan = opt.optimize(&q).unwrap();
+        let exec = Executor::new(&db, *opt.cost_model());
+        let (out, agg) = exec.execute_agg(&q, &plan, None).unwrap();
+        // a.v = id % 3 groups the 10 a-rows into {0,3,6,9}, {1,4,7},
+        // {2,5,8}; each a-row matches b ids {k, k+10, k+20}.
+        let expect = [(0, 12, 174, 0, 29), (1, 9, 126, 1, 27), (2, 9, 135, 2, 28)];
+        assert_eq!(out.rows, 3);
+        assert_eq!(agg.rows.len(), 3);
+        for (row, (key, count, sum, min, max)) in agg.rows.iter().zip(expect) {
+            assert_eq!(row.group, Some(key));
+            assert_eq!(
+                row.values,
+                vec![Some(count), Some(sum), Some(min), Some(max)]
+            );
+        }
+    }
+
+    #[test]
+    fn aggregation_is_engine_independent() {
+        let (db, opt, _) = setup_sized(3000, 9000);
+        let q = agg_query(&db, 12, true);
+        let plan = opt.optimize(&q).unwrap();
+        let chunked = Executor::new(&db, *opt.cost_model());
+        let scalar = Executor::with_mode(&db, *opt.cost_model(), ExecMode::Scalar);
+        let par = Executor::new(&db, *opt.cost_model()).with_parallelism(ParallelConfig {
+            workers: 3,
+            morsel_chunks: 1,
+            ..ParallelConfig::default()
+        });
+        let (oc, rc) = chunked.execute_agg(&q, &plan, None).unwrap();
+        let (os, rs) = scalar.execute_agg(&q, &plan, None).unwrap();
+        let (op, rp) = par.execute_agg(&q, &plan, None).unwrap();
+        assert_eq!(rc, rs);
+        assert_eq!(rc, rp);
+        assert_eq!(oc.latency.to_bits(), os.latency.to_bits());
+        assert_eq!(oc.latency.to_bits(), op.latency.to_bits());
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_yields_one_row() {
+        let (db, opt, _) = setup();
+        let schema = db.schema().clone();
+        let mut qb = QueryBuilder::new(QueryId::new(13), 1);
+        let ra = qb.relation(schema.table_id("a").unwrap(), "a");
+        let rb = qb.relation(schema.table_id("b").unwrap(), "b");
+        qb.join(ra, 0, rb, 1);
+        qb.predicate(
+            ra,
+            Predicate::Range {
+                column: 0,
+                lo: 100,
+                hi: 200,
+            },
+        );
+        use foss_query::{AggFunc, ColRef};
+        let b_id = ColRef { rel: rb, column: 0 };
+        qb.aggregate(AggFunc::Count)
+            .aggregate(AggFunc::Sum(b_id))
+            .aggregate(AggFunc::Min(b_id))
+            .aggregate(AggFunc::Max(b_id));
+        let q = qb.build(&schema).unwrap();
+        let plan = opt.optimize(&q).unwrap();
+        let exec = Executor::new(&db, *opt.cost_model());
+        let (out, agg) = exec.execute_agg(&q, &plan, None).unwrap();
+        assert_eq!(out.rows, 1);
+        assert_eq!(agg.rows.len(), 1);
+        assert_eq!(agg.rows[0].group, None);
+        // COUNT and SUM fold to zero; MIN/MAX are undefined on no rows.
+        assert_eq!(agg.rows[0].values, vec![Some(0), Some(0), None, None]);
+    }
+
+    #[test]
+    fn execute_rows_threads_the_projection_list() {
+        use foss_query::ColRef;
+        let (db, opt, _) = setup();
+        let q = agg_query(&db, 14, true);
+        let plan = opt.optimize(&q).unwrap();
+        let exec = Executor::new(&db, *opt.cost_model());
+        let (_, rows) = exec.execute_rows(&q, &plan, None).unwrap();
+        // Group key first, then agg inputs, deduplicated in first-use order.
+        assert_eq!(
+            rows.proj,
+            vec![ColRef { rel: 0, column: 1 }, ColRef { rel: 1, column: 0 }]
+        );
+        // A plain COUNT(*) query projects nothing.
+        let (db2, opt2, q2) = setup();
+        let plan2 = opt2.optimize(&q2).unwrap();
+        let exec2 = Executor::new(&db2, *opt2.cost_model());
+        let (_, rows2) = exec2.execute_rows(&q2, &plan2, None).unwrap();
+        assert!(rows2.proj.is_empty());
+    }
+
+    #[test]
+    fn aggregation_charges_count_toward_the_budget() {
+        let (db, opt, _) = setup();
+        let q = agg_query(&db, 15, true);
+        let plan = opt.optimize(&q).unwrap();
+        let exec = Executor::new(&db, *opt.cost_model());
+        let (out, _) = exec.execute_agg(&q, &plan, None).unwrap();
+        let bare = exec.execute(&q, &plan, None).unwrap();
+        assert!(out.latency > bare.latency);
+        // A budget between the two must time out inside the aggregation.
+        let mid = (bare.latency + out.latency) / 2.0;
+        let err = exec.execute_agg(&q, &plan, Some(mid)).unwrap_err();
+        assert!(matches!(err, FossError::Timeout { .. }));
     }
 }

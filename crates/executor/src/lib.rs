@@ -22,10 +22,13 @@
 //! vectors) and the scalar row-at-a-time reference kept for differential
 //! testing. Both charge identical work units and produce identical tuples.
 
+pub mod agg;
 pub mod cache;
 pub mod database;
 pub mod exec;
+mod parallel;
 
+pub use agg::{AggResult, AggRow};
 pub use cache::{CacheStats, CachingExecutor, EvictionPolicy};
 pub use database::Database;
-pub use exec::{ExecMode, ExecOutcome, Executor, RowSet, CHUNK_SIZE};
+pub use exec::{ExecMode, ExecOutcome, Executor, ParallelConfig, RowSet, CHUNK_SIZE};

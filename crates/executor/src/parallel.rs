@@ -1,0 +1,559 @@
+//! Morsel-driven parallel operators for the chunked engine.
+//!
+//! Modeled on morsel-driven parallelism (Leis et al., HyPer): workers pull
+//! [`CHUNK_SIZE`]-aligned morsels off a shared atomic queue
+//! ([`foss_common::run_morsels`], which extends `run_sharded`'s
+//! shard-boundary discipline), so morsel boundaries depend only on the input
+//! size — never on the host's core count — and the merge consumes worker
+//! output **in morsel order**.
+//!
+//! # Bit-identical metering via charge replay
+//!
+//! The sequential chunked engine accrues its work-unit charges in one fixed
+//! floating-point sequence (per chunk: a probe/pair charge, then
+//! [`CHUNK_SIZE`]-quantum output charges, then a flush). Workers here never
+//! touch the meter; they record *per-chunk emit counts* alongside their
+//! output buffers, and the merge replays the canonical charge sequence
+//! against the real meter. Since morsel boundaries are multiples of
+//! [`CHUNK_SIZE`], the replayed sequence is operation-for-operation the one
+//! the sequential engine would have produced — latency and timeout
+//! accounting are bit-identical for every worker count.
+//!
+//! # Skew-aware partitioned hash joins
+//!
+//! The build side is radix-partitioned on the key's hash (high bits, so the
+//! per-partition hash maps keep their low bucket bits diverse) and built in
+//! parallel per partition. Keys whose candidate lists cross the hot-key
+//! threshold ([`ParallelConfig::hot_key_fraction`] / `hot_key_min`) are
+//! moved wholesale into a broadcast table probed first, so a heavy-tail key
+//! (the `skewstress` workload plants keys owning ~40% of a fact table) does
+//! not serialise one partition. Candidate lists keep the build order, so
+//! probe output is byte-identical to the single-map sequential build.
+//!
+//! # Bounded work on catastrophic plans
+//!
+//! A perturbed plan can have output charges that exceed any budget by orders
+//! of magnitude. The parallel hash probe keeps a shared emitted counter and
+//! aborts once the output charges alone guarantee a timeout — the caller
+//! falls back to the sequential probe, which reproduces the exact metered
+//! timeout after budget-bounded work. The nested-loop path is cheaper to
+//! bound: its per-chunk pair charges are known up front, so only chunks the
+//! replay can actually reach are executed (f64 addition of non-negative
+//! charges is monotone, making the pair-only prefix a true lower bound on
+//! the replayed spend).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use foss_common::{fx_hash_one, run_morsels, FxHashMap, Result};
+use foss_query::{JoinEdge, Predicate, Query};
+
+use crate::exec::{
+    filter_chunk, refine_selection, Executor, ParallelConfig, RowSet, WorkMeter, CHUNK_SIZE,
+};
+
+/// Per-morsel worker output: the emitted tuples plus the emit count of every
+/// chunk inside the morsel (the replay's unit of account).
+struct MorselOut {
+    chunk_emits: Vec<u32>,
+    data: Vec<u32>,
+}
+
+/// Replay the output charges the sequential engine makes for one chunk that
+/// emitted `count` tuples: `BatchCharge` fires a `CHUNK_SIZE`-quantum charge
+/// each time a full chunk of units accumulates, then flushes the remainder
+/// (including a zero-amount flush) at the chunk boundary.
+fn replay_emits(meter: &mut WorkMeter, count: usize, unit: f64) -> Result<()> {
+    for _ in 0..count / CHUNK_SIZE {
+        meter.charge(CHUNK_SIZE as f64 * unit)?;
+    }
+    meter.charge((count % CHUNK_SIZE) as f64 * unit)
+}
+
+/// Morsel-parallel predicate evaluation for a sequential scan. The scan's
+/// whole charge is applied before filtering, so there is nothing to replay:
+/// chunk outputs are position-independent row ids that concatenate in chunk
+/// order to exactly the sequential output.
+pub(crate) fn par_filter_scan(
+    par: ParallelConfig,
+    preds: &[Predicate],
+    cols: &[&[i64]],
+    n: usize,
+) -> Vec<u32> {
+    let morsel_rows = par.morsel_rows();
+    let count = n.div_ceil(morsel_rows);
+    let parts = run_morsels(par.workers, count, |m| {
+        let start = m * morsel_rows;
+        let end = ((m + 1) * morsel_rows).min(n);
+        let mut out = Vec::new();
+        let mut sel: Vec<u32> = Vec::with_capacity(CHUNK_SIZE);
+        for cstart in (start..end).step_by(CHUNK_SIZE) {
+            let cend = (cstart + CHUNK_SIZE).min(end);
+            filter_chunk(&preds[0], cols[0], cstart, cend, &mut sel);
+            for (pr, col) in preds.iter().zip(cols).skip(1) {
+                refine_selection(pr, col, &mut sel);
+            }
+            out.extend_from_slice(&sel);
+        }
+        out
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    out
+}
+
+/// The partitioned build side of a parallel hash join: a broadcast table for
+/// hot keys plus hash-partitioned tables for the rest. A key lives in
+/// exactly one of the two, and its candidate list preserves build order, so
+/// lookups return byte-identical results to a single sequential map.
+pub(crate) struct JoinTable {
+    hot: FxHashMap<i64, Vec<u32>>,
+    parts: Vec<FxHashMap<i64, Vec<u32>>>,
+    mask: usize,
+}
+
+impl JoinTable {
+    #[inline]
+    fn partition_of(&self, key: i64) -> usize {
+        // High hash bits select the partition so the per-partition maps (which
+        // bucket on the low bits) don't degenerate into collision chains.
+        ((fx_hash_one(&key) >> 32) as usize) & self.mask
+    }
+
+    #[inline]
+    fn get(&self, key: i64) -> Option<&Vec<u32>> {
+        if !self.hot.is_empty() {
+            if let Some(v) = self.hot.get(&key) {
+                return Some(v);
+            }
+        }
+        self.parts[self.partition_of(key)].get(&key)
+    }
+
+    /// Number of broadcast (replicated) hot keys — observability for the
+    /// skew tests.
+    #[cfg(test)]
+    pub(crate) fn hot_keys(&self) -> usize {
+        self.hot.len()
+    }
+}
+
+/// Partition `rows` (build-side row ids whose keys are `icol[row]`) and
+/// build the per-partition maps in parallel, then pull keys above the
+/// hot-key threshold into the broadcast table.
+pub(crate) fn build_partitioned(rows: &[u32], icol: &[i64], par: ParallelConfig) -> JoinTable {
+    let n = rows.len();
+    // Partition count from the build size alone (never host cores).
+    let pcount = (n / 4096).clamp(1, 64).next_power_of_two();
+    let mask = pcount - 1;
+    let part_of = |key: i64| ((fx_hash_one(&key) >> 32) as usize) & mask;
+
+    // Pass 1: morsel-parallel scatter into per-partition row lists. The
+    // morsel-ordered concat keeps every partition's rows in build order.
+    let morsel_rows = par.morsel_rows();
+    let mcount = n.div_ceil(morsel_rows);
+    let scattered = run_morsels(par.workers, mcount, |m| {
+        let start = m * morsel_rows;
+        let end = ((m + 1) * morsel_rows).min(n);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); pcount];
+        for &row in &rows[start..end] {
+            buckets[part_of(icol[row as usize])].push(row);
+        }
+        buckets
+    });
+    let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); pcount];
+    for buckets in &scattered {
+        for (pi, bucket) in buckets.iter().enumerate() {
+            part_rows[pi].extend_from_slice(bucket);
+        }
+    }
+
+    // Pass 2: per-partition parallel build (each key's candidates end up in
+    // global build order because pass 1 preserved it).
+    let mut parts = run_morsels(par.workers, pcount, |pi| {
+        let mut map: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+        for &row in &part_rows[pi] {
+            map.entry(icol[row as usize]).or_default().push(row);
+        }
+        map
+    });
+
+    // Hot-key extraction: a key's in-partition count is its global count, so
+    // the threshold is exact. Moving the Vec wholesale keeps candidate order.
+    let threshold = ((n as f64 * par.hot_key_fraction).ceil() as usize)
+        .max(par.hot_key_min)
+        .max(1);
+    let mut hot: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+    for map in &mut parts {
+        let hot_keys: Vec<i64> = map
+            .iter()
+            .filter(|(_, v)| v.len() >= threshold)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in hot_keys {
+            let v = map.remove(&k).expect("hot key vanished from partition");
+            hot.insert(k, v);
+        }
+    }
+    JoinTable { hot, parts, mask }
+}
+
+/// Morsel-parallel hash-join probe. Returns:
+///
+/// * `Ok(None)` — declined: input below two morsels, or the emitted-output
+///   charges alone already guarantee a timeout (the caller's sequential
+///   probe reproduces the exact metered behaviour with bounded work);
+/// * `Ok(Some(data))` — the joined tuples, with the meter advanced through
+///   the replayed charge sequence;
+/// * `Err(Timeout)` — the replay crossed the budget exactly where the
+///   sequential engine would have.
+pub(crate) fn try_hash_join(
+    exec: &Executor<'_>,
+    query: &Query,
+    outer: &RowSet,
+    inner: &RowSet,
+    edges: &[JoinEdge],
+    meter: &mut WorkMeter,
+) -> Result<Option<Vec<u32>>> {
+    let par = exec.par;
+    let n = outer.len();
+    if !exec.par_eligible(n) {
+        return Ok(None);
+    }
+    let p = exec.cost.params;
+    let key = edges[0];
+    let inner_rel = inner.rels[0];
+    let icol = exec.column_slice(query, inner_rel, key.right_column);
+    let table = build_partitioned(&inner.data, icol, par);
+    let lcol = exec.column_slice(query, key.left, key.left_column);
+    let extra = exec.extra_edge_columns(query, outer, inner_rel, edges);
+    let stride = outer.stride();
+    let lslot = outer.slot_of(key.left);
+
+    // Certain-timeout guard: `base + emits * unit` is (approximately) a
+    // lower bound on the final spend; once it clears the budget with margin,
+    // the outcome is a timeout and materialising more output is wasted work.
+    let base = meter.spent;
+    let cutoff = if meter.budget.is_finite() {
+        Some(meter.budget * 1.05 + 8.0 * CHUNK_SIZE as f64 * p.output_tuple.abs().max(1.0))
+    } else {
+        None
+    };
+    let emitted = AtomicU64::new(0);
+    let abort = AtomicBool::new(false);
+    let note_emits = |local: u64| {
+        if local == 0 {
+            return;
+        }
+        let total = emitted.fetch_add(local, Ordering::Relaxed) + local;
+        if let Some(c) = cutoff {
+            if base + total as f64 * p.output_tuple > c {
+                abort.store(true, Ordering::Relaxed);
+            }
+        }
+    };
+
+    let morsel_rows = par.morsel_rows();
+    let mcount = n.div_ceil(morsel_rows);
+    let parts = run_morsels(par.workers, mcount, |m| {
+        let start = m * morsel_rows;
+        let end = ((m + 1) * morsel_rows).min(n);
+        let mut out = MorselOut {
+            chunk_emits: Vec::with_capacity(par.morsel_chunks),
+            data: Vec::new(),
+        };
+        let mut keys: Vec<i64> = Vec::with_capacity(CHUNK_SIZE);
+        let mut local = 0u64;
+        for cstart in (start..end).step_by(CHUNK_SIZE) {
+            if abort.load(Ordering::Relaxed) {
+                // Partial output is discarded once any worker aborts.
+                return out;
+            }
+            let cend = (cstart + CHUNK_SIZE).min(end);
+            let before = out.data.len();
+            keys.clear();
+            keys.extend(
+                outer.data[cstart * stride..cend * stride]
+                    .iter()
+                    .skip(lslot)
+                    .step_by(stride)
+                    .map(|&r| lcol[r as usize]),
+            );
+            for (off, &lv) in keys.iter().enumerate() {
+                let Some(cands) = table.get(lv) else { continue };
+                let i = cstart + off;
+                let t = &outer.data[i * stride..(i + 1) * stride];
+                if extra.is_empty() {
+                    for &row in cands {
+                        out.data.extend_from_slice(t);
+                        out.data.push(row);
+                    }
+                    local += cands.len() as u64;
+                } else {
+                    for &row in cands {
+                        if extra
+                            .iter()
+                            .all(|&(slot, lc, rc)| lc[t[slot] as usize] == rc[row as usize])
+                        {
+                            out.data.extend_from_slice(t);
+                            out.data.push(row);
+                            local += 1;
+                        }
+                    }
+                }
+                if local >= 4096 {
+                    note_emits(local);
+                    local = 0;
+                    if abort.load(Ordering::Relaxed) {
+                        return out;
+                    }
+                }
+            }
+            out.chunk_emits
+                .push(((out.data.len() - before) / (stride + 1)) as u32);
+        }
+        note_emits(local);
+        out
+    });
+    if abort.load(Ordering::Relaxed) {
+        return Ok(None);
+    }
+
+    // Morsel-ordered merge: replay the sequential charge sequence, then
+    // append each morsel's output.
+    let mut out = Vec::with_capacity(parts.iter().map(|pt| pt.data.len()).sum());
+    for (m, part) in parts.iter().enumerate() {
+        let start = m * morsel_rows;
+        let end = ((m + 1) * morsel_rows).min(n);
+        for (ci, cstart) in (start..end).step_by(CHUNK_SIZE).enumerate() {
+            let cend = (cstart + CHUNK_SIZE).min(end);
+            meter.charge((cend - cstart) as f64 * p.hash_probe)?;
+            replay_emits(meter, part.chunk_emits[ci] as usize, p.output_tuple)?;
+        }
+        out.extend_from_slice(&part.data);
+    }
+    Ok(Some(out))
+}
+
+/// Morsel-parallel nested-loop join. Per-chunk pair charges are known before
+/// any work happens, so the reachable chunk prefix under the budget is
+/// computed first and only those chunks are executed — a catastrophic NL
+/// plan does work proportional to its budget, exactly like the sequential
+/// engine. Returns `Ok(None)` to decline (small input or no equi-edges).
+pub(crate) fn try_nl_join(
+    exec: &Executor<'_>,
+    query: &Query,
+    outer: &RowSet,
+    inner: &RowSet,
+    edges: &[JoinEdge],
+    meter: &mut WorkMeter,
+) -> Result<Option<Vec<u32>>> {
+    let par = exec.par;
+    let n = outer.len();
+    if edges.is_empty() || !exec.par_eligible(n) {
+        return Ok(None);
+    }
+    let p = exec.cost.params;
+    let inner_rel = inner.rels[0];
+    let inner_len = inner.len() as f64;
+    let stride = outer.stride();
+    let chunk_count = n.div_ceil(CHUNK_SIZE);
+
+    // Reachable prefix: the first chunk whose cumulative pair charge alone
+    // exceeds the budget can never replay its emits (f64 addition of
+    // non-negative amounts is monotone, so the pair-only prefix is a lower
+    // bound on the replayed spend at each pair charge).
+    let pair_charge = |ci: usize| {
+        let cstart = ci * CHUNK_SIZE;
+        let cend = (cstart + CHUNK_SIZE).min(n);
+        (cend - cstart) as f64 * inner_len * p.nl_pair
+    };
+    let mut reach = chunk_count;
+    if meter.budget.is_finite() {
+        let mut prefix = meter.spent;
+        for ci in 0..chunk_count {
+            prefix += pair_charge(ci);
+            if prefix > meter.budget {
+                reach = ci;
+                break;
+            }
+        }
+    }
+    let reach_rows = (reach * CHUNK_SIZE).min(n);
+    if reach_rows < 2 * par.morsel_rows() {
+        // Too little reachable work to amortise the pool; the sequential
+        // path does the same bounded work inline.
+        return Ok(None);
+    }
+
+    // Hoisted outer columns and gathered inner key values, exactly as the
+    // sequential chunked path hoists them.
+    let lcols: Vec<(usize, &[i64])> = edges
+        .iter()
+        .map(|e| {
+            (
+                outer.slot_of(e.left),
+                exec.column_slice(query, e.left, e.left_column),
+            )
+        })
+        .collect();
+    let ivals: Vec<Vec<i64>> = edges
+        .iter()
+        .map(|e| {
+            let icol = exec.column_slice(query, inner_rel, e.right_column);
+            inner.data.iter().map(|&row| icol[row as usize]).collect()
+        })
+        .collect();
+
+    let morsel_rows = par.morsel_rows();
+    let mcount = reach_rows.div_ceil(morsel_rows);
+    let parts = run_morsels(par.workers, mcount, |m| {
+        let start = m * morsel_rows;
+        let end = ((m + 1) * morsel_rows).min(reach_rows);
+        let mut out = MorselOut {
+            chunk_emits: Vec::with_capacity(par.morsel_chunks),
+            data: Vec::new(),
+        };
+        for cstart in (start..end).step_by(CHUNK_SIZE) {
+            let cend = (cstart + CHUNK_SIZE).min(end);
+            let before = out.data.len();
+            for i in cstart..cend {
+                let t = &outer.data[i * stride..(i + 1) * stride];
+                match &ivals[..] {
+                    // Single equi-join edge: stream the gathered inner keys.
+                    [only] => {
+                        let (slot, lcol) = lcols[0];
+                        let lv = lcol[t[slot] as usize];
+                        for (j, &rv) in only.iter().enumerate() {
+                            if rv == lv {
+                                out.data.extend_from_slice(t);
+                                out.data.push(inner.data[j]);
+                            }
+                        }
+                    }
+                    _ => {
+                        let lvs: Vec<i64> = lcols
+                            .iter()
+                            .map(|&(slot, lc)| lc[t[slot] as usize])
+                            .collect();
+                        for (j, &row) in inner.data.iter().enumerate() {
+                            if ivals.iter().zip(&lvs).all(|(iv, &lv)| iv[j] == lv) {
+                                out.data.extend_from_slice(t);
+                                out.data.push(row);
+                            }
+                        }
+                    }
+                }
+            }
+            out.chunk_emits
+                .push(((out.data.len() - before) / (stride + 1)) as u32);
+        }
+        out
+    });
+
+    // Replay in chunk order; the post-prefix pair charge is guaranteed to
+    // cross the budget, closing out the timeout with exact accounting.
+    let mut out = Vec::with_capacity(parts.iter().map(|pt| pt.data.len()).sum());
+    for (m, part) in parts.iter().enumerate() {
+        let start = m * morsel_rows;
+        let end = ((m + 1) * morsel_rows).min(reach_rows);
+        for (ci, cstart) in (start..end).step_by(CHUNK_SIZE).enumerate() {
+            let chunk_idx = cstart / CHUNK_SIZE;
+            debug_assert_eq!(chunk_idx, start / CHUNK_SIZE + ci);
+            meter.charge(pair_charge(chunk_idx))?;
+            replay_emits(meter, part.chunk_emits[ci] as usize, p.output_tuple)?;
+        }
+        out.extend_from_slice(&part.data);
+    }
+    if reach < chunk_count {
+        meter.charge(pair_charge(reach))?;
+        unreachable!("pair-charge prefix predicted a timeout at chunk {reach}");
+    }
+    Ok(Some(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(workers: usize) -> ParallelConfig {
+        ParallelConfig {
+            workers,
+            morsel_chunks: 1,
+            ..ParallelConfig::default()
+        }
+    }
+
+    #[test]
+    fn partitioned_build_preserves_candidate_order() {
+        // Keys 0..=7 cycling over 40_000 rows: every candidate list must be
+        // ascending (build order), whichever partition or table it lands in.
+        let icol: Vec<i64> = (0..40_000).map(|i| i % 8).collect();
+        let rows: Vec<u32> = (0..40_000).collect();
+        let table = build_partitioned(&rows, &icol, cfg(4));
+        for k in 0..8 {
+            let cands = table.get(k).expect("key must be present");
+            assert_eq!(cands.len(), 5_000);
+            assert!(cands.windows(2).all(|w| w[0] < w[1]), "order lost for {k}");
+        }
+        assert!(table.get(99).is_none());
+    }
+
+    #[test]
+    fn hot_keys_are_broadcast() {
+        // One key owns 40% of the build: it must cross the default 1/64
+        // threshold and move to the broadcast table.
+        let icol: Vec<i64> = (0..10_000)
+            .map(|i| if i % 5 < 2 { 7 } else { 10_000 + i } as i64)
+            .collect();
+        let rows: Vec<u32> = (0..10_000).collect();
+        let table = build_partitioned(&rows, &icol, cfg(2));
+        assert!(table.hot_keys() >= 1, "the 40% key must be hot");
+        assert_eq!(table.get(7).unwrap().len(), 4_000);
+        // Cold keys still resolve through their partition.
+        assert_eq!(table.get(10_004).unwrap(), &vec![4u32]);
+    }
+
+    #[test]
+    fn forced_replication_moves_every_key() {
+        let icol: Vec<i64> = (0..5_000).map(|i| i % 100).collect();
+        let rows: Vec<u32> = (0..5_000).collect();
+        let force = ParallelConfig {
+            workers: 2,
+            morsel_chunks: 1,
+            hot_key_fraction: 0.0,
+            hot_key_min: 1,
+        };
+        let table = build_partitioned(&rows, &icol, force);
+        assert_eq!(table.hot_keys(), 100, "threshold 1 broadcasts every key");
+        for pmap in &table.parts {
+            assert!(pmap.is_empty());
+        }
+        assert_eq!(table.get(3).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn replay_matches_batch_charge_sequence() {
+        // Replay must reproduce BatchCharge's add(1)* + flush sequence
+        // bit-for-bit for counts around the quantum boundary.
+        for count in [0usize, 1, 1023, 1024, 1025, 5000] {
+            let unit = 0.37;
+            let mut a = WorkMeter {
+                spent: 1.25,
+                budget: f64::INFINITY,
+            };
+            let mut b = WorkMeter {
+                spent: 1.25,
+                budget: f64::INFINITY,
+            };
+            replay_emits(&mut a, count, unit).unwrap();
+            let mut emits = crate::exec::BatchCharge::new(unit);
+            for _ in 0..count {
+                emits.emitted(&mut b).unwrap();
+            }
+            emits.flush(&mut b).unwrap();
+            assert_eq!(a.spent.to_bits(), b.spent.to_bits(), "count={count}");
+        }
+    }
+}

@@ -8,5 +8,5 @@
 pub mod graph;
 pub mod predicate;
 
-pub use graph::{JoinEdge, Query, QueryBuilder, Relation};
+pub use graph::{AggFunc, AggSpec, ColRef, JoinEdge, Query, QueryBuilder, Relation};
 pub use predicate::Predicate;

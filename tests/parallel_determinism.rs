@@ -1,0 +1,130 @@
+//! Differential property tests for the morsel-driven parallel engine: at
+//! every worker count the chunked engine must be indistinguishable from its
+//! own single-threaded run and from the scalar reference — same result
+//! tuples in the same order, bit-identical work-unit latency, and identical
+//! timeout accounting — across all five workloads. The workloads here are
+//! built at a larger scale than `chunked_equivalence` so the fact tables
+//! clear the parallel dispatch threshold (2 morsels) and the worker pool,
+//! partitioned hash joins and hot-key broadcast actually engage; a forced-
+//! replication configuration (every build key broadcast) is compared too,
+//! which bites hardest on the heavy-tailed `skewstress` workload.
+
+use foss_repro::executor::{ExecMode, Executor, ParallelConfig};
+use foss_repro::prelude::*;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One instance of each registered workload, shared across cases. Scale 0.3
+/// puts thousands of rows in the fact tables — several morsels' worth.
+fn workloads() -> &'static Vec<Workload> {
+    static WL: OnceLock<Vec<Workload>> = OnceLock::new();
+    WL.get_or_init(|| {
+        WORKLOAD_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                Workload::by_name(
+                    name,
+                    WorkloadSpec {
+                        seed: 21 + i as u64,
+                        scale: 0.3,
+                    },
+                )
+                .unwrap()
+            })
+            .collect()
+    })
+}
+
+/// The configurations under test: 1, 2 and 4 workers on single-chunk
+/// morsels, plus a 4-worker config with hot-key replication forced on for
+/// every build key (threshold floor of one row).
+fn configs() -> [ParallelConfig; 4] {
+    let base = ParallelConfig {
+        workers: 1,
+        morsel_chunks: 1,
+        ..ParallelConfig::sequential()
+    };
+    [
+        base,
+        ParallelConfig { workers: 2, ..base },
+        ParallelConfig { workers: 4, ..base },
+        ParallelConfig {
+            workers: 4,
+            hot_key_fraction: 0.0,
+            hot_key_min: 1,
+            ..base
+        },
+    ]
+}
+
+/// Guard against silently testing nothing: the chosen scale must put at
+/// least one table in every workload past the parallel dispatch threshold
+/// (2 single-chunk morsels = 2048 rows), so the worker pool really engages.
+#[test]
+fn workloads_clear_the_parallel_dispatch_threshold() {
+    for (wl, name) in workloads().iter().zip(WORKLOAD_NAMES) {
+        let max_rows = wl.db.stats().iter().map(|s| s.row_count).max().unwrap();
+        assert!(
+            max_rows >= 2048,
+            "{name}: largest table has {max_rows} rows — below the parallel threshold"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Parallel == single-threaded chunked == scalar, on the expert plan:
+    /// full results unbounded, then timeout accounting under a budget a
+    /// third of the true latency.
+    #[test]
+    fn parallel_engine_is_bit_identical(
+        wl_idx in 0usize..WORKLOAD_NAMES.len(),
+        q_pick in 0usize..10_000,
+    ) {
+        let wl = &workloads()[wl_idx];
+        let split = if q_pick % 2 == 0 { &wl.train } else { &wl.test };
+        let query = &split[(q_pick / 2) % split.len()];
+        let cost = *wl.optimizer.cost_model();
+        let plan = wl.optimizer.optimize(query).unwrap();
+
+        let chunked = Executor::with_mode(&wl.db, cost, ExecMode::Chunked)
+            .with_parallelism(ParallelConfig::sequential());
+        let scalar = Executor::with_mode(&wl.db, cost, ExecMode::Scalar);
+        let (co, cr) = chunked.execute_rows(query, &plan, None).unwrap();
+        let (so, sr) = scalar.execute_rows(query, &plan, None).unwrap();
+        prop_assert_eq!(co, so);
+        prop_assert_eq!(&cr.rels, &sr.rels);
+        prop_assert_eq!(&cr.data, &sr.data);
+
+        let tight = Some(co.latency / 3.0);
+        let FossError::Timeout { spent: ts, budget: tb } =
+            chunked.execute_rows(query, &plan, tight).unwrap_err()
+        else {
+            panic!("budget below the true latency must time out");
+        };
+
+        for par in configs() {
+            let pex = Executor::with_mode(&wl.db, cost, ExecMode::Chunked)
+                .with_parallelism(par);
+            let (po, pr) = pex.execute_rows(query, &plan, None).unwrap();
+            prop_assert_eq!(
+                po.latency.to_bits(),
+                co.latency.to_bits(),
+                "latency diverged at {:?}",
+                par
+            );
+            prop_assert_eq!(po.rows, co.rows);
+            prop_assert_eq!(&pr.rels, &cr.rels);
+            prop_assert_eq!(&pr.data, &cr.data, "tuples diverged at {:?}", par);
+
+            let FossError::Timeout { spent, budget } =
+                pex.execute_rows(query, &plan, tight).unwrap_err()
+            else {
+                panic!("budget below the true latency must time out");
+            };
+            prop_assert_eq!((spent, budget), (ts, tb), "timeout accounting diverged at {:?}", par);
+        }
+    }
+}
