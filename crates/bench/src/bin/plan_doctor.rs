@@ -18,12 +18,21 @@
 //! `--rounds <n>` training rounds (default 1), `--budget-us <f64>`
 //! per-query planning budget (default: none), `--max-in-flight <n>`
 //! admission ceiling (default 16).
+//!
+//! Robustness flags: `--faults <spec>` — a deterministic fault plan in the
+//! [`foss_common::faults`] grammar (`site:rate[@param][#max];...;seed=N`),
+//! overriding the `FOSS_FAULTS` environment variable; `--priority-mix
+//! <f64>` — fraction of submissions tagged [`foss_service::Priority::Low`]
+//! (default 0, deterministic by submission index); `--deadline-us <f64>` —
+//! end-to-end deadline attached to every request (default: none). Shed
+//! requests are counted, not fatal; the summary line reports them.
 
 use std::sync::Arc;
 
+use foss_common::{FaultPlan, FossError};
 use foss_core::FossConfig;
 use foss_harness::{Experiment, FossAdapter};
-use foss_service::{PlanDoctor, QueryRequest, ServiceConfig};
+use foss_service::{PlanDoctor, Priority, QueryRequest, ServiceConfig};
 use foss_workloads::WorkloadSpec;
 
 struct Args {
@@ -34,6 +43,9 @@ struct Args {
     rounds: usize,
     budget_us: Option<f64>,
     max_in_flight: usize,
+    faults: Option<String>,
+    priority_mix: f64,
+    deadline_us: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +61,9 @@ fn parse_args() -> Args {
         rounds: 1,
         budget_us: None,
         max_in_flight: 16,
+        faults: None,
+        priority_mix: 0.0,
+        deadline_us: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -69,12 +84,42 @@ fn parse_args() -> Args {
             "--max-in-flight" => {
                 args.max_in_flight = value(i).parse().expect("--max-in-flight must be a count")
             }
+            "--faults" => args.faults = Some(value(i).to_string()),
+            "--priority-mix" => {
+                args.priority_mix = value(i)
+                    .parse()
+                    .expect("--priority-mix must be a fraction in [0, 1]")
+            }
+            "--deadline-us" => {
+                args.deadline_us = Some(value(i).parse().expect("--deadline-us must be a number"))
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 2;
     }
     assert!(args.threads > 0, "--threads must be positive");
+    assert!(
+        (0.0..=1.0).contains(&args.priority_mix),
+        "--priority-mix must be a fraction in [0, 1]"
+    );
     args
+}
+
+/// The fault plan in effect: `--faults` beats `FOSS_FAULTS`, neither means
+/// none. An invalid spec exits with the parser's readable message (which
+/// lists the valid site names) rather than a panic backtrace.
+fn fault_plan(args: &Args) -> Option<Arc<FaultPlan>> {
+    let parsed = match &args.faults {
+        Some(spec) => FaultPlan::parse(spec, 42).map(Some),
+        None => FaultPlan::from_env(),
+    };
+    match parsed {
+        Ok(plan) => plan.map(Arc::new),
+        Err(msg) => {
+            eprintln!("plan-doctor: {msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -109,7 +154,7 @@ fn main() {
             .train_round(&exp.workload.train)
             .unwrap_or_else(|e| panic!("training round {round} failed: {e}"));
     }
-    let doctor = Arc::new(PlanDoctor::new(
+    let mut doctor = PlanDoctor::new(
         adapter.snapshot().as_ref().clone(),
         exp.executor.clone(),
         ServiceConfig {
@@ -117,7 +162,12 @@ fn main() {
             planning_budget_us: args.budget_us,
             ..ServiceConfig::default()
         },
-    ));
+    );
+    if let Some(faults) = fault_plan(&args) {
+        println!("plan-doctor: chaos mode, fault plan attached");
+        doctor = doctor.with_fault_plan(faults);
+    }
+    let doctor = Arc::new(doctor);
 
     // N worker threads submit the test split round-robin until `queries`
     // total submissions have completed.
@@ -135,11 +185,26 @@ fn main() {
                         break;
                     }
                     let query = pool[idx % pool.len()].clone();
-                    match doctor.submit(QueryRequest::new(query)) {
+                    let mut req = QueryRequest::new(query);
+                    // Deterministic priority assignment: submission index
+                    // modulo 100 against the mix percentage, so the same
+                    // flags always tag the same requests low.
+                    if ((idx % 100) as f64) < args.priority_mix * 100.0 {
+                        req = req.with_priority(Priority::Low);
+                    }
+                    if let Some(d) = args.deadline_us {
+                        req = req.with_deadline_us(d);
+                    }
+                    match doctor.submit(req) {
                         Ok(d) => {
                             if d.fallback {
                                 println!("  worker {t}: query {idx} fell back ({:?})", d.reason);
                             }
+                        }
+                        // Shedding is the service working as designed under
+                        // overload, not a harness failure.
+                        Err(e @ FossError::Overloaded { .. }) => {
+                            println!("  worker {t}: query {idx} shed ({e})");
                         }
                         Err(e) => panic!("submit failed: {e}"),
                     }

@@ -31,6 +31,19 @@ pub enum FossError {
     Numeric(String),
     /// Model (de)serialisation failure.
     Serde(String),
+    /// A transient infrastructure failure (injected by the fault layer or a
+    /// genuinely retryable executor hiccup). Callers with budget left are
+    /// expected to retry; everything else treats it as an ordinary error.
+    Transient(String),
+    /// A request was shed by admission control before doing any work: the
+    /// service was saturated and the request's class/deadline did not allow
+    /// it to keep waiting.
+    Overloaded {
+        /// Whether the shed request was low-priority (low sheds first).
+        low_priority: bool,
+        /// Wall-clock time the request spent queued before being shed (µs).
+        waited_us: u64,
+    },
 }
 
 impl fmt::Display for FossError {
@@ -48,6 +61,17 @@ impl fmt::Display for FossError {
             }
             FossError::Numeric(m) => write!(f, "numeric error: {m}"),
             FossError::Serde(m) => write!(f, "serialisation error: {m}"),
+            FossError::Transient(m) => write!(f, "transient failure: {m}"),
+            FossError::Overloaded {
+                low_priority,
+                waited_us,
+            } => {
+                let class = if *low_priority { "low" } else { "high" };
+                write!(
+                    f,
+                    "overloaded: {class}-priority request shed after waiting {waited_us}µs"
+                )
+            }
         }
     }
 }
@@ -68,6 +92,20 @@ mod tests {
             e.to_string(),
             "execution timed out: spent 10 work units of budget 5"
         );
+    }
+
+    #[test]
+    fn display_formats_overload_and_transient() {
+        let e = FossError::Overloaded {
+            low_priority: true,
+            waited_us: 250,
+        };
+        assert_eq!(
+            e.to_string(),
+            "overloaded: low-priority request shed after waiting 250µs"
+        );
+        let t = FossError::Transient("injected cache fault".into());
+        assert!(t.to_string().contains("transient failure"));
     }
 
     #[test]

@@ -1,0 +1,513 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded, shared description of which failure sites
+//! misbehave, how often, and for how long. Components that can fail
+//! (the caching executor, the `PlanDoctor` service) hold an
+//! `Option<Arc<FaultPlan>>` and consult it with [`FaultPlan::roll`] at each
+//! *fault site*; with no plan attached the hook is a branch on `None` and
+//! the code path is byte-for-byte the production one.
+//!
+//! Decisions are **deterministic**: the `n`-th event at a site injects iff
+//! a hash of `(seed, site, n)` lands below the site's rate. Replaying the
+//! same request sequence against the same plan reproduces the same faults
+//! bit-for-bit, which is what lets the chaos suite assert exact
+//! degradation/recovery envelopes instead of flaky probabilities.
+//!
+//! # `FOSS_FAULTS` grammar
+//!
+//! Plans can be parsed from a compact spec (the `FOSS_FAULTS` environment
+//! variable and the `plan-doctor --faults` flag both use it):
+//!
+//! ```text
+//! spec  := entry (';' entry)*
+//! entry := 'seed=' <u64>
+//!        | <site> ':' <rate> ('@' <param>)? ('#' <max>)?
+//! site  := plan_stall | exec_timeout | exec_error
+//!        | cache_error | exec_slow | publish_fail
+//! ```
+//!
+//! * `rate` — injection probability per event, in `[0, 1]`.
+//! * `@param` — site parameter: stall/slowdown duration in µs for
+//!   `plan_stall` / `exec_slow`; ignored elsewhere.
+//! * `#max` — stop after `max` injections (a *burst*: the site heals once
+//!   the budget is spent, which is how recovery tests end their storms).
+//!
+//! Example: `plan_stall:1.0@5000#8;exec_error:0.25;seed=7` — the first 8
+//! planning events stall 5 ms each, and every execution independently has a
+//! 25 % chance of a transient error, all derived from seed 7.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::rng::SeedStream;
+
+/// Places in the pipeline where a [`FaultPlan`] can inject a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Planning stalls for `param` µs (a real sleep inside the measured
+    /// planning window — drives planning-budget/deadline overruns).
+    PlanStall,
+    /// The doctored plan's execution reports a budget timeout without
+    /// running (the service falls back to the expert plan).
+    ExecTimeout,
+    /// The doctored plan's execution fails with a transient error
+    /// (retryable; exhausted retries fall back to the expert plan).
+    ExecError,
+    /// The cache layer fails the lookup with a transient error before any
+    /// execution happens.
+    CacheError,
+    /// Every (real or cached) execution is slowed by `param` µs of
+    /// wall-clock sleep; metered work-unit latencies are untouched.
+    ExecSlow,
+    /// A snapshot publish is rejected; the service keeps serving the
+    /// previous generation.
+    PublishFail,
+}
+
+/// Every site, in the order used for internal indexing.
+pub const FAULT_SITES: [FaultSite; 6] = [
+    FaultSite::PlanStall,
+    FaultSite::ExecTimeout,
+    FaultSite::ExecError,
+    FaultSite::CacheError,
+    FaultSite::ExecSlow,
+    FaultSite::PublishFail,
+];
+
+impl FaultSite {
+    /// The spec-grammar name of this site.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::PlanStall => "plan_stall",
+            FaultSite::ExecTimeout => "exec_timeout",
+            FaultSite::ExecError => "exec_error",
+            FaultSite::CacheError => "cache_error",
+            FaultSite::ExecSlow => "exec_slow",
+            FaultSite::PublishFail => "publish_fail",
+        }
+    }
+
+    fn by_name(name: &str) -> Option<Self> {
+        FAULT_SITES.iter().copied().find(|s| s.name() == name)
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// How one site misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRule {
+    /// Injection probability per event, in `[0, 1]`.
+    pub rate: f64,
+    /// Site-specific parameter (stall/slowdown µs; 0 where unused).
+    pub param: f64,
+    /// Inject at most this many times (`None` = unbounded).
+    pub max_injections: Option<u64>,
+}
+
+impl FaultRule {
+    /// An always-firing rule with no parameter and no burst bound.
+    pub fn always() -> Self {
+        Self {
+            rate: 1.0,
+            param: 0.0,
+            max_injections: None,
+        }
+    }
+}
+
+/// Per-site counters, snapshotted by [`FaultPlan::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Events that consulted the plan (per site, [`FAULT_SITES`] order).
+    pub events: [u64; FAULT_SITES.len()],
+    /// Faults actually injected (per site, [`FAULT_SITES`] order).
+    pub injected: [u64; FAULT_SITES.len()],
+}
+
+impl FaultStats {
+    /// Total faults injected across every site.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Injections performed at `site`.
+    pub fn injected_at(&self, site: FaultSite) -> u64 {
+        self.injected[site.index()]
+    }
+}
+
+/// A seeded, shareable description of which fault sites misbehave.
+///
+/// Construct with [`FaultPlan::none`], [`FaultPlan::builder`],
+/// [`FaultPlan::parse`] or [`FaultPlan::from_env`]; attach behind an
+/// `Option<Arc<FaultPlan>>` so disabled hooks stay zero-cost.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: SeedStream,
+    rules: [Option<FaultRule>; FAULT_SITES.len()],
+    events: [AtomicU64; FAULT_SITES.len()],
+    injected: [AtomicU64; FAULT_SITES.len()],
+}
+
+impl FaultPlan {
+    fn with_rules(seed: u64, rules: [Option<FaultRule>; FAULT_SITES.len()]) -> Self {
+        Self {
+            seed: SeedStream::new(seed).substream("faults"),
+            rules,
+            events: Default::default(),
+            injected: Default::default(),
+        }
+    }
+
+    /// A plan that never injects anything. Attaching it must be
+    /// indistinguishable from attaching no plan at all (the
+    /// fault-transparency proptest holds the workspace to that).
+    pub fn none() -> Self {
+        Self::with_rules(0, Default::default())
+    }
+
+    /// Start building a plan rooted at `seed`.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            seed,
+            rules: Default::default(),
+        }
+    }
+
+    /// Whether any site has a rule (used to short-circuit reporting, never
+    /// correctness: `roll` is already a no-op without rules).
+    pub fn is_active(&self) -> bool {
+        self.rules.iter().any(Option::is_some)
+    }
+
+    /// Consult the plan for the next event at `site`. Returns the rule to
+    /// apply when a fault should be injected, `None` otherwise.
+    pub fn roll(&self, site: FaultSite) -> Option<FaultRule> {
+        let i = site.index();
+        let rule = self.rules[i]?;
+        let n = self.events[i].fetch_add(1, Ordering::Relaxed);
+        // Hash (seed, site, n) to a uniform in [0, 1).
+        let u = (self.seed.derive_indexed(site.name(), n) >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= rule.rate {
+            return None;
+        }
+        match rule.max_injections {
+            None => {
+                self.injected[i].fetch_add(1, Ordering::Relaxed);
+            }
+            Some(max) => {
+                // Claim one injection slot atomically so a burst never
+                // over-fires under concurrent rolls.
+                let claimed = self.injected[i]
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                        (v < max).then_some(v + 1)
+                    })
+                    .is_ok();
+                if !claimed {
+                    return None;
+                }
+            }
+        }
+        Some(rule)
+    }
+
+    /// Counters so far (events seen and faults injected, per site).
+    pub fn stats(&self) -> FaultStats {
+        let mut s = FaultStats::default();
+        for i in 0..FAULT_SITES.len() {
+            s.events[i] = self.events[i].load(Ordering::Relaxed);
+            s.injected[i] = self.injected[i].load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Parse the [`FOSS_FAULTS` grammar](self) into a plan.
+    /// `default_seed` applies unless the spec carries a `seed=` entry.
+    /// Errors are human-readable (the `plan-doctor` bin prints them
+    /// verbatim and exits non-zero).
+    pub fn parse(spec: &str, default_seed: u64) -> std::result::Result<FaultPlan, String> {
+        let mut seed = default_seed;
+        let mut rules: [Option<FaultRule>; FAULT_SITES.len()] = Default::default();
+        for raw in spec.split(';') {
+            let entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            if let Some(v) = entry.strip_prefix("seed=") {
+                seed = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("invalid fault spec: seed must be a u64, got `{v}`"))?;
+                continue;
+            }
+            let (site_name, rest) = entry.split_once(':').ok_or_else(|| {
+                format!("invalid fault spec entry `{entry}`: expected `site:rate[@param][#max]`")
+            })?;
+            let site = FaultSite::by_name(site_name.trim()).ok_or_else(|| {
+                let valid: Vec<_> = FAULT_SITES.iter().map(|s| s.name()).collect();
+                format!(
+                    "invalid fault spec: unknown site `{}` (valid sites: {})",
+                    site_name.trim(),
+                    valid.join(", ")
+                )
+            })?;
+            let (rest, max_injections) = match rest.split_once('#') {
+                Some((head, max)) => {
+                    let max = max.trim().parse().map_err(|_| {
+                        format!("invalid fault spec entry `{entry}`: `#max` must be a count")
+                    })?;
+                    (head, Some(max))
+                }
+                None => (rest, None),
+            };
+            let (rate_str, param) = match rest.split_once('@') {
+                Some((rate, param)) => {
+                    let param: f64 = param.trim().parse().map_err(|_| {
+                        format!("invalid fault spec entry `{entry}`: `@param` must be a number")
+                    })?;
+                    (rate, param)
+                }
+                None => (rest, 0.0),
+            };
+            let rate: f64 = rate_str.trim().parse().map_err(|_| {
+                format!("invalid fault spec entry `{entry}`: rate must be a number in [0, 1]")
+            })?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!(
+                    "invalid fault spec entry `{entry}`: rate {rate} outside [0, 1]"
+                ));
+            }
+            rules[site.index()] = Some(FaultRule {
+                rate,
+                param,
+                max_injections,
+            });
+        }
+        Ok(FaultPlan::with_rules(seed, rules))
+    }
+
+    /// Parse the `FOSS_FAULTS` environment variable, if set. `Ok(None)`
+    /// when unset or blank; `Err` carries the readable parse failure.
+    pub fn from_env() -> std::result::Result<Option<FaultPlan>, String> {
+        match std::env::var("FOSS_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec, 42).map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Builder returned by [`FaultPlan::builder`].
+#[derive(Debug)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    rules: [Option<FaultRule>; FAULT_SITES.len()],
+}
+
+impl FaultPlanBuilder {
+    /// Inject at `site` with probability `rate` (no parameter, unbounded).
+    #[must_use]
+    pub fn fault(self, site: FaultSite, rate: f64) -> Self {
+        self.rule(
+            site,
+            FaultRule {
+                rate,
+                param: 0.0,
+                max_injections: None,
+            },
+        )
+    }
+
+    /// Inject at `site` with probability `rate` and site parameter `param`.
+    #[must_use]
+    pub fn fault_param(self, site: FaultSite, rate: f64, param: f64) -> Self {
+        self.rule(
+            site,
+            FaultRule {
+                rate,
+                param,
+                max_injections: None,
+            },
+        )
+    }
+
+    /// Full-control rule installation.
+    #[must_use]
+    pub fn rule(mut self, site: FaultSite, rule: FaultRule) -> Self {
+        self.rules[site.index()] = Some(rule);
+        self
+    }
+
+    /// Cap the number of injections at `site` (a burst that then heals).
+    ///
+    /// # Panics
+    /// If no rule was installed at `site` first.
+    #[must_use]
+    pub fn burst(mut self, site: FaultSite, max: u64) -> Self {
+        let rule = self.rules[site.index()]
+            .as_mut()
+            .expect("burst() requires a rule at the site first");
+        rule.max_injections = Some(max);
+        self
+    }
+
+    /// Finish the plan.
+    pub fn build(self) -> FaultPlan {
+        FaultPlan::with_rules(self.seed, self.rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_injects_and_counts_no_events() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        for site in FAULT_SITES {
+            for _ in 0..10 {
+                assert_eq!(plan.roll(site), None);
+            }
+        }
+        assert_eq!(plan.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn rate_one_always_injects_and_counts() {
+        let plan = FaultPlan::builder(1)
+            .fault(FaultSite::ExecError, 1.0)
+            .build();
+        assert!(plan.is_active());
+        for _ in 0..5 {
+            assert!(plan.roll(FaultSite::ExecError).is_some());
+        }
+        assert_eq!(plan.roll(FaultSite::ExecTimeout), None, "other sites idle");
+        let s = plan.stats();
+        assert_eq!(s.injected_at(FaultSite::ExecError), 5);
+        assert_eq!(s.injected_total(), 5);
+        assert_eq!(s.events[FaultSite::ExecError.index()], 5);
+        assert_eq!(s.events[FaultSite::ExecTimeout.index()], 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_across_plans() {
+        let mk = || {
+            FaultPlan::builder(99)
+                .fault(FaultSite::CacheError, 0.3)
+                .build()
+        };
+        let (a, b) = (mk(), mk());
+        let seq_a: Vec<bool> = (0..200)
+            .map(|_| a.roll(FaultSite::CacheError).is_some())
+            .collect();
+        let seq_b: Vec<bool> = (0..200)
+            .map(|_| b.roll(FaultSite::CacheError).is_some())
+            .collect();
+        assert_eq!(seq_a, seq_b, "same seed must replay the same faults");
+        let hits = seq_a.iter().filter(|&&h| h).count();
+        assert!(
+            (20..=90).contains(&hits),
+            "rate 0.3 over 200 events should land near 60, got {hits}"
+        );
+    }
+
+    #[test]
+    fn seeds_change_the_injection_pattern() {
+        let a = FaultPlan::builder(1)
+            .fault(FaultSite::ExecError, 0.5)
+            .build();
+        let b = FaultPlan::builder(2)
+            .fault(FaultSite::ExecError, 0.5)
+            .build();
+        let seq = |p: &FaultPlan| -> Vec<bool> {
+            (0..64)
+                .map(|_| p.roll(FaultSite::ExecError).is_some())
+                .collect()
+        };
+        assert_ne!(seq(&a), seq(&b));
+    }
+
+    #[test]
+    fn bursts_stop_after_max_injections() {
+        let plan = FaultPlan::builder(3)
+            .fault(FaultSite::PublishFail, 1.0)
+            .burst(FaultSite::PublishFail, 3)
+            .build();
+        let fired: Vec<bool> = (0..10)
+            .map(|_| plan.roll(FaultSite::PublishFail).is_some())
+            .collect();
+        let expected: Vec<bool> = (0..10).map(|i| i < 3).collect();
+        assert_eq!(fired, expected);
+        assert_eq!(plan.stats().injected_at(FaultSite::PublishFail), 3);
+    }
+
+    #[test]
+    fn burst_cap_holds_under_concurrent_rolls() {
+        let plan = FaultPlan::builder(4)
+            .fault(FaultSite::ExecError, 1.0)
+            .burst(FaultSite::ExecError, 16)
+            .build();
+        let injected: usize = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let plan = &plan;
+                    scope.spawn(move || {
+                        (0..100)
+                            .filter(|_| plan.roll(FaultSite::ExecError).is_some())
+                            .count()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(injected, 16, "burst budget must never over-fire");
+    }
+
+    #[test]
+    fn grammar_round_trips() {
+        let plan = FaultPlan::parse("plan_stall:1.0@5000#8; exec_error:0.25; seed=7", 42).unwrap();
+        assert_eq!(
+            plan.rules[FaultSite::PlanStall.index()],
+            Some(FaultRule {
+                rate: 1.0,
+                param: 5000.0,
+                max_injections: Some(8),
+            })
+        );
+        assert_eq!(
+            plan.rules[FaultSite::ExecError.index()],
+            Some(FaultRule {
+                rate: 0.25,
+                param: 0.0,
+                max_injections: None,
+            })
+        );
+        assert_eq!(plan.seed.root(), SeedStream::new(7).derive("faults"));
+    }
+
+    #[test]
+    fn grammar_rejects_garbage_readably() {
+        let unknown = FaultPlan::parse("planstall:1.0", 1).unwrap_err();
+        assert!(unknown.contains("unknown site `planstall`"));
+        assert!(
+            unknown.contains("plan_stall"),
+            "error must list valid sites"
+        );
+        let rate = FaultPlan::parse("exec_error:1.5", 1).unwrap_err();
+        assert!(rate.contains("outside [0, 1]"));
+        let shape = FaultPlan::parse("exec_error", 1).unwrap_err();
+        assert!(shape.contains("expected `site:rate"));
+        let seed = FaultPlan::parse("seed=notanumber", 1).unwrap_err();
+        assert!(seed.contains("seed must be a u64"));
+    }
+
+    #[test]
+    fn empty_spec_parses_to_inactive_plan() {
+        let plan = FaultPlan::parse("  ", 1).unwrap();
+        assert!(!plan.is_active());
+    }
+}

@@ -6,6 +6,7 @@
 //! workspace-wide error type.
 
 pub mod error;
+pub mod faults;
 pub mod hash;
 pub mod ids;
 pub mod par;
@@ -13,6 +14,7 @@ pub mod rng;
 pub mod stats;
 
 pub use error::{FossError, Result};
+pub use faults::{FaultPlan, FaultPlanBuilder, FaultRule, FaultSite, FaultStats, FAULT_SITES};
 pub use hash::{fx_hash_one, FxHashMap, FxHashSet};
 pub use ids::{ColumnId, QueryId, TableId};
 pub use par::{env_workers, run_morsels, run_sharded};

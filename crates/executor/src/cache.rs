@@ -18,7 +18,7 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
 
 use parking_lot::Mutex;
 
-use foss_common::{FossError, FxHashMap, FxHashSet, QueryId, Result};
+use foss_common::{FaultPlan, FaultSite, FossError, FxHashMap, FxHashSet, QueryId, Result};
 use foss_optimizer::{CostModel, PhysicalPlan};
 use foss_query::Query;
 
@@ -206,6 +206,10 @@ pub struct CachingExecutor {
     inflight_cv: Condvar,
     executions: AtomicU64,
     hits: AtomicU64,
+    /// Deterministic fault hooks ([`FaultSite::CacheError`] /
+    /// [`FaultSite::ExecSlow`]); `None` in production, where the hook is a
+    /// single branch on the option.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// RAII claim on an in-flight key: released (with waiters woken) on drop, so
@@ -240,6 +244,7 @@ impl CachingExecutor {
             inflight_cv: Condvar::new(),
             executions: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            faults: None,
         }
     }
 
@@ -281,6 +286,7 @@ impl CachingExecutor {
             inflight_cv: Condvar::new(),
             executions: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            faults: None,
         }
     }
 
@@ -298,6 +304,19 @@ impl CachingExecutor {
     /// The executor engine misses run on.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// Attach a deterministic fault plan (chainable). Each `execute` call
+    /// then consults [`FaultSite::CacheError`] (fail the lookup with a
+    /// transient error before any work) and [`FaultSite::ExecSlow`]
+    /// (wall-clock sleep of the rule's `param` µs — metered work-unit
+    /// latencies are deliberately untouched so cached outcomes stay
+    /// bit-identical). Chaos harnesses use this; production never attaches
+    /// a plan and pays one `Option` branch.
+    #[must_use]
+    pub fn with_fault_plan(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Lock the in-flight key set, shrugging off poisoning: the set's
@@ -372,6 +391,16 @@ impl CachingExecutor {
         plan: &PhysicalPlan,
         budget: Option<f64>,
     ) -> Result<ExecOutcome> {
+        if let Some(faults) = &self.faults {
+            if faults.roll(FaultSite::CacheError).is_some() {
+                return Err(FossError::Transient(
+                    "injected cache-layer fault".to_string(),
+                ));
+            }
+            if let Some(rule) = faults.roll(FaultSite::ExecSlow) {
+                std::thread::sleep(std::time::Duration::from_micros(rule.param as u64));
+            }
+        }
         let key = (query.id, plan.fingerprint());
         let claim = loop {
             if let Some(res) = self.lookup(key, budget) {
@@ -884,6 +913,47 @@ mod tests {
             out.latency
         );
         assert_eq!(cx.executions(), 1);
+    }
+
+    #[test]
+    fn injected_cache_errors_are_transient_and_deterministic() {
+        use foss_common::{FaultPlan, FaultSite};
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let faults = Arc::new(
+            FaultPlan::builder(11)
+                .fault(FaultSite::CacheError, 1.0)
+                .burst(FaultSite::CacheError, 2)
+                .build(),
+        );
+        let cx = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model())
+            .with_fault_plan(faults.clone());
+        // The burst: two transient failures, no execution happened.
+        for _ in 0..2 {
+            let err = cx.execute(&q, &plan, None).unwrap_err();
+            assert!(matches!(err, FossError::Transient(_)), "got {err}");
+        }
+        assert_eq!(cx.stats().executions, 0, "faulted lookups must not run");
+        // Healed: the plan executes normally and the cache works again.
+        let out = cx.execute(&q, &plan, None).unwrap();
+        assert_eq!(cx.execute(&q, &plan, None).unwrap(), out);
+        let s = cx.stats();
+        assert_eq!((s.executions, s.hits), (1, 1));
+        assert_eq!(faults.stats().injected_at(FaultSite::CacheError), 2);
+    }
+
+    #[test]
+    fn inactive_fault_plan_changes_nothing() {
+        use foss_common::FaultPlan;
+        let (db, opt, q) = setup();
+        let plan = opt.optimize(&q).unwrap();
+        let plain = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model());
+        let faulted = CachingExecutor::new(Arc::new(db.clone()), *opt.cost_model())
+            .with_fault_plan(Arc::new(FaultPlan::none()));
+        let a = plain.execute(&q, &plan, None).unwrap();
+        let b = faulted.execute(&q, &plan, None).unwrap();
+        assert_eq!(a, b, "FaultPlan::none() must be invisible");
+        assert_eq!(plain.stats(), faulted.stats());
     }
 
     #[test]

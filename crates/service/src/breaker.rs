@@ -1,0 +1,404 @@
+//! Circuit breaker over the learned planning path.
+//!
+//! The per-query fallbacks in [`crate::PlanDoctor`] (budget, confidence,
+//! execution timeout) protect against *independent* bad decisions. When
+//! failures are **correlated** — a bad snapshot publish, a stalled
+//! executor, sustained overload — paying the learned-planning cost per
+//! query just to fall back every time is waste, and a poisoned snapshot
+//! keeps hurting until the next publish. The breaker closes that gap with
+//! the classic three-state machine:
+//!
+//! * **Closed** (healthy) — learned-path outcomes are recorded into a
+//!   sliding window; once the window holds at least
+//!   [`BreakerConfig::min_samples`] outcomes and the failure fraction
+//!   reaches [`BreakerConfig::failure_threshold`], the breaker *opens*.
+//! * **Open** (degraded) — requests bypass learned planning entirely and
+//!   are served the expert DP plan directly
+//!   ([`crate::FallbackReason::BreakerOpen`]): the safety net at zero
+//!   learned-path cost. After [`BreakerConfig::cooldown`] bypassed
+//!   requests the breaker moves to half-open. Cooldown is counted in
+//!   requests, not wall time, so chaos tests replay bit-identically.
+//! * **HalfOpen** (probing) — requests run the full learned path again as
+//!   *probes*. [`BreakerConfig::probes`] consecutive successes close the
+//!   breaker; any probe failure reopens it (and restarts the cooldown).
+//!
+//! The window is keyed to the snapshot generation: a publish resets the
+//! breaker to closed, because a new snapshot is a new failure domain (the
+//! usual reason the old one was failing).
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Breaker thresholds (all counted in requests — deterministic under a
+/// replayed submission sequence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding-window length of learned-path outcomes per generation.
+    pub window: usize,
+    /// Minimum outcomes in the window before the failure rate is judged.
+    pub min_samples: usize,
+    /// Failure fraction (in `[0, 1]`) at which the breaker opens.
+    pub failure_threshold: f64,
+    /// Bypassed requests served while open before probing starts.
+    pub cooldown: usize,
+    /// Consecutive successful probes required to close again.
+    pub probes: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            window: 32,
+            min_samples: 8,
+            failure_threshold: 0.5,
+            cooldown: 8,
+            probes: 3,
+        }
+    }
+}
+
+/// Where the breaker's state machine currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: learned planning runs normally.
+    Closed,
+    /// Degraded: learned planning is bypassed, expert plans are served.
+    Open,
+    /// Probing: learned planning runs again, under scrutiny.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case label for metrics lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// What the breaker decided for one admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Run the learned path normally (breaker closed).
+    Normal,
+    /// Run the learned path as a recovery probe (breaker half-open); the
+    /// outcome must be reported with `probe = true`.
+    Probe,
+    /// Skip the learned path and serve the expert plan directly.
+    Bypass,
+}
+
+/// Counters + state exported into [`crate::MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerView {
+    /// Current state.
+    pub state: BreakerState,
+    /// Total state transitions (open→half-open, half-open→closed, …).
+    pub transitions: u64,
+    /// Times the breaker has opened.
+    pub times_opened: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    /// Sliding window of learned-path outcomes (`true` = success).
+    window: VecDeque<bool>,
+    failures: usize,
+    /// Snapshot generation the window describes.
+    generation: u64,
+    /// Requests bypassed since the breaker opened.
+    bypassed: usize,
+    /// Consecutive successful probes while half-open.
+    probe_ok: usize,
+}
+
+/// The three-state breaker (see module docs). All methods take `&self`;
+/// one instance is shared by every submitting thread.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+    transitions: AtomicU64,
+    times_opened: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    ///
+    /// # Panics
+    /// If `window`, `min_samples`, `cooldown` or `probes` is zero, or the
+    /// failure threshold is outside `(0, 1]` — such configs would wedge
+    /// the state machine open or closed forever.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        assert!(cfg.window > 0, "breaker window must be positive");
+        assert!(
+            cfg.min_samples > 0 && cfg.min_samples <= cfg.window,
+            "breaker min_samples must be in 1..=window"
+        );
+        assert!(
+            cfg.failure_threshold > 0.0 && cfg.failure_threshold <= 1.0,
+            "breaker failure_threshold must be in (0, 1]"
+        );
+        assert!(cfg.cooldown > 0, "breaker cooldown must be positive");
+        assert!(cfg.probes > 0, "breaker probes must be positive");
+        Self {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                window: VecDeque::with_capacity(cfg.window),
+                failures: 0,
+                generation: 0,
+                bypassed: 0,
+                probe_ok: 0,
+            }),
+            transitions: AtomicU64::new(0),
+            times_opened: AtomicU64::new(0),
+        }
+    }
+
+    /// The thresholds in effect.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.cfg
+    }
+
+    fn transition(&self, inner: &mut Inner, to: BreakerState) {
+        if inner.state == to {
+            return;
+        }
+        inner.state = to;
+        self.transitions.fetch_add(1, Ordering::Relaxed);
+        if to == BreakerState::Open {
+            self.times_opened.fetch_add(1, Ordering::Relaxed);
+            inner.bypassed = 0;
+        }
+        if to == BreakerState::HalfOpen {
+            inner.probe_ok = 0;
+        }
+        if to == BreakerState::Closed {
+            inner.window.clear();
+            inner.failures = 0;
+        }
+    }
+
+    /// Forget everything if the served snapshot generation moved: a new
+    /// snapshot is a new failure domain and starts trusted (closed).
+    fn sync_generation(&self, inner: &mut Inner, generation: u64) {
+        if inner.generation != generation {
+            inner.generation = generation;
+            self.transition(inner, BreakerState::Closed);
+            // `transition` is a no-op when already closed, but the stale
+            // window must go either way.
+            inner.window.clear();
+            inner.failures = 0;
+            inner.probe_ok = 0;
+        }
+    }
+
+    /// Route one admitted request: normal, probe, or bypass.
+    pub fn admit(&self, generation: u64) -> BreakerDecision {
+        let mut inner = self.inner.lock();
+        self.sync_generation(&mut inner, generation);
+        match inner.state {
+            BreakerState::Closed => BreakerDecision::Normal,
+            BreakerState::HalfOpen => BreakerDecision::Probe,
+            BreakerState::Open => {
+                inner.bypassed += 1;
+                if inner.bypassed >= self.cfg.cooldown {
+                    self.transition(&mut inner, BreakerState::HalfOpen);
+                    BreakerDecision::Probe
+                } else {
+                    BreakerDecision::Bypass
+                }
+            }
+        }
+    }
+
+    /// Report a learned-path outcome for a request admitted at
+    /// `generation`. `probe` must be `true` iff [`CircuitBreaker::admit`]
+    /// answered [`BreakerDecision::Probe`].
+    pub fn on_outcome(&self, generation: u64, success: bool, probe: bool) {
+        let mut inner = self.inner.lock();
+        self.sync_generation(&mut inner, generation);
+        if probe {
+            if inner.state != BreakerState::HalfOpen {
+                // A probe outcome raced a generation reset (or another
+                // probe already re-opened/closed the breaker): the state
+                // it was probing no longer exists.
+                return;
+            }
+            if success {
+                inner.probe_ok += 1;
+                if inner.probe_ok >= self.cfg.probes {
+                    self.transition(&mut inner, BreakerState::Closed);
+                }
+            } else {
+                self.transition(&mut inner, BreakerState::Open);
+            }
+            return;
+        }
+        if inner.state != BreakerState::Closed {
+            // Late outcome from a request admitted before the breaker
+            // opened; the window it belonged to is gone.
+            return;
+        }
+        inner.window.push_back(success);
+        if !success {
+            inner.failures += 1;
+        }
+        if inner.window.len() > self.cfg.window && inner.window.pop_front() == Some(false) {
+            inner.failures -= 1;
+        }
+        if inner.window.len() >= self.cfg.min_samples {
+            let rate = inner.failures as f64 / inner.window.len() as f64;
+            if rate >= self.cfg.failure_threshold {
+                self.transition(&mut inner, BreakerState::Open);
+            }
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// State + lifetime transition counters, for the metrics snapshot.
+    pub fn view(&self) -> BreakerView {
+        BreakerView {
+            state: self.state(),
+            transitions: self.transitions.load(Ordering::Relaxed),
+            times_opened: self.times_opened.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            failure_threshold: 0.5,
+            cooldown: 3,
+            probes: 2,
+        })
+    }
+
+    #[test]
+    #[should_panic(expected = "min_samples")]
+    fn zero_min_samples_rejected() {
+        let _ = CircuitBreaker::new(BreakerConfig {
+            min_samples: 0,
+            ..BreakerConfig::default()
+        });
+    }
+
+    #[test]
+    fn stays_closed_below_min_samples() {
+        let b = tiny();
+        for _ in 0..3 {
+            assert_eq!(b.admit(0), BreakerDecision::Normal);
+            b.on_outcome(0, false, false);
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "3 < min_samples 4");
+    }
+
+    #[test]
+    fn opens_within_min_samples_failures_and_recovers_via_probes() {
+        let b = tiny();
+        // K = min_samples consecutive failures open the breaker.
+        for _ in 0..4 {
+            assert_eq!(b.admit(0), BreakerDecision::Normal);
+            b.on_outcome(0, false, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.view().times_opened, 1);
+        // Cooldown: 2 bypasses, then the 3rd admit starts probing.
+        assert_eq!(b.admit(0), BreakerDecision::Bypass);
+        assert_eq!(b.admit(0), BreakerDecision::Bypass);
+        assert_eq!(b.admit(0), BreakerDecision::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // M = probes successful probes close it.
+        b.on_outcome(0, true, true);
+        assert_eq!(b.admit(0), BreakerDecision::Probe);
+        b.on_outcome(0, true, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(0), BreakerDecision::Normal);
+        // closed→open, open→half-open, half-open→closed.
+        assert_eq!(b.view().transitions, 3);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = tiny();
+        for _ in 0..4 {
+            b.admit(0);
+            b.on_outcome(0, false, false);
+        }
+        for _ in 0..3 {
+            b.admit(0); // burn the cooldown; last admit is the probe
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_outcome(0, false, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.view().times_opened, 2);
+        // A fresh cooldown applies before the next probe round.
+        assert_eq!(b.admit(0), BreakerDecision::Bypass);
+    }
+
+    #[test]
+    fn mixed_window_respects_threshold() {
+        let b = tiny();
+        // 5 successes then 3 failures: rate 3/8 < 0.5 → stays closed.
+        // (Successes lead so no 4-sample prefix trips the threshold.)
+        for i in 0..8 {
+            b.admit(0);
+            b.on_outcome(0, i < 5, false);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // One more failure slides a success out of the full window: 4
+        // failures in the last 8 reaches the 0.5 threshold.
+        b.admit(0);
+        b.on_outcome(0, false, false);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn publish_resets_the_breaker() {
+        let b = tiny();
+        for _ in 0..4 {
+            b.admit(0);
+            b.on_outcome(0, false, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Generation bump (a publish): the new snapshot starts trusted.
+        assert_eq!(b.admit(1), BreakerDecision::Normal);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // …and needs min_samples fresh failures to open again.
+        for _ in 0..3 {
+            b.admit(1);
+            b.on_outcome(1, false, false);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn late_outcomes_from_before_opening_are_ignored() {
+        let b = tiny();
+        for _ in 0..4 {
+            b.admit(0);
+            b.on_outcome(0, false, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // A straggler success from a pre-open request must not perturb the
+        // open state or the (cleared) window.
+        b.on_outcome(0, true, false);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

@@ -2,11 +2,23 @@
 //!
 //! The gate is the service's back-pressure mechanism — at most
 //! `max_in_flight` queries hold a permit at once; further `submit` calls
-//! block (FIFO-ish under the condvar) until a permit frees. It also tracks
-//! the in-flight high-water mark, the serving metric that tells an operator
-//! how close the deployment runs to its admission ceiling.
+//! wait (FIFO-ish under the condvar) until a permit frees. Three entry
+//! points cover the serving policies built on top:
+//!
+//! * [`AdmissionGate::acquire`] — wait without bound (the original
+//!   behaviour; callers that can afford to queue forever).
+//! * [`AdmissionGate::acquire_timeout`] — wait at most a duration, then
+//!   give up (`None`). This is the load-shedding primitive: a saturated
+//!   service turns callers away instead of growing an unbounded queue.
+//! * [`AdmissionGate::try_acquire`] — take a permit only if one is free
+//!   right now (shed-immediately semantics for low-priority traffic).
+//!
+//! The gate also tracks the in-flight high-water mark, the serving metric
+//! that tells an operator how close the deployment runs to its admission
+//! ceiling.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 #[derive(Debug, Default)]
 struct GateState {
@@ -40,10 +52,48 @@ impl AdmissionGate {
     /// when the returned guard drops (panic-safe: an unwinding worker still
     /// frees its slot).
     pub fn acquire(&self) -> Permit<'_> {
+        self.acquire_until(None)
+            .expect("unbounded acquire cannot time out")
+    }
+
+    /// Take a permit only if one is free right now (never waits).
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        let state = self.state.lock().expect("gate lock poisoned");
+        (state.in_flight < self.capacity).then(|| self.admit(state))
+    }
+
+    /// Wait up to `timeout` for a permit; `None` if the gate stayed full
+    /// for the whole wait (the caller should shed the request).
+    pub fn acquire_timeout(&self, timeout: Duration) -> Option<Permit<'_>> {
+        // `checked_add` guards Instant overflow on Duration::MAX-style
+        // timeouts, which degrade to an unbounded wait.
+        self.acquire_until(Instant::now().checked_add(timeout))
+    }
+
+    /// The one wait loop behind every acquire flavour: `deadline == None`
+    /// waits forever.
+    fn acquire_until(&self, deadline: Option<Instant>) -> Option<Permit<'_>> {
         let mut state = self.state.lock().expect("gate lock poisoned");
         while state.in_flight == self.capacity {
-            state = self.freed.wait(state).expect("gate lock poisoned");
+            match deadline {
+                None => state = self.freed.wait(state).expect("gate lock poisoned"),
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return None;
+                    }
+                    state = self
+                        .freed
+                        .wait_timeout(state, dl - now)
+                        .expect("gate lock poisoned")
+                        .0;
+                }
+            }
         }
+        Some(self.admit(state))
+    }
+
+    fn admit(&self, mut state: MutexGuard<'_, GateState>) -> Permit<'_> {
         state.in_flight += 1;
         state.high_water = state.high_water.max(state.in_flight);
         Permit { gate: self }
@@ -109,6 +159,46 @@ mod tests {
         // High water never decreases.
         assert_eq!(gate.high_water(), 2);
         drop(b);
+    }
+
+    #[test]
+    fn try_acquire_never_waits() {
+        let gate = AdmissionGate::new(1);
+        let held = gate.try_acquire().expect("gate is empty");
+        assert!(gate.try_acquire().is_none(), "full gate must refuse");
+        drop(held);
+        assert!(gate.try_acquire().is_some(), "freed slot is takeable again");
+    }
+
+    #[test]
+    fn acquire_timeout_sheds_on_saturation_and_admits_when_freed() {
+        let gate = AdmissionGate::new(1);
+        let held = gate.acquire();
+        // Full gate + tiny timeout: the wait gives up.
+        let t0 = std::time::Instant::now();
+        assert!(gate.acquire_timeout(Duration::from_millis(5)).is_none());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(5),
+            "timeout must actually wait before shedding"
+        );
+        // A waiter with a generous timeout is admitted once the permit
+        // frees mid-wait.
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| gate.acquire_timeout(Duration::from_secs(5)).is_some());
+            std::thread::sleep(Duration::from_millis(10));
+            drop(held);
+            assert!(waiter.join().unwrap(), "freed permit must admit waiter");
+        });
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn huge_timeout_degrades_to_unbounded_wait() {
+        let gate = AdmissionGate::new(1);
+        // Duration::MAX overflows Instant arithmetic; the gate must treat
+        // it as "wait forever", not panic or return immediately.
+        let p = gate.acquire_timeout(Duration::MAX);
+        assert!(p.is_some());
     }
 
     #[test]

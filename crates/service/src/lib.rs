@@ -40,23 +40,61 @@
 //!   result instead ([`FallbackReason::ExecTimeout`]). The expert plan
 //!   itself is never budgeted — it is the safety net.
 //!
+//! # Robustness: correlated failures and overload
+//!
+//! The per-query fallbacks above assume failures are independent. Three
+//! additional mechanisms (built for correlated failure — a bad snapshot
+//! publish, a stalled executor, sustained overload) sit around them:
+//!
+//! * **Circuit breaker** ([`breaker`]) — learned-path outcomes feed a
+//!   sliding window per snapshot generation; past a failure-rate threshold
+//!   the breaker opens and `submit` serves the expert DP plan directly
+//!   ([`FallbackReason::BreakerOpen`]) without paying learned-planning
+//!   cost, then recovers through half-open probes.
+//! * **Retry with backoff** — transient executor failures
+//!   ([`FossError::Transient`]) on the doctored path are retried up to
+//!   [`ServiceConfig::max_retries`] times with exponential backoff, within
+//!   the request's remaining deadline; exhausted retries fall back to the
+//!   expert plan ([`FallbackReason::ExecError`]).
+//! * **Deadline-aware admission and load shedding** — requests carry a
+//!   [`Priority`] and an optional deadline ([`QueryRequest::deadline_us`]).
+//!   The admission wait is bounded: low-priority requests wait at most
+//!   [`ServiceConfig::low_shed_wait_us`] (0 by default — low sheds first),
+//!   high-priority requests wait up to their deadline (unbounded without
+//!   one). A shed request returns [`FossError::Overloaded`] without doing
+//!   any work. A deadline that expires after admission degrades to the
+//!   expert plan ([`FallbackReason::DeadlineExceeded`]).
+//!
+//! For testing all of this deterministically, a seeded
+//! [`foss_common::FaultPlan`] can be attached with
+//! [`PlanDoctor::with_fault_plan`] (and to the executor with
+//! [`CachingExecutor::with_fault_plan`]): planning stalls, executor
+//! timeouts/errors, cache faults and snapshot-publish failures are then
+//! injected at controlled, bit-reproducible rates. Without a plan every
+//! hook is a branch on `None` — the production path is unchanged, and a
+//! run with [`foss_common::FaultPlan::none`] attached is bit-identical to
+//! one with no plan at all (the fault-transparency proptest enforces it).
+//!
 //! Every decision is recorded as an [`Outcome`] in the atomic
 //! [`MetricsRegistry`]; [`PlanDoctor::metrics`] snapshots p50/p95/p99
-//! latency, fallback rate, cache hit rate and the in-flight high-water mark.
+//! latency, fallback rate, cache hit rate, the in-flight high-water mark,
+//! shed/retry counts and the breaker state.
 
+pub mod breaker;
 pub mod gate;
 pub mod metrics;
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use foss_common::{FossError, FxHashMap, QueryId, Result};
+use foss_common::{FaultPlan, FaultSite, FossError, FxHashMap, QueryId, Result};
 use foss_core::{PlannerSnapshot, SnapshotCell};
 use foss_executor::CachingExecutor;
 use foss_optimizer::PhysicalPlan;
 use foss_query::Query;
 use parking_lot::Mutex;
 
+pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, BreakerView, CircuitBreaker};
 pub use gate::{AdmissionGate, Permit};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, Outcome};
 
@@ -75,6 +113,18 @@ pub struct ServiceConfig {
     /// Execution budget for doctored plans, as a multiple of the expert
     /// plan's latency.
     pub exec_timeout_factor: f64,
+    /// Circuit-breaker thresholds over the learned path (see [`breaker`]).
+    pub breaker: BreakerConfig,
+    /// Retries for transient doctored-execution failures before falling
+    /// back to the expert plan.
+    pub max_retries: usize,
+    /// Base backoff between retries (µs); attempt `n` backs off
+    /// `retry_backoff_us × 2ⁿ`.
+    pub retry_backoff_us: f64,
+    /// Longest a low-priority request may wait for admission (µs); `0`
+    /// sheds low-priority traffic immediately when the gate is full, which
+    /// is what guarantees low sheds before high under overload.
+    pub low_shed_wait_us: f64,
 }
 
 impl Default for ServiceConfig {
@@ -84,8 +134,25 @@ impl Default for ServiceConfig {
             planning_budget_us: None,
             min_confidence: 1,
             exec_timeout_factor: 10.0,
+            breaker: BreakerConfig::default(),
+            max_retries: 2,
+            retry_backoff_us: 100.0,
+            low_shed_wait_us: 0.0,
         }
     }
+}
+
+/// Admission priority class. Under saturation, [`Priority::Low`] requests
+/// are shed first: they never wait longer than
+/// [`ServiceConfig::low_shed_wait_us`], while [`Priority::High`] requests
+/// wait up to their deadline (or indefinitely without one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic; shed only when its own deadline expires.
+    #[default]
+    High,
+    /// Best-effort traffic; first to go under overload.
+    Low,
 }
 
 /// One query submitted to the service.
@@ -95,14 +162,25 @@ pub struct QueryRequest {
     pub query: Query,
     /// Per-request planning budget override (µs).
     pub planning_budget_us: Option<f64>,
+    /// Admission priority class (default [`Priority::High`]).
+    pub priority: Priority,
+    /// End-to-end deadline (µs of wall clock from `submit` entry,
+    /// spanning queueing, planning and execution). Bounds the admission
+    /// wait; once expired, the request degrades to the expert plan
+    /// ([`FallbackReason::DeadlineExceeded`]) instead of attempting the
+    /// doctored path. `None` (the default) disables every deadline check.
+    pub deadline_us: Option<f64>,
 }
 
 impl QueryRequest {
-    /// A request with the service-default budgets.
+    /// A request with the service-default budgets, high priority and no
+    /// deadline.
     pub fn new(query: Query) -> Self {
         Self {
             query,
             planning_budget_us: None,
+            priority: Priority::High,
+            deadline_us: None,
         }
     }
 
@@ -111,6 +189,26 @@ impl QueryRequest {
     pub fn with_planning_budget_us(mut self, budget_us: f64) -> Self {
         self.planning_budget_us = Some(budget_us);
         self
+    }
+
+    /// Set the admission priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the end-to-end deadline (µs from `submit` entry).
+    #[must_use]
+    pub fn with_deadline_us(mut self, deadline_us: f64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Wall-clock µs this request has left, if it carries a deadline.
+    fn remaining_us(&self, start: Instant) -> Option<f64> {
+        self.deadline_us
+            .map(|d| d - start.elapsed().as_secs_f64() * 1e6)
     }
 }
 
@@ -126,6 +224,14 @@ pub enum FallbackReason {
     LowConfidence,
     /// The doctored plan exceeded its execution budget.
     ExecTimeout,
+    /// The doctored plan kept failing transiently after every retry.
+    ExecError,
+    /// The circuit breaker was open: the expert plan was served directly,
+    /// without attempting learned planning at all.
+    BreakerOpen,
+    /// The request's deadline expired before the doctored plan could be
+    /// attempted.
+    DeadlineExceeded,
 }
 
 /// What the service decided (and observed) for one query.
@@ -147,6 +253,8 @@ pub struct PlanDecision {
     pub selected_step: usize,
     /// Candidate plans the tournament considered.
     pub candidates: usize,
+    /// Transient-failure retries this query performed before resolving.
+    pub retries: usize,
 }
 
 /// The serving front end: snapshot handle + executor + admission + metrics.
@@ -171,6 +279,11 @@ pub struct PlanDoctor {
     cfg: ServiceConfig,
     gate: AdmissionGate,
     metrics: MetricsRegistry,
+    breaker: CircuitBreaker,
+    /// Deterministic fault hooks ([`FaultSite::PlanStall`] /
+    /// [`FaultSite::ExecTimeout`] / [`FaultSite::ExecError`] /
+    /// [`FaultSite::PublishFail`]); `None` in production.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl PlanDoctor {
@@ -187,8 +300,21 @@ impl PlanDoctor {
             expert_memo: Mutex::new(FxHashMap::default()),
             gate: AdmissionGate::new(cfg.max_in_flight),
             metrics: MetricsRegistry::default(),
+            breaker: CircuitBreaker::new(cfg.breaker),
+            faults: None,
             cfg,
         }
+    }
+
+    /// Attach a deterministic fault plan (chainable; chaos tests only).
+    /// The service then consults it for planning stalls, doctored-execution
+    /// timeouts/transient errors and snapshot-publish failures. Share the
+    /// same `Arc` with [`CachingExecutor::with_fault_plan`] to coordinate
+    /// cache-layer faults under one seed.
+    #[must_use]
+    pub fn with_fault_plan(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The configuration in effect.
@@ -196,12 +322,39 @@ impl PlanDoctor {
         &self.cfg
     }
 
+    /// The circuit breaker over the learned path (read-only view for
+    /// operators and tests; `submit` drives its state machine).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Counters from the attached fault plan (all-zero when none is).
+    pub fn fault_stats(&self) -> foss_common::FaultStats {
+        self.faults
+            .as_deref()
+            .map(FaultPlan::stats)
+            .unwrap_or_default()
+    }
+
     /// Hot-swap the served model; in-flight queries finish on the snapshot
     /// they loaded, subsequent submits plan on the new one. The expert-plan
     /// memo is dropped so the new snapshot's original-plan view governs.
-    pub fn publish(&self, snapshot: PlannerSnapshot) {
+    ///
+    /// A failed publish ([`FaultSite::PublishFail`] under chaos, or any
+    /// future real failure mode) leaves the previous generation serving —
+    /// degraded-but-correct is the contract, and the breaker keeps scoring
+    /// the generation that is actually live.
+    pub fn publish(&self, snapshot: PlannerSnapshot) -> Result<()> {
+        if let Some(faults) = &self.faults {
+            if faults.roll(FaultSite::PublishFail).is_some() {
+                return Err(FossError::Transient(
+                    "injected snapshot-publish failure".to_string(),
+                ));
+            }
+        }
         self.snapshots.publish(snapshot);
         self.expert_memo.lock().clear();
+        Ok(())
     }
 
     /// How many snapshots have been published since construction.
@@ -221,27 +374,174 @@ impl PlanDoctor {
     }
 
     /// Plan, budget-check, execute and record one query (see the module
-    /// docs for the full decision procedure). Blocks while the admission
-    /// gate is full; safe to call from any number of threads. Failed
-    /// submissions count into the registry's `errors` gauge.
+    /// docs for the full decision procedure). Waits while the admission
+    /// gate is full — unboundedly for default requests, bounded by the
+    /// priority class and deadline otherwise (a request that cannot be
+    /// admitted in time is shed with [`FossError::Overloaded`]). Safe to
+    /// call from any number of threads. Failed submissions count into the
+    /// registry's `errors` gauge; sheds into the per-class shed counters.
     pub fn submit(&self, req: QueryRequest) -> Result<PlanDecision> {
-        let _permit = self.gate.acquire();
-        match self.submit_admitted(&req) {
-            Ok(decision) => Ok(decision),
+        let start = Instant::now();
+        let _permit = self.acquire_permit(&req, start)?;
+        let generation = self.snapshots.generation();
+        let decision = self.breaker.admit(generation);
+        if decision == BreakerDecision::Bypass {
+            // Bypass failures are errors too, but say nothing about the
+            // learned path — the breaker is not fed.
+            return self.submit_bypassed(&req).inspect_err(|_| {
+                self.metrics.record_error();
+            });
+        }
+        let probe = decision == BreakerDecision::Probe;
+        match self.submit_admitted(&req, start) {
+            Ok(decision) => {
+                // Only learned-path verdicts train the breaker: fallbacks
+                // the model asked for (LowConfidence) or that load caused
+                // (DeadlineExceeded) say nothing about snapshot health.
+                let learned = match decision.reason {
+                    FallbackReason::None => Some(true),
+                    FallbackReason::PlanningTimeout
+                    | FallbackReason::ExecTimeout
+                    | FallbackReason::ExecError => Some(false),
+                    FallbackReason::LowConfidence
+                    | FallbackReason::DeadlineExceeded
+                    | FallbackReason::BreakerOpen => None,
+                };
+                if let Some(success) = learned {
+                    self.breaker.on_outcome(generation, success, probe);
+                }
+                Ok(decision)
+            }
             Err(e) => {
                 self.metrics.record_error();
+                self.breaker.on_outcome(generation, false, probe);
                 Err(e)
             }
         }
     }
 
-    fn submit_admitted(&self, req: &QueryRequest) -> Result<PlanDecision> {
+    /// Take an admission permit under the request's priority class and
+    /// deadline, or shed.
+    fn acquire_permit(&self, req: &QueryRequest, start: Instant) -> Result<Permit<'_>> {
+        let low = req.priority == Priority::Low;
+        // Low priority waits at most `low_shed_wait_us` (capped further by
+        // its deadline); high priority waits out its deadline, or forever
+        // without one — the pre-robustness behaviour.
+        let wait_us = if low {
+            Some(match req.deadline_us {
+                Some(d) => d.min(self.cfg.low_shed_wait_us),
+                None => self.cfg.low_shed_wait_us,
+            })
+        } else {
+            req.deadline_us
+        };
+        let permit = match wait_us {
+            None => Some(self.gate.acquire()),
+            Some(us) if us <= 0.0 => self.gate.try_acquire(),
+            Some(us) => self.gate.acquire_timeout(Duration::from_micros(us as u64)),
+        };
+        permit.ok_or_else(|| {
+            self.metrics.record_shed(low);
+            FossError::Overloaded {
+                low_priority: low,
+                waited_us: start.elapsed().as_micros() as u64,
+            }
+        })
+    }
+
+    /// The open-breaker degraded path: no learned planning, no doctored
+    /// execution — just the expert DP plan, unbudgeted, recorded as
+    /// [`FallbackReason::BreakerOpen`].
+    fn submit_bypassed(&self, req: &QueryRequest) -> Result<PlanDecision> {
+        let snapshot = self.snapshots.load();
+        let t0 = Instant::now();
+        let expert_plan = self.expert_plan(&snapshot, &req.query)?;
+        let planning_us = t0.elapsed().as_secs_f64() * 1e6;
+        let expert = self.executor.execute(&req.query, &expert_plan, None)?;
+        let reason = FallbackReason::BreakerOpen;
+        self.metrics.record(&Outcome {
+            planning_us,
+            latency: expert.latency,
+            reason,
+        });
+        Ok(PlanDecision {
+            plan: expert_plan,
+            fallback: true,
+            reason,
+            planning_us,
+            latency: expert.latency,
+            selected_step: 0,
+            candidates: 0,
+            retries: 0,
+        })
+    }
+
+    /// Execute the doctored candidate under its work budget, with fault
+    /// injection and transient-failure retries. Returns the served latency
+    /// on success; on give-up, the fallback reason to degrade with.
+    fn execute_doctored(
+        &self,
+        req: &QueryRequest,
+        plan: &PhysicalPlan,
+        exec_budget: f64,
+        start: Instant,
+        retries: &mut usize,
+    ) -> Result<std::result::Result<f64, FallbackReason>> {
+        loop {
+            let injected = self.faults.as_deref().and_then(|f| {
+                if f.roll(FaultSite::ExecTimeout).is_some() {
+                    Some(FossError::Timeout {
+                        spent: exec_budget as u64,
+                        budget: exec_budget as u64,
+                    })
+                } else if f.roll(FaultSite::ExecError).is_some() {
+                    Some(FossError::Transient(
+                        "injected doctored-execution fault".to_string(),
+                    ))
+                } else {
+                    None
+                }
+            });
+            let attempt = match injected {
+                Some(e) => Err(e),
+                None => self.executor.execute(&req.query, plan, Some(exec_budget)),
+            };
+            match attempt {
+                Ok(out) => return Ok(Ok(out.latency)),
+                Err(FossError::Timeout { .. }) => return Ok(Err(FallbackReason::ExecTimeout)),
+                Err(FossError::Transient(_)) => {
+                    if *retries >= self.cfg.max_retries {
+                        return Ok(Err(FallbackReason::ExecError));
+                    }
+                    let backoff_us = self.cfg.retry_backoff_us * (1u64 << *retries) as f64;
+                    // A retry only makes sense if the backoff fits in the
+                    // request's remaining deadline.
+                    if req.remaining_us(start).is_some_and(|rem| rem < backoff_us) {
+                        return Ok(Err(FallbackReason::ExecError));
+                    }
+                    *retries += 1;
+                    self.metrics.record_retry();
+                    if backoff_us > 0.0 {
+                        std::thread::sleep(Duration::from_micros(backoff_us as u64));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn submit_admitted(&self, req: &QueryRequest, start: Instant) -> Result<PlanDecision> {
         let snapshot = self.snapshots.load();
 
         // Planning: the expert plan (needed for the fallback anyway, so it
         // is planned exactly once and memoised) plus the doctored repair
         // over it.
         let t0 = Instant::now();
+        if let Some(faults) = &self.faults {
+            if let Some(rule) = faults.roll(FaultSite::PlanStall) {
+                std::thread::sleep(Duration::from_micros(rule.param as u64));
+            }
+        }
         let expert_plan = self.expert_plan(&snapshot, &req.query)?;
         let inference = snapshot.optimize_detailed_from(&req.query, &expert_plan)?;
         let planning_us = t0.elapsed().as_secs_f64() * 1e6;
@@ -256,8 +556,13 @@ impl PlanDoctor {
         } else if inference.selected_step != 0 && inference.aam_confidence < self.cfg.min_confidence
         {
             reason = FallbackReason::LowConfidence;
+        } else if req.remaining_us(start).is_some_and(|rem| rem <= 0.0) {
+            // Queueing + planning ate the whole deadline: don't spend more
+            // on a doctored run — the expert result is already in hand.
+            reason = FallbackReason::DeadlineExceeded;
         }
 
+        let mut retries = 0;
         let doctored_is_expert = inference.plan.fingerprint() == expert_plan.fingerprint();
         let (plan, latency) = if reason != FallbackReason::None {
             (expert_plan, expert.latency)
@@ -265,16 +570,12 @@ impl PlanDoctor {
             (inference.plan, expert.latency)
         } else {
             let exec_budget = expert.latency * self.cfg.exec_timeout_factor;
-            match self
-                .executor
-                .execute(&req.query, &inference.plan, Some(exec_budget))
-            {
-                Ok(out) => (inference.plan, out.latency),
-                Err(FossError::Timeout { .. }) => {
-                    reason = FallbackReason::ExecTimeout;
+            match self.execute_doctored(req, &inference.plan, exec_budget, start, &mut retries)? {
+                Ok(latency) => (inference.plan, latency),
+                Err(fallback) => {
+                    reason = fallback;
                     (expert_plan, expert.latency)
                 }
-                Err(e) => return Err(e),
             }
         };
 
@@ -291,6 +592,7 @@ impl PlanDoctor {
             latency,
             selected_step: inference.selected_step,
             candidates: inference.candidates,
+            retries,
         })
     }
 
@@ -302,6 +604,8 @@ impl PlanDoctor {
         self.metrics.snapshot(
             self.executor.stats().since(&self.cache_baseline),
             self.gate.high_water(),
+            self.breaker.view(),
+            self.fault_stats().injected_total(),
         )
     }
 }
@@ -552,7 +856,7 @@ mod tests {
         s.foss
             .train_iteration(std::slice::from_ref(&s.world.query), 2)
             .unwrap();
-        s.doctor.publish(s.foss.snapshot());
+        s.doctor.publish(s.foss.snapshot()).unwrap();
         assert_eq!(s.doctor.snapshot_generation(), 1);
         let after = s
             .doctor
@@ -560,5 +864,239 @@ mod tests {
             .unwrap();
         // Both generations serve valid plans for the same query.
         assert!(before.latency > 0.0 && after.latency > 0.0);
+    }
+
+    #[test]
+    fn low_priority_sheds_before_high_under_saturation() {
+        let s = served(
+            41,
+            ServiceConfig {
+                max_in_flight: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        // Saturate the gate from outside so both classes face a full
+        // service.
+        let held = s.doctor.gate.acquire();
+        let low = s
+            .doctor
+            .submit(QueryRequest::new(s.world.query.clone()).with_priority(Priority::Low));
+        match low {
+            Err(FossError::Overloaded { low_priority, .. }) => assert!(low_priority),
+            other => panic!("low priority must shed immediately, got {other:?}"),
+        }
+        // High priority without a deadline would wait forever; with one, it
+        // sheds only after waiting the deadline out.
+        let high = s
+            .doctor
+            .submit(QueryRequest::new(s.world.query.clone()).with_deadline_us(2000.0));
+        match high {
+            Err(FossError::Overloaded {
+                low_priority,
+                waited_us,
+            }) => {
+                assert!(!low_priority);
+                assert!(waited_us >= 2000, "high must wait its deadline out");
+            }
+            other => panic!("saturated high with deadline must shed, got {other:?}"),
+        }
+        drop(held);
+        // Once capacity frees, the same low-priority request is served.
+        s.doctor
+            .submit(QueryRequest::new(s.world.query.clone()).with_priority(Priority::Low))
+            .unwrap();
+        let m = s.doctor.metrics();
+        assert_eq!((m.shed_low, m.shed_high, m.sheds), (1, 1, 2));
+        assert_eq!(m.submitted, 1, "sheds are not completions");
+        assert_eq!(m.errors, 0, "sheds are not errors");
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_expert_plan() {
+        let s = served(42, ServiceConfig::default());
+        // A microsecond-scale deadline admits instantly (the gate is
+        // empty) but is guaranteed spent by the time planning finishes.
+        let d = s
+            .doctor
+            .submit(QueryRequest::new(s.world.query.clone()).with_deadline_us(0.001))
+            .unwrap();
+        assert!(d.fallback);
+        assert_eq!(d.reason, FallbackReason::DeadlineExceeded);
+        let expert = s.world.opt.optimize(&s.world.query).unwrap();
+        assert_eq!(d.plan.fingerprint(), expert.fingerprint());
+        let m = s.doctor.metrics();
+        assert_eq!(m.deadline_exceeded, 1);
+        // Deadline overruns are load, not snapshot failures: the breaker
+        // must not learn from them.
+        assert_eq!(m.breaker_state, BreakerState::Closed);
+        assert_eq!(m.breaker_transitions, 0);
+    }
+
+    #[test]
+    fn transient_exec_fault_is_retried_then_succeeds() {
+        let mut s = served(
+            43,
+            ServiceConfig {
+                retry_backoff_us: 0.0,
+                ..ServiceConfig::default()
+            },
+        );
+        // One injected transient failure, then the site heals.
+        let faults = Arc::new(
+            FaultPlan::builder(7)
+                .fault(FaultSite::ExecError, 1.0)
+                .burst(FaultSite::ExecError, 1)
+                .build(),
+        );
+        s.doctor.faults = Some(faults.clone());
+        let plan = s.world.opt.optimize(&s.world.query).unwrap();
+        let req = QueryRequest::new(s.world.query.clone());
+        let mut retries = 0;
+        let outcome = s
+            .doctor
+            .execute_doctored(&req, &plan, 1e12, Instant::now(), &mut retries)
+            .unwrap();
+        assert!(outcome.is_ok(), "retry after the burst must succeed");
+        assert_eq!(retries, 1);
+        assert_eq!(faults.stats().injected_total(), 1);
+        assert_eq!(s.doctor.metrics().retries, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back_with_exec_error() {
+        let mut s = served(
+            44,
+            ServiceConfig {
+                max_retries: 2,
+                retry_backoff_us: 0.0,
+                ..ServiceConfig::default()
+            },
+        );
+        s.doctor.faults = Some(Arc::new(
+            FaultPlan::builder(7)
+                .fault(FaultSite::ExecError, 1.0)
+                .build(),
+        ));
+        let plan = s.world.opt.optimize(&s.world.query).unwrap();
+        let req = QueryRequest::new(s.world.query.clone());
+        let mut retries = 0;
+        let outcome = s
+            .doctor
+            .execute_doctored(&req, &plan, 1e12, Instant::now(), &mut retries)
+            .unwrap();
+        assert_eq!(outcome, Err(FallbackReason::ExecError));
+        assert_eq!(retries, 2, "gives up after max_retries");
+    }
+
+    #[test]
+    fn plan_stall_fault_forces_planning_timeout() {
+        let mut s = served(
+            45,
+            ServiceConfig {
+                planning_budget_us: Some(2000.0),
+                ..ServiceConfig::default()
+            },
+        );
+        s.doctor.faults = Some(Arc::new(
+            FaultPlan::builder(11)
+                .fault_param(FaultSite::PlanStall, 1.0, 10_000.0)
+                .build(),
+        ));
+        let d = s
+            .doctor
+            .submit(QueryRequest::new(s.world.query.clone()))
+            .unwrap();
+        assert_eq!(d.reason, FallbackReason::PlanningTimeout);
+        assert!(
+            d.planning_us >= 10_000.0,
+            "the stall is inside the budget window"
+        );
+        let m = s.doctor.metrics();
+        assert_eq!(m.planning_timeouts, 1);
+        assert_eq!(m.faults_injected, 1);
+    }
+
+    #[test]
+    fn publish_failure_keeps_previous_generation_serving() {
+        let mut s = served(46, ServiceConfig::default());
+        s.doctor.faults = Some(Arc::new(
+            FaultPlan::builder(13)
+                .fault(FaultSite::PublishFail, 1.0)
+                .burst(FaultSite::PublishFail, 1)
+                .build(),
+        ));
+        s.foss
+            .train_iteration(std::slice::from_ref(&s.world.query), 2)
+            .unwrap();
+        let snap = s.foss.snapshot();
+        assert!(matches!(
+            s.doctor.publish(snap.clone()),
+            Err(FossError::Transient(_))
+        ));
+        assert_eq!(
+            s.doctor.snapshot_generation(),
+            0,
+            "failed publish is a no-op"
+        );
+        // The old generation still serves; a retried publish (site healed
+        // after the burst) goes through.
+        s.doctor
+            .submit(QueryRequest::new(s.world.query.clone()))
+            .unwrap();
+        s.doctor.publish(snap).unwrap();
+        assert_eq!(s.doctor.snapshot_generation(), 1);
+    }
+
+    #[test]
+    fn open_breaker_bypasses_learned_path_and_recovers_via_probe() {
+        let s = served(
+            47,
+            ServiceConfig {
+                // `min_confidence: 0` makes probe success deterministic
+                // (no LowConfidence fallback can occur).
+                min_confidence: 0,
+                breaker: BreakerConfig {
+                    window: 4,
+                    min_samples: 2,
+                    failure_threshold: 0.5,
+                    cooldown: 2,
+                    probes: 1,
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        // Correlated learned-path failures (fed directly — the unit tests
+        // for organic failure live in `breaker`): the breaker opens.
+        s.doctor.breaker().on_outcome(0, false, false);
+        s.doctor.breaker().on_outcome(0, false, false);
+        assert_eq!(s.doctor.breaker().state(), BreakerState::Open);
+        // First submit while open: bypassed — expert served directly.
+        let d = s
+            .doctor
+            .submit(QueryRequest::new(s.world.query.clone()))
+            .unwrap();
+        assert_eq!(d.reason, FallbackReason::BreakerOpen);
+        assert!(d.fallback);
+        assert_eq!((d.selected_step, d.candidates), (0, 0));
+        let expert = s.world.opt.optimize(&s.world.query).unwrap();
+        assert_eq!(d.plan.fingerprint(), expert.fingerprint());
+        // Second submit exhausts the cooldown and runs as the recovery
+        // probe; its success closes the breaker.
+        let d = s
+            .doctor
+            .submit(QueryRequest::new(s.world.query.clone()))
+            .unwrap();
+        assert_eq!(d.reason, FallbackReason::None);
+        assert_eq!(s.doctor.breaker().state(), BreakerState::Closed);
+        // Steady state restored: subsequent traffic is normal.
+        let d = s
+            .doctor
+            .submit(QueryRequest::new(s.world.query.clone()))
+            .unwrap();
+        assert_eq!(d.reason, FallbackReason::None);
+        let m = s.doctor.metrics();
+        assert_eq!(m.breaker_open_served, 1);
+        assert_eq!(m.breaker_times_opened, 1);
+        assert_eq!(m.breaker_state, BreakerState::Closed);
     }
 }

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use foss_executor::CacheStats;
 use parking_lot::Mutex;
 
+use crate::breaker::{BreakerState, BreakerView};
 use crate::FallbackReason;
 
 /// Capacity of each sample reservoir. Percentiles are computed over a
@@ -59,6 +60,12 @@ pub struct MetricsRegistry {
     planning_timeouts: AtomicU64,
     low_confidence: AtomicU64,
     exec_timeouts: AtomicU64,
+    exec_errors: AtomicU64,
+    breaker_open_served: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    shed_low: AtomicU64,
+    shed_high: AtomicU64,
+    retries: AtomicU64,
     latencies: Mutex<Reservoir>,
     planning_us: Mutex<Reservoir>,
 }
@@ -81,6 +88,18 @@ impl MetricsRegistry {
                 self.fallbacks.fetch_add(1, Ordering::Relaxed);
                 self.exec_timeouts.fetch_add(1, Ordering::Relaxed);
             }
+            FallbackReason::ExecError => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.exec_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            FallbackReason::BreakerOpen => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.breaker_open_served.fetch_add(1, Ordering::Relaxed);
+            }
+            FallbackReason::DeadlineExceeded => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.latencies.lock().push(outcome.latency);
         self.planning_us.lock().push(outcome.planning_us);
@@ -93,17 +112,42 @@ impl MetricsRegistry {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count a request shed by admission control before any work ran.
+    /// Sheds are neither completions (`submitted`) nor `errors`: they are
+    /// the service protecting itself, tracked per priority class.
+    pub fn record_shed(&self, low_priority: bool) {
+        if low_priority {
+            self.shed_low.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.shed_high.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one retry of a transient executor failure.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot for reporting (counters are read
     /// individually; percentiles come from the reservoirs — the most
-    /// recent 4096 samples — at call time). `cache` and
-    /// `in_flight_high_water` are supplied by the owner, which holds the
-    /// executor and the admission gate.
-    pub fn snapshot(&self, cache: CacheStats, in_flight_high_water: usize) -> MetricsSnapshot {
+    /// recent 4096 samples — at call time). `cache`,
+    /// `in_flight_high_water`, `breaker` and `faults_injected` are
+    /// supplied by the owner, which holds the executor, the admission
+    /// gate, the circuit breaker and the (optional) fault plan.
+    pub fn snapshot(
+        &self,
+        cache: CacheStats,
+        in_flight_high_water: usize,
+        breaker: BreakerView,
+        faults_injected: u64,
+    ) -> MetricsSnapshot {
         let latencies = self.latencies.lock().samples.clone();
         let planning = self.planning_us.lock().samples.clone();
         let pct = |s: &[f64], p: f64| foss_common::percentile(s, p).unwrap_or(0.0);
         let submitted = self.submitted.load(Ordering::Relaxed);
         let fallbacks = self.fallbacks.load(Ordering::Relaxed);
+        let shed_low = self.shed_low.load(Ordering::Relaxed);
+        let shed_high = self.shed_high.load(Ordering::Relaxed);
         MetricsSnapshot {
             submitted,
             errors: self.errors.load(Ordering::Relaxed),
@@ -111,6 +155,17 @@ impl MetricsRegistry {
             planning_timeouts: self.planning_timeouts.load(Ordering::Relaxed),
             low_confidence: self.low_confidence.load(Ordering::Relaxed),
             exec_timeouts: self.exec_timeouts.load(Ordering::Relaxed),
+            exec_errors: self.exec_errors.load(Ordering::Relaxed),
+            breaker_open_served: self.breaker_open_served.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            shed_low,
+            shed_high,
+            sheds: shed_low + shed_high,
+            retries: self.retries.load(Ordering::Relaxed),
+            breaker_state: breaker.state,
+            breaker_transitions: breaker.transitions,
+            breaker_times_opened: breaker.times_opened,
+            faults_injected,
             fallback_rate: if submitted == 0 {
                 0.0
             } else {
@@ -143,6 +198,30 @@ pub struct MetricsSnapshot {
     pub low_confidence: u64,
     /// …because the doctored plan blew its execution budget.
     pub exec_timeouts: u64,
+    /// …because the doctored plan kept failing transiently after retries.
+    pub exec_errors: u64,
+    /// …because the circuit breaker was open (expert served directly).
+    pub breaker_open_served: u64,
+    /// …because the request's deadline expired before the doctored plan
+    /// could be attempted.
+    pub deadline_exceeded: u64,
+    /// Low-priority requests shed by admission control.
+    pub shed_low: u64,
+    /// High-priority requests shed by admission control.
+    pub shed_high: u64,
+    /// `shed_low + shed_high`.
+    pub sheds: u64,
+    /// Transient-failure retries performed on the doctored path.
+    pub retries: u64,
+    /// Circuit-breaker state at snapshot time.
+    pub breaker_state: BreakerState,
+    /// Lifetime breaker state transitions.
+    pub breaker_transitions: u64,
+    /// Times the breaker has opened.
+    pub breaker_times_opened: u64,
+    /// Faults the attached [`foss_common::FaultPlan`] injected (0 when no
+    /// plan is attached).
+    pub faults_injected: u64,
     /// `fallbacks / submitted` (0 when idle).
     pub fallback_rate: f64,
     /// Median execution latency (work units ≡ µs).
@@ -169,7 +248,8 @@ impl MetricsSnapshot {
     pub fn summary_line(&self) -> String {
         format!(
             "plan-doctor metrics: submitted={} p50={:.0} p95={:.0} p99={:.0} \
-             fallback_rate={:.3} cache_hit_rate={:.3} inflight_hwm={} errors={}",
+             fallback_rate={:.3} cache_hit_rate={:.3} inflight_hwm={} errors={} \
+             shed={}/{} retries={} breaker={} opened={} faults={}",
             self.submitted,
             self.latency_p50,
             self.latency_p95,
@@ -178,6 +258,12 @@ impl MetricsSnapshot {
             self.cache_hit_rate,
             self.in_flight_high_water,
             self.errors,
+            self.shed_low,
+            self.shed_high,
+            self.retries,
+            self.breaker_state.label(),
+            self.breaker_times_opened,
+            self.faults_injected,
         )
     }
 }
@@ -194,10 +280,19 @@ mod tests {
         }
     }
 
+    /// The owner-supplied breaker view for registries under test.
+    fn idle_breaker() -> BreakerView {
+        BreakerView {
+            state: BreakerState::Closed,
+            transitions: 0,
+            times_opened: 0,
+        }
+    }
+
     #[test]
     fn empty_registry_reports_zeros() {
         let reg = MetricsRegistry::default();
-        let snap = reg.snapshot(CacheStats::default(), 0);
+        let snap = reg.snapshot(CacheStats::default(), 0, idle_breaker(), 0);
         assert_eq!(snap.submitted, 0);
         assert_eq!(snap.fallback_rate, 0.0);
         assert_eq!(snap.latency_p99, 0.0, "empty percentiles must not panic");
@@ -223,6 +318,8 @@ mod tests {
                 entries: 25,
             },
             7,
+            idle_breaker(),
+            0,
         );
         assert_eq!(snap.submitted, 100);
         assert_eq!(snap.fallbacks, 10);
@@ -241,10 +338,54 @@ mod tests {
         reg.record(&outcome(5.0, FallbackReason::None));
         reg.record_error();
         reg.record_error();
-        let snap = reg.snapshot(CacheStats::default(), 1);
+        let snap = reg.snapshot(CacheStats::default(), 1, idle_breaker(), 0);
         assert_eq!(snap.submitted, 1);
         assert_eq!(snap.errors, 2);
         assert!(snap.summary_line().contains("errors=2"));
+    }
+
+    #[test]
+    fn robustness_counters_flow_into_snapshot_and_summary() {
+        let reg = MetricsRegistry::default();
+        reg.record(&outcome(1.0, FallbackReason::BreakerOpen));
+        reg.record(&outcome(2.0, FallbackReason::ExecError));
+        reg.record(&outcome(3.0, FallbackReason::DeadlineExceeded));
+        reg.record_shed(true);
+        reg.record_shed(true);
+        reg.record_shed(false);
+        reg.record_retry();
+        let view = BreakerView {
+            state: BreakerState::Open,
+            transitions: 3,
+            times_opened: 2,
+        };
+        let snap = reg.snapshot(CacheStats::default(), 1, view, 5);
+        assert_eq!(snap.submitted, 3);
+        assert_eq!(snap.fallbacks, 3, "every degraded reason is a fallback");
+        assert_eq!(
+            (
+                snap.breaker_open_served,
+                snap.exec_errors,
+                snap.deadline_exceeded
+            ),
+            (1, 1, 1)
+        );
+        assert_eq!((snap.shed_low, snap.shed_high, snap.sheds), (2, 1, 3));
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.breaker_state, BreakerState::Open);
+        assert_eq!(snap.breaker_transitions, 3);
+        assert_eq!(snap.breaker_times_opened, 2);
+        assert_eq!(snap.faults_injected, 5);
+        let line = snap.summary_line();
+        for needle in [
+            "shed=2/1",
+            "retries=1",
+            "breaker=open",
+            "opened=2",
+            "faults=5",
+        ] {
+            assert!(line.contains(needle), "summary `{line}` lacks `{needle}`");
+        }
     }
 
     #[test]
@@ -258,7 +399,7 @@ mod tests {
             reg.record(&outcome(100.0, FallbackReason::None));
         }
         assert_eq!(reg.latencies.lock().samples.len(), RESERVOIR_CAP);
-        let snap = reg.snapshot(CacheStats::default(), 1);
+        let snap = reg.snapshot(CacheStats::default(), 1, idle_breaker(), 0);
         assert_eq!(snap.submitted, (2 * RESERVOIR_CAP + 100) as u64);
         assert_eq!(
             snap.latency_p50, 100.0,
@@ -284,7 +425,7 @@ mod tests {
                 });
             }
         });
-        let snap = reg.snapshot(CacheStats::default(), 4);
+        let snap = reg.snapshot(CacheStats::default(), 4, idle_breaker(), 0);
         assert_eq!(snap.submitted, 200);
         assert_eq!(snap.exec_timeouts, 50);
         assert_eq!(snap.fallbacks, 50);

@@ -30,13 +30,19 @@ pub mod prelude {
     pub use foss_baselines::{
         BalsaLite, Bao, HybridQo, LearnedOptimizer, LogerLite, PostgresBaseline,
     };
-    pub use foss_common::{FossError, QueryId, Result, TableId};
+    pub use foss_common::{
+        FaultPlan, FaultPlanBuilder, FaultRule, FaultSite, FaultStats, FossError, QueryId, Result,
+        TableId, FAULT_SITES,
+    };
     pub use foss_core::{Foss, FossConfig, PlannerSnapshot, SnapshotCell};
     pub use foss_executor::{CachingExecutor, Database, Executor};
     pub use foss_harness::{evaluate_on, Experiment, FossAdapter};
     pub use foss_optimizer::{Icp, JoinMethod, PhysicalPlan, TraditionalOptimizer};
     pub use foss_query::{Predicate, Query, QueryBuilder};
-    pub use foss_service::{PlanDecision, PlanDoctor, QueryRequest, ServiceConfig};
+    pub use foss_service::{
+        BreakerConfig, BreakerState, CircuitBreaker, FallbackReason, MetricsSnapshot, PlanDecision,
+        PlanDoctor, Priority, QueryRequest, ServiceConfig,
+    };
     pub use foss_workloads::{
         dsblite, joblite, skewstress, stacklite, tpcdslite, Workload, WorkloadSpec, WORKLOAD_NAMES,
     };
