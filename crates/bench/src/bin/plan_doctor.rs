@@ -1,175 +1,134 @@
-//! `plan-doctor` — the PlanDoctor service driven as a long-lived process.
-//!
-//! Trains FOSS on a workload's train split, publishes a snapshot into a
-//! [`foss_service::PlanDoctor`], then spins up N worker threads that submit
-//! queries concurrently over the one snapshot and prints the metrics
-//! summary line (p50/p95/p99 latency, fallback rate, cache hit rate,
-//! in-flight high-water mark).
+//! `plan-doctor` — the PlanDoctor service as a process, in three modes.
 //!
 //! ```text
-//! cargo run --release --bin plan-doctor -- \
-//!     --workload tpcdslite --scale 0.08 --threads 4 --queries 24
+//! plan-doctor [bench] --workload tpcdslite --scale 0.08 --threads 4 --queries 24
+//! plan-doctor serve --workload tpcdslite --scale 0.08 --addr 127.0.0.1:7434 \
+//!     [--snapshot planner.fsnp | --save-snapshot planner.fsnp]
+//! plan-doctor load --addr 127.0.0.1:7434 --threads 4 --requests 64
 //! ```
 //!
-//! Flags: `--workload <name>` — any of
-//! [`foss_workloads::WORKLOAD_NAMES`] (default tpcdslite),
-//! `--scale <f64>` (default `FOSS_SCALE` or 1.0), `--threads <n>`
-//! (default 4), `--queries <n>` total submissions (default 24),
-//! `--rounds <n>` training rounds (default 1), `--budget-us <f64>`
-//! per-query planning budget (default: none), `--max-in-flight <n>`
-//! admission ceiling (default 16).
+//! * **bench** (default when the first argument is a `--flag`): train FOSS
+//!   on the workload's train split, publish a snapshot into a
+//!   [`foss_service::PlanDoctor`], hammer it from N worker threads
+//!   in-process and print the metrics summary line.
+//! * **serve**: the same bootstrap, then expose the doctor over a socket
+//!   ([`foss_service::PlanServer`]: `POST /plan`, `GET /metrics`,
+//!   `GET /healthz`, `POST /publish`). With `--snapshot <path>` the
+//!   process is serving-only: it loads a trained
+//!   [`foss_core::PlannerSnapshot`] instead of training. With
+//!   `--save-snapshot <path>` it writes the trained snapshot for such a
+//!   process to boot from.
+//! * **load**: closed-loop load generator against a running `serve`
+//!   process — N threads, one in-flight request each — reporting QPS,
+//!   p50/p95/p99 round-trip latency, shed counts and the fallback mix.
 //!
-//! Robustness flags: `--faults <spec>` — a deterministic fault plan in the
-//! [`foss_common::faults`] grammar (`site:rate[@param][#max];...;seed=N`),
-//! overriding the `FOSS_FAULTS` environment variable; `--priority-mix
-//! <f64>` — fraction of submissions tagged [`foss_service::Priority::Low`]
-//! (default 0, deterministic by submission index); `--deadline-us <f64>` —
-//! end-to-end deadline attached to every request (default: none). Shed
-//! requests are counted, not fatal; the summary line reports them.
+//! Flag reference lives in [`foss_bench::cli`]. Robustness flags
+//! (`--faults`, `--priority-mix`, `--deadline-us`) follow the
+//! [`foss_common::faults`] grammar and the service's priority semantics:
+//! shed requests are counted, not fatal.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use foss_bench::cli::{self, BenchArgs, Command, LoadArgs, ServeArgs, SharedArgs};
 use foss_common::{FaultPlan, FossError};
-use foss_core::FossConfig;
+use foss_core::{FossConfig, PlannerSnapshot};
 use foss_harness::{Experiment, FossAdapter};
-use foss_service::{PlanDoctor, Priority, QueryRequest, ServiceConfig};
+use foss_service::{
+    PlanClient, PlanDoctor, PlanOutcome, PlanRequest, PlanServer, Priority, QueryRequest,
+    ServiceConfig,
+};
 use foss_workloads::WorkloadSpec;
 
-struct Args {
-    workload: String,
-    scale: f64,
-    threads: usize,
-    queries: usize,
-    rounds: usize,
-    budget_us: Option<f64>,
-    max_in_flight: usize,
-    faults: Option<String>,
-    priority_mix: f64,
-    deadline_us: Option<f64>,
+fn main() {
+    match cli::parse_or_exit() {
+        Command::Bench(args) => run_bench(args),
+        Command::Serve(args) => run_serve(args),
+        Command::Load(args) => run_load(args),
+    }
 }
 
-fn parse_args() -> Args {
-    let env_scale: f64 = std::env::var("FOSS_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
-    let mut args = Args {
-        workload: "tpcdslite".into(),
-        scale: env_scale,
-        threads: 4,
-        queries: 24,
-        rounds: 1,
-        budget_us: None,
-        max_in_flight: 16,
-        faults: None,
-        priority_mix: 0.0,
-        deadline_us: None,
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        let value = |i: usize| -> &str {
-            argv.get(i + 1)
-                .unwrap_or_else(|| panic!("{} needs a value", argv[i]))
-        };
-        match argv[i].as_str() {
-            "--workload" => args.workload = value(i).to_string(),
-            "--scale" => args.scale = value(i).parse().expect("--scale must be a number"),
-            "--threads" => args.threads = value(i).parse().expect("--threads must be a count"),
-            "--queries" => args.queries = value(i).parse().expect("--queries must be a count"),
-            "--rounds" => args.rounds = value(i).parse().expect("--rounds must be a count"),
-            "--budget-us" => {
-                args.budget_us = Some(value(i).parse().expect("--budget-us must be a number"))
-            }
-            "--max-in-flight" => {
-                args.max_in_flight = value(i).parse().expect("--max-in-flight must be a count")
-            }
-            "--faults" => args.faults = Some(value(i).to_string()),
-            "--priority-mix" => {
-                args.priority_mix = value(i)
-                    .parse()
-                    .expect("--priority-mix must be a fraction in [0, 1]")
-            }
-            "--deadline-us" => {
-                args.deadline_us = Some(value(i).parse().expect("--deadline-us must be a number"))
-            }
-            other => panic!("unknown argument {other}"),
-        }
-        i += 2;
-    }
-    assert!(args.threads > 0, "--threads must be positive");
-    assert!(
-        (0.0..=1.0).contains(&args.priority_mix),
-        "--priority-mix must be a fraction in [0, 1]"
-    );
-    args
+/// Exit 2 with a readable message (registry typos, bad snapshots, bind
+/// failures — operator mistakes, not bugs).
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("plan-doctor: {msg}");
+    std::process::exit(2);
 }
 
 /// The fault plan in effect: `--faults` beats `FOSS_FAULTS`, neither means
 /// none. An invalid spec exits with the parser's readable message (which
 /// lists the valid site names) rather than a panic backtrace.
-fn fault_plan(args: &Args) -> Option<Arc<FaultPlan>> {
-    let parsed = match &args.faults {
+fn fault_plan(shared: &SharedArgs) -> Option<Arc<FaultPlan>> {
+    let parsed = match &shared.faults {
         Some(spec) => FaultPlan::parse(spec, 42).map(Some),
         None => FaultPlan::from_env(),
     };
     match parsed {
         Ok(plan) => plan.map(Arc::new),
-        Err(msg) => {
-            eprintln!("plan-doctor: {msg}");
-            std::process::exit(2);
-        }
+        Err(msg) => die(msg),
     }
 }
 
-fn main() {
-    let args = parse_args();
+/// Build the experiment for the shared flags (registry lookup: a typo'd
+/// `--workload` exits with the valid-name list instead of a backtrace).
+fn experiment(shared: &SharedArgs) -> Experiment {
     let spec = WorkloadSpec {
         seed: 42,
-        scale: args.scale,
+        scale: shared.scale,
     };
-    // Registry lookup: a typo'd --workload exits with the valid-name list
-    // instead of a panic backtrace.
-    let exp = Experiment::new(&args.workload, spec).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
-    println!(
-        "plan-doctor: workload={} scale={} train={} test={}",
-        args.workload,
-        args.scale,
-        exp.workload.train.len(),
-        exp.workload.test.len()
-    );
+    Experiment::new(&shared.workload, spec).unwrap_or_else(|e| die(e))
+}
 
-    // Train, then publish a snapshot into the service.
+/// Train FOSS on the experiment's train split for `rounds` rounds and
+/// return the resulting snapshot.
+fn train_snapshot(exp: &Experiment, shared: &SharedArgs) -> PlannerSnapshot {
     let mut adapter = FossAdapter::new(exp.foss(FossConfig {
         episodes_per_update: 12,
-        seed: spec.seed,
+        seed: 42,
         ..FossConfig::tiny()
     }));
     use foss_baselines::LearnedOptimizer;
-    for round in 0..args.rounds.max(1) {
+    for round in 0..shared.rounds.max(1) {
         adapter
             .train_round(&exp.workload.train)
             .unwrap_or_else(|e| panic!("training round {round} failed: {e}"));
     }
+    adapter.snapshot().as_ref().clone()
+}
+
+/// Wrap a snapshot in a service front end configured by the shared flags.
+fn doctor_for(exp: &Experiment, shared: &SharedArgs, snapshot: PlannerSnapshot) -> PlanDoctor {
     let mut doctor = PlanDoctor::new(
-        adapter.snapshot().as_ref().clone(),
+        snapshot,
         exp.executor.clone(),
         ServiceConfig {
-            max_in_flight: args.max_in_flight,
-            planning_budget_us: args.budget_us,
+            max_in_flight: shared.max_in_flight,
+            planning_budget_us: shared.budget_us,
             ..ServiceConfig::default()
         },
     );
-    if let Some(faults) = fault_plan(&args) {
+    if let Some(faults) = fault_plan(shared) {
         println!("plan-doctor: chaos mode, fault plan attached");
         doctor = doctor.with_fault_plan(faults);
     }
-    let doctor = Arc::new(doctor);
+    doctor
+}
 
-    // N worker threads submit the test split round-robin until `queries`
+fn run_bench(args: BenchArgs) {
+    let exp = experiment(&args.shared);
+    println!(
+        "plan-doctor: workload={} scale={} train={} test={}",
+        args.shared.workload,
+        args.shared.scale,
+        exp.workload.train.len(),
+        exp.workload.test.len()
+    );
+
+    let snapshot = train_snapshot(&exp, &args.shared);
+    let doctor = Arc::new(doctor_for(&exp, &args.shared, snapshot));
+
+    // N worker threads submit the query pool round-robin until `queries`
     // total submissions have completed.
     let pool: Vec<_> = exp.workload.all_queries();
     assert!(!pool.is_empty(), "workload has no queries");
@@ -178,6 +137,7 @@ fn main() {
         for t in 0..args.threads {
             let doctor = doctor.clone();
             let pool = &pool;
+            let args = &args;
             scope.spawn(move || {
                 for k in 0..per_thread {
                     let idx = t * per_thread + k;
@@ -214,4 +174,173 @@ fn main() {
     });
 
     println!("{}", doctor.metrics().summary_line());
+}
+
+fn run_serve(args: ServeArgs) {
+    let exp = experiment(&args.shared);
+    let snapshot = match &args.snapshot {
+        // Serving-only boot: the expert optimizer is a pure function of
+        // (workload, seed, scale), so the workload build above rebuilt it
+        // and the snapshot file supplies every learned weight.
+        Some(path) => {
+            PlannerSnapshot::load(path, exp.workload.optimizer.clone()).unwrap_or_else(|e| die(e))
+        }
+        None => train_snapshot(&exp, &args.shared),
+    };
+    if let Some(path) = &args.save_snapshot {
+        snapshot.save(path).unwrap_or_else(|e| die(e));
+        println!("plan-doctor: snapshot saved to {path}");
+    }
+    let doctor = Arc::new(doctor_for(&exp, &args.shared, snapshot));
+    let pool = exp.workload.all_queries();
+    let server = PlanServer::start(doctor, pool.clone(), &args.addr).unwrap_or_else(|e| die(e));
+    println!(
+        "plan-doctor: serving workload={} ({} queries) on http://{}",
+        args.shared.workload,
+        pool.len(),
+        server.addr()
+    );
+    // Serve until killed; connections are handled on their own threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Per-thread tallies folded into the load report.
+#[derive(Default)]
+struct LoadTally {
+    latencies_us: Vec<f64>,
+    ok: u64,
+    shed_low: u64,
+    shed_high: u64,
+    rejected: u64,
+    transport_errors: u64,
+    /// (reason string, count) — merged across threads at the end.
+    fallback_mix: Vec<(String, u64)>,
+}
+
+impl LoadTally {
+    fn bump_reason(&mut self, reason: &str) {
+        match self.fallback_mix.iter_mut().find(|(r, _)| r == reason) {
+            Some((_, n)) => *n += 1,
+            None => self.fallback_mix.push((reason.to_string(), 1)),
+        }
+    }
+
+    fn merge(&mut self, other: LoadTally) {
+        self.latencies_us.extend(other.latencies_us);
+        self.ok += other.ok;
+        self.shed_low += other.shed_low;
+        self.shed_high += other.shed_high;
+        self.rejected += other.rejected;
+        self.transport_errors += other.transport_errors;
+        for (reason, n) in other.fallback_mix {
+            match self.fallback_mix.iter_mut().find(|(r, _)| *r == reason) {
+                Some((_, total)) => *total += n,
+                None => self.fallback_mix.push((reason, n)),
+            }
+        }
+    }
+}
+
+fn run_load(args: LoadArgs) {
+    let client = PlanClient::connect(&args.addr).unwrap_or_else(|e| die(e));
+    // Await server readiness: `serve` may still be training when the load
+    // generator starts (the CI smoke starts both back-to-back).
+    let mut pool_len = None;
+    for _ in 0..300 {
+        if let Ok(health) = client.healthz() {
+            pool_len = health.get("queries").and_then(|q| q.as_usize());
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    let pool_len = pool_len
+        .filter(|n| *n > 0)
+        .unwrap_or_else(|| die(format!("no healthy server at {} after 60s", args.addr)));
+    println!(
+        "plan-doctor load: target=http://{} pool={pool_len} threads={} requests={}",
+        args.addr, args.threads, args.requests
+    );
+
+    // Closed loop: each thread keeps exactly one request in flight,
+    // drawing the next global index until the budget is spent.
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let mut total = LoadTally::default();
+    let tallies: Vec<LoadTally> = std::thread::scope(|scope| {
+        (0..args.threads)
+            .map(|_| {
+                let next = &next;
+                let args = &args;
+                scope.spawn(move || {
+                    let mut tally = LoadTally::default();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= args.requests {
+                            return tally;
+                        }
+                        let mut req = PlanRequest::for_index(idx % pool_len);
+                        let low = ((idx % 100) as f64) < args.priority_mix * 100.0;
+                        if low {
+                            req.priority = Some(Priority::Low);
+                        }
+                        req.deadline_us = args.deadline_us;
+                        req.planning_budget_us = args.budget_us;
+                        let sent = Instant::now();
+                        match client.plan(&req) {
+                            Ok(PlanOutcome::Decision(reply)) => {
+                                tally.latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                                tally.ok += 1;
+                                tally.bump_reason(&reply.reason);
+                            }
+                            Ok(PlanOutcome::Rejected(rej)) if rej.code == "overloaded" => {
+                                if low {
+                                    tally.shed_low += 1;
+                                } else {
+                                    tally.shed_high += 1;
+                                }
+                            }
+                            Ok(PlanOutcome::Rejected(_)) => tally.rejected += 1,
+                            Err(_) => tally.transport_errors += 1,
+                        }
+                    }
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    for tally in tallies {
+        total.merge(tally);
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let pct = |p: f64| foss_common::percentile(&total.latencies_us, p).unwrap_or(0.0);
+    println!(
+        "plan-doctor load: requests={} ok={} shed={}/{} rejected={} transport_errors={} \
+         qps={:.1} p50_us={:.0} p95_us={:.0} p99_us={:.0}",
+        args.requests,
+        total.ok,
+        total.shed_low,
+        total.shed_high,
+        total.rejected,
+        total.transport_errors,
+        total.ok as f64 / elapsed_s,
+        pct(50.0),
+        pct(95.0),
+        pct(99.0),
+    );
+    total.fallback_mix.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let mix = total
+        .fallback_mix
+        .iter()
+        .map(|(r, n)| format!("{r}={n}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("plan-doctor load: fallback mix: {mix}");
+    if total.ok == 0 {
+        die("no request succeeded");
+    }
 }

@@ -10,6 +10,8 @@
 //! * `FOSS_EXEC` — executor engine: `chunked` (default) or `scalar` (the
 //!   row-at-a-time differential-testing reference).
 
+pub mod cli;
+
 use criterion::Criterion;
 use foss_common::QueryId;
 use foss_core::encoding::PlanEncoder;

@@ -5,6 +5,7 @@
 //! splitter so every experiment is reproducible from a single seed, and the
 //! workspace-wide error type.
 
+pub mod codec;
 pub mod error;
 pub mod faults;
 pub mod hash;
@@ -13,6 +14,7 @@ pub mod par;
 pub mod rng;
 pub mod stats;
 
+pub use codec::{ByteReader, ByteWriter, Codec};
 pub use error::{FossError, Result};
 pub use faults::{FaultPlan, FaultPlanBuilder, FaultRule, FaultSite, FaultStats, FAULT_SITES};
 pub use hash::{fx_hash_one, FxHashMap, FxHashSet};

@@ -282,6 +282,37 @@ impl AdvantageModel {
     }
 }
 
+impl foss_common::Codec for AdvantageModel {
+    fn encode(&self, w: &mut foss_common::ByteWriter) {
+        self.set.encode(w);
+        self.state_net.encode(w);
+        self.pos_emb.encode(w);
+        self.fc1.encode(w);
+        self.fc2.encode(w);
+        self.adam.encode(w);
+        w.put_f32(self.gamma_pos);
+        w.put_f32(self.gamma_neg);
+        w.put_f32(self.smoothing);
+        w.put_usize(self.k);
+        w.put_usize(self.batch);
+    }
+    fn decode(r: &mut foss_common::ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            set: ParamSet::decode(r)?,
+            state_net: StateNetwork::decode(r)?,
+            pos_emb: Embedding::decode(r)?,
+            fc1: Linear::decode(r)?,
+            fc2: Linear::decode(r)?,
+            adam: Adam::decode(r)?,
+            gamma_pos: r.get_f32()?,
+            gamma_neg: r.get_f32()?,
+            smoothing: r.get_f32()?,
+            k: r.get_usize()?,
+            batch: r.get_usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

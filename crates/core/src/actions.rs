@@ -194,6 +194,21 @@ pub fn order_is_connected(query: &Query, order: &[usize]) -> bool {
     true
 }
 
+impl foss_common::Codec for ActionSpace {
+    fn encode(&self, w: &mut foss_common::ByteWriter) {
+        w.put_usize(self.max_n);
+    }
+    fn decode(r: &mut foss_common::ByteReader<'_>) -> foss_common::Result<Self> {
+        let max_n = r.get_usize()?;
+        if max_n < 2 {
+            return Err(foss_common::FossError::Serde(format!(
+                "decoded action space invalid: max_n={max_n}"
+            )));
+        }
+        Ok(Self { max_n })
+    }
+}
+
 /// Extract `(l, r)` if the action was a swap (for `LimitSpace` tracking).
 pub fn as_swap(action: Action) -> Option<(usize, usize)> {
     match action {

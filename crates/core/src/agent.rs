@@ -2,6 +2,7 @@
 //! fully-connected action selector `π` and a value head, trained end-to-end
 //! with PPO.
 
+use foss_common::{ByteReader, ByteWriter, Codec};
 use foss_nn::{Graph, Linear, ParamSet, Var};
 use foss_rl::{sample_masked, PolicyValueNet, Ppo, PpoConfig, PpoStats, RolloutBatch};
 use rand::rngs::StdRng;
@@ -48,6 +49,27 @@ impl AgentModel {
             value_out: Linear::new(set, cfg.d_state, 1, rng),
             actions,
         }
+    }
+}
+
+impl Codec for AgentModel {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.state_net.encode(w);
+        self.policy_hidden.encode(w);
+        self.policy_out.encode(w);
+        self.value_hidden.encode(w);
+        self.value_out.encode(w);
+        w.put_usize(self.actions);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            state_net: StateNetwork::decode(r)?,
+            policy_hidden: Linear::decode(r)?,
+            policy_out: Linear::decode(r)?,
+            value_hidden: Linear::decode(r)?,
+            value_out: Linear::decode(r)?,
+            actions: r.get_usize()?,
+        })
     }
 }
 
@@ -113,6 +135,19 @@ impl FrozenPolicy {
     /// to the live agent the policy was frozen from.
     pub fn evaluate(&self, state: &EncodedPlan) -> (Vec<f32>, f32) {
         eval_model(&self.model, &self.set, state)
+    }
+}
+
+impl Codec for FrozenPolicy {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.model.encode(w);
+        self.set.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            model: AgentModel::decode(r)?,
+            set: ParamSet::decode(r)?,
+        })
     }
 }
 

@@ -116,6 +116,63 @@ impl FossConfig {
     }
 }
 
+impl foss_common::Codec for FossConfig {
+    fn encode(&self, w: &mut foss_common::ByteWriter) {
+        w.put_usize(self.max_steps);
+        w.put_f64(self.eta);
+        w.put_f64(self.penalty_gamma);
+        self.adv_points.encode(w);
+        w.put_f64(self.timeout_factor);
+        w.put_usize(self.episodes_per_update);
+        w.put_bool(self.use_simulated_env);
+        w.put_bool(self.validate_promising);
+        w.put_usize(self.promising_per_update);
+        w.put_usize(self.random_validation_per_update);
+        w.put_usize(self.num_agents);
+        w.put_usize(self.aam_epochs);
+        w.put_usize(self.aam_batch);
+        w.put_f32(self.aam_lr);
+        w.put_f32(self.focal_gamma_pos);
+        w.put_f32(self.focal_gamma_neg);
+        w.put_f32(self.label_smoothing);
+        w.put_usize(self.d_model);
+        w.put_usize(self.heads);
+        w.put_usize(self.blocks);
+        w.put_usize(self.d_state);
+        w.put_f32(self.agent_lr);
+        w.put_f32(self.rl_gamma);
+        w.put_u64(self.seed);
+    }
+    fn decode(r: &mut foss_common::ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            max_steps: r.get_usize()?,
+            eta: r.get_f64()?,
+            penalty_gamma: r.get_f64()?,
+            adv_points: Vec::decode(r)?,
+            timeout_factor: r.get_f64()?,
+            episodes_per_update: r.get_usize()?,
+            use_simulated_env: r.get_bool()?,
+            validate_promising: r.get_bool()?,
+            promising_per_update: r.get_usize()?,
+            random_validation_per_update: r.get_usize()?,
+            num_agents: r.get_usize()?,
+            aam_epochs: r.get_usize()?,
+            aam_batch: r.get_usize()?,
+            aam_lr: r.get_f32()?,
+            focal_gamma_pos: r.get_f32()?,
+            focal_gamma_neg: r.get_f32()?,
+            label_smoothing: r.get_f32()?,
+            d_model: r.get_usize()?,
+            heads: r.get_usize()?,
+            blocks: r.get_usize()?,
+            d_state: r.get_usize()?,
+            agent_lr: r.get_f32()?,
+            rl_gamma: r.get_f32()?,
+            seed: r.get_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

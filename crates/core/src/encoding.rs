@@ -182,6 +182,52 @@ impl PlanEncoder {
     }
 }
 
+impl foss_common::Codec for EncodedPlan {
+    fn encode(&self, w: &mut foss_common::ByteWriter) {
+        self.ops.encode(w);
+        self.tables.encode(w);
+        self.sels.encode(w);
+        self.rows.encode(w);
+        self.heights.encode(w);
+        self.structures.encode(w);
+        self.reach.encode(w);
+        w.put_f32(self.step);
+    }
+    fn decode(r: &mut foss_common::ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            ops: Vec::decode(r)?,
+            tables: Vec::decode(r)?,
+            sels: Vec::decode(r)?,
+            rows: Vec::decode(r)?,
+            heights: Vec::decode(r)?,
+            structures: Vec::decode(r)?,
+            reach: Vec::decode(r)?,
+            step: r.get_f32()?,
+        })
+    }
+}
+
+impl foss_common::Codec for PlanEncoder {
+    fn encode(&self, w: &mut foss_common::ByteWriter) {
+        w.put_usize(self.table_count);
+        self.table_rows.encode(w);
+    }
+    fn decode(r: &mut foss_common::ByteReader<'_>) -> foss_common::Result<Self> {
+        let table_count = r.get_usize()?;
+        let table_rows: Vec<u64> = Vec::decode(r)?;
+        if table_rows.len() != table_count {
+            return Err(foss_common::FossError::Serde(format!(
+                "plan encoder table_rows has {} entries for {table_count} tables",
+                table_rows.len()
+            )));
+        }
+        Ok(Self {
+            table_count,
+            table_rows,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,5 +43,5 @@ pub use envs::{RealEnv, RewardOracle, SimEnv};
 pub use episode::{run_episode, run_episode_greedy, EpisodeResult};
 pub use execbuf::{ExecutedPlan, ExecutionBuffer};
 pub use selector::select_best;
-pub use snapshot::{PlannerSnapshot, SnapshotCell};
+pub use snapshot::{PlannerSnapshot, SnapshotCell, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use trainer::{Foss, Inference, TrainReport};

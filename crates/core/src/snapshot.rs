@@ -14,9 +14,10 @@
 //! call [`SnapshotCell::load`] per query and keep planning on whatever
 //! generation they loaded — no lock is held while planning.
 
+use std::path::Path;
 use std::sync::Arc;
 
-use foss_common::{FxHashMap, QueryId, Result};
+use foss_common::{ByteReader, ByteWriter, Codec, FossError, FxHashMap, QueryId, Result};
 use foss_optimizer::{PhysicalPlan, TraditionalOptimizer};
 use foss_query::Query;
 use parking_lot::RwLock;
@@ -32,6 +33,14 @@ use crate::episode::run_episode_greedy;
 use crate::execbuf::ExecutionBuffer;
 use crate::selector::select_best;
 use crate::trainer::Inference;
+
+/// Magic bytes opening every serialized snapshot (`FSNP` little-endian).
+pub const SNAPSHOT_MAGIC: u32 = 0x504e_5346;
+
+/// Version of the snapshot wire/file format produced by
+/// [`PlannerSnapshot::to_bytes`]. Bump on any layout change; decode rejects
+/// versions it does not understand.
+pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// An immutable, cheaply-cloneable view of a trained FOSS planner.
 ///
@@ -142,6 +151,102 @@ impl PlannerSnapshot {
             query,
             original,
         )
+    }
+
+    /// Serialize this snapshot to the versioned binary format.
+    ///
+    /// The payload carries everything inference needs *except* the expert
+    /// [`TraditionalOptimizer`], which is a pure function of the workload
+    /// (name, seed, scale) and is rebuilt by the loading process —
+    /// see [`PlannerSnapshot::from_bytes`]. Maps are key-sorted before
+    /// writing, so the same logical snapshot always yields the same bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(SNAPSHOT_MAGIC);
+        w.put_u32(SNAPSHOT_VERSION);
+        self.cfg.encode(&mut w);
+        self.scale.encode(&mut w);
+        // Fully-qualified: PlanEncoder/ActionSpace have inherent `encode`
+        // methods (plan encoding / action decoding) that shadow the trait.
+        Codec::encode(self.encoder.as_ref(), &mut w);
+        Codec::encode(self.space.as_ref(), &mut w);
+        self.policies.as_ref().encode(&mut w);
+        self.aam.encode(&mut w);
+        self.buffer.encode(&mut w);
+        let mut keys: Vec<QueryId> = self.originals.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_usize(keys.len());
+        for qid in keys {
+            qid.encode(&mut w);
+            self.originals[&qid].encode(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Reconstruct a snapshot from [`PlannerSnapshot::to_bytes`] output.
+    ///
+    /// `optimizer` must be the expert optimizer of the workload the snapshot
+    /// was trained on (rebuilt deterministically from the same workload name,
+    /// seed and scale). Plans produced by the result are bit-identical to
+    /// the snapshot that was serialized.
+    pub fn from_bytes(bytes: &[u8], optimizer: Arc<TraditionalOptimizer>) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_u32()?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(FossError::Serde(format!(
+                "not a planner snapshot (magic {magic:#010x})"
+            )));
+        }
+        let version = r.get_u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(FossError::Serde(format!(
+                "unsupported snapshot version {version} (supported: {SNAPSHOT_VERSION})"
+            )));
+        }
+        let cfg = FossConfig::decode(&mut r)?;
+        let scale = AdvantageScale::decode(&mut r)?;
+        let encoder = <PlanEncoder as Codec>::decode(&mut r)?;
+        let space = <ActionSpace as Codec>::decode(&mut r)?;
+        let policies: Vec<FrozenPolicy> = Vec::decode(&mut r)?;
+        let aam = AdvantageModel::decode(&mut r)?;
+        let buffer = ExecutionBuffer::decode(&mut r)?;
+        let mut originals = FxHashMap::default();
+        for _ in 0..r.get_len()? {
+            let qid = QueryId::decode(&mut r)?;
+            originals.insert(qid, PhysicalPlan::decode(&mut r)?);
+        }
+        r.finish()?;
+        Ok(Self {
+            cfg,
+            scale,
+            optimizer,
+            encoder: Arc::new(encoder),
+            space: Arc::new(space),
+            policies: Arc::new(policies),
+            aam: Arc::new(aam),
+            buffer: Arc::new(buffer),
+            originals: Arc::new(originals),
+        })
+    }
+
+    /// Write the snapshot to `path` (atomic enough for single-writer use:
+    /// the file appears fully written or not at all via a temp + rename).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| FossError::Serde(format!("cannot write {}: {e}", path.display())))
+    }
+
+    /// Read a snapshot saved by [`PlannerSnapshot::save`]; `optimizer` as in
+    /// [`PlannerSnapshot::from_bytes`].
+    pub fn load(path: impl AsRef<Path>, optimizer: Arc<TraditionalOptimizer>) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| FossError::Serde(format!("cannot read {}: {e}", path.display())))?;
+        Self::from_bytes(&bytes, optimizer)
     }
 }
 
@@ -333,6 +438,59 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &second), "publish must swap the slot");
         // The retired generation keeps working (readers finish on it).
         first.optimize(&world.query).unwrap();
+    }
+
+    #[test]
+    fn serialized_snapshot_round_trips_bit_identically() {
+        let world = TestWorld::new(26);
+        let foss = trained_foss(&world, 26);
+        let snap = foss.snapshot();
+        let bytes = snap.to_bytes();
+        let back = PlannerSnapshot::from_bytes(&bytes, snap.optimizer().clone()).unwrap();
+        let live = snap.optimize_detailed(&world.query).unwrap();
+        let loaded = back.optimize_detailed(&world.query).unwrap();
+        assert_eq!(live.plan.fingerprint(), loaded.plan.fingerprint());
+        assert_eq!(live.selected_step, loaded.selected_step);
+        assert_eq!(live.candidates, loaded.candidates);
+        assert_eq!(live.aam_confidence, loaded.aam_confidence);
+        // Canonical encoding: re-serializing the decoded snapshot is stable.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_bad_magic_and_version() {
+        let world = TestWorld::new(27);
+        let foss = trained_foss(&world, 27);
+        let snap = foss.snapshot();
+        let opt = snap.optimizer().clone();
+        let mut bytes = snap.to_bytes();
+        // Corrupt the version field.
+        bytes[4] = 0xEE;
+        assert!(PlannerSnapshot::from_bytes(&bytes, opt.clone()).is_err());
+        // Corrupt the magic.
+        bytes[4] = SNAPSHOT_VERSION as u8;
+        bytes[0] ^= 0xFF;
+        assert!(PlannerSnapshot::from_bytes(&bytes, opt.clone()).is_err());
+        // Truncation fails loudly too.
+        let good = snap.to_bytes();
+        assert!(PlannerSnapshot::from_bytes(&good[..good.len() - 3], opt).is_err());
+    }
+
+    #[test]
+    fn snapshot_save_load_file_round_trip() {
+        let world = TestWorld::new(28);
+        let foss = trained_foss(&world, 28);
+        let snap = foss.snapshot();
+        let dir = std::env::temp_dir().join(format!("foss-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("planner.fsnp");
+        snap.save(&path).unwrap();
+        let loaded = PlannerSnapshot::load(&path, snap.optimizer().clone()).unwrap();
+        assert_eq!(
+            snap.optimize(&world.query).unwrap().fingerprint(),
+            loaded.optimize(&world.query).unwrap().fingerprint()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

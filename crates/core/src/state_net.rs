@@ -6,6 +6,7 @@
 //! get mean-pooled and — concatenated with the step feature — projected by a
 //! linear layer into the final `statevec`.
 
+use foss_common::{ByteReader, ByteWriter, Codec};
 use foss_nn::{
     segment_additive_mask, Embedding, Graph, LayerNorm, Linear, Matrix, MultiHeadAttention,
     ParamSet, Var,
@@ -143,6 +144,54 @@ impl StateNetwork {
         ));
         let with_step = g.concat_cols(&[pooled, steps]);
         self.out.forward(g, set, with_step)
+    }
+}
+
+impl Codec for Block {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.attn.encode(w);
+        self.norm1.encode(w);
+        self.ff1.encode(w);
+        self.ff2.encode(w);
+        self.norm2.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            attn: MultiHeadAttention::decode(r)?,
+            norm1: LayerNorm::decode(r)?,
+            ff1: Linear::decode(r)?,
+            ff2: Linear::decode(r)?,
+            norm2: LayerNorm::decode(r)?,
+        })
+    }
+}
+
+impl Codec for StateNetwork {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.op_emb.encode(w);
+        self.table_emb.encode(w);
+        self.sel_emb.encode(w);
+        self.rows_emb.encode(w);
+        self.height_emb.encode(w);
+        self.struct_emb.encode(w);
+        self.blocks.encode(w);
+        self.out.encode(w);
+        w.put_usize(self.d_model);
+        w.put_usize(self.d_state);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            op_emb: Embedding::decode(r)?,
+            table_emb: Embedding::decode(r)?,
+            sel_emb: Embedding::decode(r)?,
+            rows_emb: Embedding::decode(r)?,
+            height_emb: Embedding::decode(r)?,
+            struct_emb: Embedding::decode(r)?,
+            blocks: Vec::decode(r)?,
+            out: Linear::decode(r)?,
+            d_model: r.get_usize()?,
+            d_state: r.get_usize()?,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! Layer modules: thin wrappers that allocate parameters in a [`ParamSet`]
 //! and record their forward computation on a [`Graph`].
 
+use foss_common::{ByteReader, ByteWriter, Codec};
 use rand::rngs::StdRng;
 
 use crate::graph::{Graph, Var};
@@ -193,6 +194,73 @@ impl MultiHeadAttention {
             g.seg_multi_head_attention(qkv, mask_var, segs, self.heads, 1.0 / (dk as f32).sqrt());
         let wo = g.param(self.wo, set);
         g.matmul(attended, wo)
+    }
+}
+
+// Layer structs are plain wiring — `ParamId` indices into the shared
+// `ParamSet` plus their dimensions — so their codecs are field-by-field.
+
+impl Codec for Linear {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.w.encode(w);
+        self.b.encode(w);
+        w.put_usize(self.in_dim);
+        w.put_usize(self.out_dim);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            w: ParamId::decode(r)?,
+            b: ParamId::decode(r)?,
+            in_dim: r.get_usize()?,
+            out_dim: r.get_usize()?,
+        })
+    }
+}
+
+impl Codec for Embedding {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.table.encode(w);
+        w.put_usize(self.vocab);
+        w.put_usize(self.dim);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            table: ParamId::decode(r)?,
+            vocab: r.get_usize()?,
+            dim: r.get_usize()?,
+        })
+    }
+}
+
+impl Codec for LayerNorm {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.gamma.encode(w);
+        self.beta.encode(w);
+        w.put_usize(self.dim);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            gamma: ParamId::decode(r)?,
+            beta: ParamId::decode(r)?,
+            dim: r.get_usize()?,
+        })
+    }
+}
+
+impl Codec for MultiHeadAttention {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.wqkv.encode(w);
+        self.wo.encode(w);
+        w.put_usize(self.heads);
+        w.put_usize(self.d_model);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            wqkv: ParamId::decode(r)?,
+            wo: ParamId::decode(r)?,
+            heads: r.get_usize()?,
+            d_model: r.get_usize()?,
+        })
     }
 }
 

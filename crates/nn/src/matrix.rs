@@ -440,6 +440,29 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     s
 }
 
+impl foss_common::Codec for Matrix {
+    fn encode(&self, w: &mut foss_common::ByteWriter) {
+        w.put_usize(self.rows);
+        w.put_usize(self.cols);
+        for &v in &self.data {
+            w.put_f32(v);
+        }
+    }
+
+    fn decode(r: &mut foss_common::ByteReader<'_>) -> foss_common::Result<Self> {
+        let rows = r.get_usize()?;
+        let cols = r.get_usize()?;
+        let n = rows.checked_mul(cols).ok_or_else(|| {
+            foss_common::FossError::Serde(format!("matrix shape overflow: {rows}x{cols}"))
+        })?;
+        let mut data = Vec::with_capacity(n.min(r.remaining() / 4 + 1));
+        for _ in 0..n {
+            data.push(r.get_f32()?);
+        }
+        Ok(Self { rows, cols, data })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,6 @@
 //! Trainable parameters and the Adam optimiser.
 
+use foss_common::{ByteReader, ByteWriter, Codec};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
@@ -127,6 +128,45 @@ impl ParamSet {
     }
 }
 
+impl Codec for ParamId {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.0);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self(r.get_usize()?))
+    }
+}
+
+/// Snapshots carry only parameter *values* — the gradient accumulator and
+/// Adam moments are training scratch, re-zeroed on decode. Inference reads
+/// nothing but `value`, so a decoded model plans bit-identically.
+impl Codec for Param {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.value.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        let value = Matrix::decode(r)?;
+        let (rows, cols) = (value.rows, value.cols);
+        Ok(Self {
+            value,
+            grad: Matrix::zeros(rows, cols),
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+        })
+    }
+}
+
+impl Codec for ParamSet {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.params.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            params: Vec::decode(r)?,
+        })
+    }
+}
+
 /// Destination for the parameter gradients a backward pass produces.
 ///
 /// [`ParamSet`] implements it by accumulating into each parameter's `grad`
@@ -235,6 +275,25 @@ impl Adam {
     /// Steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+}
+
+impl Codec for Adam {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f32(self.lr);
+        w.put_f32(self.beta1);
+        w.put_f32(self.beta2);
+        w.put_f32(self.eps);
+        w.put_u64(self.t);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> foss_common::Result<Self> {
+        Ok(Self {
+            lr: r.get_f32()?,
+            beta1: r.get_f32()?,
+            beta2: r.get_f32()?,
+            eps: r.get_f32()?,
+            t: r.get_u64()?,
+        })
     }
 }
 

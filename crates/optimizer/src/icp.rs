@@ -11,7 +11,7 @@
 //!   `order[k]` (k ≥ 2) is `T(k+1)`, the right input of join `O(k-1)`;
 //! * `methods` — join methods bottom-up: `methods[0]` is `O1`, etc.
 
-use foss_common::{fx_hash_one, FossError, Result};
+use foss_common::{fx_hash_one, ByteReader, ByteWriter, Codec, FossError, Result};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -195,6 +195,30 @@ impl Icp {
             .filter(|(a, b)| a != b)
             .count();
         swaps + overrides
+    }
+}
+
+impl Codec for JoinMethod {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(self.index() as u8);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let i = r.get_u8()? as usize;
+        JoinMethod::from_index(i)
+            .ok_or_else(|| FossError::Serde(format!("invalid join-method tag {i}")))
+    }
+}
+
+impl Codec for Icp {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.order.encode(w);
+        self.methods.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        // Re-validate through the constructor so corrupt bytes cannot smuggle
+        // in a non-permutation order.
+        Icp::new(Vec::decode(r)?, Vec::decode(r)?)
+            .map_err(|e| FossError::Serde(format!("decoded ICP invalid: {e}")))
     }
 }
 

@@ -1,6 +1,6 @@
 //! Physical plans (the paper's *complete plan*, `CP`).
 
-use foss_common::{fx_hash_one, FossError, Result};
+use foss_common::{fx_hash_one, ByteReader, ByteWriter, Codec, FossError, Result};
 use foss_query::JoinEdge;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -237,6 +237,95 @@ fn collect_left_deep(
 impl fmt::Display for PhysicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.explain())
+    }
+}
+
+impl Codec for AccessPath {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            AccessPath::SeqScan => w.put_u8(0),
+            AccessPath::IndexScan { column } => {
+                w.put_u8(1);
+                w.put_usize(*column);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(AccessPath::SeqScan),
+            1 => Ok(AccessPath::IndexScan {
+                column: r.get_usize()?,
+            }),
+            other => Err(FossError::Serde(format!("invalid access-path tag {other}"))),
+        }
+    }
+}
+
+impl Codec for PlanNode {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            PlanNode::Scan {
+                relation,
+                access,
+                est_rows,
+                est_cost,
+            } => {
+                w.put_u8(0);
+                w.put_usize(*relation);
+                access.encode(w);
+                w.put_f64(*est_rows);
+                w.put_f64(*est_cost);
+            }
+            PlanNode::Join {
+                method,
+                left,
+                right,
+                edges,
+                index_nl,
+                est_rows,
+                est_cost,
+            } => {
+                w.put_u8(1);
+                method.encode(w);
+                left.encode(w);
+                right.encode(w);
+                edges.encode(w);
+                w.put_bool(*index_nl);
+                w.put_f64(*est_rows);
+                w.put_f64(*est_cost);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(PlanNode::Scan {
+                relation: r.get_usize()?,
+                access: AccessPath::decode(r)?,
+                est_rows: r.get_f64()?,
+                est_cost: r.get_f64()?,
+            }),
+            1 => Ok(PlanNode::Join {
+                method: JoinMethod::decode(r)?,
+                left: Box::new(PlanNode::decode(r)?),
+                right: Box::new(PlanNode::decode(r)?),
+                edges: Vec::decode(r)?,
+                index_nl: r.get_bool()?,
+                est_rows: r.get_f64()?,
+                est_cost: r.get_f64()?,
+            }),
+            other => Err(FossError::Serde(format!("invalid plan-node tag {other}"))),
+        }
+    }
+}
+
+impl Codec for PhysicalPlan {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.root.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Self {
+            root: PlanNode::decode(r)?,
+        })
     }
 }
 

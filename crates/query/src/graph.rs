@@ -49,6 +49,23 @@ impl JoinEdge {
     }
 }
 
+impl foss_common::Codec for JoinEdge {
+    fn encode(&self, w: &mut foss_common::ByteWriter) {
+        w.put_usize(self.left);
+        w.put_usize(self.left_column);
+        w.put_usize(self.right);
+        w.put_usize(self.right_column);
+    }
+    fn decode(r: &mut foss_common::ByteReader<'_>) -> Result<Self> {
+        Ok(Self {
+            left: r.get_usize()?,
+            left_column: r.get_usize()?,
+            right: r.get_usize()?,
+            right_column: r.get_usize()?,
+        })
+    }
+}
+
 /// A column reference `relations[rel].columns[column]` in a query's
 /// projection or aggregation list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -1,0 +1,711 @@
+//! PlanDoctor over a socket: a hand-rolled HTTP/1.1 server and a blocking
+//! client.
+//!
+//! No async runtime — the service's concurrency model is already
+//! thread-per-query bounded by the [`AdmissionGate`](crate::AdmissionGate),
+//! so the server is a `std::net` accept loop that hands each connection to
+//! a short-lived thread. Backpressure composes naturally: a connection
+//! thread blocks (or is shed) in `submit` exactly like an in-process
+//! caller, and the gate's permit ceiling bounds the planning/execution
+//! concurrency no matter how many connections arrive.
+//!
+//! # Routes
+//!
+//! | route            | body                                | reply |
+//! |------------------|-------------------------------------|-------|
+//! | `POST /plan`     | [`PlanRequest`] JSON                | [`PlanReply`] JSON |
+//! | `GET /metrics`   | —                                   | [`MetricsSnapshot`](crate::MetricsSnapshot) JSON |
+//! | `GET /healthz`   | —                                   | `{status, generation, queries}` |
+//! | `POST /publish`  | raw snapshot bytes ([`PlannerSnapshot::to_bytes`]) | `{generation}` |
+//!
+//! `POST /plan` also accepts `x-foss-priority`, `x-foss-deadline-us` and
+//! `x-foss-planning-budget-us` headers; JSON body fields win when both are
+//! present. Errors use the wire contract in [`crate::wire`]. Every
+//! response is `Connection: close` — one request per connection keeps the
+//! protocol trivial, and the load generator measures full-connection cost,
+//! which is the honest number for a thread-per-connection server.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use foss_common::{FossError, Result};
+use foss_core::PlannerSnapshot;
+use foss_query::Query;
+
+use crate::json::Json;
+use crate::wire::{metrics_to_json, parse_priority, PlanReply, PlanRequest, WireError};
+use crate::{PlanDoctor, QueryRequest};
+
+/// Header-section ceiling; larger requests are rejected as malformed.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Body ceiling (snapshot publishes are the big case).
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Per-connection socket timeout on both sides of the wire.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A running serving endpoint. Dropping (or calling
+/// [`PlanServer::shutdown`]) stops the accept loop; in-flight requests
+/// finish on their own threads.
+pub struct PlanServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// What one connection needs: the doctor and the query pool it serves.
+struct ServeState {
+    doctor: Arc<PlanDoctor>,
+    pool: Vec<Query>,
+}
+
+impl PlanServer {
+    /// Bind `bind` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving `doctor` over `pool` — the workload's query list, which
+    /// `POST /plan` bodies index into.
+    pub fn start(doctor: Arc<PlanDoctor>, pool: Vec<Query>, bind: &str) -> Result<PlanServer> {
+        let listener = TcpListener::bind(bind)
+            .map_err(|e| FossError::Transient(format!("cannot bind {bind}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| FossError::Transient(format!("no local addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(ServeState { doctor, pool });
+        let accept = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let state = state.clone();
+                    std::thread::spawn(move || handle_connection(&state, stream));
+                }
+            })
+        };
+        Ok(PlanServer {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A client pointed at this server.
+    pub fn client(&self) -> PlanClient {
+        PlanClient::new(self.addr)
+    }
+
+    /// Stop accepting connections and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PlanServer {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// One parsed HTTP request.
+struct Request {
+    method: String,
+    path: String,
+    /// Header names lowercased.
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Request {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn handle_connection(state: &ServeState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let (status, body) = match read_request(&mut stream) {
+        Ok(req) => route(state, &req).unwrap_or_else(|e| {
+            let w = WireError::from_error(&e);
+            (w.status, w.body())
+        }),
+        Err(e) => {
+            let w = WireError::from_error(&e);
+            (w.status, w.body())
+        }
+    };
+    let _ = write_response(&mut stream, status, &body);
+}
+
+/// Dispatch a request. `Ok` carries a ready response (success *or* wire
+/// error); `Err` means "map this [`FossError`] onto the wire".
+fn route(state: &ServeState, req: &Request) -> Result<(u16, Json)> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Ok((
+            200,
+            Json::obj(vec![
+                ("status", Json::str("ok")),
+                (
+                    "generation",
+                    Json::u64_str(state.doctor.snapshot_generation()),
+                ),
+                ("queries", Json::num(state.pool.len() as f64)),
+            ]),
+        )),
+        ("GET", "/metrics") => Ok((200, metrics_to_json(&state.doctor.metrics()))),
+        ("POST", "/plan") => {
+            let wire_req = parse_plan_request(req)?;
+            let query = state.pool.get(wire_req.query).ok_or_else(|| {
+                FossError::UnknownName(format!(
+                    "pool query {} (pool holds {})",
+                    wire_req.query,
+                    state.pool.len()
+                ))
+            })?;
+            let mut submit = QueryRequest::new(query.clone());
+            if let Some(p) = wire_req.priority {
+                submit = submit.with_priority(p);
+            }
+            if let Some(d) = wire_req.deadline_us {
+                submit = submit.with_deadline_us(d);
+            }
+            if let Some(b) = wire_req.planning_budget_us {
+                submit = submit.with_planning_budget_us(b);
+            }
+            let decision = state.doctor.submit(submit)?;
+            let generation = state.doctor.snapshot_generation();
+            Ok((
+                200,
+                PlanReply::from_decision(&decision, generation).to_json(),
+            ))
+        }
+        ("POST", "/publish") => {
+            let current = state.doctor.snapshot();
+            let snapshot = PlannerSnapshot::from_bytes(&req.body, current.optimizer().clone())?;
+            state.doctor.publish(snapshot)?;
+            Ok((
+                200,
+                Json::obj(vec![(
+                    "generation",
+                    Json::u64_str(state.doctor.snapshot_generation()),
+                )]),
+            ))
+        }
+        (method, path) => {
+            let w = WireError::protocol(
+                404,
+                "unknown_route",
+                format!(
+                    "no route {method} {path}; valid: POST /plan, GET /metrics, \
+                     GET /healthz, POST /publish"
+                ),
+            );
+            Ok((w.status, w.body()))
+        }
+    }
+}
+
+/// Merge the JSON body with the `x-foss-*` headers (body fields win).
+fn parse_plan_request(req: &Request) -> Result<PlanRequest> {
+    let body = std::str::from_utf8(&req.body)
+        .map_err(|_| FossError::Serde("request body is not UTF-8".into()))?;
+    let mut wire_req = PlanRequest::from_json(&Json::parse(body)?)?;
+    if wire_req.priority.is_none() {
+        if let Some(p) = req.header("x-foss-priority") {
+            wire_req.priority = Some(parse_priority(p)?);
+        }
+    }
+    let header_num = |name: &str| -> Result<Option<f64>> {
+        match req.header(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| FossError::Serde(format!("header {name} must be a number"))),
+        }
+    };
+    if wire_req.deadline_us.is_none() {
+        wire_req.deadline_us = header_num("x-foss-deadline-us")?;
+    }
+    if wire_req.planning_budget_us.is_none() {
+        wire_req.planning_budget_us = header_num("x-foss-planning-budget-us")?;
+    }
+    Ok(wire_req)
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request> {
+    let io_err = |e: std::io::Error| FossError::Transient(format!("socket read: {e}"));
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_terminator(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(FossError::Serde("request header section too large".into()));
+        }
+        let n = stream.read(&mut chunk).map_err(io_err)?;
+        if n == 0 {
+            return Err(FossError::Serde("connection closed mid-request".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| FossError::Serde("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| FossError::Serde("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| FossError::Serde("missing method".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| FossError::Serde("missing path".into()))?
+        .to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| FossError::Serde(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse()
+                .map_err(|_| FossError::Serde("bad content-length".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(FossError::Serde(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(io_err)?;
+        if n == 0 {
+            return Err(FossError::Serde("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Position of the `\r\n\r\n` header terminator, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Error",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
+    let payload = body.to_string();
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        status_text(status),
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// The typed outcome of a `POST /plan` round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOutcome {
+    /// The service planned and executed the query.
+    Decision(PlanReply),
+    /// The service refused the request with a wire error (shed, bad index,
+    /// expired budget upstream, ...).
+    Rejected(Rejection),
+}
+
+/// A wire error as seen by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// HTTP status.
+    pub status: u16,
+    /// Machine-readable error class (see [`crate::wire`]).
+    pub code: String,
+    /// Whether resending the same request can succeed.
+    pub retryable: bool,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// A blocking HTTP client for the serving API (one connection per call,
+/// mirroring the server's `Connection: close` contract).
+#[derive(Debug, Clone, Copy)]
+pub struct PlanClient {
+    addr: SocketAddr,
+}
+
+impl PlanClient {
+    /// A client for the server at `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr }
+    }
+
+    /// Resolve `host:port` and build a client (first address wins).
+    pub fn connect(host_port: &str) -> Result<Self> {
+        let addr = host_port
+            .to_socket_addrs()
+            .map_err(|e| FossError::Transient(format!("cannot resolve {host_port}: {e}")))?
+            .next()
+            .ok_or_else(|| FossError::Transient(format!("{host_port} resolves to nothing")))?;
+        Ok(Self::new(addr))
+    }
+
+    /// `POST /plan`. Transport and protocol failures are `Err`; a served
+    /// decision or a typed wire rejection both come back as `Ok`.
+    pub fn plan(&self, req: &PlanRequest) -> Result<PlanOutcome> {
+        let body = req.to_json().to_string();
+        let (status, reply) = self.request("POST", "/plan", body.as_bytes())?;
+        let parsed = Json::parse(&String::from_utf8_lossy(&reply))?;
+        if status == 200 {
+            Ok(PlanOutcome::Decision(PlanReply::from_json(&parsed)?))
+        } else {
+            Ok(PlanOutcome::Rejected(Rejection {
+                status,
+                code: parsed
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                retryable: parsed
+                    .get("retryable")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                message: parsed
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            }))
+        }
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&self) -> Result<Json> {
+        self.get_json("/healthz")
+    }
+
+    /// `GET /metrics`.
+    pub fn metrics(&self) -> Result<Json> {
+        self.get_json("/metrics")
+    }
+
+    /// `POST /publish` with raw [`PlannerSnapshot::to_bytes`] output;
+    /// returns the new serving generation.
+    pub fn publish(&self, snapshot_bytes: &[u8]) -> Result<u64> {
+        let (status, reply) = self.request("POST", "/publish", snapshot_bytes)?;
+        let parsed = Json::parse(&String::from_utf8_lossy(&reply))?;
+        if status != 200 {
+            let msg = parsed
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("publish failed")
+                .to_string();
+            return Err(FossError::Serde(format!(
+                "publish rejected ({status}): {msg}"
+            )));
+        }
+        parsed
+            .get("generation")
+            .and_then(Json::as_u64_str)
+            .ok_or_else(|| FossError::Serde("publish reply lacks `generation`".into()))
+    }
+
+    fn get_json(&self, path: &str) -> Result<Json> {
+        let (status, reply) = self.request("GET", path, &[])?;
+        let parsed = Json::parse(&String::from_utf8_lossy(&reply))?;
+        if status != 200 {
+            return Err(FossError::Serde(format!("{path} returned {status}")));
+        }
+        Ok(parsed)
+    }
+
+    fn request(&self, method: &str, path: &str, body: &[u8]) -> Result<(u16, Vec<u8>)> {
+        self.request_io(method, path, body)
+            .map_err(|e| FossError::Transient(format!("request to {}: {e}", self.addr)))
+            .and_then(|raw| parse_response(&raw))
+    }
+
+    fn request_io(&self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\
+             connection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        Ok(raw)
+    }
+}
+
+/// Split a raw HTTP response into (status, body).
+fn parse_response(raw: &[u8]) -> Result<(u16, Vec<u8>)> {
+    let header_end =
+        find_terminator(raw).ok_or_else(|| FossError::Serde("truncated HTTP response".into()))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| FossError::Serde("response head is not UTF-8".into()))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| FossError::Serde(format!("bad status line `{status_line}`")))?;
+    Ok((status, raw[header_end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Priority, ServiceConfig};
+    use foss_core::envs::tests_support::TestWorld;
+    use foss_core::{Foss, FossConfig};
+    use foss_executor::CachingExecutor;
+
+    struct Net {
+        world: TestWorld,
+        foss: Foss,
+        doctor: Arc<PlanDoctor>,
+        server: PlanServer,
+    }
+
+    fn serve(seed: u64, cfg: ServiceConfig) -> Net {
+        let world = TestWorld::new(seed);
+        let executor = Arc::new(CachingExecutor::new(
+            world.db.clone(),
+            *world.opt.cost_model(),
+        ));
+        let mut foss = Foss::new(
+            Arc::new(world.opt.clone()),
+            executor.clone(),
+            3,
+            world.db.stats().iter().map(|s| s.row_count).collect(),
+            FossConfig {
+                episodes_per_update: 6,
+                seed,
+                ..FossConfig::tiny()
+            },
+        );
+        foss.train(std::slice::from_ref(&world.query), 1).unwrap();
+        let doctor = Arc::new(PlanDoctor::new(foss.snapshot(), executor, cfg));
+        let server =
+            PlanServer::start(doctor.clone(), vec![world.query.clone()], "127.0.0.1:0").unwrap();
+        Net {
+            world,
+            foss,
+            doctor,
+            server,
+        }
+    }
+
+    #[test]
+    fn socket_round_trip_matches_in_process_submit() {
+        let net = serve(61, ServiceConfig::default());
+        let client = net.server.client();
+
+        let health = client.healthz().unwrap();
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(health.get("queries").and_then(Json::as_usize), Some(1));
+
+        let outcome = client.plan(&PlanRequest::for_index(0)).unwrap();
+        let PlanOutcome::Decision(reply) = outcome else {
+            panic!("expected a decision, got {outcome:?}");
+        };
+        // The same request in-process must agree on the served plan.
+        let direct = net
+            .doctor
+            .submit(QueryRequest::new(net.world.query.clone()))
+            .unwrap();
+        assert_eq!(reply.fingerprint, direct.plan.fingerprint());
+        assert_eq!(reply.generation, 0);
+
+        let metrics = client.metrics().unwrap();
+        assert_eq!(metrics.get("submitted").and_then(Json::as_usize), Some(2));
+        assert_eq!(metrics.get("errors").and_then(Json::as_usize), Some(0));
+    }
+
+    #[test]
+    fn wire_errors_carry_documented_codes() {
+        let net = serve(
+            62,
+            ServiceConfig {
+                max_in_flight: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let client = net.server.client();
+
+        // Out-of-pool index → 404 unknown_name.
+        let out = client.plan(&PlanRequest::for_index(99)).unwrap();
+        let PlanOutcome::Rejected(rej) = out else {
+            panic!("bad index must be rejected")
+        };
+        assert_eq!((rej.status, rej.code.as_str()), (404, "unknown_name"));
+        assert!(!rej.retryable);
+
+        // Saturated gate + low priority → 429 overloaded, retryable.
+        let held = net.doctor.gate.acquire();
+        let shed = client
+            .plan(&PlanRequest {
+                query: 0,
+                priority: Some(Priority::Low),
+                ..PlanRequest::default()
+            })
+            .unwrap();
+        let PlanOutcome::Rejected(rej) = shed else {
+            panic!("saturated low-priority must shed")
+        };
+        assert_eq!((rej.status, rej.code.as_str()), (429, "overloaded"));
+        assert!(rej.retryable);
+        drop(held);
+
+        // Unknown route → 404 unknown_route listing the surface.
+        let (status, body) = client.request("GET", "/nope", &[]).unwrap();
+        assert_eq!(status, 404);
+        let parsed = Json::parse(&String::from_utf8_lossy(&body)).unwrap();
+        assert_eq!(
+            parsed.get("code").and_then(Json::as_str),
+            Some("unknown_route")
+        );
+        assert!(parsed
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("POST /plan"));
+
+        // Malformed body → 400 malformed.
+        let (status, body) = client.request("POST", "/plan", b"{not json").unwrap();
+        assert_eq!(status, 400);
+        let parsed = Json::parse(&String::from_utf8_lossy(&body)).unwrap();
+        assert_eq!(parsed.get("code").and_then(Json::as_str), Some("malformed"));
+
+        // Sheds are visible in the served metrics.
+        let m = client.metrics().unwrap();
+        assert_eq!(m.get("shed_low").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn headers_set_priority_and_budget_when_body_omits_them() {
+        let net = serve(63, ServiceConfig::default());
+        let client = net.server.client();
+        // A zero planning budget via header must force PlanningTimeout.
+        let mut stream = TcpStream::connect(net.server.addr()).unwrap();
+        let body = r#"{"query":0}"#;
+        let req = format!(
+            "POST /plan HTTP/1.1\r\nhost: x\r\nx-foss-planning-budget-us: 0\r\n\
+             content-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let (status, reply) = parse_response(&raw).unwrap();
+        assert_eq!(status, 200);
+        let reply =
+            PlanReply::from_json(&Json::parse(&String::from_utf8_lossy(&reply)).unwrap()).unwrap();
+        assert!(reply.fallback);
+        assert_eq!(reply.reason, "planning_timeout");
+        // Body wins over header when both are present.
+        let outcome = client
+            .plan(&PlanRequest {
+                query: 0,
+                planning_budget_us: Some(1e12),
+                ..PlanRequest::default()
+            })
+            .unwrap();
+        assert!(matches!(outcome, PlanOutcome::Decision(_)));
+    }
+
+    #[test]
+    fn publish_over_the_wire_bumps_the_generation() {
+        let mut net = serve(64, ServiceConfig::default());
+        let client = net.server.client();
+        net.foss
+            .train_iteration(std::slice::from_ref(&net.world.query), 2)
+            .unwrap();
+        let bytes = net.foss.snapshot().to_bytes();
+        let generation = client.publish(&bytes).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(net.doctor.snapshot_generation(), 1);
+        // The published generation serves.
+        let outcome = client.plan(&PlanRequest::for_index(0)).unwrap();
+        let PlanOutcome::Decision(reply) = outcome else {
+            panic!("post-publish plan must succeed")
+        };
+        assert_eq!(reply.generation, 1);
+        // Garbage bytes are rejected without disturbing the generation.
+        assert!(client.publish(b"not a snapshot").is_err());
+        assert_eq!(net.doctor.snapshot_generation(), 1);
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let Net { server, .. } = serve(65, ServiceConfig::default());
+        let addr = server.addr();
+        let client = server.client();
+        client.healthz().unwrap();
+        server.shutdown();
+        // A fresh connection must now fail to complete a request.
+        assert!(PlanClient::new(addr).healthz().is_err());
+    }
+}

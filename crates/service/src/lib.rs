@@ -82,7 +82,11 @@
 
 pub mod breaker;
 pub mod gate;
+pub mod http;
+pub mod json;
 pub mod metrics;
+pub mod prelude;
+pub mod wire;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -96,7 +100,10 @@ use parking_lot::Mutex;
 
 pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, BreakerView, CircuitBreaker};
 pub use gate::{AdmissionGate, Permit};
+pub use http::{PlanClient, PlanOutcome, PlanServer, Rejection};
+pub use json::Json;
 pub use metrics::{MetricsRegistry, MetricsSnapshot, Outcome};
+pub use wire::{PlanReply, PlanRequest, WireError};
 
 /// Serving knobs (see the module docs for the semantics of each).
 #[derive(Debug, Clone, Copy)]
@@ -360,6 +367,13 @@ impl PlanDoctor {
     /// How many snapshots have been published since construction.
     pub fn snapshot_generation(&self) -> u64 {
         self.snapshots.generation()
+    }
+
+    /// The snapshot currently being served — the same view an in-flight
+    /// `submit` plans with. The wire layer uses it to decode `POST
+    /// /publish` payloads against the serving workload's expert optimizer.
+    pub fn snapshot(&self) -> Arc<PlannerSnapshot> {
+        self.snapshots.load()
     }
 
     /// The expert plan for `query`: from the snapshot's frozen originals,

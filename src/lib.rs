@@ -34,14 +34,17 @@ pub mod prelude {
         FaultPlan, FaultPlanBuilder, FaultRule, FaultSite, FaultStats, FossError, QueryId, Result,
         TableId, FAULT_SITES,
     };
-    pub use foss_core::{Foss, FossConfig, PlannerSnapshot, SnapshotCell};
+    pub use foss_core::{
+        Foss, FossConfig, PlannerSnapshot, SnapshotCell, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    };
     pub use foss_executor::{CachingExecutor, Database, Executor};
     pub use foss_harness::{evaluate_on, Experiment, FossAdapter};
     pub use foss_optimizer::{Icp, JoinMethod, PhysicalPlan, TraditionalOptimizer};
     pub use foss_query::{Predicate, Query, QueryBuilder};
     pub use foss_service::{
-        BreakerConfig, BreakerState, CircuitBreaker, FallbackReason, MetricsSnapshot, PlanDecision,
-        PlanDoctor, Priority, QueryRequest, ServiceConfig,
+        BreakerConfig, BreakerState, CircuitBreaker, FallbackReason, MetricsSnapshot, PlanClient,
+        PlanDecision, PlanDoctor, PlanOutcome, PlanReply, PlanRequest, PlanServer, Priority,
+        QueryRequest, Rejection, ServiceConfig, WireError,
     };
     pub use foss_workloads::{
         dsblite, joblite, skewstress, stacklite, tpcdslite, Workload, WorkloadSpec, WORKLOAD_NAMES,

@@ -1,0 +1,154 @@
+//! Wire-path regression guards for the networked PlanDoctor: decisions
+//! served over the socket must be identical (fingerprint, fallback flag,
+//! fallback reason, error codes) to in-process `submit()`, and a
+//! serving-only process booted from a saved [`PlannerSnapshot`] file must
+//! plan bit-identically to the trainer that wrote it.
+
+use std::sync::Arc;
+
+use foss_repro::prelude::*;
+use foss_repro::service::wire::reason_str;
+
+/// A trained snapshot plus everything needed to serve it.
+struct Trained {
+    exp: Experiment,
+    snapshot: PlannerSnapshot,
+}
+
+fn train_tiny(seed: u64) -> Trained {
+    let exp = Experiment::new("tpcdslite", WorkloadSpec::tiny(seed)).unwrap();
+    let cfg = FossConfig {
+        episodes_per_update: 6,
+        seed,
+        ..FossConfig::tiny()
+    };
+    let mut adapter = FossAdapter::new(exp.foss(cfg));
+    let train: Vec<_> = exp.workload.train.iter().take(4).cloned().collect();
+    adapter.train_round(&train).unwrap();
+    adapter.train_round(&train).unwrap();
+    let snapshot = adapter.snapshot().as_ref().clone();
+    Trained { exp, snapshot }
+}
+
+#[test]
+fn socket_decisions_match_in_process_submit() {
+    let t = train_tiny(7);
+    // Two doctors built from the same snapshot: one behind the socket, one
+    // driven directly. They share the executor, so both see the same data.
+    let served = Arc::new(PlanDoctor::new(
+        t.snapshot.clone(),
+        t.exp.executor.clone(),
+        ServiceConfig::default(),
+    ));
+    let direct = PlanDoctor::new(
+        t.snapshot.clone(),
+        t.exp.executor.clone(),
+        ServiceConfig::default(),
+    );
+    let pool = t.exp.workload.all_queries();
+    let server = PlanServer::start(served, pool.clone(), "127.0.0.1:0").unwrap();
+    let client = server.client();
+
+    for (idx, q) in pool.iter().enumerate().take(8) {
+        let outcome = client.plan(&PlanRequest::for_index(idx)).unwrap();
+        let reply = match outcome {
+            PlanOutcome::Decision(reply) => reply,
+            PlanOutcome::Rejected(r) => panic!("query {idx} rejected over the wire: {r:?}"),
+        };
+        let local = direct.submit(QueryRequest::new(q.clone())).unwrap();
+        assert_eq!(
+            reply.fingerprint,
+            local.plan.fingerprint(),
+            "query {idx}: socket-served plan diverged from in-process submit"
+        );
+        assert_eq!(reply.fallback, local.fallback, "query {idx}: fallback flag");
+        assert_eq!(
+            reply.reason,
+            reason_str(local.reason),
+            "query {idx}: fallback reason"
+        );
+        assert_eq!(reply.selected_step, local.selected_step);
+    }
+
+    // A zero planning budget forces the planning-timeout fallback on both
+    // paths — and the wire reports the same stable reason string.
+    let starved = client
+        .plan(&PlanRequest {
+            planning_budget_us: Some(0.0),
+            ..PlanRequest::for_index(0)
+        })
+        .unwrap();
+    let local = direct
+        .submit(QueryRequest::new(pool[0].clone()).with_planning_budget_us(0.0))
+        .unwrap();
+    match starved {
+        PlanOutcome::Decision(reply) => {
+            assert!(reply.fallback);
+            assert_eq!(reply.reason, "planning_timeout");
+            assert_eq!(reply.reason, reason_str(local.reason));
+            assert_eq!(reply.fingerprint, local.plan.fingerprint());
+        }
+        PlanOutcome::Rejected(r) => panic!("budget-starved request rejected: {r:?}"),
+    }
+
+    // Error surface: an out-of-pool index maps to the documented typed code,
+    // exactly as `FossError::UnknownName` does in process.
+    match client
+        .plan(&PlanRequest::for_index(pool.len() + 3))
+        .unwrap()
+    {
+        PlanOutcome::Rejected(r) => {
+            assert_eq!(r.status, 404);
+            assert_eq!(r.code, "unknown_name");
+            assert!(!r.retryable);
+        }
+        PlanOutcome::Decision(_) => panic!("out-of-pool index must be rejected"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_survives_save_load_serve_round_trip() {
+    let t = train_tiny(13);
+    let path = std::env::temp_dir().join(format!("foss-wire-parity-{}.fsnp", std::process::id()));
+    t.snapshot.save(&path).unwrap();
+
+    // A serving-only process: no trainer, just the snapshot file and the
+    // deterministically rebuilt expert optimizer for the same workload.
+    let loaded = PlannerSnapshot::load(&path, t.exp.workload.optimizer.clone()).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    let doctor = Arc::new(PlanDoctor::new(
+        loaded,
+        t.exp.executor.clone(),
+        ServiceConfig::default(),
+    ));
+    let pool = t.exp.workload.all_queries();
+    let server = PlanServer::start(doctor, pool.clone(), "127.0.0.1:0").unwrap();
+    let client = server.client();
+
+    for (idx, q) in pool.iter().enumerate().take(8) {
+        let reply = match client.plan(&PlanRequest::for_index(idx)).unwrap() {
+            PlanOutcome::Decision(reply) => reply,
+            PlanOutcome::Rejected(r) => panic!("query {idx} rejected: {r:?}"),
+        };
+        // Bit-identical to what the trainer's in-memory snapshot plans.
+        let trained = t.snapshot.optimize_detailed(q).unwrap();
+        assert_eq!(
+            reply.fingerprint,
+            trained.plan.fingerprint(),
+            "query {idx}: loaded-snapshot plan diverged from the trainer's"
+        );
+        assert_eq!(reply.generation, 0);
+    }
+
+    let health = client.healthz().unwrap();
+    assert_eq!(
+        health
+            .get("queries")
+            .and_then(foss_repro::service::Json::as_usize),
+        Some(pool.len())
+    );
+    server.shutdown();
+}
