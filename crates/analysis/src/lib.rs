@@ -1,0 +1,494 @@
+//! `foss_check` — a dependency-free, loom-lite model checker for the FOSS
+//! concurrency kernel.
+//!
+//! The checker runs a closure many times under a cooperative scheduler that
+//! serializes execution and interposes on every synchronization operation
+//! (lock, unlock-visible acquire retry, condvar wait/notify, atomic access,
+//! spawn/join). At each such *scheduling point* the kernel picks which thread
+//! proceeds, either
+//!
+//! - **exhaustively** — depth-first enumeration of the schedule tree, bounded
+//!   by a schedule budget and a per-schedule step bound, or
+//! - **randomly** — seed-replayable pseudo-random walks for larger state
+//!   spaces.
+//!
+//! A failing schedule (assertion panic, deadlock, step-bound livelock) is
+//! reported as a [`Failure`] carrying a printable trace, the exact choice
+//! sequence, and — for random search — the per-schedule seed. Both replay
+//! routes ([`replay`] by choices, [`replay_seed`] by seed) reproduce the
+//! interleaving deterministically.
+//!
+//! Code under test talks to the scheduler through [`sync`] (instrumented
+//! `Mutex`/`RwLock`/`Condvar`/atomics) and [`thread`] (model spawn/join). The
+//! production crates route their primitives through the `foss_common::sync`
+//! facade, which re-exports these shims under `cfg(feature = "model-check")`
+//! — so the model suites in `tests/model.rs` exercise the *real* cache /
+//! snapshot / gate / breaker / metrics implementations, not copies.
+//!
+//! ```
+//! let report = foss_check::check_exhaustive(1_000, || {
+//!     let v = std::sync::Arc::new(foss_check::sync::atomic::AtomicU64::new(0));
+//!     let v2 = std::sync::Arc::clone(&v);
+//!     let t = foss_check::thread::spawn(move || {
+//!         v2.fetch_add(1, foss_check::sync::atomic::Ordering::SeqCst);
+//!     });
+//!     v.fetch_add(1, foss_check::sync::atomic::Ordering::SeqCst);
+//!     t.join();
+//!     assert_eq!(v.load(foss_check::sync::atomic::Ordering::SeqCst), 2);
+//! });
+//! report.assert_ok();
+//! assert!(report.complete);
+//! ```
+
+mod runtime;
+pub mod sync;
+pub mod thread;
+
+pub use runtime::model_active;
+
+use runtime::{run_schedule, splitmix64, Choice, Decider};
+use std::sync::Arc;
+
+/// Search strategy for [`check`].
+#[derive(Clone, Copy, Debug)]
+pub enum Strategy {
+    /// Depth-first enumeration of all schedules (up to the budget).
+    Exhaustive,
+    /// Seed-replayable random walks; schedule `i` uses the derived seed
+    /// `seed + i`, which [`Failure::seed`] reports on failure.
+    Random { seed: u64 },
+}
+
+/// Bounds and strategy for a model-checking run.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    pub strategy: Strategy,
+    /// Maximum number of schedules to run.
+    pub max_schedules: usize,
+    /// Per-schedule bound on scheduling points; exceeding it fails the
+    /// schedule (livelock guard).
+    pub max_steps: usize,
+    /// Per-schedule budget for *preemptive* condvar-timeout deliveries
+    /// (firing a timeout while other threads could still run). Code that
+    /// re-waits after a timeout would make the schedule tree infinite
+    /// without this bound. Timeouts still fire past the budget whenever only
+    /// timed waiters remain, since real time would then pass unconditionally.
+    pub max_timeouts: usize,
+}
+
+impl Config {
+    pub fn exhaustive(max_schedules: usize) -> Self {
+        Config {
+            strategy: Strategy::Exhaustive,
+            max_schedules,
+            max_steps: 20_000,
+            max_timeouts: 2,
+        }
+    }
+
+    pub fn random(seed: u64, max_schedules: usize) -> Self {
+        Config {
+            strategy: Strategy::Random { seed },
+            max_schedules,
+            max_steps: 20_000,
+            max_timeouts: 2,
+        }
+    }
+}
+
+/// A failing schedule, with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Panic message, deadlock report, or livelock/step-bound report.
+    pub message: String,
+    /// Human-readable trace: one line per scheduling point, in execution
+    /// order.
+    pub trace: Vec<String>,
+    /// The exact branch taken at every choice point; feed to [`replay`].
+    pub choices: Vec<usize>,
+    /// For random search: the derived per-schedule seed; feed to
+    /// [`replay_seed`].
+    pub seed: Option<u64>,
+}
+
+impl Failure {
+    /// Render the failure as a report suitable for a panic message.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("model check failed: ");
+        out.push_str(&self.message);
+        out.push('\n');
+        match self.seed {
+            Some(s) => out.push_str(&format!(
+                "replay: foss_check::replay_seed({s}, f) or foss_check::replay(&{:?}, f)\n",
+                self.choices
+            )),
+            None => out.push_str(&format!(
+                "replay: foss_check::replay(&{:?}, f)\n",
+                self.choices
+            )),
+        }
+        out.push_str("schedule trace:\n");
+        for (i, line) in self.trace.iter().enumerate() {
+            out.push_str(&format!("  {i:4}  {line}\n"));
+        }
+        out
+    }
+}
+
+/// Outcome of a model-checking run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: usize,
+    /// True iff exhaustive search enumerated the entire schedule tree within
+    /// the budget (always false for random search).
+    pub complete: bool,
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panic with the rendered failure if any schedule failed.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!("{}", f.render());
+        }
+    }
+
+    /// Assert that the run found a failure (mutation-style tests: the checker
+    /// must have teeth) and return it.
+    pub fn assert_failed(&self) -> &Failure {
+        self.failure.as_ref().unwrap_or_else(|| {
+            panic!(
+                "expected the model checker to find a failure ({} schedules, complete={})",
+                self.schedules, self.complete
+            )
+        })
+    }
+}
+
+/// Model-check `f` under `cfg`. The closure runs once per schedule and must
+/// be deterministic apart from scheduling (no wall-clock, no OS randomness);
+/// all shared state should be created inside it.
+pub fn check(cfg: &Config, f: impl Fn() + Send + Sync + 'static) -> Report {
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    match cfg.strategy {
+        Strategy::Exhaustive => {
+            let mut stack: Vec<Choice> = Vec::new();
+            let mut schedules = 0;
+            loop {
+                if schedules >= cfg.max_schedules {
+                    return Report {
+                        schedules,
+                        complete: false,
+                        failure: None,
+                    };
+                }
+                let decider = Decider::Dfs {
+                    stack: std::mem::take(&mut stack),
+                    pos: 0,
+                };
+                let out = run_schedule(decider, cfg.max_steps, cfg.max_timeouts, Arc::clone(&f));
+                schedules += 1;
+                let choices = out.decider.taken_choices();
+                if let Some(message) = out.failure {
+                    return Report {
+                        schedules,
+                        complete: false,
+                        failure: Some(Failure {
+                            message,
+                            trace: out.trace,
+                            choices,
+                            seed: None,
+                        }),
+                    };
+                }
+                let mut st = match out.decider {
+                    Decider::Dfs { stack, .. } => stack,
+                    _ => unreachable!("exhaustive run returned a non-DFS decider"),
+                };
+                // Backtrack: advance the deepest non-exhausted choice point.
+                loop {
+                    match st.last_mut() {
+                        None => {
+                            return Report {
+                                schedules,
+                                complete: true,
+                                failure: None,
+                            }
+                        }
+                        Some(top) if top.chosen + 1 < top.options => {
+                            top.chosen += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            st.pop();
+                        }
+                    }
+                }
+                stack = st;
+            }
+        }
+        Strategy::Random { seed } => {
+            for i in 0..cfg.max_schedules {
+                let schedule_seed = seed.wrapping_add(i as u64);
+                let decider = Decider::Random {
+                    state: splitmix64(schedule_seed),
+                    choices: Vec::new(),
+                };
+                let out = run_schedule(decider, cfg.max_steps, cfg.max_timeouts, Arc::clone(&f));
+                if let Some(message) = out.failure {
+                    return Report {
+                        schedules: i + 1,
+                        complete: false,
+                        failure: Some(Failure {
+                            message,
+                            trace: out.trace,
+                            choices: out.decider.taken_choices(),
+                            seed: Some(schedule_seed),
+                        }),
+                    };
+                }
+            }
+            Report {
+                schedules: cfg.max_schedules,
+                complete: false,
+                failure: None,
+            }
+        }
+    }
+}
+
+/// Exhaustive search with default bounds; see [`check`].
+pub fn check_exhaustive(max_schedules: usize, f: impl Fn() + Send + Sync + 'static) -> Report {
+    check(&Config::exhaustive(max_schedules), f)
+}
+
+/// Random search with default bounds; see [`check`].
+pub fn check_random(
+    seed: u64,
+    max_schedules: usize,
+    f: impl Fn() + Send + Sync + 'static,
+) -> Report {
+    check(&Config::random(seed, max_schedules), f)
+}
+
+/// Replay one schedule from a recorded choice sequence ([`Failure::choices`]).
+pub fn replay(choices: &[usize], f: impl Fn() + Send + Sync + 'static) -> Report {
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let decider = Decider::Replay {
+        choices: choices.to_vec(),
+        pos: 0,
+    };
+    // Bounds must match the original run's config (the enabled-set layout
+    // depends on them), so use the same defaults as Config::exhaustive.
+    let out = run_schedule(decider, 20_000, 2, f);
+    let choices = out.decider.taken_choices();
+    Report {
+        schedules: 1,
+        complete: false,
+        failure: out.failure.map(|message| Failure {
+            message,
+            trace: out.trace,
+            choices,
+            seed: None,
+        }),
+    }
+}
+
+/// Replay one schedule from a per-schedule seed ([`Failure::seed`]). Running
+/// [`check_random`] with this seed and a budget of 1 is equivalent.
+pub fn replay_seed(seed: u64, f: impl Fn() + Send + Sync + 'static) -> Report {
+    let mut report = check(&Config::random(seed, 1), f);
+    if let Some(f) = &mut report.failure {
+        f.seed = Some(seed);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::{Condvar, Mutex};
+    use std::sync::atomic::AtomicBool as RealAtomicBool;
+    use std::sync::atomic::Ordering as RealOrdering;
+    use std::sync::Arc;
+
+    /// Two threads doing read-modify-write through separate load/store must
+    /// lose an update in some interleaving; exhaustive search finds it.
+    fn racy_increment() {
+        let v = Arc::new(AtomicU64::new(0));
+        let v2 = Arc::clone(&v);
+        let t = thread::spawn(move || {
+            let cur = v2.load(Ordering::SeqCst);
+            v2.store(cur + 1, Ordering::SeqCst);
+        });
+        let cur = v.load(Ordering::SeqCst);
+        v.store(cur + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(v.load(Ordering::SeqCst), 2, "lost update");
+    }
+
+    #[test]
+    fn exhaustive_finds_lost_update() {
+        let report = check_exhaustive(10_000, racy_increment);
+        let failure = report.assert_failed();
+        assert!(
+            failure.message.contains("lost update"),
+            "message: {}",
+            failure.message
+        );
+        assert!(!failure.trace.is_empty());
+
+        // The recorded choices replay to the same failure, deterministically.
+        let choices = failure.choices.clone();
+        let replayed = replay(&choices, racy_increment);
+        let rf = replayed.assert_failed();
+        assert!(rf.message.contains("lost update"));
+        assert_eq!(
+            rf.trace, failure.trace,
+            "replay must reproduce the exact trace"
+        );
+    }
+
+    #[test]
+    fn random_failure_replays_by_seed() {
+        let report = check_random(42, 500, racy_increment);
+        let failure = report.assert_failed();
+        let seed = failure.seed.expect("random failures carry a seed");
+        let replayed = replay_seed(seed, racy_increment);
+        let rf = replayed.assert_failed();
+        assert_eq!(
+            rf.trace, failure.trace,
+            "seed replay must reproduce the exact trace"
+        );
+    }
+
+    #[test]
+    fn mutex_protected_increment_is_race_free() {
+        let report = check_exhaustive(50_000, || {
+            let v = Arc::new(Mutex::new(0u64));
+            let v2 = Arc::clone(&v);
+            let t = thread::spawn(move || {
+                let mut g = v2.lock();
+                *g += 1;
+            });
+            {
+                let mut g = v.lock();
+                *g += 1;
+            }
+            t.join();
+            assert_eq!(*v.lock(), 2);
+        });
+        report.assert_ok();
+        assert!(
+            report.complete,
+            "small tree should be fully enumerated in {} schedules",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn lock_order_inversion_is_reported_as_deadlock() {
+        let report = check_exhaustive(10_000, || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop(_ga);
+            drop(_gb);
+            t.join();
+        });
+        let failure = report.assert_failed();
+        assert!(
+            failure.message.contains("deadlock"),
+            "message: {}",
+            failure.message
+        );
+    }
+
+    #[test]
+    fn condvar_handoff_is_race_free_and_timeouts_are_explored() {
+        // Cross-schedule collectors must use *real* atomics so they are
+        // invisible to the scheduler.
+        let saw_timeout = Arc::new(RealAtomicBool::new(false));
+        let saw_notify = Arc::new(RealAtomicBool::new(false));
+        let (st, sn) = (Arc::clone(&saw_timeout), Arc::clone(&saw_notify));
+        let report = check_exhaustive(50_000, move || {
+            let slot = Arc::new((Mutex::new(None::<u32>), Condvar::new()));
+            let slot2 = Arc::clone(&slot);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*slot2;
+                let mut g = m.lock();
+                *g = Some(7);
+                drop(g);
+                cv.notify_all();
+            });
+            let (m, cv) = &*slot;
+            let mut g = m.lock();
+            let mut timed_out_once = false;
+            while g.is_none() {
+                let (g2, timed_out) = cv.wait_timeout(g, std::time::Duration::from_secs(3600));
+                g = g2;
+                timed_out_once |= timed_out;
+            }
+            if timed_out_once {
+                st.store(true, RealOrdering::SeqCst);
+            } else {
+                sn.store(true, RealOrdering::SeqCst);
+            }
+            assert_eq!(*g, Some(7));
+            drop(g);
+            t.join();
+        });
+        report.assert_ok();
+        assert!(report.complete);
+        assert!(
+            saw_timeout.load(RealOrdering::SeqCst),
+            "exhaustive search must explore a schedule where the timeout fires"
+        );
+        assert!(
+            saw_notify.load(RealOrdering::SeqCst),
+            "exhaustive search must explore a schedule where the notify lands first"
+        );
+    }
+
+    #[test]
+    fn shims_fall_back_to_real_primitives_outside_a_model() {
+        assert!(!model_active());
+        let m = Mutex::new(1u32);
+        {
+            let mut g = m.lock();
+            *g = 2;
+        }
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+
+        let v = AtomicU64::new(5);
+        assert_eq!(v.fetch_add(2, Ordering::SeqCst), 5);
+        assert_eq!(v.load(Ordering::SeqCst), 7);
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            g = cv.wait(g);
+        }
+        drop(g);
+        t.join();
+    }
+
+    use crate::thread;
+}

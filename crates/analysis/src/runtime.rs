@@ -1,0 +1,911 @@
+//! The cooperative scheduler at the heart of `foss_check`.
+//!
+//! A *schedule* runs the user closure on real OS threads, but only one model
+//! thread ever executes at a time: every instrumented synchronization
+//! operation is a *scheduling point* where the kernel consults a [`Decider`]
+//! to pick which runnable thread proceeds next. Because the decider is the
+//! only source of nondeterminism, a schedule is fully described by the
+//! sequence of choices it made — which is what makes exhaustive enumeration
+//! and seed/trace replay possible.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
+
+/// Panic payload used to unwind model threads when a schedule is being torn
+/// down (failure elsewhere, deadlock, nondeterminism). Never escapes
+/// [`run_schedule`].
+pub(crate) struct AbortSchedule;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Runtime>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The runtime + thread id of the calling thread, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Runtime>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// True when the calling thread is executing inside a model schedule.
+pub fn model_active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn set_current(v: Option<(Arc<Runtime>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// One-slot token parker: each model thread blocks here whenever it does not
+/// hold the execution token.
+struct Parker {
+    flag: OsMutex<bool>,
+    cv: OsCondvar,
+}
+
+impl Parker {
+    fn new() -> Self {
+        Parker {
+            flag: OsMutex::new(false),
+            cv: OsCondvar::new(),
+        }
+    }
+
+    fn park(&self) {
+        let mut g = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        *g = false;
+    }
+
+    fn unpark(&self) {
+        let mut g = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        *g = true;
+        self.cv.notify_one();
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    /// Can be scheduled (may be parked waiting for the token).
+    Runnable,
+    BlockedMutex(usize),
+    BlockedRwRead(usize),
+    BlockedRwWrite(usize),
+    /// Parked in a condvar wait; `timed` waits are additionally schedulable
+    /// as "deliver the timeout now" options.
+    BlockedCondvar {
+        cv: usize,
+        timed: bool,
+    },
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadSt {
+    status: Status,
+    parker: Arc<Parker>,
+    /// Set when the thread is woken out of a condvar wait: `true` iff the
+    /// wakeup was a delivered timeout rather than a notify.
+    cv_timed_out: bool,
+}
+
+pub(crate) enum Object {
+    Mutex {
+        held_by: Option<usize>,
+    },
+    RwLock {
+        writer: Option<usize>,
+        readers: usize,
+    },
+    /// Wait queue in arrival order; notify_one wakes the oldest waiter.
+    Condvar {
+        queue: Vec<usize>,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub chosen: usize,
+    pub options: usize,
+}
+
+/// Source of scheduling decisions for one schedule.
+pub(crate) enum Decider {
+    /// Depth-first enumeration: replay the prefix in `stack`, then always
+    /// take branch 0, recording new choice points for later backtracking.
+    Dfs { stack: Vec<Choice>, pos: usize },
+    /// Seed-replayable pseudo-random choices (splitmix64 stream).
+    Random { state: u64, choices: Vec<Choice> },
+    /// Exact replay of a recorded choice sequence.
+    Replay { choices: Vec<usize>, pos: usize },
+}
+
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Decider {
+    fn choose(&mut self, n: usize) -> Result<usize, String> {
+        debug_assert!(n >= 2);
+        match self {
+            Decider::Dfs { stack, pos } => {
+                let idx = if *pos < stack.len() {
+                    let c = stack[*pos];
+                    if c.options != n {
+                        return Err(format!(
+                            "nondeterministic execution: choice point {} saw {} options, expected {} \
+                             (model closures must not branch on wall-clock time or OS randomness)",
+                            *pos, n, c.options
+                        ));
+                    }
+                    c.chosen
+                } else {
+                    stack.push(Choice {
+                        chosen: 0,
+                        options: n,
+                    });
+                    0
+                };
+                *pos += 1;
+                Ok(idx)
+            }
+            Decider::Random { state, choices } => {
+                *state = splitmix64(*state);
+                let idx = (*state % n as u64) as usize;
+                choices.push(Choice {
+                    chosen: idx,
+                    options: n,
+                });
+                Ok(idx)
+            }
+            Decider::Replay { choices, pos } => {
+                let idx = match choices.get(*pos) {
+                    Some(&c) if c < n => c,
+                    Some(&c) => {
+                        return Err(format!(
+                            "replay diverged: choice point {} wants branch {} of {} options",
+                            *pos, c, n
+                        ));
+                    }
+                    // Replays of a failing schedule may legitimately run past
+                    // the recorded prefix (the failure unwinds later than the
+                    // last choice); default to branch 0 deterministically.
+                    None => 0,
+                };
+                *pos += 1;
+                Ok(idx)
+            }
+        }
+    }
+
+    fn taken(&self) -> Vec<usize> {
+        match self {
+            Decider::Dfs { stack, .. } => stack.iter().map(|c| c.chosen).collect(),
+            Decider::Random { choices, .. } => choices.iter().map(|c| c.chosen).collect(),
+            Decider::Replay { choices, .. } => choices.clone(),
+        }
+    }
+}
+
+pub(crate) struct Kernel {
+    threads: Vec<ThreadSt>,
+    objects: Vec<Object>,
+    decider: Decider,
+    trace: Vec<String>,
+    steps: usize,
+    max_steps: usize,
+    /// Timeouts already delivered this schedule (see [`Runtime::enabled`]).
+    timeouts_delivered: usize,
+    max_timeouts: usize,
+    pub(crate) abort: bool,
+    failure: Option<String>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Runtime {
+    kernel: OsMutex<Kernel>,
+    /// Signalled whenever a thread finishes or the schedule aborts; the
+    /// controller waits on it (paired with the `kernel` mutex).
+    done: OsCondvar,
+}
+
+/// Everything the explorer needs back from one finished schedule.
+pub(crate) struct ScheduleOutcome {
+    pub failure: Option<String>,
+    pub trace: Vec<String>,
+    pub decider: Decider,
+}
+
+impl Runtime {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Kernel> {
+        self.kernel.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record a failure, mark the schedule aborted, wake the controller, and
+    /// unwind the calling model thread.
+    fn fail_now(&self, mut k: std::sync::MutexGuard<'_, Kernel>, msg: String) -> ! {
+        if k.failure.is_none() {
+            k.failure = Some(msg);
+        }
+        k.abort = true;
+        self.done.notify_all();
+        drop(k);
+        panic::panic_any(AbortSchedule);
+    }
+
+    /// The enabled set: runnable threads first, then timed condvar waiters
+    /// (choosing one of the latter means "the timeout fires now").
+    ///
+    /// Preemptive timeout delivery — firing a timeout while other threads
+    /// could still run — is budgeted per schedule, because code that re-waits
+    /// after a timeout would otherwise make the schedule tree infinite. When
+    /// *only* timed waiters remain the budget is ignored: real time would
+    /// pass and the timeout genuinely fires (an endless re-wait loop is then
+    /// caught by the step bound).
+    fn enabled(k: &Kernel) -> Vec<usize> {
+        let mut out: Vec<usize> = k
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if out.is_empty() || k.timeouts_delivered < k.max_timeouts {
+            out.extend(
+                k.threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t.status, Status::BlockedCondvar { timed: true, .. }))
+                    .map(|(i, _)| i),
+            );
+        }
+        out
+    }
+
+    /// Pick and activate the next thread. `me` is the calling thread; if the
+    /// pick is someone else, they are unparked and the caller must park.
+    /// Returns the chosen tid.
+    fn pick_next(&self, k: &mut std::sync::MutexGuard<'_, Kernel>, me: usize) -> usize {
+        let enabled = Self::enabled(k);
+        if enabled.is_empty() {
+            let held: Vec<String> = k
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(i, t)| format!("t{i} {:?}", t.status))
+                .collect();
+            let msg = format!("deadlock: no runnable threads ({})", held.join(", "));
+            // fail_now wants the guard by value; re-borrowing is not possible
+            // through the &mut, so inline the failure path here.
+            if k.failure.is_none() {
+                k.failure = Some(msg);
+            }
+            k.abort = true;
+            self.done.notify_all();
+            panic::panic_any(AbortSchedule);
+        }
+        let idx = if enabled.len() == 1 {
+            0
+        } else {
+            match k.decider.choose(enabled.len()) {
+                Ok(i) => i,
+                Err(msg) => {
+                    if k.failure.is_none() {
+                        k.failure = Some(msg);
+                    }
+                    k.abort = true;
+                    self.done.notify_all();
+                    panic::panic_any(AbortSchedule);
+                }
+            }
+        };
+        let next = enabled[idx];
+        // Delivering a timeout to a timed condvar waiter.
+        if let Status::BlockedCondvar { cv, timed: true } = k.threads[next].status {
+            if let Object::Condvar { queue } = &mut k.objects[cv] {
+                queue.retain(|&t| t != next);
+            }
+            k.threads[next].status = Status::Runnable;
+            k.threads[next].cv_timed_out = true;
+            k.timeouts_delivered += 1;
+        }
+        if next != me {
+            k.threads[next].parker.unpark();
+        }
+        next
+    }
+
+    /// Park until this thread is handed the token again; unwinds if the
+    /// schedule aborted in the meantime.
+    fn park_until_active(self: &Arc<Self>, me: usize) {
+        let parker = {
+            let k = self.lock();
+            Arc::clone(&k.threads[me].parker)
+        };
+        parker.park();
+        let k = self.lock();
+        if k.abort && !std::thread::panicking() {
+            drop(k);
+            panic::panic_any(AbortSchedule);
+        }
+    }
+
+    /// A scheduling point: the calling thread offers the token to the
+    /// decider, parks if another thread is picked, and records `label` in the
+    /// trace once it proceeds.
+    pub(crate) fn schedule_point(self: &Arc<Self>, me: usize, label: &str) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut k = self.lock();
+        if k.abort {
+            drop(k);
+            panic::panic_any(AbortSchedule);
+        }
+        let next = self.pick_next(&mut k, me);
+        if next != me {
+            drop(k);
+            self.park_until_active(me);
+            k = self.lock();
+        }
+        k.steps += 1;
+        if k.steps > k.max_steps {
+            let msg = format!(
+                "step bound exceeded ({} scheduling points; possible livelock)",
+                k.max_steps
+            );
+            self.fail_now(k, msg);
+        }
+        let line = format!("t{me} {label}");
+        k.trace.push(line);
+    }
+
+    /// Yield the token without holding it: the caller has already marked
+    /// itself blocked; pick another thread and park. On return the caller is
+    /// active again. The pick can land back on the caller when it is a timed
+    /// condvar waiter (its own timeout fires before anyone else runs), in
+    /// which case it simply keeps the token.
+    fn block_and_park(self: &Arc<Self>, k: std::sync::MutexGuard<'_, Kernel>, me: usize) {
+        let mut k = k;
+        let next = self.pick_next(&mut k, me);
+        if next != me {
+            drop(k);
+            self.park_until_active(me);
+        }
+    }
+
+    // ---- object registration ------------------------------------------------
+
+    pub(crate) fn register_mutex(self: &Arc<Self>) -> usize {
+        let mut k = self.lock();
+        k.objects.push(Object::Mutex { held_by: None });
+        k.objects.len() - 1
+    }
+
+    pub(crate) fn register_rwlock(self: &Arc<Self>) -> usize {
+        let mut k = self.lock();
+        k.objects.push(Object::RwLock {
+            writer: None,
+            readers: 0,
+        });
+        k.objects.len() - 1
+    }
+
+    pub(crate) fn register_condvar(self: &Arc<Self>) -> usize {
+        let mut k = self.lock();
+        k.objects.push(Object::Condvar { queue: Vec::new() });
+        k.objects.len() - 1
+    }
+
+    // ---- mutex --------------------------------------------------------------
+
+    /// Acquire after an initial scheduling point. Blocks (model-level) while
+    /// held by someone else.
+    pub(crate) fn mutex_lock(self: &Arc<Self>, me: usize, id: usize) {
+        self.schedule_point(me, &format!("lock m{id}"));
+        self.mutex_relock(me, id);
+    }
+
+    /// Acquire without a leading scheduling point (used on condvar wakeup,
+    /// where the wakeup itself was the scheduling decision).
+    pub(crate) fn mutex_relock(self: &Arc<Self>, me: usize, id: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        loop {
+            let mut k = self.lock();
+            if k.abort {
+                drop(k);
+                panic::panic_any(AbortSchedule);
+            }
+            match &mut k.objects[id] {
+                Object::Mutex { held_by } => {
+                    if held_by.is_none() {
+                        *held_by = Some(me);
+                        return;
+                    }
+                }
+                _ => unreachable!("object {id} is not a mutex"),
+            }
+            k.threads[me].status = Status::BlockedMutex(id);
+            self.block_and_park(k, me);
+            // Woken by a release: retry (another thread may have barged in).
+        }
+    }
+
+    pub(crate) fn mutex_try_lock(self: &Arc<Self>, me: usize, id: usize) -> bool {
+        self.schedule_point(me, &format!("try_lock m{id}"));
+        if std::thread::panicking() {
+            return true;
+        }
+        let mut k = self.lock();
+        match &mut k.objects[id] {
+            Object::Mutex { held_by } => {
+                if held_by.is_none() {
+                    *held_by = Some(me);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => unreachable!("object {id} is not a mutex"),
+        }
+    }
+
+    /// Release bookkeeping; never a scheduling point, and idempotent so that
+    /// guard drops on unwinding paths stay safe.
+    pub(crate) fn mutex_unlock(self: &Arc<Self>, me: usize, id: usize) {
+        let mut k = self.lock();
+        match &mut k.objects[id] {
+            Object::Mutex { held_by } => {
+                if *held_by != Some(me) {
+                    return;
+                }
+                *held_by = None;
+            }
+            _ => unreachable!("object {id} is not a mutex"),
+        }
+        for t in k.threads.iter_mut() {
+            if t.status == Status::BlockedMutex(id) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    // ---- rwlock -------------------------------------------------------------
+
+    pub(crate) fn rw_read(self: &Arc<Self>, me: usize, id: usize) {
+        self.schedule_point(me, &format!("read rw{id}"));
+        if std::thread::panicking() {
+            return;
+        }
+        loop {
+            let mut k = self.lock();
+            if k.abort {
+                drop(k);
+                panic::panic_any(AbortSchedule);
+            }
+            match &mut k.objects[id] {
+                Object::RwLock { writer, readers } => {
+                    if writer.is_none() {
+                        *readers += 1;
+                        return;
+                    }
+                }
+                _ => unreachable!("object {id} is not a rwlock"),
+            }
+            k.threads[me].status = Status::BlockedRwRead(id);
+            self.block_and_park(k, me);
+        }
+    }
+
+    pub(crate) fn rw_read_unlock(self: &Arc<Self>, _me: usize, id: usize) {
+        let mut k = self.lock();
+        let now_free = match &mut k.objects[id] {
+            Object::RwLock { readers, .. } => {
+                *readers = readers.saturating_sub(1);
+                *readers == 0
+            }
+            _ => unreachable!("object {id} is not a rwlock"),
+        };
+        if now_free {
+            for t in k.threads.iter_mut() {
+                if t.status == Status::BlockedRwWrite(id) {
+                    t.status = Status::Runnable;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn rw_write(self: &Arc<Self>, me: usize, id: usize) {
+        self.schedule_point(me, &format!("write rw{id}"));
+        if std::thread::panicking() {
+            return;
+        }
+        loop {
+            let mut k = self.lock();
+            if k.abort {
+                drop(k);
+                panic::panic_any(AbortSchedule);
+            }
+            match &mut k.objects[id] {
+                Object::RwLock { writer, readers } => {
+                    if writer.is_none() && *readers == 0 {
+                        *writer = Some(me);
+                        return;
+                    }
+                }
+                _ => unreachable!("object {id} is not a rwlock"),
+            }
+            k.threads[me].status = Status::BlockedRwWrite(id);
+            self.block_and_park(k, me);
+        }
+    }
+
+    pub(crate) fn rw_write_unlock(self: &Arc<Self>, me: usize, id: usize) {
+        let mut k = self.lock();
+        match &mut k.objects[id] {
+            Object::RwLock { writer, .. } => {
+                if *writer != Some(me) {
+                    return;
+                }
+                *writer = None;
+            }
+            _ => unreachable!("object {id} is not a rwlock"),
+        }
+        for t in k.threads.iter_mut() {
+            if matches!(t.status, Status::BlockedRwRead(i) | Status::BlockedRwWrite(i) if i == id) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    // ---- condvar ------------------------------------------------------------
+
+    /// Atomically release mutex `mid`, wait on condvar `cid`, then reacquire.
+    /// Returns `true` iff a timeout was delivered (only possible when
+    /// `timed`). Timeouts are modeled abstractly: any timed waiter can have
+    /// its timeout fire at any scheduling point, so real durations are
+    /// irrelevant to the model.
+    pub(crate) fn condvar_wait(
+        self: &Arc<Self>,
+        me: usize,
+        cid: usize,
+        mid: usize,
+        timed: bool,
+    ) -> bool {
+        if std::thread::panicking() {
+            return false;
+        }
+        let mut k = self.lock();
+        if k.abort {
+            drop(k);
+            panic::panic_any(AbortSchedule);
+        }
+        let line = format!(
+            "t{me} {} cv{cid} (releases m{mid})",
+            if timed { "wait_timeout" } else { "wait" }
+        );
+        k.trace.push(line);
+        // Release the mutex.
+        match &mut k.objects[mid] {
+            Object::Mutex { held_by } => {
+                if *held_by == Some(me) {
+                    *held_by = None;
+                }
+            }
+            _ => unreachable!("object {mid} is not a mutex"),
+        }
+        for t in k.threads.iter_mut() {
+            if t.status == Status::BlockedMutex(mid) {
+                t.status = Status::Runnable;
+            }
+        }
+        match &mut k.objects[cid] {
+            Object::Condvar { queue } => queue.push(me),
+            _ => unreachable!("object {cid} is not a condvar"),
+        }
+        k.threads[me].status = Status::BlockedCondvar { cv: cid, timed };
+        k.threads[me].cv_timed_out = false;
+        self.block_and_park(k, me);
+        let timed_out = {
+            let k = self.lock();
+            k.threads[me].cv_timed_out
+        };
+        self.mutex_relock(me, mid);
+        timed_out
+    }
+
+    pub(crate) fn condvar_notify(self: &Arc<Self>, me: usize, cid: usize, all: bool) {
+        self.schedule_point(
+            me,
+            &format!("{} cv{cid}", if all { "notify_all" } else { "notify_one" }),
+        );
+        if std::thread::panicking() {
+            return;
+        }
+        let mut k = self.lock();
+        let woken: Vec<usize> = match &mut k.objects[cid] {
+            Object::Condvar { queue } => {
+                if all {
+                    std::mem::take(queue)
+                } else if queue.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![queue.remove(0)]
+                }
+            }
+            _ => unreachable!("object {cid} is not a condvar"),
+        };
+        for t in woken {
+            k.threads[t].status = Status::Runnable;
+            k.threads[t].cv_timed_out = false;
+        }
+    }
+
+    // ---- threads ------------------------------------------------------------
+
+    /// Register a new model thread and spawn its OS carrier; the carrier
+    /// parks until first scheduled.
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        me: usize,
+        body: impl FnOnce() + Send + 'static,
+    ) -> usize {
+        let tid = {
+            let mut k = self.lock();
+            k.threads.push(ThreadSt {
+                status: Status::Runnable,
+                parker: Arc::new(Parker::new()),
+                cv_timed_out: false,
+            });
+            k.threads.len() - 1
+        };
+        let rt = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("foss-check-t{tid}"))
+            .spawn(move || {
+                set_current(Some((Arc::clone(&rt), tid)));
+                // The initial park must sit inside catch_unwind: teardown of
+                // a never-scheduled thread unwinds from the park itself, and
+                // the kernel still needs to see it reach Finished.
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    rt.park_until_active(tid);
+                    body();
+                }));
+                rt.thread_finished(tid, result);
+                set_current(None);
+            })
+            .expect("spawn model carrier thread");
+        let mut k = self.lock();
+        k.os_handles.push(handle);
+        drop(k);
+        // The child is now schedulable; let the decider interleave it.
+        self.schedule_point(me, &format!("spawn t{tid}"));
+        tid
+    }
+
+    /// Model-level join: block until `target` finishes.
+    pub(crate) fn join_thread(self: &Arc<Self>, me: usize, target: usize) {
+        self.schedule_point(me, &format!("join t{target}"));
+        if std::thread::panicking() {
+            return;
+        }
+        let mut k = self.lock();
+        if k.threads[target].status != Status::Finished {
+            k.threads[me].status = Status::BlockedJoin(target);
+            self.block_and_park(k, me);
+        }
+    }
+
+    /// Called by a model thread's carrier once its body has returned or
+    /// panicked; hands the token onward or reports the failure.
+    fn thread_finished(
+        self: &Arc<Self>,
+        me: usize,
+        result: Result<(), Box<dyn std::any::Any + Send>>,
+    ) {
+        let mut k = self.lock();
+        k.threads[me].status = Status::Finished;
+        for t in k.threads.iter_mut() {
+            if t.status == Status::BlockedJoin(me) {
+                t.status = Status::Runnable;
+            }
+        }
+        match result {
+            Err(p) if p.is::<AbortSchedule>() => {
+                // Teardown unwind: the controller drives remaining cleanup.
+                self.done.notify_all();
+            }
+            Err(p) => {
+                let msg = panic_message(p.as_ref());
+                if k.failure.is_none() {
+                    let trace_tail = format!("t{me} panicked: {msg}");
+                    k.trace.push(trace_tail);
+                    k.failure = Some(msg);
+                }
+                k.abort = true;
+                self.done.notify_all();
+            }
+            Ok(()) => {
+                if k.abort {
+                    self.done.notify_all();
+                    return;
+                }
+                let enabled = Self::enabled(&k);
+                if enabled.is_empty() {
+                    if k.threads.iter().any(|t| t.status != Status::Finished) {
+                        let held: Vec<String> = k
+                            .threads
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, t)| t.status != Status::Finished)
+                            .map(|(i, t)| format!("t{i} {:?}", t.status))
+                            .collect();
+                        if k.failure.is_none() {
+                            k.failure = Some(format!(
+                                "deadlock: no runnable threads ({})",
+                                held.join(", ")
+                            ));
+                        }
+                        k.abort = true;
+                    }
+                    self.done.notify_all();
+                } else {
+                    let idx = if enabled.len() == 1 {
+                        0
+                    } else {
+                        match k.decider.choose(enabled.len()) {
+                            Ok(i) => i,
+                            Err(msg) => {
+                                if k.failure.is_none() {
+                                    k.failure = Some(msg);
+                                }
+                                k.abort = true;
+                                self.done.notify_all();
+                                return;
+                            }
+                        }
+                    };
+                    let next = enabled[idx];
+                    if let Status::BlockedCondvar { cv, timed: true } = k.threads[next].status {
+                        if let Object::Condvar { queue } = &mut k.objects[cv] {
+                            queue.retain(|&t| t != next);
+                        }
+                        k.threads[next].status = Status::Runnable;
+                        k.threads[next].cv_timed_out = true;
+                        k.timeouts_delivered += 1;
+                    }
+                    k.threads[next].parker.unpark();
+                    self.done.notify_all();
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Run the user closure once under `decider`, returning the outcome (the
+/// decider is handed back so DFS state survives across schedules).
+pub(crate) fn run_schedule(
+    decider: Decider,
+    max_steps: usize,
+    max_timeouts: usize,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> ScheduleOutcome {
+    let rt = Arc::new(Runtime {
+        kernel: OsMutex::new(Kernel {
+            threads: Vec::new(),
+            objects: Vec::new(),
+            decider,
+            trace: Vec::new(),
+            steps: 0,
+            max_steps,
+            timeouts_delivered: 0,
+            max_timeouts,
+            abort: false,
+            failure: None,
+            os_handles: Vec::new(),
+        }),
+        done: OsCondvar::new(),
+    });
+
+    // Thread 0 runs the user closure itself.
+    {
+        let mut k = rt.lock();
+        k.threads.push(ThreadSt {
+            status: Status::Runnable,
+            parker: Arc::new(Parker::new()),
+            cv_timed_out: false,
+        });
+    }
+    let rt0 = Arc::clone(&rt);
+    let root = std::thread::Builder::new()
+        .name("foss-check-t0".to_string())
+        .spawn(move || {
+            set_current(Some((Arc::clone(&rt0), 0)));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                rt0.park_until_active(0);
+                f();
+            }));
+            rt0.thread_finished(0, result);
+            set_current(None);
+        })
+        .expect("spawn model root thread");
+
+    // Hand t0 the token.
+    {
+        let k = rt.lock();
+        k.threads[0].parker.unpark();
+        drop(k);
+    }
+
+    // Controller: wait for completion, driving teardown after an abort.
+    let mut k = rt.lock();
+    loop {
+        if k.threads.iter().all(|t| t.status == Status::Finished) {
+            break;
+        }
+        if k.abort {
+            let pending: Vec<usize> = k
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(i, _)| i)
+                .collect();
+            for tid in pending {
+                if k.threads[tid].status == Status::Finished {
+                    continue;
+                }
+                k.threads[tid].parker.unpark();
+                while k.threads[tid].status != Status::Finished {
+                    k = rt.done.wait(k).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            continue;
+        }
+        k = rt.done.wait(k).unwrap_or_else(|e| e.into_inner());
+    }
+    let handles = std::mem::take(&mut k.os_handles);
+    let failure = k.failure.take();
+    let trace = std::mem::take(&mut k.trace);
+    let decider = std::mem::replace(
+        &mut k.decider,
+        Decider::Replay {
+            choices: Vec::new(),
+            pos: 0,
+        },
+    );
+    drop(k);
+    drop(root.join());
+    for h in handles {
+        drop(h.join());
+    }
+    ScheduleOutcome {
+        failure,
+        trace,
+        decider,
+    }
+}
+
+impl Decider {
+    pub(crate) fn taken_choices(&self) -> Vec<usize> {
+        self.taken()
+    }
+}

@@ -1,0 +1,68 @@
+//! Model-aware thread spawn/join. On a model thread, `spawn` registers a new
+//! schedulable thread with the kernel; anywhere else it delegates to
+//! `std::thread`, so code written against this module works unchanged outside
+//! a schedule.
+
+use crate::runtime::{current, Runtime};
+use std::sync::{Arc, Mutex as OsMutex};
+
+enum Inner<T> {
+    Model {
+        rt: Arc<Runtime>,
+        tid: usize,
+        ret: Arc<OsMutex<Option<T>>>,
+    },
+    Real(std::thread::JoinHandle<T>),
+}
+
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        Some((rt, me)) => {
+            let ret: Arc<OsMutex<Option<T>>> = Arc::new(OsMutex::new(None));
+            let slot = Arc::clone(&ret);
+            let tid = rt.spawn_thread(me, move || {
+                let v = f();
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            });
+            JoinHandle {
+                inner: Inner::Model { rt, tid, ret },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Real(std::thread::spawn(f)),
+        },
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its value. A panic in a model
+    /// thread fails the whole schedule (this never observes it); a panic in a
+    /// real thread propagates, matching `std::thread::JoinHandle::join`
+    /// semantics closely enough for test code.
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Model { rt, tid, ret } => {
+                let me = current()
+                    .map(|(_, t)| t)
+                    .expect("model join off a model thread");
+                rt.join_thread(me, tid);
+                ret.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined model thread produced no value")
+            }
+            Inner::Real(h) => match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            },
+        }
+    }
+}

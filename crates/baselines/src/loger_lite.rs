@@ -14,12 +14,12 @@
 
 use std::sync::Arc;
 
+use foss_common::sync::Mutex;
 use foss_common::{FxHashMap, QueryId, Result};
 use foss_core::encoding::{EncodedPlan, PlanEncoder};
 use foss_executor::CachingExecutor;
 use foss_optimizer::{PhysicalPlan, TraditionalOptimizer};
 use foss_query::Query;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 

@@ -1,0 +1,70 @@
+//! `foss-lint` — repo static checks (see [`foss_bench::lint`] for the
+//! rules). Prints `file:line: [rule] message` per finding and exits 2 when
+//! anything is found, matching the CLI error contract of `plan-doctor`.
+//!
+//! ```text
+//! foss-lint [--root DIR]
+//! ```
+//!
+//! `--root` defaults to the current directory and must be the repo root
+//! (the directory containing `crates/`).
+
+use std::path::PathBuf;
+
+use foss_bench::lint;
+
+struct Args {
+    root: PathBuf,
+}
+
+/// Hand-rolled `--flag value` parsing, same vocabulary rules as
+/// `foss_bench::cli`: every flag takes exactly one value, unknown flags are
+/// an error.
+fn parse(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag {flag} expects a value"))?;
+                args.root = PathBuf::from(value);
+            }
+            other => return Err(format!("unknown flag `{other}` (expected --root DIR)")),
+        }
+    }
+    if !args.root.join("crates").is_dir() {
+        return Err(format!(
+            "{} does not look like the repo root (no crates/ directory)",
+            args.root.display()
+        ));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse(&argv).unwrap_or_else(|msg| {
+        eprintln!("foss-lint: {msg}");
+        std::process::exit(2);
+    });
+    match lint::run(&args.root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("foss-lint: clean");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("foss-lint: {} finding(s)", findings.len());
+            std::process::exit(2);
+        }
+        Err(msg) => {
+            eprintln!("foss-lint: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

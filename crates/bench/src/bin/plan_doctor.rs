@@ -27,7 +27,7 @@
 //! [`foss_common::faults`] grammar and the service's priority semantics:
 //! shed requests are counted, not fatal.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use foss_common::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -332,7 +332,9 @@ fn run_load(args: LoadArgs) {
         pct(95.0),
         pct(99.0),
     );
-    total.fallback_mix.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    total
+        .fallback_mix
+        .sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     let mix = total
         .fallback_mix
         .iter()

@@ -11,6 +11,7 @@
 //!   row-at-a-time differential-testing reference).
 
 pub mod cli;
+pub mod lint;
 
 use criterion::Criterion;
 use foss_common::QueryId;

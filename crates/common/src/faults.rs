@@ -36,7 +36,7 @@
 //! planning events stall 5 ms each, and every execution independently has a
 //! 25 % chance of a transient error, all derived from seed 7.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use crate::rng::SeedStream;
 

@@ -13,6 +13,7 @@ pub mod ids;
 pub mod par;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 
 pub use codec::{ByteReader, ByteWriter, Codec};
 pub use error::{FossError, Result};

@@ -50,7 +50,7 @@ where
     if workers <= 1 || count <= 1 {
         return (0..count).map(&work).collect();
     }
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::atomic::{AtomicUsize, Ordering};
     let next = AtomicUsize::new(0);
     let spawn = workers.min(count);
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();

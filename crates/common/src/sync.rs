@@ -1,0 +1,145 @@
+//! Workspace-wide synchronization facade.
+//!
+//! Every FOSS crate imports its lock and atomic types from here instead of
+//! `std::sync`/`parking_lot` (enforced by `foss-lint`). Normally these are
+//! thin non-poisoning wrappers over `std::sync` with zero runtime cost; under
+//! `cfg(feature = "model-check")` they are swapped for the instrumented
+//! `foss_check` shims, which yield to the model checker's cooperative
+//! scheduler at every synchronization point (and transparently fall back to
+//! the real primitives on threads that are not part of a model schedule).
+//!
+//! The API is the intersection the workspace actually uses:
+//!
+//! - [`Mutex`]: `new` / `lock` / `try_lock` / `get_mut` / `into_inner`,
+//!   non-poisoning (`lock` returns the guard directly, matching the vendored
+//!   `parking_lot` stand-in this facade replaces).
+//! - [`RwLock`]: `new` / `read` / `write` / `get_mut` / `into_inner`.
+//! - [`Condvar`]: `new` / `wait` / `wait_timeout` / `notify_one` /
+//!   `notify_all`, where `wait_timeout` returns `(guard, timed_out)`.
+//! - [`atomic`]: `AtomicBool` / `AtomicU64` / `AtomicUsize` / `Ordering`.
+
+#[cfg(feature = "model-check")]
+pub use foss_check::sync::{
+    atomic, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(not(feature = "model-check"))]
+pub use real::{atomic, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(not(feature = "model-check"))]
+mod real {
+    use std::time::Duration;
+
+    pub use std::sync::atomic;
+
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+    pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+    pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+    /// Non-poisoning mutex: a panic while holding the lock does not turn
+    /// every later access into an error. Invariant-restoring code must not
+    /// rely on poisoning (none of the workspace does).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            match self.inner.try_lock() {
+                Ok(g) => Some(g),
+                Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            }
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Non-poisoning reader-writer lock.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        pub fn new(value: T) -> Self {
+            RwLock {
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            self.inner.read().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            self.inner.write().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Condition variable paired with [`Mutex`]; `wait_timeout` reports the
+    /// timeout as a plain `bool` so call sites stay identical under the
+    /// model-check shims (where timeouts are delivered abstractly by the
+    /// scheduler rather than by the clock).
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar {
+                inner: std::sync::Condvar::new(),
+            }
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> (MutexGuard<'a, T>, bool) {
+            let (guard, result) = self
+                .inner
+                .wait_timeout(guard, dur)
+                .unwrap_or_else(|e| e.into_inner());
+            (guard, result.timed_out())
+        }
+
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+}

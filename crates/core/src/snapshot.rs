@@ -17,10 +17,11 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use foss_common::sync::atomic::{AtomicU64, Ordering};
+use foss_common::sync::RwLock;
 use foss_common::{ByteReader, ByteWriter, Codec, FossError, FxHashMap, QueryId, Result};
 use foss_optimizer::{PhysicalPlan, TraditionalOptimizer};
 use foss_query::Query;
-use parking_lot::RwLock;
 
 use crate::aam::AdvantageModel;
 use crate::actions::ActionSpace;
@@ -315,35 +316,43 @@ pub(crate) fn infer(
 /// `load` clones an `Arc` under a read lock (nanoseconds); planning happens
 /// entirely outside the lock, so a publish never blocks behind an in-flight
 /// query and a query never observes a half-published model.
-pub struct SnapshotCell {
-    slot: RwLock<Arc<PlannerSnapshot>>,
-    generation: std::sync::atomic::AtomicU64,
+///
+/// Generic over the payload (defaulting to [`PlannerSnapshot`], the serving
+/// use) so the publish/load protocol itself can be model-checked with small
+/// payloads — the checked code is exactly what serves production traffic.
+pub struct SnapshotCell<T = PlannerSnapshot> {
+    slot: RwLock<Arc<T>>,
+    generation: AtomicU64,
 }
 
-impl SnapshotCell {
+impl<T> SnapshotCell<T> {
     /// Start serving from `snapshot` (generation 0).
-    pub fn new(snapshot: PlannerSnapshot) -> Self {
+    pub fn new(snapshot: T) -> Self {
         Self {
             slot: RwLock::new(Arc::new(snapshot)),
-            generation: std::sync::atomic::AtomicU64::new(0),
+            generation: AtomicU64::new(0),
         }
     }
 
     /// The snapshot to plan with right now.
-    pub fn load(&self) -> Arc<PlannerSnapshot> {
+    pub fn load(&self) -> Arc<T> {
         self.slot.read().clone()
     }
 
     /// Atomically replace the served snapshot (hot model swap).
-    pub fn publish(&self, snapshot: PlannerSnapshot) {
+    ///
+    /// The slot is swapped *before* the generation bump: a reader that
+    /// observes generation `g` is guaranteed any subsequent `load` returns
+    /// the payload of publish `g` or newer. (The converse — a fresh payload
+    /// with a stale counter — only makes staleness checks conservative.)
+    pub fn publish(&self, snapshot: T) {
         *self.slot.write() = Arc::new(snapshot);
-        self.generation
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// How many times [`SnapshotCell::publish`] has run.
     pub fn generation(&self) -> u64 {
-        self.generation.load(std::sync::atomic::Ordering::Relaxed)
+        self.generation.load(Ordering::Acquire)
     }
 }
 

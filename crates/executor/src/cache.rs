@@ -13,10 +13,10 @@
 //! FIFO ages it out — see the hit-rate test below and the `cache/eviction`
 //! micro-benchmark.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use foss_common::sync::atomic::{AtomicU64, Ordering};
+use foss_common::sync::{Condvar, Mutex, MutexGuard};
 
 use foss_common::{FaultPlan, FaultSite, FossError, FxHashMap, FxHashSet, QueryId, Result};
 use foss_optimizer::{CostModel, PhysicalPlan};
@@ -201,8 +201,7 @@ pub struct CachingExecutor {
     /// Keys currently being executed by some thread (single-flight): a
     /// concurrent miss on an in-flight key waits on `inflight_cv` for the
     /// executing thread to fill the cache instead of re-executing.
-    /// `std::sync::Mutex` because the condvar must pair with it.
-    inflight: StdMutex<FxHashSet<CacheKey>>,
+    inflight: Mutex<FxHashSet<CacheKey>>,
     inflight_cv: Condvar,
     executions: AtomicU64,
     hits: AtomicU64,
@@ -221,7 +220,7 @@ struct InflightClaim<'a> {
 
 impl Drop for InflightClaim<'_> {
     fn drop(&mut self) {
-        self.cx.lock_inflight().remove(&self.key);
+        self.cx.inflight.lock().remove(&self.key);
         self.cx.inflight_cv.notify_all();
     }
 }
@@ -240,7 +239,7 @@ impl CachingExecutor {
             cost,
             mode,
             cache: Mutex::new(CacheState::default()),
-            inflight: StdMutex::new(FxHashSet::default()),
+            inflight: Mutex::new(FxHashSet::default()),
             inflight_cv: Condvar::new(),
             executions: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -282,7 +281,7 @@ impl CachingExecutor {
                 policy,
                 ..CacheState::default()
             }),
-            inflight: StdMutex::new(FxHashSet::default()),
+            inflight: Mutex::new(FxHashSet::default()),
             inflight_cv: Condvar::new(),
             executions: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -317,15 +316,6 @@ impl CachingExecutor {
     pub fn with_fault_plan(mut self, faults: Arc<FaultPlan>) -> Self {
         self.faults = Some(faults);
         self
-    }
-
-    /// Lock the in-flight key set, shrugging off poisoning: the set's
-    /// invariant (a key is present iff some claim guard is alive) survives
-    /// a panicking thread because [`InflightClaim`] removes its key on drop.
-    fn lock_inflight(&self) -> MutexGuard<'_, FxHashSet<CacheKey>> {
-        self.inflight
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Answer `key` from the cache, or `None` on a miss (including a cached
@@ -408,15 +398,12 @@ impl CachingExecutor {
             }
             // Miss: claim the key, or wait for whoever holds the claim and
             // then re-check the cache they were filling.
-            let mut inflight = self.lock_inflight();
+            let mut inflight = self.inflight.lock();
             if !inflight.contains(&key) {
                 inflight.insert(key);
                 break InflightClaim { cx: self, key };
             }
-            let guard = self
-                .inflight_cv
-                .wait(inflight)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let guard: MutexGuard<'_, FxHashSet<CacheKey>> = self.inflight_cv.wait(inflight);
             drop(guard);
         };
         // Double-check under the claim: a racer may have filled the cache
@@ -443,6 +430,44 @@ impl CachingExecutor {
         };
         drop(claim);
         result
+    }
+
+    /// Pre-single-flight `execute` (the PR 6 behaviour before the in-flight
+    /// claim was introduced): lookup → execute → insert with **no** claim on
+    /// the key, so two concurrent misses on the same key both execute.
+    ///
+    /// Kept only as a mutation target for the model checker — the
+    /// `foss_analysis` regression suite asserts the checker *finds* the
+    /// double-execution interleaving in this version, proving the suite would
+    /// have caught the original bug. Never compiled into production builds.
+    #[cfg(feature = "unflighted-cache")]
+    pub fn execute_unflighted(
+        &self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        budget: Option<f64>,
+    ) -> Result<ExecOutcome> {
+        let key = (query.id, plan.fingerprint());
+        if let Some(res) = self.lookup(key, budget) {
+            return res;
+        }
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        let exec = Executor::with_mode(&self.db, self.cost, self.mode);
+        match exec.execute(query, plan, budget) {
+            Ok(out) => {
+                self.cache.lock().insert(key, CachedResult::Done(out));
+                Ok(out)
+            }
+            Err(e @ FossError::Timeout { spent, .. }) => {
+                if let Some(b) = budget {
+                    self.cache
+                        .lock()
+                        .insert(key, CachedResult::TimedOut { budget: b, spent });
+                }
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Number of *real* executions performed (cache misses) over the

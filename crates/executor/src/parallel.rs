@@ -42,7 +42,7 @@
 //! charges is monotone, making the pair-only prefix a true lower bound on
 //! the replayed spend).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use foss_common::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use foss_common::{fx_hash_one, run_morsels, FxHashMap, Result};
 use foss_query::{JoinEdge, Predicate, Query};

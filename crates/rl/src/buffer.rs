@@ -118,7 +118,7 @@ impl<S> RolloutBuffer<S> {
     }
 }
 
-/// A [`RolloutBuffer`] behind a `parking_lot` mutex, shareable across the
+/// A [`RolloutBuffer`] behind a mutex, shareable across the
 /// scoped worker threads that collect episodes concurrently.
 ///
 /// Within one episode, transition order is preserved by pushing the whole
@@ -129,14 +129,14 @@ impl<S> RolloutBuffer<S> {
 /// [`RolloutBuffer::merge`] them in shard order.
 #[derive(Debug, Default)]
 pub struct SharedRolloutBuffer<S> {
-    inner: parking_lot::Mutex<RolloutBuffer<S>>,
+    inner: foss_common::sync::Mutex<RolloutBuffer<S>>,
 }
 
 impl<S> SharedRolloutBuffer<S> {
     /// Empty shared buffer.
     pub fn new() -> Self {
         Self {
-            inner: parking_lot::Mutex::new(RolloutBuffer::new()),
+            inner: foss_common::sync::Mutex::new(RolloutBuffer::new()),
         }
     }
 

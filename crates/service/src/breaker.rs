@@ -26,9 +26,10 @@
 //! breaker to closed, because a new snapshot is a new failure domain (the
 //! usual reason the old one was failing).
 
-use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use foss_common::sync::atomic::{AtomicU64, Ordering};
+use foss_common::sync::Mutex;
 
 /// Breaker thresholds (all counted in requests — deterministic under a
 /// replayed submission sequence).

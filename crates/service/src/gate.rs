@@ -17,8 +17,9 @@
 //! that tells an operator how close the deployment runs to its admission
 //! ceiling.
 
-use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+use foss_common::sync::{Condvar, Mutex, MutexGuard};
 
 #[derive(Debug, Default)]
 struct GateState {
@@ -52,13 +53,16 @@ impl AdmissionGate {
     /// when the returned guard drops (panic-safe: an unwinding worker still
     /// frees its slot).
     pub fn acquire(&self) -> Permit<'_> {
-        self.acquire_until(None)
-            .expect("unbounded acquire cannot time out")
+        let mut state = self.state.lock();
+        while state.in_flight == self.capacity {
+            state = self.freed.wait(state);
+        }
+        self.admit(state)
     }
 
     /// Take a permit only if one is free right now (never waits).
     pub fn try_acquire(&self) -> Option<Permit<'_>> {
-        let state = self.state.lock().expect("gate lock poisoned");
+        let state = self.state.lock();
         (state.in_flight < self.capacity).then(|| self.admit(state))
     }
 
@@ -67,27 +71,20 @@ impl AdmissionGate {
     pub fn acquire_timeout(&self, timeout: Duration) -> Option<Permit<'_>> {
         // `checked_add` guards Instant overflow on Duration::MAX-style
         // timeouts, which degrade to an unbounded wait.
-        self.acquire_until(Instant::now().checked_add(timeout))
-    }
-
-    /// The one wait loop behind every acquire flavour: `deadline == None`
-    /// waits forever.
-    fn acquire_until(&self, deadline: Option<Instant>) -> Option<Permit<'_>> {
-        let mut state = self.state.lock().expect("gate lock poisoned");
+        let Some(deadline) = Instant::now().checked_add(timeout) else {
+            return Some(self.acquire());
+        };
+        let mut state = self.state.lock();
         while state.in_flight == self.capacity {
-            match deadline {
-                None => state = self.freed.wait(state).expect("gate lock poisoned"),
-                Some(dl) => {
-                    let now = Instant::now();
-                    if now >= dl {
-                        return None;
-                    }
-                    state = self
-                        .freed
-                        .wait_timeout(state, dl - now)
-                        .expect("gate lock poisoned")
-                        .0;
-                }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let (guard, timed_out) = self.freed.wait_timeout(state, remaining);
+            state = guard;
+            // Shed only when the wait itself reported expiry *and* the gate
+            // is still full under the re-acquired lock — a permit freed
+            // concurrently with the timeout still admits the caller instead
+            // of shedding work a free slot could serve.
+            if timed_out && state.in_flight == self.capacity {
+                return None;
             }
         }
         Some(self.admit(state))
@@ -101,12 +98,12 @@ impl AdmissionGate {
 
     /// Queries currently holding a permit.
     pub fn in_flight(&self) -> usize {
-        self.state.lock().expect("gate lock poisoned").in_flight
+        self.state.lock().in_flight
     }
 
     /// Most permits ever held simultaneously.
     pub fn high_water(&self) -> usize {
-        self.state.lock().expect("gate lock poisoned").high_water
+        self.state.lock().high_water
     }
 
     /// The admission ceiling.
@@ -115,7 +112,7 @@ impl AdmissionGate {
     }
 
     fn release(&self) {
-        let mut state = self.state.lock().expect("gate lock poisoned");
+        let mut state = self.state.lock();
         state.in_flight -= 1;
         drop(state);
         self.freed.notify_one();

@@ -27,11 +27,11 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use foss_common::sync::atomic::{AtomicBool, Ordering};
 use foss_common::{FossError, Result};
 use foss_core::PlannerSnapshot;
 use foss_query::Query;

@@ -203,7 +203,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<()> {
+    fn expect_byte(&mut self, b: u8) -> Result<()> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -238,7 +238,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -261,7 +261,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -272,7 +272,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             fields.push((key, value));
@@ -289,7 +289,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;

@@ -91,12 +91,12 @@ pub mod wire;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use foss_common::sync::Mutex;
 use foss_common::{FaultPlan, FaultSite, FossError, FxHashMap, QueryId, Result};
 use foss_core::{PlannerSnapshot, SnapshotCell};
 use foss_executor::CachingExecutor;
 use foss_optimizer::PhysicalPlan;
 use foss_query::Query;
-use parking_lot::Mutex;
 
 pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, BreakerView, CircuitBreaker};
 pub use gate::{AdmissionGate, Permit};

@@ -6,10 +6,9 @@
 //! off the hot path). Percentiles share their definition with the
 //! experiment harness via [`foss_common::percentile`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use foss_common::sync::atomic::{AtomicU64, Ordering};
+use foss_common::sync::Mutex;
 use foss_executor::CacheStats;
-use parking_lot::Mutex;
 
 use crate::breaker::{BreakerState, BreakerView};
 use crate::FallbackReason;
