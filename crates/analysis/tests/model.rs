@@ -388,7 +388,13 @@ mod metrics {
         let observer = with_observer.then(|| {
             let reg = Arc::clone(&reg);
             foss_check::thread::spawn(move || {
-                let mid = reg.snapshot(CacheStats::default(), 0, idle_breaker(), 0);
+                let mid = reg.snapshot(
+                    CacheStats::default(),
+                    0,
+                    idle_breaker(),
+                    0,
+                    foss_service::TierStats::default(),
+                );
                 assert!(
                     mid.submitted <= 2,
                     "snapshot saw {} > 2 submissions",
@@ -402,7 +408,13 @@ mod metrics {
         if let Some(o) = observer {
             o.join();
         }
-        let fin = reg.snapshot(CacheStats::default(), 0, idle_breaker(), 0);
+        let fin = reg.snapshot(
+            CacheStats::default(),
+            0,
+            idle_breaker(),
+            0,
+            foss_service::TierStats::default(),
+        );
         assert_eq!(fin.submitted, 2);
         assert_eq!(fin.fallbacks, 1);
         assert_eq!(fin.exec_errors, 1);
@@ -420,6 +432,118 @@ mod metrics {
     #[test]
     fn random_concurrent_records_conserve_totals() {
         check_random(0xF055_0004, 500, || concurrent_records(true)).assert_ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// service: TierCell (tiered-execution publish/claim)
+// ---------------------------------------------------------------------------
+
+mod tier {
+    use super::*;
+    use foss_service::TierCell;
+
+    const SHAPE: u64 = 7;
+
+    /// The compile discipline `TierEngine::pipeline_for` runs per racer:
+    /// read the cell, try to claim, publish on success. Returns 1 if this
+    /// racer published.
+    fn try_compile(cell: &TierCell<(u64, u64)>, tid: u64) -> u32 {
+        if cell.get(SHAPE).is_some() {
+            return 0;
+        }
+        match cell.claim(SHAPE) {
+            Some(claim) => {
+                claim.publish((tid, tid));
+                1
+            }
+            None => 0,
+        }
+    }
+
+    /// `racers` compile racers for one shape against `reads` observer
+    /// loads: exactly one racer publishes, no load observes a torn
+    /// pipeline payload, the generation is monotone, and an observed
+    /// generation ≥ 1 guarantees the entry is visible (publish swaps the
+    /// map *before* bumping, mirroring `SnapshotCell`).
+    fn compile_race(racers: u64, reads: usize) {
+        let cell = Arc::new(TierCell::<(u64, u64)>::new());
+        let compilers: Vec<_> = (1..=racers)
+            .map(|tid| {
+                let cell = Arc::clone(&cell);
+                foss_check::thread::spawn(move || try_compile(&cell, tid))
+            })
+            .collect();
+        let reader = (reads > 0).then(|| {
+            let cell = Arc::clone(&cell);
+            foss_check::thread::spawn(move || {
+                let mut last_gen = 0;
+                for _ in 0..reads {
+                    let g0 = cell.generation();
+                    if let Some(v) = cell.get(SHAPE) {
+                        assert_eq!(v.0, v.1, "torn pipeline read: {:?}", *v);
+                    } else {
+                        assert_eq!(g0, 0, "generation {g0} observed but entry missing");
+                    }
+                    let g1 = cell.generation();
+                    assert!(g1 >= g0, "generation went backwards: {g0} -> {g1}");
+                    assert!(g0 >= last_gen, "generation went backwards across loads");
+                    last_gen = g1;
+                }
+            })
+        });
+        let published: u32 = compilers.into_iter().map(|h| h.join()).sum();
+        if let Some(reader) = reader {
+            reader.join();
+        }
+        assert_eq!(published, 1, "compile race must have exactly one winner");
+        assert_eq!(cell.generation(), 1, "exactly one publish bumps once");
+        let v = cell.get(SHAPE).expect("winner's entry visible after join");
+        assert_eq!(v.0, v.1, "published entry torn");
+    }
+
+    #[test]
+    fn exhaustive_one_compile_winner() {
+        let report = check_exhaustive(400_000, || compile_race(2, 0));
+        report.assert_ok();
+        assert!(report.complete, "exhaustive budget too small");
+    }
+
+    #[test]
+    fn random_one_compile_winner_no_torn_reads() {
+        check_random(0xF055_0007, 1_000, || compile_race(3, 2)).assert_ok();
+    }
+
+    /// A claim dropped without publishing (a compiler that declined) must
+    /// release the key in every interleaving: whatever order the decliner
+    /// and the racer land in, the shape ends published exactly once — by
+    /// the racer or by a retry after both settle — and never wedged.
+    #[test]
+    fn exhaustive_dropped_claim_releases_the_key() {
+        let report = check_exhaustive(1_000_000, || {
+            let cell = Arc::new(TierCell::<(u64, u64)>::new());
+            let decliner = {
+                let cell = Arc::clone(&cell);
+                foss_check::thread::spawn(move || {
+                    drop(cell.claim(SHAPE));
+                    0u32
+                })
+            };
+            let racer = {
+                let cell = Arc::clone(&cell);
+                foss_check::thread::spawn(move || try_compile(&cell, 9))
+            };
+            let published = decliner.join() + racer.join();
+            if published == 0 {
+                // The racer lost its claim to the decliner; the key must be
+                // claimable again now — a wedged key would return None.
+                assert_eq!(try_compile(&cell, 10), 1, "dropped claim wedged the key");
+            }
+            assert_eq!(cell.generation(), 1);
+            assert!(cell.get(SHAPE).is_some());
+        });
+        report.assert_ok();
+        assert!(report.complete, "exhaustive budget too small");
     }
 }
 

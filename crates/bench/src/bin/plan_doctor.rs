@@ -32,6 +32,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use foss_bench::cli::{self, BenchArgs, Command, LoadArgs, ServeArgs, SharedArgs};
+use foss_bench::load::{fallback_mix_line, summary_line, LoadTally};
 use foss_common::{FaultPlan, FossError};
 use foss_core::{FossConfig, PlannerSnapshot};
 use foss_harness::{Experiment, FossAdapter};
@@ -97,6 +98,19 @@ fn train_snapshot(exp: &Experiment, shared: &SharedArgs) -> PlannerSnapshot {
     adapter.snapshot().as_ref().clone()
 }
 
+/// The execution tier in effect: `--tier` beats `FOSS_TIER`, neither means
+/// the service default (count-and-compile).
+fn tier_config(shared: &SharedArgs) -> foss_service::TierConfig {
+    let default = foss_service::TierConfig::default();
+    foss_service::TierConfig {
+        mode: shared
+            .tier
+            .or_else(foss_service::TierMode::from_env)
+            .unwrap_or(default.mode),
+        ..default
+    }
+}
+
 /// Wrap a snapshot in a service front end configured by the shared flags.
 fn doctor_for(exp: &Experiment, shared: &SharedArgs, snapshot: PlannerSnapshot) -> PlanDoctor {
     let mut doctor = PlanDoctor::new(
@@ -105,6 +119,7 @@ fn doctor_for(exp: &Experiment, shared: &SharedArgs, snapshot: PlannerSnapshot) 
         ServiceConfig {
             max_in_flight: shared.max_in_flight,
             planning_budget_us: shared.budget_us,
+            tier: tier_config(shared),
             ..ServiceConfig::default()
         },
     );
@@ -206,43 +221,6 @@ fn run_serve(args: ServeArgs) {
     }
 }
 
-/// Per-thread tallies folded into the load report.
-#[derive(Default)]
-struct LoadTally {
-    latencies_us: Vec<f64>,
-    ok: u64,
-    shed_low: u64,
-    shed_high: u64,
-    rejected: u64,
-    transport_errors: u64,
-    /// (reason string, count) — merged across threads at the end.
-    fallback_mix: Vec<(String, u64)>,
-}
-
-impl LoadTally {
-    fn bump_reason(&mut self, reason: &str) {
-        match self.fallback_mix.iter_mut().find(|(r, _)| r == reason) {
-            Some((_, n)) => *n += 1,
-            None => self.fallback_mix.push((reason.to_string(), 1)),
-        }
-    }
-
-    fn merge(&mut self, other: LoadTally) {
-        self.latencies_us.extend(other.latencies_us);
-        self.ok += other.ok;
-        self.shed_low += other.shed_low;
-        self.shed_high += other.shed_high;
-        self.rejected += other.rejected;
-        self.transport_errors += other.transport_errors;
-        for (reason, n) in other.fallback_mix {
-            match self.fallback_mix.iter_mut().find(|(r, _)| *r == reason) {
-                Some((_, total)) => *total += n,
-                None => self.fallback_mix.push((reason, n)),
-            }
-        }
-    }
-}
-
 fn run_load(args: LoadArgs) {
     let client = PlanClient::connect(&args.addr).unwrap_or_else(|e| die(e));
     // Await server readiness: `serve` may still be training when the load
@@ -315,33 +293,12 @@ fn run_load(args: LoadArgs) {
     for tally in tallies {
         total.merge(tally);
     }
-    let elapsed_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let elapsed_s = t0.elapsed().as_secs_f64();
 
-    let pct = |p: f64| foss_common::percentile(&total.latencies_us, p).unwrap_or(0.0);
-    println!(
-        "plan-doctor load: requests={} ok={} shed={}/{} rejected={} transport_errors={} \
-         qps={:.1} p50_us={:.0} p95_us={:.0} p99_us={:.0}",
-        args.requests,
-        total.ok,
-        total.shed_low,
-        total.shed_high,
-        total.rejected,
-        total.transport_errors,
-        total.ok as f64 / elapsed_s,
-        pct(50.0),
-        pct(95.0),
-        pct(99.0),
-    );
-    total
-        .fallback_mix
-        .sort_by_key(|&(_, n)| std::cmp::Reverse(n));
-    let mix = total
-        .fallback_mix
-        .iter()
-        .map(|(r, n)| format!("{r}={n}"))
-        .collect::<Vec<_>>()
-        .join(" ");
-    println!("plan-doctor load: fallback mix: {mix}");
+    // A full-shed run has an empty latency reservoir; the report prints
+    // `n/a` percentiles (never a fake 0) while keeping counts/QPS exact.
+    println!("{}", summary_line(args.requests, elapsed_s, &total));
+    println!("{}", fallback_mix_line(&mut total));
     if total.ok == 0 {
         die("no request succeeded");
     }

@@ -31,13 +31,15 @@ use std::time::Duration;
 
 /// Benchmarks the regression gate guards: the FOSS serving hot path (AAM
 /// inference and end-to-end PlanDoctor submits) plus the chunked executor
-/// operators — including the heavy-tail skewed hash join and its
-/// morsel-driven parallel twins — and the bounded-cache eviction path.
+/// operators — including the heavy-tail skewed hash join, its
+/// morsel-driven parallel twins and the tier-2 fused pipeline — and the
+/// bounded-cache eviction path.
 const GUARDED: &[&str] = &[
     "aam/pair_inference",
     "exec/scan_filter",
     "exec/parallel_scan",
     "exec/hash_join",
+    "exec/fused_hot_path",
     "exec/hash_join_skewed",
     "exec/hash_join_partitioned",
     "cache/eviction",

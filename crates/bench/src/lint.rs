@@ -3,8 +3,9 @@
 //! Three rules, each encoding an invariant this repo actually relies on:
 //!
 //! * **panic-habits** (`A`) — no `.unwrap()` / `.expect(` / `panic!(` in
-//!   `crates/service` non-test code. The serving layer must degrade
-//!   (fallback, shed, wire error), never abort a worker thread.
+//!   `crates/service` or `crates/executor/src/fused.rs` non-test code.
+//!   The serving layer (and the tier-2 fused engine it dispatches to) must
+//!   degrade (fallback, shed, wire error), never abort a worker thread.
 //! * **sync-facade** (`B`) — no direct `std::sync` lock/atomic imports and
 //!   no `parking_lot` anywhere outside the `foss_common::sync` facade, the
 //!   `crates/analysis` checker (which implements the shims) and the vendor
@@ -193,9 +194,17 @@ const PANIC_PATTERNS: &[(&str, &str)] = &[
     ),
 ];
 
-/// Rule A: panic habits in `crates/service` non-test code.
+/// Paths rule A covers: the whole serving layer, plus the tier-2 fused
+/// engine — it runs inside serving threads on the latency path, so it must
+/// degrade (decline to compile, return `FossError`) rather than abort.
+fn panic_rule_applies(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/service/") || rel_path == "crates/executor/src/fused.rs"
+}
+
+/// Rule A: panic habits in `crates/service` (and the fused tier-2 engine)
+/// non-test code.
 pub fn scan_panic_habits(rel_path: &str, source: &str) -> Vec<Finding> {
-    if !rel_path.starts_with("crates/service/") {
+    if !panic_rule_applies(rel_path) {
         return Vec::new();
     }
     let mut region = TestRegion::default();
@@ -441,6 +450,13 @@ mod tests {
         let found = scan_panic_habits("crates/service/src/lib.rs", src);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].line, 2);
+        // The fused tier-2 engine is in scope too; the rest of the
+        // executor crate is not.
+        assert_eq!(
+            scan_panic_habits("crates/executor/src/fused.rs", src).len(),
+            1
+        );
+        assert!(scan_panic_habits("crates/executor/src/exec.rs", src).is_empty());
         // Same source outside crates/service is out of scope for rule A.
         assert!(scan_panic_habits("crates/core/src/lib.rs", src).is_empty());
     }

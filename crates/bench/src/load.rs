@@ -1,0 +1,164 @@
+//! Tallying and reporting for the `plan-doctor load` generator.
+//!
+//! Lives in the library (rather than the binary) so the report format is
+//! unit- and integration-testable; the binary only drives sockets and
+//! prints what [`summary_line`] / [`fallback_mix_line`] render.
+//!
+//! The percentile columns print `n/a` when the latency reservoir is empty
+//! — a full-shed run completes zero requests, and printing `p50_us=0`
+//! there reads as "zero latency" to a CI grep, which is the opposite of
+//! what happened. QPS and shed counts stay exact either way.
+
+/// Per-thread tallies folded into the load report.
+#[derive(Debug, Default)]
+pub struct LoadTally {
+    /// Round-trip latencies of successful requests (µs).
+    pub latencies_us: Vec<f64>,
+    /// Requests answered with a decision.
+    pub ok: u64,
+    /// Low-priority requests shed by admission control.
+    pub shed_low: u64,
+    /// High-priority requests shed by admission control.
+    pub shed_high: u64,
+    /// Non-overload rejections (unknown query, malformed, …).
+    pub rejected: u64,
+    /// Connection/transport failures.
+    pub transport_errors: u64,
+    /// (reason string, count) — merged across threads at the end.
+    pub fallback_mix: Vec<(String, u64)>,
+}
+
+impl LoadTally {
+    /// Count one served decision under its fallback-reason label.
+    pub fn bump_reason(&mut self, reason: &str) {
+        match self.fallback_mix.iter_mut().find(|(r, _)| r == reason) {
+            Some((_, n)) => *n += 1,
+            None => self.fallback_mix.push((reason.to_string(), 1)),
+        }
+    }
+
+    /// Fold another thread's tally into this one.
+    pub fn merge(&mut self, other: LoadTally) {
+        self.latencies_us.extend(other.latencies_us);
+        self.ok += other.ok;
+        self.shed_low += other.shed_low;
+        self.shed_high += other.shed_high;
+        self.rejected += other.rejected;
+        self.transport_errors += other.transport_errors;
+        for (reason, n) in other.fallback_mix {
+            match self.fallback_mix.iter_mut().find(|(r, _)| *r == reason) {
+                Some((_, total)) => *total += n,
+                None => self.fallback_mix.push((reason, n)),
+            }
+        }
+    }
+}
+
+/// A percentile column: the value to zero decimals, or `n/a` when there
+/// are no samples to take a percentile of.
+pub fn percentile_display(samples: &[f64], p: f64) -> String {
+    match foss_common::percentile(samples, p) {
+        Some(v) => format!("{v:.0}"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// The one-line load report (the binary prints this; tests assert on it).
+/// Counts and QPS are exact even when every request was shed.
+pub fn summary_line(requests: usize, elapsed_s: f64, total: &LoadTally) -> String {
+    let elapsed_s = elapsed_s.max(1e-9);
+    format!(
+        "plan-doctor load: requests={} ok={} shed={}/{} rejected={} transport_errors={} \
+         qps={:.1} p50_us={} p95_us={} p99_us={}",
+        requests,
+        total.ok,
+        total.shed_low,
+        total.shed_high,
+        total.rejected,
+        total.transport_errors,
+        total.ok as f64 / elapsed_s,
+        percentile_display(&total.latencies_us, 50.0),
+        percentile_display(&total.latencies_us, 95.0),
+        percentile_display(&total.latencies_us, 99.0),
+    )
+}
+
+/// The fallback-mix line, most frequent reason first.
+pub fn fallback_mix_line(total: &mut LoadTally) -> String {
+    total
+        .fallback_mix
+        .sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let mix = total
+        .fallback_mix
+        .iter()
+        .map(|(r, n)| format!("{r}={n}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!("plan-doctor load: fallback mix: {mix}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reservoir_prints_na_not_zero() {
+        let total = LoadTally {
+            shed_low: 7,
+            shed_high: 1,
+            ..LoadTally::default()
+        };
+        let line = summary_line(8, 2.0, &total);
+        for needle in [
+            "requests=8",
+            "ok=0",
+            "shed=7/1",
+            "qps=0.0",
+            "p50_us=n/a",
+            "p95_us=n/a",
+            "p99_us=n/a",
+        ] {
+            assert!(line.contains(needle), "`{line}` lacks `{needle}`");
+        }
+        assert!(
+            !line.contains("p50_us=0"),
+            "an empty reservoir must never read as zero latency: {line}"
+        );
+    }
+
+    #[test]
+    fn populated_reservoir_prints_exact_percentiles_and_qps() {
+        let mut total = LoadTally::default();
+        for i in 1..=100 {
+            total.latencies_us.push(i as f64);
+        }
+        total.ok = 100;
+        let line = summary_line(100, 10.0, &total);
+        assert!(line.contains("qps=10.0"), "{line}");
+        assert!(line.contains("p50_us=50"), "{line}");
+        assert!(!line.contains("n/a"), "{line}");
+    }
+
+    #[test]
+    fn merge_and_mix_accumulate_across_threads() {
+        let mut a = LoadTally::default();
+        a.bump_reason("none");
+        a.bump_reason("none");
+        a.ok = 2;
+        a.latencies_us.extend([10.0, 20.0]);
+        let mut b = LoadTally::default();
+        b.bump_reason("exec_timeout");
+        b.bump_reason("none");
+        b.ok = 2;
+        b.shed_low = 3;
+        a.merge(b);
+        assert_eq!(a.ok, 4);
+        assert_eq!(a.shed_low, 3);
+        assert_eq!(a.latencies_us.len(), 2);
+        let line = fallback_mix_line(&mut a);
+        assert_eq!(
+            line,
+            "plan-doctor load: fallback mix: none=3 exec_timeout=1"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Regression test for the `plan-doctor load` report under full shed.
+//!
+//! With `--max-in-flight 1` and the single permit pinned by a slow
+//! high-priority request, every low-priority request is shed and the
+//! latency reservoir stays empty. The report used to print `p50_us=0`
+//! (an `unwrap_or(0.0)` on the percentile) — zero latency is the exact
+//! opposite of what happened. It must print `n/a` while keeping the
+//! shed counts and QPS exact.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use foss_bench::load::{fallback_mix_line, summary_line, LoadTally};
+use foss_common::{FaultPlan, FaultSite};
+use foss_core::envs::tests_support::TestWorld;
+use foss_core::{Foss, FossConfig};
+use foss_executor::CachingExecutor;
+use foss_service::{
+    PlanDoctor, PlanOutcome, PlanRequest, PlanServer, Priority, QueryRequest, ServiceConfig,
+};
+
+/// How long the pinned high-priority request stalls in the executor (µs).
+/// Generous: the shed round-trips it must outlast are sub-millisecond.
+const STALL_US: f64 = 2_000_000.0;
+
+#[test]
+fn full_shed_run_reports_na_percentiles_and_exact_shed_counts() {
+    let seed = 71;
+    let world = TestWorld::new(seed);
+    let row_counts: Vec<u64> = world.db.stats().iter().map(|s| s.row_count).collect();
+
+    // Train on a clean executor so only serving feels the stall.
+    let clean = Arc::new(CachingExecutor::new(
+        world.db.clone(),
+        *world.opt.cost_model(),
+    ));
+    let mut foss = Foss::new(
+        Arc::new(world.opt.clone()),
+        clean,
+        3,
+        row_counts,
+        FossConfig {
+            episodes_per_update: 6,
+            seed,
+            ..FossConfig::tiny()
+        },
+    );
+    foss.train(std::slice::from_ref(&world.query), 1).unwrap();
+
+    let slow = Arc::new(
+        CachingExecutor::new(world.db.clone(), *world.opt.cost_model()).with_fault_plan(Arc::new(
+            FaultPlan::builder(seed)
+                .fault_param(FaultSite::ExecSlow, 1.0, STALL_US)
+                .build(),
+        )),
+    );
+    let doctor = Arc::new(PlanDoctor::new(
+        foss.snapshot(),
+        slow,
+        ServiceConfig {
+            max_in_flight: 1,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server =
+        PlanServer::start(doctor.clone(), vec![world.query.clone()], "127.0.0.1:0").unwrap();
+    let client = server.client();
+
+    // Pin the only permit with a high-priority request that stalls in the
+    // executor; wait until it is provably in flight.
+    let pinned = {
+        let doctor = doctor.clone();
+        let query = world.query.clone();
+        std::thread::spawn(move || doctor.submit(QueryRequest::new(query)))
+    };
+    let t0 = Instant::now();
+    while doctor.metrics().in_flight_high_water < 1 {
+        assert!(
+            t0.elapsed().as_secs_f64() < 30.0,
+            "pinned request never acquired the gate"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // The load-generator loop from `plan-doctor load`, verbatim tallying.
+    let requests = 6;
+    let t0 = Instant::now();
+    let mut tally = LoadTally::default();
+    for idx in 0..requests {
+        let mut req = PlanRequest::for_index(0);
+        req.priority = Some(Priority::Low);
+        let sent = Instant::now();
+        match client.plan(&req).unwrap() {
+            PlanOutcome::Decision(reply) => {
+                tally.latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                tally.ok += 1;
+                tally.bump_reason(&reply.reason);
+            }
+            PlanOutcome::Rejected(rej) if rej.code == "overloaded" => tally.shed_low += 1,
+            PlanOutcome::Rejected(rej) => panic!("request {idx}: unexpected rejection {rej:?}"),
+        }
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    // All six were shed by admission control, none reached the executor.
+    assert_eq!(tally.shed_low, requests as u64);
+    assert_eq!(tally.ok, 0);
+    assert!(tally.latencies_us.is_empty());
+
+    let line = summary_line(requests, elapsed_s, &tally);
+    for needle in [
+        "requests=6",
+        "ok=0",
+        "shed=6/0",
+        "rejected=0",
+        "transport_errors=0",
+        "qps=0.0",
+        "p50_us=n/a",
+        "p95_us=n/a",
+        "p99_us=n/a",
+    ] {
+        assert!(line.contains(needle), "`{line}` lacks `{needle}`");
+    }
+    assert_eq!(
+        fallback_mix_line(&mut tally),
+        "plan-doctor load: fallback mix: "
+    );
+
+    // The pinned request eventually completes normally.
+    pinned.join().unwrap().unwrap();
+    assert_eq!(doctor.metrics().shed_low, requests as u64);
+}

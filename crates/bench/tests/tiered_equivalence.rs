@@ -1,0 +1,192 @@
+//! Differential tests: the tier-2 fused engine is bit-identical to the
+//! interpreter across all five workloads.
+//!
+//! For every held-out query of every workload we execute three ways —
+//! fused pipeline (when the plan compiles), chunked interpreter, scalar
+//! interpreter — and require identical tuples, tuple order, row counts,
+//! and bit-identical simulated latency ([`ExecOutcome`] equality compares
+//! the `f64` directly). Timeout accounting must agree too: under a
+//! truncated budget all engines must report the same `spent`/`budget`.
+//!
+//! Two plans per query are tested: the expert's pick (which may decline
+//! to compile — merge/index-NL shapes fall back to the interpreter) and a
+//! forced left-deep all-hash plan, which the tier must always compile.
+
+use foss_executor::{ExecMode, Executor, FusedPipeline};
+use foss_optimizer::{Icp, JoinMethod, PhysicalPlan};
+use foss_query::Query;
+use foss_workloads::{Workload, WorkloadSpec, WORKLOAD_NAMES};
+
+const SCALE: f64 = 0.05;
+const SEED: u64 = 1007;
+
+/// Budget fractions for the truncated-budget (timeout accounting) runs.
+const BUDGET_FRACS: [f64; 3] = [0.15, 0.55, 0.95];
+
+struct Tallies {
+    compiled: usize,
+    declined: usize,
+}
+
+/// Run one (query, plan) through all three engines and assert agreement.
+/// Returns whether the plan compiled to a fused pipeline.
+fn check_plan(wl: &Workload, query: &Query, plan: &PhysicalPlan, label: &str) -> bool {
+    let cost = *wl.optimizer.cost_model();
+    let chunked = Executor::with_mode(&wl.db, cost, ExecMode::Chunked);
+    let scalar = Executor::with_mode(&wl.db, cost, ExecMode::Scalar);
+
+    let (oc, rc) = chunked.execute_rows(query, plan, None).unwrap();
+    let (os, rs) = scalar.execute_rows(query, plan, None).unwrap();
+    assert_eq!(oc, os, "chunked vs scalar outcome diverged: {label}");
+    assert_eq!(rc, rs, "chunked vs scalar tuples diverged: {label}");
+
+    let Some(fused) = FusedPipeline::compile(query, plan) else {
+        return false;
+    };
+
+    // Full runs: count mode and row mode, against both interpreters.
+    let (of, rf) = fused.execute_rows(&wl.db, cost, query, None).unwrap();
+    assert_eq!(oc, of, "fused outcome diverged: {label}");
+    assert_eq!(
+        oc.latency.to_bits(),
+        of.latency.to_bits(),
+        "fused latency not bit-identical: {label}"
+    );
+    assert_eq!(rc, rf, "fused tuples diverged: {label}");
+    let count_only = fused.execute(&wl.db, cost, query, None).unwrap();
+    assert_eq!(
+        oc, count_only,
+        "fused count mode diverged from interpreter: {label}"
+    );
+
+    // Truncated budgets: identical success/timeout decisions and, on
+    // timeout, identical spent/budget accounting — across all engines.
+    for frac in BUDGET_FRACS {
+        let budget = Some(oc.latency * frac);
+        let i = chunked.execute(query, plan, budget);
+        let s = scalar.execute(query, plan, budget);
+        let f = fused.execute(&wl.db, cost, query, budget);
+        let fr = fused
+            .execute_rows(&wl.db, cost, query, budget)
+            .map(|(out, _)| out);
+        assert_eq!(
+            format!("{i:?}"),
+            format!("{f:?}"),
+            "timeout accounting diverged (chunked vs fused) at frac={frac}: {label}"
+        );
+        assert_eq!(
+            format!("{i:?}"),
+            format!("{s:?}"),
+            "timeout accounting diverged (chunked vs scalar) at frac={frac}: {label}"
+        );
+        assert_eq!(
+            format!("{f:?}"),
+            format!("{fr:?}"),
+            "fused count vs row mode diverged at frac={frac}: {label}"
+        );
+    }
+    true
+}
+
+/// A left-deep all-hash hint over relations in textual order — the shape
+/// the tier-2 compiler must always accept.
+fn all_hash_plan(wl: &Workload, query: &Query) -> Option<PhysicalPlan> {
+    let n = query.relation_count();
+    if n < 2 {
+        return None;
+    }
+    let icp = Icp::new((0..n).collect(), vec![JoinMethod::Hash; n - 1]).ok()?;
+    wl.optimizer.optimize_with_hint(query, &icp).ok()
+}
+
+#[test]
+fn fused_matches_interpreters_on_all_five_workloads() {
+    let mut totals = Tallies {
+        compiled: 0,
+        declined: 0,
+    };
+    for name in WORKLOAD_NAMES {
+        let wl = Workload::by_name(
+            name,
+            WorkloadSpec {
+                seed: SEED,
+                scale: SCALE,
+            },
+        )
+        .unwrap();
+        let mut compiled_here = 0usize;
+        for query in &wl.test {
+            let expert = wl.optimizer.optimize(query).unwrap();
+            let label = format!("{name} q{:?} expert", query.id);
+            if check_plan(&wl, query, &expert, &label) {
+                compiled_here += 1;
+                totals.compiled += 1;
+            } else {
+                totals.declined += 1;
+            }
+            if let Some(forced) = all_hash_plan(&wl, query) {
+                let label = format!("{name} q{:?} forced-hash", query.id);
+                assert!(
+                    check_plan(&wl, query, &forced, &label),
+                    "forced left-deep all-hash plan must compile: {label}"
+                );
+                compiled_here += 1;
+                totals.compiled += 1;
+            }
+        }
+        assert!(
+            compiled_here > 0,
+            "{name}: no plan compiled — the tier never engaged"
+        );
+    }
+    // The expert mixes join methods, so the graceful-decline path must
+    // have been exercised somewhere across the suite.
+    assert!(
+        totals.declined > 0,
+        "every expert plan compiled — unsupported-shape fallback untested"
+    );
+    assert!(totals.compiled >= 10, "suspiciously few compiled plans");
+}
+
+/// Template instances (same template, different constants) share one plan
+/// shape: the tier cell can reuse a pipeline compiled for a sibling.
+#[test]
+fn template_instances_share_a_shape_key() {
+    let wl = Workload::by_name(
+        "tpcdslite",
+        WorkloadSpec {
+            seed: SEED,
+            scale: SCALE,
+        },
+    )
+    .unwrap();
+    let mut shared = 0usize;
+    let queries = wl.all_queries();
+    'outer: for (i, a) in queries.iter().enumerate() {
+        for b in queries.iter().skip(i + 1) {
+            if shared >= 20 {
+                break 'outer;
+            }
+            let (pa, pb) = match (all_hash_plan(&wl, a), all_hash_plan(&wl, b)) {
+                (Some(pa), Some(pb)) => (pa, pb),
+                _ => continue,
+            };
+            if pa.shape_key(a) == pb.shape_key(b) {
+                shared += 1;
+                // Same shape ⇒ the pipeline compiled for one must run the
+                // other bit-identically (constants are read per-execution).
+                let fused = FusedPipeline::compile(a, &pa).unwrap();
+                let cost = *wl.optimizer.cost_model();
+                let via_sibling = fused.execute(&wl.db, cost, b, None).unwrap();
+                let direct = Executor::with_mode(&wl.db, cost, ExecMode::Chunked)
+                    .execute(b, &pb, None)
+                    .unwrap();
+                assert_eq!(via_sibling, direct, "shared-shape reuse diverged");
+            }
+        }
+    }
+    assert!(
+        shared > 0,
+        "no two workload queries shared a plan shape — template reuse untested"
+    );
+}

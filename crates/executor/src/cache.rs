@@ -381,6 +381,26 @@ impl CachingExecutor {
         plan: &PhysicalPlan,
         budget: Option<f64>,
     ) -> Result<ExecOutcome> {
+        self.execute_tiered(query, plan, budget, None)
+    }
+
+    /// [`CachingExecutor::execute`] with an optional tier-2 pipeline.
+    ///
+    /// When `pipeline` is `Some`, a cache miss runs the fused pipeline
+    /// instead of the interpreter. The fused tier charges the identical
+    /// work-unit sequence (see [`crate::fused`]), so cache entries, timeout
+    /// records and recorded latencies are bit-identical either way — the
+    /// tier is invisible to every consumer of this cache. The caller is
+    /// responsible for only passing a pipeline compiled for this exact
+    /// `(query, plan)` shape (the service keys its tier cell on
+    /// [`crate::fused::shape_key`]).
+    pub fn execute_tiered(
+        &self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        budget: Option<f64>,
+        pipeline: Option<&crate::fused::FusedPipeline>,
+    ) -> Result<ExecOutcome> {
         if let Some(faults) = &self.faults {
             if faults.roll(FaultSite::CacheError).is_some() {
                 return Err(FossError::Transient(
@@ -412,8 +432,13 @@ impl CachingExecutor {
             return res;
         }
         self.executions.fetch_add(1, Ordering::Relaxed);
-        let exec = Executor::with_mode(&self.db, self.cost, self.mode);
-        let result = match exec.execute(query, plan, budget) {
+        let outcome = match pipeline {
+            Some(fused) => fused.execute(&self.db, self.cost, query, budget),
+            None => {
+                Executor::with_mode(&self.db, self.cost, self.mode).execute(query, plan, budget)
+            }
+        };
+        let result = match outcome {
             Ok(out) => {
                 self.cache.lock().insert(key, CachedResult::Done(out));
                 Ok(out)

@@ -238,7 +238,7 @@ impl BatchCharge {
 
     /// Record `n` units, charging whenever a full chunk has accumulated.
     #[inline]
-    fn add(&mut self, n: usize, meter: &mut WorkMeter) -> Result<()> {
+    pub(crate) fn add(&mut self, n: usize, meter: &mut WorkMeter) -> Result<()> {
         self.pending += n;
         if self.pending >= CHUNK_SIZE {
             let pend = std::mem::take(&mut self.pending);
@@ -439,7 +439,10 @@ impl<'a> Executor<'a> {
             .values()
     }
 
-    fn exec_scan(
+    /// Leaf scan shared with the fused tier-2 engine (`crate::fused`): both
+    /// tiers must charge and filter identically, so there is exactly one
+    /// implementation.
+    pub(crate) fn exec_scan(
         &self,
         query: &Query,
         rel: usize,

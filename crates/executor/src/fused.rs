@@ -1,0 +1,764 @@
+//! Tier-2 execution: hot plan shapes compiled into fused pipelines.
+//!
+//! The chunked interpreter ([`crate::exec`]) walks the plan tree on every
+//! execution: per-node `match` dispatch, per-join slot lookups
+//! (`RowSet::slot_of` is a linear scan), a freshly collected
+//! `extra_edge_columns` vector, and full materialisation of every
+//! intermediate *and* the final result. For the serving path that is pure
+//! overhead — `PlanDoctor` sees the same few plan shapes over and over.
+//!
+//! [`FusedPipeline::compile`] runs that analysis **once** per shape: it
+//! flattens a supported plan into a stage program with every slot, key
+//! column and emit layout pre-resolved, and rejects (returns `None`)
+//! anything else so the caller falls back to the interpreter. Execution
+//! then replays the stages with specialised loops and, in count mode
+//! ([`FusedPipeline::execute`]), materialises only the row-id columns later
+//! stages actually read — the final join emits nothing at all, it only
+//! counts.
+//!
+//! # Supported shapes
+//!
+//! Left-deep plans whose joins are [`JoinMethod::Hash`] or index
+//! nested-loop, each with at least one equi-edge — exactly the two join
+//! flavours the DP expert and the steered optimizer emit on the serving
+//! workloads. Leaf access paths (`SeqScan`/`IndexScan`) are unrestricted:
+//! leaves delegate to the interpreter's own scan, so the two tiers cannot
+//! drift. Everything else — merge joins, non-index nested loops, cross
+//! joins, bushy trees — stays the interpreter's job.
+//!
+//! # Bit-identical metering
+//!
+//! Latency here is deterministic metered work, and floating-point addition
+//! is not associative, so "about the same charges" would change trained
+//! behaviour. The pipeline therefore replays the interpreter's exact charge
+//! sequence: scan charges from the shared scan implementation, one
+//! `rows × hash_build` per build side, one `chunk_rows × hash_probe` per
+//! probe chunk, one batched output charge per emitted tuple and a flush per
+//! chunk — in the same order, against the same meter. Timeout abort points
+//! (the `spent`/`budget` pair in [`foss_common::FossError::Timeout`]) are
+//! bit-identical too; the differential proptests in
+//! `tests/tiered_equivalence.rs` hold all of this across every workload.
+//!
+//! This module is on the serving path and must stay panic-free
+//! (`foss-lint` enforces the no-`unwrap`/`expect`/`panic!` rule here, as it
+//! does for `crates/service`).
+
+use foss_common::{FossError, FxHashMap, Result};
+use foss_optimizer::{AccessPath, CostModel, JoinMethod, PhysicalPlan, PlanNode};
+use foss_query::Query;
+
+use crate::database::Database;
+use crate::exec::{BatchCharge, ExecMode, ExecOutcome, Executor, RowSet, WorkMeter, CHUNK_SIZE};
+
+/// The tier key for `(query, plan)` — see [`PhysicalPlan::shape_key`].
+/// Re-exported here so tier callers need only the executor crate.
+pub fn shape_key(query: &Query, plan: &PhysicalPlan) -> u64 {
+    plan.shape_key(query)
+}
+
+/// One leaf read, delegated to the interpreter's scan.
+#[derive(Debug, Clone, Copy)]
+struct ScanStep {
+    rel: usize,
+    access: AccessPath,
+}
+
+/// An extra (non-key) join condition with its outer slot pre-resolved:
+/// `(outer tuple slot, outer rel, outer column, inner column)`.
+type ExtraEdge = (usize, usize, usize, usize);
+
+/// Per-stage probe/emit layout: where the key and extra-edge columns live
+/// in the incoming tuples, which incoming slots survive into the output,
+/// and whether the freshly joined inner row id is appended.
+#[derive(Debug, Clone)]
+struct EmitView {
+    /// Slot of the probe key's outer relation in the incoming layout.
+    lslot: usize,
+    /// Extra equi-edges resolved against the incoming layout.
+    extra: Vec<ExtraEdge>,
+    /// Incoming slots copied into each emitted tuple, in output order.
+    keep: Vec<usize>,
+    /// Whether the inner row id is appended after `keep`.
+    keep_inner: bool,
+    /// Incoming tuple stride.
+    stride_in: usize,
+}
+
+impl EmitView {
+    fn stride_out(&self) -> usize {
+        self.keep.len() + usize::from(self.keep_inner)
+    }
+}
+
+/// How a stage matches inner rows against the running outer pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StageKind {
+    /// Scan + build a hash table on the inner key, probe per outer chunk.
+    Hash,
+    /// Probe the inner table's hash index per outer tuple (the inner is
+    /// never scanned; its predicates filter the fetched rows).
+    IndexNl,
+}
+
+/// One join stage: match the inner relation against the running outer
+/// pipeline, by hash build+probe or by index nested-loop fetch.
+#[derive(Debug, Clone)]
+struct JoinStage {
+    kind: StageKind,
+    inner: ScanStep,
+    /// Outer relation and column of the key edge (`edges[0]`).
+    key_left_rel: usize,
+    key_left_col: usize,
+    /// Inner (build-side) column of the key edge.
+    key_right_col: usize,
+    /// Layout for row-returning execution: full interpreter tuples.
+    full: EmitView,
+    /// Layout for count-mode execution: only the slots later stages read
+    /// (empty for the last stage — it only counts).
+    narrow: EmitView,
+}
+
+/// A plan shape compiled to a stage program. Immutable and `Send + Sync`;
+/// the service publishes these through its tier cell and reuses one
+/// instance across every query instance of the shape.
+#[derive(Debug, Clone)]
+pub struct FusedPipeline {
+    /// [`shape_key`] of the `(query, plan)` this was compiled from. The
+    /// caller must only run queries whose shape key matches — the tier
+    /// cache keys on it, so this holds by construction.
+    shape: u64,
+    first: ScanStep,
+    stages: Vec<JoinStage>,
+    /// Full result layout (relation per slot), for `execute_rows`.
+    rels: Vec<usize>,
+}
+
+impl FusedPipeline {
+    /// Compile `(query, plan)` into a fused pipeline, or `None` when the
+    /// shape is unsupported (the caller then uses the interpreter).
+    pub fn compile(query: &Query, plan: &PhysicalPlan) -> Option<FusedPipeline> {
+        // Flatten the left spine; reject anything not left-deep with
+        // hash or index-NL joins throughout.
+        let mut joins: Vec<(&PlanNode, &PlanNode)> = Vec::new();
+        let mut node: &PlanNode = &plan.root;
+        let first = loop {
+            match node {
+                PlanNode::Scan {
+                    relation, access, ..
+                } => {
+                    break ScanStep {
+                        rel: *relation,
+                        access: *access,
+                    }
+                }
+                PlanNode::Join {
+                    method,
+                    left,
+                    right,
+                    edges,
+                    index_nl,
+                    ..
+                } => {
+                    let fusable = *index_nl || *method == JoinMethod::Hash;
+                    if !fusable || edges.is_empty() {
+                        return None;
+                    }
+                    joins.push((node, right.as_ref()));
+                    node = left.as_ref();
+                }
+            }
+        };
+        joins.reverse();
+
+        // Resolve slots against the growing full layout; relations must be
+        // distinct for slot resolution to be unambiguous.
+        let mut layout = vec![first.rel];
+        let mut stages = Vec::with_capacity(joins.len());
+        for (join, right) in &joins {
+            let PlanNode::Scan {
+                relation, access, ..
+            } = **right
+            else {
+                return None;
+            };
+            let PlanNode::Join {
+                edges, index_nl, ..
+            } = *join
+            else {
+                return None;
+            };
+            let kind = if *index_nl {
+                StageKind::IndexNl
+            } else {
+                StageKind::Hash
+            };
+            if layout.contains(&relation) {
+                return None;
+            }
+            let key = edges[0];
+            if key.right != relation {
+                return None;
+            }
+            let lslot = layout.iter().position(|&r| r == key.left)?;
+            let mut extra = Vec::with_capacity(edges.len().saturating_sub(1));
+            for e in &edges[1..] {
+                if e.right != relation {
+                    return None;
+                }
+                let slot = layout.iter().position(|&r| r == e.left)?;
+                extra.push((slot, e.left, e.left_column, e.right_column));
+            }
+            stages.push((
+                kind,
+                ScanStep {
+                    rel: relation,
+                    access,
+                },
+                key,
+                lslot,
+                extra,
+                layout.clone(),
+            ));
+            layout.push(relation);
+        }
+
+        // Liveness for count mode: after stage i, keep only the relations
+        // later stages' keys and extra edges read (the last stage keeps
+        // nothing — it only counts matches).
+        let k = stages.len();
+        let mut live_after: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for i in (0..k.saturating_sub(1)).rev() {
+            let mut live = live_after[i + 1].clone();
+            let (_, _, key, _, extra, _) = &stages[i + 1];
+            for rel in std::iter::once(key.left).chain(extra.iter().map(|e| e.1)) {
+                if !live.contains(&rel) {
+                    live.push(rel);
+                }
+            }
+            live_after[i] = live;
+        }
+
+        let mut compiled = Vec::with_capacity(k);
+        let mut narrow_in = vec![first.rel];
+        for (i, (kind, inner, key, lslot_full, extra_full, full_in)) in stages.iter().enumerate() {
+            let full = EmitView {
+                lslot: *lslot_full,
+                extra: extra_full.clone(),
+                keep: (0..full_in.len()).collect(),
+                keep_inner: true,
+                stride_in: full_in.len(),
+            };
+            let npos = |rel: usize| narrow_in.iter().position(|&r| r == rel);
+            // The narrow output preserves full-layout order.
+            let narrow_out: Vec<usize> = full_in
+                .iter()
+                .copied()
+                .chain(std::iter::once(inner.rel))
+                .filter(|r| live_after[i].contains(r))
+                .collect();
+            let mut keep = Vec::with_capacity(narrow_out.len());
+            let mut keep_inner = false;
+            for &rel in &narrow_out {
+                if rel == inner.rel {
+                    keep_inner = true;
+                } else {
+                    keep.push(npos(rel)?);
+                }
+            }
+            let narrow = EmitView {
+                lslot: npos(key.left)?,
+                extra: extra_full
+                    .iter()
+                    .map(|&(_, lrel, lcol, rcol)| npos(lrel).map(|s| (s, lrel, lcol, rcol)))
+                    .collect::<Option<Vec<_>>>()?,
+                keep,
+                keep_inner,
+                stride_in: narrow_in.len(),
+            };
+            narrow_in = narrow_out;
+            compiled.push(JoinStage {
+                kind: *kind,
+                inner: *inner,
+                key_left_rel: key.left,
+                key_left_col: key.left_column,
+                key_right_col: key.right_column,
+                full,
+                narrow,
+            });
+        }
+
+        Some(FusedPipeline {
+            shape: shape_key(query, plan),
+            first,
+            stages: compiled,
+            rels: layout,
+        })
+    }
+
+    /// The [`shape_key`] this pipeline was compiled for.
+    pub fn shape(&self) -> u64 {
+        self.shape
+    }
+
+    /// Execute in count mode: identical charges, row count and timeout
+    /// accounting as the interpreter, but intermediate tuples carry only
+    /// live slots and the final join materialises nothing.
+    pub fn execute(
+        &self,
+        db: &Database,
+        cost: CostModel,
+        query: &Query,
+        budget: Option<f64>,
+    ) -> Result<ExecOutcome> {
+        self.run(db, cost, query, budget, false).map(|(out, _)| out)
+    }
+
+    /// Execute and materialise the full result tuples (differential-test
+    /// mode; the interpreter's `execute_rows` must agree bit-for-bit).
+    pub fn execute_rows(
+        &self,
+        db: &Database,
+        cost: CostModel,
+        query: &Query,
+        budget: Option<f64>,
+    ) -> Result<(ExecOutcome, RowSet)> {
+        self.run(db, cost, query, budget, true).map(|(out, rows)| {
+            (
+                out,
+                rows.unwrap_or_else(|| RowSet::bare(Vec::new(), Vec::new())),
+            )
+        })
+    }
+
+    fn run(
+        &self,
+        db: &Database,
+        cost: CostModel,
+        query: &Query,
+        budget: Option<f64>,
+        want_rows: bool,
+    ) -> Result<(ExecOutcome, Option<RowSet>)> {
+        let mut meter = WorkMeter {
+            spent: 0.0,
+            budget: budget.unwrap_or(f64::INFINITY),
+        };
+        // Leaf scans share the interpreter's implementation (and therefore
+        // its charges) exactly; the fused win lives in the join chain.
+        let exec = Executor::with_mode(db, cost, ExecMode::Chunked);
+        let p = cost.params;
+
+        let mut current: Vec<u32> =
+            exec.exec_scan(query, self.first.rel, &self.first.access, &mut meter)?;
+        let mut final_count = current.len() as u64;
+
+        for (si, stage) in self.stages.iter().enumerate() {
+            let view = if want_rows {
+                &stage.full
+            } else {
+                &stage.narrow
+            };
+            let count_only = !want_rows && si + 1 == self.stages.len();
+            let lcol = exec.column_slice(query, stage.key_left_rel, stage.key_left_col);
+            let extra: Vec<(usize, &[i64], &[i64])> = view
+                .extra
+                .iter()
+                .map(|&(slot, lrel, lc, rc)| {
+                    (
+                        slot,
+                        exec.column_slice(query, lrel, lc),
+                        exec.column_slice(query, stage.inner.rel, rc),
+                    )
+                })
+                .collect();
+
+            let stride = view.stride_in.max(1);
+            let n = current.len() / stride;
+            let mut out: Vec<u32> = Vec::new();
+            let mut count: u64 = 0;
+            let mut emits = BatchCharge::new(p.output_tuple);
+
+            match stage.kind {
+                StageKind::Hash => {
+                    let inner_rows =
+                        exec.exec_scan(query, stage.inner.rel, &stage.inner.access, &mut meter)?;
+                    meter.charge(inner_rows.len() as f64 * p.hash_build)?;
+                    let icol = exec.column_slice(query, stage.inner.rel, stage.key_right_col);
+                    let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+                    for &row in &inner_rows {
+                        table.entry(icol[row as usize]).or_default().push(row);
+                    }
+                    drop(inner_rows);
+
+                    let mut keys: Vec<i64> = Vec::with_capacity(CHUNK_SIZE);
+                    for start in (0..n).step_by(CHUNK_SIZE) {
+                        let end = (start + CHUNK_SIZE).min(n);
+                        meter.charge((end - start) as f64 * p.hash_probe)?;
+                        keys.clear();
+                        keys.extend(
+                            current[start * stride..end * stride]
+                                .iter()
+                                .skip(view.lslot)
+                                .step_by(stride)
+                                .map(|&r| lcol[r as usize]),
+                        );
+                        for (off, lv) in keys.iter().enumerate() {
+                            let Some(cands) = table.get(lv) else { continue };
+                            let i = start + off;
+                            let t = &current[i * stride..(i + 1) * stride];
+                            for &row in cands {
+                                if !extra
+                                    .iter()
+                                    .all(|&(slot, lc, rc)| lc[t[slot] as usize] == rc[row as usize])
+                                {
+                                    continue;
+                                }
+                                if count_only {
+                                    count += 1;
+                                } else {
+                                    for &kslot in &view.keep {
+                                        out.push(t[kslot]);
+                                    }
+                                    if view.keep_inner {
+                                        out.push(row);
+                                    }
+                                }
+                                emits.emitted(&mut meter)?;
+                            }
+                        }
+                        emits.flush(&mut meter)?;
+                    }
+                }
+                StageKind::IndexNl => {
+                    // The inner is never scanned: rows come out of its hash
+                    // index per outer tuple, with the relation's predicates
+                    // filtering each fetch — charge-for-charge the
+                    // interpreter's `index_nl_join`.
+                    let relation = &query.relations[stage.inner.rel];
+                    let table = db.table(relation.table);
+                    let index = table.hash_index(stage.key_right_col).ok_or_else(|| {
+                        FossError::InvalidPlan(format!(
+                            "index nested loop on unindexed column {}",
+                            stage.key_right_col
+                        ))
+                    })?;
+                    let descent = p.index_probe + 0.3 * (table.row_count() as f64).max(2.0).log2();
+                    let preds = &relation.predicates;
+                    let pcols: Vec<&[i64]> = preds
+                        .iter()
+                        .map(|pr| table.column(pr.column()).values())
+                        .collect();
+                    let mut fetches =
+                        BatchCharge::new(p.index_fetch + p.pred_eval * preds.len() as f64);
+                    for start in (0..n).step_by(CHUNK_SIZE) {
+                        let end = (start + CHUNK_SIZE).min(n);
+                        meter.charge((end - start) as f64 * descent)?;
+                        for i in start..end {
+                            let t = &current[i * stride..(i + 1) * stride];
+                            let lv = lcol[t[view.lslot] as usize];
+                            let fetched = index.lookup(lv);
+                            fetches.add(fetched.len(), &mut meter)?;
+                            'fetch: for &row in fetched {
+                                for (pr, col) in preds.iter().zip(&pcols) {
+                                    if !pr.matches(col[row as usize]) {
+                                        continue 'fetch;
+                                    }
+                                }
+                                if !extra
+                                    .iter()
+                                    .all(|&(slot, lc, rc)| lc[t[slot] as usize] == rc[row as usize])
+                                {
+                                    continue;
+                                }
+                                if count_only {
+                                    count += 1;
+                                } else {
+                                    for &kslot in &view.keep {
+                                        out.push(t[kslot]);
+                                    }
+                                    if view.keep_inner {
+                                        out.push(row);
+                                    }
+                                }
+                                emits.emitted(&mut meter)?;
+                            }
+                        }
+                        fetches.flush(&mut meter)?;
+                        emits.flush(&mut meter)?;
+                    }
+                }
+            }
+
+            if count_only {
+                final_count = count;
+            } else {
+                final_count = (out.len() / view.stride_out().max(1)) as u64;
+                current = out;
+            }
+        }
+
+        let rows = want_rows.then(|| {
+            let mut rows = RowSet::bare(self.rels.clone(), current);
+            rows.proj = query.projection();
+            rows
+        });
+        Ok((
+            ExecOutcome {
+                latency: meter.spent,
+                rows: final_count,
+            },
+            rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foss_catalog::{ColumnDef, Schema, TableDef};
+    use foss_common::QueryId;
+    use foss_optimizer::{CardinalityEstimator, Icp, TraditionalOptimizer};
+    use foss_query::{Predicate, QueryBuilder};
+    use foss_storage::{Column, Table};
+    use std::sync::Arc;
+
+    /// Three chained tables with predicates and duplicate-heavy join keys,
+    /// so hash fan-out, chunked emission and filtering are all exercised.
+    fn setup() -> (Database, TraditionalOptimizer, Query) {
+        let mut schema = Schema::new();
+        for name in ["a", "b", "c"] {
+            schema
+                .add_table(TableDef {
+                    name: name.into(),
+                    columns: vec![ColumnDef::indexed("k"), ColumnDef::plain("v")],
+                })
+                .unwrap();
+        }
+        let schema = Arc::new(schema);
+        let col = |rows: usize, modk: i64, shift: i64| {
+            Column::new((0..rows as i64).map(|i| (i * 7 + shift) % modk).collect())
+        };
+        let mk = |name: &str, rows: usize, shift: i64| {
+            Table::new(
+                name,
+                vec![
+                    ("k".into(), col(rows, 16, shift)),
+                    ("v".into(), col(rows, 8, shift + 3)),
+                ],
+            )
+            .unwrap()
+        };
+        let db = Database::new(
+            schema.clone(),
+            vec![mk("a", 600, 0), mk("b", 400, 5), mk("c", 500, 2)],
+            8,
+        )
+        .unwrap();
+        let opt = TraditionalOptimizer::new(
+            schema.clone(),
+            CardinalityEstimator::new(db.stats_vec()),
+            CostModel::default(),
+        );
+        let mut qb = QueryBuilder::new(QueryId::new(7), 0);
+        let ra = qb.relation(schema.table_id("a").unwrap(), "a");
+        let rb = qb.relation(schema.table_id("b").unwrap(), "b");
+        let rc = qb.relation(schema.table_id("c").unwrap(), "c");
+        qb.predicate(
+            ra,
+            Predicate::Range {
+                column: 1,
+                lo: 0,
+                hi: 5,
+            },
+        );
+        qb.predicate(
+            rc,
+            Predicate::Eq {
+                column: 1,
+                value: 3,
+            },
+        );
+        qb.join(ra, 0, rb, 0);
+        qb.join(rb, 0, rc, 0);
+        let q = qb.build(&schema).unwrap();
+        (db, opt, q)
+    }
+
+    fn all_hash_plan(opt: &TraditionalOptimizer, query: &Query) -> PhysicalPlan {
+        let icp = Icp::new(
+            (0..query.relation_count()).collect(),
+            vec![JoinMethod::Hash; query.relation_count() - 1],
+        )
+        .unwrap();
+        opt.optimize_with_hint(query, &icp).unwrap()
+    }
+
+    #[test]
+    fn fused_matches_interpreter_exactly() {
+        let (db, opt, query) = setup();
+        let plan = all_hash_plan(&opt, &query);
+        let fused = FusedPipeline::compile(&query, &plan).expect("all-hash left-deep compiles");
+        let exec = Executor::new(&db, *opt.cost_model());
+        let (io, irows) = exec.execute_rows(&query, &plan, None).unwrap();
+        assert!(io.rows > 0, "fixture must produce tuples");
+        let (fo, frows) = fused
+            .execute_rows(&db, *opt.cost_model(), &query, None)
+            .unwrap();
+        assert_eq!(io.rows, fo.rows);
+        assert_eq!(
+            io.latency.to_bits(),
+            fo.latency.to_bits(),
+            "latency must be bit-identical"
+        );
+        assert_eq!(irows, frows, "tuples and order must match");
+        // Count mode agrees with rows mode on outcome bits.
+        let co = fused.execute(&db, *opt.cost_model(), &query, None).unwrap();
+        assert_eq!(co, fo);
+    }
+
+    #[test]
+    fn fused_timeout_accounting_is_bit_identical() {
+        let (db, opt, query) = setup();
+        let plan = all_hash_plan(&opt, &query);
+        let fused = FusedPipeline::compile(&query, &plan).unwrap();
+        let exec = Executor::new(&db, *opt.cost_model());
+        let full = exec.execute(&query, &plan, None).unwrap().latency;
+        for frac in [0.1, 0.45, 0.8, 0.99] {
+            let budget = full * frac;
+            let a = exec.execute(&query, &plan, Some(budget));
+            let b = fused.execute(&db, *opt.cost_model(), &query, Some(budget));
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(ea), Err(eb)) => assert_eq!(
+                    format!("{ea:?}"),
+                    format!("{eb:?}"),
+                    "abort points must agree at budget {budget}"
+                ),
+                (a, b) => panic!("tier disagreement at {budget}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_shapes_decline_to_compile() {
+        let (_db, opt, query) = setup();
+        let hash = all_hash_plan(&opt, &query);
+        assert!(FusedPipeline::compile(&query, &hash).is_some());
+        let icp = Icp::new(
+            (0..query.relation_count()).collect(),
+            vec![JoinMethod::Merge; query.relation_count() - 1],
+        )
+        .unwrap();
+        let merge = opt.optimize_with_hint(&query, &icp).unwrap();
+        assert!(
+            FusedPipeline::compile(&query, &merge).is_none(),
+            "merge joins must fall back to the interpreter"
+        );
+        // A plain (non-index) nested loop declines; flipping the same node
+        // to index-NL compiles — the flag is what the tier keys on.
+        let mut plan = hash.clone();
+        let PlanNode::Join {
+            method, index_nl, ..
+        } = &mut plan.root
+        else {
+            panic!("fixture root must be a join")
+        };
+        *method = JoinMethod::NestLoop;
+        *index_nl = false;
+        assert!(
+            FusedPipeline::compile(&query, &plan).is_none(),
+            "non-index nested loop must fall back to the interpreter"
+        );
+        let PlanNode::Join { index_nl, .. } = &mut plan.root else {
+            panic!("fixture root must be a join")
+        };
+        *index_nl = true;
+        assert!(
+            FusedPipeline::compile(&query, &plan).is_some(),
+            "index nested loop is a supported tier-2 shape"
+        );
+    }
+
+    #[test]
+    fn fused_index_nl_matches_interpreter_exactly() {
+        let (db, opt, query) = setup();
+        // The fixture's join keys are indexed, so a NestLoop hint completes
+        // to index nested loops — the shape real serving traffic produces.
+        let icp = Icp::new(
+            (0..query.relation_count()).collect(),
+            vec![JoinMethod::NestLoop; query.relation_count() - 1],
+        )
+        .unwrap();
+        let plan = opt.optimize_with_hint(&query, &icp).unwrap();
+        let has_inl = format!("{plan:?}").contains("index_nl: true");
+        assert!(has_inl, "fixture hinted plan must use index-NL: {plan:?}");
+        let fused = FusedPipeline::compile(&query, &plan).expect("index-NL spine compiles");
+        let exec = Executor::new(&db, *opt.cost_model());
+        let (io, irows) = exec.execute_rows(&query, &plan, None).unwrap();
+        assert!(io.rows > 0, "fixture must produce tuples");
+        let (fo, frows) = fused
+            .execute_rows(&db, *opt.cost_model(), &query, None)
+            .unwrap();
+        assert_eq!(io.rows, fo.rows);
+        assert_eq!(
+            io.latency.to_bits(),
+            fo.latency.to_bits(),
+            "latency must be bit-identical"
+        );
+        assert_eq!(irows, frows, "tuples and order must match");
+        let co = fused.execute(&db, *opt.cost_model(), &query, None).unwrap();
+        assert_eq!(co, fo);
+        // Timeout abort points agree bit-for-bit across the tiers.
+        for frac in [0.1, 0.45, 0.8, 0.99] {
+            let budget = io.latency * frac;
+            let a = exec.execute(&query, &plan, Some(budget));
+            let b = fused.execute(&db, *opt.cost_model(), &query, Some(budget));
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(ea), Err(eb)) => assert_eq!(
+                    format!("{ea:?}"),
+                    format!("{eb:?}"),
+                    "abort points must agree at budget {budget}"
+                ),
+                (a, b) => panic!("tier disagreement at {budget}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scan_only_plan_compiles_and_counts() {
+        let (db, opt, query) = setup();
+        // A bare scan of relation 0 (with its Range predicate).
+        let plan = PhysicalPlan {
+            root: PlanNode::Scan {
+                relation: 0,
+                access: AccessPath::SeqScan,
+                est_rows: 1.0,
+                est_cost: 1.0,
+            },
+        };
+        let fused = FusedPipeline::compile(&query, &plan).unwrap();
+        let exec = Executor::new(&db, *opt.cost_model());
+        let (io, irows) = exec.execute_rows(&query, &plan, None).unwrap();
+        let (fo, frows) = fused
+            .execute_rows(&db, *opt.cost_model(), &query, None)
+            .unwrap();
+        assert_eq!(
+            (io.rows, io.latency.to_bits()),
+            (fo.rows, fo.latency.to_bits())
+        );
+        assert_eq!(irows, frows);
+        assert_eq!(
+            fused.execute(&db, *opt.cost_model(), &query, None).unwrap(),
+            fo
+        );
+    }
+
+    #[test]
+    fn shape_key_is_the_plan_shape_key() {
+        let (_db, opt, query) = setup();
+        let plan = all_hash_plan(&opt, &query);
+        assert_eq!(shape_key(&query, &plan), plan.shape_key(&query));
+        let fused = FusedPipeline::compile(&query, &plan).unwrap();
+        assert_eq!(fused.shape(), plan.shape_key(&query));
+    }
+}

@@ -26,9 +26,11 @@ pub mod agg;
 pub mod cache;
 pub mod database;
 pub mod exec;
+pub mod fused;
 mod parallel;
 
 pub use agg::{AggResult, AggRow};
 pub use cache::{CacheStats, CachingExecutor, EvictionPolicy};
 pub use database::Database;
 pub use exec::{ExecMode, ExecOutcome, Executor, ParallelConfig, RowSet, CHUNK_SIZE};
+pub use fused::FusedPipeline;

@@ -297,15 +297,26 @@ fn read_request(stream: &mut TcpStream) -> Result<Request> {
             .ok_or_else(|| FossError::Serde(format!("malformed header `{line}`")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    let content_length: usize = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| {
-            v.parse()
-                .map_err(|_| FossError::Serde("bad content-length".into()))
-        })
-        .transpose()?
-        .unwrap_or(0);
+    // Duplicate `content-length` headers with conflicting values are the
+    // classic request-smuggling ambiguity: a proxy that honours the first
+    // and a server that honours the last disagree on where the body ends.
+    // Agreeing duplicates are tolerated (RFC 9112 §6.3 lets a recipient
+    // collapse them); conflicting ones are rejected outright.
+    let mut content_length: Option<usize> = None;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let parsed: usize = v
+            .parse()
+            .map_err(|_| FossError::Serde("bad content-length".into()))?;
+        match content_length {
+            Some(prev) if prev != parsed => {
+                return Err(FossError::Serde(format!(
+                    "conflicting content-length headers: {prev} vs {parsed}"
+                )));
+            }
+            _ => content_length = Some(parsed),
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(FossError::Serde(format!(
             "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
@@ -674,6 +685,55 @@ mod tests {
             })
             .unwrap();
         assert!(matches!(outcome, PlanOutcome::Decision(_)));
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        let net = serve(66, ServiceConfig::default());
+        let raw_round_trip = |req: String| {
+            let mut stream = TcpStream::connect(net.server.addr()).unwrap();
+            stream.write_all(req.as_bytes()).unwrap();
+            let mut raw = Vec::new();
+            stream.read_to_end(&mut raw).unwrap();
+            let (status, body) = parse_response(&raw).unwrap();
+            (status, String::from_utf8_lossy(&body).into_owned())
+        };
+        let body = r#"{"query":0}"#;
+
+        // Conflicting duplicates are the smuggling-adjacent shape: which
+        // header governs decides where the body ends. Reject, never pick.
+        let (status, reply) = raw_round_trip(format!(
+            "POST /plan HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\
+             content-length: 2\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        ));
+        assert_eq!(status, 400, "conflicting lengths must be rejected: {reply}");
+        let parsed = Json::parse(&reply).unwrap();
+        assert_eq!(parsed.get("code").and_then(Json::as_str), Some("malformed"));
+        assert!(
+            parsed
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("conflicting content-length"),
+            "message must name the conflict: {reply}"
+        );
+
+        // Agreeing duplicates collapse to one value and serve normally.
+        let (status, reply) = raw_round_trip(format!(
+            "POST /plan HTTP/1.1\r\nhost: x\r\ncontent-length: {len}\r\n\
+             content-length: {len}\r\nconnection: close\r\n\r\n{body}",
+            len = body.len()
+        ));
+        assert_eq!(status, 200, "agreeing duplicates must serve: {reply}");
+
+        // A single unparsable value still fails loudly.
+        let (status, reply) = raw_round_trip(
+            "POST /plan HTTP/1.1\r\nhost: x\r\ncontent-length: eleven\r\n\
+             connection: close\r\n\r\n"
+                .to_string(),
+        );
+        assert_eq!(status, 400, "unparsable length must be rejected: {reply}");
     }
 
     #[test]

@@ -86,6 +86,7 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod prelude;
+pub mod tier;
 pub mod wire;
 
 use std::sync::Arc;
@@ -103,6 +104,7 @@ pub use gate::{AdmissionGate, Permit};
 pub use http::{PlanClient, PlanOutcome, PlanServer, Rejection};
 pub use json::Json;
 pub use metrics::{MetricsRegistry, MetricsSnapshot, Outcome};
+pub use tier::{HotShapeTracker, TierCell, TierConfig, TierEngine, TierMode, TierStats};
 pub use wire::{PlanReply, PlanRequest, WireError};
 
 /// Serving knobs (see the module docs for the semantics of each).
@@ -132,6 +134,11 @@ pub struct ServiceConfig {
     /// sheds low-priority traffic immediately when the gate is full, which
     /// is what guarantees low sheds before high under overload.
     pub low_shed_wait_us: f64,
+    /// Tiered-execution knobs (see [`tier`]). The `plan-doctor` CLI
+    /// resolves [`TierConfig::mode`] as `--tier` flag > `FOSS_TIER` env >
+    /// this default ([`TierMode::from_env`] does the env half); library
+    /// callers set it directly.
+    pub tier: TierConfig,
 }
 
 impl Default for ServiceConfig {
@@ -145,6 +152,7 @@ impl Default for ServiceConfig {
             max_retries: 2,
             retry_backoff_us: 100.0,
             low_shed_wait_us: 0.0,
+            tier: TierConfig::default(),
         }
     }
 }
@@ -287,6 +295,11 @@ pub struct PlanDoctor {
     gate: AdmissionGate,
     metrics: MetricsRegistry,
     breaker: CircuitBreaker,
+    /// Tier-2 engine: hot-shape tracking + compiled-pipeline cell (see
+    /// [`tier`]). Every execution the doctor performs routes through
+    /// [`PlanDoctor::execute_plan`] so both tiers share one dispatch
+    /// point.
+    tier: TierEngine,
     /// Deterministic fault hooks ([`FaultSite::PlanStall`] /
     /// [`FaultSite::ExecTimeout`] / [`FaultSite::ExecError`] /
     /// [`FaultSite::PublishFail`]); `None` in production.
@@ -308,6 +321,7 @@ impl PlanDoctor {
             gate: AdmissionGate::new(cfg.max_in_flight),
             metrics: MetricsRegistry::default(),
             breaker: CircuitBreaker::new(cfg.breaker),
+            tier: TierEngine::new(cfg.tier),
             faults: None,
             cfg,
         }
@@ -374,6 +388,37 @@ impl PlanDoctor {
     /// /publish` payloads against the serving workload's expert optimizer.
     pub fn snapshot(&self) -> Arc<PlannerSnapshot> {
         self.snapshots.load()
+    }
+
+    /// The tier engine's counters and generation (read-only view for
+    /// operators and tests; the internal execute path drives it).
+    pub fn tier(&self) -> &TierEngine {
+        &self.tier
+    }
+
+    /// Execute `plan` on whichever tier the engine selects: a compiled
+    /// fused pipeline when the shape is hot and supported, the chunked
+    /// interpreter otherwise. Results, recorded latencies and timeout
+    /// errors are bit-identical across tiers (the fused engine replays the
+    /// interpreter's exact work-unit charge sequence), so this choice is
+    /// invisible to everything downstream — including the executor's
+    /// result cache, which both tiers share.
+    fn execute_plan(
+        &self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        budget: Option<f64>,
+    ) -> Result<foss_executor::ExecOutcome> {
+        match self.tier.pipeline_for(query, plan) {
+            Some(entry) => match &*entry {
+                tier::TierEntry::Compiled(pipeline) => {
+                    self.executor
+                        .execute_tiered(query, plan, budget, Some(pipeline))
+                }
+                tier::TierEntry::Unsupported => self.executor.execute(query, plan, budget),
+            },
+            None => self.executor.execute(query, plan, budget),
+        }
     }
 
     /// The expert plan for `query`: from the snapshot's frozen originals,
@@ -471,7 +516,7 @@ impl PlanDoctor {
         let t0 = Instant::now();
         let expert_plan = self.expert_plan(&snapshot, &req.query)?;
         let planning_us = t0.elapsed().as_secs_f64() * 1e6;
-        let expert = self.executor.execute(&req.query, &expert_plan, None)?;
+        let expert = self.execute_plan(&req.query, &expert_plan, None)?;
         let reason = FallbackReason::BreakerOpen;
         self.metrics.record(&Outcome {
             planning_us,
@@ -518,7 +563,7 @@ impl PlanDoctor {
             });
             let attempt = match injected {
                 Some(e) => Err(e),
-                None => self.executor.execute(&req.query, plan, Some(exec_budget)),
+                None => self.execute_plan(&req.query, plan, Some(exec_budget)),
             };
             match attempt {
                 Ok(out) => return Ok(Ok(out.latency)),
@@ -561,7 +606,7 @@ impl PlanDoctor {
         let planning_us = t0.elapsed().as_secs_f64() * 1e6;
 
         // The safety net: the expert plan, executed unbudgeted.
-        let expert = self.executor.execute(&req.query, &expert_plan, None)?;
+        let expert = self.execute_plan(&req.query, &expert_plan, None)?;
 
         let budget_us = req.planning_budget_us.or(self.cfg.planning_budget_us);
         let mut reason = FallbackReason::None;
@@ -620,6 +665,7 @@ impl PlanDoctor {
             self.gate.high_water(),
             self.breaker.view(),
             self.fault_stats().injected_total(),
+            self.tier.stats(),
         )
     }
 }
@@ -1059,6 +1105,87 @@ mod tests {
             .unwrap();
         s.doctor.publish(snap).unwrap();
         assert_eq!(s.doctor.snapshot_generation(), 1);
+    }
+
+    #[test]
+    fn tier_force_is_bit_identical_to_interpreter_and_counts() {
+        let cfg = |mode| ServiceConfig {
+            tier: TierConfig {
+                mode,
+                hot_threshold: 1,
+            },
+            ..ServiceConfig::default()
+        };
+        let key = |d: &PlanDecision| (d.plan.fingerprint(), d.latency.to_bits(), d.fallback);
+        let off = served(51, cfg(TierMode::Interpreter));
+        let on = served(51, cfg(TierMode::Force));
+        for q in query_mix(&off.world) {
+            for _ in 0..3 {
+                let a = off.doctor.submit(QueryRequest::new(q.clone())).unwrap();
+                let b = on.doctor.submit(QueryRequest::new(q.clone())).unwrap();
+                assert_eq!(key(&a), key(&b), "tier must be invisible in outcomes");
+            }
+        }
+        let t_off = off.doctor.tier().stats();
+        assert_eq!(t_off, TierStats::default(), "interpreter mode never tiers");
+        let t_on = on.doctor.tier().stats();
+        assert!(
+            t_on.compiles + t_on.fallbacks > 0,
+            "force mode must resolve every shape: {t_on:?}"
+        );
+        assert!(
+            t_on.compiles == 0 || t_on.hits > 0,
+            "compiled shapes must serve tier-2 hits: {t_on:?}"
+        );
+        // Counters flow into the snapshot, the summary line and the wire.
+        let m = on.doctor.metrics();
+        assert_eq!(
+            (m.tier_compiles, m.tier_hits, m.tier_fallbacks),
+            (t_on.compiles, t_on.hits, t_on.fallbacks)
+        );
+        assert!(m.summary_line().contains(&format!(
+            "tier={}/{}/{}",
+            m.tier_hits, m.tier_compiles, m.tier_fallbacks
+        )));
+    }
+
+    #[test]
+    fn auto_tier_compiles_only_past_the_hot_threshold() {
+        let s = served(
+            52,
+            ServiceConfig {
+                tier: TierConfig {
+                    mode: TierMode::Auto,
+                    hot_threshold: 4,
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        // Submits 1–3 stay cold on every shape the doctor executes.
+        for _ in 0..3 {
+            s.doctor
+                .submit(QueryRequest::new(s.world.query.clone()))
+                .unwrap();
+        }
+        let cold = s.doctor.tier().stats();
+        assert_eq!((cold.compiles, cold.hits, cold.fallbacks), (0, 0, 0));
+        // Enough further submits push the expert shape past the threshold
+        // (each submit may execute one or two plans, all counted).
+        for _ in 0..8 {
+            s.doctor
+                .submit(QueryRequest::new(s.world.query.clone()))
+                .unwrap();
+        }
+        let hot = s.doctor.tier().stats();
+        assert!(
+            hot.compiles + hot.fallbacks > 0,
+            "hot shapes must be resolved: {hot:?}"
+        );
+        // One generation bump per resolved shape (compiled or negative-
+        // cached), never per execution.
+        let generation = s.doctor.tier().generation();
+        assert!(generation >= hot.compiles && generation > 0);
+        assert!(generation <= hot.compiles + hot.fallbacks);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use foss_common::sync::Mutex;
 use foss_executor::CacheStats;
 
 use crate::breaker::{BreakerState, BreakerView};
+use crate::tier::TierStats;
 use crate::FallbackReason;
 
 /// Capacity of each sample reservoir. Percentiles are computed over a
@@ -130,15 +131,17 @@ impl MetricsRegistry {
     /// A consistent-enough snapshot for reporting (counters are read
     /// individually; percentiles come from the reservoirs — the most
     /// recent 4096 samples — at call time). `cache`,
-    /// `in_flight_high_water`, `breaker` and `faults_injected` are
-    /// supplied by the owner, which holds the executor, the admission
-    /// gate, the circuit breaker and the (optional) fault plan.
+    /// `in_flight_high_water`, `breaker`, `faults_injected` and `tier`
+    /// are supplied by the owner, which holds the executor, the admission
+    /// gate, the circuit breaker, the (optional) fault plan and the tier
+    /// engine.
     pub fn snapshot(
         &self,
         cache: CacheStats,
         in_flight_high_water: usize,
         breaker: BreakerView,
         faults_injected: u64,
+        tier: TierStats,
     ) -> MetricsSnapshot {
         let latencies = self.latencies.lock().samples.clone();
         let planning = self.planning_us.lock().samples.clone();
@@ -178,6 +181,9 @@ impl MetricsRegistry {
             in_flight_high_water,
             cache_hit_rate: cache.hit_rate(),
             cache,
+            tier_compiles: tier.compiles,
+            tier_hits: tier.hits,
+            tier_fallbacks: tier.fallbacks,
         }
     }
 }
@@ -239,6 +245,12 @@ pub struct MetricsSnapshot {
     pub cache: CacheStats,
     /// `cache.hit_rate()` at snapshot time.
     pub cache_hit_rate: f64,
+    /// Plan shapes compiled to tier-2 fused pipelines.
+    pub tier_compiles: u64,
+    /// Executions served by a fused pipeline.
+    pub tier_hits: u64,
+    /// Hot-but-unsupported shapes that fell back to the interpreter.
+    pub tier_fallbacks: u64,
 }
 
 impl MetricsSnapshot {
@@ -248,7 +260,8 @@ impl MetricsSnapshot {
         format!(
             "plan-doctor metrics: submitted={} p50={:.0} p95={:.0} p99={:.0} \
              fallback_rate={:.3} cache_hit_rate={:.3} inflight_hwm={} errors={} \
-             shed={}/{} retries={} breaker={} opened={} faults={}",
+             shed={}/{} retries={} breaker={} opened={} faults={} \
+             tier={}/{}/{}",
             self.submitted,
             self.latency_p50,
             self.latency_p95,
@@ -263,6 +276,9 @@ impl MetricsSnapshot {
             self.breaker_state.label(),
             self.breaker_times_opened,
             self.faults_injected,
+            self.tier_hits,
+            self.tier_compiles,
+            self.tier_fallbacks,
         )
     }
 }
@@ -291,7 +307,13 @@ mod tests {
     #[test]
     fn empty_registry_reports_zeros() {
         let reg = MetricsRegistry::default();
-        let snap = reg.snapshot(CacheStats::default(), 0, idle_breaker(), 0);
+        let snap = reg.snapshot(
+            CacheStats::default(),
+            0,
+            idle_breaker(),
+            0,
+            TierStats::default(),
+        );
         assert_eq!(snap.submitted, 0);
         assert_eq!(snap.fallback_rate, 0.0);
         assert_eq!(snap.latency_p99, 0.0, "empty percentiles must not panic");
@@ -319,6 +341,7 @@ mod tests {
             7,
             idle_breaker(),
             0,
+            TierStats::default(),
         );
         assert_eq!(snap.submitted, 100);
         assert_eq!(snap.fallbacks, 10);
@@ -337,7 +360,13 @@ mod tests {
         reg.record(&outcome(5.0, FallbackReason::None));
         reg.record_error();
         reg.record_error();
-        let snap = reg.snapshot(CacheStats::default(), 1, idle_breaker(), 0);
+        let snap = reg.snapshot(
+            CacheStats::default(),
+            1,
+            idle_breaker(),
+            0,
+            TierStats::default(),
+        );
         assert_eq!(snap.submitted, 1);
         assert_eq!(snap.errors, 2);
         assert!(snap.summary_line().contains("errors=2"));
@@ -358,7 +387,7 @@ mod tests {
             transitions: 3,
             times_opened: 2,
         };
-        let snap = reg.snapshot(CacheStats::default(), 1, view, 5);
+        let snap = reg.snapshot(CacheStats::default(), 1, view, 5, TierStats::default());
         assert_eq!(snap.submitted, 3);
         assert_eq!(snap.fallbacks, 3, "every degraded reason is a fallback");
         assert_eq!(
@@ -398,7 +427,13 @@ mod tests {
             reg.record(&outcome(100.0, FallbackReason::None));
         }
         assert_eq!(reg.latencies.lock().samples.len(), RESERVOIR_CAP);
-        let snap = reg.snapshot(CacheStats::default(), 1, idle_breaker(), 0);
+        let snap = reg.snapshot(
+            CacheStats::default(),
+            1,
+            idle_breaker(),
+            0,
+            TierStats::default(),
+        );
         assert_eq!(snap.submitted, (2 * RESERVOIR_CAP + 100) as u64);
         assert_eq!(
             snap.latency_p50, 100.0,
@@ -424,7 +459,13 @@ mod tests {
                 });
             }
         });
-        let snap = reg.snapshot(CacheStats::default(), 4, idle_breaker(), 0);
+        let snap = reg.snapshot(
+            CacheStats::default(),
+            4,
+            idle_breaker(),
+            0,
+            TierStats::default(),
+        );
         assert_eq!(snap.submitted, 200);
         assert_eq!(snap.exec_timeouts, 50);
         assert_eq!(snap.fallbacks, 50);
